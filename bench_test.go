@@ -1,0 +1,321 @@
+// Package repro_test holds the top-level benchmarks, one per table and
+// figure of the paper's evaluation (§VII-B). Each benchmark drives the
+// same runners as cmd/benchfig; run the command for the full tables with
+// confidence intervals and t-tests, and these benchmarks for quick
+// ns/op + allocs/op views:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks run with the instant latency model (scale 0) so they
+// measure the framework's own computational cost; cmd/benchfig -scale
+// reintroduces the Platform Services latencies for paper-shape numbers.
+package repro_test
+
+import (
+	"crypto/ed25519"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/seal"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+	"repro/internal/xcrypto"
+)
+
+// benchWorld lazily builds a two-machine data center for benchmarks.
+func benchWorld(b *testing.B) (*cloud.Machine, *cloud.Machine) {
+	b.Helper()
+	dc, err := cloud.NewDataCenter("bench", sim.NewInstantLatency())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := dc.AddMachine("src")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := dc.AddMachine("dst")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src, dst
+}
+
+func benchImage(name string) *sgx.Image {
+	key := xcrypto.DeriveKey([]byte("bench-signer"), "pub")
+	return &sgx.Image{Name: name, Version: 1, Code: []byte(name), SignerPublicKey: ed25519.PublicKey(key[:])}
+}
+
+func benchApp(b *testing.B, m *cloud.Machine, name string) *cloud.App {
+	b.Helper()
+	app, err := m.LaunchApp(benchImage(name), core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return app
+}
+
+// --- Figure 3: monotonic counter operations ------------------------------
+
+func BenchmarkFig3CounterCreateDestroyLibrary(b *testing.B) {
+	src, _ := benchWorld(b)
+	app := benchApp(b, src, "fig3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, _, err := app.Library.CreateCounter()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := app.Library.DestroyCounter(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3CounterCreateDestroyBaseline(b *testing.B) {
+	src, _ := benchWorld(b)
+	e, err := src.HW.Load(benchImage("fig3-base"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uuid, _, err := src.Counters.Create(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := src.Counters.Destroy(e, uuid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3CounterIncrementLibrary(b *testing.B) {
+	src, _ := benchWorld(b)
+	app := benchApp(b, src, "fig3")
+	id, _, err := app.Library.CreateCounter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.Library.IncrementCounter(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3CounterIncrementBaseline(b *testing.B) {
+	src, _ := benchWorld(b)
+	e, err := src.HW.Load(benchImage("fig3-base"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	uuid, _, err := src.Counters.Create(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.Counters.Increment(e, uuid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3CounterReadLibrary(b *testing.B) {
+	src, _ := benchWorld(b)
+	app := benchApp(b, src, "fig3")
+	id, _, err := app.Library.CreateCounter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.Library.ReadCounter(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3CounterReadBaseline(b *testing.B) {
+	src, _ := benchWorld(b)
+	e, err := src.HW.Load(benchImage("fig3-base"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	uuid, _, err := src.Counters.Create(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.Counters.Read(e, uuid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 4: initialization and sealing --------------------------------
+
+func BenchmarkFig4InitNew(b *testing.B) {
+	src, _ := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := src.HW.Load(benchImage("fig4-init"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lib := core.NewLibrary(e, src.Counters, core.NewMemoryStorage())
+		if err := lib.Init(core.InitNew, src.ME); err != nil {
+			b.Fatal(err)
+		}
+		src.HW.Destroy(e)
+	}
+}
+
+func BenchmarkFig4InitRestore(b *testing.B) {
+	src, _ := benchWorld(b)
+	storage := core.NewMemoryStorage()
+	{
+		e, err := src.HW.Load(benchImage("fig4-restore"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lib := core.NewLibrary(e, src.Counters, storage)
+		if err := lib.Init(core.InitNew, src.ME); err != nil {
+			b.Fatal(err)
+		}
+		src.HW.Destroy(e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := src.HW.Load(benchImage("fig4-restore"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lib := core.NewLibrary(e, src.Counters, storage)
+		if err := lib.Init(core.InitRestore, src.ME); err != nil {
+			b.Fatal(err)
+		}
+		src.HW.Destroy(e)
+	}
+}
+
+func benchmarkSeal(b *testing.B, size int, migratable bool) {
+	src, _ := benchWorld(b)
+	app := benchApp(b, src, "fig4-seal")
+	baseEnclave, err := src.HW.Load(benchImage("fig4-seal-base"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if migratable {
+			if _, err := app.Library.SealMigratable(nil, payload); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := seal.Seal(baseEnclave, sgx.PolicyMRENCLAVE, nil, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig4Seal100BMigratable(b *testing.B) { benchmarkSeal(b, bench.SmallPayload, true) }
+func BenchmarkFig4Seal100BBaseline(b *testing.B)   { benchmarkSeal(b, bench.SmallPayload, false) }
+func BenchmarkFig4Seal100kBMigratable(b *testing.B) {
+	benchmarkSeal(b, bench.LargePayload, true)
+}
+func BenchmarkFig4Seal100kBBaseline(b *testing.B) { benchmarkSeal(b, bench.LargePayload, false) }
+
+func benchmarkUnseal(b *testing.B, size int, migratable bool) {
+	src, _ := benchWorld(b)
+	app := benchApp(b, src, "fig4-unseal")
+	baseEnclave, err := src.HW.Load(benchImage("fig4-unseal-base"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, size)
+	libBlob, err := app.Library.SealMigratable(nil, payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseBlob, err := seal.Seal(baseEnclave, sgx.PolicyMRENCLAVE, nil, payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if migratable {
+			if _, _, err := app.Library.UnsealMigratable(libBlob); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, _, err := seal.Unseal(baseEnclave, baseBlob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig4Unseal100kBMigratable(b *testing.B) { benchmarkUnseal(b, bench.LargePayload, true) }
+func BenchmarkFig4Unseal100kBBaseline(b *testing.B)   { benchmarkUnseal(b, bench.LargePayload, false) }
+
+// --- §VII-B: full enclave migration --------------------------------------
+
+func BenchmarkMigrationEndToEnd(b *testing.B) {
+	src, dst := benchWorld(b)
+	img := benchImage("migrate")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app, err := src.LaunchApp(img, core.NewMemoryStorage(), core.InitNew)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := app.Library.CreateCounter(); err != nil {
+			b.Fatal(err)
+		}
+		if err := app.Library.StartMigration(dst.MEAddress()); err != nil {
+			b.Fatal(err)
+		}
+		app.Terminate()
+		dstApp, err := dst.LaunchApp(img, core.NewMemoryStorage(), core.InitMigrated)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Release the restored hardware counter so long benchmark runs do
+		// not exhaust the 256-counter budget.
+		if err := dstApp.Library.DestroyCounter(0); err != nil {
+			b.Fatal(err)
+		}
+		dstApp.Terminate()
+		src, dst = dst, src
+	}
+}
+
+// BenchmarkMigrationRunner exercises the shared experiment runner used by
+// cmd/benchfig (small N per benchmark iteration).
+func BenchmarkMigrationRunner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := bench.Config{N: 5, Scale: 0, Confidence: 0.99}
+		if _, err := bench.MigrationOverhead(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: offset vs. increment-replay counter restore (§VI-B) -------
+
+func BenchmarkAblationOffsetRestore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RestoreAblation(1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Rollback attack walkthrough: the paper's §III-C attack, step by step,
+// first against a baseline whose migration does not move monotonic
+// counters (it succeeds), then against the Migration Library (it fails).
+//
+//	go run ./examples/rollbackattack
+package main
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/gubaseline"
+	"repro/internal/pse"
+	"repro/internal/seal"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+	"repro/internal/xcrypto"
+)
+
+type wallet struct {
+	Balance int    `json:"balance"`
+	Version uint32 `json:"version"`
+}
+
+func image(name string) *sgx.Image {
+	signer := xcrypto.DeriveKey([]byte("rollback-example"), "signer")
+	return &sgx.Image{Name: name, Version: 1, Code: []byte(name), SignerPublicKey: ed25519.PublicKey(signer[:])}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== Part 1: baseline (sealing migrates via KDC, counters do not) ==")
+	if err := baselineAttack(); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("== Part 2: the same schedule against the Migration Library ==")
+	return migrationLibraryDefense()
+}
+
+func baselineAttack() error {
+	lat := sim.NewInstantLatency()
+	mA, err := sgx.NewMachine("A", lat)
+	if err != nil {
+		return err
+	}
+	mB, err := sgx.NewMachine("B", lat)
+	if err != nil {
+		return err
+	}
+	ctrA, ctrB := pse.NewService(lat), pse.NewService(lat)
+	kdcKey, err := xcrypto.RandomBytes(16)
+	if err != nil {
+		return err
+	}
+	img := image("wallet")
+
+	eA, err := mA.Load(img)
+	if err != nil {
+		return err
+	}
+	libA := gubaseline.NewLibrary(eA, ctrA, gubaseline.Config{}, nil)
+	ref, _, err := libA.CreateCounter()
+	if err != nil {
+		return err
+	}
+	persist := func(lib *gubaseline.Library, r, balance int) ([]byte, uint32, error) {
+		v, err := lib.IncrementCounter(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		raw, _ := json.Marshal(wallet{Balance: balance, Version: v})
+		blob, err := seal.SealRaw(kdcKey, nil, raw)
+		return blob, v, err
+	}
+	blobV1, v, err := persist(libA, ref, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("step 1: on A, wallet=100 persisted with version %d (adversary keeps a copy)\n", v)
+	if _, _, err := persist(libA, ref, 60); err != nil {
+		return err
+	}
+	if _, v, err = persist(libA, ref, 10); err != nil {
+		return err
+	}
+	fmt.Printf("step 2: wallet spends down to 10 (version %d)\n", v)
+
+	// Step 3+4: VM migrates; on B the enclave finds no counters and
+	// creates a fresh one, incrementing it on termination (c' = 1).
+	eB, err := mB.Load(img)
+	if err != nil {
+		return err
+	}
+	libB := gubaseline.NewLibrary(eB, ctrB, gubaseline.Config{}, nil)
+	refB, _, err := libB.CreateCounter()
+	if err != nil {
+		return err
+	}
+	if _, err := libB.IncrementCounter(refB); err != nil {
+		return err
+	}
+	fmt.Println("step 3: VM migrates to B; enclave creates a NEW counter there (c' = 1)")
+
+	// Step 5: adversary feeds the original v=1 blob.
+	raw, _, err := seal.UnsealRaw(kdcKey, blobV1)
+	if err != nil {
+		return err
+	}
+	var w wallet
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return err
+	}
+	cur, err := libB.ReadCounter(refB)
+	if err != nil {
+		return err
+	}
+	if w.Version == cur {
+		fmt.Printf("step 4: enclave on B accepts the STALE state: wallet=%d again (was 10)\n", w.Balance)
+		fmt.Println("        >>> ROLLBACK ATTACK SUCCEEDED <<<")
+		return nil
+	}
+	return fmt.Errorf("baseline unexpectedly rejected the stale state")
+}
+
+func migrationLibraryDefense() error {
+	dc, err := cloud.NewDataCenter("dc", sim.NewInstantLatency())
+	if err != nil {
+		return err
+	}
+	src, err := dc.AddMachine("A")
+	if err != nil {
+		return err
+	}
+	dst, err := dc.AddMachine("B")
+	if err != nil {
+		return err
+	}
+	img := image("wallet")
+	app, err := src.LaunchApp(img, core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		return err
+	}
+	ctr, _, err := app.Library.CreateCounter()
+	if err != nil {
+		return err
+	}
+	persist := func(a *cloud.App, balance int) ([]byte, uint32, error) {
+		v, err := a.Library.IncrementCounter(ctr)
+		if err != nil {
+			return nil, 0, err
+		}
+		raw, _ := json.Marshal(wallet{Balance: balance, Version: v})
+		blob, err := a.Library.SealMigratable(nil, raw)
+		return blob, v, err
+	}
+	blobV1, v, err := persist(app, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("step 1: on A, wallet=100 persisted with version %d (adversary keeps a copy)\n", v)
+	if _, _, err := persist(app, 60); err != nil {
+		return err
+	}
+	if _, v, err = persist(app, 10); err != nil {
+		return err
+	}
+	fmt.Printf("step 2: wallet spends down to 10 (version %d)\n", v)
+
+	if err := app.Library.StartMigration(dst.MEAddress()); err != nil {
+		return err
+	}
+	app.Terminate()
+	migrated, err := dst.LaunchApp(img, core.NewMemoryStorage(), core.InitMigrated)
+	if err != nil {
+		return err
+	}
+	fmt.Println("step 3: enclave migrates to B WITH its counter (effective value 3)")
+
+	raw, _, err := migrated.Library.UnsealMigratable(blobV1)
+	if err != nil {
+		return err
+	}
+	var w wallet
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return err
+	}
+	cur, err := migrated.Library.ReadCounter(ctr)
+	if err != nil {
+		return err
+	}
+	if w.Version == cur {
+		return fmt.Errorf("rollback succeeded against the migration library")
+	}
+	fmt.Printf("step 4: stale blob carries version %d but the migrated counter reads %d\n", w.Version, cur)
+	fmt.Println("        >>> rollback attack PREVENTED (R4) <<<")
+	return nil
+}

@@ -1,0 +1,199 @@
+// Package teechan implements a Teechan-style payment channel (Lind et
+// al. [3], one of the paper's two motivating applications): two enclaves
+// hold a full-duplex off-chain channel and exchange funds with single
+// messages. Each endpoint persists its balance state "encrypted under a
+// key and stored with a non-replayable version number from the hardware
+// monotonic counter" — realized here with the Migration Library's
+// migratable sealing and migratable counters, which is what makes the
+// channel SAFELY migratable between machines (paper §III-B shows how a
+// naive migration mechanism forks it).
+package teechan
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Channel errors.
+var (
+	ErrInsufficientFunds = errors.New("teechan: insufficient channel balance")
+	ErrStaleState        = errors.New("teechan: persisted state is stale (version mismatch)")
+	ErrBadPayment        = errors.New("teechan: invalid payment message")
+	ErrOutOfOrder        = errors.New("teechan: payment sequence out of order")
+	ErrClosed            = errors.New("teechan: channel closed")
+)
+
+// state is the endpoint's channel view, sealed on persist.
+type state struct {
+	Name         string `json:"name"`
+	Peer         string `json:"peer"`
+	MyBalance    int64  `json:"myBalance"`
+	TheirBalance int64  `json:"theirBalance"`
+	NextSendSeq  uint64 `json:"nextSendSeq"`
+	NextRecvSeq  uint64 `json:"nextRecvSeq"`
+	Closed       bool   `json:"closed"`
+	Version      uint32 `json:"version"`
+}
+
+// Payment is the single channel message transferring funds.
+type Payment struct {
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Amount int64  `json:"amount"`
+	Seq    uint64 `json:"seq"`
+}
+
+// Endpoint is one side of a payment channel, living inside a migratable
+// enclave. It is safe for concurrent use.
+type Endpoint struct {
+	lib *core.Library
+
+	mu        sync.Mutex
+	st        state
+	counterID int
+}
+
+// stateAAD labels sealed channel state.
+var stateAAD = []byte("teechan-channel-state")
+
+// Open creates a channel endpoint funded with myDeposit on our side and
+// theirDeposit on the peer's side. It allocates the version counter.
+func Open(lib *core.Library, name, peer string, myDeposit, theirDeposit int64) (*Endpoint, error) {
+	if myDeposit < 0 || theirDeposit < 0 {
+		return nil, fmt.Errorf("%w: negative deposit", ErrBadPayment)
+	}
+	ctr, _, err := lib.CreateCounter()
+	if err != nil {
+		return nil, fmt.Errorf("allocate version counter: %w", err)
+	}
+	return &Endpoint{
+		lib: lib,
+		st: state{
+			Name:         name,
+			Peer:         peer,
+			MyBalance:    myDeposit,
+			TheirBalance: theirDeposit,
+		},
+		counterID: ctr,
+	}, nil
+}
+
+// Name returns the endpoint name.
+func (e *Endpoint) Name() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.st.Name
+}
+
+// Balances returns (mine, theirs).
+func (e *Endpoint) Balances() (int64, int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.st.MyBalance, e.st.TheirBalance
+}
+
+// Pay produces a payment message moving amount to the peer.
+func (e *Endpoint) Pay(amount int64) (*Payment, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.st.Closed {
+		return nil, ErrClosed
+	}
+	if amount <= 0 {
+		return nil, fmt.Errorf("%w: non-positive amount", ErrBadPayment)
+	}
+	if amount > e.st.MyBalance {
+		return nil, ErrInsufficientFunds
+	}
+	p := &Payment{From: e.st.Name, To: e.st.Peer, Amount: amount, Seq: e.st.NextSendSeq}
+	e.st.MyBalance -= amount
+	e.st.TheirBalance += amount
+	e.st.NextSendSeq++
+	return p, nil
+}
+
+// Receive applies an incoming payment from the peer.
+func (e *Endpoint) Receive(p *Payment) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.st.Closed {
+		return ErrClosed
+	}
+	if p == nil || p.From != e.st.Peer || p.To != e.st.Name || p.Amount <= 0 {
+		return ErrBadPayment
+	}
+	if p.Seq != e.st.NextRecvSeq {
+		return fmt.Errorf("%w: got %d want %d", ErrOutOfOrder, p.Seq, e.st.NextRecvSeq)
+	}
+	e.st.MyBalance += p.Amount
+	e.st.TheirBalance -= p.Amount
+	e.st.NextRecvSeq++
+	return nil
+}
+
+// Close finalizes the channel, returning the settlement balances.
+func (e *Endpoint) Close() (mine, theirs int64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.st.Closed {
+		return 0, 0, ErrClosed
+	}
+	e.st.Closed = true
+	return e.st.MyBalance, e.st.TheirBalance, nil
+}
+
+// Persist increments the version counter and seals the channel state
+// with the migratable sealing key, exactly the Teechan persistence
+// pattern the paper quotes. The returned blob goes to untrusted storage.
+func (e *Endpoint) Persist() ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, err := e.lib.IncrementCounter(e.counterID)
+	if err != nil {
+		return nil, fmt.Errorf("advance version counter: %w", err)
+	}
+	e.st.Version = v
+	raw, err := json.Marshal(&e.st)
+	if err != nil {
+		return nil, fmt.Errorf("encode channel state: %w", err)
+	}
+	blob, err := e.lib.SealMigratable(stateAAD, raw)
+	if err != nil {
+		return nil, fmt.Errorf("seal channel state: %w", err)
+	}
+	return blob, nil
+}
+
+// Restore reloads a persisted channel endpoint, accepting the blob only
+// if its version number matches the current effective counter value —
+// the roll-back/fork check that the migration framework keeps meaningful
+// across machines.
+func Restore(lib *core.Library, counterID int, blob []byte) (*Endpoint, error) {
+	raw, aad, err := lib.UnsealMigratable(blob)
+	if err != nil {
+		return nil, fmt.Errorf("unseal channel state: %w", err)
+	}
+	if string(aad) != string(stateAAD) {
+		return nil, ErrBadPayment
+	}
+	var st state
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, fmt.Errorf("decode channel state: %w", err)
+	}
+	current, err := lib.ReadCounter(counterID)
+	if err != nil {
+		return nil, fmt.Errorf("read version counter: %w", err)
+	}
+	if st.Version != current {
+		return nil, fmt.Errorf("%w: blob v=%d counter=%d", ErrStaleState, st.Version, current)
+	}
+	return &Endpoint{lib: lib, st: st, counterID: counterID}, nil
+}
+
+// CounterID exposes the endpoint's version counter handle (stored by the
+// application alongside the sealed blob).
+func (e *Endpoint) CounterID() int { return e.counterID }

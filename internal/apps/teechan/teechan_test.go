@@ -1,0 +1,256 @@
+package teechan
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+)
+
+type world struct {
+	dc       *cloud.DataCenter
+	machines []*cloud.Machine
+}
+
+func newWorld(t *testing.T, n int) *world {
+	t.Helper()
+	dc, err := cloud.NewDataCenter("dc", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &world{dc: dc}
+	for i := 0; i < n; i++ {
+		m, err := dc.AddMachine(string(rune('A' + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.machines = append(w.machines, m)
+	}
+	return w
+}
+
+func appImage(t *testing.T, name string) *sgx.Image {
+	t.Helper()
+	pub, _, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sgx.Image{Name: name, Version: 1, Code: []byte(name), SignerPublicKey: pub}
+}
+
+func launch(t *testing.T, m *cloud.Machine, name string) *cloud.App {
+	t.Helper()
+	app, err := m.LaunchApp(appImage(t, name), core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestChannelPayments(t *testing.T) {
+	w := newWorld(t, 1)
+	alice := launch(t, w.machines[0], "alice")
+	bob := launch(t, w.machines[0], "bob")
+
+	chA, err := Open(alice.Library, "alice", "bob", 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chB, err := Open(bob.Library, "bob", "alice", 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Alice pays Bob 30; Bob pays back 10.
+	p1, err := chA.Pay(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chB.Receive(p1); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := chB.Pay(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chA.Receive(p2); err != nil {
+		t.Fatal(err)
+	}
+	aMine, aTheirs := chA.Balances()
+	bMine, bTheirs := chB.Balances()
+	if aMine != 80 || aTheirs != 70 {
+		t.Fatalf("alice view: %d/%d", aMine, aTheirs)
+	}
+	if bMine != 70 || bTheirs != 80 {
+		t.Fatalf("bob view: %d/%d", bMine, bTheirs)
+	}
+	// Conservation of funds.
+	if aMine+aTheirs != 150 || bMine+bTheirs != 150 {
+		t.Fatal("funds not conserved")
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	w := newWorld(t, 1)
+	alice := launch(t, w.machines[0], "alice")
+	ch, err := Open(alice.Library, "alice", "bob", 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Pay(0); !errors.Is(err, ErrBadPayment) {
+		t.Fatalf("zero pay: %v", err)
+	}
+	if _, err := ch.Pay(11); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("overdraft: %v", err)
+	}
+	if err := ch.Receive(&Payment{From: "mallory", To: "alice", Amount: 5}); !errors.Is(err, ErrBadPayment) {
+		t.Fatalf("forged sender: %v", err)
+	}
+	if err := ch.Receive(&Payment{From: "bob", To: "alice", Amount: 5, Seq: 7}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("gap seq: %v", err)
+	}
+	if _, err := Open(alice.Library, "a", "b", -1, 0); !errors.Is(err, ErrBadPayment) {
+		t.Fatalf("negative deposit: %v", err)
+	}
+}
+
+func TestChannelReplayedPaymentRejected(t *testing.T) {
+	w := newWorld(t, 1)
+	alice := launch(t, w.machines[0], "alice")
+	bob := launch(t, w.machines[0], "bob")
+	chA, _ := Open(alice.Library, "alice", "bob", 100, 0)
+	chB, _ := Open(bob.Library, "bob", "alice", 0, 100)
+	p, _ := chA.Pay(10)
+	if err := chB.Receive(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := chB.Receive(p); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("replayed payment: %v", err)
+	}
+}
+
+func TestChannelPersistRestore(t *testing.T) {
+	w := newWorld(t, 1)
+	alice := launch(t, w.machines[0], "alice")
+	ch, _ := Open(alice.Library, "alice", "bob", 100, 50)
+	if _, err := ch.Pay(25); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ch.Persist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Restore(alice.Library, ch.CounterID(), blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine, theirs := back.Balances()
+	if mine != 75 || theirs != 75 {
+		t.Fatalf("restored balances: %d/%d", mine, theirs)
+	}
+}
+
+func TestChannelStaleBlobRejected(t *testing.T) {
+	w := newWorld(t, 1)
+	alice := launch(t, w.machines[0], "alice")
+	ch, _ := Open(alice.Library, "alice", "bob", 100, 0)
+	old, err := ch.Persist() // v=1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Pay(60); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := ch.Persist() // v=2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(alice.Library, ch.CounterID(), old); !errors.Is(err, ErrStaleState) {
+		t.Fatalf("stale blob accepted: %v", err)
+	}
+	if _, err := Restore(alice.Library, ch.CounterID(), fresh); err != nil {
+		t.Fatalf("fresh blob rejected: %v", err)
+	}
+}
+
+// TestChannelSurvivesMigration is the paper's headline scenario: a
+// Teechan endpoint migrates with its persistent state intact, and stale
+// pre-migration state remains unusable everywhere.
+func TestChannelSurvivesMigration(t *testing.T) {
+	w := newWorld(t, 2)
+	img := appImage(t, "teechan-node")
+	srcApp, err := w.machines[0].LaunchApp(img, core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Open(srcApp.Library, "alice", "bob", 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Pay(40); err != nil {
+		t.Fatal(err)
+	}
+	oldBlob, err := ch.Persist() // v=1, balance 60 — adversary snapshots this
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Pay(10); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ch.Persist() // v=2, balance 50
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Migrate the enclave.
+	if err := srcApp.Library.StartMigration(w.machines[1].MEAddress()); err != nil {
+		t.Fatal(err)
+	}
+	srcApp.Terminate()
+	dstApp, err := w.machines[1].LaunchApp(img, core.NewMemoryStorage(), core.InitMigrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Latest state restores on the destination.
+	restored, err := Restore(dstApp.Library, ch.CounterID(), blob)
+	if err != nil {
+		t.Fatalf("restore after migration: %v", err)
+	}
+	mine, _ := restored.Balances()
+	if mine != 50 {
+		t.Fatalf("balance after migration = %d", mine)
+	}
+	// The stale blob (higher balance!) is rejected — roll-back prevented.
+	if _, err := Restore(dstApp.Library, ch.CounterID(), oldBlob); !errors.Is(err, ErrStaleState) {
+		t.Fatalf("stale blob accepted after migration: %v", err)
+	}
+	// The channel keeps operating: payments and persists continue.
+	if _, err := restored.Pay(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Persist(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelClose(t *testing.T) {
+	w := newWorld(t, 1)
+	alice := launch(t, w.machines[0], "alice")
+	ch, _ := Open(alice.Library, "alice", "bob", 100, 50)
+	mine, theirs, err := ch.Close()
+	if err != nil || mine != 100 || theirs != 50 {
+		t.Fatalf("close: %d/%d %v", mine, theirs, err)
+	}
+	if _, err := ch.Pay(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("pay after close: %v", err)
+	}
+	if _, _, err := ch.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}

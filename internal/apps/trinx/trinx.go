@@ -1,0 +1,275 @@
+// Package trinx implements a TrInX-style trusted counter subsystem
+// (Behl et al., "Hybrids on Steroids: SGX-based high performance BFT" —
+// the paper's second motivating application, §III-B). TrInX provides
+// trusted counters that certify message ordering for a BFT protocol:
+// each certification binds a message to a strictly increasing counter
+// value under a MAC key held only inside the enclave, so a replica
+// cannot equivocate (assign the same counter value to two messages).
+//
+// The subsystem relies on the platform preventing "undetected replay
+// attacks where an adversary saves the (encrypted) state of a trusted
+// subsystem and starts a new instance using the exact same state".
+// That protection comes from sealing + hardware monotonic counters —
+// here the Migration Library's migratable versions, which keep the
+// guarantee intact across machine migration.
+package trinx
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/xcrypto"
+)
+
+// TrInX errors.
+var (
+	ErrBadCertificate = errors.New("trinx: certificate verification failed")
+	ErrUnknownCounter = errors.New("trinx: unknown trusted counter")
+	ErrStaleState     = errors.New("trinx: persisted state is stale (version mismatch)")
+	ErrEquivocation   = errors.New("trinx: counter value already certified (equivocation)")
+	ErrGap            = errors.New("trinx: certificate sequence has a gap")
+)
+
+// Certificate binds a message to a counter value under the service key.
+type Certificate struct {
+	Counter uint64 `json:"counter"`
+	Value   uint64 `json:"value"`
+	Digest  []byte `json:"digest"`
+	MAC     []byte `json:"mac"`
+}
+
+// serviceState is the persistent TrInX state: the MAC key and the next
+// value of every trusted counter, versioned by a migratable hardware
+// counter exactly as the paper prescribes.
+type serviceState struct {
+	Key      []byte            `json:"key"`
+	Counters map[uint64]uint64 `json:"counters"` // counter id -> next value
+	Next     uint64            `json:"next"`
+	Version  uint32            `json:"version"`
+}
+
+// Service is the in-enclave TrInX subsystem.
+type Service struct {
+	lib *core.Library
+
+	mu        sync.Mutex
+	st        serviceState
+	counterID int // the Migration Library version counter
+}
+
+var stateAAD = []byte("trinx-service-state")
+
+// New creates the subsystem inside a migratable enclave: it generates
+// the MAC key and allocates the hardware version counter.
+func New(lib *core.Library) (*Service, error) {
+	key, err := xcrypto.RandomBytes(32)
+	if err != nil {
+		return nil, fmt.Errorf("trinx key: %w", err)
+	}
+	ctr, _, err := lib.CreateCounter()
+	if err != nil {
+		return nil, fmt.Errorf("trinx version counter: %w", err)
+	}
+	return &Service{
+		lib:       lib,
+		st:        serviceState{Key: key, Counters: make(map[uint64]uint64)},
+		counterID: ctr,
+	}, nil
+}
+
+// CreateCounter allocates a trusted (logical) counter and returns its id.
+// TrInX counters are distinct from SGX hardware counters (§III-B): they
+// live in enclave memory and are protected by the versioned state.
+func (s *Service) CreateCounter() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.Next++
+	id := s.st.Next
+	s.st.Counters[id] = 1
+	return id
+}
+
+// certMAC computes the MAC over (counter, value, digest).
+func certMAC(key []byte, counter, value uint64, digest []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], counter)
+	binary.BigEndian.PutUint64(buf[8:], value)
+	mac.Write(buf[:])
+	mac.Write(digest)
+	return mac.Sum(nil)
+}
+
+// Certify assigns the next value of the trusted counter to the message
+// and returns the certificate. Values are never reused: assigning the
+// same value to two messages (equivocation) is impossible through this
+// interface, and the anti-rollback protection keeps it impossible across
+// crashes and migrations.
+func (s *Service) Certify(counter uint64, message []byte) (*Certificate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next, ok := s.st.Counters[counter]
+	if !ok {
+		return nil, ErrUnknownCounter
+	}
+	digest := sha256.Sum256(message)
+	cert := &Certificate{
+		Counter: counter,
+		Value:   next,
+		Digest:  digest[:],
+		MAC:     certMAC(s.st.Key, counter, next, digest[:]),
+	}
+	s.st.Counters[counter] = next + 1
+	return cert, nil
+}
+
+// Verify checks a certificate against a message. In Hybster, replicas
+// share the verification keys via attested channels; here the service
+// verifies its own certificates (sufficient for the single-subsystem
+// experiments; see package hybster-lite in the examples for the
+// replicated use).
+func (s *Service) Verify(cert *Certificate, message []byte) error {
+	s.mu.Lock()
+	key := append([]byte(nil), s.st.Key...)
+	s.mu.Unlock()
+	return VerifyWithKey(key, cert, message)
+}
+
+// VerifyWithKey checks a certificate with an explicitly shared key (how
+// peer replicas verify after exchanging keys over attested channels).
+func VerifyWithKey(key []byte, cert *Certificate, message []byte) error {
+	if cert == nil {
+		return ErrBadCertificate
+	}
+	digest := sha256.Sum256(message)
+	if !bytes.Equal(digest[:], cert.Digest) {
+		return ErrBadCertificate
+	}
+	want := certMAC(key, cert.Counter, cert.Value, cert.Digest)
+	if !hmac.Equal(want, cert.MAC) {
+		return ErrBadCertificate
+	}
+	return nil
+}
+
+// ExportKey hands out the MAC key for replica-to-replica verification
+// (over an attested channel in the real system).
+func (s *Service) ExportKey() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.st.Key...)
+}
+
+// Persist seals the TrInX state with a fresh version number. Must be
+// called before the enclave terminates (and is called by the replication
+// layer after batches of certifications).
+func (s *Service) Persist() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, err := s.lib.IncrementCounter(s.counterID)
+	if err != nil {
+		return nil, fmt.Errorf("advance version counter: %w", err)
+	}
+	s.st.Version = v
+	raw, err := json.Marshal(&s.st)
+	if err != nil {
+		return nil, fmt.Errorf("encode trinx state: %w", err)
+	}
+	blob, err := s.lib.SealMigratable(stateAAD, raw)
+	if err != nil {
+		return nil, fmt.Errorf("seal trinx state: %w", err)
+	}
+	return blob, nil
+}
+
+// Restore reloads persisted TrInX state, enforcing the version check that
+// blocks the replay attack quoted in the package comment.
+func Restore(lib *core.Library, counterID int, blob []byte) (*Service, error) {
+	raw, aad, err := lib.UnsealMigratable(blob)
+	if err != nil {
+		return nil, fmt.Errorf("unseal trinx state: %w", err)
+	}
+	if string(aad) != string(stateAAD) {
+		return nil, ErrBadCertificate
+	}
+	var st serviceState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, fmt.Errorf("decode trinx state: %w", err)
+	}
+	current, err := lib.ReadCounter(counterID)
+	if err != nil {
+		return nil, fmt.Errorf("read version counter: %w", err)
+	}
+	if st.Version != current {
+		return nil, fmt.Errorf("%w: blob v=%d counter=%d", ErrStaleState, st.Version, current)
+	}
+	if st.Counters == nil {
+		st.Counters = make(map[uint64]uint64)
+	}
+	return &Service{lib: lib, st: st, counterID: counterID}, nil
+}
+
+// CounterID returns the version-counter handle for persistence.
+func (s *Service) CounterID() int { return s.counterID }
+
+// Log is a minimal Hybster-style ordered log: entries are appended only
+// with gapless, verified certificates from a given replica key, which is
+// what makes equivocation and replay detectable by correct replicas.
+type Log struct {
+	key     []byte
+	counter uint64
+
+	mu      sync.Mutex
+	entries [][]byte
+	next    uint64
+}
+
+// NewLog creates a verifier-side log for one (replica key, counter).
+func NewLog(key []byte, counter uint64) *Log {
+	return &Log{key: key, counter: counter, next: 1}
+}
+
+// Append verifies the certificate and enforces gapless ordering.
+func (l *Log) Append(cert *Certificate, message []byte) error {
+	if err := VerifyWithKey(l.key, cert, message); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cert.Counter != l.counter {
+		return ErrBadCertificate
+	}
+	switch {
+	case cert.Value < l.next:
+		return fmt.Errorf("%w: value %d reused", ErrEquivocation, cert.Value)
+	case cert.Value > l.next:
+		return fmt.Errorf("%w: expected %d got %d", ErrGap, l.next, cert.Value)
+	}
+	l.entries = append(l.entries, append([]byte(nil), message...))
+	l.next++
+	return nil
+}
+
+// Len returns the number of committed entries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Entry returns committed entry i.
+func (l *Log) Entry(i int) ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i < 0 || i >= len(l.entries) {
+		return nil, false
+	}
+	return append([]byte(nil), l.entries[i]...), true
+}

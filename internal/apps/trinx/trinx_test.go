@@ -1,0 +1,242 @@
+package trinx
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+)
+
+func newCloud(t *testing.T, machines int) (*cloud.DataCenter, []*cloud.Machine) {
+	t.Helper()
+	dc, err := cloud.NewDataCenter("dc", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []*cloud.Machine
+	for i := 0; i < machines; i++ {
+		m, err := dc.AddMachine(fmt.Sprintf("m%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	return dc, ms
+}
+
+func appImage(t *testing.T, name string) *sgx.Image {
+	t.Helper()
+	pub, _, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sgx.Image{Name: name, Version: 1, Code: []byte(name), SignerPublicKey: pub}
+}
+
+func newService(t *testing.T, m *cloud.Machine) (*Service, *cloud.App) {
+	t.Helper()
+	app, err := m.LaunchApp(appImage(t, "trinx-replica"), core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(app.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, app
+}
+
+func TestCertifyAndVerify(t *testing.T) {
+	_, ms := newCloud(t, 1)
+	svc, _ := newService(t, ms[0])
+	ctr := svc.CreateCounter()
+
+	msg := []byte("ORDER request #1")
+	cert, err := svc.Certify(ctr, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Value != 1 {
+		t.Fatalf("first value = %d", cert.Value)
+	}
+	if err := svc.Verify(cert, msg); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := svc.Verify(cert, []byte("different message")); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("wrong message verified: %v", err)
+	}
+	bad := *cert
+	bad.Value = 2
+	if err := svc.Verify(&bad, msg); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("altered value verified: %v", err)
+	}
+	if err := svc.Verify(nil, msg); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("nil cert: %v", err)
+	}
+}
+
+func TestCounterValuesNeverReused(t *testing.T) {
+	_, ms := newCloud(t, 1)
+	svc, _ := newService(t, ms[0])
+	ctr := svc.CreateCounter()
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		cert, err := svc.Certify(ctr, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[cert.Value] {
+			t.Fatalf("value %d reused", cert.Value)
+		}
+		seen[cert.Value] = true
+	}
+	if _, err := svc.Certify(999, nil); !errors.Is(err, ErrUnknownCounter) {
+		t.Fatalf("unknown counter: %v", err)
+	}
+}
+
+func TestLogDetectsEquivocationAndGaps(t *testing.T) {
+	_, ms := newCloud(t, 1)
+	svc, _ := newService(t, ms[0])
+	ctr := svc.CreateCounter()
+	log := NewLog(svc.ExportKey(), ctr)
+
+	c1, _ := svc.Certify(ctr, []byte("op1"))
+	c2, _ := svc.Certify(ctr, []byte("op2"))
+	c3, _ := svc.Certify(ctr, []byte("op3"))
+
+	if err := log.Append(c1, []byte("op1")); err != nil {
+		t.Fatal(err)
+	}
+	// Gap: skipping c2.
+	if err := log.Append(c3, []byte("op3")); !errors.Is(err, ErrGap) {
+		t.Fatalf("gap accepted: %v", err)
+	}
+	if err := log.Append(c2, []byte("op2")); err != nil {
+		t.Fatal(err)
+	}
+	// Replay/equivocation: an old value again.
+	if err := log.Append(c1, []byte("op1")); !errors.Is(err, ErrEquivocation) {
+		t.Fatalf("equivocation accepted: %v", err)
+	}
+	if err := log.Append(c3, []byte("op3")); err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != 3 {
+		t.Fatalf("log len = %d", log.Len())
+	}
+	if e, ok := log.Entry(1); !ok || string(e) != "op2" {
+		t.Fatalf("entry 1 = %q %v", e, ok)
+	}
+	if _, ok := log.Entry(99); ok {
+		t.Fatal("oob entry")
+	}
+}
+
+func TestPersistRestoreRejectsStaleState(t *testing.T) {
+	_, ms := newCloud(t, 1)
+	svc, app := newService(t, ms[0])
+	ctr := svc.CreateCounter()
+	if _, err := svc.Certify(ctr, []byte("op1")); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := svc.Persist() // v=1, counter next=2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Certify(ctr, []byte("op2")); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := svc.Persist() // v=2, counter next=3
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stale state would let the replica re-issue value 2 — the exact
+	// replay the TrInX platform assumption forbids. It must be rejected.
+	if _, err := Restore(app.Library, svc.CounterID(), stale); !errors.Is(err, ErrStaleState) {
+		t.Fatalf("stale restore: %v", err)
+	}
+	back, err := Restore(app.Library, svc.CounterID(), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := back.Certify(ctr, []byte("op3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Value != 3 {
+		t.Fatalf("restored next value = %d, want 3", cert.Value)
+	}
+}
+
+// TestReplicaMigrationPreservesNoEquivocation is the Hybster scenario:
+// a replica's TrInX subsystem migrates between machines, and across the
+// whole history no counter value is ever issued twice — a correct
+// verifier log accepts the full sequence with no equivocation or gap.
+func TestReplicaMigrationPreservesNoEquivocation(t *testing.T) {
+	_, ms := newCloud(t, 2)
+	img := appImage(t, "trinx-replica")
+	storage := core.NewMemoryStorage()
+	app, err := ms[0].LaunchApp(img, storage, core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(app.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := svc.CreateCounter()
+	log := NewLog(svc.ExportKey(), ctr)
+
+	// Certify a few operations on the source.
+	for i := 0; i < 3; i++ {
+		msg := []byte(fmt.Sprintf("pre-migration op %d", i))
+		cert, err := svc.Certify(ctr, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(cert, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := svc.Persist()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Migrate the replica enclave.
+	if err := app.Library.StartMigration(ms[1].MEAddress()); err != nil {
+		t.Fatal(err)
+	}
+	app.Terminate()
+	dstApp, err := ms[1].LaunchApp(img, core.NewMemoryStorage(), core.InitMigrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(dstApp.Library, svc.CounterID(), blob)
+	if err != nil {
+		t.Fatalf("restore on destination: %v", err)
+	}
+
+	// Continue certifying on the destination: the verifier log accepts
+	// the continuation seamlessly — values 4, 5, 6 with no reuse.
+	for i := 3; i < 6; i++ {
+		msg := []byte(fmt.Sprintf("post-migration op %d", i))
+		cert, err := restored.Certify(ctr, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(cert, msg); err != nil {
+			t.Fatalf("post-migration append %d: %v", i, err)
+		}
+	}
+	if log.Len() != 6 {
+		t.Fatalf("log len = %d", log.Len())
+	}
+}

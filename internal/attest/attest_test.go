@@ -1,0 +1,243 @@
+package attest
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"repro/internal/sgx"
+	"repro/internal/sim"
+	"repro/internal/xcrypto"
+)
+
+func newMachine(t *testing.T, id sgx.MachineID) *sgx.Machine {
+	t.Helper()
+	m, err := sgx.NewMachine(id, sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func loadEnclave(t *testing.T, m *sgx.Machine, name string) *sgx.Enclave {
+	t.Helper()
+	pub, _, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := m.Load(&sgx.Image{Name: name, Code: []byte(name), SignerPublicKey: pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestLocalAttestEstablishesChannel(t *testing.T) {
+	m := newMachine(t, "A")
+	app := loadEnclave(t, m, "app")
+	me := loadEnclave(t, m, "migration-enclave")
+
+	sessApp, sessME, err := LocalAttest(app, me)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sessApp.PeerMREnclave != me.MREnclave() {
+		t.Fatal("initiator learned wrong peer identity")
+	}
+	if sessME.PeerMREnclave != app.MREnclave() {
+		t.Fatal("responder learned wrong peer identity")
+	}
+	wire, err := sessApp.Channel.Seal([]byte("migration data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sessME.Channel.Open(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "migration data" {
+		t.Fatal("channel payload mismatch")
+	}
+	// And the reverse direction.
+	back, err := sessME.Channel.Seal([]byte("ack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := sessApp.Channel.Open(back); err != nil || string(msg) != "ack" {
+		t.Fatalf("reverse direction: %v %q", err, msg)
+	}
+}
+
+func TestLocalAttestFailsAcrossMachines(t *testing.T) {
+	mA := newMachine(t, "A")
+	mB := newMachine(t, "B")
+	app := loadEnclave(t, mA, "app")
+	me := loadEnclave(t, mB, "me")
+	if _, _, err := LocalAttest(app, me); !errors.Is(err, ErrLocalAttest) {
+		t.Fatalf("cross-machine local attest: got %v", err)
+	}
+}
+
+func TestLocalAttestFailsForDestroyedEnclave(t *testing.T) {
+	m := newMachine(t, "A")
+	app := loadEnclave(t, m, "app")
+	me := loadEnclave(t, m, "me")
+	m.Destroy(app)
+	if _, _, err := LocalAttest(app, me); err == nil {
+		t.Fatal("dead initiator attested")
+	}
+	app2 := loadEnclave(t, m, "app2")
+	m.Destroy(me)
+	if _, _, err := LocalAttest(app2, me); err == nil {
+		t.Fatal("dead responder attested")
+	}
+}
+
+func TestQuoteVerifiesThroughIAS(t *testing.T) {
+	issuer, err := xcrypto.NewAuthority("intel-epid-group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMachine(t, "A")
+	qe, err := NewQuotingEnclave(m, issuer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias := NewIAS(issuer, m.Latency())
+	prover := loadEnclave(t, m, "app")
+
+	data := sgx.MakeReportData([]byte("dh-key"))
+	q, err := qe.Quote(prover, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ias.Verify(q); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if q.MREnclave != prover.MREnclave() || q.Data != data {
+		t.Fatal("quote carries wrong identity or data")
+	}
+}
+
+func TestQuoteRejectedForCrossMachineProver(t *testing.T) {
+	issuer, _ := xcrypto.NewAuthority("grp")
+	mA := newMachine(t, "A")
+	mB := newMachine(t, "B")
+	qe, err := NewQuotingEnclave(mA, issuer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover := loadEnclave(t, mB, "app")
+	if _, err := qe.Quote(prover, sgx.ReportData{}); err == nil {
+		t.Fatal("QE quoted an enclave on another machine")
+	}
+}
+
+func TestIASRejectsTamperedQuote(t *testing.T) {
+	issuer, _ := xcrypto.NewAuthority("grp")
+	m := newMachine(t, "A")
+	qe, _ := NewQuotingEnclave(m, issuer)
+	ias := NewIAS(issuer, m.Latency())
+	prover := loadEnclave(t, m, "app")
+	q, _ := qe.Quote(prover, sgx.ReportData{})
+
+	t.Run("identity swap", func(t *testing.T) {
+		bad := *q
+		bad.MREnclave[0] ^= 1
+		if err := ias.Verify(&bad); !errors.Is(err, ErrQuoteSignature) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("data swap", func(t *testing.T) {
+		bad := *q
+		bad.Data[0] ^= 1
+		if err := ias.Verify(&bad); !errors.Is(err, ErrQuoteSignature) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("nil quote", func(t *testing.T) {
+		if err := ias.Verify(nil); !errors.Is(err, ErrQuoteFormat) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("foreign group", func(t *testing.T) {
+		other, _ := xcrypto.NewAuthority("other-grp")
+		otherIAS := NewIAS(other, m.Latency())
+		if err := otherIAS.Verify(q); !errors.Is(err, ErrQuotePlatform) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+func TestIASRevokedPlatform(t *testing.T) {
+	issuer, _ := xcrypto.NewAuthority("grp")
+	m := newMachine(t, "A")
+	qe, _ := NewQuotingEnclave(m, issuer)
+	ias := NewIAS(issuer, m.Latency())
+	prover := loadEnclave(t, m, "app")
+	q, _ := qe.Quote(prover, sgx.ReportData{})
+	issuer.Revoke("A/qe")
+	if err := ias.Verify(q); !errors.Is(err, ErrQuotePlatform) {
+		t.Fatalf("revoked platform quote accepted: %v", err)
+	}
+}
+
+func TestProviderMutualAuthentication(t *testing.T) {
+	provider, err := NewProvider("dc-hel-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	credA, err := provider.ProvisionME("machine-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	credB, err := provider.ProvisionME("machine-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	transcript := []byte("attestation transcript hash")
+	sigB := credB.Sign(transcript)
+	if err := credA.VerifyPeer(credB.Certificate(), transcript, sigB); err != nil {
+		t.Fatalf("same-provider peer rejected: %v", err)
+	}
+}
+
+func TestProviderRejectsForeignME(t *testing.T) {
+	ours, _ := NewProvider("dc-ours")
+	theirs, _ := NewProvider("dc-theirs")
+	credOurs, _ := ours.ProvisionME("machine-A")
+	credTheirs, _ := theirs.ProvisionME("machine-X")
+
+	transcript := []byte("t")
+	sig := credTheirs.Sign(transcript)
+	if err := credOurs.VerifyPeer(credTheirs.Certificate(), transcript, sig); !errors.Is(err, ErrProviderAuth) {
+		t.Fatalf("foreign provider accepted: %v", err)
+	}
+}
+
+func TestProviderRejectsRevokedAndForgedSignatures(t *testing.T) {
+	provider, _ := NewProvider("dc")
+	credA, _ := provider.ProvisionME("machine-A")
+	credB, _ := provider.ProvisionME("machine-B")
+
+	t.Run("revoked peer", func(t *testing.T) {
+		provider.Revoke("machine-B")
+		sig := credB.Sign([]byte("t"))
+		if err := credA.VerifyPeer(credB.Certificate(), []byte("t"), sig); !errors.Is(err, ErrProviderAuth) {
+			t.Fatalf("revoked ME accepted: %v", err)
+		}
+	})
+	t.Run("wrong transcript", func(t *testing.T) {
+		credC, _ := provider.ProvisionME("machine-C")
+		sig := credC.Sign([]byte("transcript-1"))
+		if err := credA.VerifyPeer(credC.Certificate(), []byte("transcript-2"), sig); !errors.Is(err, ErrProviderAuth) {
+			t.Fatalf("signature over wrong transcript accepted: %v", err)
+		}
+	})
+	t.Run("nil cert", func(t *testing.T) {
+		if err := credA.VerifyPeer(nil, []byte("t"), nil); !errors.Is(err, ErrProviderAuth) {
+			t.Fatalf("nil cert accepted: %v", err)
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package attest
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/xcrypto"
+)
+
+// Provider authentication errors.
+var (
+	ErrProviderAuth = errors.New("attest: provider authentication failed")
+)
+
+// providerRole is the certificate role for Migration Enclave credentials
+// provisioned during the secure setup phase (paper §V-B).
+const providerRole = "migration-enclave"
+
+// Provider is the cloud/data-center operator that provisions Migration
+// Enclaves with credentials, limiting migration to authorized machines
+// within the same provider (requirement R2).
+type Provider struct {
+	authority *xcrypto.Authority
+}
+
+// NewProvider creates a cloud provider identity.
+func NewProvider(name string) (*Provider, error) {
+	a, err := xcrypto.NewAuthority(name)
+	if err != nil {
+		return nil, fmt.Errorf("provider authority: %w", err)
+	}
+	return &Provider{authority: a}, nil
+}
+
+// Name returns the provider's name.
+func (p *Provider) Name() string { return p.authority.Name() }
+
+// Authority exposes the underlying certificate authority (for tests that
+// build custom trust topologies).
+func (p *Provider) Authority() *xcrypto.Authority { return p.authority }
+
+// ProvisionME runs the setup-phase step for one machine: it issues a
+// certified signing credential to that machine's Migration Enclave.
+func (p *Provider) ProvisionME(machineName string) (*Credential, error) {
+	signer, err := xcrypto.NewCertifiedSigner(
+		p.authority, machineName+"/migration-enclave", providerRole, 365*24*time.Hour)
+	if err != nil {
+		return nil, fmt.Errorf("provision ME: %w", err)
+	}
+	return &Credential{signer: signer, verifier: xcrypto.NewVerifier(p.authority)}, nil
+}
+
+// Revoke removes a machine's Migration Enclave from the provider's trust.
+func (p *Provider) Revoke(machineName string) {
+	p.authority.Revoke(machineName + "/migration-enclave")
+}
+
+// Credential is a Migration Enclave's provider-issued identity: a signing
+// key plus the trust anchor for verifying peer credentials.
+type Credential struct {
+	signer   *xcrypto.Signer
+	verifier *xcrypto.Verifier
+}
+
+// Certificate returns the credential's certificate for transmission.
+func (c *Credential) Certificate() *xcrypto.Certificate { return c.signer.Cert }
+
+// Sign signs an attestation transcript with the provider-issued key.
+func (c *Credential) Sign(transcript []byte) []byte { return c.signer.Sign(transcript) }
+
+// VerifyPeer checks that a peer's certificate chains to the same provider
+// with the Migration Enclave role, and that sig is the peer's signature
+// over transcript. This is the "exchange signatures on the transcript of
+// the attestation protocol" step of §V-B.
+func (c *Credential) VerifyPeer(cert *xcrypto.Certificate, transcript, sig []byte) error {
+	if cert == nil {
+		return fmt.Errorf("%w: missing certificate", ErrProviderAuth)
+	}
+	if err := c.verifier.Verify(cert); err != nil {
+		return fmt.Errorf("%w: %v", ErrProviderAuth, err)
+	}
+	if cert.Role != providerRole {
+		return fmt.Errorf("%w: unexpected role %q", ErrProviderAuth, cert.Role)
+	}
+	if err := xcrypto.VerifyWithCert(cert, transcript, sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrProviderAuth, err)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package attest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sgx"
+	"repro/internal/sim"
+	"repro/internal/xcrypto"
+)
+
+// Quote and IAS errors.
+var (
+	ErrQuoteSignature = errors.New("attest: quote signature invalid")
+	ErrQuotePlatform  = errors.New("attest: quote platform credential invalid")
+	ErrQuoteFormat    = errors.New("attest: malformed quote")
+)
+
+// epidGroupRole is the certificate role for simulated EPID member keys.
+const epidGroupRole = "epid-member"
+
+// Quote is the Quoting Enclave's output: the prover's identities and
+// report data, signed by the platform's EPID-sim member key, verifiable
+// via the group issuer's public key held by the IAS.
+type Quote struct {
+	MREnclave    sgx.Measurement
+	MRSigner     sgx.Measurement
+	Data         sgx.ReportData
+	PlatformCert *xcrypto.Certificate
+	Signature    []byte
+}
+
+// signedBytes is the canonical byte string covered by the quote signature.
+func (q *Quote) signedBytes() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("SGX-QUOTE")
+	buf.Write(q.MREnclave[:])
+	buf.Write(q.MRSigner[:])
+	buf.Write(q.Data[:])
+	return buf.Bytes()
+}
+
+// QuotingEnclave is the per-machine architectural enclave that converts
+// local reports into remotely verifiable quotes. Its member key is
+// certified by the EPID group issuer during platform provisioning.
+type QuotingEnclave struct {
+	enclave *sgx.Enclave
+	member  *xcrypto.Signer
+}
+
+// QuotingEnclaveImage returns the architectural enclave image for the QE.
+// All QEs share this image, so they measure identically everywhere.
+func QuotingEnclaveImage() *sgx.Image {
+	return &sgx.Image{
+		Name:            "intel-quoting-enclave",
+		Version:         1,
+		Code:            []byte("architectural: quoting enclave"),
+		SignerPublicKey: architecturalSignerKey(),
+	}
+}
+
+// ArchitecturalSignerKey is the fixed "Intel" signing key used by
+// architectural enclave images in the simulation (Quoting Enclave,
+// Platform Services Enclave, Migration Enclave base image).
+func ArchitecturalSignerKey() []byte {
+	key := xcrypto.DeriveKey([]byte("intel-architectural-signer"), "ed25519-pub")
+	return key[:]
+}
+
+func architecturalSignerKey() []byte { return ArchitecturalSignerKey() }
+
+// NewQuotingEnclave loads a QE on the machine and provisions its EPID-sim
+// membership from the group issuer.
+func NewQuotingEnclave(m *sgx.Machine, groupIssuer *xcrypto.Authority) (*QuotingEnclave, error) {
+	e, err := m.Load(QuotingEnclaveImage())
+	if err != nil {
+		return nil, fmt.Errorf("load QE: %w", err)
+	}
+	member, err := xcrypto.NewCertifiedSigner(
+		groupIssuer, string(m.ID())+"/qe", epidGroupRole, 365*24*time.Hour)
+	if err != nil {
+		return nil, fmt.Errorf("provision QE: %w", err)
+	}
+	return &QuotingEnclave{enclave: e, member: member}, nil
+}
+
+// Quote locally attests the prover and signs a quote over its identity
+// and report data. The prover must be on the same machine as the QE;
+// cross-machine requests fail, exactly as on real hardware.
+func (qe *QuotingEnclave) Quote(prover *sgx.Enclave, data sgx.ReportData) (*Quote, error) {
+	report, err := prover.CreateReport(sgx.TargetFor(qe.enclave), data)
+	if err != nil {
+		return nil, fmt.Errorf("prover report: %w", err)
+	}
+	if err := qe.enclave.VerifyReport(report); err != nil {
+		return nil, fmt.Errorf("QE verify report: %w", err)
+	}
+	qe.enclave.Machine().Latency().Charge(sim.OpQuote)
+	q := &Quote{
+		MREnclave:    report.MREnclave,
+		MRSigner:     report.MRSigner,
+		Data:         report.Data,
+		PlatformCert: qe.member.Cert,
+	}
+	q.Signature = qe.member.Sign(q.signedBytes())
+	return q, nil
+}
+
+// IAS models the Intel Attestation Service: it holds the EPID group
+// issuer's public key and verifies quote signatures and platform
+// membership, including revocation of compromised platforms.
+type IAS struct {
+	verifier *xcrypto.Verifier
+	lat      *sim.Latency
+}
+
+// NewIAS builds the verification service for a group issuer.
+func NewIAS(groupIssuer *xcrypto.Authority, lat *sim.Latency) *IAS {
+	return &IAS{verifier: xcrypto.NewVerifier(groupIssuer), lat: lat}
+}
+
+// Verify checks a quote end to end: platform credential chain, role, and
+// quote signature. A nil or malformed quote is rejected.
+func (ias *IAS) Verify(q *Quote) error {
+	ias.lat.Charge(sim.OpIASVerify)
+	if q == nil || q.PlatformCert == nil {
+		return ErrQuoteFormat
+	}
+	if err := ias.verifier.Verify(q.PlatformCert); err != nil {
+		return fmt.Errorf("%w: %v", ErrQuotePlatform, err)
+	}
+	if q.PlatformCert.Role != epidGroupRole {
+		return fmt.Errorf("%w: role %q", ErrQuotePlatform, q.PlatformCert.Role)
+	}
+	if err := xcrypto.VerifyWithCert(q.PlatformCert, q.signedBytes(), q.Signature); err != nil {
+		return fmt.Errorf("%w: %v", ErrQuoteSignature, err)
+	}
+	return nil
+}

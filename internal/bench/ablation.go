@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pse"
+)
+
+// AblationResult compares the paper's two candidate designs for
+// restoring a monotonic counter on the destination machine (§VI-B):
+//
+//   - Offset: create one fresh hardware counter and install the migrated
+//     effective value as an offset — constant cost per counter.
+//   - Replay: create a fresh hardware counter and increment it until it
+//     reaches the migrated value — cost linear in the counter value,
+//     each increment a rate-limited ME transaction. The paper rejects
+//     this design for exactly that reason.
+//
+// Costs are reported in VIRTUAL time (the latency model's unscaled
+// accounting), so the comparison is deterministic and independent of
+// the -scale setting.
+type AblationResult struct {
+	CounterValue  uint32
+	OffsetVirtual time.Duration
+	ReplayVirtual time.Duration
+}
+
+// RestoreAblation measures both restore strategies for a counter whose
+// migrated effective value is counterValue.
+func RestoreAblation(counterValue uint32) (*AblationResult, error) {
+	w, err := newWorld(0)
+	if err != nil {
+		return nil, err
+	}
+	lat := w.src.HW.Latency()
+	enclave, err := w.src.HW.Load(appImage("ablation"))
+	if err != nil {
+		return nil, err
+	}
+
+	// Offset design: one hardware create; the offset installation is a
+	// pure in-enclave assignment.
+	lat.Reset()
+	if _, _, err := w.src.Counters.Create(enclave); err != nil {
+		return nil, fmt.Errorf("offset create: %w", err)
+	}
+	offset := lat.VirtualTotal()
+
+	// Replay design: create, then counterValue rate-limited increments.
+	lat.Reset()
+	uuid, _, err := w.src.Counters.Create(enclave)
+	if err != nil {
+		return nil, fmt.Errorf("replay create: %w", err)
+	}
+	for v := uint32(0); v < counterValue; v++ {
+		if _, err := w.src.Counters.Increment(enclave, uuid); err != nil {
+			return nil, fmt.Errorf("replay increment %d: %w", v, err)
+		}
+	}
+	replay := lat.VirtualTotal()
+
+	return &AblationResult{
+		CounterValue:  counterValue,
+		OffsetVirtual: offset,
+		ReplayVirtual: replay,
+	}, nil
+}
+
+// MigrationRestoreVirtual measures the virtual hardware cost of a full
+// migration restore with n active counters under the offset design, as
+// deployed in the Migration Library (each counter: one create on the
+// destination, one destroy on the source).
+func MigrationRestoreVirtual(n int) (time.Duration, error) {
+	w, err := newWorld(0)
+	if err != nil {
+		return 0, err
+	}
+	img := appImage("ablation-full")
+	app, err := w.src.LaunchApp(img, core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		return 0, err
+	}
+	if n < 1 || n > pse.MaxCounters {
+		return 0, fmt.Errorf("n out of range: %d", n)
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := app.Library.CreateCounter(); err != nil {
+			return 0, err
+		}
+	}
+	lat := w.src.HW.Latency()
+	lat.Reset()
+	if err := app.Library.StartMigration(w.dst.MEAddress()); err != nil {
+		return 0, err
+	}
+	if _, err := w.dst.LaunchApp(img, core.NewMemoryStorage(), core.InitMigrated); err != nil {
+		return 0, err
+	}
+	return lat.VirtualTotal(), nil
+}

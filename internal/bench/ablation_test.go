@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestRestoreAblationConstantVsLinear(t *testing.T) {
+	small, err := RestoreAblation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RestoreAblation(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The offset design is constant regardless of the counter value.
+	if small.OffsetVirtual != large.OffsetVirtual {
+		t.Fatalf("offset cost varies with value: %v vs %v", small.OffsetVirtual, large.OffsetVirtual)
+	}
+	// The replay design is linear in the counter value.
+	if large.ReplayVirtual <= small.ReplayVirtual {
+		t.Fatal("replay cost not increasing with counter value")
+	}
+	// Expected cost: one create plus 500 increments (each increment also
+	// pays an ECALL boundary crossing, so allow a small tolerance).
+	wantLarge := small.OffsetVirtual + 500*sim.PaperCosts()[sim.OpCounterIncrement]
+	if diff := large.ReplayVirtual - wantLarge; diff < 0 || diff > 10*time.Millisecond {
+		t.Fatalf("replay(500) = %v, want ~%v", large.ReplayVirtual, wantLarge)
+	}
+	// The paper's point: for any realistic counter value the offset
+	// design wins by orders of magnitude.
+	if large.ReplayVirtual < 100*large.OffsetVirtual {
+		t.Fatalf("offset advantage too small: %v vs %v", large.OffsetVirtual, large.ReplayVirtual)
+	}
+}
+
+func TestMigrationRestoreVirtualScalesWithCounters(t *testing.T) {
+	one, err := MigrationRestoreVirtual(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := MigrationRestoreVirtual(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight <= one {
+		t.Fatalf("8-counter migration (%v) not costlier than 1-counter (%v)", eight, one)
+	}
+	// Cost is linear in the number of counters, never in their values:
+	// per counter one read+destroy on the source and one create on the
+	// destination.
+	perCounter := sim.PaperCosts()[sim.OpCounterRead] +
+		sim.PaperCosts()[sim.OpCounterDestroy] + sim.PaperCosts()[sim.OpCounterCreate]
+	want := 7 * perCounter
+	if diff := eight - one - want; diff < 0 || diff > 10*time.Millisecond {
+		t.Fatalf("marginal counter cost = %v, want ~%v", eight-one, want)
+	}
+	if _, err := MigrationRestoreVirtual(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

@@ -1,0 +1,165 @@
+// Package cloud assembles the full simulated environment of the paper's
+// deployment: a data-center operator (cloud provider) running multiple
+// SGX machines, each with Platform Services counters, a Quoting Enclave,
+// and a provisioned Migration Enclave, all connected by an untrusted
+// network. It is the top-level convenience API that examples, benchmarks,
+// and integration tests build on.
+package cloud
+
+import (
+	"fmt"
+
+	"repro/internal/attest"
+	"repro/internal/core"
+	"repro/internal/pse"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/xcrypto"
+)
+
+// DataCenter is one cloud provider's fleet: a certificate authority for
+// Migration Enclave credentials, an EPID group issuer + IAS for remote
+// attestation, a shared latency model, and the untrusted network.
+type DataCenter struct {
+	Provider *attest.Provider
+	Issuer   *xcrypto.Authority
+	IAS      *attest.IAS
+	// Network is the in-memory network (nil when a custom Messenger such
+	// as TCP is used); adversary middleware attaches here.
+	Network *transport.Network
+	// Messenger is the transport Migration Enclaves communicate over.
+	Messenger transport.Messenger
+	Latency   *sim.Latency
+
+	machines map[string]*Machine
+}
+
+// Machine is one physical SGX machine inside a data center, fully
+// provisioned: hardware, counter service, QE, and Migration Enclave.
+type Machine struct {
+	HW       *sgx.Machine
+	Counters *pse.Service
+	QE       *attest.QuotingEnclave
+	ME       *core.MigrationEnclave
+}
+
+// MEAddress returns the machine's Migration Enclave network address.
+func (m *Machine) MEAddress() transport.Address { return m.ME.Address() }
+
+// NewDataCenter creates a data center with its own provider identity,
+// EPID group, IAS, and network, using the given latency scale.
+func NewDataCenter(name string, lat *sim.Latency) (*DataCenter, error) {
+	net := transport.NewNetwork(lat)
+	dc, err := NewDataCenterWithNetwork(name, lat, net)
+	if err != nil {
+		return nil, err
+	}
+	dc.Network = net
+	return dc, nil
+}
+
+// NewDataCenterWithNetwork creates a data center whose Migration Enclaves
+// communicate over a caller-supplied transport (e.g. TCP).
+func NewDataCenterWithNetwork(name string, lat *sim.Latency, m transport.Messenger) (*DataCenter, error) {
+	provider, err := attest.NewProvider(name)
+	if err != nil {
+		return nil, fmt.Errorf("provider: %w", err)
+	}
+	issuer, err := xcrypto.NewAuthority(name + "/epid-group")
+	if err != nil {
+		return nil, fmt.Errorf("group issuer: %w", err)
+	}
+	return &DataCenter{
+		Provider:  provider,
+		Issuer:    issuer,
+		IAS:       attest.NewIAS(issuer, lat),
+		Messenger: m,
+		Latency:   lat,
+		machines:  make(map[string]*Machine),
+	}, nil
+}
+
+// AddMachine provisions one SGX machine: fresh CPU secret, counter
+// service, QE membership in the data center's EPID group, and a Migration
+// Enclave with a provider credential, registered on the network under the
+// machine's name.
+func (dc *DataCenter) AddMachine(id string) (*Machine, error) {
+	return dc.AddMachineAt(id, transport.Address(id))
+}
+
+// AddMachineAt provisions a machine whose Migration Enclave listens on an
+// explicit transport address (used with TCP transports, where addresses
+// are host:port rather than machine names).
+func (dc *DataCenter) AddMachineAt(id string, addr transport.Address) (*Machine, error) {
+	if _, exists := dc.machines[id]; exists {
+		return nil, fmt.Errorf("cloud: machine %q already exists", id)
+	}
+	hw, err := sgx.NewMachine(sgx.MachineID(id), dc.Latency)
+	if err != nil {
+		return nil, fmt.Errorf("machine %s: %w", id, err)
+	}
+	qe, err := attest.NewQuotingEnclave(hw, dc.Issuer)
+	if err != nil {
+		return nil, fmt.Errorf("quoting enclave %s: %w", id, err)
+	}
+	cred, err := dc.Provider.ProvisionME(id)
+	if err != nil {
+		return nil, fmt.Errorf("provision %s: %w", id, err)
+	}
+	me, err := core.NewMigrationEnclave(hw, qe, dc.IAS, cred, dc.Messenger, addr)
+	if err != nil {
+		return nil, fmt.Errorf("migration enclave %s: %w", id, err)
+	}
+	m := &Machine{
+		HW:       hw,
+		Counters: pse.NewService(dc.Latency),
+		QE:       qe,
+		ME:       me,
+	}
+	dc.machines[id] = m
+	return m, nil
+}
+
+// Machine returns a previously added machine.
+func (dc *DataCenter) Machine(id string) (*Machine, bool) {
+	m, ok := dc.machines[id]
+	return m, ok
+}
+
+// App is a migratable application: its enclave instance, its Migration
+// Library, and its untrusted storage for the sealed library blob.
+type App struct {
+	Enclave *sgx.Enclave
+	Library *core.Library
+	Storage *core.MemoryStorage
+
+	machine *Machine
+	image   *sgx.Image
+}
+
+// LaunchApp loads the application enclave on the machine and initializes
+// its Migration Library in the given state. Storage may be shared across
+// launches of the same app (it models the VM's disk, which travels with
+// the VM during migration).
+func (m *Machine) LaunchApp(img *sgx.Image, storage *core.MemoryStorage, state core.InitState) (*App, error) {
+	e, err := m.HW.Load(img)
+	if err != nil {
+		return nil, fmt.Errorf("load app enclave: %w", err)
+	}
+	lib := core.NewLibrary(e, m.Counters, storage)
+	if err := lib.Init(state, m.ME); err != nil {
+		m.HW.Destroy(e)
+		return nil, fmt.Errorf("init migration library: %w", err)
+	}
+	return &App{Enclave: e, Library: lib, Storage: storage, machine: m, image: img}, nil
+}
+
+// Terminate destroys the app's enclave (application closed / crashed).
+func (a *App) Terminate() { a.machine.HW.Destroy(a.Enclave) }
+
+// Machine returns the hosting machine.
+func (a *App) Machine() *Machine { return a.machine }
+
+// Image returns the enclave image the app was launched from.
+func (a *App) Image() *sgx.Image { return a.image }

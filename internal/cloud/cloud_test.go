@@ -1,0 +1,169 @@
+package cloud_test
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/xcrypto"
+)
+
+func image(name string) *sgx.Image {
+	key := xcrypto.DeriveKey([]byte("cloud-test"), "signer")
+	return &sgx.Image{Name: name, Version: 1, Code: []byte(name), SignerPublicKey: ed25519.PublicKey(key[:])}
+}
+
+func TestDataCenterProvisioning(t *testing.T) {
+	dc, err := cloud.NewDataCenter("dc", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := dc.AddMachine("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dc.AddMachine("A"); err == nil {
+		t.Fatal("duplicate machine accepted")
+	}
+	got, ok := dc.Machine("A")
+	if !ok || got != a {
+		t.Fatal("machine lookup failed")
+	}
+	if _, ok := dc.Machine("nope"); ok {
+		t.Fatal("phantom machine")
+	}
+	if a.MEAddress() != "A" {
+		t.Fatalf("ME address = %s", a.MEAddress())
+	}
+}
+
+func TestLaunchAppFailuresCleanUp(t *testing.T) {
+	dc, _ := cloud.NewDataCenter("dc", sim.NewInstantLatency())
+	a, _ := dc.AddMachine("A")
+	before := a.HW.LiveEnclaves()
+	// InitRestore with empty storage fails; the enclave must not leak.
+	if _, err := a.LaunchApp(image("app"), core.NewMemoryStorage(), core.InitRestore); !errors.Is(err, core.ErrNoBlob) {
+		t.Fatalf("got %v", err)
+	}
+	if a.HW.LiveEnclaves() != before {
+		t.Fatal("failed launch leaked an enclave")
+	}
+}
+
+// TestFullCloudScenario is the paper's complete deployment story: an
+// application runs inside a VM; the VM live-migrates (memory moves, the
+// enclave dies, because the EPC cannot be copied); the enclave's
+// persistent state follows separately through the Migration Enclaves;
+// and on the destination the restarted application finds everything
+// intact — while the VM's untrusted disk contents (the sealed library
+// blob) travelled with the VM.
+func TestFullCloudScenario(t *testing.T) {
+	dc, err := cloud.NewDataCenter("dc", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := dc.AddMachine("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := dc.AddMachine("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hvSrc := vm.NewHypervisor(src.HW)
+	hvDst := vm.NewHypervisor(dst.HW)
+
+	guest, err := hvSrc.CreateVM("app-vm", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guest disk page 0 stands in for the app's untrusted storage file.
+	img := image("vm-app")
+	storage := core.NewMemoryStorage()
+	app, err := src.LaunchApp(img, storage, core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guest.AttachEnclave(app.Enclave)
+
+	ctr, _, err := app.Library.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := app.Library.IncrementCounter(ctr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sealed, err := app.Library.SealMigratable(nil, []byte("app keys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := guest.WritePage(0, sealed[:min(len(sealed), vm.PageSize)]); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. The application is notified and starts the enclave migration.
+	if err := app.Library.StartMigration(dst.MEAddress()); err != nil {
+		t.Fatal(err)
+	}
+	// 2. The VM live-migrates: memory moves, the enclave is destroyed.
+	migratedVM, elapsed, err := vm.LiveMigrate(guest, hvDst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("vm migration took no time")
+	}
+	if app.Enclave.Alive() {
+		t.Fatal("enclave survived VM migration")
+	}
+	// The guest disk (with the sealed blob) arrived.
+	page, err := migratedVM.ReadPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) == 0 {
+		t.Fatal("guest disk lost")
+	}
+
+	// 3. The application restarts inside the migrated VM and receives
+	// its persistent state from the destination Migration Enclave.
+	restored, err := dst.LaunchApp(img, core.NewMemoryStorage(), core.InitMigrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	migratedVM.AttachEnclave(restored.Enclave)
+
+	v, err := restored.Library.ReadCounter(ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 4 {
+		t.Fatalf("counter after full scenario = %d, want 4", v)
+	}
+	pt, _, err := restored.Library.UnsealMigratable(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "app keys" {
+		t.Fatal("sealed data mismatch")
+	}
+	// And the old machine cannot restart the app from the VM's stale
+	// disk state (frozen blob).
+	if _, err := src.LaunchApp(img, storage, core.InitRestore); !errors.Is(err, core.ErrFrozen) {
+		t.Fatalf("stale source restart: %v", err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

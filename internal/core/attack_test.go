@@ -1,0 +1,266 @@
+package core_test
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+)
+
+// appState is the Teechan/TrInX-style versioned persistent state: sealed
+// together with a counter value, accepted on restore only if the version
+// matches the current counter (paper §III).
+type appState struct {
+	Balance int    `json:"balance"`
+	Version uint32 `json:"version"`
+}
+
+// persistState increments the version counter and seals state+version
+// with the migratable sealing function.
+func persistState(t *testing.T, app *cloud.App, counterID int, balance int) []byte {
+	t.Helper()
+	v, err := app.Library.IncrementCounter(counterID)
+	if err != nil {
+		t.Fatalf("increment for persist: %v", err)
+	}
+	raw, err := json.Marshal(appState{Balance: balance, Version: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := app.Library.SealMigratable(nil, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// restoreState unseals and version-checks a persisted blob; ok reports
+// whether the enclave accepts it as current.
+func restoreState(t *testing.T, app *cloud.App, counterID int, blob []byte) (appState, bool) {
+	t.Helper()
+	raw, _, err := app.Library.UnsealMigratable(blob)
+	if err != nil {
+		t.Fatalf("unseal state: %v", err)
+	}
+	var st appState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := app.Library.ReadCounter(counterID)
+	if err != nil {
+		t.Fatalf("read version counter: %v", err)
+	}
+	return st, st.Version == cur
+}
+
+// TestForkAttackPreventedByMigrationLibrary runs the §III-B fork attack
+// schedule against OUR scheme and asserts every escape hatch is closed.
+func TestForkAttackPreventedByMigrationLibrary(t *testing.T) {
+	e := newEnv(t)
+	img := testAppImage(t, "payment-app")
+	storage := core.NewMemoryStorage()
+
+	// Step 1 (start-stop-restart): create counter, persist v=1.
+	app, err := e.src.LaunchApp(img, storage, core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, _, err := app.Library.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = persistState(t, app, ctr, 100)
+	preMigrationBlobs := storage.Versions() // adversary snapshots everything so far
+	app.Terminate()
+	app, err = e.src.LaunchApp(img, storage, core.InitRestore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 2 (migrate): move to the destination, keep transacting there.
+	if err := app.Library.StartMigration(e.dst.MEAddress()); err != nil {
+		t.Fatal(err)
+	}
+	app.Terminate()
+	dstApp, err := e.dst.LaunchApp(img, core.NewMemoryStorage(), core.InitMigrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = persistState(t, dstApp, ctr, 60)
+	_ = persistState(t, dstApp, ctr, 10)
+
+	// Step 3 (terminate-restart on source with stale persistent state):
+	// the adversary restores the pre-migration library blob on the source.
+	for i := 0; i < preMigrationBlobs; i++ {
+		staleStorage := core.NewMemoryStorage()
+		blob, ok := storage.Snapshot(i)
+		if !ok {
+			t.Fatalf("missing snapshot %d", i)
+		}
+		if err := staleStorage.Save(blob); err != nil {
+			t.Fatal(err)
+		}
+		forked, err := e.src.LaunchApp(img, staleStorage, core.InitRestore)
+		if err != nil {
+			// Restoring may fail outright (e.g. frozen blob) — prevented.
+			continue
+		}
+		// If init succeeded (pre-freeze blob), the counters were
+		// destroyed before the migration data left the machine, so every
+		// counter operation must fail: the forked instance cannot
+		// validate or produce versioned state (R3).
+		if _, err := forked.Library.ReadCounter(ctr); err == nil {
+			t.Fatalf("fork attack succeeded: stale snapshot %d has a working counter", i)
+		}
+		if _, err := forked.Library.IncrementCounter(ctr); err == nil {
+			t.Fatalf("fork attack succeeded: stale snapshot %d can advance versions", i)
+		}
+		forked.Terminate()
+	}
+	// The migrated instance is unaffected and fully operational.
+	if v, err := dstApp.Library.ReadCounter(ctr); err != nil || v != 3 {
+		t.Fatalf("migrated instance counter = %d, %v", v, err)
+	}
+}
+
+// TestRollbackAttackPreventedByMigrationLibrary runs the §III-C roll-back
+// schedule against OUR scheme: stale sealed state fails the version check
+// on the destination because the counter's effective value migrated.
+func TestRollbackAttackPreventedByMigrationLibrary(t *testing.T) {
+	e := newEnv(t)
+	img := testAppImage(t, "payment-app")
+	app, err := e.src.LaunchApp(img, core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, _, err := app.Library.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 1+2: persist v=1 (balance 100), then keep operating on the
+	// source: v=2 (60), v=3 (10). The adversary records every blob.
+	blobV1 := persistState(t, app, ctr, 100)
+	_ = persistState(t, app, ctr, 60)
+	blobV3 := persistState(t, app, ctr, 10)
+
+	// Step 3: migrate.
+	if err := app.Library.StartMigration(e.dst.MEAddress()); err != nil {
+		t.Fatal(err)
+	}
+	app.Terminate()
+	dstApp, err := e.dst.LaunchApp(img, core.NewMemoryStorage(), core.InitMigrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 4+5: the adversary supplies the original v=1 package. Unlike
+	// the baseline (where a fresh destination counter restarts at 1 and
+	// matches), the migrated effective counter value is 3, so the stale
+	// package is REJECTED and the current one accepted (R4).
+	stale, accepted := restoreState(t, dstApp, ctr, blobV1)
+	if accepted {
+		t.Fatalf("rollback attack succeeded: stale v=%d accepted", stale.Version)
+	}
+	latest, accepted := restoreState(t, dstApp, ctr, blobV3)
+	if !accepted {
+		t.Fatal("latest state rejected: counter migration broke continuity")
+	}
+	if latest.Balance != 10 {
+		t.Fatalf("latest balance = %d", latest.Balance)
+	}
+}
+
+// TestRepeatedMigrationRollbackWindowClosed checks that even across
+// multiple migrations (source -> dst -> back), no counter value ever
+// regresses, so no historical blob ever becomes valid again.
+func TestRepeatedMigrationRollbackWindowClosed(t *testing.T) {
+	e := newEnv(t)
+	img := testAppImage(t, "payment-app")
+	app, err := e.src.LaunchApp(img, core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, _, err := app.Library.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type record struct {
+		blob    []byte
+		version uint32
+	}
+	var history []record
+
+	persist := func(a *cloud.App, balance int) {
+		blob := persistState(t, a, ctr, balance)
+		v, err := a.Library.ReadCounter(ctr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		history = append(history, record{blob: blob, version: v})
+	}
+
+	persist(app, 100)
+	persist(app, 90)
+	app2 := migrateApp(t, e, app, e.dst)
+	persist(app2, 80)
+	app3 := migrateApp(t, e, app2, e.src)
+	persist(app3, 70)
+
+	// Only the newest blob passes the version check; every older blob is
+	// rejected on the final machine.
+	cur, err := app3.Library.ReadCounter(ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range history {
+		st, accepted := restoreState(t, app3, ctr, rec.blob)
+		wantAccept := rec.version == cur
+		if accepted != wantAccept {
+			t.Fatalf("blob %d (v=%d, cur=%d): accepted=%v", i, st.Version, cur, accepted)
+		}
+	}
+}
+
+// TestStaleLibraryBlobCannotResurrectCounters: replaying ANY historical
+// library blob (not just the frozen one) on the source machine yields an
+// unusable library, because the hardware counters backing it are gone.
+func TestStaleLibraryBlobCannotResurrectCounters(t *testing.T) {
+	e := newEnv(t)
+	img := testAppImage(t, "app")
+	storage := core.NewMemoryStorage()
+	app, _ := e.src.LaunchApp(img, storage, core.InitNew)
+	ctr, _, _ := app.Library.CreateCounter()
+	for i := 0; i < 4; i++ {
+		if _, err := app.Library.IncrementCounter(ctr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := app.Library.StartMigration(e.dst.MEAddress()); err != nil {
+		t.Fatal(err)
+	}
+	app.Terminate()
+
+	versions := storage.Versions()
+	var resurrections int
+	for i := 0; i < versions; i++ {
+		if !storage.Rollback(i) {
+			t.Fatalf("rollback to %d failed", i)
+		}
+		stale, err := e.src.LaunchApp(img, storage, core.InitRestore)
+		if errors.Is(err, core.ErrFrozen) {
+			continue // frozen blob: refused outright
+		}
+		if err != nil {
+			t.Fatalf("unexpected init error: %v", err)
+		}
+		if _, err := stale.Library.IncrementCounter(ctr); err == nil {
+			resurrections++
+		}
+		stale.Terminate()
+	}
+	if resurrections != 0 {
+		t.Fatalf("%d stale blobs resurrected a usable counter", resurrections)
+	}
+}

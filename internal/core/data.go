@@ -1,0 +1,147 @@
+// Package core implements the paper's contribution: a framework for
+// migrating SGX enclaves with persistent state (sealed data and monotonic
+// counters) between physical machines.
+//
+// It has two components, exactly as in the paper's §V:
+//
+//   - Library: the Migration Library that an enclave developer links into
+//     a migratable enclave. It provides migratable versions of the SGX
+//     sealing functions (under a Migration Sealing Key, MSK) and of the
+//     monotonic counter operations (wrapping hardware counters with a
+//     migratable offset), plus the migration_init and migration_start
+//     entry points of Listing 1.
+//   - MigrationEnclave: the per-machine enclave that locally attests
+//     application enclaves, mutually remote-attests and provider-
+//     authenticates the peer Migration Enclave, and store-and-forwards
+//     migration data (Fig. 1, Fig. 2).
+//
+// Security requirements R1-R4 of §IV map onto this package as follows:
+// R1 through the construction of the migratable primitives from native
+// ones; R2 through provider credentials checked during remote
+// attestation; R3 through destroy-before-export of source counters plus
+// the persisted freeze flag and single-delivery at the destination; R4
+// through migrating effective counter values as fresh offsets.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/pse"
+	"repro/internal/sgx"
+)
+
+// NumCounters is the number of counter slots the library manages (the
+// SGX per-enclave limit; the library wraps rather than replaces hardware
+// counters, so the limit is unchanged — paper §VI-B).
+const NumCounters = pse.MaxCounters
+
+// MSKSize is the Migration Sealing Key size in bytes (128-bit, Table I).
+const MSKSize = 16
+
+// Data-structure errors.
+var (
+	ErrDataFormat = errors.New("core: malformed migration data")
+)
+
+// MigrationData is the migrated payload, exactly Table I of the paper:
+// the set of active counters, their effective values (to be installed as
+// offsets on the destination), and the MSK. The source Migration Enclave
+// appends the enclave's MRENCLAVE for destination matching (§VI-A).
+type MigrationData struct {
+	// CountersActive marks which counter slots are in use (Table I:
+	// "counters active", bool[256]).
+	CountersActive [NumCounters]bool `json:"countersActive"`
+	// CounterValues holds the effective counter values at migration time;
+	// the destination uses them as its new offsets (Table I: "counter
+	// values", uint32[256], "Used as next offset").
+	CounterValues [NumCounters]uint32 `json:"counterValues"`
+	// MSK is the Migration Sealing Key (Table I: 128-bit SGX key).
+	MSK [MSKSize]byte `json:"msk"`
+}
+
+// Encode serializes migration data for transfer over the attested channel.
+func (d *MigrationData) Encode() ([]byte, error) {
+	out, err := json.Marshal(d)
+	if err != nil {
+		return nil, fmt.Errorf("encode migration data: %w", err)
+	}
+	return out, nil
+}
+
+// DecodeMigrationData parses migration data.
+func DecodeMigrationData(raw []byte) (*MigrationData, error) {
+	var d MigrationData
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDataFormat, err)
+	}
+	return &d, nil
+}
+
+// libraryState is the Migration Library's internal persistent data,
+// exactly Table II of the paper. It is sealed with the enclave's native
+// sealing key and handed to the untrusted application for storage; it is
+// reloaded and unsealed on every enclave restart.
+type libraryState struct {
+	// Frozen is the freeze flag for migration (Table II: uint8). Once
+	// set, the library refuses to operate, including after restarts from
+	// this blob.
+	Frozen uint8 `json:"frozen"`
+	// CountersActive marks used counter slots.
+	CountersActive [NumCounters]bool `json:"countersActive"`
+	// CounterUUIDs holds the SGX counter UUIDs so the library can access
+	// (and on migration, destroy) the hardware counters.
+	CounterUUIDs [NumCounters]pse.UUID `json:"counterUUIDs"`
+	// CounterOffsets holds the migratable offsets added to the hardware
+	// values to form effective values.
+	CounterOffsets [NumCounters]uint32 `json:"counterOffsets"`
+	// MSK is the Migration Sealing Key used by migratable sealing.
+	MSK [MSKSize]byte `json:"msk"`
+}
+
+func (s *libraryState) encode() ([]byte, error) {
+	out, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("encode library state: %w", err)
+	}
+	return out, nil
+}
+
+func decodeLibraryState(raw []byte) (*libraryState, error) {
+	var s libraryState
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDataFormat, err)
+	}
+	return &s, nil
+}
+
+// migrationEnvelope is what actually travels between Migration Enclaves:
+// the migration data plus the source enclave's MRENCLAVE (appended by the
+// source ME for destination matching) and the source ME's address (for
+// the DONE confirmation) and completion token.
+type migrationEnvelope struct {
+	Data      *MigrationData  `json:"data"`
+	MREnclave sgx.Measurement `json:"mrenclave"`
+	SourceME  string          `json:"sourceME"`
+	DoneToken []byte          `json:"doneToken"`
+}
+
+func (e *migrationEnvelope) encode() ([]byte, error) {
+	out, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("encode envelope: %w", err)
+	}
+	return out, nil
+}
+
+func decodeEnvelope(raw []byte) (*migrationEnvelope, error) {
+	var e migrationEnvelope
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDataFormat, err)
+	}
+	if e.Data == nil {
+		return nil, fmt.Errorf("%w: missing data", ErrDataFormat)
+	}
+	return &e, nil
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/attest"
+	"repro/internal/sgx"
+	"repro/internal/transport"
+	"repro/internal/xcrypto"
+)
+
+// Migration Enclave errors.
+var (
+	ErrUnknownSession = errors.New("core: unknown local session")
+	ErrPeerIdentity   = errors.New("core: peer migration enclave has a different identity")
+	ErrQuoteBinding   = errors.New("core: quote does not bind the handshake keys")
+	ErrUnknownToken   = errors.New("core: unknown migration token")
+	ErrBadHandshake   = errors.New("core: unknown or expired attestation session")
+)
+
+// MigrationEnclaveVersion is the ME code version; all machines in a data
+// center run the same version, so MRENCLAVE values match.
+const MigrationEnclaveVersion = 1
+
+// MigrationEnclaveImage returns the Migration Enclave image. It is
+// deliberately identical on every machine: during remote attestation each
+// ME checks that its peer measures exactly the same (paper §VI-A).
+func MigrationEnclaveImage() *sgx.Image {
+	return &sgx.Image{
+		Name:            "migration-enclave",
+		Version:         MigrationEnclaveVersion,
+		Code:            []byte("migration enclave: local attestation, remote attestation, store-and-forward"),
+		SignerPublicKey: attest.ArchitecturalSignerKey(),
+	}
+}
+
+// localConn is the ME-side endpoint of one attested app-enclave channel.
+type localConn struct {
+	session *attest.LocalSession
+}
+
+// outgoingRecord is migration data held at the source ME until the DONE
+// confirmation arrives (or the transfer is retried/redirected, §V-D).
+type outgoingRecord struct {
+	envelope *migrationEnvelope
+	dest     transport.Address
+	sent     bool // reached destination ME (stored there)
+	done     bool // destination library confirmed restore
+}
+
+// handshakeState is the destination ME's remote-attestation session
+// between the offer and the data message.
+type handshakeState struct {
+	channel    *xcrypto.Channel
+	transcript []byte
+}
+
+// pendingAck tracks an incoming migration delivered to a local library
+// but not yet acknowledged; the ack triggers the DONE to the source.
+type pendingAck struct {
+	envelope *migrationEnvelope
+}
+
+// MigrationEnclave is the per-machine migration manager (paper §V-B,
+// §VI-A). It runs inside its own enclave in the management VM, locally
+// attests application enclaves, and speaks the Fig. 2 protocol with peer
+// Migration Enclaves over the untrusted network.
+type MigrationEnclave struct {
+	enclave *sgx.Enclave
+	cred    *attest.Credential
+	qe      *attest.QuotingEnclave
+	ias     *attest.IAS
+	net     transport.Messenger
+	addr    transport.Address
+
+	mu         sync.Mutex
+	locals     map[string]*localConn
+	outgoing   map[string]*outgoingRecord // key: hex done-token
+	incoming   map[sgx.Measurement]*migrationEnvelope
+	handshakes map[string]*handshakeState
+	acks       map[string]*pendingAck // key: local session ID
+}
+
+// NewMigrationEnclave loads the ME on the machine, registers it on the
+// network, and equips it with the provider credential provisioned during
+// the secure setup phase.
+func NewMigrationEnclave(
+	machine *sgx.Machine,
+	qe *attest.QuotingEnclave,
+	ias *attest.IAS,
+	cred *attest.Credential,
+	net transport.Messenger,
+	addr transport.Address,
+) (*MigrationEnclave, error) {
+	e, err := machine.Load(MigrationEnclaveImage())
+	if err != nil {
+		return nil, fmt.Errorf("load migration enclave: %w", err)
+	}
+	me := &MigrationEnclave{
+		enclave:    e,
+		cred:       cred,
+		qe:         qe,
+		ias:        ias,
+		net:        net,
+		addr:       addr,
+		locals:     make(map[string]*localConn),
+		outgoing:   make(map[string]*outgoingRecord),
+		incoming:   make(map[sgx.Measurement]*migrationEnvelope),
+		handshakes: make(map[string]*handshakeState),
+		acks:       make(map[string]*pendingAck),
+	}
+	if err := net.Register(addr, me.handleNetwork); err != nil {
+		return nil, fmt.Errorf("register migration enclave: %w", err)
+	}
+	return me, nil
+}
+
+// Address returns the ME's network address.
+func (me *MigrationEnclave) Address() transport.Address { return me.addr }
+
+// Enclave exposes the ME's own enclave (tests and the management VM).
+func (me *MigrationEnclave) Enclave() *sgx.Enclave { return me.enclave }
+
+// ConnectLocal performs mutual local attestation with an application
+// enclave on the same machine and opens the long-lived channel. It
+// returns the application-side session and the session handle used for
+// subsequent LocalCall invocations. The ME records the peer's MRENCLAVE
+// for migration matching (§VI-A).
+func (me *MigrationEnclave) ConnectLocal(app *sgx.Enclave) (*attest.LocalSession, string, error) {
+	appSess, meSess, err := attest.LocalAttest(app, me.enclave)
+	if err != nil {
+		return nil, "", err
+	}
+	idBytes, err := xcrypto.RandomBytes(8)
+	if err != nil {
+		return nil, "", fmt.Errorf("session id: %w", err)
+	}
+	id := hex.EncodeToString(idBytes)
+	me.mu.Lock()
+	me.locals[id] = &localConn{session: meSess}
+	me.mu.Unlock()
+	return appSess, id, nil
+}
+
+// LocalCall delivers one sealed request from a locally attested library
+// and returns the sealed reply. The wire bytes cross the untrusted OS.
+func (me *MigrationEnclave) LocalCall(sessionID string, wire []byte) ([]byte, error) {
+	if err := me.enclave.ECall(); err != nil {
+		return nil, err
+	}
+	me.mu.Lock()
+	conn, ok := me.locals[sessionID]
+	me.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownSession
+	}
+	raw, err := conn.session.Channel.Open(wire)
+	if err != nil {
+		return nil, fmt.Errorf("open local request: %w", err)
+	}
+	req, err := decodeLocalRequest(raw)
+	if err != nil {
+		return nil, err
+	}
+	resp := me.dispatchLocal(sessionID, conn, req)
+	respRaw, err := encodeLocalResponse(resp)
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := conn.session.Channel.Seal(respRaw)
+	if err != nil {
+		return nil, fmt.Errorf("seal local reply: %w", err)
+	}
+	return sealed, nil
+}
+
+// dispatchLocal routes one library request.
+func (me *MigrationEnclave) dispatchLocal(sessionID string, conn *localConn, req *localRequest) *localResponse {
+	switch req.Op {
+	case opMigrateOut:
+		return me.handleMigrateOut(conn, req)
+	case opFetchIncoming:
+		return me.handleFetchIncoming(sessionID, conn)
+	case opAckRestored:
+		return me.handleAckRestored(sessionID)
+	case opCheckDone:
+		return me.handleCheckDone(req)
+	default:
+		return &localResponse{Status: "error", Detail: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// handleMigrateOut stores the outgoing migration and attempts transfer.
+func (me *MigrationEnclave) handleMigrateOut(conn *localConn, req *localRequest) *localResponse {
+	data, err := DecodeMigrationData(req.Body)
+	if err != nil {
+		return &localResponse{Status: "error", Detail: err.Error()}
+	}
+	token, err := xcrypto.RandomBytes(16)
+	if err != nil {
+		return &localResponse{Status: "error", Detail: err.Error()}
+	}
+	env := &migrationEnvelope{
+		Data: data,
+		// The source ME appends the attested MRENCLAVE of the sending
+		// library's enclave; the destination ME will only deliver to an
+		// enclave with exactly this identity.
+		MREnclave: conn.session.PeerMREnclave,
+		SourceME:  string(me.addr),
+		DoneToken: token,
+	}
+	rec := &outgoingRecord{envelope: env, dest: transport.Address(req.Dest)}
+	key := hex.EncodeToString(token)
+	me.mu.Lock()
+	me.outgoing[key] = rec
+	me.mu.Unlock()
+
+	if err := me.transfer(rec); err != nil {
+		// Keep the data for retry (§V-D) and tell the library.
+		return &localResponse{Status: statusPending, Detail: err.Error(), Token: token}
+	}
+	me.mu.Lock()
+	rec.sent = true
+	me.mu.Unlock()
+	return &localResponse{Status: statusSent, Token: token}
+}
+
+// handleFetchIncoming hands stored migration data to a local library
+// whose attested identity matches, deleting the stored copy so it can be
+// delivered exactly once (fork prevention, R3).
+func (me *MigrationEnclave) handleFetchIncoming(sessionID string, conn *localConn) *localResponse {
+	me.mu.Lock()
+	defer me.mu.Unlock()
+	env, ok := me.incoming[conn.session.PeerMREnclave]
+	if !ok {
+		return &localResponse{Status: statusNone}
+	}
+	delete(me.incoming, conn.session.PeerMREnclave)
+	me.acks[sessionID] = &pendingAck{envelope: env}
+	raw, err := env.encode()
+	if err != nil {
+		return &localResponse{Status: "error", Detail: err.Error()}
+	}
+	return &localResponse{Status: statusData, Body: raw}
+}
+
+// handleAckRestored sends the DONE confirmation back to the source ME.
+func (me *MigrationEnclave) handleAckRestored(sessionID string) *localResponse {
+	me.mu.Lock()
+	ack, ok := me.acks[sessionID]
+	if ok {
+		delete(me.acks, sessionID)
+	}
+	me.mu.Unlock()
+	if !ok {
+		return &localResponse{Status: "error", Detail: "no delivery awaiting acknowledgement"}
+	}
+	payload, err := marshalJSON(&doneMessage{Token: ack.envelope.DoneToken})
+	if err != nil {
+		return &localResponse{Status: "error", Detail: err.Error()}
+	}
+	if _, err := me.net.Send(me.addr, transport.Address(ack.envelope.SourceME), kindDone, payload); err != nil {
+		// The restore itself succeeded; only the confirmation was lost.
+		// The source will keep its copy — a safe failure mode.
+		return &localResponse{Status: statusOK, Detail: "restore complete; DONE not delivered: " + err.Error()}
+	}
+	return &localResponse{Status: statusOK}
+}
+
+// handleCheckDone reports whether the DONE confirmation arrived.
+func (me *MigrationEnclave) handleCheckDone(req *localRequest) *localResponse {
+	me.mu.Lock()
+	defer me.mu.Unlock()
+	rec, ok := me.outgoing[hex.EncodeToString(req.Token)]
+	if !ok {
+		// Unknown token: either never existed or already completed and
+		// cleaned up. Completed tokens are kept with done=true, so this
+		// is an error.
+		return &localResponse{Status: "error", Detail: ErrUnknownToken.Error()}
+	}
+	if rec.done {
+		return &localResponse{Status: statusDone}
+	}
+	return &localResponse{Status: statusWaiting}
+}
+
+// PendingOutgoing returns the number of outgoing migrations not yet
+// confirmed by a DONE from the destination.
+func (me *MigrationEnclave) PendingOutgoing() int {
+	me.mu.Lock()
+	defer me.mu.Unlock()
+	n := 0
+	for _, rec := range me.outgoing {
+		if !rec.done {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingIncoming returns the number of stored incoming migrations
+// waiting for their destination enclave.
+func (me *MigrationEnclave) PendingIncoming() int {
+	me.mu.Lock()
+	defer me.mu.Unlock()
+	return len(me.incoming)
+}
+
+// OutstandingTokens returns the done-tokens of outgoing migrations that
+// have not yet been confirmed, for retry/redirect management by the
+// machine operator.
+func (me *MigrationEnclave) OutstandingTokens() [][]byte {
+	me.mu.Lock()
+	defer me.mu.Unlock()
+	var tokens [][]byte
+	for _, rec := range me.outgoing {
+		if !rec.done && rec.envelope != nil {
+			tokens = append(tokens, append([]byte(nil), rec.envelope.DoneToken...))
+		}
+	}
+	return tokens
+}
+
+// RetryOutgoing retries the transfer of every unsent outgoing migration,
+// returning the first error encountered (nil if all succeeded).
+func (me *MigrationEnclave) RetryOutgoing() error {
+	me.mu.Lock()
+	var retry []*outgoingRecord
+	for _, rec := range me.outgoing {
+		if !rec.sent && !rec.done {
+			retry = append(retry, rec)
+		}
+	}
+	me.mu.Unlock()
+	var firstErr error
+	for _, rec := range retry {
+		if err := me.transfer(rec); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		me.mu.Lock()
+		rec.sent = true
+		me.mu.Unlock()
+	}
+	return firstErr
+}
+
+// Redirect re-targets a pending outgoing migration to a different
+// destination machine (§V-D: "another destination machine is selected").
+func (me *MigrationEnclave) Redirect(token []byte, newDest transport.Address) error {
+	me.mu.Lock()
+	rec, ok := me.outgoing[hex.EncodeToString(token)]
+	if ok && !rec.done {
+		rec.dest = newDest
+		rec.sent = false
+	}
+	me.mu.Unlock()
+	if !ok {
+		return ErrUnknownToken
+	}
+	if err := me.transfer(rec); err != nil {
+		return err
+	}
+	me.mu.Lock()
+	rec.sent = true
+	me.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,135 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+)
+
+// TestForkFreedomUnderRandomSchedules is a randomized invariant check:
+// under ANY interleaving of normal operation, snapshotting, migration,
+// termination, and adversarial restarts from stale storage snapshots,
+// at most one live enclave instance can successfully advance a given
+// counter — the system-wide fork-freedom property behind R3.
+//
+// The schedule driver plays both the legitimate operator and the
+// §III adversary; after every step it probes every live instance.
+func TestForkFreedomUnderRandomSchedules(t *testing.T) {
+	const (
+		schedules = 12
+		steps     = 18
+	)
+	for s := 0; s < schedules; s++ {
+		s := s
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + s)))
+			runForkFreedomSchedule(t, rng, steps)
+		})
+	}
+}
+
+func runForkFreedomSchedule(t *testing.T, rng *rand.Rand, steps int) {
+	t.Helper()
+	e := newEnv(t)
+	machines := []*cloud.Machine{e.src, e.dst}
+	img := testAppImage(t, "fork-freedom")
+
+	// The canonical storage travels with the VM; the adversary keeps
+	// every blob ever written.
+	storage := core.NewMemoryStorage()
+	current, err := e.src.LaunchApp(img, storage, core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, _, err := current.Library.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every instance ever launched, including adversarial resurrections.
+	instances := []*cloud.App{current}
+	machineOf := map[*cloud.App]*cloud.Machine{current: machines[0]}
+	curMachine := 0
+
+	// R3's exact boundary: two instances of the same enclave on the SAME
+	// machine share the hardware counter, which is possible without any
+	// migration (and their states stay mutually detectable through it).
+	// What migration must never enable is instances on DIFFERENT machines
+	// both advancing "the" counter with divergent state.
+	checkInvariant := func(step int) {
+		usableMachines := make(map[*cloud.Machine]bool)
+		for _, inst := range instances {
+			if !inst.Enclave.Alive() {
+				continue
+			}
+			if _, err := inst.Library.IncrementCounter(ctr); err == nil {
+				usableMachines[machineOf[inst]] = true
+			}
+		}
+		if len(usableMachines) > 1 {
+			t.Fatalf("step %d: counter advanceable on %d machines (cross-machine fork!)",
+				step, len(usableMachines))
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		switch rng.Intn(4) {
+		case 0: // normal operation: increment (if this instance still can)
+			if current != nil && current.Enclave.Alive() {
+				_, _ = current.Library.IncrementCounter(ctr)
+			}
+		case 1: // migrate to the other machine
+			if current == nil || !current.Enclave.Alive() || current.Library.Frozen() {
+				continue
+			}
+			next := (curMachine + 1) % len(machines)
+			if err := current.Library.StartMigration(machines[next].MEAddress()); err != nil {
+				continue
+			}
+			current.Terminate()
+			app, err := machines[next].LaunchApp(img, storage, core.InitMigrated)
+			if err != nil {
+				t.Fatalf("step %d: restore failed: %v", step, err)
+			}
+			current = app
+			curMachine = next
+			instances = append(instances, app)
+			machineOf[app] = machines[next]
+		case 2: // crash + legitimate restart from latest storage
+			if current == nil || !current.Enclave.Alive() {
+				continue
+			}
+			home := machineOf[current]
+			current.Terminate()
+			app, err := home.LaunchApp(img, storage, core.InitRestore)
+			if err != nil {
+				// Frozen or unusable: the enclave stays down.
+				current = nil
+				continue
+			}
+			current = app
+			instances = append(instances, app)
+			machineOf[app] = home
+		case 3: // ADVERSARY: resurrect a random historical blob anywhere
+			if storage.Versions() == 0 {
+				continue
+			}
+			blob, ok := storage.Snapshot(rng.Intn(storage.Versions()))
+			if !ok {
+				continue
+			}
+			staleStorage := core.NewMemoryStorage()
+			_ = staleStorage.Save(blob)
+			m := machines[rng.Intn(len(machines))]
+			app, err := m.LaunchApp(img, staleStorage, core.InitRestore)
+			if err != nil {
+				continue // refused (frozen / foreign machine): fine
+			}
+			instances = append(instances, app)
+			machineOf[app] = m
+		}
+		checkInvariant(step)
+	}
+}

@@ -1,0 +1,515 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/attest"
+	"repro/internal/pse"
+	"repro/internal/seal"
+	"repro/internal/sgx"
+	"repro/internal/transport"
+	"repro/internal/xcrypto"
+)
+
+// Migration Library errors.
+var (
+	ErrNotInitialized     = errors.New("core: migration library not initialized")
+	ErrAlreadyInitialized = errors.New("core: migration library already initialized")
+	ErrFrozen             = errors.New("core: library frozen: enclave has been migrated")
+	ErrBadSlot            = errors.New("core: invalid counter id")
+	ErrSlotInactive       = errors.New("core: counter id not active")
+	ErrNoFreeSlot         = errors.New("core: no free counter slot")
+	ErrCounterOverflow    = errors.New("core: effective counter value would overflow")
+	ErrNoPendingMigration = errors.New("core: no pending incoming migration for this enclave")
+	ErrMigrationPending   = errors.New("core: migration data held at source migration enclave pending transfer")
+)
+
+// InitState selects how the Migration Library initializes (Listing 1's
+// init_state): a brand-new enclave, an enclave restored from persisted
+// state after a restart, or the destination of a migration.
+type InitState int
+
+// Initialization states.
+const (
+	// InitNew creates fresh library state (generates the MSK).
+	InitNew InitState = iota + 1
+	// InitRestore reloads sealed library state from untrusted storage.
+	InitRestore
+	// InitMigrated receives migration data from the local Migration
+	// Enclave (the destination side of Fig. 2).
+	InitMigrated
+)
+
+// String names the init state.
+func (s InitState) String() string {
+	switch s {
+	case InitNew:
+		return "new"
+	case InitRestore:
+		return "restore"
+	case InitMigrated:
+		return "migrated"
+	default:
+		return "unknown"
+	}
+}
+
+// Library is the Migration Library linked into a migratable application
+// enclave (paper §V-C, §VI-B). It lives in the same protection domain as
+// the application enclave and fully trusts it. All methods are safe for
+// concurrent use by the enclave's threads.
+type Library struct {
+	enclave  *sgx.Enclave
+	counters *pse.Service
+	storage  Storage
+
+	mu          sync.Mutex
+	initialized bool
+	st          libraryState
+	me          *MigrationEnclave
+	session     *attest.LocalSession
+	sessionID   string
+	doneToken   []byte
+}
+
+// NewLibrary binds the Migration Library to its host enclave, the
+// machine's Platform Services counter facility, and the application's
+// untrusted storage for the sealed library blob.
+func NewLibrary(enclave *sgx.Enclave, counters *pse.Service, storage Storage) *Library {
+	return &Library{enclave: enclave, counters: counters, storage: storage}
+}
+
+// stateAAD labels the sealed library blob.
+var stateAAD = []byte("migration-library-state")
+
+// persistLocked seals the current state with the enclave's native sealing
+// key and hands it to untrusted storage (Table II blob). Callers hold mu.
+func (l *Library) persistLocked() error {
+	raw, err := l.st.encode()
+	if err != nil {
+		return err
+	}
+	blob, err := seal.Seal(l.enclave, sgx.PolicyMRENCLAVE, stateAAD, raw)
+	if err != nil {
+		return fmt.Errorf("seal library state: %w", err)
+	}
+	if err := l.storage.Save(blob); err != nil {
+		return fmt.Errorf("persist library state: %w", err)
+	}
+	return nil
+}
+
+// Init is migration_init (Listing 1): it must be called every time the
+// enclave is loaded, before any other library operation. It opens the
+// attested channel to the local Migration Enclave and initializes the
+// library state according to initState.
+func (l *Library) Init(initState InitState, me *MigrationEnclave) error {
+	if err := l.enclave.ECall(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.initialized {
+		return ErrAlreadyInitialized
+	}
+	if me == nil {
+		return errors.New("core: migration enclave required")
+	}
+	// Local attestation to the Migration Enclave; the channel stays open
+	// for the lifetime of the enclave (paper §VI-A).
+	session, sessionID, err := me.ConnectLocal(l.enclave)
+	if err != nil {
+		return fmt.Errorf("attest migration enclave: %w", err)
+	}
+	l.me, l.session, l.sessionID = me, session, sessionID
+
+	switch initState {
+	case InitNew:
+		mskBytes, err := xcrypto.RandomBytes(MSKSize)
+		if err != nil {
+			return fmt.Errorf("generate MSK: %w", err)
+		}
+		l.st = libraryState{}
+		copy(l.st.MSK[:], mskBytes)
+		if err := l.persistLocked(); err != nil {
+			return err
+		}
+	case InitRestore:
+		blob, err := l.storage.Load()
+		if err != nil {
+			return fmt.Errorf("load library state: %w", err)
+		}
+		raw, aad, err := seal.Unseal(l.enclave, blob)
+		if err != nil {
+			return fmt.Errorf("unseal library state: %w", err)
+		}
+		if string(aad) != string(stateAAD) {
+			return fmt.Errorf("%w: wrong blob label", ErrDataFormat)
+		}
+		st, err := decodeLibraryState(raw)
+		if err != nil {
+			return err
+		}
+		if st.Frozen != 0 {
+			// The enclave was migrated away; this state must never
+			// operate again (paper §VI-B, Table II).
+			return ErrFrozen
+		}
+		l.st = *st
+	case InitMigrated:
+		if err := l.receiveMigrationLocked(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: invalid init state %d", initState)
+	}
+	l.initialized = true
+	return nil
+}
+
+// receiveMigrationLocked fetches pending migration data from the local
+// Migration Enclave, re-creates the counters with the migrated effective
+// values as offsets, installs the MSK, persists, and acknowledges.
+func (l *Library) receiveMigrationLocked() error {
+	reply, err := l.localCallLocked(&localRequest{Op: opFetchIncoming})
+	if err != nil {
+		return err
+	}
+	if reply.Status == statusNone {
+		return ErrNoPendingMigration
+	}
+	env, err := decodeEnvelope(reply.Body)
+	if err != nil {
+		return err
+	}
+	l.st = libraryState{}
+	l.st.MSK = env.Data.MSK
+	for i := 0; i < NumCounters; i++ {
+		if !env.Data.CountersActive[i] {
+			continue
+		}
+		// Fresh hardware counter starts at 0; the migrated effective
+		// value becomes the offset, so effective values continue exactly
+		// where the source left off (paper §VI-B: constant-time per
+		// counter, regardless of its value).
+		uuid, _, err := l.counters.Create(l.enclave)
+		if err != nil {
+			return fmt.Errorf("re-create counter %d: %w", i, err)
+		}
+		l.st.CountersActive[i] = true
+		l.st.CounterUUIDs[i] = uuid
+		l.st.CounterOffsets[i] = env.Data.CounterValues[i]
+	}
+	if err := l.persistLocked(); err != nil {
+		return err
+	}
+	// DONE: confirm the restore so the source can delete its copy.
+	if _, err := l.localCallLocked(&localRequest{Op: opAckRestored}); err != nil {
+		return fmt.Errorf("acknowledge migration: %w", err)
+	}
+	return nil
+}
+
+// readyLocked validates the common preconditions of every data operation.
+func (l *Library) readyLocked() error {
+	if !l.initialized {
+		return ErrNotInitialized
+	}
+	if l.st.Frozen != 0 {
+		return ErrFrozen
+	}
+	return nil
+}
+
+// localCallLocked sends one request to the Migration Enclave over the
+// attested channel and decodes the reply. Callers hold mu.
+func (l *Library) localCallLocked(req *localRequest) (*localResponse, error) {
+	raw, err := encodeLocalRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	wire, err := l.session.Channel.Seal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("seal local request: %w", err)
+	}
+	replyWire, err := l.me.LocalCall(l.sessionID, wire)
+	if err != nil {
+		return nil, err
+	}
+	replyRaw, err := l.session.Channel.Open(replyWire)
+	if err != nil {
+		return nil, fmt.Errorf("open local reply: %w", err)
+	}
+	return decodeLocalResponse(replyRaw)
+}
+
+// SealMigratable is sgx_seal_migratable_data (Listing 2): identical
+// parameters to the native sealing function, but the encryption key is
+// the MSK, so the blob stays decryptable after migration. No EGETKEY is
+// needed, which makes it marginally faster than native sealing (Fig. 4).
+func (l *Library) SealMigratable(additionalMACText, plaintext []byte) ([]byte, error) {
+	if err := l.enclave.ECall(); err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.readyLocked(); err != nil {
+		return nil, err
+	}
+	return seal.SealRaw(l.st.MSK[:], additionalMACText, plaintext)
+}
+
+// UnsealMigratable is sgx_unseal_migratable_data (Listing 2).
+func (l *Library) UnsealMigratable(blob []byte) (plaintext, additionalMACText []byte, err error) {
+	if err := l.enclave.ECall(); err != nil {
+		return nil, nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.readyLocked(); err != nil {
+		return nil, nil, err
+	}
+	return seal.UnsealRaw(l.st.MSK[:], blob)
+}
+
+// CreateCounter is sgx_create_migratable_counter (Listing 2): it wraps a
+// hardware counter and returns the library-assigned counter id plus the
+// initial effective value. The developer stores only the small id, not
+// the SGX UUID (§VI-B). Creating persists the library blob (the paper's
+// "additional sealing of the internal data buffer").
+func (l *Library) CreateCounter() (id int, value uint32, err error) {
+	if err := l.enclave.ECall(); err != nil {
+		return 0, 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.readyLocked(); err != nil {
+		return 0, 0, err
+	}
+	slot := -1
+	for i := 0; i < NumCounters; i++ {
+		if !l.st.CountersActive[i] {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return 0, 0, ErrNoFreeSlot
+	}
+	uuid, hw, err := l.counters.Create(l.enclave)
+	if err != nil {
+		return 0, 0, fmt.Errorf("create hardware counter: %w", err)
+	}
+	l.st.CountersActive[slot] = true
+	l.st.CounterUUIDs[slot] = uuid
+	l.st.CounterOffsets[slot] = 0
+	if err := l.persistLocked(); err != nil {
+		return 0, 0, err
+	}
+	return slot, hw, nil
+}
+
+// DestroyCounter is sgx_destroy_migratable_counter (Listing 2).
+func (l *Library) DestroyCounter(id int) error {
+	if err := l.enclave.ECall(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.readyLocked(); err != nil {
+		return err
+	}
+	if err := l.checkSlotLocked(id); err != nil {
+		return err
+	}
+	if err := l.counters.Destroy(l.enclave, l.st.CounterUUIDs[id]); err != nil {
+		return fmt.Errorf("destroy hardware counter: %w", err)
+	}
+	l.st.CountersActive[id] = false
+	l.st.CounterUUIDs[id] = pse.UUID{}
+	l.st.CounterOffsets[id] = 0
+	return l.persistLocked()
+}
+
+// IncrementCounter is sgx_increment_migratable_counter (Listing 2): it
+// increments the hardware counter and returns the effective value
+// (hardware + offset), guarding against overflow of the effective value.
+func (l *Library) IncrementCounter(id int) (uint32, error) {
+	if err := l.enclave.ECall(); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.readyLocked(); err != nil {
+		return 0, err
+	}
+	if err := l.checkSlotLocked(id); err != nil {
+		return 0, err
+	}
+	hw, err := l.counters.Increment(l.enclave, l.st.CounterUUIDs[id])
+	if err != nil {
+		return 0, fmt.Errorf("increment hardware counter: %w", err)
+	}
+	return l.effectiveLocked(id, hw)
+}
+
+// ReadCounter is sgx_read_migratable_counter (Listing 2).
+func (l *Library) ReadCounter(id int) (uint32, error) {
+	if err := l.enclave.ECall(); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.readyLocked(); err != nil {
+		return 0, err
+	}
+	if err := l.checkSlotLocked(id); err != nil {
+		return 0, err
+	}
+	hw, err := l.counters.Read(l.enclave, l.st.CounterUUIDs[id])
+	if err != nil {
+		return 0, fmt.Errorf("read hardware counter: %w", err)
+	}
+	return l.effectiveLocked(id, hw)
+}
+
+func (l *Library) checkSlotLocked(id int) error {
+	if id < 0 || id >= NumCounters {
+		return ErrBadSlot
+	}
+	if !l.st.CountersActive[id] {
+		return ErrSlotInactive
+	}
+	return nil
+}
+
+// effectiveLocked computes hardware + offset with overflow protection
+// (the extra check the paper attributes increment overhead to).
+func (l *Library) effectiveLocked(id int, hw uint32) (uint32, error) {
+	offset := l.st.CounterOffsets[id]
+	if offset > 0 && hw > ^uint32(0)-offset {
+		return 0, ErrCounterOverflow
+	}
+	return hw + offset, nil
+}
+
+// StartMigration is migration_start (Listing 1): it freezes the library,
+// destroys the hardware counters on this machine (fork prevention, R3 —
+// the process "does not proceed until it receives the SGX_SUCCESS return
+// code"), and hands the migration data to the local Migration Enclave
+// addressed to the destination machine's Migration Enclave.
+//
+// If the Migration Enclave cannot reach the destination, StartMigration
+// returns ErrMigrationPending: the data stays at the source ME until the
+// error is resolved or the migration is redirected (§V-D); the library
+// remains frozen either way.
+func (l *Library) StartMigration(dest transport.Address) error {
+	if err := l.enclave.ECall(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.readyLocked(); err != nil {
+		return err
+	}
+
+	// 1. Compute effective counter values before destroying anything.
+	var data MigrationData
+	data.MSK = l.st.MSK
+	for i := 0; i < NumCounters; i++ {
+		if !l.st.CountersActive[i] {
+			continue
+		}
+		hw, err := l.counters.Read(l.enclave, l.st.CounterUUIDs[i])
+		if err != nil {
+			return fmt.Errorf("read counter %d for migration: %w", i, err)
+		}
+		eff, err := l.effectiveLocked(i, hw)
+		if err != nil {
+			return err
+		}
+		data.CountersActive[i] = true
+		data.CounterValues[i] = eff
+	}
+
+	// 2. Destroy all hardware counters; every destroy must succeed before
+	// any data leaves the machine. SGX guarantees destroyed counters can
+	// never be accessed again, so a restarted stale library cannot fork.
+	for i := 0; i < NumCounters; i++ {
+		if !data.CountersActive[i] {
+			continue
+		}
+		if err := l.counters.Destroy(l.enclave, l.st.CounterUUIDs[i]); err != nil {
+			return fmt.Errorf("destroy counter %d before migration: %w", i, err)
+		}
+	}
+
+	// 3. Freeze and persist, so restarts of this enclave refuse to run.
+	l.st.Frozen = 1
+	if err := l.persistLocked(); err != nil {
+		return err
+	}
+
+	// 4. Ship the migration data to the Migration Enclave.
+	raw, err := data.Encode()
+	if err != nil {
+		return err
+	}
+	reply, err := l.localCallLocked(&localRequest{
+		Op:   opMigrateOut,
+		Dest: string(dest),
+		Body: raw,
+	})
+	if err != nil {
+		return fmt.Errorf("send migration data: %w", err)
+	}
+	l.doneToken = reply.Token
+	if reply.Status == statusPending {
+		return fmt.Errorf("%w: %s", ErrMigrationPending, reply.Detail)
+	}
+	return nil
+}
+
+// MigrationComplete asks the local Migration Enclave whether the DONE
+// confirmation for this library's migration has arrived from the
+// destination (the final arrow of Fig. 2).
+func (l *Library) MigrationComplete() (bool, error) {
+	if err := l.enclave.ECall(); err != nil {
+		return false, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.initialized {
+		return false, ErrNotInitialized
+	}
+	if l.doneToken == nil {
+		return false, errors.New("core: no migration started")
+	}
+	reply, err := l.localCallLocked(&localRequest{Op: opCheckDone, Token: l.doneToken})
+	if err != nil {
+		return false, err
+	}
+	return reply.Status == statusDone, nil
+}
+
+// Frozen reports whether the library has been frozen by a migration.
+func (l *Library) Frozen() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st.Frozen != 0
+}
+
+// ActiveCounters returns the number of active counter slots.
+func (l *Library) ActiveCounters() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for i := 0; i < NumCounters; i++ {
+		if l.st.CountersActive[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sgx"
+	"repro/internal/xcrypto"
+)
+
+// Local (Library <-> Migration Enclave) operations, carried over the
+// attested channel established at migration_init.
+const (
+	opMigrateOut    = "migrate-out"
+	opFetchIncoming = "fetch-incoming"
+	opAckRestored   = "ack-restored"
+	opCheckDone     = "check-done"
+)
+
+// Local reply statuses.
+const (
+	statusSent    = "sent"      // data transferred to destination ME
+	statusPending = "pending"   // transfer failed; held at source ME
+	statusNone    = "none"      // no incoming migration waiting
+	statusData    = "data"      // incoming migration data attached
+	statusOK      = "ok"        // generic success
+	statusDone    = "done"      // DONE confirmation received
+	statusWaiting = "in-flight" // migration not yet confirmed
+)
+
+// localRequest is a Library -> Migration Enclave message.
+type localRequest struct {
+	Op    string `json:"op"`
+	Dest  string `json:"dest,omitempty"`
+	Body  []byte `json:"body,omitempty"`
+	Token []byte `json:"token,omitempty"`
+}
+
+// localResponse is a Migration Enclave -> Library message.
+type localResponse struct {
+	Status string `json:"status"`
+	Detail string `json:"detail,omitempty"`
+	Body   []byte `json:"body,omitempty"`
+	Token  []byte `json:"token,omitempty"`
+}
+
+func encodeLocalRequest(r *localRequest) ([]byte, error) {
+	out, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("encode local request: %w", err)
+	}
+	return out, nil
+}
+
+func decodeLocalRequest(raw []byte) (*localRequest, error) {
+	var r localRequest
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDataFormat, err)
+	}
+	return &r, nil
+}
+
+func encodeLocalResponse(r *localResponse) ([]byte, error) {
+	out, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("encode local response: %w", err)
+	}
+	return out, nil
+}
+
+func decodeLocalResponse(raw []byte) (*localResponse, error) {
+	var r localResponse
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDataFormat, err)
+	}
+	return &r, nil
+}
+
+// Network message kinds between Migration Enclaves (Fig. 2's attest /
+// data / DONE arrows).
+const (
+	kindOffer = "migrate-offer"
+	kindData  = "migrate-data"
+	kindDone  = "migrate-done"
+)
+
+// transcriptContext labels the remote-attestation transcript binding.
+const transcriptContext = "me-remote-attestation"
+
+// offerMessage opens the mutual remote attestation: the source ME's quote
+// binds its ephemeral DH public key.
+type offerMessage struct {
+	Quote *wireQuote `json:"quote"`
+	DHPub []byte     `json:"dhPub"`
+}
+
+// offerReply completes the attestation from the destination side: its
+// quote binds both DH keys; the provider certificate and transcript
+// signature authenticate the destination machine (R2).
+type offerReply struct {
+	SessionID string     `json:"sessionID"`
+	Quote     *wireQuote `json:"quote"`
+	DHPub     []byte     `json:"dhPub"`
+	Cert      []byte     `json:"cert"`
+	Sig       []byte     `json:"sig"`
+}
+
+// dataMessage carries the channel-sealed migration envelope, plus the
+// source's provider credential so the destination can authenticate the
+// source machine before accepting (mutual authentication).
+type dataMessage struct {
+	SessionID string `json:"sessionID"`
+	Cert      []byte `json:"cert"`
+	Sig       []byte `json:"sig"`
+	Sealed    []byte `json:"sealed"`
+}
+
+// doneMessage confirms restore completion back to the source ME.
+type doneMessage struct {
+	Token []byte `json:"token"`
+}
+
+// wireQuote is the JSON-transportable form of attest.Quote.
+type wireQuote struct {
+	MREnclave sgx.Measurement `json:"mrenclave"`
+	MRSigner  sgx.Measurement `json:"mrsigner"`
+	Data      []byte          `json:"data"`
+	Cert      []byte          `json:"cert"`
+	Signature []byte          `json:"signature"`
+}
+
+func marshalJSON(v any) ([]byte, error) {
+	out, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("encode protocol message: %w", err)
+	}
+	return out, nil
+}
+
+func unmarshalJSON(raw []byte, v any) error {
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrDataFormat, err)
+	}
+	return nil
+}
+
+// certToWire serializes a certificate for embedding in protocol messages.
+func certToWire(c *xcrypto.Certificate) ([]byte, error) {
+	if c == nil {
+		return nil, fmt.Errorf("%w: missing certificate", ErrDataFormat)
+	}
+	return c.Encode()
+}
+
+// certFromWire parses an embedded certificate.
+func certFromWire(raw []byte) (*xcrypto.Certificate, error) {
+	return xcrypto.DecodeCertificate(raw)
+}

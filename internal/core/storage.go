@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNoBlob reports that untrusted storage holds no library blob.
+var ErrNoBlob = errors.New("core: no persisted library state")
+
+// Storage is the UNTRUSTED persistent storage the application provides to
+// the Migration Library. The paper hands the sealed library blob "over to
+// the untrusted part of the application to store it on the machine"
+// (§VI-B). Everything stored here is attacker-controlled: it may be
+// replayed, swapped, or deleted — the library must stay safe regardless.
+type Storage interface {
+	// Save persists the sealed library blob.
+	Save(blob []byte) error
+	// Load returns the most recently saved blob.
+	Load() ([]byte, error)
+}
+
+// MemoryStorage is an in-memory Storage that additionally records every
+// blob ever saved, so tests and attack scenarios can replay stale state
+// exactly the way the paper's adversary does. It is safe for concurrent
+// use.
+type MemoryStorage struct {
+	mu      sync.Mutex
+	history [][]byte
+}
+
+var _ Storage = (*MemoryStorage)(nil)
+
+// NewMemoryStorage creates an empty storage.
+func NewMemoryStorage() *MemoryStorage { return &MemoryStorage{} }
+
+// Save implements Storage, appending to the replay history.
+func (s *MemoryStorage) Save(blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.history = append(s.history, append([]byte(nil), blob...))
+	return nil
+}
+
+// Load implements Storage, returning the latest blob.
+func (s *MemoryStorage) Load() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.history) == 0 {
+		return nil, ErrNoBlob
+	}
+	last := s.history[len(s.history)-1]
+	return append([]byte(nil), last...), nil
+}
+
+// Snapshot returns blob number i from the history (0 = oldest). Attack
+// scenarios use it to capture pre-migration state for later replay.
+func (s *MemoryStorage) Snapshot(i int) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.history) {
+		return nil, false
+	}
+	return append([]byte(nil), s.history[i]...), true
+}
+
+// Versions returns the number of blobs saved so far.
+func (s *MemoryStorage) Versions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.history)
+}
+
+// Rollback makes version i the current blob — the adversary replaying old
+// persistent state (the OS controls this storage entirely).
+func (s *MemoryStorage) Rollback(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.history) {
+		return false
+	}
+	s.history = append(s.history, append([]byte(nil), s.history[i]...))
+	return true
+}

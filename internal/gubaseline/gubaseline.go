@@ -1,0 +1,324 @@
+// Package gubaseline implements the state-of-the-art baseline the paper
+// compares against: the software-only enclave migration mechanism of
+// Gu et al. [2] ("Secure live migration of SGX enclaves on untrusted
+// cloud", DSN 2017), which migrates an enclave's DATA MEMORY but not its
+// persistent state (sealed data and monotonic counters).
+//
+// The baseline is faithful to the published description:
+//
+//   - A control thread pauses the enclave by spin-locking all worker
+//     threads behind a freeze flag. Whether that flag is persisted is not
+//     stated in the paper, so both variants are implemented (Config), and
+//     the §III-B analysis of both is reproduced in the tests: a
+//     non-persisted flag permits the fork attack; a persisted flag
+//     prevents it but also forever prevents migrating back.
+//   - The enclave's data memory is written out re-encrypted for the same
+//     enclave identity on the destination machine, after a key agreement
+//     authenticated by enclave identity.
+//   - Sealed data and monotonic counters are simply left behind; this is
+//     the gap the paper's attacks (§III) exploit and the Migration
+//     Library (internal/core) closes.
+package gubaseline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/pse"
+	"repro/internal/seal"
+	"repro/internal/sgx"
+	"repro/internal/xcrypto"
+)
+
+// Baseline errors.
+var (
+	ErrFrozen        = errors.New("gubaseline: enclave frozen by migration (spin-lock)")
+	ErrIdentity      = errors.New("gubaseline: destination enclave identity mismatch")
+	ErrImageDecrypt  = errors.New("gubaseline: memory image decryption failed")
+	ErrNotInit       = errors.New("gubaseline: library not initialized")
+	ErrBadCounterRef = errors.New("gubaseline: unknown counter reference")
+)
+
+// Config selects baseline variants analysed in the paper's §III-B.
+type Config struct {
+	// PersistFreeze controls whether the spin-lock freeze flag is written
+	// to persistent storage. Gu et al. do not state this; the paper
+	// analyses both possibilities.
+	PersistFreeze bool
+}
+
+// Library is the Gu et al.-style in-enclave migration library plus plain
+// (non-migratable) wrappers for sealing and counters, which is exactly
+// what an application using this baseline would have at its disposal.
+type Library struct {
+	enclave  *sgx.Enclave
+	counters *pse.Service
+	cfg      Config
+
+	mu       sync.Mutex
+	frozen   bool
+	memory   []byte           // the enclave's migratable data memory
+	refs     map[int]pse.UUID // app counter handle -> hardware UUID
+	nextRef  int
+	freezeFn func(bool) error // persists the freeze flag, if configured
+}
+
+// NewLibrary creates the baseline library for an enclave. persistFreeze
+// is invoked to persist the freeze flag when Config.PersistFreeze is set
+// (it writes to the application's untrusted storage).
+func NewLibrary(enclave *sgx.Enclave, counters *pse.Service, cfg Config, persistFreeze func(bool) error) *Library {
+	return &Library{
+		enclave:  enclave,
+		counters: counters,
+		cfg:      cfg,
+		refs:     make(map[int]pse.UUID),
+		freezeFn: persistFreeze,
+	}
+}
+
+// RestoreFreeze installs a previously persisted freeze flag (called by
+// the application on restart when Config.PersistFreeze is used).
+func (l *Library) RestoreFreeze(frozen bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.frozen = frozen
+}
+
+// checkReady validates enclave liveness and the spin-lock.
+func (l *Library) checkReadyLocked() error {
+	if l.frozen {
+		return ErrFrozen
+	}
+	return nil
+}
+
+// SetMemory stores the enclave's migratable data memory (the application
+// state that Gu et al.'s mechanism transfers).
+func (l *Library) SetMemory(data []byte) error {
+	if err := l.enclave.ECall(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkReadyLocked(); err != nil {
+		return err
+	}
+	l.memory = append([]byte(nil), data...)
+	return nil
+}
+
+// Memory returns the enclave's current data memory.
+func (l *Library) Memory() ([]byte, error) {
+	if err := l.enclave.ECall(); err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkReadyLocked(); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), l.memory...), nil
+}
+
+// Seal seals data with the NATIVE machine-specific sealing key — after
+// migration this data is unrecoverable (the paper's data-loss risk).
+func (l *Library) Seal(aad, plaintext []byte) ([]byte, error) {
+	if err := l.enclave.ECall(); err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkReadyLocked(); err != nil {
+		return nil, err
+	}
+	return seal.Seal(l.enclave, sgx.PolicyMRENCLAVE, aad, plaintext)
+}
+
+// Unseal reverses Seal on the same machine.
+func (l *Library) Unseal(blob []byte) (plaintext, aad []byte, err error) {
+	if err := l.enclave.ECall(); err != nil {
+		return nil, nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkReadyLocked(); err != nil {
+		return nil, nil, err
+	}
+	return seal.Unseal(l.enclave, blob)
+}
+
+// CreateCounter allocates a hardware counter; the handle is only valid on
+// this machine and is NOT migrated by the baseline.
+func (l *Library) CreateCounter() (int, uint32, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkReadyLocked(); err != nil {
+		return 0, 0, err
+	}
+	uuid, v, err := l.counters.Create(l.enclave)
+	if err != nil {
+		return 0, 0, err
+	}
+	ref := l.nextRef
+	l.nextRef++
+	l.refs[ref] = uuid
+	return ref, v, nil
+}
+
+// AdoptCounter re-attaches a counter UUID persisted by the application
+// (how a restarted baseline app finds its counters again).
+func (l *Library) AdoptCounter(uuid pse.UUID) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ref := l.nextRef
+	l.nextRef++
+	l.refs[ref] = uuid
+	return ref
+}
+
+// CounterUUID exposes the hardware UUID for persistence by the app.
+func (l *Library) CounterUUID(ref int) (pse.UUID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	uuid, ok := l.refs[ref]
+	if !ok {
+		return pse.UUID{}, ErrBadCounterRef
+	}
+	return uuid, nil
+}
+
+// IncrementCounter increments a hardware counter.
+func (l *Library) IncrementCounter(ref int) (uint32, error) {
+	l.mu.Lock()
+	uuid, ok := l.refs[ref]
+	frozen := l.frozen
+	l.mu.Unlock()
+	if frozen {
+		return 0, ErrFrozen
+	}
+	if !ok {
+		return 0, ErrBadCounterRef
+	}
+	return l.counters.Increment(l.enclave, uuid)
+}
+
+// ReadCounter reads a hardware counter.
+func (l *Library) ReadCounter(ref int) (uint32, error) {
+	l.mu.Lock()
+	uuid, ok := l.refs[ref]
+	frozen := l.frozen
+	l.mu.Unlock()
+	if frozen {
+		return 0, ErrFrozen
+	}
+	if !ok {
+		return 0, ErrBadCounterRef
+	}
+	return l.counters.Read(l.enclave, uuid)
+}
+
+// MemoryImage is the encrypted enclave-memory export produced on the
+// source machine and consumed on the destination.
+type MemoryImage struct {
+	MREnclave sgx.Measurement
+	DHPub     []byte
+	Sealed    []byte
+}
+
+// ExportMemory freezes the enclave (spin-locking its workers) and writes
+// out the data memory re-encrypted for the same enclave identity on the
+// destination, using a DH exchange bound to the enclave measurement.
+// destDHPub is the destination library's handshake key (obtained from
+// PrepareImport).
+func (l *Library) ExportMemory(destDHPub []byte) (*MemoryImage, error) {
+	if err := l.enclave.ECall(); err != nil {
+		return nil, err
+	}
+	dh, err := xcrypto.NewKeyExchange()
+	if err != nil {
+		return nil, fmt.Errorf("export dh: %w", err)
+	}
+	shared, err := dh.Shared(destDHPub)
+	if err != nil {
+		return nil, fmt.Errorf("export shared: %w", err)
+	}
+	l.mu.Lock()
+	if l.frozen {
+		l.mu.Unlock()
+		return nil, ErrFrozen
+	}
+	// Control thread sets the freeze flag: all worker threads spin.
+	l.frozen = true
+	memory := append([]byte(nil), l.memory...)
+	l.mu.Unlock()
+
+	if l.cfg.PersistFreeze && l.freezeFn != nil {
+		if err := l.freezeFn(true); err != nil {
+			return nil, fmt.Errorf("persist freeze flag: %w", err)
+		}
+	}
+	mr := l.enclave.MREnclave()
+	key := xcrypto.DeriveKey(shared, "gu-memory-image", mr[:], dh.PublicBytes(), destDHPub)
+	sealed, err := xcrypto.Encrypt(key[:], memory, mr[:])
+	if err != nil {
+		return nil, fmt.Errorf("encrypt memory: %w", err)
+	}
+	return &MemoryImage{MREnclave: mr, DHPub: dh.PublicBytes(), Sealed: sealed}, nil
+}
+
+// ImportHandshake is the destination side's half-open DH state.
+type ImportHandshake struct {
+	dh *xcrypto.KeyExchange
+}
+
+// PublicKey returns the handshake key to give to the source.
+func (h *ImportHandshake) PublicKey() []byte { return h.dh.PublicBytes() }
+
+// PrepareImport opens the destination side of the memory transfer.
+func (l *Library) PrepareImport() (*ImportHandshake, error) {
+	if err := l.enclave.ECall(); err != nil {
+		return nil, err
+	}
+	dh, err := xcrypto.NewKeyExchange()
+	if err != nil {
+		return nil, fmt.Errorf("import dh: %w", err)
+	}
+	return &ImportHandshake{dh: dh}, nil
+}
+
+// ImportMemory installs a migrated memory image into the destination
+// enclave. It fails if the image was produced for a different enclave
+// identity or has been tampered with.
+func (l *Library) ImportMemory(h *ImportHandshake, img *MemoryImage) error {
+	if err := l.enclave.ECall(); err != nil {
+		return err
+	}
+	if img == nil || h == nil {
+		return ErrImageDecrypt
+	}
+	if img.MREnclave != l.enclave.MREnclave() {
+		return ErrIdentity
+	}
+	shared, err := h.dh.Shared(img.DHPub)
+	if err != nil {
+		return fmt.Errorf("import shared: %w", err)
+	}
+	mr := l.enclave.MREnclave()
+	key := xcrypto.DeriveKey(shared, "gu-memory-image", mr[:], img.DHPub, h.PublicKey())
+	memory, err := xcrypto.Decrypt(key[:], img.Sealed, mr[:])
+	if err != nil {
+		return ErrImageDecrypt
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.memory = memory
+	return nil
+}
+
+// Frozen reports whether the spin-lock is engaged.
+func (l *Library) Frozen() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.frozen
+}

@@ -1,0 +1,395 @@
+package gubaseline
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/pse"
+	"repro/internal/seal"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+	"repro/internal/xcrypto"
+)
+
+type machine struct {
+	hw       *sgx.Machine
+	counters *pse.Service
+}
+
+func newTestMachine(t *testing.T, id sgx.MachineID) *machine {
+	t.Helper()
+	lat := sim.NewInstantLatency()
+	hw, err := sgx.NewMachine(id, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &machine{hw: hw, counters: pse.NewService(lat)}
+}
+
+func appImage(t *testing.T) *sgx.Image {
+	t.Helper()
+	pub, _, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sgx.Image{Name: "payment-app", Version: 1, Code: []byte("app"), SignerPublicKey: pub}
+}
+
+func loadLib(t *testing.T, m *machine, img *sgx.Image, cfg Config, persist func(bool) error) (*Library, *sgx.Enclave) {
+	t.Helper()
+	e, err := m.hw.Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLibrary(e, m.counters, cfg, persist), e
+}
+
+func TestMemoryMigrationRoundTrip(t *testing.T) {
+	img := appImage(t)
+	src := newTestMachine(t, "A")
+	dst := newTestMachine(t, "B")
+	libSrc, _ := loadLib(t, src, img, Config{}, nil)
+	libDst, _ := loadLib(t, dst, img, Config{}, nil)
+
+	state := []byte("in-enclave working state")
+	if err := libSrc.SetMemory(state); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := libDst.PrepareImport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	image, err := libSrc.ExportMemory(hs.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := libDst.ImportMemory(hs, image); err != nil {
+		t.Fatal(err)
+	}
+	got, err := libDst.Memory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, state) {
+		t.Fatal("memory mismatch after migration")
+	}
+	// Source is spin-locked.
+	if !libSrc.Frozen() {
+		t.Fatal("source not frozen")
+	}
+	if _, err := libSrc.Memory(); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("frozen source served memory: %v", err)
+	}
+}
+
+func TestMemoryImageBoundToIdentity(t *testing.T) {
+	img := appImage(t)
+	other := appImage(t)
+	other.Name = "evil-lookalike" // different code -> different MRENCLAVE
+	src := newTestMachine(t, "A")
+	dst := newTestMachine(t, "B")
+	libSrc, _ := loadLib(t, src, img, Config{}, nil)
+	libEvil, _ := loadLib(t, dst, other, Config{}, nil)
+
+	_ = libSrc.SetMemory([]byte("secret"))
+	hs, _ := libEvil.PrepareImport()
+	image, err := libSrc.ExportMemory(hs.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := libEvil.ImportMemory(hs, image); !errors.Is(err, ErrIdentity) {
+		t.Fatalf("foreign enclave imported memory: %v", err)
+	}
+	// Tampered image fails decryption even with correct identity.
+	libDst, _ := loadLib(t, dst, img, Config{}, nil)
+	hs2, _ := libDst.PrepareImport()
+	image2, _ := libSrc2Export(t, src, img, hs2.PublicKey())
+	image2.Sealed[0] ^= 1
+	if err := libDst.ImportMemory(hs2, image2); !errors.Is(err, ErrImageDecrypt) {
+		t.Fatalf("tampered image accepted: %v", err)
+	}
+}
+
+// libSrc2Export loads a fresh source library and exports its memory.
+func libSrc2Export(t *testing.T, m *machine, img *sgx.Image, destPub []byte) (*MemoryImage, error) {
+	t.Helper()
+	lib, _ := loadLib(t, m, img, Config{}, nil)
+	_ = lib.SetMemory([]byte("secret"))
+	return lib.ExportMemory(destPub)
+}
+
+func TestSealedDataLostAfterBaselineMigration(t *testing.T) {
+	// The paper's data-loss observation: natively sealed data cannot be
+	// unsealed on the destination machine.
+	img := appImage(t)
+	src := newTestMachine(t, "A")
+	dst := newTestMachine(t, "B")
+	libSrc, _ := loadLib(t, src, img, Config{}, nil)
+	libDst, _ := loadLib(t, dst, img, Config{}, nil)
+
+	blob, err := libSrc.Seal(nil, []byte("keys and secrets"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := libDst.Unseal(blob); err == nil {
+		t.Fatal("sealed data unsealed on destination: simulation broken")
+	}
+}
+
+// --- The versioned-state application used by the §III attacks -----------
+
+// appState is the Teechan/TrInX-style pattern: state sealed together with
+// a version number matched against a monotonic counter on restore.
+type appState struct {
+	Balance int    `json:"balance"`
+	Version uint32 `json:"version"`
+}
+
+// persistKDC seals state+version under a cloud KDC key (the §III-C
+// "improved mechanism" that makes sealed data readable after migration).
+func persistKDC(t *testing.T, lib *Library, kdcKey []byte, counterRef int, balance int) []byte {
+	t.Helper()
+	v, err := lib.IncrementCounter(counterRef)
+	if err != nil {
+		t.Fatalf("increment for persist: %v", err)
+	}
+	raw, err := json.Marshal(appState{Balance: balance, Version: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := seal.SealRaw(kdcKey, nil, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// restoreKDC unseals and enforces the version check; it reports whether
+// the state was ACCEPTED (version matches the local counter).
+func restoreKDC(t *testing.T, lib *Library, kdcKey []byte, counterRef int, blob []byte) (appState, bool) {
+	t.Helper()
+	raw, _, err := seal.UnsealRaw(kdcKey, blob)
+	if err != nil {
+		t.Fatalf("kdc unseal: %v", err)
+	}
+	var st appState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := lib.ReadCounter(counterRef)
+	if err != nil {
+		t.Fatalf("read counter: %v", err)
+	}
+	return st, st.Version == cur
+}
+
+// TestForkAttackSucceedsAgainstBaseline reproduces §III-B step by step
+// against the Gu et al. baseline with a NON-persisted freeze flag: after
+// migration, the source enclave can be restarted from its old persistent
+// state and runs concurrently with the migrated copy.
+func TestForkAttackSucceedsAgainstBaseline(t *testing.T) {
+	img := appImage(t)
+	mA := newTestMachine(t, "A")
+	mB := newTestMachine(t, "B")
+
+	// Step 1 (start-stop-restart): enclave on A creates counter c,
+	// increments it (c=1) and persists state with v=1 (natively sealed —
+	// it stays on A).
+	libA, _ := loadLib(t, mA, img, Config{PersistFreeze: false}, nil)
+	refA, _, err := libA.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vA, err := libA.IncrementCounter(refA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateRaw, _ := json.Marshal(appState{Balance: 100, Version: vA})
+	blobA, err := libA.Seal(nil, stateRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uuidA, _ := libA.CounterUUID(refA)
+	_ = libA.SetMemory(stateRaw)
+
+	// Step 2 (migrate): VM moves to B using the baseline's memory
+	// migration. The app continues on B with NEW counters.
+	libB, _ := loadLib(t, mB, img, Config{}, nil)
+	hs, _ := libB.PrepareImport()
+	image, err := libA.ExportMemory(hs.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := libB.ImportMemory(hs, image); err != nil {
+		t.Fatal(err)
+	}
+	refB, _, err := libB.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // transactions on B: v' = 1,2,3
+		if _, err := libB.IncrementCounter(refB); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Step 3 (terminate-restart): on A, the process is terminated and
+	// restarted. The freeze flag lived only in enclave memory, so the
+	// fresh instance is NOT frozen. It adopts the old counter and old
+	// sealed state — both still present on A.
+	libA2, eA2 := loadLib(t, mA, img, Config{PersistFreeze: false}, nil)
+	refA2 := libA2.AdoptCounter(uuidA)
+	raw, _, err := libA2.Unseal(blobA)
+	if err != nil {
+		t.Fatalf("old state must unseal on A: %v", err)
+	}
+	var st appState
+	_ = json.Unmarshal(raw, &st)
+	cur, err := libA2.ReadCounter(refA2)
+	if err != nil {
+		t.Fatalf("old counter must still exist on A: %v", err)
+	}
+	if st.Version != cur {
+		t.Fatalf("version check failed: %d != %d", st.Version, cur)
+	}
+	// THE FORK: both instances are live and can transact independently.
+	if _, err := libA2.IncrementCounter(refA2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := libB.IncrementCounter(refB); err != nil {
+		t.Fatal(err)
+	}
+	if !eA2.Alive() {
+		t.Fatal("forked source instance not alive")
+	}
+	t.Log("fork attack succeeded against the baseline (as the paper predicts)")
+}
+
+// TestPersistedFreezeFlagPreventsForkButBlocksReturn reproduces the
+// paper's analysis of the alternative: if the Gu et al. freeze flag IS
+// persisted, the fork fails, but the enclave can never migrate back to
+// the source machine.
+func TestPersistedFreezeFlagPreventsForkButBlocksReturn(t *testing.T) {
+	img := appImage(t)
+	mA := newTestMachine(t, "A")
+	mB := newTestMachine(t, "B")
+
+	var persistedFlag bool
+	persist := func(f bool) error { persistedFlag = f; return nil }
+
+	libA, _ := loadLib(t, mA, img, Config{PersistFreeze: true}, persist)
+	_ = libA.SetMemory([]byte("state"))
+	libB, _ := loadLib(t, mB, img, Config{}, nil)
+	hs, _ := libB.PrepareImport()
+	image, err := libA.ExportMemory(hs.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := libB.ImportMemory(hs, image); err != nil {
+		t.Fatal(err)
+	}
+	if !persistedFlag {
+		t.Fatal("freeze flag not persisted")
+	}
+
+	// Fork attempt: restart on A; the persisted flag freezes the new
+	// instance immediately -> fork prevented.
+	libA2, _ := loadLib(t, mA, img, Config{PersistFreeze: true}, persist)
+	libA2.RestoreFreeze(persistedFlag)
+	if _, err := libA2.Memory(); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("persisted flag did not freeze restart: %v", err)
+	}
+	if _, _, err := libA2.CreateCounter(); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("frozen library created counter: %v", err)
+	}
+
+	// But migrating BACK to A is now impossible: the instance on A is
+	// frozen forever, indistinguishable from a fork attempt.
+	hsBack, _ := libA2.PrepareImport()
+	imageBack, err := libB.ExportMemory(hsBack.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := libA2.ImportMemory(hsBack, imageBack); err != nil {
+		t.Fatal(err) // import itself works...
+	}
+	if _, err := libA2.Memory(); !errors.Is(err, ErrFrozen) {
+		t.Fatal("...but the frozen library must still refuse to operate")
+	}
+}
+
+// TestRollbackAttackSucceedsAgainstBaseline reproduces §III-C: with
+// migratable (KDC-based) sealing but machine-local counters, migration
+// lets the adversary roll the enclave state back.
+func TestRollbackAttackSucceedsAgainstBaseline(t *testing.T) {
+	img := appImage(t)
+	mA := newTestMachine(t, "A")
+	mB := newTestMachine(t, "B")
+	kdcKey, err := xcrypto.RandomBytes(16) // cloud KDC key, available on all machines
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 1: on A, create counter, persist v=1 (balance 100).
+	libA, _ := loadLib(t, mA, img, Config{}, nil)
+	refA, _, err := libA.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobV1 := persistKDC(t, libA, kdcKey, refA, 100)
+
+	// Step 2: continue on A — the balance drops as the enclave spends;
+	// v=2 (balance 60), v=3 (balance 10).
+	_ = persistKDC(t, libA, kdcKey, refA, 60)
+	blobV3 := persistKDC(t, libA, kdcKey, refA, 10)
+
+	// Step 3+4: migrate the VM to B. On termination there, the enclave
+	// creates a NEW counter on B (none exist yet) and increments it to 1.
+	libB, _ := loadLib(t, mB, img, Config{}, nil)
+	refB, _, err := libB.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := libB.IncrementCounter(refB); err != nil { // c' = 1
+		t.Fatal(err)
+	}
+
+	// Step 5: restart on B, but the adversary supplies the ORIGINAL v=1
+	// package from step 1. The version check passes (c' == v == 1):
+	// the roll-back is accepted.
+	stale, accepted := restoreKDC(t, libB, kdcKey, refB, blobV1)
+	if !accepted {
+		t.Fatal("rollback attack failed: stale state rejected (baseline too strong)")
+	}
+	if stale.Balance != 100 {
+		t.Fatalf("stale balance = %d", stale.Balance)
+	}
+	// Sanity: the true latest state was v=3, balance 10.
+	latest, latestAccepted := restoreKDC(t, libB, kdcKey, refB, blobV3)
+	if latestAccepted {
+		t.Fatal("latest state accepted too — version check not in play")
+	}
+	if latest.Balance != 10 {
+		t.Fatalf("latest balance = %d", latest.Balance)
+	}
+	t.Log("roll-back attack succeeded against the baseline (as the paper predicts)")
+}
+
+func TestDoubleExportRefused(t *testing.T) {
+	img := appImage(t)
+	mA := newTestMachine(t, "A")
+	mB := newTestMachine(t, "B")
+	libA, _ := loadLib(t, mA, img, Config{}, nil)
+	libB, _ := loadLib(t, mB, img, Config{}, nil)
+	hs, _ := libB.PrepareImport()
+	if _, err := libA.ExportMemory(hs.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := libA.ExportMemory(hs.PublicKey()); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("second export: %v", err)
+	}
+}

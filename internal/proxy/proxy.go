@@ -1,0 +1,169 @@
+// Package proxy implements the two-proxy topology of the paper's §VI-C:
+// the SGX SDK talks to the Platform Services enclaves over a Unix socket,
+// but in a virtualized deployment the Platform Services live in the
+// management VM. One proxy inside the guest VM accepts the SDK's Unix-
+// socket connections and forwards them over TCP; a second proxy inside
+// the management VM accepts those TCP connections and forwards them to
+// the Platform Services' real Unix socket.
+//
+// As the paper notes, the original Unix-socket hop is already exposed to
+// the untrusted OS, so inserting two untrusted proxies does not change
+// the security guarantees — everything that matters is protected by the
+// enclave-level channels above.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// ErrClosed reports use of a closed forwarder.
+var ErrClosed = errors.New("proxy: forwarder closed")
+
+// Forwarder accepts connections on one address and pipes each one
+// bidirectionally to a dial target. It is protocol-agnostic.
+type Forwarder struct {
+	listener net.Listener
+	dialNet  string
+	dialAddr string
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewForwarder starts a forwarder listening on (listenNet, listenAddr)
+// and forwarding each accepted connection to (dialNet, dialAddr).
+// Supported networks are "unix" and "tcp".
+func NewForwarder(listenNet, listenAddr, dialNet, dialAddr string) (*Forwarder, error) {
+	ln, err := net.Listen(listenNet, listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("proxy listen %s/%s: %w", listenNet, listenAddr, err)
+	}
+	f := &Forwarder{
+		listener: ln,
+		dialNet:  dialNet,
+		dialAddr: dialAddr,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return f, nil
+}
+
+// Addr returns the actual listen address (useful for port 0).
+func (f *Forwarder) Addr() net.Addr { return f.listener.Addr() }
+
+func (f *Forwarder) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		f.conns[conn] = struct{}{}
+		f.mu.Unlock()
+		f.wg.Add(1)
+		go f.pipe(conn)
+	}
+}
+
+// pipe connects one accepted connection to the dial target and copies
+// bytes in both directions until either side closes.
+func (f *Forwarder) pipe(client net.Conn) {
+	defer f.wg.Done()
+	defer f.forget(client)
+	defer client.Close()
+
+	upstream, err := net.Dial(f.dialNet, f.dialAddr)
+	if err != nil {
+		return // client connection dropped; SDK will retry
+	}
+	defer upstream.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = io.Copy(upstream, client)
+		// Half-close towards upstream if supported, so request/response
+		// protocols that signal end-of-request by close still work.
+		if cw, ok := upstream.(interface{ CloseWrite() error }); ok {
+			_ = cw.CloseWrite()
+		}
+	}()
+	_, _ = io.Copy(client, upstream)
+	if cw, ok := client.(interface{ CloseWrite() error }); ok {
+		_ = cw.CloseWrite()
+	}
+	<-done
+}
+
+func (f *Forwarder) forget(conn net.Conn) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.conns, conn)
+}
+
+// Close stops accepting, tears down active connections, and waits for
+// all goroutines to exit.
+func (f *Forwarder) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	f.closed = true
+	for conn := range f.conns {
+		_ = conn.Close()
+	}
+	f.mu.Unlock()
+	err := f.listener.Close()
+	f.wg.Wait()
+	return err
+}
+
+// Pair is the paper's two-proxy deployment: guest-side Unix listener
+// forwarding over TCP into the management VM, which forwards to the
+// Platform Services Unix socket.
+type Pair struct {
+	// GuestSide accepts the SDK's Unix-socket connections in the guest VM.
+	GuestSide *Forwarder
+	// ManagementSide accepts TCP from guests and forwards to the PSE.
+	ManagementSide *Forwarder
+}
+
+// NewPair wires the full guest→management→PSE path:
+// guestSocket (unix, created) → mgmt TCP (loopback, created) → pseSocket
+// (unix, must already have the Platform Services listening).
+func NewPair(guestSocket, pseSocket string) (*Pair, error) {
+	mgmt, err := NewForwarder("tcp", "127.0.0.1:0", "unix", pseSocket)
+	if err != nil {
+		return nil, fmt.Errorf("management proxy: %w", err)
+	}
+	guest, err := NewForwarder("unix", guestSocket, "tcp", mgmt.Addr().String())
+	if err != nil {
+		_ = mgmt.Close()
+		return nil, fmt.Errorf("guest proxy: %w", err)
+	}
+	return &Pair{GuestSide: guest, ManagementSide: mgmt}, nil
+}
+
+// Close tears down both proxies.
+func (p *Pair) Close() error {
+	err1 := p.GuestSide.Close()
+	err2 := p.ManagementSide.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -1,0 +1,155 @@
+package proxy
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// echoUnixServer runs a line-echo service on a Unix socket, standing in
+// for the Platform Services enclave endpoint.
+func echoUnixServer(t *testing.T, socket string) {
+	t.Helper()
+	ln, err := net.Listen("unix", socket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	t.Cleanup(func() {
+		_ = ln.Close()
+		wg.Wait()
+	})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					fmt.Fprintf(conn, "pse:%s\n", sc.Text())
+				}
+			}()
+		}
+	}()
+}
+
+func roundTrip(t *testing.T, network, addr, msg string) string {
+	t.Helper()
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "%s\n", msg); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(line)
+}
+
+func TestForwarderTCPToUnix(t *testing.T) {
+	dir := t.TempDir()
+	pseSocket := filepath.Join(dir, "pse.sock")
+	echoUnixServer(t, pseSocket)
+
+	fw, err := NewForwarder("tcp", "127.0.0.1:0", "unix", pseSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+
+	if got := roundTrip(t, "tcp", fw.Addr().String(), "hello"); got != "pse:hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestProxyPairFullPath(t *testing.T) {
+	// SDK (unix) -> guest proxy -> TCP -> management proxy -> PSE (unix):
+	// the exact §VI-C topology.
+	dir := t.TempDir()
+	pseSocket := filepath.Join(dir, "pse.sock")
+	guestSocket := filepath.Join(dir, "sdk.sock")
+	echoUnixServer(t, pseSocket)
+
+	pair, err := NewPair(guestSocket, pseSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+
+	if got := roundTrip(t, "unix", guestSocket, "create-counter"); got != "pse:create-counter" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestProxyPairConcurrentClients(t *testing.T) {
+	dir := t.TempDir()
+	pseSocket := filepath.Join(dir, "pse.sock")
+	guestSocket := filepath.Join(dir, "sdk.sock")
+	echoUnixServer(t, pseSocket)
+	pair, err := NewPair(guestSocket, pseSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pair.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := fmt.Sprintf("req-%d", i)
+			if got := roundTrip(t, "unix", guestSocket, msg); got != "pse:"+msg {
+				t.Errorf("client %d got %q", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestForwarderUpstreamDown(t *testing.T) {
+	dir := t.TempDir()
+	fw, err := NewForwarder("tcp", "127.0.0.1:0", "unix", filepath.Join(dir, "nonexistent.sock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	conn, err := net.Dial("tcp", fw.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// The proxy drops the connection; reading yields EOF promptly.
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected closed connection")
+	}
+}
+
+func TestForwarderDoubleClose(t *testing.T) {
+	fw, err := NewForwarder("tcp", "127.0.0.1:0", "tcp", "127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package pse simulates the Intel Platform Services Enclave's monotonic
+// counter facility (paper §II-A5): up to 256 hardware-backed counters per
+// enclave identity, addressed by a UUID consisting of a counter ID and a
+// nonce. Counters are maintained by platform firmware (the Intel
+// Management Engine), which makes them
+//
+//   - machine-local: they do not exist on any other machine,
+//   - monotonic: they can never be decremented,
+//   - non-recreatable: a destroyed counter's UUID can never be reissued,
+//     so an attacker cannot destroy a counter and mint a fresh one with
+//     the same identifier but a lower value, and
+//   - slow: every operation is a rate-limited firmware transaction, which
+//     dominates the costs in the paper's Figure 3.
+//
+// The service survives both enclave restarts and machine reboots, exactly
+// like the ME-backed counters it models.
+package pse
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sgx"
+	"repro/internal/sim"
+	"repro/internal/xcrypto"
+)
+
+// MaxCounters is the per-enclave-identity counter limit (256 on SGX).
+const MaxCounters = 256
+
+// Counter service errors.
+var (
+	ErrCounterNotFound = errors.New("pse: counter does not exist")
+	ErrCounterLimit    = errors.New("pse: counter limit reached")
+	ErrNotOwner        = errors.New("pse: counter owned by a different enclave")
+	ErrCounterOverflow = errors.New("pse: counter value overflow")
+	ErrUUIDReuse       = errors.New("pse: counter UUID was destroyed and cannot be reused")
+)
+
+// UUID identifies a monotonic counter: the counter ID names it, the nonce
+// proves the caller created it (paper §II-A5).
+type UUID struct {
+	ID    uint32
+	Nonce [16]byte
+}
+
+// String renders the UUID for diagnostics.
+func (u UUID) String() string { return fmt.Sprintf("ctr-%d-%x", u.ID, u.Nonce[:4]) }
+
+// counter is one firmware-held monotonic counter.
+type counter struct {
+	uuid  UUID
+	owner sgx.Measurement
+	value uint32
+}
+
+// Service is the per-machine Platform Services counter manager.
+// It is safe for concurrent use.
+type Service struct {
+	lat *sim.Latency
+
+	mu        sync.Mutex
+	counters  map[uint32]*counter
+	perOwner  map[sgx.Measurement]int
+	nextID    uint32
+	destroyed map[uint32]bool
+}
+
+// NewService creates the counter service for one machine.
+func NewService(lat *sim.Latency) *Service {
+	return &Service{
+		lat:       lat,
+		counters:  make(map[uint32]*counter),
+		perOwner:  make(map[sgx.Measurement]int),
+		destroyed: make(map[uint32]bool),
+	}
+}
+
+// Create allocates a fresh monotonic counter for the calling enclave with
+// initial value 0 and returns its UUID and value.
+func (s *Service) Create(e *sgx.Enclave) (UUID, uint32, error) {
+	if err := e.ECall(); err != nil {
+		return UUID{}, 0, err
+	}
+	s.lat.Charge(sim.OpCounterCreate)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	owner := e.MREnclave()
+	if s.perOwner[owner] >= MaxCounters {
+		return UUID{}, 0, ErrCounterLimit
+	}
+	nonce, err := xcrypto.RandomBytes(16)
+	if err != nil {
+		return UUID{}, 0, fmt.Errorf("counter nonce: %w", err)
+	}
+	s.nextID++
+	c := &counter{owner: owner}
+	c.uuid.ID = s.nextID
+	copy(c.uuid.Nonce[:], nonce)
+	s.counters[c.uuid.ID] = c
+	s.perOwner[owner]++
+	return c.uuid, c.value, nil
+}
+
+// lookup fetches a counter, enforcing UUID (ID+nonce) and owner checks.
+func (s *Service) lookup(e *sgx.Enclave, uuid UUID) (*counter, error) {
+	if s.destroyed[uuid.ID] {
+		return nil, ErrCounterNotFound
+	}
+	c, ok := s.counters[uuid.ID]
+	if !ok {
+		return nil, ErrCounterNotFound
+	}
+	if subtle.ConstantTimeCompare(c.uuid.Nonce[:], uuid.Nonce[:]) != 1 {
+		// Wrong nonce: the caller did not create this counter. Report
+		// not-found rather than leaking its existence.
+		return nil, ErrCounterNotFound
+	}
+	if c.owner != e.MREnclave() {
+		return nil, ErrNotOwner
+	}
+	return c, nil
+}
+
+// Read returns the current counter value.
+func (s *Service) Read(e *sgx.Enclave, uuid UUID) (uint32, error) {
+	if err := e.ECall(); err != nil {
+		return 0, err
+	}
+	s.lat.Charge(sim.OpCounterRead)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.lookup(e, uuid)
+	if err != nil {
+		return 0, err
+	}
+	return c.value, nil
+}
+
+// Increment adds one to the counter and returns the new value. The
+// firmware guarantees the counter can never go backwards.
+func (s *Service) Increment(e *sgx.Enclave, uuid UUID) (uint32, error) {
+	if err := e.ECall(); err != nil {
+		return 0, err
+	}
+	s.lat.Charge(sim.OpCounterIncrement)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.lookup(e, uuid)
+	if err != nil {
+		return 0, err
+	}
+	if c.value == ^uint32(0) {
+		return 0, ErrCounterOverflow
+	}
+	c.value++
+	return c.value, nil
+}
+
+// Destroy permanently removes a counter. Its UUID can never be reused:
+// any later access fails, which is the property the Migration Library's
+// fork prevention rests on (paper §VI-B).
+func (s *Service) Destroy(e *sgx.Enclave, uuid UUID) error {
+	if err := e.ECall(); err != nil {
+		return err
+	}
+	s.lat.Charge(sim.OpCounterDestroy)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.lookup(e, uuid)
+	if err != nil {
+		return err
+	}
+	delete(s.counters, uuid.ID)
+	s.destroyed[uuid.ID] = true
+	s.perOwner[c.owner]--
+	return nil
+}
+
+// Count returns the number of live counters owned by the given identity.
+func (s *Service) Count(owner sgx.Measurement) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.perOwner[owner]
+}
+
+// TotalLive returns the number of live counters on the machine.
+func (s *Service) TotalLive() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.counters)
+}

@@ -1,0 +1,145 @@
+// Package seal implements the SGX SDK sealing functions on top of the
+// simulated hardware: sgx_seal_data / sgx_unseal_data equivalents that
+// encrypt data with AES-GCM under a key obtained via EGETKEY, bound to
+// either the enclave identity (MRENCLAVE) or the signing identity
+// (MRSIGNER) (paper §II-A4).
+//
+// As on real SGX, sealing guarantees confidentiality and integrity but NOT
+// freshness: an untrusted OS can always hand the enclave an older sealed
+// blob. Roll-back protection is the application's job, usually via
+// monotonic counters (package pse) — which is exactly the gap the paper's
+// migration framework has to preserve and migrate.
+package seal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/sgx"
+)
+
+// Sealing errors.
+var (
+	ErrBlobFormat   = errors.New("seal: malformed sealed blob")
+	ErrUnseal       = errors.New("seal: unsealing failed")
+	ErrWrongMachine = errors.New("seal: sealed on a different machine or enclave")
+)
+
+// blobMagic identifies sealed blobs on the wire.
+var blobMagic = []byte("SGXSEAL1")
+
+// Blob is the serialized sealed-data format: a cleartext header naming the
+// key policy plus the AES-GCM ciphertext. The additional MAC text (AAD) is
+// carried in the clear but authenticated, mirroring sgx_seal_data's
+// additional_MACtext parameter.
+type Blob struct {
+	Policy  sgx.KeyPolicy
+	KeyID   []byte
+	AAD     []byte
+	Payload []byte // nonce || ciphertext || tag
+}
+
+// Encode serializes a blob.
+func (b *Blob) Encode() []byte {
+	var buf bytes.Buffer
+	buf.Write(blobMagic)
+	buf.WriteByte(byte(b.Policy))
+	writeChunk(&buf, b.KeyID)
+	writeChunk(&buf, b.AAD)
+	writeChunk(&buf, b.Payload)
+	return buf.Bytes()
+}
+
+// DecodeBlob parses a sealed blob.
+func DecodeBlob(data []byte) (*Blob, error) {
+	if len(data) < len(blobMagic)+1 || !bytes.Equal(data[:len(blobMagic)], blobMagic) {
+		return nil, ErrBlobFormat
+	}
+	rest := data[len(blobMagic):]
+	policy := sgx.KeyPolicy(rest[0])
+	rest = rest[1:]
+	keyID, rest, err := readChunk(rest)
+	if err != nil {
+		return nil, err
+	}
+	aad, rest, err := readChunk(rest)
+	if err != nil {
+		return nil, err
+	}
+	payload, rest, err := readChunk(rest)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, ErrBlobFormat
+	}
+	return &Blob{Policy: policy, KeyID: keyID, AAD: aad, Payload: payload}, nil
+}
+
+func writeChunk(buf *bytes.Buffer, b []byte) {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(b)))
+	buf.Write(n[:])
+	buf.Write(b)
+}
+
+func readChunk(data []byte) (chunk, rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, ErrBlobFormat
+	}
+	n := binary.BigEndian.Uint32(data[:4])
+	data = data[4:]
+	if uint32(len(data)) < n {
+		return nil, nil, ErrBlobFormat
+	}
+	return data[:n], data[n:], nil
+}
+
+// Seal is the sgx_seal_data equivalent: it encrypts plaintext for the
+// enclave under the given key policy, authenticating aad alongside.
+// The sealing key is fetched via EGETKEY on every call, as the SDK does.
+func Seal(e *sgx.Enclave, policy sgx.KeyPolicy, aad, plaintext []byte) ([]byte, error) {
+	return SealWithKeyID(e, policy, nil, aad, plaintext)
+}
+
+// SealWithKeyID seals under a specific key ID, allowing an enclave to keep
+// several independent sealing keys.
+func SealWithKeyID(e *sgx.Enclave, policy sgx.KeyPolicy, keyID, aad, plaintext []byte) ([]byte, error) {
+	key, err := e.GetKey(sgx.KeySeal, policy, keyID)
+	if err != nil {
+		return nil, fmt.Errorf("seal key: %w", err)
+	}
+	blob := &Blob{
+		Policy: policy,
+		KeyID:  append([]byte(nil), keyID...),
+		AAD:    append([]byte(nil), aad...),
+	}
+	payload, err := encryptPayload(key[:], plaintext, blob)
+	if err != nil {
+		return nil, err
+	}
+	blob.Payload = payload
+	return blob.Encode(), nil
+}
+
+// Unseal is the sgx_unseal_data equivalent. It returns the plaintext and
+// the authenticated additional MAC text. Unsealing fails on any other
+// machine, any other enclave identity (under MRENCLAVE policy), or any
+// tampering with blob contents.
+func Unseal(e *sgx.Enclave, data []byte) (plaintext, aad []byte, err error) {
+	blob, err := DecodeBlob(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	key, err := e.GetKey(sgx.KeySeal, blob.Policy, blob.KeyID)
+	if err != nil {
+		return nil, nil, fmt.Errorf("unseal key: %w", err)
+	}
+	plaintext, err = decryptPayload(key[:], blob)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrUnseal, err)
+	}
+	return plaintext, blob.AAD, nil
+}

@@ -1,0 +1,238 @@
+package seal
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sgx"
+	"repro/internal/sim"
+	"repro/internal/xcrypto"
+)
+
+func newMachine(t *testing.T, id sgx.MachineID) *sgx.Machine {
+	t.Helper()
+	m, err := sgx.NewMachine(id, sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newImage(t *testing.T, name string, version uint32) *sgx.Image {
+	t.Helper()
+	pub, _, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sgx.Image{Name: name, Version: version, Code: []byte(name), SignerPublicKey: pub}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	m := newMachine(t, "A")
+	e, _ := m.Load(newImage(t, "app", 1))
+
+	for _, policy := range []sgx.KeyPolicy{sgx.PolicyMRENCLAVE, sgx.PolicyMRSIGNER} {
+		t.Run(policy.String(), func(t *testing.T) {
+			blob, err := Seal(e, policy, []byte("mac-text"), []byte("secret"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt, aad, err := Unseal(e, blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(pt) != "secret" || string(aad) != "mac-text" {
+				t.Fatalf("round trip mismatch: %q %q", pt, aad)
+			}
+		})
+	}
+}
+
+func TestUnsealFailsOnOtherMachine(t *testing.T) {
+	img := newImage(t, "app", 1)
+	mA := newMachine(t, "A")
+	mB := newMachine(t, "B")
+	eA, _ := mA.Load(img)
+	eB, _ := mB.Load(img)
+
+	blob, err := Seal(eA, sgx.PolicyMRENCLAVE, nil, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Unseal(eB, blob); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("cross-machine unseal: got %v, want ErrUnseal", err)
+	}
+}
+
+func TestUnsealFailsForOtherEnclave(t *testing.T) {
+	m := newMachine(t, "A")
+	eA, _ := m.Load(newImage(t, "app", 1))
+	eB, _ := m.Load(newImage(t, "other", 1))
+	blob, _ := Seal(eA, sgx.PolicyMRENCLAVE, nil, []byte("secret"))
+	if _, _, err := Unseal(eB, blob); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("cross-enclave unseal: got %v", err)
+	}
+}
+
+func TestMRSIGNERPolicySurvivesUpgrade(t *testing.T) {
+	m := newMachine(t, "A")
+	pub, _, _ := ed25519.GenerateKey(rand.Reader)
+	v1 := &sgx.Image{Name: "app", Version: 1, Code: []byte("v1"), SignerPublicKey: pub}
+	v2 := &sgx.Image{Name: "app", Version: 2, Code: []byte("v2"), SignerPublicKey: pub}
+	e1, _ := m.Load(v1)
+	e2, _ := m.Load(v2)
+
+	blob, _ := Seal(e1, sgx.PolicyMRSIGNER, nil, []byte("carry-over"))
+	pt, _, err := Unseal(e2, blob)
+	if err != nil {
+		t.Fatalf("upgrade unseal: %v", err)
+	}
+	if string(pt) != "carry-over" {
+		t.Fatal("payload mismatch")
+	}
+
+	blobE, _ := Seal(e1, sgx.PolicyMRENCLAVE, nil, []byte("pinned"))
+	if _, _, err := Unseal(e2, blobE); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("MRENCLAVE blob unsealed by upgraded enclave: %v", err)
+	}
+}
+
+func TestSealedBlobTamperDetected(t *testing.T) {
+	m := newMachine(t, "A")
+	e, _ := m.Load(newImage(t, "app", 1))
+	blob, _ := Seal(e, sgx.PolicyMRENCLAVE, []byte("aad"), []byte("secret"))
+
+	t.Run("flip ciphertext byte", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[len(bad)-1] ^= 1
+		if _, _, err := Unseal(e, bad); !errors.Is(err, ErrUnseal) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("swap AAD", func(t *testing.T) {
+		parsed, err := DecodeBlob(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed.AAD = []byte("altered")
+		if _, _, err := Unseal(e, parsed.Encode()); !errors.Is(err, ErrUnseal) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("swap policy", func(t *testing.T) {
+		parsed, _ := DecodeBlob(blob)
+		parsed.Policy = sgx.PolicyMRSIGNER
+		if _, _, err := Unseal(e, parsed.Encode()); !errors.Is(err, ErrUnseal) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("garbage", func(t *testing.T) {
+		if _, _, err := Unseal(e, []byte("garbage")); !errors.Is(err, ErrBlobFormat) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("truncated chunk", func(t *testing.T) {
+		if _, err := DecodeBlob(blob[:len(blob)-3]); !errors.Is(err, ErrBlobFormat) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("trailing junk", func(t *testing.T) {
+		if _, err := DecodeBlob(append(append([]byte(nil), blob...), 0x00)); !errors.Is(err, ErrBlobFormat) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+// Sealing does NOT protect against replay: an old blob still unseals.
+// This is the property the paper's attacks exploit and monotonic counters
+// must fix — assert it explicitly so the simulation can't silently become
+// stronger than real SGX.
+func TestSealingPermitsReplayByDesign(t *testing.T) {
+	m := newMachine(t, "A")
+	e, _ := m.Load(newImage(t, "app", 1))
+	v1, _ := Seal(e, sgx.PolicyMRENCLAVE, nil, []byte("state v1"))
+	_, _ = Seal(e, sgx.PolicyMRENCLAVE, nil, []byte("state v2"))
+
+	pt, _, err := Unseal(e, v1)
+	if err != nil {
+		t.Fatalf("old blob must still unseal: %v", err)
+	}
+	if string(pt) != "state v1" {
+		t.Fatal("old payload mismatch")
+	}
+}
+
+func TestSealChargesEGETKEYAndRawDoesNot(t *testing.T) {
+	m := newMachine(t, "A")
+	e, _ := m.Load(newImage(t, "app", 1))
+	lat := m.Latency()
+	lat.Reset()
+	if _, err := Seal(e, sgx.PolicyMRENCLAVE, nil, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := lat.Counts()[sim.OpEGetKey]; got != 1 {
+		t.Fatalf("native seal EGETKEY count = %d, want 1", got)
+	}
+	lat.Reset()
+	msk := xcrypto.DeriveKey([]byte("msk"), "test")
+	if _, err := SealRaw(msk[:], nil, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := lat.Counts()[sim.OpEGetKey]; got != 0 {
+		t.Fatalf("raw seal EGETKEY count = %d, want 0", got)
+	}
+}
+
+func TestSealRawRoundTripAndKeyBinding(t *testing.T) {
+	k1 := xcrypto.DeriveKey([]byte("a"), "k")
+	k2 := xcrypto.DeriveKey([]byte("b"), "k")
+	blob, err := SealRaw(k1[:], []byte("aad"), []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, aad, err := UnsealRaw(k1[:], blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "payload" || string(aad) != "aad" {
+		t.Fatal("round trip mismatch")
+	}
+	if _, _, err := UnsealRaw(k2[:], blob); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("wrong key: got %v", err)
+	}
+}
+
+func TestSealWithKeyIDSeparation(t *testing.T) {
+	m := newMachine(t, "A")
+	e, _ := m.Load(newImage(t, "app", 1))
+	blob, _ := SealWithKeyID(e, sgx.PolicyMRENCLAVE, []byte("k1"), nil, []byte("secret"))
+	parsed, _ := DecodeBlob(blob)
+	parsed.KeyID = []byte("k2")
+	if _, _, err := Unseal(e, parsed.Encode()); !errors.Is(err, ErrUnseal) {
+		t.Fatalf("keyID substitution: got %v", err)
+	}
+}
+
+// Property: seal/unseal round trip for arbitrary payloads and AADs.
+func TestSealProperty(t *testing.T) {
+	m := newMachine(t, "A")
+	e, _ := m.Load(newImage(t, "app", 1))
+	f := func(pt, aad []byte) bool {
+		blob, err := Seal(e, sgx.PolicyMRENCLAVE, aad, pt)
+		if err != nil {
+			return false
+		}
+		got, gotAAD, err := Unseal(e, blob)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, pt) && bytes.Equal(gotAAD, aad)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package sgx
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// pageSize is the SGX EPC page granularity used for measurement.
+const pageSize = 4096
+
+// Image describes enclave code to be loaded: the synthetic equivalent of
+// a signed enclave binary. Measurement hashes the code page by page with
+// page properties, so the same image measures identically on every
+// machine (paper §II-A3).
+type Image struct {
+	// Name and Version are part of the measured code, so two builds with
+	// different versions have different MRENCLAVE values.
+	Name    string
+	Version uint32
+	// Code is the enclave's measured byte content.
+	Code []byte
+	// SignerPublicKey is the enclave developer's public key; its hash is
+	// the signing identity (MRSIGNER).
+	SignerPublicKey ed25519.PublicKey
+}
+
+func (img *Image) validate() error {
+	if img == nil || img.Name == "" {
+		return fmt.Errorf("%w: missing name", ErrBadImage)
+	}
+	if len(img.SignerPublicKey) != ed25519.PublicKeySize {
+		return fmt.Errorf("%w: bad signer key", ErrBadImage)
+	}
+	return nil
+}
+
+// Measure computes MRENCLAVE: a page-wise hash over the image content and
+// page properties, deterministic across machines.
+func (img *Image) Measure() Measurement {
+	h := sha256.New()
+	h.Write([]byte("MRENCLAVE"))
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], img.Version)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(img.Name)))
+	h.Write(hdr[:])
+	h.Write([]byte(img.Name))
+	// Hash each page with its offset, mimicking EADD/EEXTEND ordering.
+	for off := 0; off < len(img.Code) || off == 0; off += pageSize {
+		end := off + pageSize
+		if end > len(img.Code) {
+			end = len(img.Code)
+		}
+		var pagehdr [8]byte
+		binary.BigEndian.PutUint64(pagehdr[:], uint64(off))
+		h.Write(pagehdr[:])
+		if off < len(img.Code) {
+			h.Write(img.Code[off:end])
+		}
+	}
+	var m Measurement
+	copy(m[:], h.Sum(nil))
+	return m
+}
+
+// SignerID computes MRSIGNER: the hash of the developer public key.
+func (img *Image) SignerID() Measurement {
+	sum := sha256.Sum256(append([]byte("MRSIGNER"), img.SignerPublicKey...))
+	return Measurement(sum)
+}
+
+// Enclave is a loaded enclave instance. Its data memory lives only as
+// long as the instance; persistence must go through sealing.
+type Enclave struct {
+	id        EnclaveID
+	machine   *Machine
+	mrenclave Measurement
+	mrsigner  Measurement
+	epoch     uint64
+	dead      atomic.Bool
+	ecalls    atomic.Uint64
+}
+
+// ID returns the instance identifier (machine-local).
+func (e *Enclave) ID() EnclaveID { return e.id }
+
+// MREnclave returns the enclave identity measurement.
+func (e *Enclave) MREnclave() Measurement { return e.mrenclave }
+
+// MRSigner returns the signing identity measurement.
+func (e *Enclave) MRSigner() Measurement { return e.mrsigner }
+
+// Machine returns the hosting machine.
+func (e *Enclave) Machine() *Machine { return e.machine }
+
+// Alive reports whether the enclave instance still exists.
+func (e *Enclave) Alive() bool { return !e.dead.Load() }
+
+// ECalls returns the number of enclave boundary crossings performed.
+func (e *Enclave) ECalls() uint64 { return e.ecalls.Load() }
+
+func (e *Enclave) destroy() { e.dead.Store(true) }
+
+// ECall charges one enclave entry transition and checks liveness. Every
+// simulated enclave entry point calls this first, so destroyed enclaves
+// reliably fail instead of silently operating on stale state.
+func (e *Enclave) ECall() error {
+	if e.dead.Load() {
+		return ErrEnclaveDestroyed
+	}
+	e.ecalls.Add(1)
+	e.machine.lat.Charge(sim.OpECall)
+	return nil
+}
+
+// KeyPolicy selects the identity a key is bound to (paper §II-A4).
+type KeyPolicy int
+
+// Key policies.
+const (
+	// PolicyMRENCLAVE binds keys to the exact enclave identity.
+	PolicyMRENCLAVE KeyPolicy = iota + 1
+	// PolicyMRSIGNER binds keys to the developer's signing identity, so
+	// upgraded enclaves from the same signer can unseal.
+	PolicyMRSIGNER
+)
+
+// String names the policy.
+func (p KeyPolicy) String() string {
+	switch p {
+	case PolicyMRENCLAVE:
+		return "MRENCLAVE"
+	case PolicyMRSIGNER:
+		return "MRSIGNER"
+	default:
+		return "unknown-policy"
+	}
+}
+
+// KeyName selects which class of key EGETKEY derives.
+type KeyName string
+
+// Key names available through EGETKEY.
+const (
+	KeySeal   KeyName = "seal-key"
+	KeyReport KeyName = "report-key"
+)
+
+// GetKey is the EGETKEY instruction: it derives a key bound to the CPU
+// secret, the requested key class, the key policy, and the enclave's
+// identity under that policy. An optional keyID differentiates multiple
+// keys of the same class. Two machines never derive the same key, and two
+// enclaves with different identities never share a key.
+func (e *Enclave) GetKey(name KeyName, policy KeyPolicy, keyID []byte) ([32]byte, error) {
+	if e.dead.Load() {
+		return [32]byte{}, ErrEnclaveDestroyed
+	}
+	var identity Measurement
+	switch policy {
+	case PolicyMRENCLAVE:
+		identity = e.mrenclave
+	case PolicyMRSIGNER:
+		identity = e.mrsigner
+	default:
+		return [32]byte{}, fmt.Errorf("sgx: invalid key policy %d", policy)
+	}
+	e.machine.lat.Charge(sim.OpEGetKey)
+	return e.machine.deriveKey("egetkey",
+		[]byte(name), []byte{byte(policy)}, identity[:], keyID), nil
+}

@@ -1,0 +1,120 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestEPCWriteReadRoundTrip(t *testing.T) {
+	epc, err := NewEPC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("page contents")
+	if err := epc.Write(7, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := epc.Read(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round trip mismatch")
+	}
+	if epc.Pages() != 1 {
+		t.Fatalf("pages = %d", epc.Pages())
+	}
+}
+
+func TestEPCMissingPage(t *testing.T) {
+	epc, _ := NewEPC()
+	if _, err := epc.Read(1); !errors.Is(err, ErrEPCNoPage) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestEPCEncryptedAtRest(t *testing.T) {
+	epc, _ := NewEPC()
+	secret := []byte("super secret enclave data")
+	if err := epc.Write(1, secret); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := epc.RawPage(1)
+	if !ok {
+		t.Fatal("raw page missing")
+	}
+	if bytes.Contains(raw, secret) {
+		t.Fatal("plaintext visible in DRAM image")
+	}
+}
+
+func TestEPCDetectsCorruption(t *testing.T) {
+	epc, _ := NewEPC()
+	if err := epc.Write(1, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := epc.RawPage(1)
+	raw[len(raw)-1] ^= 0xFF
+	epc.InjectRaw(1, raw)
+	if _, err := epc.Read(1); !errors.Is(err, ErrEPCIntegrity) {
+		t.Fatalf("corrupted read: got %v", err)
+	}
+}
+
+func TestEPCDetectsReplay(t *testing.T) {
+	epc, _ := NewEPC()
+	if err := epc.Write(1, []byte("version 1")); err != nil {
+		t.Fatal(err)
+	}
+	old, _ := epc.RawPage(1)
+	if err := epc.Write(1, []byte("version 2")); err != nil {
+		t.Fatal(err)
+	}
+	// Physical attacker reverts DRAM to the old (validly encrypted) image.
+	epc.InjectRaw(1, old)
+	if _, err := epc.Read(1); !errors.Is(err, ErrEPCReplay) {
+		t.Fatalf("replayed read: got %v", err)
+	}
+}
+
+func TestEPCDrop(t *testing.T) {
+	epc, _ := NewEPC()
+	_ = epc.Write(1, []byte("x"))
+	epc.Drop(1)
+	if epc.Pages() != 0 {
+		t.Fatal("drop left page")
+	}
+	if _, err := epc.Read(1); !errors.Is(err, ErrEPCNoPage) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestEPCOverwriteBumpsVersion(t *testing.T) {
+	epc, _ := NewEPC()
+	for i := 0; i < 5; i++ {
+		if err := epc.Write(3, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := epc.Read(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("read version %d, want %d", got[0], i)
+		}
+	}
+}
+
+func TestEPCKeysPerInstance(t *testing.T) {
+	a, _ := NewEPC()
+	b, _ := NewEPC()
+	_ = a.Write(1, []byte("data"))
+	raw, _ := a.RawPage(1)
+	b.InjectRaw(1, raw)
+	// b has no version counter for slot 1 -> read must fail, and even with
+	// a counter it would fail under a different memory key.
+	if _, err := b.Read(1); err == nil {
+		t.Fatal("page decrypted under foreign memory key")
+	}
+}

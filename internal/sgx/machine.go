@@ -1,0 +1,135 @@
+// Package sgx simulates the Intel SGX hardware primitives that the paper's
+// migration framework is built on: per-machine CPU secrets, enclave
+// loading and measurement (MRENCLAVE/MRSIGNER), EGETKEY key derivation,
+// EREPORT local attestation reports, and an Enclave Page Cache with
+// encryption, integrity, and anti-replay protection.
+//
+// The simulation preserves the properties every protocol step and attack
+// in the paper depends on:
+//
+//   - Keys derived via EGETKEY are bound to a per-machine CPU secret and to
+//     the enclave's identity, so sealed data cannot move between machines.
+//   - Local attestation reports verify only on the machine that produced
+//     them, because the report MAC key derives from the same CPU secret.
+//   - Enclave memory is destroyed when the enclave, its host application,
+//     or the machine goes away; only explicitly persisted state survives.
+package sgx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/xcrypto"
+)
+
+// Errors returned by machine and enclave operations.
+var (
+	ErrEnclaveDestroyed = errors.New("sgx: enclave destroyed")
+	ErrUnknownEnclave   = errors.New("sgx: unknown enclave")
+	ErrBadImage         = errors.New("sgx: invalid enclave image")
+)
+
+// MachineID names a physical machine in the simulation.
+type MachineID string
+
+// Measurement is a 256-bit identity hash (MRENCLAVE or MRSIGNER).
+type Measurement [32]byte
+
+// String renders the first bytes of a measurement for diagnostics.
+func (m Measurement) String() string { return fmt.Sprintf("%x", m[:6]) }
+
+// EnclaveID identifies a loaded enclave instance on one machine.
+type EnclaveID uint64
+
+// Machine models one physical SGX-capable machine: a unique CPU secret,
+// the set of currently loaded enclaves, and the shared latency model.
+// All methods are safe for concurrent use.
+type Machine struct {
+	id        MachineID
+	cpuSecret [32]byte
+	lat       *sim.Latency
+
+	mu       sync.Mutex
+	enclaves map[EnclaveID]*Enclave
+	nextID   EnclaveID
+	epoch    uint64 // increments on restart; invalidates live enclaves
+}
+
+// NewMachine creates a machine with a fresh random CPU secret.
+func NewMachine(id MachineID, lat *sim.Latency) (*Machine, error) {
+	secret, err := xcrypto.RandomBytes(32)
+	if err != nil {
+		return nil, fmt.Errorf("cpu secret: %w", err)
+	}
+	m := &Machine{
+		id:       id,
+		lat:      lat,
+		enclaves: make(map[EnclaveID]*Enclave),
+	}
+	copy(m.cpuSecret[:], secret)
+	return m, nil
+}
+
+// ID returns the machine identifier.
+func (m *Machine) ID() MachineID { return m.id }
+
+// Latency exposes the machine's latency model (used by firmware services
+// such as the Platform Services Enclave that live on the same machine).
+func (m *Machine) Latency() *sim.Latency { return m.lat }
+
+// Load creates an enclave from an image, measuring it page by page as the
+// SGX loader would. The returned enclave is live until destroyed.
+func (m *Machine) Load(img *Image) (*Enclave, error) {
+	if err := img.validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	e := &Enclave{
+		id:        m.nextID,
+		machine:   m,
+		mrenclave: img.Measure(),
+		mrsigner:  img.SignerID(),
+		epoch:     m.epoch,
+	}
+	m.enclaves[e.id] = e
+	return e, nil
+}
+
+// Destroy tears down an enclave, irrecoverably losing its data memory
+// (SGX Developer Guide: close/crash/shutdown all destroy the enclave).
+func (m *Machine) Destroy(e *Enclave) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.enclaves, e.id)
+	e.destroy()
+}
+
+// Restart simulates a machine reboot (or hibernate): every live enclave is
+// destroyed. Persistent storage outside the EPC is unaffected; the CPU
+// secret is stable across reboots, exactly as on real hardware.
+func (m *Machine) Restart() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, e := range m.enclaves {
+		e.destroy()
+		delete(m.enclaves, id)
+	}
+	m.epoch++
+}
+
+// LiveEnclaves returns the number of currently loaded enclaves.
+func (m *Machine) LiveEnclaves() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.enclaves)
+}
+
+// deriveKey is the machine-internal root derivation: every EGETKEY and
+// report key flows through here, bound to the CPU secret.
+func (m *Machine) deriveKey(label string, context ...[]byte) [32]byte {
+	return xcrypto.DeriveKey(m.cpuSecret[:], label, context...)
+}

@@ -1,0 +1,93 @@
+package sgx
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLocalReportRoundTrip(t *testing.T) {
+	m := testMachine(t, "A")
+	prover, _ := m.Load(testImage(t, "prover", 1))
+	verifier, _ := m.Load(testImage(t, "verifier", 1))
+
+	data := MakeReportData([]byte("dh-public-key"))
+	rep, err := prover.CreateReport(TargetFor(verifier), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifier.VerifyReport(rep); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if rep.MREnclave != prover.MREnclave() {
+		t.Fatal("report carries wrong MRENCLAVE")
+	}
+	if rep.Data != data {
+		t.Fatal("report carries wrong data")
+	}
+}
+
+func TestReportRejectedByWrongTarget(t *testing.T) {
+	m := testMachine(t, "A")
+	prover, _ := m.Load(testImage(t, "prover", 1))
+	verifier, _ := m.Load(testImage(t, "verifier", 1))
+	bystander, _ := m.Load(testImage(t, "bystander", 1))
+
+	rep, err := prover.CreateReport(TargetFor(verifier), ReportData{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bystander.VerifyReport(rep); !errors.Is(err, ErrReportMAC) {
+		t.Fatalf("bystander verified a report not addressed to it: %v", err)
+	}
+}
+
+func TestReportRejectedAcrossMachines(t *testing.T) {
+	mA := testMachine(t, "A")
+	mB := testMachine(t, "B")
+	img := testImage(t, "verifier", 1)
+	prover, _ := mA.Load(testImage(t, "prover", 1))
+	verifierB, _ := mB.Load(img)
+
+	rep, err := prover.CreateReport(TargetInfo{MREnclave: img.Measure()}, ReportData{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifierB.VerifyReport(rep); !errors.Is(err, ErrReportMachine) {
+		t.Fatalf("cross-machine report verified: %v", err)
+	}
+}
+
+func TestReportTamperDetected(t *testing.T) {
+	m := testMachine(t, "A")
+	prover, _ := m.Load(testImage(t, "prover", 1))
+	verifier, _ := m.Load(testImage(t, "verifier", 1))
+	rep, _ := prover.CreateReport(TargetFor(verifier), MakeReportData([]byte("x")))
+
+	t.Run("altered identity", func(t *testing.T) {
+		bad := *rep
+		bad.MREnclave[0] ^= 1
+		if err := verifier.VerifyReport(&bad); !errors.Is(err, ErrReportMAC) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("altered data", func(t *testing.T) {
+		bad := *rep
+		bad.Data[0] ^= 1
+		if err := verifier.VerifyReport(&bad); !errors.Is(err, ErrReportMAC) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("nil report", func(t *testing.T) {
+		if err := verifier.VerifyReport(nil); !errors.Is(err, ErrReportMAC) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+func TestMakeReportDataUnambiguous(t *testing.T) {
+	a := MakeReportData([]byte("ab"), []byte("c"))
+	b := MakeReportData([]byte("a"), []byte("bc"))
+	if a == b {
+		t.Fatal("report data encoding ambiguous")
+	}
+}

@@ -1,0 +1,251 @@
+package sgx
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func testSigner(t *testing.T) ed25519.PublicKey {
+	t.Helper()
+	pub, _, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	return pub
+}
+
+func testMachine(t *testing.T, id MachineID) *Machine {
+	t.Helper()
+	m, err := NewMachine(id, sim.NewInstantLatency())
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	return m
+}
+
+func testImage(t *testing.T, name string, version uint32) *Image {
+	t.Helper()
+	return &Image{
+		Name:            name,
+		Version:         version,
+		Code:            []byte("enclave code for " + name),
+		SignerPublicKey: testSigner(t),
+	}
+}
+
+func TestMeasurementDeterministicAcrossMachines(t *testing.T) {
+	img := testImage(t, "app", 1)
+	m1 := testMachine(t, "A")
+	m2 := testMachine(t, "B")
+	e1, err := m1.Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := m2.Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.MREnclave() != e2.MREnclave() {
+		t.Fatal("same image measured differently on two machines")
+	}
+	if e1.MRSigner() != e2.MRSigner() {
+		t.Fatal("same signer hashed differently on two machines")
+	}
+}
+
+func TestMeasurementSensitivity(t *testing.T) {
+	base := testImage(t, "app", 1)
+	tests := []struct {
+		name   string
+		mutate func(*Image)
+	}{
+		{"different name", func(i *Image) { i.Name = "app2" }},
+		{"different version", func(i *Image) { i.Version = 2 }},
+		{"different code", func(i *Image) { i.Code = []byte("patched") }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			other := *base
+			other.Code = append([]byte(nil), base.Code...)
+			tt.mutate(&other)
+			if other.Measure() == base.Measure() {
+				t.Fatal("mutation did not change MRENCLAVE")
+			}
+		})
+	}
+	t.Run("different signer changes MRSIGNER not MRENCLAVE", func(t *testing.T) {
+		other := *base
+		other.SignerPublicKey = testSigner(t)
+		if other.SignerID() == base.SignerID() {
+			t.Fatal("signer change did not alter MRSIGNER")
+		}
+		if other.Measure() != base.Measure() {
+			t.Fatal("signer change altered MRENCLAVE")
+		}
+	})
+}
+
+// Property: page-boundary shifts in code always change the measurement.
+func TestMeasurementCodeProperty(t *testing.T) {
+	signer := testSigner(t)
+	f := func(a, b []byte) bool {
+		imgA := &Image{Name: "p", Code: a, SignerPublicKey: signer}
+		imgB := &Image{Name: "p", Code: b, SignerPublicKey: signer}
+		if string(a) == string(b) {
+			return imgA.Measure() == imgB.Measure()
+		}
+		return imgA.Measure() != imgB.Measure()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsBadImages(t *testing.T) {
+	m := testMachine(t, "A")
+	if _, err := m.Load(nil); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("nil image: got %v", err)
+	}
+	if _, err := m.Load(&Image{SignerPublicKey: testSigner(t)}); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("unnamed image: got %v", err)
+	}
+	if _, err := m.Load(&Image{Name: "x"}); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("unsigned image: got %v", err)
+	}
+}
+
+func TestGetKeyMachineAndIdentityBinding(t *testing.T) {
+	img := testImage(t, "app", 1)
+	other := testImage(t, "other", 1)
+	m1 := testMachine(t, "A")
+	m2 := testMachine(t, "B")
+	e1a, _ := m1.Load(img)
+	e1b, _ := m1.Load(img)
+	e1o, _ := m1.Load(other)
+	e2, _ := m2.Load(img)
+
+	k1a, err := e1a.GetKey(KeySeal, PolicyMRENCLAVE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1b, _ := e1b.GetKey(KeySeal, PolicyMRENCLAVE, nil)
+	k1o, _ := e1o.GetKey(KeySeal, PolicyMRENCLAVE, nil)
+	k2, _ := e2.GetKey(KeySeal, PolicyMRENCLAVE, nil)
+
+	if k1a != k1b {
+		t.Fatal("two instances of the same enclave on one machine must share the sealing key")
+	}
+	if k1a == k1o {
+		t.Fatal("different enclave identities must not share keys")
+	}
+	if k1a == k2 {
+		t.Fatal("the same enclave on different machines must not share keys")
+	}
+}
+
+func TestGetKeyPolicyAndClassSeparation(t *testing.T) {
+	m := testMachine(t, "A")
+	e, _ := m.Load(testImage(t, "app", 1))
+	kEnc, _ := e.GetKey(KeySeal, PolicyMRENCLAVE, nil)
+	kSig, _ := e.GetKey(KeySeal, PolicyMRSIGNER, nil)
+	kRep, _ := e.GetKey(KeyReport, PolicyMRENCLAVE, nil)
+	kID, _ := e.GetKey(KeySeal, PolicyMRENCLAVE, []byte("v2"))
+	if kEnc == kSig || kEnc == kRep || kEnc == kID {
+		t.Fatal("key class/policy/keyID must separate derivations")
+	}
+	if _, err := e.GetKey(KeySeal, KeyPolicy(99), nil); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+}
+
+func TestGetKeyMRSIGNERSharedAcrossVersions(t *testing.T) {
+	m := testMachine(t, "A")
+	signer := testSigner(t)
+	v1 := &Image{Name: "app", Version: 1, Code: []byte("v1"), SignerPublicKey: signer}
+	v2 := &Image{Name: "app", Version: 2, Code: []byte("v2"), SignerPublicKey: signer}
+	e1, _ := m.Load(v1)
+	e2, _ := m.Load(v2)
+	k1, _ := e1.GetKey(KeySeal, PolicyMRSIGNER, nil)
+	k2, _ := e2.GetKey(KeySeal, PolicyMRSIGNER, nil)
+	if k1 != k2 {
+		t.Fatal("MRSIGNER-policy keys must survive enclave upgrades")
+	}
+	ke1, _ := e1.GetKey(KeySeal, PolicyMRENCLAVE, nil)
+	ke2, _ := e2.GetKey(KeySeal, PolicyMRENCLAVE, nil)
+	if ke1 == ke2 {
+		t.Fatal("MRENCLAVE-policy keys must differ across upgrades")
+	}
+}
+
+func TestDestroyedEnclaveRefusesOperations(t *testing.T) {
+	m := testMachine(t, "A")
+	e, _ := m.Load(testImage(t, "app", 1))
+	m.Destroy(e)
+	if e.Alive() {
+		t.Fatal("destroyed enclave reports alive")
+	}
+	if err := e.ECall(); !errors.Is(err, ErrEnclaveDestroyed) {
+		t.Fatalf("ecall: got %v", err)
+	}
+	if _, err := e.GetKey(KeySeal, PolicyMRENCLAVE, nil); !errors.Is(err, ErrEnclaveDestroyed) {
+		t.Fatalf("getkey: got %v", err)
+	}
+	if _, err := e.CreateReport(TargetInfo{}, ReportData{}); !errors.Is(err, ErrEnclaveDestroyed) {
+		t.Fatalf("report: got %v", err)
+	}
+}
+
+func TestMachineRestartDestroysEnclaves(t *testing.T) {
+	m := testMachine(t, "A")
+	e1, _ := m.Load(testImage(t, "a", 1))
+	e2, _ := m.Load(testImage(t, "b", 1))
+	if m.LiveEnclaves() != 2 {
+		t.Fatalf("live = %d", m.LiveEnclaves())
+	}
+	m.Restart()
+	if m.LiveEnclaves() != 0 {
+		t.Fatal("restart left enclaves alive")
+	}
+	if e1.Alive() || e2.Alive() {
+		t.Fatal("instances survive restart")
+	}
+	// Keys are stable across restart (CPU secret persists).
+	e3, _ := m.Load(testImage(t, "a", 1))
+	if e3 == nil {
+		t.Fatal("reload failed")
+	}
+}
+
+func TestKeysStableAcrossRestart(t *testing.T) {
+	m := testMachine(t, "A")
+	img := testImage(t, "app", 1)
+	e, _ := m.Load(img)
+	before, _ := e.GetKey(KeySeal, PolicyMRENCLAVE, nil)
+	m.Restart()
+	e2, _ := m.Load(img)
+	after, _ := e2.GetKey(KeySeal, PolicyMRENCLAVE, nil)
+	if before != after {
+		t.Fatal("sealing key changed across machine restart")
+	}
+}
+
+func TestECallAccounting(t *testing.T) {
+	m := testMachine(t, "A")
+	e, _ := m.Load(testImage(t, "app", 1))
+	for i := 0; i < 3; i++ {
+		if err := e.ECall(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.ECalls() != 3 {
+		t.Fatalf("ecalls = %d", e.ECalls())
+	}
+	if m.Latency().Counts()[sim.OpECall] != 3 {
+		t.Fatal("latency model not charged for ecalls")
+	}
+}

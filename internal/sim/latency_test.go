@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyAccounting(t *testing.T) {
+	l := NewInstantLatency()
+	l.Charge(OpCounterIncrement)
+	l.Charge(OpCounterIncrement)
+	l.Charge(OpEGetKey)
+	counts := l.Counts()
+	if counts[OpCounterIncrement] != 2 {
+		t.Fatalf("increment count = %d, want 2", counts[OpCounterIncrement])
+	}
+	if counts[OpEGetKey] != 1 {
+		t.Fatalf("egetkey count = %d, want 1", counts[OpEGetKey])
+	}
+	want := 2*PaperCosts()[OpCounterIncrement] + PaperCosts()[OpEGetKey]
+	if l.VirtualTotal() != want {
+		t.Fatalf("virtual total = %v, want %v", l.VirtualTotal(), want)
+	}
+}
+
+func TestLatencyChargeN(t *testing.T) {
+	l := NewInstantLatency()
+	l.ChargeN(OpVMPageCopy, 1000)
+	if l.Counts()[OpVMPageCopy] != 1000 {
+		t.Fatalf("count = %d", l.Counts()[OpVMPageCopy])
+	}
+	l.ChargeN(OpVMPageCopy, 0)
+	l.ChargeN(OpVMPageCopy, -5)
+	if l.Counts()[OpVMPageCopy] != 1000 {
+		t.Fatal("non-positive n must not charge")
+	}
+}
+
+func TestLatencyScaleSleeps(t *testing.T) {
+	l := NewLatency(1.0)
+	var slept time.Duration
+	l.sleep = func(d time.Duration) { slept += d }
+	l.Charge(OpCounterRead)
+	if slept != PaperCosts()[OpCounterRead] {
+		t.Fatalf("slept %v, want %v", slept, PaperCosts()[OpCounterRead])
+	}
+	l2 := NewLatency(0.5)
+	var slept2 time.Duration
+	l2.sleep = func(d time.Duration) { slept2 += d }
+	l2.Charge(OpCounterRead)
+	if slept2 != PaperCosts()[OpCounterRead]/2 {
+		t.Fatalf("slept %v, want half cost", slept2)
+	}
+}
+
+func TestLatencyZeroScaleDoesNotSleep(t *testing.T) {
+	l := NewInstantLatency()
+	l.sleep = func(time.Duration) { t.Fatal("sleep called at scale 0") }
+	l.Charge(OpCounterCreate)
+}
+
+func TestLatencySetCost(t *testing.T) {
+	l := NewInstantLatency()
+	l.SetCost(OpCounterRead, time.Second)
+	if l.Cost(OpCounterRead) != time.Second {
+		t.Fatal("SetCost not applied")
+	}
+	l.Charge(OpCounterRead)
+	if l.VirtualTotal() != time.Second {
+		t.Fatalf("virtual total = %v", l.VirtualTotal())
+	}
+}
+
+func TestLatencyReset(t *testing.T) {
+	l := NewInstantLatency()
+	l.Charge(OpQuote)
+	l.Reset()
+	if l.VirtualTotal() != 0 || len(l.Counts()) != 0 {
+		t.Fatal("reset did not clear accounting")
+	}
+	if l.Cost(OpQuote) == 0 {
+		t.Fatal("reset cleared cost table")
+	}
+}
+
+func TestLatencyConcurrentCharges(t *testing.T) {
+	l := NewInstantLatency()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Charge(OpECall)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Counts()[OpECall]; got != 1600 {
+		t.Fatalf("concurrent count = %d, want 1600", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := []Op{
+		OpECall, OpOCall, OpEGetKey, OpEReport, OpCounterCreate, OpCounterRead,
+		OpCounterIncrement, OpCounterDestroy, OpQuote, OpIASVerify, OpNetworkRTT,
+		OpVMPageCopy,
+	}
+	seen := make(map[string]bool, len(ops))
+	for _, op := range ops {
+		s := op.String()
+		if s == "unknown-op" || seen[s] {
+			t.Fatalf("bad or duplicate name for op %d: %q", op, s)
+		}
+		seen[s] = true
+	}
+	if Op(999).String() != "unknown-op" {
+		t.Fatal("unknown op name")
+	}
+}
+
+func TestPaperCostsOrdering(t *testing.T) {
+	c := PaperCosts()
+	// The shape the paper depends on: counter ops are the slow ones, and
+	// EGETKEY is slower than nothing but far cheaper than any counter op.
+	for _, op := range []Op{OpCounterCreate, OpCounterRead, OpCounterIncrement, OpCounterDestroy} {
+		if c[op] <= c[OpEGetKey] {
+			t.Fatalf("%v (%v) must cost more than EGETKEY (%v)", op, c[op], c[OpEGetKey])
+		}
+	}
+	if c[OpCounterCreate] <= c[OpCounterIncrement] {
+		t.Fatal("create must cost more than increment")
+	}
+	if c[OpCounterIncrement] <= c[OpCounterRead] {
+		t.Fatal("increment must cost more than read")
+	}
+}

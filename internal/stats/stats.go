@@ -1,0 +1,234 @@
+// Package stats implements the statistics the paper's evaluation uses:
+// sample means with 99% confidence intervals (Figures 3 and 4 plot the
+// mean of 1000 runs with 99% CI error bars) and the one-tailed Welch
+// t-test used to decide whether the Migration Library's overhead is
+// statistically significant (§VII-B: increment p ≈ 0, read p ≈ 0.12).
+//
+// Student's t distribution is computed from the regularized incomplete
+// beta function (continued-fraction expansion), stdlib only.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrSampleSize reports too few samples for the requested statistic.
+var ErrSampleSize = errors.New("stats: not enough samples")
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the sample median.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Summary is a sample described by its mean and confidence interval.
+type Summary struct {
+	N        int
+	Mean     float64
+	StdDev   float64
+	CIHalf   float64 // half-width of the confidence interval
+	ConfProb float64 // e.g. 0.99
+}
+
+// String formats the summary as "mean ± half (N=n)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.6g ± %.2g (N=%d, %.0f%% CI)", s.Mean, s.CIHalf, s.N, s.ConfProb*100)
+}
+
+// Summarize computes the mean and a conf-level confidence interval using
+// the t distribution ("the true mean value is within the confidence
+// interval bar with 99% probability", §VII-B).
+func Summarize(xs []float64, conf float64) (Summary, error) {
+	if len(xs) < 2 {
+		return Summary{}, ErrSampleSize
+	}
+	if conf <= 0 || conf >= 1 {
+		return Summary{}, fmt.Errorf("stats: invalid confidence level %v", conf)
+	}
+	n := len(xs)
+	mean := Mean(xs)
+	sd := StdDev(xs)
+	tcrit := TQuantile(1-(1-conf)/2, float64(n-1))
+	return Summary{
+		N:        n,
+		Mean:     mean,
+		StdDev:   sd,
+		CIHalf:   tcrit * sd / math.Sqrt(float64(n)),
+		ConfProb: conf,
+	}, nil
+}
+
+// TTestResult is the outcome of a one-tailed Welch t-test with
+// H1: mean(a) > mean(b).
+type TTestResult struct {
+	T          float64
+	DF         float64
+	POneTailed float64
+	// Significant is true when POneTailed < 0.01 (the paper's level).
+	Significant bool
+}
+
+// WelchTTest runs the unequal-variance t-test, one-tailed in the
+// direction mean(a) > mean(b) — the paper's "1-tailed t-test to check if
+// the differences are statistically significant".
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, ErrSampleSize
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	se2 := va/na + vb/nb
+	if se2 == 0 {
+		// Identical constant samples: no evidence of difference.
+		return TTestResult{T: 0, DF: na + nb - 2, POneTailed: 0.5}, nil
+	}
+	t := (ma - mb) / math.Sqrt(se2)
+	// Welch–Satterthwaite degrees of freedom.
+	df := se2 * se2 / ((va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1)))
+	p := 1 - TCDF(t, df)
+	return TTestResult{T: t, DF: df, POneTailed: p, Significant: p < 0.01}, nil
+}
+
+// TCDF is the cumulative distribution function of Student's t with df
+// degrees of freedom.
+func TCDF(t, df float64) float64 {
+	if math.IsNaN(t) || df <= 0 {
+		return math.NaN()
+	}
+	x := df / (df + t*t)
+	ib := 0.5 * regIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - ib
+	}
+	return ib
+}
+
+// TQuantile returns the p-quantile of Student's t with df degrees of
+// freedom, by bisection on TCDF (robust; speed is irrelevant here).
+func TQuantile(p, df float64) float64 {
+	if p <= 0 || p >= 1 || df <= 0 {
+		return math.NaN()
+	}
+	lo, hi := -1e6, 1e6
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if TCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// regIncBeta is the regularized incomplete beta function I_x(a, b),
+// computed via the continued-fraction expansion (Numerical Recipes §6.4).
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("stddev = %v", got)
+	}
+	if got := Median(xs); got != 4.5 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) || !math.IsNaN(Median(nil)) {
+		t.Fatal("degenerate inputs must be NaN")
+	}
+}
+
+// Known values of the t distribution (standard tables).
+func TestTCDFKnownValues(t *testing.T) {
+	tests := []struct {
+		t, df, want float64
+	}{
+		{0, 5, 0.5},
+		{1, 1, 0.75},        // t(1) CDF at 1 is 3/4 (Cauchy)
+		{2.015, 5, 0.95},    // 95th percentile of t(5)
+		{2.576, 1e6, 0.995}, // converges to normal for huge df
+		{-2.015, 5, 0.05},   // symmetry
+		{12.706, 1, 0.975},  // 97.5th percentile of t(1)
+		{1.645, 1e6, 0.95},  // normal limit
+		{3.169, 10, 0.995},  // 99.5th percentile of t(10)
+	}
+	for _, tt := range tests {
+		if got := TCDF(tt.t, tt.df); !almostEqual(got, tt.want, 2e-3) {
+			t.Errorf("TCDF(%v, %v) = %v, want %v", tt.t, tt.df, got, tt.want)
+		}
+	}
+}
+
+func TestTQuantileInvertsTCDF(t *testing.T) {
+	for _, df := range []float64{1, 2, 5, 30, 999} {
+		for _, p := range []float64{0.05, 0.5, 0.9, 0.975, 0.995} {
+			q := TQuantile(p, df)
+			if got := TCDF(q, df); !almostEqual(got, p, 1e-9) {
+				t.Errorf("TCDF(TQuantile(%v, %v)) = %v", p, df, got)
+			}
+		}
+	}
+	if !math.IsNaN(TQuantile(0, 5)) || !math.IsNaN(TQuantile(1.5, 5)) {
+		t.Fatal("invalid p must yield NaN")
+	}
+}
+
+func TestSummarizeCI(t *testing.T) {
+	// For N=1000 samples from a known distribution, the 99% CI should be
+	// t_{0.995,999} * sd/sqrt(n) wide.
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	s, err := Summarize(xs, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s.Mean, 10, 0.15) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	want := TQuantile(0.995, 999) * s.StdDev / math.Sqrt(1000)
+	if !almostEqual(s.CIHalf, want, 1e-12) {
+		t.Fatalf("CI half = %v, want %v", s.CIHalf, want)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+	if _, err := Summarize([]float64{1}, 0.99); !errors.Is(err, ErrSampleSize) {
+		t.Fatalf("tiny sample: %v", err)
+	}
+	if _, err := Summarize(xs, 1.5); err == nil {
+		t.Fatal("bad confidence accepted")
+	}
+}
+
+func TestWelchTTestDetectsDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	slow := make([]float64, 500)
+	fast := make([]float64, 500)
+	for i := range slow {
+		slow[i] = 112 + 5*rng.NormFloat64() // ~12% slower, like Fig. 3 increment
+		fast[i] = 100 + 5*rng.NormFloat64()
+	}
+	res, err := WelchTTest(slow, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant || res.POneTailed > 1e-6 {
+		t.Fatalf("clear difference not significant: p=%v", res.POneTailed)
+	}
+	if res.T <= 0 {
+		t.Fatalf("t = %v", res.T)
+	}
+}
+
+func TestWelchTTestNoDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = 100 + 5*rng.NormFloat64()
+		b[i] = 100 + 5*rng.NormFloat64()
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant && res.POneTailed < 0.001 {
+		t.Fatalf("identical populations reported wildly significant: p=%v", res.POneTailed)
+	}
+}
+
+func TestWelchTTestEdgeCases(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrSampleSize) {
+		t.Fatalf("tiny sample: %v", err)
+	}
+	res, err := WelchTTest([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.POneTailed != 0.5 {
+		t.Fatalf("constant samples p = %v, want 0.5", res.POneTailed)
+	}
+}
+
+// Property: TCDF is monotone in t and bounded in [0, 1].
+func TestTCDFMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 50)
+		b = math.Mod(b, 50)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		cl, ch := TCDF(lo, 7), TCDF(hi, 7)
+		return cl >= 0 && ch <= 1 && cl <= ch+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the CI shrinks as the sample grows.
+func TestCIShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	big := make([]float64, 4000)
+	for i := range big {
+		big[i] = rng.NormFloat64()
+	}
+	small, _ := Summarize(big[:100], 0.99)
+	large, _ := Summarize(big, 0.99)
+	if large.CIHalf >= small.CIHalf {
+		t.Fatalf("CI did not shrink: %v -> %v", small.CIHalf, large.CIHalf)
+	}
+}

@@ -1,0 +1,85 @@
+package transport
+
+import "sync"
+
+// Interceptor is a composable Adversary whose behaviour is given by
+// optional function fields; nil fields pass traffic through. It also
+// records every message it sees, so attack scenarios can capture protocol
+// messages for later replay.
+type Interceptor struct {
+	// Request, if set, runs before delivery and may mutate or drop.
+	Request func(msg *Message) error
+	// Response, if set, runs on the reply and may mutate or drop.
+	Response func(msg Message, reply *[]byte) error
+
+	mu       sync.Mutex
+	captured []Message
+}
+
+var _ Adversary = (*Interceptor)(nil)
+
+// OnRequest implements Adversary.
+func (i *Interceptor) OnRequest(msg *Message) error {
+	i.mu.Lock()
+	cp := *msg
+	cp.Payload = append([]byte(nil), msg.Payload...)
+	i.captured = append(i.captured, cp)
+	i.mu.Unlock()
+	if i.Request != nil {
+		return i.Request(msg)
+	}
+	return nil
+}
+
+// OnResponse implements Adversary.
+func (i *Interceptor) OnResponse(msg Message, reply *[]byte) error {
+	if i.Response != nil {
+		return i.Response(msg, reply)
+	}
+	return nil
+}
+
+// Captured returns copies of all requests observed so far.
+func (i *Interceptor) Captured() []Message {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]Message, len(i.captured))
+	for idx, m := range i.captured {
+		out[idx] = m
+		out[idx].Payload = append([]byte(nil), m.Payload...)
+	}
+	return out
+}
+
+// DropKind returns an adversary that drops every request of one kind —
+// the paper's denial-of-service capability (out of scope as an attack
+// goal, but the protocol must fail safe under it).
+func DropKind(kind string) *Interceptor {
+	return &Interceptor{Request: func(msg *Message) error {
+		if msg.Kind == kind {
+			return ErrDropped
+		}
+		return nil
+	}}
+}
+
+// RedirectTo returns an adversary that rewrites every request's
+// destination — modelling an attacker who tries to steer a migration to a
+// machine under their control (must be defeated by R2 authentication).
+func RedirectTo(target Address) *Interceptor {
+	return &Interceptor{Request: func(msg *Message) error {
+		msg.To = target
+		return nil
+	}}
+}
+
+// FlipPayloadBit returns an adversary that corrupts one byte of every
+// request payload of the given kind.
+func FlipPayloadBit(kind string) *Interceptor {
+	return &Interceptor{Request: func(msg *Message) error {
+		if msg.Kind == kind && len(msg.Payload) > 0 {
+			msg.Payload[len(msg.Payload)/2] ^= 0x80
+		}
+		return nil
+	}}
+}

@@ -1,0 +1,137 @@
+// Package transport carries messages between machines in the simulation.
+//
+// It provides two interchangeable implementations of the Messenger
+// interface: an in-memory network with a pluggable adversary middleware
+// (the default for tests and attack scenarios — the paper's adversary
+// controls the network completely), and a real TCP transport for running
+// the migration protocol between processes.
+//
+// Everything that crosses a Messenger is untrusted: the Migration
+// Enclaves and Libraries layer their own attested encrypted channels on
+// top (paper §V-D: "all interaction between the enclaves takes place via
+// untrusted channels").
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Transport errors.
+var (
+	ErrUnknownEndpoint = errors.New("transport: unknown endpoint")
+	ErrDropped         = errors.New("transport: message dropped by adversary")
+	ErrAlreadyBound    = errors.New("transport: address already bound")
+)
+
+// Address names a network endpoint (a machine's Migration Enclave).
+type Address string
+
+// Message is one request crossing the network.
+type Message struct {
+	From    Address `json:"from"`
+	To      Address `json:"to"`
+	Kind    string  `json:"kind"`
+	Payload []byte  `json:"payload"`
+}
+
+// Handler processes a request and produces a reply payload.
+type Handler func(msg Message) ([]byte, error)
+
+// Messenger is the request/response abstraction the Migration Enclaves
+// use; implemented by Network (in-memory) and TCPTransport.
+type Messenger interface {
+	// Register binds a handler to an address.
+	Register(addr Address, h Handler) error
+	// Send delivers a request and returns the peer's reply.
+	Send(from, to Address, kind string, payload []byte) ([]byte, error)
+}
+
+// Adversary observes and manipulates network traffic. Implementations may
+// record, modify, drop (return ErrDropped), or redirect messages. A nil
+// adversary passes everything through untouched.
+type Adversary interface {
+	// OnRequest runs before delivery; it may mutate the message.
+	OnRequest(msg *Message) error
+	// OnResponse runs after the handler; it may mutate the reply.
+	OnResponse(msg Message, reply *[]byte) error
+}
+
+// Network is the in-memory Messenger. It is safe for concurrent use.
+type Network struct {
+	lat *sim.Latency
+
+	mu        sync.Mutex
+	endpoints map[Address]Handler
+	adversary Adversary
+}
+
+var _ Messenger = (*Network)(nil)
+
+// NewNetwork creates an in-memory network charging lat per round trip.
+func NewNetwork(lat *sim.Latency) *Network {
+	return &Network{lat: lat, endpoints: make(map[Address]Handler)}
+}
+
+// SetAdversary installs (or clears, with nil) the adversary middleware.
+func (n *Network) SetAdversary(a Adversary) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.adversary = a
+}
+
+// Register binds a handler to an address.
+func (n *Network) Register(addr Address, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.endpoints[addr]; exists {
+		return fmt.Errorf("%w: %s", ErrAlreadyBound, addr)
+	}
+	n.endpoints[addr] = h
+	return nil
+}
+
+// Unregister removes an endpoint (machine decommissioned).
+func (n *Network) Unregister(addr Address) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, addr)
+}
+
+// Send delivers a request through the adversary to the target handler and
+// returns the (also adversary-mediated) reply.
+func (n *Network) Send(from, to Address, kind string, payload []byte) ([]byte, error) {
+	n.lat.Charge(sim.OpNetworkRTT)
+	msg := Message{From: from, To: to, Kind: kind, Payload: append([]byte(nil), payload...)}
+
+	n.mu.Lock()
+	adv := n.adversary
+	n.mu.Unlock()
+
+	if adv != nil {
+		if err := adv.OnRequest(&msg); err != nil {
+			return nil, err
+		}
+	}
+
+	n.mu.Lock()
+	h, ok := n.endpoints[msg.To]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownEndpoint, msg.To)
+	}
+
+	reply, err := h(msg)
+	if err != nil {
+		return nil, err
+	}
+	if adv != nil {
+		if err := adv.OnResponse(msg, &reply); err != nil {
+			return nil, err
+		}
+	}
+	return reply, nil
+}

@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func echoHandler(msg Message) ([]byte, error) {
+	return append([]byte("echo:"), msg.Payload...), nil
+}
+
+func TestNetworkRequestResponse(t *testing.T) {
+	n := NewNetwork(sim.NewInstantLatency())
+	if err := n.Register("B", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := n.Send("A", "B", "ping", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "echo:hello" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestNetworkUnknownEndpoint(t *testing.T) {
+	n := NewNetwork(sim.NewInstantLatency())
+	if _, err := n.Send("A", "nowhere", "ping", nil); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNetworkDuplicateBind(t *testing.T) {
+	n := NewNetwork(sim.NewInstantLatency())
+	if err := n.Register("B", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("B", echoHandler); !errors.Is(err, ErrAlreadyBound) {
+		t.Fatalf("got %v", err)
+	}
+	n.Unregister("B")
+	if err := n.Register("B", echoHandler); err != nil {
+		t.Fatalf("rebind after unregister: %v", err)
+	}
+}
+
+func TestNetworkHandlerError(t *testing.T) {
+	n := NewNetwork(sim.NewInstantLatency())
+	wantErr := errors.New("handler refused")
+	_ = n.Register("B", func(Message) ([]byte, error) { return nil, wantErr })
+	if _, err := n.Send("A", "B", "x", nil); !errors.Is(err, wantErr) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestInterceptorCaptures(t *testing.T) {
+	n := NewNetwork(sim.NewInstantLatency())
+	_ = n.Register("B", echoHandler)
+	adv := &Interceptor{}
+	n.SetAdversary(adv)
+	if _, err := n.Send("A", "B", "k1", []byte("m1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send("A", "B", "k2", []byte("m2")); err != nil {
+		t.Fatal(err)
+	}
+	cap := adv.Captured()
+	if len(cap) != 2 || cap[0].Kind != "k1" || string(cap[1].Payload) != "m2" {
+		t.Fatalf("captured = %+v", cap)
+	}
+	// Captured copies are isolated from later mutation.
+	cap[0].Payload[0] = 'X'
+	if string(adv.Captured()[0].Payload) != "m1" {
+		t.Fatal("capture aliases live payload")
+	}
+}
+
+func TestAdversaryDrop(t *testing.T) {
+	n := NewNetwork(sim.NewInstantLatency())
+	_ = n.Register("B", echoHandler)
+	n.SetAdversary(DropKind("migrate"))
+	if _, err := n.Send("A", "B", "migrate", []byte("data")); !errors.Is(err, ErrDropped) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := n.Send("A", "B", "other", nil); err != nil {
+		t.Fatalf("unrelated kind dropped: %v", err)
+	}
+}
+
+func TestAdversaryRedirect(t *testing.T) {
+	n := NewNetwork(sim.NewInstantLatency())
+	_ = n.Register("B", func(Message) ([]byte, error) { return []byte("B"), nil })
+	_ = n.Register("evil", func(Message) ([]byte, error) { return []byte("evil"), nil })
+	n.SetAdversary(RedirectTo("evil"))
+	reply, err := n.Send("A", "B", "migrate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "evil" {
+		t.Fatalf("redirect did not take effect: %q", reply)
+	}
+}
+
+func TestAdversaryTamper(t *testing.T) {
+	n := NewNetwork(sim.NewInstantLatency())
+	var got []byte
+	_ = n.Register("B", func(msg Message) ([]byte, error) {
+		got = msg.Payload
+		return nil, nil
+	})
+	n.SetAdversary(FlipPayloadBit("migrate"))
+	orig := []byte("sensitive-protocol-bytes")
+	if _, err := n.Send("A", "B", "migrate", orig); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("payload not tampered")
+	}
+}
+
+func TestAdversaryResponseTamper(t *testing.T) {
+	n := NewNetwork(sim.NewInstantLatency())
+	_ = n.Register("B", echoHandler)
+	n.SetAdversary(&Interceptor{Response: func(_ Message, reply *[]byte) error {
+		*reply = []byte("forged")
+		return nil
+	}})
+	reply, err := n.Send("A", "B", "x", []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "forged" {
+		t.Fatal("response tampering did not apply")
+	}
+}
+
+func TestNetworkChargesRTT(t *testing.T) {
+	lat := sim.NewInstantLatency()
+	n := NewNetwork(lat)
+	_ = n.Register("B", echoHandler)
+	_, _ = n.Send("A", "B", "x", nil)
+	_, _ = n.Send("A", "B", "x", nil)
+	if lat.Counts()[sim.OpNetworkRTT] != 2 {
+		t.Fatalf("RTT count = %d", lat.Counts()[sim.OpNetworkRTT])
+	}
+}
+
+func TestNetworkConcurrentSends(t *testing.T) {
+	n := NewNetwork(sim.NewInstantLatency())
+	_ = n.Register("B", echoHandler)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("m%d", i))
+			reply, err := n.Send("A", "B", "x", payload)
+			if err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+			if string(reply) != "echo:"+string(payload) {
+				t.Errorf("reply mismatch: %q", reply)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	tt := NewTCPTransport()
+	defer tt.Close()
+	if err := tt.Register("127.0.0.1:0", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := tt.BoundAddr("127.0.0.1:0")
+	if !ok {
+		t.Fatal("bound address missing")
+	}
+	reply, err := tt.Send("client", addr, "ping", []byte("over tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "echo:over tcp" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestTCPTransportHandlerError(t *testing.T) {
+	tt := NewTCPTransport()
+	defer tt.Close()
+	if err := tt.Register("127.0.0.1:0", func(Message) ([]byte, error) {
+		return nil, errors.New("refused by policy")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := tt.BoundAddr("127.0.0.1:0")
+	_, err := tt.Send("client", addr, "x", nil)
+	if err == nil || err.Error() != "refused by policy" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTCPTransportUnknownTarget(t *testing.T) {
+	tt := NewTCPTransport()
+	defer tt.Close()
+	if _, err := tt.Send("client", "127.0.0.1:1", "x", nil); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTCPTransportLargePayload(t *testing.T) {
+	tt := NewTCPTransport()
+	defer tt.Close()
+	if err := tt.Register("127.0.0.1:0", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := tt.BoundAddr("127.0.0.1:0")
+	payload := bytes.Repeat([]byte{0x42}, 1<<20)
+	reply, err := tt.Send("client", addr, "big", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply) != len(payload)+5 {
+		t.Fatalf("reply len = %d", len(reply))
+	}
+}
+
+func TestTCPTransportCloseRejectsRegister(t *testing.T) {
+	tt := NewTCPTransport()
+	tt.Close()
+	if err := tt.Register("127.0.0.1:0", echoHandler); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package vm models virtual machines and live migration (paper §II-B):
+// a hypervisor per physical machine, VMs whose memory pages are copied to
+// the destination during live migration, and the central constraint that
+// enclaves are NOT copied — the migration process cannot read the EPC, so
+// enclaves attached to a migrated VM are destroyed and must be recreated
+// on the destination through an SGX-aware mechanism (internal/core).
+//
+// The page-copy cost model feeds the §VII-B comparison: copying a VM's
+// memory takes on the order of seconds, against which the migration
+// framework's ~half-second enclave overhead is small.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sgx"
+	"repro/internal/sim"
+)
+
+// PageSize is the VM memory page granularity.
+const PageSize = 4096
+
+// VM errors.
+var (
+	ErrVMExists   = errors.New("vm: vm already exists")
+	ErrVMNotFound = errors.New("vm: vm not found")
+	ErrVMStopped  = errors.New("vm: vm is stopped")
+	ErrBadPage    = errors.New("vm: page index out of range")
+)
+
+// Hypervisor manages the VMs of one physical machine.
+type Hypervisor struct {
+	machine *sgx.Machine
+	lat     *sim.Latency
+
+	mu  sync.Mutex
+	vms map[string]*VM
+}
+
+// NewHypervisor creates the hypervisor for a machine.
+func NewHypervisor(machine *sgx.Machine) *Hypervisor {
+	return &Hypervisor{
+		machine: machine,
+		lat:     machine.Latency(),
+		vms:     make(map[string]*VM),
+	}
+}
+
+// Machine returns the hosting physical machine.
+func (h *Hypervisor) Machine() *sgx.Machine { return h.machine }
+
+// CreateVM allocates a VM with the given memory size.
+func (h *Hypervisor) CreateVM(id string, memoryBytes int) (*VM, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, exists := h.vms[id]; exists {
+		return nil, fmt.Errorf("%w: %s", ErrVMExists, id)
+	}
+	pages := (memoryBytes + PageSize - 1) / PageSize
+	v := &VM{
+		id:    id,
+		hv:    h,
+		pages: make([][]byte, pages),
+	}
+	h.vms[id] = v
+	return v, nil
+}
+
+// VM returns a VM by id.
+func (h *Hypervisor) VM(id string) (*VM, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v, ok := h.vms[id]
+	return v, ok
+}
+
+// remove drops a VM (after it migrated away).
+func (h *Hypervisor) remove(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.vms, id)
+}
+
+// VM is one virtual machine: guest memory plus the enclaves running in
+// its guest applications. Enclave handles are tracked so migration can
+// demonstrate that they do NOT move with the VM.
+type VM struct {
+	id string
+
+	mu       sync.Mutex
+	hv       *Hypervisor
+	pages    [][]byte
+	enclaves []*sgx.Enclave
+	stopped  bool
+}
+
+// ID returns the VM identifier.
+func (v *VM) ID() string { return v.id }
+
+// Hypervisor returns the current host.
+func (v *VM) Hypervisor() *Hypervisor {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.hv
+}
+
+// Pages returns the number of memory pages.
+func (v *VM) Pages() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.pages)
+}
+
+// Stopped reports whether the VM has been stopped (migrated away).
+func (v *VM) Stopped() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stopped
+}
+
+// WritePage stores data in guest memory page i.
+func (v *VM) WritePage(i int, data []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.stopped {
+		return ErrVMStopped
+	}
+	if i < 0 || i >= len(v.pages) {
+		return fmt.Errorf("%w: %d", ErrBadPage, i)
+	}
+	if len(data) > PageSize {
+		return fmt.Errorf("%w: page data too large", ErrBadPage)
+	}
+	v.pages[i] = append([]byte(nil), data...)
+	return nil
+}
+
+// ReadPage returns guest memory page i.
+func (v *VM) ReadPage(i int) ([]byte, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.stopped {
+		return nil, ErrVMStopped
+	}
+	if i < 0 || i >= len(v.pages) {
+		return nil, fmt.Errorf("%w: %d", ErrBadPage, i)
+	}
+	return append([]byte(nil), v.pages[i]...), nil
+}
+
+// AttachEnclave records an enclave running inside this VM's guest.
+func (v *VM) AttachEnclave(e *sgx.Enclave) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.enclaves = append(v.enclaves, e)
+}
+
+// Enclaves returns the enclaves attached to the VM.
+func (v *VM) Enclaves() []*sgx.Enclave {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]*sgx.Enclave(nil), v.enclaves...)
+}
+
+// LiveMigrate moves the VM to the destination hypervisor: every memory
+// page is copied (charging the page-copy cost), the source VM stops, and
+// — crucially — every enclave that was running inside the VM is destroyed
+// on the source and NOT recreated: the migration process cannot access
+// the EPC (paper §II-B). The returned duration is the virtual (unscaled)
+// time the memory copy took.
+func LiveMigrate(v *VM, dst *Hypervisor) (*VM, time.Duration, error) {
+	v.mu.Lock()
+	if v.stopped {
+		v.mu.Unlock()
+		return nil, 0, ErrVMStopped
+	}
+	src := v.hv
+	pages := make([][]byte, len(v.pages))
+	for i, p := range v.pages {
+		pages[i] = append([]byte(nil), p...)
+	}
+	enclaves := append([]*sgx.Enclave(nil), v.enclaves...)
+	v.stopped = true
+	v.mu.Unlock()
+
+	// Copy memory pages; this dominates VM migration time.
+	before := dst.lat.VirtualTotal()
+	dst.lat.ChargeN(sim.OpVMPageCopy, len(pages))
+	dst.lat.Charge(sim.OpNetworkRTT)
+	elapsed := dst.lat.VirtualTotal() - before
+
+	// Enclaves do not survive: destroy them on the source machine.
+	for _, e := range enclaves {
+		src.machine.Destroy(e)
+	}
+	src.remove(v.id)
+
+	migrated := &VM{id: v.id, hv: dst, pages: pages}
+	dst.mu.Lock()
+	dst.vms[v.id] = migrated
+	dst.mu.Unlock()
+	return migrated, elapsed, nil
+}

@@ -1,0 +1,159 @@
+package vm
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"repro/internal/sgx"
+	"repro/internal/sim"
+)
+
+func newMachine(t *testing.T, id sgx.MachineID) *sgx.Machine {
+	t.Helper()
+	m, err := sgx.NewMachine(id, sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newEnclave(t *testing.T, m *sgx.Machine) *sgx.Enclave {
+	t.Helper()
+	pub, _, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := m.Load(&sgx.Image{Name: "guest-app", Code: []byte("x"), SignerPublicKey: pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestVMMemoryReadWrite(t *testing.T) {
+	h := NewHypervisor(newMachine(t, "A"))
+	v, err := h.CreateVM("vm1", 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pages() != 16 {
+		t.Fatalf("pages = %d", v.Pages())
+	}
+	want := []byte("guest data")
+	if err := v.WritePage(3, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadPage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("page mismatch")
+	}
+	if err := v.WritePage(99, nil); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("oob write: %v", err)
+	}
+	if _, err := v.ReadPage(-1); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("oob read: %v", err)
+	}
+	if err := v.WritePage(0, make([]byte, PageSize+1)); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("oversize write: %v", err)
+	}
+}
+
+func TestVMDuplicateID(t *testing.T) {
+	h := NewHypervisor(newMachine(t, "A"))
+	if _, err := h.CreateVM("vm1", PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CreateVM("vm1", PageSize); !errors.Is(err, ErrVMExists) {
+		t.Fatalf("duplicate vm: %v", err)
+	}
+}
+
+func TestLiveMigrationMovesMemory(t *testing.T) {
+	mA, mB := newMachine(t, "A"), newMachine(t, "B")
+	hA, hB := NewHypervisor(mA), NewHypervisor(mB)
+	v, _ := hA.CreateVM("vm1", 256*1024)
+	for i := 0; i < v.Pages(); i++ {
+		if err := v.WritePage(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	migrated, elapsed, err := LiveMigrate(v, hB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("migration charged no time")
+	}
+	for i := 0; i < migrated.Pages(); i++ {
+		p, err := migrated.ReadPage(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p[0] != byte(i) {
+			t.Fatalf("page %d corrupted", i)
+		}
+	}
+	// Source VM stopped and deregistered.
+	if !v.Stopped() {
+		t.Fatal("source VM still running")
+	}
+	if _, ok := hA.VM("vm1"); ok {
+		t.Fatal("source hypervisor still lists the VM")
+	}
+	if got, ok := hB.VM("vm1"); !ok || got != migrated {
+		t.Fatal("destination hypervisor missing the VM")
+	}
+	if _, err := v.ReadPage(0); !errors.Is(err, ErrVMStopped) {
+		t.Fatalf("stopped VM served memory: %v", err)
+	}
+	if _, _, err := LiveMigrate(v, hA); !errors.Is(err, ErrVMStopped) {
+		t.Fatalf("double migration: %v", err)
+	}
+}
+
+// The paper's central constraint: live migration cannot carry enclaves.
+func TestLiveMigrationDestroysEnclaves(t *testing.T) {
+	mA, mB := newMachine(t, "A"), newMachine(t, "B")
+	hA, hB := NewHypervisor(mA), NewHypervisor(mB)
+	v, _ := hA.CreateVM("vm1", 64*1024)
+	e := newEnclave(t, mA)
+	v.AttachEnclave(e)
+
+	migrated, _, err := LiveMigrate(v, hB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Alive() {
+		t.Fatal("enclave survived VM migration — EPC was 'copied'")
+	}
+	if len(migrated.Enclaves()) != 0 {
+		t.Fatal("destination VM lists enclaves that were never migrated")
+	}
+	if mA.LiveEnclaves() != 0 {
+		t.Fatal("source machine still hosts the enclave")
+	}
+}
+
+func TestLiveMigrationCostScalesWithMemory(t *testing.T) {
+	mA, mB := newMachine(t, "A"), newMachine(t, "B")
+	hA, hB := NewHypervisor(mA), NewHypervisor(mB)
+	small, _ := hA.CreateVM("small", 64*1024)
+	big, _ := hA.CreateVM("big", 64*1024*64)
+	_, tSmall, err := LiveMigrate(small, hB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tBig, err := LiveMigrate(big, hB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tBig <= tSmall {
+		t.Fatalf("bigger VM migrated faster: %v <= %v", tBig, tSmall)
+	}
+}

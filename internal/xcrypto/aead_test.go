@@ -1,0 +1,198 @@
+package xcrypto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testKey() []byte {
+	k := DeriveKey([]byte("test"), "key")
+	return k[:]
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	tests := []struct {
+		name      string
+		plaintext []byte
+		aad       []byte
+	}{
+		{"empty", nil, nil},
+		{"small", []byte("hello"), nil},
+		{"with aad", []byte("hello"), []byte("context")},
+		{"large", bytes.Repeat([]byte{0xAB}, 100_000), []byte("big")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ct, err := Encrypt(testKey(), tt.plaintext, tt.aad)
+			if err != nil {
+				t.Fatalf("encrypt: %v", err)
+			}
+			pt, err := Decrypt(testKey(), ct, tt.aad)
+			if err != nil {
+				t.Fatalf("decrypt: %v", err)
+			}
+			if !bytes.Equal(pt, tt.plaintext) {
+				t.Fatalf("round trip mismatch: got %d bytes, want %d", len(pt), len(tt.plaintext))
+			}
+		})
+	}
+}
+
+func TestDecryptRejectsTampering(t *testing.T) {
+	ct, err := Encrypt(testKey(), []byte("secret data"), []byte("aad"))
+	if err != nil {
+		t.Fatalf("encrypt: %v", err)
+	}
+	t.Run("flipped ciphertext bit", func(t *testing.T) {
+		bad := append([]byte(nil), ct...)
+		bad[len(bad)-1] ^= 1
+		if _, err := Decrypt(testKey(), bad, []byte("aad")); !errors.Is(err, ErrDecrypt) {
+			t.Fatalf("got %v, want ErrDecrypt", err)
+		}
+	})
+	t.Run("wrong aad", func(t *testing.T) {
+		if _, err := Decrypt(testKey(), ct, []byte("other")); !errors.Is(err, ErrDecrypt) {
+			t.Fatalf("got %v, want ErrDecrypt", err)
+		}
+	})
+	t.Run("wrong key", func(t *testing.T) {
+		other := DeriveKey([]byte("other"), "key")
+		if _, err := Decrypt(other[:], ct, []byte("aad")); !errors.Is(err, ErrDecrypt) {
+			t.Fatalf("got %v, want ErrDecrypt", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := Decrypt(testKey(), ct[:4], []byte("aad")); !errors.Is(err, ErrCiphertextShort) {
+			t.Fatalf("got %v, want ErrCiphertextShort", err)
+		}
+	})
+}
+
+func TestChannelBidirectional(t *testing.T) {
+	secret := []byte("shared")
+	a, b := ChannelPair(secret, []byte("transcript"))
+
+	for i := 0; i < 5; i++ {
+		msg := []byte{byte(i), 'x'}
+		wire, err := a.Seal(msg)
+		if err != nil {
+			t.Fatalf("seal %d: %v", i, err)
+		}
+		got, err := b.Open(wire)
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("msg %d mismatch", i)
+		}
+	}
+	// Reverse direction interleaved.
+	wire, err := b.Seal([]byte("reply"))
+	if err != nil {
+		t.Fatalf("seal reply: %v", err)
+	}
+	got, err := a.Open(wire)
+	if err != nil {
+		t.Fatalf("open reply: %v", err)
+	}
+	if string(got) != "reply" {
+		t.Fatalf("reply mismatch: %q", got)
+	}
+}
+
+func TestChannelRejectsReplay(t *testing.T) {
+	a, b := ChannelPair([]byte("s"), []byte("t"))
+	wire, err := a.Seal([]byte("m1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(wire); err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+	if _, err := b.Open(wire); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay: got %v, want ErrReplay", err)
+	}
+}
+
+func TestChannelRejectsReorder(t *testing.T) {
+	a, b := ChannelPair([]byte("s"), []byte("t"))
+	w1, _ := a.Seal([]byte("m1"))
+	w2, _ := a.Seal([]byte("m2"))
+	if _, err := b.Open(w2); !errors.Is(err, ErrReplay) {
+		t.Fatalf("out-of-order open: got %v, want ErrReplay", err)
+	}
+	if _, err := b.Open(w1); err != nil {
+		t.Fatalf("in-order open after rejection: %v", err)
+	}
+}
+
+func TestChannelRejectsCrossDirection(t *testing.T) {
+	a, _ := ChannelPair([]byte("s"), []byte("t"))
+	wire, _ := a.Seal([]byte("m"))
+	// The sender itself must not accept its own message (reflection).
+	if _, err := a.Open(wire); err == nil {
+		t.Fatal("reflected message accepted")
+	}
+}
+
+func TestChannelTranscriptBinding(t *testing.T) {
+	a, _ := ChannelPair([]byte("s"), []byte("transcript-1"))
+	_, b := ChannelPair([]byte("s"), []byte("transcript-2"))
+	wire, _ := a.Seal([]byte("m"))
+	if _, err := b.Open(wire); err == nil {
+		t.Fatal("message accepted across different transcripts")
+	}
+}
+
+func TestChannelClose(t *testing.T) {
+	a, b := ChannelPair([]byte("s"), []byte("t"))
+	a.Close()
+	if _, err := a.Seal([]byte("m")); !errors.Is(err, ErrChannelClosed) {
+		t.Fatalf("seal on closed: got %v", err)
+	}
+	if _, err := a.Open(nil); !errors.Is(err, ErrChannelClosed) {
+		t.Fatalf("open on closed: got %v", err)
+	}
+	wire, err := b.Seal([]byte("m"))
+	if err != nil {
+		t.Fatalf("peer seal: %v", err)
+	}
+	_ = wire
+}
+
+// Property: round trip holds for arbitrary payloads and AADs.
+func TestEncryptDecryptProperty(t *testing.T) {
+	f := func(pt, aad []byte) bool {
+		ct, err := Encrypt(testKey(), pt, aad)
+		if err != nil {
+			return false
+		}
+		got, err := Decrypt(testKey(), ct, aad)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBytes(t *testing.T) {
+	a, err := RandomBytes(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomBytes(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two random draws equal")
+	}
+	if len(a) != 32 {
+		t.Fatalf("len = %d", len(a))
+	}
+}

@@ -1,0 +1,194 @@
+package xcrypto
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors returned by certificate issuance and verification.
+var (
+	ErrBadSignature  = errors.New("xcrypto: bad certificate signature")
+	ErrWrongIssuer   = errors.New("xcrypto: certificate issued by unknown authority")
+	ErrCertExpired   = errors.New("xcrypto: certificate expired")
+	ErrCertRevoked   = errors.New("xcrypto: certificate revoked")
+	ErrBadCertFormat = errors.New("xcrypto: malformed certificate")
+)
+
+// Certificate binds a subject name and public key to an issuer signature.
+// It is deliberately minimal: the cloud-provider setup phase (paper §V-B)
+// and the simulated EPID group-membership credentials both need only
+// "authority X vouches for key K with role R".
+type Certificate struct {
+	Subject   string    `json:"subject"`
+	Role      string    `json:"role"`
+	PublicKey []byte    `json:"publicKey"`
+	Issuer    string    `json:"issuer"`
+	NotAfter  time.Time `json:"notAfter"`
+	Signature []byte    `json:"signature"`
+}
+
+// signingBytes returns the canonical byte string covered by the signature.
+func (c *Certificate) signingBytes() []byte {
+	var buf bytes.Buffer
+	writeLV := func(b []byte) {
+		buf.WriteByte(byte(len(b) >> 8))
+		buf.WriteByte(byte(len(b)))
+		buf.Write(b)
+	}
+	writeLV([]byte(c.Subject))
+	writeLV([]byte(c.Role))
+	writeLV(c.PublicKey)
+	writeLV([]byte(c.Issuer))
+	writeLV([]byte(c.NotAfter.UTC().Format(time.RFC3339)))
+	return buf.Bytes()
+}
+
+// Encode serializes the certificate for transport.
+func (c *Certificate) Encode() ([]byte, error) {
+	return json.Marshal(c)
+}
+
+// DecodeCertificate parses a certificate produced by Encode.
+func DecodeCertificate(data []byte) (*Certificate, error) {
+	var c Certificate
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCertFormat, err)
+	}
+	return &c, nil
+}
+
+// Authority is a certificate issuer, e.g. the data-center operator that
+// provisions Migration Enclaves during the secure setup phase, or the
+// group issuer of the simulated EPID scheme.
+type Authority struct {
+	name    string
+	priv    ed25519.PrivateKey
+	pub     ed25519.PublicKey
+	revoked map[string]bool
+}
+
+// NewAuthority creates an authority with a fresh Ed25519 key pair.
+func NewAuthority(name string) (*Authority, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("authority keygen: %w", err)
+	}
+	return &Authority{name: name, priv: priv, pub: pub, revoked: make(map[string]bool)}, nil
+}
+
+// Name returns the authority's name, used as the Issuer field.
+func (a *Authority) Name() string { return a.name }
+
+// PublicKey returns the authority's verification key.
+func (a *Authority) PublicKey() ed25519.PublicKey { return a.pub }
+
+// Issue signs a certificate over the subject's public key.
+func (a *Authority) Issue(subject, role string, publicKey []byte, ttl time.Duration) (*Certificate, error) {
+	if len(publicKey) == 0 {
+		return nil, fmt.Errorf("%w: empty public key", ErrBadCertFormat)
+	}
+	cert := &Certificate{
+		Subject:   subject,
+		Role:      role,
+		PublicKey: append([]byte(nil), publicKey...),
+		Issuer:    a.name,
+		NotAfter:  time.Now().Add(ttl),
+	}
+	cert.Signature = ed25519.Sign(a.priv, cert.signingBytes())
+	return cert, nil
+}
+
+// Revoke marks a subject's certificates as revoked (EPID supports
+// revocation of compromised members; we model it per subject name).
+func (a *Authority) Revoke(subject string) { a.revoked[subject] = true }
+
+// Verifier checks certificates against a trusted authority public key.
+type Verifier struct {
+	issuer  string
+	pub     ed25519.PublicKey
+	now     func() time.Time
+	revoked func(subject string) bool
+}
+
+// NewVerifier builds a verifier trusting the given authority.
+func NewVerifier(a *Authority) *Verifier {
+	return &Verifier{
+		issuer:  a.name,
+		pub:     a.pub,
+		now:     time.Now,
+		revoked: func(s string) bool { return a.revoked[s] },
+	}
+}
+
+// NewVerifierFromKey builds a verifier from a bare issuer name and key,
+// for parties that only hold the authority's public material.
+func NewVerifierFromKey(issuer string, pub ed25519.PublicKey) *Verifier {
+	return &Verifier{
+		issuer:  issuer,
+		pub:     pub,
+		now:     time.Now,
+		revoked: func(string) bool { return false },
+	}
+}
+
+// Verify checks issuer, signature, expiry, and revocation.
+func (v *Verifier) Verify(c *Certificate) error {
+	if c == nil {
+		return ErrBadCertFormat
+	}
+	if c.Issuer != v.issuer {
+		return fmt.Errorf("%w: issuer %q", ErrWrongIssuer, c.Issuer)
+	}
+	if !ed25519.Verify(v.pub, c.signingBytes(), c.Signature) {
+		return ErrBadSignature
+	}
+	if v.now().After(c.NotAfter) {
+		return ErrCertExpired
+	}
+	if v.revoked(c.Subject) {
+		return fmt.Errorf("%w: subject %q", ErrCertRevoked, c.Subject)
+	}
+	return nil
+}
+
+// Signer is a certified signing key pair, e.g. a Migration Enclave's
+// provider-provisioned identity key.
+type Signer struct {
+	priv ed25519.PrivateKey
+	Cert *Certificate
+}
+
+// NewCertifiedSigner generates a key pair and has the authority certify it.
+func NewCertifiedSigner(a *Authority, subject, role string, ttl time.Duration) (*Signer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("signer keygen: %w", err)
+	}
+	cert, err := a.Issue(subject, role, pub, ttl)
+	if err != nil {
+		return nil, err
+	}
+	return &Signer{priv: priv, Cert: cert}, nil
+}
+
+// Sign signs a message with the certified key.
+func (s *Signer) Sign(msg []byte) []byte {
+	return ed25519.Sign(s.priv, msg)
+}
+
+// VerifyWithCert checks sig over msg against the public key in cert.
+// The caller must separately Verify the certificate chain.
+func VerifyWithCert(cert *Certificate, msg, sig []byte) error {
+	if cert == nil || len(cert.PublicKey) != ed25519.PublicKeySize {
+		return ErrBadCertFormat
+	}
+	if !ed25519.Verify(ed25519.PublicKey(cert.PublicKey), msg, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}

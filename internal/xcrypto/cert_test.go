@@ -1,0 +1,168 @@
+package xcrypto
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCertificateIssueVerify(t *testing.T) {
+	ca, err := NewAuthority("datacenter-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := NewCertifiedSigner(ca, "machine-A/ME", "migration-enclave", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(ca)
+	if err := v.Verify(signer.Cert); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	msg := []byte("attestation transcript")
+	sig := signer.Sign(msg)
+	if err := VerifyWithCert(signer.Cert, msg, sig); err != nil {
+		t.Fatalf("signature: %v", err)
+	}
+}
+
+func TestCertificateRejectsTampering(t *testing.T) {
+	ca, _ := NewAuthority("dc")
+	signer, _ := NewCertifiedSigner(ca, "m", "me", time.Hour)
+	v := NewVerifier(ca)
+
+	t.Run("altered subject", func(t *testing.T) {
+		c := *signer.Cert
+		c.Subject = "attacker"
+		if err := v.Verify(&c); !errors.Is(err, ErrBadSignature) {
+			t.Fatalf("got %v, want ErrBadSignature", err)
+		}
+	})
+	t.Run("altered role", func(t *testing.T) {
+		c := *signer.Cert
+		c.Role = "root"
+		if err := v.Verify(&c); !errors.Is(err, ErrBadSignature) {
+			t.Fatalf("got %v, want ErrBadSignature", err)
+		}
+	})
+	t.Run("wrong signature over message", func(t *testing.T) {
+		if err := VerifyWithCert(signer.Cert, []byte("msg"), []byte("junk-signature-xxx")); !errors.Is(err, ErrBadSignature) {
+			t.Fatalf("got %v, want ErrBadSignature", err)
+		}
+	})
+	t.Run("nil cert", func(t *testing.T) {
+		if err := v.Verify(nil); !errors.Is(err, ErrBadCertFormat) {
+			t.Fatalf("got %v, want ErrBadCertFormat", err)
+		}
+	})
+}
+
+func TestCertificateForeignIssuerRejected(t *testing.T) {
+	ours, _ := NewAuthority("dc-ours")
+	theirs, _ := NewAuthority("dc-theirs")
+	foreign, _ := NewCertifiedSigner(theirs, "attacker-machine/ME", "migration-enclave", time.Hour)
+	v := NewVerifier(ours)
+	if err := v.Verify(foreign.Cert); !errors.Is(err, ErrWrongIssuer) {
+		t.Fatalf("got %v, want ErrWrongIssuer", err)
+	}
+}
+
+// A forged certificate claiming our issuer name but signed by another key
+// must fail the signature check — name squatting is not enough.
+func TestCertificateIssuerNameSquatting(t *testing.T) {
+	ours, _ := NewAuthority("dc")
+	fake, _ := NewAuthority("dc")
+	squatted, _ := NewCertifiedSigner(fake, "evil/ME", "migration-enclave", time.Hour)
+	v := NewVerifier(ours)
+	if err := v.Verify(squatted.Cert); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("got %v, want ErrBadSignature", err)
+	}
+}
+
+func TestCertificateExpiry(t *testing.T) {
+	ca, _ := NewAuthority("dc")
+	signer, _ := NewCertifiedSigner(ca, "m", "me", time.Millisecond)
+	v := NewVerifier(ca)
+	v.now = func() time.Time { return time.Now().Add(time.Hour) }
+	if err := v.Verify(signer.Cert); !errors.Is(err, ErrCertExpired) {
+		t.Fatalf("got %v, want ErrCertExpired", err)
+	}
+}
+
+func TestCertificateRevocation(t *testing.T) {
+	ca, _ := NewAuthority("dc")
+	signer, _ := NewCertifiedSigner(ca, "compromised", "me", time.Hour)
+	v := NewVerifier(ca)
+	if err := v.Verify(signer.Cert); err != nil {
+		t.Fatalf("pre-revocation verify: %v", err)
+	}
+	ca.Revoke("compromised")
+	if err := v.Verify(signer.Cert); !errors.Is(err, ErrCertRevoked) {
+		t.Fatalf("got %v, want ErrCertRevoked", err)
+	}
+}
+
+func TestCertificateEncodeDecode(t *testing.T) {
+	ca, _ := NewAuthority("dc")
+	signer, _ := NewCertifiedSigner(ca, "m", "me", time.Hour)
+	data, err := signer.Cert.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCertificate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewVerifier(ca).Verify(back); err != nil {
+		t.Fatalf("verify decoded: %v", err)
+	}
+	if _, err := DecodeCertificate([]byte("{not json")); !errors.Is(err, ErrBadCertFormat) {
+		t.Fatalf("got %v, want ErrBadCertFormat", err)
+	}
+}
+
+func TestVerifierFromKey(t *testing.T) {
+	ca, _ := NewAuthority("dc")
+	signer, _ := NewCertifiedSigner(ca, "m", "me", time.Hour)
+	v := NewVerifierFromKey("dc", ca.PublicKey())
+	if err := v.Verify(signer.Cert); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestKeyExchangeSharedSecret(t *testing.T) {
+	a, err := NewKeyExchange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewKeyExchange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := a.Shared(b.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Shared(a.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sa) != string(sb) {
+		t.Fatal("shared secrets differ")
+	}
+	if _, err := a.Shared([]byte{1, 2, 3}); !errors.Is(err, ErrBadPublicKey) {
+		t.Fatalf("bad pubkey: got %v", err)
+	}
+}
+
+func TestTranscriptUnambiguous(t *testing.T) {
+	a := Transcript("ctx", []byte("ab"), []byte("c"))
+	b := Transcript("ctx", []byte("a"), []byte("bc"))
+	if string(a) == string(b) {
+		t.Fatal("transcript encoding ambiguous")
+	}
+	c := Transcript("ctx2", []byte("ab"), []byte("c"))
+	if string(a) == string(c) {
+		t.Fatal("transcript ignores context")
+	}
+}

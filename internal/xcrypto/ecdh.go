@@ -1,0 +1,59 @@
+package xcrypto
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"fmt"
+)
+
+// ErrBadPublicKey reports a malformed or off-curve peer public key.
+var ErrBadPublicKey = errors.New("xcrypto: invalid ECDH public key")
+
+// KeyExchange holds one party's ephemeral ECDH key pair (NIST P-256).
+// It is the key-agreement half of the attested Diffie-Hellman handshake
+// that enclaves use to establish secure channels (paper §V-B, §VI-A).
+type KeyExchange struct {
+	priv *ecdh.PrivateKey
+}
+
+// NewKeyExchange generates a fresh ephemeral P-256 key pair.
+func NewKeyExchange() (*KeyExchange, error) {
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("ecdh keygen: %w", err)
+	}
+	return &KeyExchange{priv: priv}, nil
+}
+
+// PublicBytes returns the encoded public key to send to the peer.
+func (k *KeyExchange) PublicBytes() []byte {
+	return k.priv.PublicKey().Bytes()
+}
+
+// Shared computes the raw ECDH shared secret with the peer's public key.
+func (k *KeyExchange) Shared(peerPublic []byte) ([]byte, error) {
+	pub, err := ecdh.P256().NewPublicKey(peerPublic)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPublicKey, err)
+	}
+	secret, err := k.priv.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("ecdh: %w", err)
+	}
+	return secret, nil
+}
+
+// Transcript canonically binds the two public keys of a handshake (and an
+// optional context) so that derived channel keys are bound to exactly this
+// exchange. Both sides must pass the keys in initiator-first order.
+func Transcript(context string, initiatorPub, responderPub []byte) []byte {
+	out := make([]byte, 0, len(context)+len(initiatorPub)+len(responderPub)+6)
+	out = append(out, byte(len(context)>>8), byte(len(context)))
+	out = append(out, context...)
+	out = append(out, byte(len(initiatorPub)>>8), byte(len(initiatorPub)))
+	out = append(out, initiatorPub...)
+	out = append(out, byte(len(responderPub)>>8), byte(len(responderPub)))
+	out = append(out, responderPub...)
+	return out
+}
