@@ -12,12 +12,15 @@
 package repro_test
 
 import (
+	"context"
 	"crypto/ed25519"
+	"fmt"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/seal"
 	"repro/internal/sgx"
 	"repro/internal/sim"
@@ -307,6 +310,64 @@ func BenchmarkMigrationRunner(b *testing.B) {
 		if _, err := bench.MigrationOverhead(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Fleet: datacenter drain throughput vs. worker-pool size -------------
+
+// benchmarkFleetDrain drains a 3-machine data center of fleetApps
+// enclaves through the orchestrator and reports migrations/sec, the
+// fleet-level counterpart of BenchmarkMigrationEndToEnd.
+const fleetApps = 48
+
+func benchmarkFleetDrain(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dc, err := cloud.NewDataCenter("bench-fleet", sim.NewInstantLatency())
+		if err != nil {
+			b.Fatal(err)
+		}
+		src, err := dc.AddMachine("A")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dc.AddMachine("B"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dc.AddMachine("C"); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < fleetApps; j++ {
+			app, err := src.LaunchApp(benchImage(fmt.Sprintf("fleet-%03d", j)), core.NewMemoryStorage(), core.InitNew)
+			if err != nil {
+				b.Fatal(err)
+			}
+			id, _, err := app.Library.CreateCounter()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := app.Library.IncrementCounter(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		orch := fleet.New(dc, fleet.Config{Workers: workers})
+		b.StartTimer()
+		report, err := orch.Execute(context.Background(), fleet.Drain("A"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Completed != fleetApps {
+			b.Fatalf("completed %d of %d", report.Completed, fleetApps)
+		}
+	}
+	b.ReportMetric(float64(fleetApps*b.N)/b.Elapsed().Seconds(), "migrations/s")
+}
+
+func BenchmarkFleetDrain(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchmarkFleetDrain(b, workers)
+		})
 	}
 }
 

@@ -1,0 +1,144 @@
+// Fleetdrain: datacenter-scale enclave migration with the fleet
+// orchestrator.
+//
+// It provisions a 3-machine data center, launches 120 migratable
+// enclaves (each with a monotonic counter and a sealed secret) on
+// machine-A, then drains machine-A for maintenance: the orchestrator
+// migrates every enclave concurrently onto the other two machines with
+// the least-loaded placement policy, verifying the frozen-source
+// invariant after every transfer. Afterwards it proves no state was
+// lost: every counter continued exactly where it left off and every
+// sealed secret still decrypts.
+//
+//	go run ./examples/fleetdrain
+package main
+
+import (
+	"context"
+	"crypto/ed25519"
+	"fmt"
+	"log"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/xcrypto"
+)
+
+const (
+	numApps  = 120
+	nWorkers = 16
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lat := sim.NewInstantLatency()
+	net := transport.NewNetwork(lat)
+	meter := fleet.NewMeter(net)
+	dc, err := cloud.NewDataCenterWithNetwork("fleet-dc", lat, meter)
+	if err != nil {
+		return err
+	}
+	a, err := dc.AddMachine("machine-A")
+	if err != nil {
+		return err
+	}
+	if _, err := dc.AddMachine("machine-B"); err != nil {
+		return err
+	}
+	if _, err := dc.AddMachine("machine-C"); err != nil {
+		return err
+	}
+
+	// 1. A full rack of tenants on machine-A, each with persistent state.
+	signer := xcrypto.DeriveKey([]byte("fleetdrain"), "signer")
+	type state struct {
+		ctr    int
+		value  uint32
+		sealed []byte
+	}
+	states := make(map[string]state, numApps)
+	for i := 0; i < numApps; i++ {
+		name := fmt.Sprintf("tenant-%03d", i)
+		img := &sgx.Image{
+			Name:            name,
+			Version:         1,
+			Code:            []byte(name),
+			SignerPublicKey: ed25519.PublicKey(signer[:]),
+		}
+		app, err := a.LaunchApp(img, core.NewMemoryStorage(), core.InitNew)
+		if err != nil {
+			return err
+		}
+		ctr, _, err := app.Library.CreateCounter()
+		if err != nil {
+			return err
+		}
+		incs := uint32(i%9 + 1)
+		for j := uint32(0); j < incs; j++ {
+			if _, err := app.Library.IncrementCounter(ctr); err != nil {
+				return err
+			}
+		}
+		sealed, err := app.Library.SealMigratable(nil, []byte("keys of "+name))
+		if err != nil {
+			return err
+		}
+		states[name] = state{ctr: ctr, value: incs, sealed: sealed}
+	}
+	fmt.Printf("machine-A hosts %d enclaves with counters and sealed secrets\n", a.AppCount())
+
+	// 2. Maintenance: drain machine-A through the orchestrator.
+	fmt.Printf("draining machine-A with %d workers (least-loaded policy)...\n\n", nWorkers)
+	orch := fleet.New(dc, fleet.Config{Workers: nWorkers, Meter: meter})
+	report, err := orch.Execute(context.Background(), fleet.Drain("machine-A"))
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	fmt.Println()
+	for _, m := range dc.Machines() {
+		fmt.Printf("%-10s now hosts %3d enclaves\n", m.ID(), m.AppCount())
+	}
+	if a.AppCount() != 0 {
+		return fmt.Errorf("machine-A not empty after drain")
+	}
+	if report.Completed != numApps {
+		return fmt.Errorf("only %d of %d migrations completed", report.Completed, numApps)
+	}
+
+	// 3. Prove nothing rolled back and nothing forked: every tenant's
+	// counter continued, every secret decrypts, every source is frozen.
+	for _, e := range report.Journal.Entries() {
+		if !e.SourceFrozen {
+			return fmt.Errorf("%s: source not frozen — fork window", e.App)
+		}
+	}
+	verified := 0
+	for _, m := range dc.Machines() {
+		for _, app := range m.Apps() {
+			st := states[app.Image().Name]
+			v, err := app.Library.ReadCounter(st.ctr)
+			if err != nil {
+				return err
+			}
+			if v != st.value {
+				return fmt.Errorf("%s: counter %d, want %d — rollback", app.Image().Name, v, st.value)
+			}
+			if _, _, err := app.Library.UnsealMigratable(st.sealed); err != nil {
+				return fmt.Errorf("%s: sealed secret lost: %w", app.Image().Name, err)
+			}
+			verified++
+		}
+	}
+	fmt.Printf("\nverified %d tenants: counters continued, secrets decrypt, sources frozen\n", verified)
+	return nil
+}

@@ -8,6 +8,8 @@ package cloud
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/attest"
 	"repro/internal/core"
@@ -32,6 +34,7 @@ type DataCenter struct {
 	Messenger transport.Messenger
 	Latency   *sim.Latency
 
+	mu       sync.Mutex
 	machines map[string]*Machine
 }
 
@@ -42,10 +45,39 @@ type Machine struct {
 	Counters *pse.Service
 	QE       *attest.QuotingEnclave
 	ME       *core.MigrationEnclave
+
+	mu   sync.Mutex
+	apps map[*App]struct{}
 }
 
 // MEAddress returns the machine's Migration Enclave network address.
 func (m *Machine) MEAddress() transport.Address { return m.ME.Address() }
+
+// ID returns the machine identifier within the data center.
+func (m *Machine) ID() string { return string(m.HW.ID()) }
+
+// Apps returns the live applications currently hosted on the machine
+// (launched here and neither terminated nor killed by a restart), in no
+// particular order. Fleet orchestration uses this to build its inventory.
+// Apps whose enclaves died without Terminate (machine restart) are
+// pruned from the registry as they are encountered.
+func (m *Machine) Apps() []*App {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	apps := make([]*App, 0, len(m.apps))
+	for a := range m.apps {
+		if a.Enclave.Alive() {
+			apps = append(apps, a)
+		} else {
+			delete(m.apps, a)
+		}
+	}
+	return apps
+}
+
+// AppCount returns the number of live applications on the machine (the
+// load figure placement policies balance on).
+func (m *Machine) AppCount() int { return len(m.Apps()) }
 
 // NewDataCenter creates a data center with its own provider identity,
 // EPID group, IAS, and network, using the given latency scale.
@@ -92,6 +124,10 @@ func (dc *DataCenter) AddMachine(id string) (*Machine, error) {
 // explicit transport address (used with TCP transports, where addresses
 // are host:port rather than machine names).
 func (dc *DataCenter) AddMachineAt(id string, addr transport.Address) (*Machine, error) {
+	// Held for the whole provisioning sequence so a concurrent add of the
+	// same ID cannot slip between the duplicate check and the insert.
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
 	if _, exists := dc.machines[id]; exists {
 		return nil, fmt.Errorf("cloud: machine %q already exists", id)
 	}
@@ -116,6 +152,7 @@ func (dc *DataCenter) AddMachineAt(id string, addr transport.Address) (*Machine,
 		Counters: pse.NewService(dc.Latency),
 		QE:       qe,
 		ME:       me,
+		apps:     make(map[*App]struct{}),
 	}
 	dc.machines[id] = m
 	return m, nil
@@ -123,8 +160,22 @@ func (dc *DataCenter) AddMachineAt(id string, addr transport.Address) (*Machine,
 
 // Machine returns a previously added machine.
 func (dc *DataCenter) Machine(id string) (*Machine, bool) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
 	m, ok := dc.machines[id]
 	return m, ok
+}
+
+// Machines returns every machine in the data center, sorted by ID.
+func (dc *DataCenter) Machines() []*Machine {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	ms := make([]*Machine, 0, len(dc.machines))
+	for _, m := range dc.machines {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID() < ms[j].ID() })
+	return ms
 }
 
 // App is a migratable application: its enclave instance, its Migration
@@ -152,11 +203,20 @@ func (m *Machine) LaunchApp(img *sgx.Image, storage *core.MemoryStorage, state c
 		m.HW.Destroy(e)
 		return nil, fmt.Errorf("init migration library: %w", err)
 	}
-	return &App{Enclave: e, Library: lib, Storage: storage, machine: m, image: img}, nil
+	app := &App{Enclave: e, Library: lib, Storage: storage, machine: m, image: img}
+	m.mu.Lock()
+	m.apps[app] = struct{}{}
+	m.mu.Unlock()
+	return app, nil
 }
 
 // Terminate destroys the app's enclave (application closed / crashed).
-func (a *App) Terminate() { a.machine.HW.Destroy(a.Enclave) }
+func (a *App) Terminate() {
+	a.machine.mu.Lock()
+	delete(a.machine.apps, a)
+	a.machine.mu.Unlock()
+	a.machine.HW.Destroy(a.Enclave)
+}
 
 // Machine returns the hosting machine.
 func (a *App) Machine() *Machine { return a.machine }

@@ -19,6 +19,27 @@ var (
 	ErrQuoteBinding   = errors.New("core: quote does not bind the handshake keys")
 	ErrUnknownToken   = errors.New("core: unknown migration token")
 	ErrBadHandshake   = errors.New("core: unknown or expired attestation session")
+	// ErrAlreadyPending reports a delivery refused because the destination
+	// already holds an unrestored migration for the same enclave identity.
+	// The text doubles as the cross-transport marker for this condition
+	// (handler errors travel as strings over TCP).
+	ErrAlreadyPending = errors.New("core: migration already pending at destination for this enclave identity")
+	// ErrMigrationDone reports a retry/redirect of a migration whose DONE
+	// confirmation has already arrived: the state was restored at a
+	// destination, so re-sending the stale envelope would fork it.
+	ErrMigrationDone = errors.New("core: migration already completed; data must not be re-sent")
+	// ErrTransferInFlight reports a retry/redirect refused because another
+	// transfer of the same migration is currently running; two concurrent
+	// sends of one record could deliver it to two destinations. Retry
+	// after the in-flight transfer finishes.
+	ErrTransferInFlight = errors.New("core: a transfer of this migration is already in flight")
+	// ErrEnvelopeConsumed reports a re-delivery refused because the
+	// destination already handed this exact envelope to a restoring
+	// library. Whether that restore completed is the source record's
+	// (done flag's) knowledge, not the destination's: storing the
+	// envelope again could fork a completed restore, so it is refused
+	// either way.
+	ErrEnvelopeConsumed = errors.New("core: this migration's envelope was already fetched at the destination")
 )
 
 // MigrationEnclaveVersion is the ME code version; all machines in a data
@@ -49,6 +70,7 @@ type outgoingRecord struct {
 	dest     transport.Address
 	sent     bool // reached destination ME (stored there)
 	done     bool // destination library confirmed restore
+	inFlight bool // a transfer of this record is currently running
 }
 
 // handshakeState is the destination ME's remote-attestation session
@@ -80,6 +102,12 @@ type MigrationEnclave struct {
 	locals     map[string]*localConn
 	outgoing   map[string]*outgoingRecord // key: hex done-token
 	incoming   map[sgx.Measurement]*migrationEnvelope
+	// restored holds the done-tokens of envelopes fetched by restoring
+	// libraries on this machine. Entries are deliberately retained for
+	// the ME's lifetime (like outgoing's done records): pruning one would
+	// reopen the window where a late re-delivery of that envelope forks
+	// the restored enclave.
+	restored map[string]bool // key: hex done-token
 	handshakes map[string]*handshakeState
 	acks       map[string]*pendingAck // key: local session ID
 }
@@ -109,6 +137,7 @@ func NewMigrationEnclave(
 		locals:     make(map[string]*localConn),
 		outgoing:   make(map[string]*outgoingRecord),
 		incoming:   make(map[sgx.Measurement]*migrationEnvelope),
+		restored:   make(map[string]bool),
 		handshakes: make(map[string]*handshakeState),
 		acks:       make(map[string]*pendingAck),
 	}
@@ -212,19 +241,23 @@ func (me *MigrationEnclave) handleMigrateOut(conn *localConn, req *localRequest)
 		SourceME:  string(me.addr),
 		DoneToken: token,
 	}
-	rec := &outgoingRecord{envelope: env, dest: transport.Address(req.Dest)}
+	rec := &outgoingRecord{envelope: env, dest: transport.Address(req.Dest), inFlight: true}
 	key := hex.EncodeToString(token)
 	me.mu.Lock()
 	me.outgoing[key] = rec
 	me.mu.Unlock()
 
-	if err := me.transfer(rec); err != nil {
+	err = me.transfer(rec)
+	me.mu.Lock()
+	rec.inFlight = false
+	if err == nil {
+		rec.sent = true
+	}
+	me.mu.Unlock()
+	if err != nil {
 		// Keep the data for retry (§V-D) and tell the library.
 		return &localResponse{Status: statusPending, Detail: err.Error(), Token: token}
 	}
-	me.mu.Lock()
-	rec.sent = true
-	me.mu.Unlock()
 	return &localResponse{Status: statusSent, Token: token}
 }
 
@@ -239,6 +272,11 @@ func (me *MigrationEnclave) handleFetchIncoming(sessionID string, conn *localCon
 		return &localResponse{Status: statusNone}
 	}
 	delete(me.incoming, conn.session.PeerMREnclave)
+	// Tombstone the token atomically with the delete: from this moment
+	// the envelope is being restored, and a re-delivery of the same
+	// migration (a retry racing the restore) must never be stored again —
+	// it would fork the restored enclave.
+	me.restored[hex.EncodeToString(env.DoneToken)] = true
 	me.acks[sessionID] = &pendingAck{envelope: env}
 	raw, err := env.encode()
 	if err != nil {
@@ -324,50 +362,87 @@ func (me *MigrationEnclave) OutstandingTokens() [][]byte {
 	return tokens
 }
 
-// RetryOutgoing retries the transfer of every unsent outgoing migration,
-// returning the first error encountered (nil if all succeeded).
+// OutgoingStatus reports the state of one outgoing migration: where it
+// was last targeted, whether it reached that destination ME, and whether
+// the destination library confirmed its restore. Operators use it to
+// decide whether a parked migration can safely be redirected (only when
+// the data never arrived, or the destination that holds it is gone).
+func (me *MigrationEnclave) OutgoingStatus(token []byte) (dest transport.Address, sent, done bool, err error) {
+	me.mu.Lock()
+	defer me.mu.Unlock()
+	rec, ok := me.outgoing[hex.EncodeToString(token)]
+	if !ok {
+		return "", false, false, ErrUnknownToken
+	}
+	return rec.dest, rec.sent, rec.done, nil
+}
+
+// RetryOutgoing retries the transfer of every unsent outgoing migration
+// (skipping any whose transfer is already in flight), returning the
+// first error encountered (nil if all succeeded).
 func (me *MigrationEnclave) RetryOutgoing() error {
 	me.mu.Lock()
 	var retry []*outgoingRecord
 	for _, rec := range me.outgoing {
-		if !rec.sent && !rec.done {
+		if !rec.sent && !rec.done && !rec.inFlight {
+			rec.inFlight = true
 			retry = append(retry, rec)
 		}
 	}
 	me.mu.Unlock()
 	var firstErr error
 	for _, rec := range retry {
-		if err := me.transfer(rec); err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
+		err := me.transfer(rec)
 		me.mu.Lock()
-		rec.sent = true
+		rec.inFlight = false
+		if err == nil {
+			rec.sent = true
+		}
 		me.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return firstErr
 }
 
 // Redirect re-targets a pending outgoing migration to a different
 // destination machine (§V-D: "another destination machine is selected").
+// A migration whose DONE confirmation already arrived is refused with
+// ErrMigrationDone: its state lives at a destination, and re-sending the
+// stale envelope would fork the enclave. Re-targeting a migration that
+// was delivered but not yet restored (sent, no DONE) is the operator's
+// §V-D judgment call: it is only fork-safe when the previous destination
+// machine is gone, which the source ME cannot verify — callers must
+// check (as internal/fleet does) before redirecting away from a live
+// destination.
 func (me *MigrationEnclave) Redirect(token []byte, newDest transport.Address) error {
 	me.mu.Lock()
 	rec, ok := me.outgoing[hex.EncodeToString(token)]
-	if ok && !rec.done {
-		rec.dest = newDest
-		rec.sent = false
-	}
-	me.mu.Unlock()
-	if !ok {
+	switch {
+	case !ok:
+		me.mu.Unlock()
 		return ErrUnknownToken
+	case rec.done:
+		me.mu.Unlock()
+		return ErrMigrationDone
+	case rec.inFlight:
+		// Another transfer of this record is running; a second concurrent
+		// send could deliver the envelope to two destinations.
+		me.mu.Unlock()
+		return ErrTransferInFlight
 	}
-	if err := me.transfer(rec); err != nil {
-		return err
-	}
-	me.mu.Lock()
-	rec.sent = true
+	rec.inFlight = true
+	rec.dest = newDest
+	rec.sent = false
 	me.mu.Unlock()
-	return nil
+
+	err := me.transfer(rec)
+	me.mu.Lock()
+	rec.inFlight = false
+	if err == nil {
+		rec.sent = true
+	}
+	me.mu.Unlock()
+	return err
 }

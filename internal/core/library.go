@@ -494,6 +494,19 @@ func (l *Library) MigrationComplete() (bool, error) {
 	return reply.Status == statusDone, nil
 }
 
+// MigrationToken returns a copy of the done-token of the migration this
+// library started, or nil if none was started. The machine operator uses
+// it with MigrationEnclave.Redirect / OutstandingTokens to retry or
+// re-target a pending migration (§V-D).
+func (l *Library) MigrationToken() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.doneToken == nil {
+		return nil
+	}
+	return append([]byte(nil), l.doneToken...)
+}
+
 // Frozen reports whether the library has been frozen by a migration.
 func (l *Library) Frozen() bool {
 	l.mu.Lock()

@@ -113,6 +113,14 @@ func (me *MigrationEnclave) transfer(rec *outgoingRecord) error {
 
 	// --- Data round -----------------------------------------------------
 	me.mu.Lock()
+	// Re-check completion atomically with the envelope read: a DONE may
+	// have arrived during the attestation round (delivered-but-ack-lost
+	// migration restored concurrently), and the stale envelope must not
+	// leave the machine after that.
+	if rec.done || rec.envelope == nil {
+		me.mu.Unlock()
+		return ErrMigrationDone
+	}
 	envRaw, err := rec.envelope.encode()
 	me.mu.Unlock()
 	if err != nil {
@@ -261,7 +269,30 @@ func (me *MigrationEnclave) handleData(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	me.mu.Lock()
-	me.incoming[env.MREnclave] = env
+	if me.restored[hex.EncodeToString(env.DoneToken)] {
+		// This exact envelope was already fetched by a restoring library
+		// here (a retry raced the restore); storing it again could fork
+		// the restored enclave.
+		me.mu.Unlock()
+		return nil, ErrEnvelopeConsumed
+	}
+	existing, exists := me.incoming[env.MREnclave]
+	// A re-send of the very same migration (identical done-token — e.g.
+	// the previous delivery's ack was lost) is accepted idempotently: the
+	// stored copy is kept and acknowledged again, so retries of a
+	// delivered-but-unacknowledged transfer converge instead of wedging.
+	duplicate := exists && string(existing.DoneToken) == string(env.DoneToken)
+	if exists && !duplicate {
+		// One pending migration per enclave identity: accepting a second,
+		// different envelope would silently destroy the first one's only
+		// deliverable copy. Refuse; the source ME keeps its copy and can
+		// retry once the parked migration has been restored (§V-D).
+		me.mu.Unlock()
+		return nil, fmt.Errorf("%w (%v)", ErrAlreadyPending, env.MREnclave)
+	}
+	if !duplicate {
+		me.incoming[env.MREnclave] = env
+	}
 	me.mu.Unlock()
 
 	ack, err := hs.channel.Seal([]byte(statusOK))

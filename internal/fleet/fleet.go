@@ -1,0 +1,620 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/sgx"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// Execution errors.
+var (
+	// ErrRestoreOnLiveDestination reports a restore failure on a
+	// destination whose Migration Enclave is still alive. The orchestrator
+	// refuses to redirect in that case: the destination ME may hold a
+	// deliverable copy of the state, and re-sending it elsewhere would
+	// open a two-copy (fork) window. The migration is reported failed
+	// instead, with the data parked safely at the MEs.
+	ErrRestoreOnLiveDestination = errors.New("fleet: restore failed on live destination; not redirecting (single-delivery preserved)")
+	// ErrSourceNotFrozen reports a completed transfer whose source library
+	// did not verify frozen — a violated invariant, never expected.
+	ErrSourceNotFrozen = errors.New("fleet: source library not frozen after transfer")
+	// ErrAttemptsExhausted reports a migration that used up its attempt
+	// budget. The source stays frozen and the data is held at the source
+	// Migration Enclave for later redirection — safe, but not completed.
+	ErrAttemptsExhausted = errors.New("fleet: delivery attempts exhausted")
+	// ErrIdentityBusy reports a migration stopped because the destination
+	// held a pending migration of another same-identity enclave; this
+	// one's data stays parked at the source ME and a later plan resumes
+	// it through its token.
+	ErrIdentityBusy = errors.New("fleet: destination held a same-identity migration; data remains parked at source")
+)
+
+// EventType classifies orchestrator progress events.
+type EventType int
+
+// Event types.
+const (
+	// EventStart: a worker picked up the migration.
+	EventStart EventType = iota + 1
+	// EventDelivered: migration data reached the destination ME.
+	EventDelivered
+	// EventRetry: a delivery attempt failed; the worker will retry.
+	EventRetry
+	// EventRedirect: the worker re-targeted the migration to a new
+	// destination after the planned one became unreachable.
+	EventRedirect
+	// EventCompleted: restore verified on the destination, source frozen.
+	EventCompleted
+	// EventFailed: the migration terminated without completing.
+	EventFailed
+	// EventCanceled: the context was canceled before completion (the
+	// migration may never have started).
+	EventCanceled
+)
+
+// Event is one progress notification, emitted synchronously from worker
+// goroutines (handlers must be fast and concurrency-safe).
+type Event struct {
+	Type    EventType
+	App     string
+	Source  string
+	Dest    string
+	Attempt int
+	Err     error
+}
+
+// Config tunes the orchestrator.
+type Config struct {
+	// Workers bounds concurrent migrations. Default 8.
+	Workers int
+	// MaxAttempts bounds delivery attempts per migration. Default 4.
+	MaxAttempts int
+	// RetryBackoff is the delay before the second attempt; it grows by
+	// BackoffFactor per attempt, capped at MaxBackoff. Defaults 5ms, 2, 250ms.
+	RetryBackoff  time.Duration
+	BackoffFactor float64
+	MaxBackoff    time.Duration
+	// Confidence is the CI level of the report's latency summary. Default 0.99
+	// (the paper's level).
+	Confidence float64
+	// Meter, when set, contributes wire-traffic totals to the report.
+	Meter *Meter
+	// OnEvent, when set, receives progress events.
+	OnEvent func(Event)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
+	if c.BackoffFactor < 1 {
+		c.BackoffFactor = 2
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 250 * time.Millisecond
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = 0.99
+	}
+	return c
+}
+
+// Report is the outcome of one executed plan.
+type Report struct {
+	Planned   int
+	Completed int
+	Failed    int
+	Canceled  int
+	// Wall is the end-to-end wall time of the whole operation.
+	Wall time.Duration
+	// Throughput is completed migrations per second of wall time.
+	Throughput float64
+	// Latency summarizes per-migration latency (ms, mean ± CI); valid
+	// when at least two migrations completed.
+	Latency    stats.Summary
+	HasLatency bool
+	// WireBytes/WireMessages are the traffic the configured Meter
+	// observed during this run (a start-to-end delta: plans running
+	// concurrently with a shared Meter each count the overlap window's
+	// traffic).
+	WireBytes    int64
+	WireMessages int64
+	// Journal holds the per-migration entries behind the aggregates.
+	Journal *Journal
+}
+
+// String renders a one-look operations summary.
+func (r *Report) String() string {
+	s := fmt.Sprintf("%d planned: %d completed, %d failed, %d canceled in %s (%.1f migrations/s)",
+		r.Planned, r.Completed, r.Failed, r.Canceled, r.Wall.Round(time.Millisecond), r.Throughput)
+	if r.HasLatency {
+		s += fmt.Sprintf("\nper-migration latency: %s ms", r.Latency)
+	}
+	if r.WireMessages > 0 {
+		s += fmt.Sprintf("\nwire traffic: %d messages, %d bytes", r.WireMessages, r.WireBytes)
+	}
+	return s
+}
+
+// Orchestrator executes compiled plans against one data center. Plans
+// run through one Orchestrator — including concurrent Execute calls —
+// share its delivery serialization; running two Orchestrators against
+// the same DataCenter concurrently forfeits that coordination (the
+// enclave-level guarantees still hold, but racing same-identity
+// migrations can spuriously fail).
+type Orchestrator struct {
+	dc    *cloud.DataCenter
+	cfg   Config
+	locks *lockTable
+}
+
+// New creates an orchestrator for the data center.
+func New(dc *cloud.DataCenter, cfg Config) *Orchestrator {
+	return &Orchestrator{dc: dc, cfg: cfg.withDefaults(), locks: newLockTable()}
+}
+
+func (o *Orchestrator) emit(e Event) {
+	if o.cfg.OnEvent != nil {
+		o.cfg.OnEvent(e)
+	}
+}
+
+// lockTable serializes deliveries per (destination, enclave identity)
+// across every plan an Orchestrator runs: the destination ME stores at
+// most one pending envelope per MRENCLAVE, so two concurrent migrations
+// of same-identity enclaves to one machine must not interleave. Entries
+// are one mutex per (machine, image) pair ever migrated — negligible.
+type lockTable struct {
+	mu    sync.Mutex
+	locks map[string]*sync.Mutex
+}
+
+func newLockTable() *lockTable {
+	return &lockTable{locks: make(map[string]*sync.Mutex)}
+}
+
+// lock acquires the (destination, identity) slot and returns its unlock.
+func (t *lockTable) lock(destID string, mre sgx.Measurement) func() {
+	key := fmt.Sprintf("%s|%x", destID, mre)
+	t.mu.Lock()
+	mu, ok := t.locks[key]
+	if !ok {
+		mu = &sync.Mutex{}
+		t.locks[key] = mu
+	}
+	t.mu.Unlock()
+	mu.Lock()
+	return mu.Unlock
+}
+
+// machineByAddress finds the machine whose ME listens on addr.
+func (o *Orchestrator) machineByAddress(addr transport.Address) *cloud.Machine {
+	for _, m := range o.dc.Machines() {
+		if m.MEAddress() == addr {
+			return m
+		}
+	}
+	return nil
+}
+
+// pickAlternate chooses a live replacement destination among the plan's
+// targets, consulting the placement policy. Returns nil when no live
+// alternative exists.
+func (o *Orchestrator) pickAlternate(app *cloud.App, current *cloud.Machine, source *cloud.Machine, targets []*cloud.Machine, policy Policy) *cloud.Machine {
+	var candidates []*cloud.Machine
+	load := make(map[string]int)
+	for _, t := range targets {
+		if t.ID() == current.ID() || t.ID() == source.ID() {
+			continue
+		}
+		if !t.ME.Enclave().Alive() {
+			continue
+		}
+		candidates = append(candidates, t)
+		load[t.ID()] = t.AppCount()
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	alt, err := policy.Pick(app, candidates, load)
+	if err != nil {
+		return nil
+	}
+	return alt
+}
+
+// matchesSentinel recognizes a core sentinel across transports: it
+// survives only as message text when errors cross a TCP Messenger or
+// are folded into ErrMigrationPending's detail.
+func matchesSentinel(err, sentinel error) bool {
+	return err != nil &&
+		(errors.Is(err, sentinel) || strings.Contains(err.Error(), sentinel.Error()))
+}
+
+func isAlreadyPending(err error) bool { return matchesSentinel(err, core.ErrAlreadyPending) }
+
+// isMigrationDone recognizes the source ME's already-completed refusal.
+func isMigrationDone(err error) bool { return matchesSentinel(err, core.ErrMigrationDone) }
+
+// isEnvelopeConsumed recognizes the destination's fetched-envelope
+// tombstone refusal; completion is then decided by the source's record.
+func isEnvelopeConsumed(err error) bool { return matchesSentinel(err, core.ErrEnvelopeConsumed) }
+
+// backoff waits before retry attempt (attempt >= 2), honoring ctx.
+func (o *Orchestrator) backoff(ctx context.Context, attempt int) error {
+	d := o.cfg.RetryBackoff
+	for i := 2; i < attempt; i++ {
+		d = time.Duration(float64(d) * o.cfg.BackoffFactor)
+		if d >= o.cfg.MaxBackoff {
+			d = o.cfg.MaxBackoff
+			break
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// stateBytes computes the canonical encoded size of the app's Table I
+// payload (active-counter table + MSK). The real envelope's size varies
+// by a few dozen bytes with the digits of the secret values, which the
+// orchestrator cannot read; key material is sized worst-case here so the
+// figure is a stable near-upper bound.
+func stateBytes(app *cloud.App) int {
+	var data core.MigrationData
+	for i := range data.MSK {
+		data.MSK[i] = 255
+	}
+	for i := 0; i < app.Library.ActiveCounters() && i < core.NumCounters; i++ {
+		data.CountersActive[i] = true
+	}
+	raw, err := data.Encode()
+	if err != nil {
+		return 0
+	}
+	return len(raw)
+}
+
+// Execute compiles the plan and runs every assignment through the worker
+// pool. It returns a report plus the journal of per-migration outcomes;
+// the returned error covers orchestration-level failures (bad plan,
+// canceled context), not individual migration failures, which are
+// reported per entry.
+func (o *Orchestrator) Execute(ctx context.Context, plan Plan) (*Report, error) {
+	assignments, err := plan.Compile(o.dc)
+	if err != nil {
+		return nil, err
+	}
+	return o.Run(ctx, plan, assignments)
+}
+
+// Run executes pre-compiled assignments (Execute's second half; exposed
+// so callers can inspect or filter the compiled plan first).
+func (o *Orchestrator) Run(ctx context.Context, plan Plan, assignments []Assignment) (*Report, error) {
+	policy := plan.Policy
+	if policy == nil {
+		policy = LeastLoaded{}
+	}
+	// Redirect candidates: every destination the plan may use, not just
+	// the ones the compiled assignments happen to hit — explicit targets
+	// when given, otherwise the shared default rule. pickAlternate
+	// additionally excludes each migration's own source and re-checks
+	// liveness at redirect time.
+	var targets []*cloud.Machine
+	if len(plan.Targets) > 0 {
+		resolved, err := resolve(o.dc, plan.Targets)
+		if err != nil {
+			return nil, err
+		}
+		targets = resolved
+	} else {
+		isSource := make(map[string]bool, len(plan.Sources))
+		for _, id := range plan.Sources {
+			isSource[id] = true
+		}
+		targets = defaultTargets(o.dc, isSource)
+	}
+
+	journal := NewJournal()
+	var meterBytes, meterMessages int64
+	if o.cfg.Meter != nil {
+		meterBytes, meterMessages = o.cfg.Meter.Bytes(), o.cfg.Meter.Messages()
+	}
+	start := time.Now()
+	work := make(chan Assignment)
+	var wg sync.WaitGroup
+	for w := 0; w < o.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for as := range work {
+				if ctx.Err() != nil {
+					journal.Record(Entry{
+						App: as.App.Image().Name, Source: as.Source.ID(),
+						PlannedDest: as.Dest.ID(),
+						Status:      StatusCanceled, Err: ctx.Err().Error(),
+					})
+					o.emit(Event{Type: EventCanceled, App: as.App.Image().Name, Source: as.Source.ID(), Dest: as.Dest.ID(), Err: ctx.Err()})
+					continue
+				}
+				journal.Record(o.migrateOne(ctx, as, targets, policy))
+			}
+		}()
+	}
+	for _, as := range assignments {
+		work <- as
+	}
+	close(work)
+	wg.Wait()
+
+	wall := time.Since(start)
+	report := &Report{
+		Planned:   len(assignments),
+		Completed: journal.Count(StatusCompleted),
+		Failed:    journal.Count(StatusFailed),
+		Canceled:  journal.Count(StatusCanceled),
+		Wall:      wall,
+		Journal:   journal,
+	}
+	if wall > 0 {
+		report.Throughput = float64(report.Completed) / wall.Seconds()
+	}
+	if sum, err := journal.LatencySummary(o.cfg.Confidence); err == nil {
+		report.Latency = sum
+		report.HasLatency = true
+	}
+	if o.cfg.Meter != nil {
+		// Delta over the run, so provisioning traffic and earlier plans
+		// on a shared Meter are not billed to this one.
+		report.WireBytes = o.cfg.Meter.Bytes() - meterBytes
+		report.WireMessages = o.cfg.Meter.Messages() - meterMessages
+	}
+	if ctx.Err() != nil {
+		return report, ctx.Err()
+	}
+	return report, nil
+}
+
+// migrateOne runs one migration end to end: freeze + transfer at the
+// source, restore at the destination, verification, and source teardown —
+// with retry, backoff, and redirect-on-dead-destination.
+//
+// Fork-freedom is preserved in every path: the library freezes before any
+// data leaves the machine (core.Library.StartMigration), the orchestrator
+// redirects only when the previous destination ME is dead (its stored
+// copy, if any, died with its enclave memory), and a restore failure on a
+// live destination fails the migration instead of re-sending the state.
+func (o *Orchestrator) migrateOne(ctx context.Context, as Assignment, targets []*cloud.Machine, policy Policy) Entry {
+	locks := o.locks
+	app, src, dest := as.App, as.Source, as.Dest
+	lib := app.Library
+	mre := app.Image().Measure()
+	entry := Entry{
+		App:         app.Image().Name,
+		Source:      src.ID(),
+		PlannedDest: dest.ID(),
+		StateBytes:  stateBytes(app),
+	}
+	o.emit(Event{Type: EventStart, App: entry.App, Source: entry.Source, Dest: dest.ID()})
+
+	start := time.Now()
+	finish := func(st Status, err error) Entry {
+		entry.Status = st
+		entry.Dest = dest.ID()
+		entry.Latency = time.Since(start)
+		entry.SourceFrozen = lib.Frozen()
+		if err != nil {
+			entry.Err = err.Error()
+		}
+		evType := EventFailed
+		switch st {
+		case StatusCompleted:
+			evType = EventCompleted
+		case StatusCanceled:
+			evType = EventCanceled
+		}
+		o.emit(Event{Type: evType, App: entry.App, Source: entry.Source, Dest: dest.ID(), Attempt: entry.Attempts, Err: err})
+		return entry
+	}
+
+	// complete finalizes a successful restore on dest.
+	complete := func() Entry {
+		if !lib.Frozen() {
+			return finish(StatusFailed, ErrSourceNotFrozen)
+		}
+		done, derr := lib.MigrationComplete()
+		entry.DoneConfirmed = derr == nil && done
+		app.Terminate()
+		return finish(StatusCompleted, nil)
+	}
+	// completedElsewhere finalizes a migration whose restore was performed
+	// outside this worker (an earlier plan, or a concurrent same-identity
+	// worker consuming our envelope): only the frozen source remains.
+	completedElsewhere := func() Entry {
+		entry.DoneConfirmed = true
+		app.Terminate()
+		return finish(StatusCompleted, nil)
+	}
+
+	// A non-nil token here means the app already froze in an earlier plan
+	// that did not finish; this run resumes it instead of calling
+	// StartMigration (which would fail with ErrFrozen). Where the data
+	// sits decides the fork-safe move: parked at the source ME → redirect;
+	// delivered to a still-live destination → finish the restore *there*,
+	// never re-send; delivered to a dead destination → its copy died with
+	// the ME, redirect is safe.
+	token := lib.MigrationToken()
+	if token != nil {
+		prevDest, sent, done, serr := src.ME.OutgoingStatus(token)
+		if serr != nil {
+			return finish(StatusFailed, fmt.Errorf("resume parked migration: %w", serr))
+		}
+		if done {
+			// The destination confirmed its restore in the earlier plan;
+			// nothing to move — report where the enclave actually landed,
+			// not this plan's choice.
+			if prev := o.machineByAddress(prevDest); prev != nil {
+				dest = prev
+			}
+			return completedElsewhere()
+		}
+		if sent {
+			// DataCenter machines are never removed, so a delivered-to
+			// address always resolves; nil means the address was never one
+			// of ours (cannot happen via this orchestrator).
+			if prev := o.machineByAddress(prevDest); prev != nil && prev.ME.Enclave().Alive() {
+				// Restore-only: the data was delivered by the earlier
+				// plan, so this plan performs no delivery (Attempts
+				// stays 0 and the entry is excluded from the latency
+				// summary, which measures full freeze-through-restore).
+				dest = prev
+				unlock := locks.lock(dest.ID(), mre)
+				// Re-check under the lock: a concurrent same-identity
+				// worker may just have consumed our envelope (its
+				// delivery was refused, so it restored ours instead).
+				if _, _, doneNow, serr := src.ME.OutgoingStatus(token); serr == nil && doneNow {
+					unlock()
+					return completedElsewhere()
+				}
+				_, err := dest.LaunchApp(app.Image(), core.NewMemoryStorage(), core.InitMigrated)
+				unlock()
+				if err != nil {
+					if doneNow, derr := lib.MigrationComplete(); derr == nil && doneNow {
+						return completedElsewhere()
+					}
+					return finish(StatusFailed, fmt.Errorf("%w: %v", ErrRestoreOnLiveDestination, err))
+				}
+				return complete()
+			}
+		}
+		// Data is (as far as the source knows) parked at the source ME.
+		// Prefer the previously targeted machine while it lives: if a
+		// delivered-but-ack-lost transfer actually parked our envelope
+		// there, idempotent re-delivery reuses that copy instead of
+		// creating a second one on a policy-chosen machine.
+		if prev := o.machineByAddress(prevDest); prev != nil && prev.ME.Enclave().Alive() {
+			dest = prev
+		}
+	}
+
+	var lastErr error
+	for attempt := 1; attempt <= o.cfg.MaxAttempts; attempt++ {
+		entry.Attempts = attempt
+		if attempt > 1 {
+			if err := o.backoff(ctx, attempt); err != nil {
+				return finish(StatusCanceled, err)
+			}
+			// The planned destination may have died; re-target if a
+			// healthy alternative exists (§V-D: "another destination
+			// machine is selected").
+			if !dest.ME.Enclave().Alive() {
+				if alt := o.pickAlternate(app, dest, src, targets, policy); alt != nil {
+					entry.Redirects++
+					o.emit(Event{Type: EventRedirect, App: entry.App, Source: entry.Source, Dest: alt.ID(), Attempt: attempt})
+					dest = alt
+				}
+			}
+		}
+
+		// Deliver, then restore, holding this enclave identity's delivery
+		// slot at the destination throughout. Every retry re-delivers:
+		// the only failure mode that reaches the next attempt with data
+		// at a destination is a dead destination ME, whose copy died with
+		// its enclave memory.
+		unlock := locks.lock(dest.ID(), mre)
+		var err error
+		if token == nil {
+			// First delivery attempt: freeze, destroy source counters,
+			// hand the data to the source ME, try the transfer.
+			err = lib.StartMigration(dest.MEAddress())
+			token = lib.MigrationToken()
+			if err != nil && !errors.Is(err, core.ErrMigrationPending) {
+				unlock()
+				return finish(StatusFailed, err)
+			}
+		} else {
+			// Data is parked at the source ME; re-target and re-send. A
+			// concurrent same-identity worker may have consumed our
+			// envelope in the meantime — the source ME refuses the re-send
+			// then, and the migration is in fact complete.
+			err = src.ME.Redirect(token, dest.MEAddress())
+			if isMigrationDone(err) {
+				unlock()
+				return completedElsewhere()
+			}
+			if isEnvelopeConsumed(err) {
+				// The destination handed our envelope to a restoring
+				// library. The source's DONE flag says whether that
+				// restore completed; without it the state died with a
+				// failed restore, and re-sending is impossible (the
+				// tombstone protects the completed-restore case).
+				unlock()
+				if doneNow, derr := lib.MigrationComplete(); derr == nil && doneNow {
+					return completedElsewhere()
+				}
+				return finish(StatusFailed, fmt.Errorf("fleet: envelope consumed at %s without restore confirmation; not re-sending: %v", dest.ID(), err))
+			}
+		}
+		if err != nil && isAlreadyPending(err) {
+			// A deliverable same-identity envelope already sits at this
+			// live destination — possibly ours, from an earlier transfer
+			// whose ack was lost. Restore it; MigrationComplete then tells
+			// us whether it was ours.
+			_, lerr := dest.LaunchApp(app.Image(), core.NewMemoryStorage(), core.InitMigrated)
+			unlock()
+			if lerr != nil {
+				return finish(StatusFailed, fmt.Errorf("%w: %v", ErrRestoreOnLiveDestination, lerr))
+			}
+			if done, derr := lib.MigrationComplete(); derr == nil && done {
+				return complete()
+			}
+			// The restored envelope belonged to a same-identity sibling;
+			// our data is still parked at the source ME. Stop here rather
+			// than risk racing the sibling's own worker — a later plan
+			// resumes this migration through its token.
+			return finish(StatusFailed, ErrIdentityBusy)
+		}
+		if err != nil {
+			unlock()
+			lastErr = err
+			o.emit(Event{Type: EventRetry, App: entry.App, Source: entry.Source, Dest: dest.ID(), Attempt: attempt, Err: err})
+			continue
+		}
+		o.emit(Event{Type: EventDelivered, App: entry.App, Source: entry.Source, Dest: dest.ID(), Attempt: attempt})
+
+		_, err = dest.LaunchApp(app.Image(), core.NewMemoryStorage(), core.InitMigrated)
+		unlock()
+		if err == nil {
+			return complete()
+		}
+		if dest.ME.Enclave().Alive() {
+			return finish(StatusFailed, fmt.Errorf("%w: %v", ErrRestoreOnLiveDestination, err))
+		}
+		// The destination machine restarted after accepting the data: the
+		// envelope died with the ME's enclave memory, and the source still
+		// holds its copy (no DONE arrived), so re-sending cannot fork.
+		lastErr = err
+		o.emit(Event{Type: EventRetry, App: entry.App, Source: entry.Source, Dest: dest.ID(), Attempt: attempt, Err: err})
+	}
+	return finish(StatusFailed, fmt.Errorf("%w after %d attempts: %v", ErrAttemptsExhausted, entry.Attempts, lastErr))
+}

@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"sync/atomic"
+
+	"repro/internal/transport"
+)
+
+// Meter wraps a transport.Messenger and counts the wire traffic crossing
+// it (request plus reply bytes, and message count). Install it between
+// the data center and its transport to measure what a fleet operation
+// actually moves over the untrusted network:
+//
+//	net := transport.NewNetwork(lat)
+//	meter := fleet.NewMeter(net)
+//	dc, _ := cloud.NewDataCenterWithNetwork("dc", lat, meter)
+type Meter struct {
+	inner    transport.Messenger
+	bytes    atomic.Int64
+	messages atomic.Int64
+}
+
+var _ transport.Messenger = (*Meter)(nil)
+
+// NewMeter wraps a Messenger.
+func NewMeter(inner transport.Messenger) *Meter { return &Meter{inner: inner} }
+
+// Register delegates to the wrapped Messenger.
+func (m *Meter) Register(addr transport.Address, h transport.Handler) error {
+	return m.inner.Register(addr, h)
+}
+
+// Send delegates to the wrapped Messenger, counting payload and reply.
+func (m *Meter) Send(from, to transport.Address, kind string, payload []byte) ([]byte, error) {
+	m.messages.Add(1)
+	m.bytes.Add(int64(len(payload)))
+	reply, err := m.inner.Send(from, to, kind, payload)
+	if err == nil {
+		m.bytes.Add(int64(len(reply)))
+	}
+	return reply, err
+}
+
+// Bytes returns the total request+reply bytes observed.
+func (m *Meter) Bytes() int64 { return m.bytes.Load() }
+
+// Messages returns the number of requests observed.
+func (m *Meter) Messages() int64 { return m.messages.Load() }

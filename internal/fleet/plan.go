@@ -1,0 +1,315 @@
+// Package fleet orchestrates enclave migrations at datacenter scale: it
+// turns operator intents (drain a machine for maintenance, rebalance load
+// evenly, evacuate a set of machines) into concrete per-enclave migration
+// assignments and executes them through a bounded worker pool with
+// per-migration retry, redirect-on-failure, and a journal of outcomes.
+//
+// The paper (§I, §V-D) motivates enclave migration with exactly these
+// cloud operations but specifies only the single-enclave protocol; fleet
+// is the management layer above it. Every migration still runs the full
+// Fig. 2 protocol through internal/core — fleet adds no trust: it is the
+// (untrusted) cloud management plane. Freeze and destroy-before-export
+// hold regardless of what the orchestrator does; single delivery
+// additionally relies on the §V-D rule that a delivered-but-unconfirmed
+// migration is only re-targeted once its previous destination machine is
+// gone — the rule this executor implements (redirect only to replace a
+// dead destination ME; a restore failure on a live one is reported, not
+// re-sent).
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cloud"
+)
+
+// Planning errors.
+var (
+	ErrUnknownMachine = errors.New("fleet: unknown machine in plan")
+	ErrNoDestination  = errors.New("fleet: no destination machine available")
+	ErrEmptyPlan      = errors.New("fleet: plan selects no machines")
+)
+
+// Intent is the operator's goal for a fleet operation.
+type Intent int
+
+// Plan intents.
+const (
+	// IntentDrain moves every enclave off the source machines (host
+	// maintenance: the machines stay provisioned but end up empty).
+	IntentDrain Intent = iota + 1
+	// IntentRebalance evens out enclave counts across all machines.
+	IntentRebalance
+	// IntentEvacuate moves every enclave off the source machines onto an
+	// explicit set of target machines (e.g. a different rack or zone).
+	IntentEvacuate
+)
+
+// String names the intent.
+func (i Intent) String() string {
+	switch i {
+	case IntentDrain:
+		return "drain"
+	case IntentRebalance:
+		return "rebalance"
+	case IntentEvacuate:
+		return "evacuate"
+	default:
+		return "unknown"
+	}
+}
+
+// Plan expresses one fleet operation declaratively; Compile resolves it
+// against the data center's current inventory into Assignments.
+type Plan struct {
+	Intent Intent
+	// Sources are the machines to move enclaves off (Drain, Evacuate).
+	// Unused for Rebalance, which considers every machine.
+	Sources []string
+	// Targets restricts destinations to the named machines (Drain,
+	// Evacuate; rebalance plans reject it — they level across every live
+	// machine by construction). Empty means every live machine that is
+	// not a source.
+	Targets []string
+	// Policy places each enclave on a target (Drain, Evacuate) and picks
+	// replacement destinations when a machine dies mid-operation. Nil
+	// means LeastLoaded. Rebalance placement always uses the built-in
+	// max-to-min leveler (any other placement could unbalance the fleet);
+	// its Policy applies to redirects only.
+	Policy Policy
+}
+
+// Drain plans moving every enclave off the given machines.
+func Drain(machines ...string) Plan {
+	return Plan{Intent: IntentDrain, Sources: machines}
+}
+
+// Rebalance plans evening out enclave counts across all machines.
+func Rebalance() Plan {
+	return Plan{Intent: IntentRebalance}
+}
+
+// Evacuate plans moving every enclave off sources onto targets.
+func Evacuate(sources, targets []string) Plan {
+	return Plan{Intent: IntentEvacuate, Sources: sources, Targets: targets}
+}
+
+// Assignment is one planned migration: move App from Source to Dest.
+type Assignment struct {
+	App    *cloud.App
+	Source *cloud.Machine
+	Dest   *cloud.Machine
+}
+
+// Policy chooses a destination for one enclave. load maps machine ID to
+// its enclave count: during plan compilation, live apps plus
+// already-planned arrivals (the load as it will be); during
+// mid-operation redirects, the live count at that moment.
+type Policy interface {
+	Name() string
+	Pick(app *cloud.App, candidates []*cloud.Machine, load map[string]int) (*cloud.Machine, error)
+}
+
+// LeastLoaded places each enclave on the candidate with the fewest
+// planned enclaves, breaking ties by machine ID.
+type LeastLoaded struct{}
+
+// Name identifies the policy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Policy.
+func (LeastLoaded) Pick(_ *cloud.App, candidates []*cloud.Machine, load map[string]int) (*cloud.Machine, error) {
+	if len(candidates) == 0 {
+		return nil, ErrNoDestination
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if load[c.ID()] < load[best.ID()] ||
+			(load[c.ID()] == load[best.ID()] && c.ID() < best.ID()) {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// RoundRobin cycles through the candidates in order, ignoring load.
+// Safe for concurrent use (the orchestrator also consults the policy
+// from worker goroutines when re-targeting).
+type RoundRobin struct {
+	mu   sync.Mutex
+	next int
+}
+
+// Name identifies the policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (r *RoundRobin) Pick(_ *cloud.App, candidates []*cloud.Machine, _ map[string]int) (*cloud.Machine, error) {
+	if len(candidates) == 0 {
+		return nil, ErrNoDestination
+	}
+	r.mu.Lock()
+	m := candidates[r.next%len(candidates)]
+	r.next++
+	r.mu.Unlock()
+	return m, nil
+}
+
+// defaultTargets is the shared default-destination rule for plans
+// without explicit Targets, used both at compile time and for redirect
+// candidates: every machine that is not a source and whose ME is alive
+// (no attempt is wasted planning onto a known-dead machine).
+func defaultTargets(dc *cloud.DataCenter, isSource map[string]bool) []*cloud.Machine {
+	var targets []*cloud.Machine
+	for _, m := range dc.Machines() {
+		if !isSource[m.ID()] && m.ME.Enclave().Alive() {
+			targets = append(targets, m)
+		}
+	}
+	return targets
+}
+
+// resolve maps machine IDs to machines, failing on unknown IDs.
+func resolve(dc *cloud.DataCenter, ids []string) ([]*cloud.Machine, error) {
+	ms := make([]*cloud.Machine, 0, len(ids))
+	for _, id := range ids {
+		m, ok := dc.Machine(id)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownMachine, id)
+		}
+		ms = append(ms, m)
+	}
+	return ms, nil
+}
+
+// sortedApps returns a machine's live apps in deterministic (image name)
+// order, so compiled plans are reproducible.
+func sortedApps(m *cloud.Machine) []*cloud.App {
+	apps := m.Apps()
+	sort.Slice(apps, func(i, j int) bool {
+		return apps[i].Image().Name < apps[j].Image().Name
+	})
+	return apps
+}
+
+// Compile resolves the plan against the data center's live inventory and
+// returns the migration assignments to execute. Compilation is a pure
+// read of the inventory; nothing moves until the orchestrator executes
+// the assignments.
+func (p Plan) Compile(dc *cloud.DataCenter) ([]Assignment, error) {
+	policy := p.Policy
+	if policy == nil {
+		policy = LeastLoaded{}
+	}
+	switch p.Intent {
+	case IntentDrain, IntentEvacuate:
+		return p.compileDrain(dc, policy)
+	case IntentRebalance:
+		return p.compileRebalance(dc, policy)
+	default:
+		return nil, fmt.Errorf("fleet: invalid plan intent %d", p.Intent)
+	}
+}
+
+// compileDrain handles Drain and Evacuate: all apps leave the sources.
+func (p Plan) compileDrain(dc *cloud.DataCenter, policy Policy) ([]Assignment, error) {
+	if len(p.Sources) == 0 {
+		return nil, ErrEmptyPlan
+	}
+	sources, err := resolve(dc, p.Sources)
+	if err != nil {
+		return nil, err
+	}
+	isSource := make(map[string]bool, len(sources))
+	for _, s := range sources {
+		isSource[s.ID()] = true
+	}
+	var targets []*cloud.Machine
+	if len(p.Targets) > 0 {
+		if targets, err = resolve(dc, p.Targets); err != nil {
+			return nil, err
+		}
+		for _, t := range targets {
+			if isSource[t.ID()] {
+				return nil, fmt.Errorf("fleet: machine %q is both source and target", t.ID())
+			}
+		}
+	} else {
+		// Explicitly named Targets are taken as given (the operator may
+		// know a machine is coming back); the default set skips dead ones.
+		targets = defaultTargets(dc, isSource)
+	}
+	if len(targets) == 0 {
+		return nil, ErrNoDestination
+	}
+	load := make(map[string]int, len(targets))
+	for _, t := range targets {
+		load[t.ID()] = t.AppCount()
+	}
+	var out []Assignment
+	for _, src := range sources {
+		for _, app := range sortedApps(src) {
+			dest, err := policy.Pick(app, targets, load)
+			if err != nil {
+				return nil, err
+			}
+			load[dest.ID()]++
+			out = append(out, Assignment{App: app, Source: src, Dest: dest})
+		}
+	}
+	return out, nil
+}
+
+// compileRebalance moves apps from the most- to the least-loaded machines
+// until no machine is more than one enclave above any other. Placement is
+// inherent to the leveling algorithm, so the plan's Policy is not
+// consulted here (it still governs mid-operation redirects).
+func (p Plan) compileRebalance(dc *cloud.DataCenter, _ Policy) ([]Assignment, error) {
+	if len(p.Sources) > 0 || len(p.Targets) > 0 {
+		return nil, fmt.Errorf("fleet: rebalance considers every machine; Sources/Targets are not supported")
+	}
+	var machines []*cloud.Machine
+	for _, m := range dc.Machines() {
+		// A dead machine would look like an empty receiver and attract
+		// half the fleet; leave it out until it is re-provisioned.
+		if m.ME.Enclave().Alive() {
+			machines = append(machines, m)
+		}
+	}
+	if len(machines) < 2 {
+		return nil, ErrEmptyPlan
+	}
+	byID := make(map[string]*cloud.Machine, len(machines))
+	pending := make(map[string][]*cloud.App, len(machines))
+	load := make(map[string]int, len(machines))
+	for _, m := range machines {
+		byID[m.ID()] = m
+		pending[m.ID()] = sortedApps(m)
+		load[m.ID()] = len(pending[m.ID()])
+	}
+	var out []Assignment
+	for {
+		maxID, minID := "", ""
+		for _, m := range machines {
+			id := m.ID()
+			if maxID == "" || load[id] > load[maxID] {
+				maxID = id
+			}
+			if minID == "" || load[id] < load[minID] {
+				minID = id
+			}
+		}
+		if load[maxID]-load[minID] <= 1 {
+			return out, nil
+		}
+		apps := pending[maxID]
+		app := apps[len(apps)-1]
+		pending[maxID] = apps[:len(apps)-1]
+		load[maxID]--
+		load[minID]++
+		out = append(out, Assignment{App: app, Source: byID[maxID], Dest: byID[minID]})
+	}
+}

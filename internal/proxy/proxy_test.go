@@ -122,6 +122,69 @@ func TestProxyPairConcurrentClients(t *testing.T) {
 	wg.Wait()
 }
 
+// TestTwoForwarderChainConcurrent builds the §VI-C topology from two
+// explicitly chained Forwarders — SDK Unix socket → guest forwarder →
+// TCP → management forwarder → PSE Unix socket — and hammers it with
+// concurrent connections, each doing several sequential round trips, so
+// both hops multiplex many live connections at once.
+func TestTwoForwarderChainConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	pseSocket := filepath.Join(dir, "pse.sock")
+	guestSocket := filepath.Join(dir, "sdk.sock")
+	echoUnixServer(t, pseSocket)
+
+	// Management-VM side: TCP in, PSE Unix socket out.
+	mgmt, err := NewForwarder("tcp", "127.0.0.1:0", "unix", pseSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgmt.Close()
+	// Guest-VM side: SDK Unix socket in, management TCP out.
+	guest, err := NewForwarder("unix", guestSocket, "tcp", mgmt.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer guest.Close()
+
+	const (
+		clients       = 32
+		perConnection = 20
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("unix", guestSocket)
+			if err != nil {
+				t.Errorf("client %d: dial: %v", i, err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			// Several request/response exchanges over one connection,
+			// like the SDK's repeated counter transactions.
+			for j := 0; j < perConnection; j++ {
+				msg := fmt.Sprintf("c%d-op%d", i, j)
+				if _, err := fmt.Fprintf(conn, "%s\n", msg); err != nil {
+					t.Errorf("client %d: write: %v", i, err)
+					return
+				}
+				line, err := r.ReadString('\n')
+				if err != nil {
+					t.Errorf("client %d: read: %v", i, err)
+					return
+				}
+				if got := strings.TrimSpace(line); got != "pse:"+msg {
+					t.Errorf("client %d: got %q, want %q", i, got, "pse:"+msg)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
 func TestForwarderUpstreamDown(t *testing.T) {
 	dir := t.TempDir()
 	fw, err := NewForwarder("tcp", "127.0.0.1:0", "unix", filepath.Join(dir, "nonexistent.sock"))
