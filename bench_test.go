@@ -15,6 +15,8 @@ import (
 	"context"
 	"crypto/ed25519"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bench"
@@ -62,6 +64,7 @@ func benchApp(b *testing.B, m *cloud.Machine, name string) *cloud.App {
 // --- Figure 3: monotonic counter operations ------------------------------
 
 func BenchmarkFig3CounterCreateDestroyLibrary(b *testing.B) {
+	b.ReportAllocs()
 	src, _ := benchWorld(b)
 	app := benchApp(b, src, "fig3")
 	b.ResetTimer()
@@ -77,6 +80,7 @@ func BenchmarkFig3CounterCreateDestroyLibrary(b *testing.B) {
 }
 
 func BenchmarkFig3CounterCreateDestroyBaseline(b *testing.B) {
+	b.ReportAllocs()
 	src, _ := benchWorld(b)
 	e, err := src.HW.Load(benchImage("fig3-base"))
 	if err != nil {
@@ -95,6 +99,7 @@ func BenchmarkFig3CounterCreateDestroyBaseline(b *testing.B) {
 }
 
 func BenchmarkFig3CounterIncrementLibrary(b *testing.B) {
+	b.ReportAllocs()
 	src, _ := benchWorld(b)
 	app := benchApp(b, src, "fig3")
 	id, _, err := app.Library.CreateCounter()
@@ -109,7 +114,39 @@ func BenchmarkFig3CounterIncrementLibrary(b *testing.B) {
 	}
 }
 
+// BenchmarkFig3CounterIncrementParallel drives increments on distinct
+// counter slots from all Ps at once: the workload the sharded counter
+// service, lock-free library data plane, and atomic latency accounting
+// exist for. Before the hot-path overhaul every increment serialized
+// behind three global mutexes (library, counter table, latency model).
+func BenchmarkFig3CounterIncrementParallel(b *testing.B) {
+	b.ReportAllocs()
+	src, _ := benchWorld(b)
+	app := benchApp(b, src, "fig3-par")
+	nslots := runtime.GOMAXPROCS(0)
+	if nslots > core.NumCounters {
+		nslots = core.NumCounters
+	}
+	for i := 0; i < nslots; i++ {
+		if _, _, err := app.Library.CreateCounter(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(next.Add(1)-1) % nslots
+		for pb.Next() {
+			if _, err := app.Library.IncrementCounter(id); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 func BenchmarkFig3CounterIncrementBaseline(b *testing.B) {
+	b.ReportAllocs()
 	src, _ := benchWorld(b)
 	e, err := src.HW.Load(benchImage("fig3-base"))
 	if err != nil {
@@ -128,6 +165,7 @@ func BenchmarkFig3CounterIncrementBaseline(b *testing.B) {
 }
 
 func BenchmarkFig3CounterReadLibrary(b *testing.B) {
+	b.ReportAllocs()
 	src, _ := benchWorld(b)
 	app := benchApp(b, src, "fig3")
 	id, _, err := app.Library.CreateCounter()
@@ -143,6 +181,7 @@ func BenchmarkFig3CounterReadLibrary(b *testing.B) {
 }
 
 func BenchmarkFig3CounterReadBaseline(b *testing.B) {
+	b.ReportAllocs()
 	src, _ := benchWorld(b)
 	e, err := src.HW.Load(benchImage("fig3-base"))
 	if err != nil {
@@ -163,6 +202,7 @@ func BenchmarkFig3CounterReadBaseline(b *testing.B) {
 // --- Figure 4: initialization and sealing --------------------------------
 
 func BenchmarkFig4InitNew(b *testing.B) {
+	b.ReportAllocs()
 	src, _ := benchWorld(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -179,6 +219,7 @@ func BenchmarkFig4InitNew(b *testing.B) {
 }
 
 func BenchmarkFig4InitRestore(b *testing.B) {
+	b.ReportAllocs()
 	src, _ := benchWorld(b)
 	storage := core.NewMemoryStorage()
 	{
@@ -207,6 +248,7 @@ func BenchmarkFig4InitRestore(b *testing.B) {
 }
 
 func benchmarkSeal(b *testing.B, size int, migratable bool) {
+	b.ReportAllocs()
 	src, _ := benchWorld(b)
 	app := benchApp(b, src, "fig4-seal")
 	baseEnclave, err := src.HW.Load(benchImage("fig4-seal-base"))
@@ -237,6 +279,7 @@ func BenchmarkFig4Seal100kBMigratable(b *testing.B) {
 func BenchmarkFig4Seal100kBBaseline(b *testing.B) { benchmarkSeal(b, bench.LargePayload, false) }
 
 func benchmarkUnseal(b *testing.B, size int, migratable bool) {
+	b.ReportAllocs()
 	src, _ := benchWorld(b)
 	app := benchApp(b, src, "fig4-unseal")
 	baseEnclave, err := src.HW.Load(benchImage("fig4-unseal-base"))
@@ -273,6 +316,7 @@ func BenchmarkFig4Unseal100kBBaseline(b *testing.B)   { benchmarkUnseal(b, bench
 // --- §VII-B: full enclave migration --------------------------------------
 
 func BenchmarkMigrationEndToEnd(b *testing.B) {
+	b.ReportAllocs()
 	src, dst := benchWorld(b)
 	img := benchImage("migrate")
 	b.ResetTimer()
@@ -305,6 +349,7 @@ func BenchmarkMigrationEndToEnd(b *testing.B) {
 // BenchmarkMigrationRunner exercises the shared experiment runner used by
 // cmd/benchfig (small N per benchmark iteration).
 func BenchmarkMigrationRunner(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := bench.Config{N: 5, Scale: 0, Confidence: 0.99}
 		if _, err := bench.MigrationOverhead(cfg); err != nil {
@@ -321,6 +366,7 @@ func BenchmarkMigrationRunner(b *testing.B) {
 const fleetApps = 48
 
 func benchmarkFleetDrain(b *testing.B, workers int) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		dc, err := cloud.NewDataCenter("bench-fleet", sim.NewInstantLatency())
@@ -374,6 +420,7 @@ func BenchmarkFleetDrain(b *testing.B) {
 // --- Ablation: offset vs. increment-replay counter restore (§VI-B) -------
 
 func BenchmarkAblationOffsetRestore(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RestoreAblation(1000); err != nil {
 			b.Fatal(err)

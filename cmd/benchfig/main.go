@@ -11,11 +11,14 @@
 //
 // Use -n to set the iteration count (paper: 1000) and -scale to set the
 // Platform Services latency scale (0 = instant, 1 = paper magnitude;
-// see EXPERIMENTS.md for the calibration discussion).
+// see EXPERIMENTS.md for the calibration discussion). -json FILE records
+// every result that ran as a machine-readable baseline (the BENCH_PR*.json
+// files at the repository root track the perf trajectory across PRs).
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +28,14 @@ import (
 
 	"repro/internal/bench"
 )
+
+// report is the -json output: every experiment that ran, with config.
+type report struct {
+	Config    bench.Config           `json:"config"`
+	Fig3      []bench.Row            `json:"fig3,omitempty"`
+	Fig4      []bench.Row            `json:"fig4,omitempty"`
+	Migration *bench.MigrationResult `json:"migration,omitempty"`
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -43,30 +54,38 @@ func run() error {
 		n         = flag.Int("n", 200, "iterations per operation (paper: 1000)")
 		scale     = flag.Float64("scale", 0.01, "latency scale (1 = paper-magnitude ME latencies)")
 		conf      = flag.Float64("conf", 0.99, "confidence level")
+		jsonPath  = flag.String("json", "", "write results that ran to this file as JSON")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{N: *n, Scale: *scale, Confidence: *conf}
 	fmt.Printf("config: N=%d scale=%v confidence=%v\n\n", cfg.N, cfg.Scale, cfg.Confidence)
 
+	rep := report{Config: cfg}
 	ran := false
 	if *all || *fig == 3 {
 		ran = true
-		if err := runFig3(cfg); err != nil {
+		rows, err := runFig3(cfg)
+		if err != nil {
 			return err
 		}
+		rep.Fig3 = rows
 	}
 	if *all || *fig == 4 {
 		ran = true
-		if err := runFig4(cfg); err != nil {
+		rows, err := runFig4(cfg)
+		if err != nil {
 			return err
 		}
+		rep.Fig4 = rows
 	}
 	if *all || *migration {
 		ran = true
-		if err := runMigration(cfg); err != nil {
+		res, err := runMigration(cfg)
+		if err != nil {
 			return err
 		}
+		rep.Migration = res
 	}
 	if *all || *table == 1 || *table == 2 {
 		ran = true
@@ -82,53 +101,64 @@ func run() error {
 	}
 	if !ran {
 		flag.Usage()
+		return nil
+	}
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("marshal report: %w", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 	return nil
 }
 
-func runFig3(cfg bench.Config) error {
+func runFig3(cfg bench.Config) ([]bench.Row, error) {
 	fmt.Println("=== Figure 3: average duration of counter operations ===")
 	fmt.Println("(paper: library overhead at most 12.3%, on increment; read not significant)")
 	start := time.Now()
 	rows, err := bench.Fig3(cfg)
 	if err != nil {
-		return fmt.Errorf("fig 3: %w", err)
+		return nil, fmt.Errorf("fig 3: %w", err)
 	}
 	for _, r := range rows {
 		fmt.Println("  " + r.String())
 	}
 	fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
-	return nil
+	return rows, nil
 }
 
-func runFig4(cfg bench.Config) error {
+func runFig4(cfg bench.Config) ([]bench.Row, error) {
 	fmt.Println("=== Figure 4: init and sealing operations ===")
 	fmt.Println("(paper: migratable sealing slightly FASTER than native; init negligible)")
 	start := time.Now()
 	rows, err := bench.Fig4(cfg)
 	if err != nil {
-		return fmt.Errorf("fig 4: %w", err)
+		return nil, fmt.Errorf("fig 4: %w", err)
 	}
 	for _, r := range rows {
 		fmt.Println("  " + r.String())
 	}
 	fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
-	return nil
+	return rows, nil
 }
 
-func runMigration(cfg bench.Config) error {
+func runMigration(cfg bench.Config) (*bench.MigrationResult, error) {
 	fmt.Println("=== §VII-B: enclave migration overhead ===")
 	fmt.Println("(paper: 0.47 ± 0.035 s per migration at hardware latencies; VM migration: seconds)")
 	res, err := bench.MigrationOverhead(cfg)
 	if err != nil {
-		return fmt.Errorf("migration: %w", err)
+		return nil, fmt.Errorf("migration: %w", err)
 	}
 	fmt.Printf("  enclave migration: %s\n", res.Enclave)
 	fmt.Printf("  VM memory copy (virtual, %d MiB guest): %s\n",
 		res.VMMemoryBytes>>20, res.VMCopyVirtual.Round(time.Millisecond))
 	ratio := res.Enclave.Mean / res.VMCopyVirtual.Seconds()
 	fmt.Printf("  enclave overhead / VM copy: %.3f\n\n", ratio)
-	return nil
+	return res, nil
 }
 
 func runTables() error {

@@ -87,18 +87,17 @@ func LocalAttest(initiator, responder *sgx.Enclave) (*LocalSession, *LocalSessio
 		return nil, nil, ErrReportBinding
 	}
 
-	secretA, err := dhA.Shared(pubB)
+	// ECDH is symmetric: dhA.Shared(pubB) and dhB.Shared(pubA) are the
+	// same secret by construction, and both key pairs were generated
+	// locally above, so the simulation computes the scalar multiplication
+	// once instead of once per endpoint.
+	secret, err := dhA.Shared(pubB)
 	if err != nil {
-		return nil, nil, fmt.Errorf("initiator shared secret: %w", err)
-	}
-	secretB, err := dhB.Shared(pubA)
-	if err != nil {
-		return nil, nil, fmt.Errorf("responder shared secret: %w", err)
+		return nil, nil, fmt.Errorf("shared secret: %w", err)
 	}
 
 	transcript := xcrypto.Transcript("local-attest", pubA, pubB)
-	chanA := xcrypto.NewChannel(secretA, transcript, true)
-	chanB := xcrypto.NewChannel(secretB, transcript, false)
+	chanA, chanB := xcrypto.ChannelPair(secret, transcript)
 
 	sessA := &LocalSession{
 		Channel:       chanA,

@@ -24,7 +24,6 @@
 package core
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -52,29 +51,54 @@ var (
 type MigrationData struct {
 	// CountersActive marks which counter slots are in use (Table I:
 	// "counters active", bool[256]).
-	CountersActive [NumCounters]bool `json:"countersActive"`
+	CountersActive [NumCounters]bool
 	// CounterValues holds the effective counter values at migration time;
 	// the destination uses them as its new offsets (Table I: "counter
 	// values", uint32[256], "Used as next offset").
-	CounterValues [NumCounters]uint32 `json:"counterValues"`
+	CounterValues [NumCounters]uint32
 	// MSK is the Migration Sealing Key (Table I: 128-bit SGX key).
-	MSK [MSKSize]byte `json:"msk"`
+	MSK [MSKSize]byte
+}
+
+// migrationDataSize is the exact encoded size of MigrationData: header,
+// active bitmap, 256 counter words, MSK.
+const migrationDataSize = 2 + NumCounters/8 + 4*NumCounters + MSKSize
+
+// appendMigrationData is the allocation-free inner encoder shared with the
+// envelope codec.
+func (d *MigrationData) append(dst []byte) []byte {
+	dst = appendHeader(dst, tagMigrationData)
+	dst = appendBitmap(dst, &d.CountersActive)
+	for _, v := range d.CounterValues {
+		dst = appendU32(dst, v)
+	}
+	return append(dst, d.MSK[:]...)
+}
+
+// decodeInto parses migration data from the reader's cursor.
+func (d *MigrationData) decodeInto(rd *wireReader) {
+	if !rd.header(tagMigrationData) {
+		return
+	}
+	rd.bitmap(&d.CountersActive)
+	for i := range d.CounterValues {
+		d.CounterValues[i] = rd.u32()
+	}
+	copy(d.MSK[:], rd.take(MSKSize))
 }
 
 // Encode serializes migration data for transfer over the attested channel.
 func (d *MigrationData) Encode() ([]byte, error) {
-	out, err := json.Marshal(d)
-	if err != nil {
-		return nil, fmt.Errorf("encode migration data: %w", err)
-	}
-	return out, nil
+	return d.append(make([]byte, 0, migrationDataSize)), nil
 }
 
 // DecodeMigrationData parses migration data.
 func DecodeMigrationData(raw []byte) (*MigrationData, error) {
 	var d MigrationData
-	if err := json.Unmarshal(raw, &d); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrDataFormat, err)
+	rd := wireReader{data: raw}
+	d.decodeInto(&rd)
+	if err := rd.done(); err != nil {
+		return nil, err
 	}
 	return &d, nil
 }
@@ -87,31 +111,58 @@ type libraryState struct {
 	// Frozen is the freeze flag for migration (Table II: uint8). Once
 	// set, the library refuses to operate, including after restarts from
 	// this blob.
-	Frozen uint8 `json:"frozen"`
+	Frozen uint8
 	// CountersActive marks used counter slots.
-	CountersActive [NumCounters]bool `json:"countersActive"`
+	CountersActive [NumCounters]bool
 	// CounterUUIDs holds the SGX counter UUIDs so the library can access
 	// (and on migration, destroy) the hardware counters.
-	CounterUUIDs [NumCounters]pse.UUID `json:"counterUUIDs"`
+	CounterUUIDs [NumCounters]pse.UUID
 	// CounterOffsets holds the migratable offsets added to the hardware
 	// values to form effective values.
-	CounterOffsets [NumCounters]uint32 `json:"counterOffsets"`
+	CounterOffsets [NumCounters]uint32
 	// MSK is the Migration Sealing Key used by migratable sealing.
-	MSK [MSKSize]byte `json:"msk"`
+	MSK [MSKSize]byte
 }
 
+// uuidSize is the encoded size of one pse.UUID (ID word plus nonce).
+const uuidSize = 4 + 16
+
+// libraryStateSize is the exact encoded size of libraryState.
+const libraryStateSize = 2 + 1 + NumCounters/8 + NumCounters*uuidSize + 4*NumCounters + MSKSize
+
 func (s *libraryState) encode() ([]byte, error) {
-	out, err := json.Marshal(s)
-	if err != nil {
-		return nil, fmt.Errorf("encode library state: %w", err)
+	out := make([]byte, 0, libraryStateSize)
+	out = appendHeader(out, tagLibraryState)
+	out = append(out, s.Frozen)
+	out = appendBitmap(out, &s.CountersActive)
+	for i := range s.CounterUUIDs {
+		out = appendU32(out, s.CounterUUIDs[i].ID)
+		out = append(out, s.CounterUUIDs[i].Nonce[:]...)
 	}
-	return out, nil
+	for _, v := range s.CounterOffsets {
+		out = appendU32(out, v)
+	}
+	return append(out, s.MSK[:]...), nil
 }
 
 func decodeLibraryState(raw []byte) (*libraryState, error) {
 	var s libraryState
-	if err := json.Unmarshal(raw, &s); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrDataFormat, err)
+	rd := wireReader{data: raw}
+	if !rd.header(tagLibraryState) {
+		return nil, rd.err
+	}
+	s.Frozen = rd.u8()
+	rd.bitmap(&s.CountersActive)
+	for i := range s.CounterUUIDs {
+		s.CounterUUIDs[i].ID = rd.u32()
+		copy(s.CounterUUIDs[i].Nonce[:], rd.take(16))
+	}
+	for i := range s.CounterOffsets {
+		s.CounterOffsets[i] = rd.u32()
+	}
+	copy(s.MSK[:], rd.take(MSKSize))
+	if err := rd.done(); err != nil {
+		return nil, err
 	}
 	return &s, nil
 }
@@ -121,27 +172,37 @@ func decodeLibraryState(raw []byte) (*libraryState, error) {
 // source ME for destination matching) and the source ME's address (for
 // the DONE confirmation) and completion token.
 type migrationEnvelope struct {
-	Data      *MigrationData  `json:"data"`
-	MREnclave sgx.Measurement `json:"mrenclave"`
-	SourceME  string          `json:"sourceME"`
-	DoneToken []byte          `json:"doneToken"`
+	Data      *MigrationData
+	MREnclave sgx.Measurement
+	SourceME  string
+	DoneToken []byte
 }
 
 func (e *migrationEnvelope) encode() ([]byte, error) {
-	out, err := json.Marshal(e)
-	if err != nil {
-		return nil, fmt.Errorf("encode envelope: %w", err)
+	if e.Data == nil {
+		return nil, fmt.Errorf("%w: missing data", ErrDataFormat)
 	}
+	out := make([]byte, 0, 2+migrationDataSize+len(sgx.Measurement{})+8+len(e.SourceME)+len(e.DoneToken))
+	out = appendHeader(out, tagEnvelope)
+	out = e.Data.append(out)
+	out = append(out, e.MREnclave[:]...)
+	out = appendString(out, e.SourceME)
+	out = appendBytes(out, e.DoneToken)
 	return out, nil
 }
 
 func decodeEnvelope(raw []byte) (*migrationEnvelope, error) {
-	var e migrationEnvelope
-	if err := json.Unmarshal(raw, &e); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrDataFormat, err)
+	e := migrationEnvelope{Data: &MigrationData{}}
+	rd := wireReader{data: raw}
+	if !rd.header(tagEnvelope) {
+		return nil, rd.err
 	}
-	if e.Data == nil {
-		return nil, fmt.Errorf("%w: missing data", ErrDataFormat)
+	e.Data.decodeInto(&rd)
+	copy(e.MREnclave[:], rd.take(len(e.MREnclave)))
+	e.SourceME = rd.string()
+	e.DoneToken = rd.bytes()
+	if err := rd.done(); err != nil {
+		return nil, err
 	}
 	return &e, nil
 }

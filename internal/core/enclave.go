@@ -98,16 +98,16 @@ type MigrationEnclave struct {
 	net     transport.Messenger
 	addr    transport.Address
 
-	mu         sync.Mutex
-	locals     map[string]*localConn
-	outgoing   map[string]*outgoingRecord // key: hex done-token
-	incoming   map[sgx.Measurement]*migrationEnvelope
+	mu       sync.Mutex
+	locals   map[string]*localConn
+	outgoing map[string]*outgoingRecord // key: hex done-token
+	incoming map[sgx.Measurement]*migrationEnvelope
 	// restored holds the done-tokens of envelopes fetched by restoring
 	// libraries on this machine. Entries are deliberately retained for
 	// the ME's lifetime (like outgoing's done records): pruning one would
 	// reopen the window where a late re-delivery of that envelope forks
 	// the restored enclave.
-	restored map[string]bool // key: hex done-token
+	restored   map[string]bool // key: hex done-token
 	handshakes map[string]*handshakeState
 	acks       map[string]*pendingAck // key: local session ID
 }
@@ -296,7 +296,7 @@ func (me *MigrationEnclave) handleAckRestored(sessionID string) *localResponse {
 	if !ok {
 		return &localResponse{Status: "error", Detail: "no delivery awaiting acknowledgement"}
 	}
-	payload, err := marshalJSON(&doneMessage{Token: ack.envelope.DoneToken})
+	payload, err := encodeDoneMessage(&doneMessage{Token: ack.envelope.DoneToken})
 	if err != nil {
 		return &localResponse{Status: "error", Detail: err.Error()}
 	}

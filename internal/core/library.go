@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/attest"
 	"repro/internal/pse"
@@ -56,22 +57,51 @@ func (s InitState) String() string {
 	}
 }
 
+// slotState is the immutable per-slot snapshot the counter data plane
+// dereferences with one atomic load. A nil pointer means the slot is not
+// usable (inactive, library uninitialized, or frozen — slotErr
+// disambiguates on the error path).
+type slotState struct {
+	uuid   pse.UUID
+	offset uint32
+}
+
 // Library is the Migration Library linked into a migratable application
 // enclave (paper §V-C, §VI-B). It lives in the same protection domain as
 // the application enclave and fully trusts it. All methods are safe for
-// concurrent use by the enclave's threads.
+// concurrent use.
+//
+// Concurrency design: the data plane is lock-free on the library side.
+// Counter reads and increments load one per-slot atomic pointer and go
+// straight to the hardware counter service (which has its own sharded
+// locking); migratable seal/unseal only check two atomic flags and use
+// the immutable MSK. Control-plane operations (init, counter create/
+// destroy, migration) serialize on mu and publish updated slot
+// snapshots. Fork-freedom during migration does not depend on blocking
+// readers: the capture uses pse.DestroyAndRead, so a racing increment
+// either lands before the destroy — and is part of the exported value —
+// or fails against the already-destroyed counter.
 type Library struct {
 	enclave  *sgx.Enclave
 	counters *pse.Service
 	storage  Storage
 
-	mu          sync.Mutex
-	initialized bool
-	st          libraryState
-	me          *MigrationEnclave
-	session     *attest.LocalSession
-	sessionID   string
-	doneToken   []byte
+	initialized atomic.Bool
+	frozen      atomic.Bool
+	slots       [NumCounters]atomic.Pointer[slotState]
+
+	// mskSealer is the cached cipher for the MSK, built once at Init.
+	// Its lifetime equals the library's hold on the MSK itself, so the
+	// key schedule never outlives its owner in a shared cache. Immutable
+	// after the initialized flag is observed.
+	mskSealer *xcrypto.Sealer
+
+	mu        sync.Mutex // control plane + ME channel ordering
+	st        libraryState
+	me        *MigrationEnclave
+	session   *attest.LocalSession
+	sessionID string
+	doneToken []byte
 }
 
 // NewLibrary binds the Migration Library to its host enclave, the
@@ -101,6 +131,25 @@ func (l *Library) persistLocked() error {
 	return nil
 }
 
+// publishSlotLocked exposes one slot's current state to the data plane.
+// A frozen library publishes nothing: the Table II blob keeps the active
+// flags for the migrated state, but no data operation may use them.
+// Callers hold mu.
+func (l *Library) publishSlotLocked(id int) {
+	if l.st.Frozen == 0 && l.st.CountersActive[id] {
+		l.slots[id].Store(&slotState{uuid: l.st.CounterUUIDs[id], offset: l.st.CounterOffsets[id]})
+	} else {
+		l.slots[id].Store(nil)
+	}
+}
+
+// publishAllSlotsLocked republishes every slot snapshot. Callers hold mu.
+func (l *Library) publishAllSlotsLocked() {
+	for i := 0; i < NumCounters; i++ {
+		l.publishSlotLocked(i)
+	}
+}
+
 // Init is migration_init (Listing 1): it must be called every time the
 // enclave is loaded, before any other library operation. It opens the
 // attested channel to the local Migration Enclave and initializes the
@@ -111,7 +160,7 @@ func (l *Library) Init(initState InitState, me *MigrationEnclave) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.initialized {
+	if l.initialized.Load() {
 		return ErrAlreadyInitialized
 	}
 	if me == nil {
@@ -165,7 +214,17 @@ func (l *Library) Init(initState InitState, me *MigrationEnclave) error {
 	default:
 		return fmt.Errorf("core: invalid init state %d", initState)
 	}
-	l.initialized = true
+	sealer, err := seal.NewRawSealer(l.st.MSK[:])
+	if err != nil {
+		return fmt.Errorf("msk cipher: %w", err)
+	}
+	l.mskSealer = sealer
+	// Publish the data-plane snapshots only once the whole init
+	// succeeded, then flip the initialized flag: readers that observe
+	// initialized therefore also observe the slots, the MSK, and its
+	// cached cipher.
+	l.publishAllSlotsLocked()
+	l.initialized.Store(true)
 	return nil
 }
 
@@ -212,15 +271,28 @@ func (l *Library) receiveMigrationLocked() error {
 	return nil
 }
 
-// readyLocked validates the common preconditions of every data operation.
-func (l *Library) readyLocked() error {
-	if !l.initialized {
+// ready validates the common preconditions of every data operation. It
+// reads only the atomic flags, so it is safe with or without mu held.
+func (l *Library) ready() error {
+	if !l.initialized.Load() {
 		return ErrNotInitialized
 	}
-	if l.st.Frozen != 0 {
+	if l.frozen.Load() {
 		return ErrFrozen
 	}
 	return nil
+}
+
+// slotErr explains a nil slot snapshot on the data plane, in the same
+// precedence order readyLocked uses.
+func (l *Library) slotErr() error {
+	if !l.initialized.Load() {
+		return ErrNotInitialized
+	}
+	if l.frozen.Load() {
+		return ErrFrozen
+	}
+	return ErrSlotInactive
 }
 
 // localCallLocked sends one request to the Migration Enclave over the
@@ -249,16 +321,16 @@ func (l *Library) localCallLocked(req *localRequest) (*localResponse, error) {
 // parameters to the native sealing function, but the encryption key is
 // the MSK, so the blob stays decryptable after migration. No EGETKEY is
 // needed, which makes it marginally faster than native sealing (Fig. 4).
+// The MSK is immutable once the initialized flag is observed, so no lock
+// is taken.
 func (l *Library) SealMigratable(additionalMACText, plaintext []byte) ([]byte, error) {
 	if err := l.enclave.ECall(); err != nil {
 		return nil, err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.readyLocked(); err != nil {
+	if err := l.ready(); err != nil {
 		return nil, err
 	}
-	return seal.SealRaw(l.st.MSK[:], additionalMACText, plaintext)
+	return seal.SealRawWith(l.mskSealer, additionalMACText, plaintext)
 }
 
 // UnsealMigratable is sgx_unseal_migratable_data (Listing 2).
@@ -266,12 +338,10 @@ func (l *Library) UnsealMigratable(blob []byte) (plaintext, additionalMACText []
 	if err := l.enclave.ECall(); err != nil {
 		return nil, nil, err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.readyLocked(); err != nil {
+	if err := l.ready(); err != nil {
 		return nil, nil, err
 	}
-	return seal.UnsealRaw(l.st.MSK[:], blob)
+	return seal.UnsealRawWith(l.mskSealer, blob)
 }
 
 // CreateCounter is sgx_create_migratable_counter (Listing 2): it wraps a
@@ -285,7 +355,7 @@ func (l *Library) CreateCounter() (id int, value uint32, err error) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.readyLocked(); err != nil {
+	if err := l.ready(); err != nil {
 		return 0, 0, err
 	}
 	slot := -1
@@ -308,6 +378,7 @@ func (l *Library) CreateCounter() (id int, value uint32, err error) {
 	if err := l.persistLocked(); err != nil {
 		return 0, 0, err
 	}
+	l.publishSlotLocked(slot)
 	return slot, hw, nil
 }
 
@@ -318,13 +389,17 @@ func (l *Library) DestroyCounter(id int) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.readyLocked(); err != nil {
+	if err := l.ready(); err != nil {
 		return err
 	}
 	if err := l.checkSlotLocked(id); err != nil {
 		return err
 	}
+	// Unpublish first so the data plane stops handing out the UUID, then
+	// destroy the hardware counter.
+	l.slots[id].Store(nil)
 	if err := l.counters.Destroy(l.enclave, l.st.CounterUUIDs[id]); err != nil {
+		l.publishSlotLocked(id) // destroy failed; the slot stays active
 		return fmt.Errorf("destroy hardware counter: %w", err)
 	}
 	l.st.CountersActive[id] = false
@@ -340,19 +415,18 @@ func (l *Library) IncrementCounter(id int) (uint32, error) {
 	if err := l.enclave.ECall(); err != nil {
 		return 0, err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.readyLocked(); err != nil {
-		return 0, err
+	if id < 0 || id >= NumCounters {
+		return 0, ErrBadSlot
 	}
-	if err := l.checkSlotLocked(id); err != nil {
-		return 0, err
+	s := l.slots[id].Load()
+	if s == nil {
+		return 0, l.slotErr()
 	}
-	hw, err := l.counters.Increment(l.enclave, l.st.CounterUUIDs[id])
+	hw, err := l.counters.Increment(l.enclave, s.uuid)
 	if err != nil {
 		return 0, fmt.Errorf("increment hardware counter: %w", err)
 	}
-	return l.effectiveLocked(id, hw)
+	return effective(s.offset, hw)
 }
 
 // ReadCounter is sgx_read_migratable_counter (Listing 2).
@@ -360,19 +434,18 @@ func (l *Library) ReadCounter(id int) (uint32, error) {
 	if err := l.enclave.ECall(); err != nil {
 		return 0, err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.readyLocked(); err != nil {
-		return 0, err
+	if id < 0 || id >= NumCounters {
+		return 0, ErrBadSlot
 	}
-	if err := l.checkSlotLocked(id); err != nil {
-		return 0, err
+	s := l.slots[id].Load()
+	if s == nil {
+		return 0, l.slotErr()
 	}
-	hw, err := l.counters.Read(l.enclave, l.st.CounterUUIDs[id])
+	hw, err := l.counters.Read(l.enclave, s.uuid)
 	if err != nil {
 		return 0, fmt.Errorf("read hardware counter: %w", err)
 	}
-	return l.effectiveLocked(id, hw)
+	return effective(s.offset, hw)
 }
 
 func (l *Library) checkSlotLocked(id int) error {
@@ -385,10 +458,9 @@ func (l *Library) checkSlotLocked(id int) error {
 	return nil
 }
 
-// effectiveLocked computes hardware + offset with overflow protection
-// (the extra check the paper attributes increment overhead to).
-func (l *Library) effectiveLocked(id int, hw uint32) (uint32, error) {
-	offset := l.st.CounterOffsets[id]
+// effective computes hardware + offset with overflow protection (the
+// extra check the paper attributes increment overhead to).
+func effective(offset, hw uint32) (uint32, error) {
 	if offset > 0 && hw > ^uint32(0)-offset {
 		return 0, ErrCounterOverflow
 	}
@@ -411,13 +483,13 @@ func (l *Library) StartMigration(dest transport.Address) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.readyLocked(); err != nil {
+	if err := l.ready(); err != nil {
 		return err
 	}
 
-	// 1. Compute effective counter values before destroying anything.
-	var data MigrationData
-	data.MSK = l.st.MSK
+	// 1. Pre-flight: read every effective counter value before destroying
+	// anything, so an already-overflowed counter aborts the migration
+	// while the library is still fully operational.
 	for i := 0; i < NumCounters; i++ {
 		if !l.st.CountersActive[i] {
 			continue
@@ -426,28 +498,44 @@ func (l *Library) StartMigration(dest transport.Address) error {
 		if err != nil {
 			return fmt.Errorf("read counter %d for migration: %w", i, err)
 		}
-		eff, err := l.effectiveLocked(i, hw)
-		if err != nil {
+		if _, err := effective(l.st.CounterOffsets[i], hw); err != nil {
 			return err
+		}
+	}
+
+	// 2. Destroy all hardware counters, capturing each counter's final
+	// value in the same firmware transaction: a concurrent increment is
+	// either included in the exported value or fails against the
+	// destroyed counter, so no acknowledged increment is ever rolled
+	// back (R4). Every destroy must succeed before any data leaves the
+	// machine; SGX guarantees destroyed counters can never be accessed
+	// again, so a restarted stale library cannot fork (R3).
+	var data MigrationData
+	data.MSK = l.st.MSK
+	for i := 0; i < NumCounters; i++ {
+		if !l.st.CountersActive[i] {
+			continue
+		}
+		final, err := l.counters.DestroyAndRead(l.enclave, l.st.CounterUUIDs[i])
+		if err != nil {
+			return fmt.Errorf("destroy counter %d before migration: %w", i, err)
+		}
+		eff, err := effective(l.st.CounterOffsets[i], final)
+		if err != nil {
+			// Increments raced the pre-flight check past the top; export
+			// the saturated maximum so the value still never regresses.
+			eff = ^uint32(0)
 		}
 		data.CountersActive[i] = true
 		data.CounterValues[i] = eff
 	}
 
-	// 2. Destroy all hardware counters; every destroy must succeed before
-	// any data leaves the machine. SGX guarantees destroyed counters can
-	// never be accessed again, so a restarted stale library cannot fork.
-	for i := 0; i < NumCounters; i++ {
-		if !data.CountersActive[i] {
-			continue
-		}
-		if err := l.counters.Destroy(l.enclave, l.st.CounterUUIDs[i]); err != nil {
-			return fmt.Errorf("destroy counter %d before migration: %w", i, err)
-		}
-	}
-
-	// 3. Freeze and persist, so restarts of this enclave refuse to run.
+	// 3. Freeze, unpublish the data plane, and persist, so restarts of
+	// this enclave refuse to run and concurrent operations fail with
+	// ErrFrozen from here on.
 	l.st.Frozen = 1
+	l.frozen.Store(true)
+	l.publishAllSlotsLocked()
 	if err := l.persistLocked(); err != nil {
 		return err
 	}
@@ -481,7 +569,7 @@ func (l *Library) MigrationComplete() (bool, error) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if !l.initialized {
+	if !l.initialized.Load() {
 		return false, ErrNotInitialized
 	}
 	if l.doneToken == nil {
@@ -509,9 +597,7 @@ func (l *Library) MigrationToken() []byte {
 
 // Frozen reports whether the library has been frozen by a migration.
 func (l *Library) Frozen() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.st.Frozen != 0
+	return l.frozen.Load()
 }
 
 // ActiveCounters returns the number of active counter slots.

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"encoding/json"
 	"fmt"
 
 	"repro/internal/sgx"
@@ -30,50 +29,72 @@ const (
 
 // localRequest is a Library -> Migration Enclave message.
 type localRequest struct {
-	Op    string `json:"op"`
-	Dest  string `json:"dest,omitempty"`
-	Body  []byte `json:"body,omitempty"`
-	Token []byte `json:"token,omitempty"`
+	Op    string
+	Dest  string
+	Body  []byte
+	Token []byte
 }
 
 // localResponse is a Migration Enclave -> Library message.
 type localResponse struct {
-	Status string `json:"status"`
-	Detail string `json:"detail,omitempty"`
-	Body   []byte `json:"body,omitempty"`
-	Token  []byte `json:"token,omitempty"`
+	Status string
+	Detail string
+	Body   []byte
+	Token  []byte
 }
 
 func encodeLocalRequest(r *localRequest) ([]byte, error) {
-	out, err := json.Marshal(r)
-	if err != nil {
-		return nil, fmt.Errorf("encode local request: %w", err)
-	}
+	out := make([]byte, 0, 2+16+len(r.Op)+len(r.Dest)+len(r.Body)+len(r.Token))
+	out = appendHeader(out, tagLocalRequest)
+	out = appendString(out, r.Op)
+	out = appendString(out, r.Dest)
+	out = appendBytes(out, r.Body)
+	out = appendBytes(out, r.Token)
 	return out, nil
 }
 
 func decodeLocalRequest(raw []byte) (*localRequest, error) {
-	var r localRequest
-	if err := json.Unmarshal(raw, &r); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrDataFormat, err)
+	rd := wireReader{data: raw}
+	if !rd.header(tagLocalRequest) {
+		return nil, rd.err
 	}
-	return &r, nil
+	r := &localRequest{
+		Op:    rd.string(),
+		Dest:  rd.string(),
+		Body:  rd.bytes(),
+		Token: rd.bytes(),
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 func encodeLocalResponse(r *localResponse) ([]byte, error) {
-	out, err := json.Marshal(r)
-	if err != nil {
-		return nil, fmt.Errorf("encode local response: %w", err)
-	}
+	out := make([]byte, 0, 2+16+len(r.Status)+len(r.Detail)+len(r.Body)+len(r.Token))
+	out = appendHeader(out, tagLocalResponse)
+	out = appendString(out, r.Status)
+	out = appendString(out, r.Detail)
+	out = appendBytes(out, r.Body)
+	out = appendBytes(out, r.Token)
 	return out, nil
 }
 
 func decodeLocalResponse(raw []byte) (*localResponse, error) {
-	var r localResponse
-	if err := json.Unmarshal(raw, &r); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrDataFormat, err)
+	rd := wireReader{data: raw}
+	if !rd.header(tagLocalResponse) {
+		return nil, rd.err
 	}
-	return &r, nil
+	r := &localResponse{
+		Status: rd.string(),
+		Detail: rd.string(),
+		Body:   rd.bytes(),
+		Token:  rd.bytes(),
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // Network message kinds between Migration Enclaves (Fig. 2's attest /
@@ -90,58 +111,159 @@ const transcriptContext = "me-remote-attestation"
 // offerMessage opens the mutual remote attestation: the source ME's quote
 // binds its ephemeral DH public key.
 type offerMessage struct {
-	Quote *wireQuote `json:"quote"`
-	DHPub []byte     `json:"dhPub"`
+	Quote *wireQuote
+	DHPub []byte
 }
 
 // offerReply completes the attestation from the destination side: its
 // quote binds both DH keys; the provider certificate and transcript
 // signature authenticate the destination machine (R2).
 type offerReply struct {
-	SessionID string     `json:"sessionID"`
-	Quote     *wireQuote `json:"quote"`
-	DHPub     []byte     `json:"dhPub"`
-	Cert      []byte     `json:"cert"`
-	Sig       []byte     `json:"sig"`
+	SessionID string
+	Quote     *wireQuote
+	DHPub     []byte
+	Cert      []byte
+	Sig       []byte
 }
 
 // dataMessage carries the channel-sealed migration envelope, plus the
 // source's provider credential so the destination can authenticate the
 // source machine before accepting (mutual authentication).
 type dataMessage struct {
-	SessionID string `json:"sessionID"`
-	Cert      []byte `json:"cert"`
-	Sig       []byte `json:"sig"`
-	Sealed    []byte `json:"sealed"`
+	SessionID string
+	Cert      []byte
+	Sig       []byte
+	Sealed    []byte
 }
 
 // doneMessage confirms restore completion back to the source ME.
 type doneMessage struct {
-	Token []byte `json:"token"`
+	Token []byte
 }
 
-// wireQuote is the JSON-transportable form of attest.Quote.
+// wireQuote is the wire-transportable form of attest.Quote.
 type wireQuote struct {
-	MREnclave sgx.Measurement `json:"mrenclave"`
-	MRSigner  sgx.Measurement `json:"mrsigner"`
-	Data      []byte          `json:"data"`
-	Cert      []byte          `json:"cert"`
-	Signature []byte          `json:"signature"`
+	MREnclave sgx.Measurement
+	MRSigner  sgx.Measurement
+	Data      []byte
+	Cert      []byte
+	Signature []byte
 }
 
-func marshalJSON(v any) ([]byte, error) {
-	out, err := json.Marshal(v)
-	if err != nil {
-		return nil, fmt.Errorf("encode protocol message: %w", err)
-	}
-	return out, nil
+// appendQuote encodes a quote inline (within an already-tagged message).
+func appendQuote(dst []byte, q *wireQuote) []byte {
+	dst = append(dst, q.MREnclave[:]...)
+	dst = append(dst, q.MRSigner[:]...)
+	dst = appendBytes(dst, q.Data)
+	dst = appendBytes(dst, q.Cert)
+	return appendBytes(dst, q.Signature)
 }
 
-func unmarshalJSON(raw []byte, v any) error {
-	if err := json.Unmarshal(raw, v); err != nil {
-		return fmt.Errorf("%w: %v", ErrDataFormat, err)
+// quote decodes an inline quote from the reader's cursor.
+func (r *wireReader) quote() *wireQuote {
+	var q wireQuote
+	copy(q.MREnclave[:], r.take(len(q.MREnclave)))
+	copy(q.MRSigner[:], r.take(len(q.MRSigner)))
+	q.Data = r.bytes()
+	q.Cert = r.bytes()
+	q.Signature = r.bytes()
+	if r.err != nil {
+		return nil
 	}
-	return nil
+	return &q
+}
+
+func encodeOffer(m *offerMessage) ([]byte, error) {
+	if m.Quote == nil {
+		return nil, fmt.Errorf("%w: missing quote", ErrDataFormat)
+	}
+	out := appendHeader(make([]byte, 0, 256+len(m.Quote.Cert)), tagOffer)
+	out = appendQuote(out, m.Quote)
+	return appendBytes(out, m.DHPub), nil
+}
+
+func decodeOffer(raw []byte) (*offerMessage, error) {
+	rd := wireReader{data: raw}
+	if !rd.header(tagOffer) {
+		return nil, rd.err
+	}
+	m := &offerMessage{Quote: rd.quote(), DHPub: rd.bytes()}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encodeOfferReply(m *offerReply) ([]byte, error) {
+	if m.Quote == nil {
+		return nil, fmt.Errorf("%w: missing quote", ErrDataFormat)
+	}
+	out := appendHeader(make([]byte, 0, 512+len(m.Quote.Cert)+len(m.Cert)), tagOfferReply)
+	out = appendString(out, m.SessionID)
+	out = appendQuote(out, m.Quote)
+	out = appendBytes(out, m.DHPub)
+	out = appendBytes(out, m.Cert)
+	return appendBytes(out, m.Sig), nil
+}
+
+func decodeOfferReply(raw []byte) (*offerReply, error) {
+	rd := wireReader{data: raw}
+	if !rd.header(tagOfferReply) {
+		return nil, rd.err
+	}
+	m := &offerReply{
+		SessionID: rd.string(),
+		Quote:     rd.quote(),
+		DHPub:     rd.bytes(),
+		Cert:      rd.bytes(),
+		Sig:       rd.bytes(),
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encodeDataMessage(m *dataMessage) ([]byte, error) {
+	out := appendHeader(make([]byte, 0, 64+len(m.SessionID)+len(m.Cert)+len(m.Sig)+len(m.Sealed)), tagDataMessage)
+	out = appendString(out, m.SessionID)
+	out = appendBytes(out, m.Cert)
+	out = appendBytes(out, m.Sig)
+	return appendBytes(out, m.Sealed), nil
+}
+
+func decodeDataMessage(raw []byte) (*dataMessage, error) {
+	rd := wireReader{data: raw}
+	if !rd.header(tagDataMessage) {
+		return nil, rd.err
+	}
+	m := &dataMessage{
+		SessionID: rd.string(),
+		Cert:      rd.bytes(),
+		Sig:       rd.bytes(),
+		Sealed:    rd.bytes(),
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encodeDoneMessage(m *doneMessage) ([]byte, error) {
+	out := appendHeader(make([]byte, 0, 8+len(m.Token)), tagDoneMessage)
+	return appendBytes(out, m.Token), nil
+}
+
+func decodeDoneMessage(raw []byte) (*doneMessage, error) {
+	rd := wireReader{data: raw}
+	if !rd.header(tagDoneMessage) {
+		return nil, rd.err
+	}
+	m := &doneMessage{Token: rd.bytes()}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // certToWire serializes a certificate for embedding in protocol messages.

@@ -66,7 +66,7 @@ func (me *MigrationEnclave) transfer(rec *outgoingRecord) error {
 	if err != nil {
 		return err
 	}
-	offerRaw, err := marshalJSON(&offerMessage{Quote: wq, DHPub: dh.PublicBytes()})
+	offerRaw, err := encodeOffer(&offerMessage{Quote: wq, DHPub: dh.PublicBytes()})
 	if err != nil {
 		return err
 	}
@@ -74,8 +74,8 @@ func (me *MigrationEnclave) transfer(rec *outgoingRecord) error {
 	if err != nil {
 		return fmt.Errorf("send offer: %w", err)
 	}
-	var reply offerReply
-	if err := unmarshalJSON(replyRaw, &reply); err != nil {
+	reply, err := decodeOfferReply(replyRaw)
+	if err != nil {
 		return err
 	}
 	peerQuote, err := quoteFromWire(reply.Quote)
@@ -134,7 +134,7 @@ func (me *MigrationEnclave) transfer(rec *outgoingRecord) error {
 	if err != nil {
 		return err
 	}
-	dataRaw, err := marshalJSON(&dataMessage{
+	dataRaw, err := encodeDataMessage(&dataMessage{
 		SessionID: reply.SessionID,
 		Cert:      myCert,
 		Sig:       me.cred.Sign(transcript),
@@ -176,8 +176,8 @@ func (me *MigrationEnclave) handleNetwork(msg transport.Message) ([]byte, error)
 
 // handleOffer is the destination side of the attestation round.
 func (me *MigrationEnclave) handleOffer(payload []byte) ([]byte, error) {
-	var offer offerMessage
-	if err := unmarshalJSON(payload, &offer); err != nil {
+	offer, err := decodeOffer(payload)
+	if err != nil {
 		return nil, err
 	}
 	srcQuote, err := quoteFromWire(offer.Quote)
@@ -225,7 +225,7 @@ func (me *MigrationEnclave) handleOffer(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return marshalJSON(&offerReply{
+	return encodeOfferReply(&offerReply{
 		SessionID: sessionID,
 		Quote:     wq,
 		DHPub:     dh.PublicBytes(),
@@ -238,8 +238,8 @@ func (me *MigrationEnclave) handleOffer(payload []byte) ([]byte, error) {
 // the source machine, decrypts the envelope, and stores it for the
 // matching local enclave.
 func (me *MigrationEnclave) handleData(payload []byte) ([]byte, error) {
-	var msg dataMessage
-	if err := unmarshalJSON(payload, &msg); err != nil {
+	msg, err := decodeDataMessage(payload)
+	if err != nil {
 		return nil, err
 	}
 	me.mu.Lock()
@@ -306,8 +306,8 @@ func (me *MigrationEnclave) handleData(payload []byte) ([]byte, error) {
 // destination library restored successfully, so the source copy of the
 // migration data can be deleted safely (§V-D).
 func (me *MigrationEnclave) handleDone(payload []byte) ([]byte, error) {
-	var msg doneMessage
-	if err := unmarshalJSON(payload, &msg); err != nil {
+	msg, err := decodeDoneMessage(payload)
+	if err != nil {
 		return nil, err
 	}
 	key := hex.EncodeToString(msg.Token)

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Compact length-prefixed binary codec for the framework's own data
+// structures, in the style of seal.Blob. Every encoded value starts with a
+// one-byte type tag and a one-byte format version, so a blob from a
+// different structure — or from an older library version — is rejected
+// cleanly with ErrDataFormat instead of being misparsed.
+//
+// This replaces the encoding/json codecs: the Table I/II structures are
+// dominated by fixed-width arrays (256 bools, 256 uint32 counters, 256
+// UUIDs) that JSON renders as thousands of array elements, making encode/
+// decode the most expensive step of every library persist and migration
+// envelope. The binary forms are a bitmap plus fixed-width words.
+
+// Wire type tags.
+const (
+	tagLocalRequest  byte = 0xA1
+	tagLocalResponse byte = 0xA2
+	tagMigrationData byte = 0xA3
+	tagLibraryState  byte = 0xA4
+	tagEnvelope      byte = 0xA5
+	tagOffer         byte = 0xB1
+	tagOfferReply    byte = 0xB2
+	tagDataMessage   byte = 0xB3
+	tagDoneMessage   byte = 0xB4
+)
+
+// wireVersion is the current format version, bumped on any layout change
+// so stale sealed blobs and envelopes fail decoding instead of aliasing.
+const wireVersion byte = 1
+
+// maxWireField bounds any single variable-length field, defending the
+// decoder against length-prefix bombs from the untrusted OS or network.
+const maxWireField = 16 << 20
+
+// appendHeader starts an encoded value.
+func appendHeader(dst []byte, tag byte) []byte {
+	return append(dst, tag, wireVersion)
+}
+
+// appendBytes appends a u32 length prefix and the raw bytes.
+func appendBytes(dst, b []byte) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(b)))
+	dst = append(dst, n[:]...)
+	return append(dst, b...)
+}
+
+// appendString appends a length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(s)))
+	dst = append(dst, n[:]...)
+	return append(dst, s...)
+}
+
+// appendU32 appends one big-endian uint32.
+func appendU32(dst []byte, v uint32) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], v)
+	return append(dst, n[:]...)
+}
+
+// appendBitmap packs a bool array into bytes, LSB-first within each byte.
+func appendBitmap(dst []byte, bits *[NumCounters]bool) []byte {
+	var packed [NumCounters / 8]byte
+	for i, b := range bits {
+		if b {
+			packed[i/8] |= 1 << (i % 8)
+		}
+	}
+	return append(dst, packed[:]...)
+}
+
+// wireReader is a cursor over one encoded value. The first decoding error
+// sticks; callers check err once at the end (and fail fast on header
+// mismatch). All byte-slice reads alias the input buffer.
+type wireReader struct {
+	data []byte
+	err  error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = ErrDataFormat
+	}
+}
+
+// header consumes and checks the tag/version header.
+func (r *wireReader) header(tag byte) bool {
+	if r.err != nil || len(r.data) < 2 {
+		r.fail()
+		return false
+	}
+	if r.data[0] != tag {
+		r.err = fmt.Errorf("%w: wrong type tag 0x%02x", ErrDataFormat, r.data[0])
+		return false
+	}
+	if r.data[1] != wireVersion {
+		r.err = fmt.Errorf("%w: unsupported format version %d", ErrDataFormat, r.data[1])
+		return false
+	}
+	r.data = r.data[2:]
+	return true
+}
+
+// take consumes n raw bytes.
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil || n < 0 || len(r.data) < n {
+		r.fail()
+		return nil
+	}
+	out := r.data[:n]
+	r.data = r.data[n:]
+	return out
+}
+
+// bytes consumes a length-prefixed byte field. Empty fields decode as nil.
+func (r *wireReader) bytes() []byte {
+	hdr := r.take(4)
+	if r.err != nil {
+		return nil
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > maxWireField {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// string consumes a length-prefixed string field.
+func (r *wireReader) string() string {
+	return string(r.bytes())
+}
+
+// u32 consumes one big-endian uint32.
+func (r *wireReader) u32() uint32 {
+	b := r.take(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// u8 consumes one byte.
+func (r *wireReader) u8() byte {
+	b := r.take(1)
+	if r.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+// bitmap consumes a packed bool array.
+func (r *wireReader) bitmap(bits *[NumCounters]bool) {
+	packed := r.take(NumCounters / 8)
+	if r.err != nil {
+		return
+	}
+	for i := range bits {
+		bits[i] = packed[i/8]&(1<<(i%8)) != 0
+	}
+}
+
+// done asserts the value was consumed exactly and returns the final error.
+func (r *wireReader) done() error {
+	if r.err == nil && len(r.data) != 0 {
+		r.err = fmt.Errorf("%w: %d trailing bytes", ErrDataFormat, len(r.data))
+	}
+	return r.err
+}

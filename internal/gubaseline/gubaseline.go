@@ -190,6 +190,15 @@ func (l *Library) CounterUUID(ref int) (pse.UUID, error) {
 
 // IncrementCounter increments a hardware counter.
 func (l *Library) IncrementCounter(ref int) (uint32, error) {
+	return l.IncrementCounterN(ref, 1)
+}
+
+// IncrementCounterN performs n consecutive hardware increments in one
+// enclave transition. This is the replay primitive a baseline application
+// uses to drive a fresh counter up to a previously persisted value after
+// a migration (the design the paper rejects for its linear cost): all n
+// rate-limited firmware transactions are still charged.
+func (l *Library) IncrementCounterN(ref, n int) (uint32, error) {
 	l.mu.Lock()
 	uuid, ok := l.refs[ref]
 	frozen := l.frozen
@@ -200,7 +209,7 @@ func (l *Library) IncrementCounter(ref int) (uint32, error) {
 	if !ok {
 		return 0, ErrBadCounterRef
 	}
-	return l.counters.Increment(l.enclave, uuid)
+	return l.counters.IncrementN(l.enclave, uuid, n)
 }
 
 // ReadCounter reads a hardware counter.

@@ -17,10 +17,11 @@
 package pse
 
 import (
-	"crypto/subtle"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sgx"
 	"repro/internal/sim"
@@ -37,6 +38,8 @@ var (
 	ErrNotOwner        = errors.New("pse: counter owned by a different enclave")
 	ErrCounterOverflow = errors.New("pse: counter value overflow")
 	ErrUUIDReuse       = errors.New("pse: counter UUID was destroyed and cannot be reused")
+	ErrBadIncrement    = errors.New("pse: invalid increment count")
+	ErrIDsExhausted    = errors.New("pse: counter ID space exhausted")
 )
 
 // UUID identifies a monotonic counter: the counter ID names it, the nonce
@@ -56,26 +59,56 @@ type counter struct {
 	value uint32
 }
 
+// numShards splits the counter table so concurrent operations on distinct
+// counter IDs do not serialize behind one lock. Power of two so the shard
+// index is a mask.
+const numShards = 16
+
+// shard is one lock-striped slice of the counter table.
+type shard struct {
+	mu       sync.Mutex
+	counters map[uint32]*counter
+}
+
 // Service is the per-machine Platform Services counter manager.
 // It is safe for concurrent use.
+//
+// Destroyed counters keep no tombstone state: counter IDs are allocated
+// from a monotonically increasing sequence and never reused, so the
+// invariant "id was ever issued (id <= nextID) and is not live ⇒ it was
+// destroyed" replaces the unbounded destroyed-ID set a naive
+// implementation would leak one entry into per create/destroy cycle.
 type Service struct {
 	lat *sim.Latency
 
-	mu        sync.Mutex
-	counters  map[uint32]*counter
-	perOwner  map[sgx.Measurement]int
-	nextID    uint32
-	destroyed map[uint32]bool
+	// nextID is 64-bit so exhaustion of the 32-bit UUID.ID space is
+	// detected instead of wrapping — a wrapped sequence would reissue
+	// IDs and break the never-reused invariant everything above relies
+	// on.
+	nextID atomic.Uint64
+	shards [numShards]shard
+
+	// ownerMu guards the per-identity budget accounting (Create/Destroy
+	// only — the slow, rare operations).
+	ownerMu  sync.Mutex
+	perOwner map[sgx.Measurement]int
 }
 
 // NewService creates the counter service for one machine.
 func NewService(lat *sim.Latency) *Service {
-	return &Service{
-		lat:       lat,
-		counters:  make(map[uint32]*counter),
-		perOwner:  make(map[sgx.Measurement]int),
-		destroyed: make(map[uint32]bool),
+	s := &Service{
+		lat:      lat,
+		perOwner: make(map[sgx.Measurement]int),
 	}
+	for i := range s.shards {
+		s.shards[i].counters = make(map[uint32]*counter)
+	}
+	return s
+}
+
+// shardFor returns the shard owning a counter ID.
+func (s *Service) shardFor(id uint32) *shard {
+	return &s.shards[id&(numShards-1)]
 }
 
 // Create allocates a fresh monotonic counter for the calling enclave with
@@ -85,40 +118,64 @@ func (s *Service) Create(e *sgx.Enclave) (UUID, uint32, error) {
 		return UUID{}, 0, err
 	}
 	s.lat.Charge(sim.OpCounterCreate)
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	owner := e.MREnclave()
-	if s.perOwner[owner] >= MaxCounters {
-		return UUID{}, 0, ErrCounterLimit
-	}
 	nonce, err := xcrypto.RandomBytes(16)
 	if err != nil {
 		return UUID{}, 0, fmt.Errorf("counter nonce: %w", err)
 	}
-	s.nextID++
-	c := &counter{owner: owner}
-	c.uuid.ID = s.nextID
-	copy(c.uuid.Nonce[:], nonce)
-	s.counters[c.uuid.ID] = c
+
+	// Reserve budget under the owner lock, then insert into the shard.
+	s.ownerMu.Lock()
+	if s.perOwner[owner] >= MaxCounters {
+		s.ownerMu.Unlock()
+		return UUID{}, 0, ErrCounterLimit
+	}
 	s.perOwner[owner]++
+	s.ownerMu.Unlock()
+
+	id := s.nextID.Add(1)
+	if id > uint64(^uint32(0)) {
+		// 2^32 counters were issued over this machine's lifetime; refuse
+		// rather than reuse an ID (which would resurrect destroyed UUIDs).
+		s.ownerMu.Lock()
+		s.perOwner[owner]--
+		if s.perOwner[owner] == 0 {
+			delete(s.perOwner, owner)
+		}
+		s.ownerMu.Unlock()
+		return UUID{}, 0, ErrIDsExhausted
+	}
+	c := &counter{owner: owner}
+	c.uuid.ID = uint32(id)
+	copy(c.uuid.Nonce[:], nonce)
+	sh := s.shardFor(c.uuid.ID)
+	sh.mu.Lock()
+	sh.counters[c.uuid.ID] = c
+	sh.mu.Unlock()
 	return c.uuid, c.value, nil
 }
 
-// lookup fetches a counter, enforcing UUID (ID+nonce) and owner checks.
-func (s *Service) lookup(e *sgx.Enclave, uuid UUID) (*counter, error) {
-	if s.destroyed[uuid.ID] {
-		return nil, ErrCounterNotFound
-	}
-	c, ok := s.counters[uuid.ID]
+// lookupLocked fetches a counter from a shard, enforcing UUID (ID+nonce)
+// and owner checks. Callers hold the shard lock.
+func (sh *shard) lookupLocked(e *sgx.Enclave, uuid UUID) (*counter, error) {
+	c, ok := sh.counters[uuid.ID]
 	if !ok {
+		// Either never issued (id > nextID) or destroyed: by the monotonic
+		// ID invariant, absence from the live table is the tombstone.
 		return nil, ErrCounterNotFound
 	}
-	if subtle.ConstantTimeCompare(c.uuid.Nonce[:], uuid.Nonce[:]) != 1 {
-		// Wrong nonce: the caller did not create this counter. Report
-		// not-found rather than leaking its existence.
+	// Constant-time nonce check (branch-free fold, cheaper than
+	// subtle.ConstantTimeCompare for a fixed 16-byte array): the nonce is
+	// the only capability guarding a counter against a same-identity
+	// clone, so the comparison must not leak matching prefixes through
+	// timing. Wrong nonce reports not-found rather than leaking the
+	// counter's existence.
+	x := binary.LittleEndian.Uint64(c.uuid.Nonce[0:8]) ^ binary.LittleEndian.Uint64(uuid.Nonce[0:8])
+	y := binary.LittleEndian.Uint64(c.uuid.Nonce[8:16]) ^ binary.LittleEndian.Uint64(uuid.Nonce[8:16])
+	if x|y != 0 {
 		return nil, ErrCounterNotFound
 	}
-	if c.owner != e.MREnclave() {
+	if !e.IsMREnclave(c.owner) {
 		return nil, ErrNotOwner
 	}
 	return c, nil
@@ -130,9 +187,10 @@ func (s *Service) Read(e *sgx.Enclave, uuid UUID) (uint32, error) {
 		return 0, err
 	}
 	s.lat.Charge(sim.OpCounterRead)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, err := s.lookup(e, uuid)
+	sh := s.shardFor(uuid.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c, err := sh.lookupLocked(e, uuid)
 	if err != nil {
 		return 0, err
 	}
@@ -146,49 +204,111 @@ func (s *Service) Increment(e *sgx.Enclave, uuid UUID) (uint32, error) {
 		return 0, err
 	}
 	s.lat.Charge(sim.OpCounterIncrement)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, err := s.lookup(e, uuid)
+	sh := s.shardFor(uuid.ID)
+	sh.mu.Lock()
+	c, err := sh.lookupLocked(e, uuid)
 	if err != nil {
+		sh.mu.Unlock()
 		return 0, err
 	}
 	if c.value == ^uint32(0) {
+		sh.mu.Unlock()
 		return 0, ErrCounterOverflow
 	}
 	c.value++
+	v := c.value
+	sh.mu.Unlock()
+	return v, nil
+}
+
+// IncrementN adds n to the counter as n consecutive firmware increments in
+// one enclave transition, returning the final value. The full rate-limited
+// cost of n increments is charged, but only one ECALL boundary crossing is
+// paid — the batching primitive replay-style counter restores (e.g. the
+// gubaseline ablation) use to avoid n round trips.
+func (s *Service) IncrementN(e *sgx.Enclave, uuid UUID, n int) (uint32, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("%w: %d", ErrBadIncrement, n)
+	}
+	if uint64(n) > uint64(^uint32(0)) {
+		// More increments than the 32-bit counter could ever absorb; a
+		// silent uint32 truncation below would acknowledge increments
+		// that never happened.
+		return 0, ErrCounterOverflow
+	}
+	if err := e.ECall(); err != nil {
+		return 0, err
+	}
+	s.lat.ChargeN(sim.OpCounterIncrement, n)
+	sh := s.shardFor(uuid.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c, err := sh.lookupLocked(e, uuid)
+	if err != nil {
+		return 0, err
+	}
+	if uint32(n) > ^uint32(0)-c.value {
+		return 0, ErrCounterOverflow
+	}
+	c.value += uint32(n)
 	return c.value, nil
 }
 
 // Destroy permanently removes a counter. Its UUID can never be reused:
-// any later access fails, which is the property the Migration Library's
-// fork prevention rests on (paper §VI-B).
+// IDs come from a monotonic sequence, so any later access fails, which is
+// the property the Migration Library's fork prevention rests on (§VI-B).
 func (s *Service) Destroy(e *sgx.Enclave, uuid UUID) error {
+	_, err := s.DestroyAndRead(e, uuid)
+	return err
+}
+
+// DestroyAndRead destroys the counter and returns its final value, both
+// within one shard-atomic firmware transaction (the destroy response
+// carries the final value, so no separate read is charged). The Migration
+// Library's migration capture uses this so that a concurrent increment
+// either lands before the destroy — and is included in the exported
+// value — or fails against the destroyed counter; no increment can slip
+// between a separate read and destroy and be silently rolled back (R4).
+func (s *Service) DestroyAndRead(e *sgx.Enclave, uuid UUID) (uint32, error) {
 	if err := e.ECall(); err != nil {
-		return err
+		return 0, err
 	}
 	s.lat.Charge(sim.OpCounterDestroy)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, err := s.lookup(e, uuid)
+	sh := s.shardFor(uuid.ID)
+	sh.mu.Lock()
+	c, err := sh.lookupLocked(e, uuid)
 	if err != nil {
-		return err
+		sh.mu.Unlock()
+		return 0, err
 	}
-	delete(s.counters, uuid.ID)
-	s.destroyed[uuid.ID] = true
+	delete(sh.counters, uuid.ID)
+	final := c.value
+	sh.mu.Unlock()
+
+	s.ownerMu.Lock()
 	s.perOwner[c.owner]--
-	return nil
+	if s.perOwner[c.owner] == 0 {
+		delete(s.perOwner, c.owner)
+	}
+	s.ownerMu.Unlock()
+	return final, nil
 }
 
 // Count returns the number of live counters owned by the given identity.
 func (s *Service) Count(owner sgx.Measurement) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ownerMu.Lock()
+	defer s.ownerMu.Unlock()
 	return s.perOwner[owner]
 }
 
 // TotalLive returns the number of live counters on the machine.
 func (s *Service) TotalLive() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.counters)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.counters)
+		sh.mu.Unlock()
+	}
+	return n
 }

@@ -1,0 +1,163 @@
+package pse
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestCreateDestroyCyclesKeepSteadyStateMemory is the regression test for
+// the unbounded destroyed-ID map the service used to keep: every
+// create+destroy cycle leaked one tombstone entry forever. With the
+// monotonic-ID invariant ("issued and not live ⇒ destroyed") the service
+// must hold NO per-cycle state once a counter is destroyed, which this
+// test asserts structurally against the internal tables.
+func TestCreateDestroyCyclesKeepSteadyStateMemory(t *testing.T) {
+	f := newFixture(t)
+	const cycles = 10_000
+
+	var lastID uint32
+	for i := 0; i < cycles; i++ {
+		uuid, _, err := f.service.Create(f.enclave)
+		if err != nil {
+			t.Fatalf("cycle %d create: %v", i, err)
+		}
+		if uuid.ID <= lastID {
+			t.Fatalf("cycle %d: counter ID %d not strictly increasing (last %d)", i, uuid.ID, lastID)
+		}
+		lastID = uuid.ID
+		if err := f.service.Destroy(f.enclave, uuid); err != nil {
+			t.Fatalf("cycle %d destroy: %v", i, err)
+		}
+		// The destroyed UUID must stay dead despite having no tombstone.
+		if _, err := f.service.Increment(f.enclave, uuid); !errors.Is(err, ErrCounterNotFound) {
+			t.Fatalf("cycle %d: destroyed counter usable: %v", i, err)
+		}
+	}
+
+	// Steady-state memory shape: no live counters, no per-owner residue,
+	// and — the point of the fix — no table anywhere that grew with the
+	// number of lifetime cycles.
+	if live := f.service.TotalLive(); live != 0 {
+		t.Fatalf("live counters after %d cycles = %d, want 0", cycles, live)
+	}
+	for i := range f.service.shards {
+		if n := len(f.service.shards[i].counters); n != 0 {
+			t.Fatalf("shard %d holds %d entries after all destroys", i, n)
+		}
+	}
+	f.service.ownerMu.Lock()
+	owners := len(f.service.perOwner)
+	f.service.ownerMu.Unlock()
+	if owners != 0 {
+		t.Fatalf("perOwner holds %d entries after all destroys, want 0", owners)
+	}
+}
+
+// TestIncrementN covers the batched replay primitive: n firmware
+// increments in one enclave transition, overflow-checked.
+func TestIncrementN(t *testing.T) {
+	f := newFixture(t)
+	uuid, _, err := f.service.Create(f.enclave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.service.IncrementN(f.enclave, uuid, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1000 {
+		t.Fatalf("IncrementN(1000) = %d", got)
+	}
+	// The full rate-limited cost must be charged, not just one op.
+	if n := f.machine.Latency().Counts()[sim.OpCounterIncrement]; n != 1000 {
+		t.Fatalf("charged %d increments, want 1000", n)
+	}
+	if _, err := f.service.IncrementN(f.enclave, uuid, 0); !errors.Is(err, ErrBadIncrement) {
+		t.Fatalf("n=0: got %v", err)
+	}
+	if _, err := f.service.IncrementN(f.enclave, uuid, -3); !errors.Is(err, ErrBadIncrement) {
+		t.Fatalf("n<0: got %v", err)
+	}
+	// Overflow: value+n beyond uint32 max is refused without advancing.
+	big, err := f.service.IncrementN(f.enclave, uuid, int(^uint32(0)-1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big != ^uint32(0) {
+		t.Fatalf("value = %d, want max", big)
+	}
+	if _, err := f.service.IncrementN(f.enclave, uuid, 1); !errors.Is(err, ErrCounterOverflow) {
+		t.Fatalf("overflowing IncrementN: got %v", err)
+	}
+}
+
+// TestDestroyAndRead covers the atomic capture+destroy used by migration.
+func TestDestroyAndRead(t *testing.T) {
+	f := newFixture(t)
+	uuid, _, err := f.service.Create(f.enclave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := f.service.Increment(f.enclave, uuid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final, err := f.service.DestroyAndRead(f.enclave, uuid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 7 {
+		t.Fatalf("final value = %d, want 7", final)
+	}
+	if _, err := f.service.Read(f.enclave, uuid); !errors.Is(err, ErrCounterNotFound) {
+		t.Fatalf("read after DestroyAndRead: %v", err)
+	}
+	if _, err := f.service.DestroyAndRead(f.enclave, uuid); !errors.Is(err, ErrCounterNotFound) {
+		t.Fatalf("double DestroyAndRead: %v", err)
+	}
+}
+
+// TestIncrementNRejectsUint32Truncation: n beyond the counter's 32-bit
+// range must be refused, not silently truncated modulo 2^32.
+func TestIncrementNRejectsUint32Truncation(t *testing.T) {
+	f := newFixture(t)
+	uuid, _, err := f.service.Create(f.enclave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.service.Increment(f.enclave, uuid); err != nil {
+		t.Fatal(err)
+	}
+	n := int(^uint32(0)) + 1 // 2^32: uint32(n) == 0
+	if _, err := f.service.IncrementN(f.enclave, uuid, n); !errors.Is(err, ErrCounterOverflow) {
+		t.Fatalf("IncrementN(2^32): got %v, want ErrCounterOverflow", err)
+	}
+	if v, err := f.service.Read(f.enclave, uuid); err != nil || v != 1 {
+		t.Fatalf("counter advanced by refused increment: %d, %v", v, err)
+	}
+}
+
+// TestCounterIDExhaustionRefusedNotWrapped: once 2^32 IDs have been
+// issued, Create must fail rather than reuse an ID (reuse would
+// resurrect destroyed UUIDs and break fork prevention).
+func TestCounterIDExhaustionRefusedNotWrapped(t *testing.T) {
+	f := newFixture(t)
+	f.service.nextID.Store(uint64(^uint32(0)) - 1) // pretend 2^32-2 IDs issued
+	uuid, _, err := f.service.Create(f.enclave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uuid.ID != ^uint32(0) {
+		t.Fatalf("last ID = %d", uuid.ID)
+	}
+	if _, _, err := f.service.Create(f.enclave); !errors.Is(err, ErrIDsExhausted) {
+		t.Fatalf("create after exhaustion: got %v, want ErrIDsExhausted", err)
+	}
+	// The refused create must not leak per-owner budget.
+	if got := f.service.Count(f.enclave.MREnclave()); got != 1 {
+		t.Fatalf("owner budget after refused create = %d, want 1", got)
+	}
+}

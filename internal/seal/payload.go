@@ -1,58 +1,131 @@
 package seal
 
 import (
-	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
 
+	"repro/internal/sgx"
 	"repro/internal/xcrypto"
 )
 
-// payloadAAD binds the blob header fields into the authenticated data so
-// that policy or AAD substitution on the wire is detected.
-func payloadAAD(b *Blob) []byte {
-	var buf bytes.Buffer
-	buf.WriteString("seal-blob")
-	buf.WriteByte(byte(b.Policy))
-	writeChunk(&buf, b.KeyID)
-	writeChunk(&buf, b.AAD)
-	return buf.Bytes()
-}
+// sealerCacheLimit bounds the sealer cache; reaching it flushes the cache
+// so adversarial key-ID churn cannot grow it without bound.
+const sealerCacheLimit = 4096
 
-func encryptPayload(key, plaintext []byte, b *Blob) ([]byte, error) {
-	return xcrypto.Encrypt(key, plaintext, payloadAAD(b))
-}
+var (
+	sealerMu sync.RWMutex
+	sealers  = make(map[[32]byte]*xcrypto.Sealer)
+)
 
-func decryptPayload(key []byte, b *Blob) ([]byte, error) {
-	return xcrypto.Decrypt(key, b.Payload, payloadAAD(b))
-}
-
-// SealRaw seals plaintext directly under a caller-provided 32-byte key,
-// with the same blob format and authentication as enclave sealing. This is
-// the primitive the Migration Library uses for its migratable sealing: the
-// key is the Migration Sealing Key (MSK) instead of an EGETKEY result, so
-// no hardware key derivation is charged — which is why migratable sealing
-// is slightly FASTER than native sealing in the paper's Figure 4.
-func SealRaw(key, aad, plaintext []byte) ([]byte, error) {
-	blob := &Blob{
-		Policy: 0, // no hardware policy: key supplied by caller
-		AAD:    append([]byte(nil), aad...),
+// sealerFor returns a cached Sealer for the key, building the AES-GCM key
+// schedule at most once per key. The cache is keyed by a SHA-256 digest
+// of the key, not the key bytes, so raw key material never sits in a
+// process-global table (the cipher instance necessarily embeds its key
+// schedule, but that is dropped when the entry is evicted; hot callers
+// that want zero lookup cost hold their own Sealer, as the Migration
+// Library does for its MSK).
+func sealerFor(key []byte) (*xcrypto.Sealer, error) {
+	ck := sha256.Sum256(key)
+	sealerMu.RLock()
+	s, ok := sealers[ck]
+	sealerMu.RUnlock()
+	if ok {
+		return s, nil
 	}
-	payload, err := encryptPayload(key, plaintext, blob)
+	s, err := xcrypto.NewSealer(key)
 	if err != nil {
 		return nil, err
 	}
-	blob.Payload = payload
-	return blob.Encode(), nil
+	sealerMu.Lock()
+	if len(sealers) >= sealerCacheLimit {
+		sealers = make(map[[32]byte]*xcrypto.Sealer, 64)
+	}
+	sealers[ck] = s
+	sealerMu.Unlock()
+	return s, nil
 }
 
-// UnsealRaw reverses SealRaw under the caller-provided key.
-func UnsealRaw(key, data []byte) (plaintext, aad []byte, err error) {
+// payloadAAD binds the blob header fields into the authenticated data so
+// that policy or AAD substitution on the wire is detected.
+func payloadAAD(policy sgx.KeyPolicy, keyID, aad []byte) []byte {
+	out := make([]byte, 0, len("seal-blob")+1+8+len(keyID)+len(aad))
+	out = append(out, "seal-blob"...)
+	out = append(out, byte(policy))
+	out = appendChunk(out, keyID)
+	return appendChunk(out, aad)
+}
+
+// encodeSealed produces the encoded sealed blob in a single output buffer:
+// header, then the payload chunk encrypted in place.
+func encodeSealed(s *xcrypto.Sealer, policy sgx.KeyPolicy, keyID, aad, plaintext []byte) ([]byte, error) {
+	out := make([]byte, 0, len(blobMagic)+1+12+len(keyID)+len(aad)+len(plaintext)+s.Overhead())
+	out = append(out, blobMagic...)
+	out = append(out, byte(policy))
+	out = appendChunk(out, keyID)
+	out = appendChunk(out, aad)
+	lenOff := len(out)
+	out = append(out, 0, 0, 0, 0) // payload chunk length, patched below
+	out, err := s.SealAppend(out, plaintext, payloadAAD(policy, keyID, aad))
+	if err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(out[lenOff:], uint32(len(out)-lenOff-4))
+	return out, nil
+}
+
+func decryptPayload(s *xcrypto.Sealer, b *Blob) ([]byte, error) {
+	return s.Open(b.Payload, payloadAAD(b.Policy, b.KeyID, b.AAD))
+}
+
+// NewRawSealer builds the cached cipher for a caller-held raw sealing key
+// (the MSK path). The caller owns the Sealer's lifetime — the Migration
+// Library keeps it for exactly as long as it holds the MSK itself — so
+// nothing about the key outlives its owner in any shared table.
+func NewRawSealer(key []byte) (*xcrypto.Sealer, error) {
+	return xcrypto.NewSealer(key)
+}
+
+// SealRawWith is SealRaw with a caller-held Sealer (see NewRawSealer):
+// the hot path for migratable sealing, paying neither key schedule nor
+// cache lookup.
+func SealRawWith(s *xcrypto.Sealer, aad, plaintext []byte) ([]byte, error) {
+	return encodeSealed(s, 0 /* no hardware policy: key supplied by caller */, nil, aad, plaintext)
+}
+
+// UnsealRawWith reverses SealRawWith under a caller-held Sealer.
+func UnsealRawWith(s *xcrypto.Sealer, data []byte) (plaintext, aad []byte, err error) {
 	blob, err := DecodeBlob(data)
 	if err != nil {
 		return nil, nil, err
 	}
-	plaintext, err = decryptPayload(key, blob)
+	plaintext, err = decryptPayload(s, blob)
 	if err != nil {
 		return nil, nil, ErrUnseal
 	}
 	return plaintext, blob.AAD, nil
+}
+
+// SealRaw seals plaintext directly under a caller-provided 16- or 32-byte
+// key, with the same blob format and authentication as enclave sealing.
+// This is the primitive the Migration Library uses for its migratable
+// sealing: the key is the Migration Sealing Key (MSK) instead of an
+// EGETKEY result, so no hardware key derivation is charged — which is why
+// migratable sealing is slightly FASTER than native sealing in the
+// paper's Figure 4.
+func SealRaw(key, aad, plaintext []byte) ([]byte, error) {
+	s, err := sealerFor(key)
+	if err != nil {
+		return nil, err
+	}
+	return SealRawWith(s, aad, plaintext)
+}
+
+// UnsealRaw reverses SealRaw under the caller-provided key.
+func UnsealRaw(key, data []byte) (plaintext, aad []byte, err error) {
+	s, err := sealerFor(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	return UnsealRawWith(s, data)
 }

@@ -43,16 +43,17 @@ type Blob struct {
 
 // Encode serializes a blob.
 func (b *Blob) Encode() []byte {
-	var buf bytes.Buffer
-	buf.Write(blobMagic)
-	buf.WriteByte(byte(b.Policy))
-	writeChunk(&buf, b.KeyID)
-	writeChunk(&buf, b.AAD)
-	writeChunk(&buf, b.Payload)
-	return buf.Bytes()
+	out := make([]byte, 0, len(blobMagic)+1+12+len(b.KeyID)+len(b.AAD)+len(b.Payload))
+	out = append(out, blobMagic...)
+	out = append(out, byte(b.Policy))
+	out = appendChunk(out, b.KeyID)
+	out = appendChunk(out, b.AAD)
+	out = appendChunk(out, b.Payload)
+	return out
 }
 
-// DecodeBlob parses a sealed blob.
+// DecodeBlob parses a sealed blob. The returned blob's byte fields alias
+// the input buffer; callers must not mutate data afterwards.
 func DecodeBlob(data []byte) (*Blob, error) {
 	if len(data) < len(blobMagic)+1 || !bytes.Equal(data[:len(blobMagic)], blobMagic) {
 		return nil, ErrBlobFormat
@@ -78,11 +79,11 @@ func DecodeBlob(data []byte) (*Blob, error) {
 	return &Blob{Policy: policy, KeyID: keyID, AAD: aad, Payload: payload}, nil
 }
 
-func writeChunk(buf *bytes.Buffer, b []byte) {
+func appendChunk(dst, b []byte) []byte {
 	var n [4]byte
 	binary.BigEndian.PutUint32(n[:], uint32(len(b)))
-	buf.Write(n[:])
-	buf.Write(b)
+	dst = append(dst, n[:]...)
+	return append(dst, b...)
 }
 
 func readChunk(data []byte) (chunk, rest []byte, err error) {
@@ -99,7 +100,9 @@ func readChunk(data []byte) (chunk, rest []byte, err error) {
 
 // Seal is the sgx_seal_data equivalent: it encrypts plaintext for the
 // enclave under the given key policy, authenticating aad alongside.
-// The sealing key is fetched via EGETKEY on every call, as the SDK does.
+// The sealing key is fetched via EGETKEY on every call, as the SDK does
+// (the EGETKEY latency is charged per call; only the in-enclave cipher
+// setup for the resulting key is cached).
 func Seal(e *sgx.Enclave, policy sgx.KeyPolicy, aad, plaintext []byte) ([]byte, error) {
 	return SealWithKeyID(e, policy, nil, aad, plaintext)
 }
@@ -111,17 +114,11 @@ func SealWithKeyID(e *sgx.Enclave, policy sgx.KeyPolicy, keyID, aad, plaintext [
 	if err != nil {
 		return nil, fmt.Errorf("seal key: %w", err)
 	}
-	blob := &Blob{
-		Policy: policy,
-		KeyID:  append([]byte(nil), keyID...),
-		AAD:    append([]byte(nil), aad...),
-	}
-	payload, err := encryptPayload(key[:], plaintext, blob)
+	s, err := sealerFor(key[:])
 	if err != nil {
 		return nil, err
 	}
-	blob.Payload = payload
-	return blob.Encode(), nil
+	return encodeSealed(s, policy, keyID, aad, plaintext)
 }
 
 // Unseal is the sgx_unseal_data equivalent. It returns the plaintext and
@@ -137,7 +134,11 @@ func Unseal(e *sgx.Enclave, data []byte) (plaintext, aad []byte, err error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("unseal key: %w", err)
 	}
-	plaintext, err = decryptPayload(key[:], blob)
+	s, err := sealerFor(key[:])
+	if err != nil {
+		return nil, nil, err
+	}
+	plaintext, err = decryptPayload(s, blob)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrUnseal, err)
 	}

@@ -1,0 +1,60 @@
+package seal
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/xcrypto"
+)
+
+// FuzzDecodeBlob asserts the sealed-blob parser never panics on
+// attacker-controlled bytes (the untrusted OS supplies every blob), and
+// that anything it accepts re-encodes to the identical bytes — the format
+// has exactly one representation per value.
+func FuzzDecodeBlob(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SGXSEAL1"))
+	f.Add([]byte("SGXSEAL1\x01"))
+	f.Add(append([]byte("SGXSEAL1\x01"), 0xFF, 0xFF, 0xFF, 0xFF))
+	f.Add(bytes.Repeat([]byte{0x41}, 64))
+	key := xcrypto.DeriveKey([]byte("fuzz"), "seal-key")
+	if blob, err := SealRaw(key[:], []byte("aad"), []byte("payload")); err == nil {
+		f.Add(blob)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		b, err := DecodeBlob(raw)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(b.Encode(), raw) {
+			t.Fatal("accepted blob is not canonical")
+		}
+	})
+}
+
+// FuzzUnsealRaw drives the full unseal path (parse + AEAD open) with
+// arbitrary wire bytes: it must fail cleanly, never panic, and never
+// succeed for bytes that are not a genuine sealed blob under the key.
+func FuzzUnsealRaw(f *testing.F) {
+	key := xcrypto.DeriveKey([]byte("fuzz"), "unseal-key")
+	valid, err := SealRaw(key[:], []byte("mac"), []byte("secret"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0}, 128))
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-1] ^= 1
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		pt, aad, err := UnsealRaw(key[:], raw)
+		if err != nil {
+			return
+		}
+		// Only the authentic blob can open; anything else is forgery.
+		if !bytes.Equal(raw, valid) {
+			t.Fatalf("forged blob unsealed: pt=%q aad=%q", pt, aad)
+		}
+	})
+}

@@ -91,6 +91,10 @@ func (e *Enclave) ID() EnclaveID { return e.id }
 // MREnclave returns the enclave identity measurement.
 func (e *Enclave) MREnclave() Measurement { return e.mrenclave }
 
+// IsMREnclave reports whether the enclave's identity equals m, without
+// copying the measurement out (hot-path owner checks).
+func (e *Enclave) IsMREnclave(m Measurement) bool { return e.mrenclave == m }
+
 // MRSigner returns the signing identity measurement.
 func (e *Enclave) MRSigner() Measurement { return e.mrsigner }
 

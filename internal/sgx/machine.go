@@ -55,7 +55,19 @@ type Machine struct {
 	enclaves map[EnclaveID]*Enclave
 	nextID   EnclaveID
 	epoch    uint64 // increments on restart; invalidates live enclaves
+
+	// keyCache memoizes deriveKey results. Derivation is a pure function
+	// of the CPU secret and its inputs, so EGETKEY-heavy paths (sealing on
+	// every library persist) skip the HKDF on repeat derivations. The
+	// simulated EGETKEY latency is still charged per call by the enclave.
+	keyMu    sync.RWMutex
+	keyCache map[string][32]byte
 }
+
+// maxKeyCache bounds the memoized derivations per machine; reaching it
+// flushes the cache (key IDs are attacker-influenced in principle, so the
+// cache must not grow without bound).
+const maxKeyCache = 4096
 
 // NewMachine creates a machine with a fresh random CPU secret.
 func NewMachine(id MachineID, lat *sim.Latency) (*Machine, error) {
@@ -129,7 +141,32 @@ func (m *Machine) LiveEnclaves() int {
 }
 
 // deriveKey is the machine-internal root derivation: every EGETKEY and
-// report key flows through here, bound to the CPU secret.
+// report key flows through here, bound to the CPU secret. Results are
+// memoized: the derivation is deterministic, so repeat requests (native
+// sealing re-fetching the same sealing key on every call) hit the cache.
 func (m *Machine) deriveKey(label string, context ...[]byte) [32]byte {
-	return xcrypto.DeriveKey(m.cpuSecret[:], label, context...)
+	// Canonical cache key: the same length-prefixed encoding DeriveKey
+	// uses for its info string, so distinct inputs never alias.
+	ck := make([]byte, 0, 96)
+	ck = append(ck, label...)
+	for _, c := range context {
+		ck = append(ck, byte(len(c)>>8), byte(len(c)))
+		ck = append(ck, c...)
+	}
+	key := string(ck)
+
+	m.keyMu.RLock()
+	v, ok := m.keyCache[key]
+	m.keyMu.RUnlock()
+	if ok {
+		return v
+	}
+	v = xcrypto.DeriveKey(m.cpuSecret[:], label, context...)
+	m.keyMu.Lock()
+	if m.keyCache == nil || len(m.keyCache) >= maxKeyCache {
+		m.keyCache = make(map[string][32]byte, 64)
+	}
+	m.keyCache[key] = v
+	m.keyMu.Unlock()
+	return v
 }

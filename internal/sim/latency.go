@@ -12,6 +12,7 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -34,6 +35,11 @@ const (
 	OpNetworkRTT
 	OpVMPageCopy // per 4 KiB page
 )
+
+// maxOp bounds the dense per-op accounting arrays. Ops outside [0, maxOp)
+// fall back to a mutex-protected overflow table, so arbitrary Op values
+// stay correct, just slower.
+const maxOp = 32
 
 // String returns the operation name for diagnostics.
 func (o Op) String() string {
@@ -89,14 +95,33 @@ func PaperCosts() map[Op]time.Duration {
 
 // Latency charges simulated operation costs. The zero value is unusable;
 // construct with NewLatency. Latency is safe for concurrent use.
+//
+// Charge is on the hot path of every simulated hardware operation (an
+// ECALL is charged on every enclave entry), so the accounting uses dense
+// per-op atomic counters instead of a shared mutex: concurrent enclaves
+// charging disjoint — or even identical — operations never serialize.
 type Latency struct {
-	mu    sync.Mutex
-	costs map[Op]time.Duration
 	scale float64
 	sleep func(time.Duration)
 
-	charged map[Op]int
-	total   time.Duration
+	costs   [maxOp]atomic.Int64 // nanoseconds per op
+	charged [maxOp]atomic.Int64
+
+	// banked virtual time: SetCost banks each op's accrued virtual time
+	// at the outgoing cost (bankedNanos) and records how many charges
+	// were priced in (bankedCount), so past charges keep the cost that
+	// was in effect when they happened while the hot ChargeN path stays
+	// a single atomic add. VirtualTotal prices only the un-banked
+	// remainder at the current cost.
+	bankedNanos atomic.Int64
+	bankedCount [maxOp]int64 // guarded by mu
+
+	// Overflow accounting for Op values outside the dense range. These
+	// charges are priced into bankedNanos at charge time (they already
+	// hold mu, so exact accounting is free).
+	mu           sync.Mutex
+	extraCosts   map[Op]time.Duration
+	extraCharged map[Op]int
 }
 
 // NewLatency builds a latency model with the paper-calibrated costs and
@@ -104,38 +129,59 @@ type Latency struct {
 // scale 1 reproduces paper-magnitude costs; intermediate scales preserve
 // ratios while shortening wall-clock time.
 func NewLatency(scale float64) *Latency {
-	return &Latency{
-		costs:   PaperCosts(),
-		scale:   scale,
-		sleep:   time.Sleep,
-		charged: make(map[Op]int),
+	l := &Latency{
+		scale: scale,
+		sleep: time.Sleep,
 	}
+	for op, d := range PaperCosts() {
+		l.SetCost(op, d)
+	}
+	return l
 }
 
 // NewInstantLatency is shorthand for NewLatency(0): all costs are
 // accounted but no real time passes.
 func NewInstantLatency() *Latency { return NewLatency(0) }
 
-// SetCost overrides the cost of one operation (ablation studies).
+// dense reports whether an op lands in the array-backed fast path.
+func dense(op Op) bool { return op >= 0 && int(op) < maxOp }
+
+// SetCost overrides the cost of one operation (ablation studies). The
+// op's charges so far stay priced at the outgoing cost: they are banked
+// before the new cost takes effect.
 func (l *Latency) SetCost(op Op, d time.Duration) {
+	if dense(op) {
+		l.mu.Lock()
+		old := l.costs[op].Load()
+		n := l.charged[op].Load()
+		if delta := n - l.bankedCount[op]; delta != 0 && old != 0 {
+			l.bankedNanos.Add(delta * old)
+		}
+		l.bankedCount[op] = n
+		l.costs[op].Store(int64(d))
+		l.mu.Unlock()
+		return
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.costs[op] = d
+	if l.extraCosts == nil {
+		l.extraCosts = make(map[Op]time.Duration)
+	}
+	l.extraCosts[op] = d
 }
 
 // Cost returns the unscaled cost of an operation.
 func (l *Latency) Cost(op Op) time.Duration {
+	if dense(op) {
+		return time.Duration(l.costs[op].Load())
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.costs[op]
+	return l.extraCosts[op]
 }
 
 // Scale returns the configured scale factor.
-func (l *Latency) Scale() float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.scale
-}
+func (l *Latency) Scale() float64 { return l.scale }
 
 // Charge pays for one operation: it records the virtual cost and sleeps
 // for cost*scale of real time.
@@ -143,49 +189,80 @@ func (l *Latency) Charge(op Op) {
 	l.ChargeN(op, 1)
 }
 
-// ChargeN pays for n consecutive operations of the same kind.
+// ChargeN pays for n consecutive operations of the same kind. At scale 0
+// (the unit-test and framework-cost-benchmark configuration) the fast
+// path is a single atomic add; the virtual total is derived lazily in
+// VirtualTotal from the per-op counts and the cost table.
 func (l *Latency) ChargeN(op Op, n int) {
 	if n <= 0 {
 		return
 	}
+	if dense(op) {
+		l.charged[op].Add(int64(n))
+		if l.scale == 0 {
+			return
+		}
+		if virtual := time.Duration(n) * time.Duration(l.costs[op].Load()); virtual > 0 {
+			l.sleep(time.Duration(float64(virtual) * l.scale))
+		}
+		return
+	}
 	l.mu.Lock()
-	cost := l.costs[op]
-	l.charged[op] += n
-	virtual := time.Duration(n) * cost
-	l.total += virtual
-	scale := l.scale
-	sleep := l.sleep
+	cost := l.extraCosts[op]
+	if l.extraCharged == nil {
+		l.extraCharged = make(map[Op]int)
+	}
+	l.extraCharged[op] += n
+	l.bankedNanos.Add(int64(n) * int64(cost))
 	l.mu.Unlock()
-
-	if scale > 0 && virtual > 0 {
-		sleep(time.Duration(float64(virtual) * scale))
+	if virtual := time.Duration(n) * cost; l.scale > 0 && virtual > 0 {
+		l.sleep(time.Duration(float64(virtual) * l.scale))
 	}
 }
 
-// VirtualTotal returns the accumulated virtual (unscaled) time charged.
+// VirtualTotal returns the accumulated virtual (unscaled) time charged,
+// priced at the cost in effect when each charge happened: time banked at
+// SetCost boundaries plus the un-banked remainder at current costs.
 func (l *Latency) VirtualTotal() time.Duration {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.total
+	total := time.Duration(l.bankedNanos.Load())
+	for op := 0; op < maxOp; op++ {
+		if n := l.charged[op].Load() - l.bankedCount[op]; n != 0 {
+			total += time.Duration(n) * time.Duration(l.costs[op].Load())
+		}
+	}
+	l.mu.Unlock()
+	return total
 }
 
 // Counts returns a copy of the per-operation charge counts, which tests
 // use to assert that a code path performed exactly the expected hardware
 // operations (e.g. one EGETKEY for native sealing, zero for migratable).
 func (l *Latency) Counts() map[Op]int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make(map[Op]int, len(l.charged))
-	for k, v := range l.charged {
-		out[k] = v
+	out := make(map[Op]int)
+	for op := 0; op < maxOp; op++ {
+		if n := l.charged[op].Load(); n != 0 {
+			out[Op(op)] = int(n)
+		}
 	}
+	l.mu.Lock()
+	for op, n := range l.extraCharged {
+		if n != 0 {
+			out[op] = n
+		}
+	}
+	l.mu.Unlock()
 	return out
 }
 
 // Reset clears accumulated accounting but keeps costs and scale.
 func (l *Latency) Reset() {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.charged = make(map[Op]int)
-	l.total = 0
+	for op := 0; op < maxOp; op++ {
+		l.charged[op].Store(0)
+		l.bankedCount[op] = 0
+	}
+	l.bankedNanos.Store(0)
+	l.extraCharged = nil
+	l.mu.Unlock()
 }

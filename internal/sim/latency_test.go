@@ -137,3 +137,32 @@ func TestPaperCostsOrdering(t *testing.T) {
 		t.Fatal("increment must cost more than read")
 	}
 }
+
+// TestSetCostAfterChargeKeepsHistoricalPricing pins the charge-time
+// pricing semantics: changing an op's cost must not reprice charges that
+// already happened (ablation sweeps rely on VirtualTotal deltas).
+func TestSetCostAfterChargeKeepsHistoricalPricing(t *testing.T) {
+	l := NewInstantLatency()
+	l.SetCost(OpQuote, time.Millisecond)
+	l.Charge(OpQuote)
+	l.SetCost(OpQuote, 2*time.Millisecond)
+	if got := l.VirtualTotal(); got != time.Millisecond {
+		t.Fatalf("virtual total after repricing = %v, want 1ms", got)
+	}
+	l.Charge(OpQuote)
+	if got := l.VirtualTotal(); got != 3*time.Millisecond {
+		t.Fatalf("virtual total = %v, want 3ms", got)
+	}
+	// Zeroing the cost must not erase already-charged time either.
+	l.SetCost(OpQuote, 0)
+	if got := l.VirtualTotal(); got != 3*time.Millisecond {
+		t.Fatalf("virtual total after zeroing = %v, want 3ms", got)
+	}
+	if l.Counts()[OpQuote] != 2 {
+		t.Fatalf("counts = %d, want 2", l.Counts()[OpQuote])
+	}
+	l.Reset()
+	if l.VirtualTotal() != 0 {
+		t.Fatal("reset did not clear banked time")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -108,12 +109,24 @@ func (a *Authority) Issue(subject, role string, publicKey []byte, ttl time.Durat
 func (a *Authority) Revoke(subject string) { a.revoked[subject] = true }
 
 // Verifier checks certificates against a trusted authority public key.
+// It memoizes successful signature checks (the Ed25519 math dominates a
+// migration handshake, and the same platform/provider certificates are
+// re-presented on every transfer); expiry and revocation are still
+// evaluated on every call, so revoking a cached certificate takes effect
+// immediately. Verifier is safe for concurrent use.
 type Verifier struct {
 	issuer  string
 	pub     ed25519.PublicKey
 	now     func() time.Time
 	revoked func(subject string) bool
+
+	mu   sync.RWMutex
+	seen map[string]bool // signingBytes||signature -> signature valid
 }
+
+// verifierCacheLimit bounds the memoized signature checks; reaching it
+// flushes the cache so adversarial certificate churn cannot grow it.
+const verifierCacheLimit = 4096
 
 // NewVerifier builds a verifier trusting the given authority.
 func NewVerifier(a *Authority) *Verifier {
@@ -144,7 +157,27 @@ func (v *Verifier) Verify(c *Certificate) error {
 	if c.Issuer != v.issuer {
 		return fmt.Errorf("%w: issuer %q", ErrWrongIssuer, c.Issuer)
 	}
-	if !ed25519.Verify(v.pub, c.signingBytes(), c.Signature) {
+	// The cache key covers every signed field AND the signature, so a
+	// forged certificate can never alias a cached valid one.
+	signed := c.signingBytes()
+	key := string(signed) + string(c.Signature)
+	v.mu.RLock()
+	ok, cached := v.seen[key]
+	v.mu.RUnlock()
+	if !cached {
+		ok = ed25519.Verify(v.pub, signed, c.Signature)
+		if ok {
+			// Only positive results are cached: a signature valid for these
+			// bytes stays valid forever, while failures stay cheap to retry.
+			v.mu.Lock()
+			if v.seen == nil || len(v.seen) >= verifierCacheLimit {
+				v.seen = make(map[string]bool, 16)
+			}
+			v.seen[key] = true
+			v.mu.Unlock()
+		}
+	}
+	if !ok {
 		return ErrBadSignature
 	}
 	if v.now().After(c.NotAfter) {
