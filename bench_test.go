@@ -427,3 +427,51 @@ func BenchmarkAblationOffsetRestore(b *testing.B) {
 		}
 	}
 }
+
+// --- Replicated counters: increment latency vs. replication factor -------
+
+func benchmarkReplicatedIncrement(b *testing.B, f int) {
+	b.ReportAllocs()
+	dc, err := cloud.NewDataCenter("bench-repl", sim.NewInstantLatency())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]string, 0, 2*f+1)
+	for i := 0; i < 2*f+1; i++ {
+		id := fmt.Sprintf("rack-%d", i)
+		if _, err := dc.AddMachine(id); err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if f > 0 {
+		if _, err := dc.NewReplicaGroup("bench-rack", f, ids...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	host, _ := dc.Machine(ids[0])
+	app := benchApp(b, host, "repl")
+	id, _, err := app.Library.CreateCounter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.Library.IncrementCounter(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicatedIncrement sweeps the framework-side cost of a
+// Migration Library increment against the plain per-machine counter
+// service (f=0) and quorum-replicated groups of 3 (f=1) and 5 (f=2)
+// replicas; cmd/benchfig -repl reports the same sweep with confidence
+// intervals and, at -scale > 0, the modeled network/firmware latencies.
+func BenchmarkReplicatedIncrement(b *testing.B) {
+	for _, f := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("f=%d", f), func(b *testing.B) {
+			benchmarkReplicatedIncrement(b, f)
+		})
+	}
+}

@@ -4,6 +4,7 @@
 //	benchfig -fig 3              Figure 3: counter operations
 //	benchfig -fig 4              Figure 4: init + sealing operations
 //	benchfig -migration          §VII-B: enclave migration overhead
+//	benchfig -repl               replicated counters: increment vs. f
 //	benchfig -table 1            Table I: migration data structure
 //	benchfig -table 2            Table II: library internal structure
 //	benchfig -tcb                §VII-A: software TCB size
@@ -31,10 +32,11 @@ import (
 
 // report is the -json output: every experiment that ran, with config.
 type report struct {
-	Config    bench.Config           `json:"config"`
-	Fig3      []bench.Row            `json:"fig3,omitempty"`
-	Fig4      []bench.Row            `json:"fig4,omitempty"`
-	Migration *bench.MigrationResult `json:"migration,omitempty"`
+	Config      bench.Config           `json:"config"`
+	Fig3        []bench.Row            `json:"fig3,omitempty"`
+	Fig4        []bench.Row            `json:"fig4,omitempty"`
+	Migration   *bench.MigrationResult `json:"migration,omitempty"`
+	Replication []bench.Row            `json:"replication,omitempty"`
 }
 
 func main() {
@@ -49,6 +51,7 @@ func run() error {
 		fig       = flag.Int("fig", 0, "regenerate figure 3 or 4")
 		table     = flag.Int("table", 0, "report table 1 or 2 structure size")
 		migration = flag.Bool("migration", false, "measure enclave migration overhead")
+		repl      = flag.Bool("repl", false, "measure replicated-counter increment latency vs. replication factor")
 		tcb       = flag.Bool("tcb", false, "report software TCB size")
 		all       = flag.Bool("all", false, "run every experiment")
 		n         = flag.Int("n", 200, "iterations per operation (paper: 1000)")
@@ -86,6 +89,14 @@ func run() error {
 			return err
 		}
 		rep.Migration = res
+	}
+	if *all || *repl {
+		ran = true
+		rows, err := runReplication(cfg)
+		if err != nil {
+			return err
+		}
+		rep.Replication = rows
 	}
 	if *all || *table == 1 || *table == 2 {
 		ran = true
@@ -159,6 +170,21 @@ func runMigration(cfg bench.Config) (*bench.MigrationResult, error) {
 	ratio := res.Enclave.Mean / res.VMCopyVirtual.Seconds()
 	fmt.Printf("  enclave overhead / VM copy: %.3f\n\n", ratio)
 	return res, nil
+}
+
+func runReplication(cfg bench.Config) ([]bench.Row, error) {
+	fmt.Println("=== Replicated counters: increment latency vs. replication factor ===")
+	fmt.Println("(quorum of 2f+1 replicas; commit on majority; overhead vs. the f=0 local service)")
+	start := time.Now()
+	rows, err := bench.ReplicationSweep(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("replication: %w", err)
+	}
+	for _, r := range rows {
+		fmt.Println("  " + r.String())
+	}
+	fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+	return rows, nil
 }
 
 func runTables() error {

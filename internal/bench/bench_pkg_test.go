@@ -131,3 +131,24 @@ func TestMigratableSealNotSlowerShape(t *testing.T) {
 		}
 	}
 }
+
+func TestReplicationSweepRunner(t *testing.T) {
+	rows, err := ReplicationSweep(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Name != "repl-increment-f0-local" || rows[0].HasBaseline {
+		t.Fatalf("baseline row = %+v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if !row.HasBaseline {
+			t.Fatalf("%s missing f=0 baseline", row.Name)
+		}
+		if row.Library.N != 25 || row.Library.Mean <= 0 {
+			t.Fatalf("%s bad samples", row.Name)
+		}
+	}
+}

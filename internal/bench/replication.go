@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ReplicationSweep measures the increment-latency cost of replicating
+// the Platform Services counter facility (ROADMAP "Counter-service
+// replication"): the same Migration Library increment is driven against
+// the plain per-machine service (the f=0 baseline) and against
+// quorum-replicated groups with f=1 (3 replicas) and f=2 (5 replicas).
+// Each replicated increment fans out to all 2f+1 replicas in parallel
+// and commits on a majority, so the added cost per increment is one
+// network round trip plus the replica-side apply, paid once regardless
+// of f — while tolerating f machine failures.
+func ReplicationSweep(cfg Config) ([]Row, error) {
+	base, err := replIncrementSamples(cfg, 0, false)
+	if err != nil {
+		return nil, fmt.Errorf("f=0 baseline: %w", err)
+	}
+	baseRow, err := compare("repl-increment-f0-local", base, nil, cfg.Confidence)
+	if err != nil {
+		return nil, err
+	}
+	rows := []Row{baseRow}
+	for f := 1; f <= 2; f++ {
+		lib, err := replIncrementSamples(cfg, f, true)
+		if err != nil {
+			return nil, fmt.Errorf("f=%d: %w", f, err)
+		}
+		row, err := compare(fmt.Sprintf("repl-increment-f%d-%drep", f, 2*f+1), lib, base, cfg.Confidence)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// replIncrementSamples measures N library increments on a machine whose
+// counter facility is either the plain local service (replicated=false)
+// or a 2f+1 replica group that includes the app's machine.
+func replIncrementSamples(cfg Config, f int, replicated bool) ([]float64, error) {
+	dc, err := cloud.NewDataCenter(fmt.Sprintf("repl-bench-f%d", f), sim.NewLatency(cfg.Scale))
+	if err != nil {
+		return nil, err
+	}
+	n := 2*f + 1
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("rack-%d", i)
+		if _, err := dc.AddMachine(id); err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	if replicated {
+		if _, err := dc.NewReplicaGroup("bench-rack", f, ids...); err != nil {
+			return nil, err
+		}
+	}
+	host, _ := dc.Machine(ids[0])
+	app, err := host.LaunchApp(appImage(fmt.Sprintf("repl-f%d", f)), core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		return nil, err
+	}
+	ctr, _, err := app.Library.CreateCounter()
+	if err != nil {
+		return nil, err
+	}
+	return sample(cfg.N, func() error {
+		_, err := app.Library.IncrementCounter(ctr)
+		return err
+	})
+}

@@ -7,6 +7,7 @@
 package cloud
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,10 +15,23 @@ import (
 	"repro/internal/attest"
 	"repro/internal/core"
 	"repro/internal/pse"
+	"repro/internal/pserepl"
 	"repro/internal/sgx"
 	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/xcrypto"
+)
+
+// Machine lifecycle errors.
+var (
+	// ErrMachineDown reports an operation on a killed machine.
+	ErrMachineDown = errors.New("cloud: machine is down")
+	// ErrNoReplica reports a replica operation on a machine that hosts no
+	// counter replica.
+	ErrNoReplica = errors.New("cloud: machine hosts no counter replica")
+	// ErrHasReplica reports an attempt to place a second counter replica
+	// on a machine.
+	ErrHasReplica = errors.New("cloud: machine already hosts a counter replica")
 )
 
 // DataCenter is one cloud provider's fleet: a certificate authority for
@@ -36,18 +50,29 @@ type DataCenter struct {
 
 	mu       sync.Mutex
 	machines map[string]*Machine
+	groups   map[string]*pserepl.Group
 }
 
 // Machine is one physical SGX machine inside a data center, fully
 // provisioned: hardware, counter service, QE, and Migration Enclave.
+//
+// QE and ME are replaced by Restart; reading them while a concurrent
+// Restart runs is not supported (restart a machine only between fleet
+// operations, as a real operator would).
 type Machine struct {
 	HW       *sgx.Machine
 	Counters *pse.Service
 	QE       *attest.QuotingEnclave
 	ME       *core.MigrationEnclave
 
-	mu   sync.Mutex
-	apps map[*App]struct{}
+	dc     *DataCenter
+	meAddr transport.Address
+
+	mu      sync.Mutex
+	apps    map[*App]struct{}
+	killed  bool
+	group   *pserepl.Group
+	replica *pserepl.Replica
 }
 
 // MEAddress returns the machine's Migration Enclave network address.
@@ -109,6 +134,7 @@ func NewDataCenterWithNetwork(name string, lat *sim.Latency, m transport.Messeng
 		Messenger: m,
 		Latency:   lat,
 		machines:  make(map[string]*Machine),
+		groups:    make(map[string]*pserepl.Group),
 	}, nil
 }
 
@@ -152,10 +178,150 @@ func (dc *DataCenter) AddMachineAt(id string, addr transport.Address) (*Machine,
 		Counters: pse.NewService(dc.Latency),
 		QE:       qe,
 		ME:       me,
+		dc:       dc,
+		meAddr:   addr,
 		apps:     make(map[*App]struct{}),
 	}
 	dc.machines[id] = m
 	return m, nil
+}
+
+// replicaAddr is the messenger address of a machine's counter replica.
+func replicaAddr(machineID string) transport.Address {
+	return transport.Address(machineID + "/ctr-replica")
+}
+
+// NewReplicaGroup builds a rack-scoped replicated counter group: a
+// quorum of 2f+1 counter replicas, one on each named machine. The named
+// machines switch their counter facility to the group, so every app
+// launched (or migrated onto) them from now on gets quorum-backed,
+// machine-failure-surviving counters; machines outside the group keep
+// the plain per-machine service.
+func (dc *DataCenter) NewReplicaGroup(name string, f int, machineIDs ...string) (*pserepl.Group, error) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if _, exists := dc.groups[name]; exists {
+		return nil, fmt.Errorf("cloud: replica group %q already exists", name)
+	}
+	members := make([]*Machine, 0, len(machineIDs))
+	for _, id := range machineIDs {
+		m, ok := dc.machines[id]
+		if !ok {
+			return nil, fmt.Errorf("cloud: unknown machine %q", id)
+		}
+		members = append(members, m)
+	}
+	replicas := make([]*pserepl.Replica, 0, len(members))
+	fail := func(err error) (*pserepl.Group, error) {
+		for _, r := range replicas {
+			r.Close()
+		}
+		return nil, err
+	}
+	for _, m := range members {
+		m.mu.Lock()
+		busy := m.replica != nil || m.group != nil
+		down := m.killed
+		m.mu.Unlock()
+		if busy {
+			// Hosting a replica, or merely rack-associated with another
+			// group: a machine serves exactly one group's counters, ever —
+			// re-wiring its facility would strand every counter its apps
+			// created through the old one.
+			return fail(fmt.Errorf("%w: %s", ErrHasReplica, m.ID()))
+		}
+		if down {
+			return fail(fmt.Errorf("%w: %s", ErrMachineDown, m.ID()))
+		}
+		r, err := pserepl.NewReplica(m.ID(), m.HW, m.Counters, dc.Messenger, replicaAddr(m.ID()))
+		if err != nil {
+			return fail(fmt.Errorf("replica on %s: %w", m.ID(), err))
+		}
+		replicas = append(replicas, r)
+	}
+	g, err := pserepl.NewGroup(name, f, dc.Messenger, replicas...)
+	if err != nil {
+		return fail(err)
+	}
+	for i, m := range members {
+		m.mu.Lock()
+		m.group, m.replica = g, replicas[i]
+		m.mu.Unlock()
+	}
+	dc.groups[name] = g
+	return g, nil
+}
+
+// ReplicaGroup returns a previously created replica group.
+func (dc *DataCenter) ReplicaGroup(name string) (*pserepl.Group, bool) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	g, ok := dc.groups[name]
+	return g, ok
+}
+
+// HandoffReplica moves the counter-replica role hosted on machine srcID
+// to machine dstID: a fresh replica on the destination is seeded from
+// the quorum's state and swapped into the group, then the old replica is
+// retired. This is how a machine that hosts a replica is drained without
+// shrinking its group below 2f+1 (fleet runs it before moving enclaves).
+// The destination also joins the rack: its counter facility becomes the
+// group.
+//
+// dc.mu is held for the whole handoff (like NewReplicaGroup), so
+// concurrent reconfigurations — two orchestrators draining onto the same
+// destination, or a racing NewReplicaGroup — cannot both claim one
+// machine between the availability check and the placement.
+func (dc *DataCenter) HandoffReplica(srcID, dstID string) error {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	src, ok := dc.machines[srcID]
+	if !ok {
+		return fmt.Errorf("cloud: unknown machine %q", srcID)
+	}
+	dst, ok := dc.machines[dstID]
+	if !ok {
+		return fmt.Errorf("cloud: unknown machine %q", dstID)
+	}
+	src.mu.Lock()
+	group, old := src.group, src.replica
+	src.mu.Unlock()
+	if old == nil {
+		return fmt.Errorf("%w: %s", ErrNoReplica, srcID)
+	}
+	dst.mu.Lock()
+	// The destination must be free of replica roles AND not already
+	// rack-associated with a different group: switching a machine's
+	// counter facility would strand every counter its apps created
+	// through the old one.
+	busy := dst.replica != nil || (dst.group != nil && dst.group != group)
+	down := dst.killed
+	dst.mu.Unlock()
+	if busy {
+		return fmt.Errorf("%w: %s", ErrHasReplica, dstID)
+	}
+	if down {
+		return fmt.Errorf("%w: %s", ErrMachineDown, dstID)
+	}
+	rep, err := pserepl.NewReplica(dstID, dst.HW, dst.Counters, dc.Messenger, replicaAddr(dstID))
+	if err != nil {
+		return fmt.Errorf("replica on %s: %w", dstID, err)
+	}
+	if err := group.Handoff(srcID, rep); err != nil {
+		rep.Close()
+		return err
+	}
+	dst.mu.Lock()
+	dst.group, dst.replica = group, rep
+	dst.mu.Unlock()
+	src.mu.Lock()
+	src.replica = nil
+	// The source keeps the group as its counter facility: it is still
+	// rack-associated (apps that remain or return use the quorum), it
+	// just no longer hosts a share of it.
+	src.mu.Unlock()
+	old.Close()
+	return nil
 }
 
 // Machine returns a previously added machine.
@@ -178,6 +344,96 @@ func (dc *DataCenter) Machines() []*Machine {
 	return ms
 }
 
+// CounterFacility returns the counter service apps on this machine are
+// wired to: the rack's replicated group when the machine belongs to one,
+// the plain per-machine Platform Services manager otherwise.
+func (m *Machine) CounterFacility() core.CounterService {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.group != nil {
+		return m.group
+	}
+	return m.Counters
+}
+
+// HostsReplica reports whether the machine hosts a counter replica of a
+// replicated group (fleet checks this before draining the machine).
+func (m *Machine) HostsReplica() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replica != nil
+}
+
+// Group returns the replicated counter group this machine belongs to
+// (nil when it serves plain per-machine counters).
+func (m *Machine) Group() *pserepl.Group {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.group
+}
+
+// Alive reports whether the machine is up (not killed).
+func (m *Machine) Alive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.killed
+}
+
+// Kill powers the machine off abruptly (hardware failure, maintenance
+// pull): every enclave — apps, QE, Migration Enclave, counter-replica
+// agent — dies with its memory, and nothing can launch until Restart.
+// Counters on the machine-local Platform Services facility are stranded
+// while the machine is down; counters replicated through a group stay
+// available from the surviving quorum.
+func (m *Machine) Kill() {
+	m.mu.Lock()
+	m.killed = true
+	m.mu.Unlock()
+	m.HW.Restart()
+}
+
+// Restart boots the machine (back) up: any remaining enclaves are torn
+// down (a reboot of a live machine), the Quoting Enclave and Migration
+// Enclave are re-provisioned fresh (pending ME state died with its
+// enclave memory, exactly the failure model the fleet layer assumes),
+// and, if the machine hosts a counter replica, the replica's agent is
+// reloaded and re-seeded from its group's quorum before it serves again.
+// The CPU secret and the firmware counter state survive, as on real
+// hardware.
+func (m *Machine) Restart() error {
+	m.HW.Restart()
+	qe, err := attest.NewQuotingEnclave(m.HW, m.dc.Issuer)
+	if err != nil {
+		return fmt.Errorf("restart %s: quoting enclave: %w", m.ID(), err)
+	}
+	cred, err := m.dc.Provider.ProvisionME(m.ID())
+	if err != nil {
+		return fmt.Errorf("restart %s: provision: %w", m.ID(), err)
+	}
+	m.dc.Messenger.Unregister(m.meAddr)
+	me, err := core.NewMigrationEnclave(m.HW, qe, m.dc.IAS, cred, m.dc.Messenger, m.meAddr)
+	if err != nil {
+		return fmt.Errorf("restart %s: migration enclave: %w", m.ID(), err)
+	}
+	m.mu.Lock()
+	m.QE, m.ME = qe, me
+	m.killed = false
+	replica, group := m.replica, m.group
+	m.mu.Unlock()
+	if replica != nil {
+		if err := replica.Restart(); err != nil {
+			return fmt.Errorf("restart %s: %w", m.ID(), err)
+		}
+		if err := group.Reseed(m.ID()); err != nil {
+			// The machine is up but its replica stays unsynced (it will
+			// not vote with stale values); re-run Reseed once enough of
+			// the group is reachable.
+			return fmt.Errorf("restart %s: %w", m.ID(), err)
+		}
+	}
+	return nil
+}
+
 // App is a migratable application: its enclave instance, its Migration
 // Library, and its untrusted storage for the sealed library blob.
 type App struct {
@@ -194,11 +450,14 @@ type App struct {
 // launches of the same app (it models the VM's disk, which travels with
 // the VM during migration).
 func (m *Machine) LaunchApp(img *sgx.Image, storage *core.MemoryStorage, state core.InitState) (*App, error) {
+	if !m.Alive() {
+		return nil, fmt.Errorf("%w: %s", ErrMachineDown, m.ID())
+	}
 	e, err := m.HW.Load(img)
 	if err != nil {
 		return nil, fmt.Errorf("load app enclave: %w", err)
 	}
-	lib := core.NewLibrary(e, m.Counters, storage)
+	lib := core.NewLibrary(e, m.CounterFacility(), storage)
 	if err := lib.Init(state, m.ME); err != nil {
 		m.HW.Destroy(e)
 		return nil, fmt.Errorf("init migration library: %w", err)

@@ -1,0 +1,219 @@
+package cloud_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/pse"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+)
+
+// TestKillStrandsLocalCountersNotReplicated is the machine-failure
+// story: killing a machine kills its apps and strands every counter on
+// its machine-local Platform Services facility, while counters served by
+// a rack replica group stay available from the surviving quorum — and a
+// restarted machine rejoins the rack with nothing lost.
+func TestKillStrandsLocalCountersNotReplicated(t *testing.T) {
+	dc, err := cloud.NewDataCenter("dc", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"r1", "r2", "r3", "solo"} {
+		if _, err := dc.AddMachine(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	group, err := dc.NewReplicaGroup("rack-1", 1, "r1", "r2", "r3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := dc.Machine("r1")
+	solo, _ := dc.Machine("solo")
+	if !r1.HostsReplica() || solo.HostsReplica() {
+		t.Fatal("replica placement wrong")
+	}
+
+	// One app on the rack machine (quorum-backed counters), one on the
+	// standalone machine (plain per-machine counters).
+	rackApp, err := r1.LaunchApp(image("rack-app"), core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rackCtr, _, err := rackApp.Library.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := rackApp.Library.IncrementCounter(rackCtr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	soloStorage := core.NewMemoryStorage()
+	soloApp, err := solo.LaunchApp(image("solo-app"), soloStorage, core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloCtr, _, err := soloApp.Library.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := soloApp.Library.IncrementCounter(soloCtr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A raw replicated counter lets the operator probe survival directly
+	// (the UUID is the capability; the owner identity is public).
+	probeEnclave, err := r1.HW.Load(image("probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeOwner := probeEnclave.MREnclave()
+	probeUUID, _, err := group.Create(probeEnclave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := group.IncrementN(probeEnclave, probeUUID, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	r1.Kill()
+	solo.Kill()
+
+	// Apps die with their machines, and nothing launches on a dead one.
+	if rackApp.Enclave.Alive() || soloApp.Enclave.Alive() {
+		t.Fatal("apps survived machine kill")
+	}
+	if _, err := solo.LaunchApp(image("late"), core.NewMemoryStorage(), core.InitNew); !errors.Is(err, cloud.ErrMachineDown) {
+		t.Fatalf("launch on dead machine: err = %v", err)
+	}
+	// The un-replicated counter is stranded: every path to it runs
+	// through the dead machine.
+	if _, err := solo.Counters.Read(soloApp.Enclave, pse.UUID{}); !errors.Is(err, sgx.ErrEnclaveDestroyed) {
+		t.Fatalf("stranded counter access: err = %v", err)
+	}
+	// The replicated counter survives the failure of the machine that
+	// created it: the quorum (r2, r3) still serves its value.
+	if got, err := group.Inspect(probeOwner, probeUUID); err != nil || got != 7 {
+		t.Fatalf("replicated counter after kill: got %d err=%v", got, err)
+	}
+
+	// Restart r1: the machine re-provisions its enclaves, its replica is
+	// re-seeded from the quorum, and the rack app restores from its
+	// sealed state with the replicated counter intact.
+	if err := r1.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Alive() {
+		t.Fatal("machine not alive after restart")
+	}
+	restoredRack, err := r1.LaunchApp(image("rack-app"), rackApp.Storage, core.InitRestore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := restoredRack.Library.ReadCounter(rackCtr); err != nil || got != 5 {
+		t.Fatalf("replicated app counter after restart: got %d err=%v", got, err)
+	}
+	if got, err := restoredRack.Library.IncrementCounter(rackCtr); err != nil || got != 6 {
+		t.Fatalf("replicated app increment after restart: got %d err=%v", got, err)
+	}
+
+	// With r1 back and re-seeded, the group again tolerates losing a
+	// different replica.
+	r2, _ := dc.Machine("r2")
+	r2.Kill()
+	if got, err := group.Inspect(probeOwner, probeUUID); err != nil || got != 7 {
+		t.Fatalf("replicated counter after second failure: got %d err=%v", got, err)
+	}
+}
+
+// TestReplicaPlacementRespectsRackAssociation pins the one-group-per-
+// machine rule: a machine whose counter facility belongs to one group —
+// even after its replica role was handed off — can never be claimed by
+// another group, which would strand every counter its apps created.
+func TestReplicaPlacementRespectsRackAssociation(t *testing.T) {
+	dc, err := cloud.NewDataCenter("dc", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a1", "a2", "a3", "b1", "b2", "b3", "spare"} {
+		if _, err := dc.AddMachine(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := dc.NewReplicaGroup("rack-a", 1, "a1", "a2", "a3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dc.NewReplicaGroup("rack-b", 1, "b1", "b2", "b3"); err != nil {
+		t.Fatal(err)
+	}
+	// A machine already in a group cannot join another group.
+	if _, err := dc.NewReplicaGroup("rack-c", 0, "a1"); !errors.Is(err, cloud.ErrHasReplica) {
+		t.Fatalf("second group on a1: err = %v", err)
+	}
+	// Hand a1's replica role to the spare; a1 stays rack-a-associated.
+	if err := dc.HandoffReplica("a1", "spare"); err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := dc.Machine("a1")
+	if a1.HostsReplica() || a1.Group() == nil {
+		t.Fatal("a1 should be rack-associated without hosting a replica")
+	}
+	// rack-b must not be able to claim a1 even though it hosts no replica.
+	if err := dc.HandoffReplica("b1", "a1"); !errors.Is(err, cloud.ErrHasReplica) {
+		t.Fatalf("cross-group handoff onto a1: err = %v", err)
+	}
+	// But rack-a may hand a role back onto its own associated machine.
+	if err := dc.HandoffReplica("spare", "a1"); err != nil {
+		t.Fatalf("same-group handoff back onto a1: %v", err)
+	}
+}
+
+// TestRestartReprovisionsMigrationEnclave checks that a restarted
+// machine participates in migrations again: its fresh ME accepts an
+// incoming migration end to end.
+func TestRestartReprovisionsMigrationEnclave(t *testing.T) {
+	dc, err := cloud.NewDataCenter("dc", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := dc.AddMachine("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dc.AddMachine("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.ME.Enclave().Alive() {
+		t.Fatal("ME dead after restart")
+	}
+	app, err := a.LaunchApp(image("mover"), core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, _, err := app.Library.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Library.IncrementCounter(ctr); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Library.StartMigration(b.MEAddress()); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := b.LaunchApp(image("mover"), core.NewMemoryStorage(), core.InitMigrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := restored.Library.ReadCounter(ctr); err != nil || got != 1 {
+		t.Fatalf("migrated counter on restarted machine: got %d err=%v", got, err)
+	}
+}

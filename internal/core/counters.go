@@ -1,0 +1,31 @@
+package core
+
+import (
+	"repro/internal/pse"
+	"repro/internal/sgx"
+)
+
+// CounterService is the monotonic-counter facility the Migration Library
+// builds on: the interface of the per-machine Platform Services manager
+// (*pse.Service), also satisfied by the quorum-replicated group
+// coordinator (*pserepl.Group). The library — and therefore the whole
+// migration protocol — is agnostic to which one backs it; the facility
+// only has to keep the pse contract: counters are monotonic, UUIDs are
+// capabilities, and a destroyed UUID can never be reused.
+type CounterService interface {
+	// Create allocates a fresh monotonic counter for the calling enclave
+	// with initial value 0 and returns its UUID and value.
+	Create(e *sgx.Enclave) (pse.UUID, uint32, error)
+	// Read returns the current counter value.
+	Read(e *sgx.Enclave, uuid pse.UUID) (uint32, error)
+	// Increment adds one to the counter and returns the new value.
+	Increment(e *sgx.Enclave, uuid pse.UUID) (uint32, error)
+	// Destroy permanently removes a counter; its UUID is never reused.
+	Destroy(e *sgx.Enclave, uuid pse.UUID) error
+	// DestroyAndRead destroys the counter and returns its final value in
+	// one transaction (the migration capture primitive, R4).
+	DestroyAndRead(e *sgx.Enclave, uuid pse.UUID) (uint32, error)
+}
+
+// The per-machine Platform Services manager is the canonical facility.
+var _ CounterService = (*pse.Service)(nil)

@@ -95,7 +95,7 @@ func (d *MigrationData) Encode() ([]byte, error) {
 // DecodeMigrationData parses migration data.
 func DecodeMigrationData(raw []byte) (*MigrationData, error) {
 	var d MigrationData
-	rd := wireReader{data: raw}
+	rd := newWireReader(raw)
 	d.decodeInto(&rd)
 	if err := rd.done(); err != nil {
 		return nil, err
@@ -147,9 +147,9 @@ func (s *libraryState) encode() ([]byte, error) {
 
 func decodeLibraryState(raw []byte) (*libraryState, error) {
 	var s libraryState
-	rd := wireReader{data: raw}
+	rd := newWireReader(raw)
 	if !rd.header(tagLibraryState) {
-		return nil, rd.err
+		return nil, rd.errState()
 	}
 	s.Frozen = rd.u8()
 	rd.bitmap(&s.CountersActive)
@@ -193,9 +193,9 @@ func (e *migrationEnvelope) encode() ([]byte, error) {
 
 func decodeEnvelope(raw []byte) (*migrationEnvelope, error) {
 	e := migrationEnvelope{Data: &MigrationData{}}
-	rd := wireReader{data: raw}
+	rd := newWireReader(raw)
 	if !rd.header(tagEnvelope) {
-		return nil, rd.err
+		return nil, rd.errState()
 	}
 	e.Data.decodeInto(&rd)
 	copy(e.MREnclave[:], rd.take(len(e.MREnclave)))

@@ -83,7 +83,7 @@ type slotState struct {
 // or fails against the already-destroyed counter.
 type Library struct {
 	enclave  *sgx.Enclave
-	counters *pse.Service
+	counters CounterService
 	storage  Storage
 
 	initialized atomic.Bool
@@ -105,9 +105,10 @@ type Library struct {
 }
 
 // NewLibrary binds the Migration Library to its host enclave, the
-// machine's Platform Services counter facility, and the application's
+// machine's counter facility (the local Platform Services manager or a
+// replicated group fronting several machines), and the application's
 // untrusted storage for the sealed library blob.
-func NewLibrary(enclave *sgx.Enclave, counters *pse.Service, storage Storage) *Library {
+func NewLibrary(enclave *sgx.Enclave, counters CounterService, storage Storage) *Library {
 	return &Library{enclave: enclave, counters: counters, storage: storage}
 }
 

@@ -54,9 +54,9 @@ func encodeLocalRequest(r *localRequest) ([]byte, error) {
 }
 
 func decodeLocalRequest(raw []byte) (*localRequest, error) {
-	rd := wireReader{data: raw}
+	rd := newWireReader(raw)
 	if !rd.header(tagLocalRequest) {
-		return nil, rd.err
+		return nil, rd.errState()
 	}
 	r := &localRequest{
 		Op:    rd.string(),
@@ -81,9 +81,9 @@ func encodeLocalResponse(r *localResponse) ([]byte, error) {
 }
 
 func decodeLocalResponse(raw []byte) (*localResponse, error) {
-	rd := wireReader{data: raw}
+	rd := newWireReader(raw)
 	if !rd.header(tagLocalResponse) {
-		return nil, rd.err
+		return nil, rd.errState()
 	}
 	r := &localResponse{
 		Status: rd.string(),
@@ -167,7 +167,7 @@ func (r *wireReader) quote() *wireQuote {
 	q.Data = r.bytes()
 	q.Cert = r.bytes()
 	q.Signature = r.bytes()
-	if r.err != nil {
+	if r.errState() != nil {
 		return nil
 	}
 	return &q
@@ -183,9 +183,9 @@ func encodeOffer(m *offerMessage) ([]byte, error) {
 }
 
 func decodeOffer(raw []byte) (*offerMessage, error) {
-	rd := wireReader{data: raw}
+	rd := newWireReader(raw)
 	if !rd.header(tagOffer) {
-		return nil, rd.err
+		return nil, rd.errState()
 	}
 	m := &offerMessage{Quote: rd.quote(), DHPub: rd.bytes()}
 	if err := rd.done(); err != nil {
@@ -207,9 +207,9 @@ func encodeOfferReply(m *offerReply) ([]byte, error) {
 }
 
 func decodeOfferReply(raw []byte) (*offerReply, error) {
-	rd := wireReader{data: raw}
+	rd := newWireReader(raw)
 	if !rd.header(tagOfferReply) {
-		return nil, rd.err
+		return nil, rd.errState()
 	}
 	m := &offerReply{
 		SessionID: rd.string(),
@@ -233,9 +233,9 @@ func encodeDataMessage(m *dataMessage) ([]byte, error) {
 }
 
 func decodeDataMessage(raw []byte) (*dataMessage, error) {
-	rd := wireReader{data: raw}
+	rd := newWireReader(raw)
 	if !rd.header(tagDataMessage) {
-		return nil, rd.err
+		return nil, rd.errState()
 	}
 	m := &dataMessage{
 		SessionID: rd.string(),
@@ -255,9 +255,9 @@ func encodeDoneMessage(m *doneMessage) ([]byte, error) {
 }
 
 func decodeDoneMessage(raw []byte) (*doneMessage, error) {
-	rd := wireReader{data: raw}
+	rd := newWireReader(raw)
 	if !rd.header(tagDoneMessage) {
-		return nil, rd.err
+		return nil, rd.errState()
 	}
 	m := &doneMessage{Token: rd.bytes()}
 	if err := rd.done(); err != nil {

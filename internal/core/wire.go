@@ -1,8 +1,9 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
+
+	"repro/internal/wirec"
 )
 
 // Compact length-prefixed binary codec for the framework's own data
@@ -16,6 +17,12 @@ import (
 // UUIDs) that JSON renders as thousands of array elements, making encode/
 // decode the most expensive step of every library persist and migration
 // envelope. The binary forms are a bitmap plus fixed-width words.
+//
+// The framing primitives (headers, length-prefixed fields, fixed-width
+// words, and the length-bomb defenses) are the shared internal/wirec
+// ones, also used by the pserepl replication and fleet journal codecs;
+// this file adds only core's tags, version, and the bitmap form, and
+// re-roots decoder errors under ErrDataFormat.
 
 // Wire type tags.
 const (
@@ -34,36 +41,24 @@ const (
 // so stale sealed blobs and envelopes fail decoding instead of aliasing.
 const wireVersion byte = 1
 
-// maxWireField bounds any single variable-length field, defending the
-// decoder against length-prefix bombs from the untrusted OS or network.
-const maxWireField = 16 << 20
-
 // appendHeader starts an encoded value.
 func appendHeader(dst []byte, tag byte) []byte {
-	return append(dst, tag, wireVersion)
+	return wirec.AppendHeader(dst, tag, wireVersion)
 }
 
 // appendBytes appends a u32 length prefix and the raw bytes.
 func appendBytes(dst, b []byte) []byte {
-	var n [4]byte
-	binary.BigEndian.PutUint32(n[:], uint32(len(b)))
-	dst = append(dst, n[:]...)
-	return append(dst, b...)
+	return wirec.AppendBytes(dst, b)
 }
 
 // appendString appends a length-prefixed string.
 func appendString(dst []byte, s string) []byte {
-	var n [4]byte
-	binary.BigEndian.PutUint32(n[:], uint32(len(s)))
-	dst = append(dst, n[:]...)
-	return append(dst, s...)
+	return wirec.AppendString(dst, s)
 }
 
 // appendU32 appends one big-endian uint32.
 func appendU32(dst []byte, v uint32) []byte {
-	var n [4]byte
-	binary.BigEndian.PutUint32(n[:], v)
-	return append(dst, n[:]...)
+	return wirec.AppendU32(dst, v)
 }
 
 // appendBitmap packs a bool array into bytes, LSB-first within each byte.
@@ -77,93 +72,62 @@ func appendBitmap(dst []byte, bits *[NumCounters]bool) []byte {
 	return append(dst, packed[:]...)
 }
 
-// wireReader is a cursor over one encoded value. The first decoding error
-// sticks; callers check err once at the end (and fail fast on header
-// mismatch). All byte-slice reads alias the input buffer.
+// wireReader is a cursor over one encoded value: the shared wirec.Reader
+// plus core's bitmap form and ErrDataFormat error rooting. The first
+// decoding error sticks; callers check err once at the end (and fail
+// fast on header mismatch). All byte-slice reads alias the input buffer.
 type wireReader struct {
-	data []byte
-	err  error
+	r wirec.Reader
 }
 
-func (r *wireReader) fail() {
-	if r.err == nil {
-		r.err = ErrDataFormat
+// newWireReader wraps raw wire bytes.
+func newWireReader(raw []byte) wireReader {
+	return wireReader{r: wirec.MakeReader(raw)}
+}
+
+// errState reports the sticky decoding error re-rooted under
+// ErrDataFormat (nil if none).
+func (r *wireReader) errState() error {
+	if err := r.r.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrDataFormat, err)
 	}
+	return nil
 }
 
 // header consumes and checks the tag/version header.
 func (r *wireReader) header(tag byte) bool {
-	if r.err != nil || len(r.data) < 2 {
-		r.fail()
-		return false
-	}
-	if r.data[0] != tag {
-		r.err = fmt.Errorf("%w: wrong type tag 0x%02x", ErrDataFormat, r.data[0])
-		return false
-	}
-	if r.data[1] != wireVersion {
-		r.err = fmt.Errorf("%w: unsupported format version %d", ErrDataFormat, r.data[1])
-		return false
-	}
-	r.data = r.data[2:]
-	return true
+	return r.r.Header(tag, wireVersion)
 }
 
 // take consumes n raw bytes.
 func (r *wireReader) take(n int) []byte {
-	if r.err != nil || n < 0 || len(r.data) < n {
-		r.fail()
-		return nil
-	}
-	out := r.data[:n]
-	r.data = r.data[n:]
-	return out
+	return r.r.Take(n)
 }
 
 // bytes consumes a length-prefixed byte field. Empty fields decode as nil.
 func (r *wireReader) bytes() []byte {
-	hdr := r.take(4)
-	if r.err != nil {
-		return nil
-	}
-	n := binary.BigEndian.Uint32(hdr)
-	if n > maxWireField {
-		r.fail()
-		return nil
-	}
-	if n == 0 {
-		return nil
-	}
-	return r.take(int(n))
+	return r.r.Bytes()
 }
 
 // string consumes a length-prefixed string field.
 func (r *wireReader) string() string {
-	return string(r.bytes())
+	return r.r.String()
 }
 
 // u32 consumes one big-endian uint32.
 func (r *wireReader) u32() uint32 {
-	b := r.take(4)
-	if r.err != nil {
-		return 0
-	}
-	return binary.BigEndian.Uint32(b)
+	return r.r.U32()
 }
 
 // u8 consumes one byte.
 func (r *wireReader) u8() byte {
-	b := r.take(1)
-	if r.err != nil {
-		return 0
-	}
-	return b[0]
+	return r.r.U8()
 }
 
 // bitmap consumes a packed bool array.
 func (r *wireReader) bitmap(bits *[NumCounters]bool) {
 	packed := r.take(NumCounters / 8)
-	if r.err != nil {
+	if packed == nil {
 		return
 	}
 	for i := range bits {
@@ -173,8 +137,8 @@ func (r *wireReader) bitmap(bits *[NumCounters]bool) {
 
 // done asserts the value was consumed exactly and returns the final error.
 func (r *wireReader) done() error {
-	if r.err == nil && len(r.data) != 0 {
-		r.err = fmt.Errorf("%w: %d trailing bytes", ErrDataFormat, len(r.data))
+	if err := r.r.Done(); err != nil {
+		return fmt.Errorf("%w: %v", ErrDataFormat, err)
 	}
-	return r.err
+	return nil
 }

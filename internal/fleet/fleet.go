@@ -36,6 +36,12 @@ var (
 	// one's data stays parked at the source ME and a later plan resumes
 	// it through its token.
 	ErrIdentityBusy = errors.New("fleet: destination held a same-identity migration; data remains parked at source")
+	// ErrNoReplicaTarget reports a drain/evacuate whose source hosts a
+	// counter replica but no eligible machine can take the role over
+	// (every target is a source, dead, or already hosts a replica).
+	// Draining anyway would shrink the replica group below 2f+1, so the
+	// plan is refused before any enclave moves.
+	ErrNoReplicaTarget = errors.New("fleet: no machine available to take over the source's counter-replica role")
 )
 
 // EventType classifies orchestrator progress events.
@@ -59,6 +65,10 @@ const (
 	// EventCanceled: the context was canceled before completion (the
 	// migration may never have started).
 	EventCanceled
+	// EventReplicaHandoff: a source machine's counter-replica role was
+	// handed to a target machine before the drain (Source/Dest name the
+	// machines; App is empty).
+	EventReplicaHandoff
 )
 
 // Event is one progress notification, emitted synchronously from worker
@@ -134,6 +144,9 @@ type Report struct {
 	// traffic).
 	WireBytes    int64
 	WireMessages int64
+	// ReplicaHandoffs counts counter-replica roles handed off source
+	// machines before their enclaves moved.
+	ReplicaHandoffs int
 	// Journal holds the per-migration entries behind the aggregates.
 	Journal *Journal
 }
@@ -335,6 +348,16 @@ func (o *Orchestrator) Run(ctx context.Context, plan Plan, assignments []Assignm
 		targets = defaultTargets(o.dc, isSource)
 	}
 
+	// A machine being drained must not take its rack's counter-replica
+	// share down with it: hand the role to a surviving target first, so
+	// the quorum stays at full strength while (and after) the enclaves
+	// move (the paper's evacuation story plus rollback protection that
+	// outlives the machine).
+	handoffs, err := o.handoffReplicas(plan, targets)
+	if err != nil {
+		return nil, err
+	}
+
 	journal := NewJournal()
 	var meterBytes, meterMessages int64
 	if o.cfg.Meter != nil {
@@ -376,6 +399,7 @@ func (o *Orchestrator) Run(ctx context.Context, plan Plan, assignments []Assignm
 		Wall:      wall,
 		Journal:   journal,
 	}
+	report.ReplicaHandoffs = handoffs
 	if wall > 0 {
 		report.Throughput = float64(report.Completed) / wall.Seconds()
 	}
@@ -393,6 +417,71 @@ func (o *Orchestrator) Run(ctx context.Context, plan Plan, assignments []Assignm
 		return report, ctx.Err()
 	}
 	return report, nil
+}
+
+// handoffReplicas moves the counter-replica role off every drain/
+// evacuate source that hosts one, onto the least-loaded eligible target
+// (alive, not itself a source, not already hosting a replica). Plans
+// whose sources host replicas but have no eligible takers are refused
+// with ErrNoReplicaTarget before any enclave moves.
+func (o *Orchestrator) handoffReplicas(plan Plan, targets []*cloud.Machine) (int, error) {
+	if plan.Intent != IntentDrain && plan.Intent != IntentEvacuate {
+		return 0, nil
+	}
+	sources, err := resolve(o.dc, plan.Sources)
+	if err != nil {
+		return 0, err
+	}
+	isSource := make(map[string]bool, len(sources))
+	for _, s := range sources {
+		isSource[s.ID()] = true
+	}
+	// Phase 1: match every replica-hosting source to a distinct eligible
+	// taker before touching anything. A handoff permanently rack-
+	// associates the taker, so a plan that cannot be completed must be
+	// refused before the first side effect — not midway through.
+	type move struct{ src, dst string }
+	var moves []move
+	claimed := make(map[string]bool)
+	for _, src := range sources {
+		if !src.HostsReplica() {
+			continue
+		}
+		srcGroup := src.Group()
+		var best *cloud.Machine
+		for _, t := range targets {
+			if isSource[t.ID()] || claimed[t.ID()] || t.HostsReplica() || !t.ME.Enclave().Alive() {
+				continue
+			}
+			// A machine already rack-associated with a different group
+			// cannot take this role (its counter facility is spoken for).
+			if tg := t.Group(); tg != nil && tg != srcGroup {
+				continue
+			}
+			if best == nil || t.AppCount() < best.AppCount() ||
+				(t.AppCount() == best.AppCount() && t.ID() < best.ID()) {
+				best = t
+			}
+		}
+		if best == nil {
+			return 0, fmt.Errorf("%w: replica on %s", ErrNoReplicaTarget, src.ID())
+		}
+		claimed[best.ID()] = true
+		moves = append(moves, move{src: src.ID(), dst: best.ID()})
+	}
+	// Phase 2: execute. A failure here (e.g. quorum unreachable) still
+	// leaves completed handoffs in place — they are reported through the
+	// emitted events and the error.
+	handoffs := 0
+	for _, mv := range moves {
+		if err := o.dc.HandoffReplica(mv.src, mv.dst); err != nil {
+			return handoffs, fmt.Errorf("hand off replica %s -> %s (%d of %d done): %w",
+				mv.src, mv.dst, handoffs, len(moves), err)
+		}
+		handoffs++
+		o.emit(Event{Type: EventReplicaHandoff, Source: mv.src, Dest: mv.dst})
+	}
+	return handoffs, nil
 }
 
 // migrateOne runs one migration end to end: freeze + transfer at the

@@ -1,0 +1,204 @@
+package fleet_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/fleet"
+	"repro/internal/sim"
+)
+
+func newReplDC(t *testing.T, ids ...string) *cloud.DataCenter {
+	t.Helper()
+	dc, err := cloud.NewDataCenter("repl-dc", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if _, err := dc.AddMachine(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dc
+}
+
+func TestJournalSnapshotRoundTrip(t *testing.T) {
+	j := fleet.NewJournal()
+	j.Record(fleet.Entry{
+		App: "app-007", Source: "m1", PlannedDest: "m2", Dest: "m3",
+		Attempts: 3, Redirects: 1, StateBytes: 1381,
+		Latency: 42 * time.Millisecond, SourceFrozen: true, DoneConfirmed: true,
+		Status: fleet.StatusCompleted,
+	})
+	j.Record(fleet.Entry{
+		App: "app-008", Source: "m1", PlannedDest: "m2", Dest: "m2",
+		Attempts: 4, Status: fleet.StatusFailed, SourceFrozen: true,
+		Err: "fleet: delivery attempts exhausted",
+	})
+	j.Record(fleet.Entry{App: "app-009", Source: "m1", PlannedDest: "m2", Status: fleet.StatusCanceled})
+
+	raw, err := j.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := fleet.DecodeJournal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := j.Entries(), j2.Entries()
+	if len(a) != len(b) {
+		t.Fatalf("entry count: %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d mismatch:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+	// Stale or foreign bytes are rejected cleanly.
+	if _, err := fleet.DecodeJournal(raw[:len(raw)-1]); !errors.Is(err, fleet.ErrJournalFormat) {
+		t.Fatalf("truncated snapshot: err = %v", err)
+	}
+	raw[0] = 0xA1
+	if _, err := fleet.DecodeJournal(raw); !errors.Is(err, fleet.ErrJournalFormat) {
+		t.Fatalf("wrong tag: err = %v", err)
+	}
+}
+
+// TestJournalSnapshotResume is the orchestrator-resilience scenario the
+// snapshot codec exists for: a drain fails (its only target is dead),
+// the journal is persisted, the orchestrator is thrown away, and a new
+// one — knowing nothing but the decoded snapshot — finishes exactly the
+// recorded failures through the parked-migration tokens.
+func TestJournalSnapshotResume(t *testing.T) {
+	dc := newReplDC(t, "A", "B", "C")
+	states := launchApps(t, mustMachine(t, dc, "A"), 8)
+	mustMachine(t, dc, "C").Kill()
+
+	orch := fleet.New(dc, fleet.Config{Workers: 4, MaxAttempts: 2, RetryBackoff: time.Millisecond})
+	report, err := orch.Execute(context.Background(),
+		fleet.Plan{Intent: fleet.IntentDrain, Sources: []string{"A"}, Targets: []string{"C"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 8 || report.Completed != 0 {
+		t.Fatalf("setup drain: %d failed, %d completed", report.Failed, report.Completed)
+	}
+
+	// Persist the journal; the first orchestrator is gone after this.
+	raw, err := report.Journal.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := fleet.DecodeJournal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := snapshot.ByStatus(fleet.StatusFailed)
+	if len(failed) != 8 {
+		t.Fatalf("snapshot records %d failures", len(failed))
+	}
+
+	// Resume: re-plan the recorded failures onto a live machine. The
+	// compiled drain picks up the frozen apps; the snapshot tells the new
+	// orchestrator which ones are unfinished business.
+	resume := fleet.Plan{Intent: fleet.IntentDrain, Sources: []string{"A"}, Targets: []string{"B"}}
+	assignments, err := resume.Compile(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfinished := make(map[string]bool, len(failed))
+	for _, e := range failed {
+		unfinished[e.App] = true
+	}
+	var todo []fleet.Assignment
+	for _, as := range assignments {
+		if unfinished[as.App.Image().Name] {
+			todo = append(todo, as)
+		}
+	}
+	if len(todo) != 8 {
+		t.Fatalf("resume plan covers %d of 8 failures", len(todo))
+	}
+	orch2 := fleet.New(dc, fleet.Config{Workers: 4})
+	report2, err := orch2.Run(context.Background(), resume, todo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report2.Completed != 8 {
+		t.Fatalf("resumed drain completed %d of 8: %s", report2.Completed, report2)
+	}
+	verifySurvival(t, states, []*cloud.Machine{mustMachine(t, dc, "B")})
+}
+
+// TestEvacuateHandsOffReplicaRole drains a machine that hosts a counter
+// replica: the role must move to a target before the enclaves do, the
+// group must stay at full strength, and the replicated counters must
+// keep working across the evacuation — including after the drained
+// machine is killed for maintenance.
+func TestEvacuateHandsOffReplicaRole(t *testing.T) {
+	dc := newReplDC(t, "A", "B", "C", "D", "E")
+	group, err := dc.NewReplicaGroup("rack-1", 1, "A", "B", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustMachine(t, dc, "A")
+	states := launchApps(t, a, 6)
+
+	var mu sync.Mutex
+	var handoffEvents []fleet.Event
+	orch := fleet.New(dc, fleet.Config{Workers: 4, OnEvent: func(e fleet.Event) {
+		if e.Type == fleet.EventReplicaHandoff {
+			mu.Lock()
+			handoffEvents = append(handoffEvents, e)
+			mu.Unlock()
+		}
+	}})
+	report, err := orch.Execute(context.Background(), fleet.Evacuate([]string{"A"}, []string{"D", "E"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 6 || report.Failed != 0 {
+		t.Fatalf("evacuate: %s", report)
+	}
+	if report.ReplicaHandoffs != 1 {
+		t.Fatalf("replica handoffs = %d, want 1", report.ReplicaHandoffs)
+	}
+	if len(handoffEvents) != 1 || handoffEvents[0].Source != "A" {
+		t.Fatalf("handoff events = %+v", handoffEvents)
+	}
+	if a.HostsReplica() {
+		t.Fatal("drained machine still hosts its replica")
+	}
+	newHost := handoffEvents[0].Dest
+	m, _ := dc.Machine(newHost)
+	if m == nil || !m.HostsReplica() {
+		t.Fatalf("replica role did not land on %s", newHost)
+	}
+	members := group.Members()
+	if len(members) != 3 {
+		t.Fatalf("group size after handoff = %d", len(members))
+	}
+
+	// The drained machine can now be pulled entirely; quorum-backed
+	// counters keep serving the evacuated apps.
+	a.Kill()
+	verifySurvival(t, states, []*cloud.Machine{mustMachine(t, dc, "D"), mustMachine(t, dc, "E")})
+
+	// A plan with no eligible taker is refused before anything moves.
+	if _, err := orch.Execute(context.Background(), fleet.Evacuate([]string{"B"}, []string{newHost})); !errors.Is(err, fleet.ErrNoReplicaTarget) {
+		t.Fatalf("evacuate without replica taker: err = %v", err)
+	}
+}
+
+func mustMachine(t *testing.T, dc *cloud.DataCenter, id string) *cloud.Machine {
+	t.Helper()
+	m, ok := dc.Machine(id)
+	if !ok {
+		t.Fatalf("machine %s missing", id)
+	}
+	return m
+}

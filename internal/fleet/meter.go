@@ -30,6 +30,11 @@ func (m *Meter) Register(addr transport.Address, h transport.Handler) error {
 	return m.inner.Register(addr, h)
 }
 
+// Unregister delegates to the wrapped Messenger.
+func (m *Meter) Unregister(addr transport.Address) {
+	m.inner.Unregister(addr)
+}
+
 // Send delegates to the wrapped Messenger, counting payload and reply.
 func (m *Meter) Send(from, to transport.Address, kind string, payload []byte) ([]byte, error) {
 	m.messages.Add(1)

@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/wirec"
+)
+
+// Journal snapshot wire format: the tagged, versioned binary codec
+// (internal/core/wire.go conventions, shared wirec primitives) for
+// persisting a journal outside the orchestrator's memory. This is the
+// first step of the ROADMAP "orchestrator resilience" item: a crashed or
+// restarted orchestrator can reload the snapshot, see which migrations
+// completed and which are parked at source Migration Enclaves, and
+// resume the unfinished ones (their libraries' tokens survive at the
+// MEs; see TestJournalSnapshotResume).
+
+// ErrJournalFormat reports malformed journal snapshot bytes.
+var ErrJournalFormat = errors.New("fleet: malformed journal snapshot")
+
+// Wire type tag (0xD* block: fleet).
+const tagJournal byte = 0xD1
+
+// journalWireVersion is bumped on any snapshot layout change so stale
+// snapshots are rejected cleanly instead of misparsed.
+const journalWireVersion byte = 1
+
+// maxJournalEntries bounds a decoded snapshot against length-prefix
+// bombs; a million entries is far beyond any single plan.
+const maxJournalEntries = 1 << 20
+
+// Entry status flags byte.
+const (
+	flagSourceFrozen  byte = 1 << 0
+	flagDoneConfirmed byte = 1 << 1
+)
+
+// Encode serializes the journal for untrusted storage.
+func (j *Journal) Encode() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := wirec.AppendHeader(make([]byte, 0, 2+4+len(j.entries)*64), tagJournal, journalWireVersion)
+	out = wirec.AppendU32(out, uint32(len(j.entries)))
+	for i := range j.entries {
+		e := &j.entries[i]
+		out = wirec.AppendString(out, e.App)
+		out = wirec.AppendString(out, e.Source)
+		out = wirec.AppendString(out, e.PlannedDest)
+		out = wirec.AppendString(out, e.Dest)
+		out = wirec.AppendU32(out, uint32(e.Attempts))
+		out = wirec.AppendU32(out, uint32(e.Redirects))
+		out = wirec.AppendU32(out, uint32(e.StateBytes))
+		out = wirec.AppendU64(out, uint64(e.Latency))
+		var flags byte
+		if e.SourceFrozen {
+			flags |= flagSourceFrozen
+		}
+		if e.DoneConfirmed {
+			flags |= flagDoneConfirmed
+		}
+		out = append(out, flags, byte(e.Status))
+		out = wirec.AppendString(out, e.Err)
+	}
+	return out, nil
+}
+
+// DecodeJournal parses a journal snapshot.
+func DecodeJournal(raw []byte) (*Journal, error) {
+	rd := wirec.NewReader(raw)
+	if !rd.Header(tagJournal, journalWireVersion) {
+		return nil, fmt.Errorf("%w: %v", ErrJournalFormat, rd.Err())
+	}
+	n := rd.U32()
+	if n > maxJournalEntries {
+		return nil, fmt.Errorf("%w: snapshot claims %d entries", ErrJournalFormat, n)
+	}
+	j := NewJournal()
+	if rd.Err() == nil && n > 0 {
+		// An entry is at least five length prefixes, three u32s, one u64,
+		// and two flag bytes; the bytes come from untrusted storage.
+		const minEntrySize = 5*4 + 3*4 + 8 + 2
+		if !rd.CanHold(n, minEntrySize) {
+			return nil, fmt.Errorf("%w: snapshot claims %d entries in %d bytes", ErrJournalFormat, n, rd.Remaining())
+		}
+		j.entries = make([]Entry, 0, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var e Entry
+		e.App = rd.String()
+		e.Source = rd.String()
+		e.PlannedDest = rd.String()
+		e.Dest = rd.String()
+		e.Attempts = int(rd.U32())
+		e.Redirects = int(rd.U32())
+		e.StateBytes = int(rd.U32())
+		e.Latency = time.Duration(rd.U64())
+		flags := rd.U8()
+		e.SourceFrozen = flags&flagSourceFrozen != 0
+		e.DoneConfirmed = flags&flagDoneConfirmed != 0
+		e.Status = Status(rd.U8())
+		e.Err = rd.String()
+		if rd.Err() != nil {
+			break
+		}
+		if e.Status < StatusCompleted || e.Status > StatusCanceled {
+			return nil, fmt.Errorf("%w: unknown status %d", ErrJournalFormat, e.Status)
+		}
+		if e.Latency < 0 || flags&^(flagSourceFrozen|flagDoneConfirmed) != 0 {
+			return nil, fmt.Errorf("%w: invalid entry encoding", ErrJournalFormat)
+		}
+		j.entries = append(j.entries, e)
+	}
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrJournalFormat, err)
+	}
+	return j, nil
+}
+
+// ByStatus returns copies of the entries with the given status (e.g. the
+// failed migrations a resumed orchestrator needs to finish).
+func (j *Journal) ByStatus(st Status) []Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Entry
+	for _, e := range j.entries {
+		if e.Status == st {
+			out = append(out, e)
+		}
+	}
+	return out
+}

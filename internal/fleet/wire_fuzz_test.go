@@ -1,0 +1,43 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// Fuzz harness for the journal snapshot decoder (same invariant as the
+// internal/core codec harnesses: error or a consistent value, never a
+// panic). Seed corpora live in testdata/fuzz/FuzzDecodeJournal/.
+
+func FuzzDecodeJournal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xD1})
+	f.Add([]byte{0xD1, 0x01})
+	f.Add([]byte{0xD1, 0x01, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	j := NewJournal()
+	j.Record(Entry{
+		App: "app-1", Source: "m1", PlannedDest: "m2", Dest: "m3",
+		Attempts: 2, Redirects: 1, StateBytes: 1381,
+		Latency: 17 * time.Millisecond, SourceFrozen: true, DoneConfirmed: true,
+		Status: StatusCompleted,
+	})
+	j.Record(Entry{App: "app-2", Source: "m1", PlannedDest: "m2", Status: StatusFailed, Err: "boom"})
+	if raw, err := j.Encode(); err == nil {
+		f.Add(raw)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		j, err := DecodeJournal(raw)
+		if err != nil {
+			return
+		}
+		re, err := j.Encode()
+		if err != nil {
+			t.Fatalf("decoded journal does not re-encode: %v", err)
+		}
+		if !bytes.Equal(raw, re) {
+			t.Fatal("canonical re-encoding differs from accepted input")
+		}
+	})
+}

@@ -1,0 +1,823 @@
+// Package pserepl replicates the Platform Services monotonic-counter
+// facility across machines, turning the per-machine pse.Service singleton
+// into a datacenter-grade primitive that survives machine failure
+// (TrInc-style distributed trusted counters; ROADMAP "Counter-service
+// replication").
+//
+// A Group fronts 2f+1 Replicas hosted on distinct machines. Mutations
+// (Create, Increment, IncrementN, DestroyAndRead) commit when a majority
+// (f+1) of replicas ack; Read returns the maximum value reported by a
+// majority, then read-repairs stragglers up to it. Because any two
+// majorities intersect, the maximum over a read quorum always includes
+// the latest committed increment, and the repair keeps any value a read
+// has returned — including one left by a partial, quorum-failed
+// increment — visible to every later majority: counter values never
+// regress while at most f replicas are down, the rollback protection the
+// migration protocol needs, now minus the single-machine single point of
+// failure.
+//
+// Replication messages ride the repository's tagged binary wire codec
+// over transport.Messenger, so every hop is charged through sim.Latency
+// (one network RTT plus the replica-side apply and firmware costs per
+// replica) and the latency price of replication is measurable — see
+// bench.ReplicationSweep.
+//
+// Recovery: a replica that rejoins after a machine restart refuses to
+// serve until Group.Reseed replays the quorum's per-counter maxima onto
+// it as forward-only deltas; a machine being drained hands its replica
+// role to a fresh machine through Group.Handoff the same way. Neither
+// path can ever lower a counter value.
+package pserepl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pse"
+	"repro/internal/sgx"
+	"repro/internal/transport"
+	"repro/internal/xcrypto"
+)
+
+// Group coordination errors.
+var (
+	// ErrNoQuorum reports an operation that could not gather a majority of
+	// replica votes: the counter state is unavailable (not lost) until
+	// enough replicas come back.
+	ErrNoQuorum = errors.New("pserepl: no quorum of replica acks")
+	// ErrBadReplication reports an invalid group configuration.
+	ErrBadReplication = errors.New("pserepl: invalid replication configuration")
+	// ErrUnknownReplica reports a reseed or handoff naming a non-member.
+	ErrUnknownReplica = errors.New("pserepl: unknown replica")
+	// ErrWireFormat reports malformed replication wire bytes.
+	ErrWireFormat = errors.New("pserepl: malformed replication message")
+)
+
+// Group is the coordinator for one replicated counter group (one rack's
+// quorum). It implements the same counter facility interface as
+// *pse.Service (core.CounterService), so the Migration Library works
+// against it unchanged. All methods are safe for concurrent use.
+//
+// The coordinator itself is untrusted host software, like the cloud
+// management plane: correctness does not depend on it. Each replica
+// enforces the UUID nonce capability and the owner identity itself, and
+// monotonicity comes from the replicas' firmware counters plus quorum
+// intersection, not from coordinator bookkeeping.
+type Group struct {
+	name   string
+	f      int
+	msgr   transport.Messenger
+	addr   transport.Address // From address on replication messages
+	nextID atomic.Uint64
+
+	// sealer holds the group key every replication message is
+	// AEAD-sealed under. The key is installed on each replica in-process
+	// when it joins (the provisioning phase), so the untrusted network
+	// carries only sealed bytes: no forged ops or reseeds, no forged
+	// votes, and no UUID nonce capabilities in the clear.
+	sealer *xcrypto.Sealer
+
+	// memMu guards membership and is held (read) across every quorum
+	// broadcast, so reconfiguration (Reseed, Handoff) serializes against
+	// in-flight commits: a snapshot taken under the write lock reflects
+	// every committed operation.
+	memMu   sync.RWMutex
+	members map[string]transport.Address
+
+	// ownerMu guards the counter budget. Every replica backs group
+	// counters with local hardware counters created under its single
+	// agent identity, so the whole group shares one facility's budget
+	// (pse.MaxCounters) across all owners — total tracks it, and
+	// perOwner mirrors pse.Service's per-identity accounting within it.
+	ownerMu  sync.Mutex
+	total    int
+	perOwner map[sgx.Measurement]int
+
+	// destroyMu serializes destroys group-wide (they are rare: one per
+	// counter lifetime, driven by migration freezes). The coordinator is
+	// the serialization point the firmware singleton provided for free:
+	// without it, two concurrent destroys of one counter could split the
+	// OK votes so that both reach a quorum of ok+gone acks — and a
+	// forked enclave's freeze would succeed alongside the original's.
+	destroyMu sync.Mutex
+
+	// incrMu stripes serialize increments per counter, again standing in
+	// for the firmware's serial rate-limited transactions: without it,
+	// two concurrent increments could each take the maximum over their
+	// own ack sets and return the same value, losing the unique-result
+	// property TrInc-style attestation builds on.
+	incrMu [16]sync.Mutex
+
+	// recoverMu guards the two failure ledgers below.
+	recoverMu sync.Mutex
+	// destroyFinals remembers, per counter, the highest final value any
+	// replica acked during a destroy whose quorum was NOT reached: that
+	// replica dropped the counter (its value is gone from the fleet), so
+	// a later retry folds the remembered value into its result — the
+	// capture can never report less than an acked increment (R4), even
+	// when the retry's only OK votes come from stragglers. Entries are
+	// dropped when the destroy completes.
+	destroyFinals map[uint32]uint32
+	// aborted records IDs of creates that failed their quorum: their
+	// best-effort rollback may itself have missed a minority replica,
+	// and without a tombstone that ghost entry would re-propagate
+	// through snapshots. Treating aborted IDs as tombstones in every
+	// snapshot merge cleans the ghosts up at the next reseed instead.
+	aborted map[uint32]struct{}
+}
+
+// NewGroup assembles a replicated counter group from exactly 2f+1
+// replicas (f >= 0) and seeds each of them empty, marking them serving.
+func NewGroup(name string, f int, msgr transport.Messenger, replicas ...*Replica) (*Group, error) {
+	if f < 0 {
+		return nil, fmt.Errorf("%w: negative replication factor", ErrBadReplication)
+	}
+	if len(replicas) != 2*f+1 {
+		return nil, fmt.Errorf("%w: f=%d needs %d replicas, got %d", ErrBadReplication, f, 2*f+1, len(replicas))
+	}
+	key, err := xcrypto.RandomBytes(32)
+	if err != nil {
+		return nil, fmt.Errorf("group key: %w", err)
+	}
+	sealer, err := xcrypto.NewSealer(key)
+	if err != nil {
+		return nil, fmt.Errorf("group sealer: %w", err)
+	}
+	g := &Group{
+		name:          name,
+		f:             f,
+		msgr:          msgr,
+		addr:          transport.Address("ctr-group/" + name),
+		sealer:        sealer,
+		members:       make(map[string]transport.Address, len(replicas)),
+		perOwner:      make(map[sgx.Measurement]int),
+		destroyFinals: make(map[uint32]uint32),
+		aborted:       make(map[uint32]struct{}),
+	}
+	seen := make(map[string]bool, len(replicas))
+	for _, r := range replicas {
+		if seen[r.ID()] {
+			return nil, fmt.Errorf("%w: duplicate replica %q", ErrBadReplication, r.ID())
+		}
+		seen[r.ID()] = true
+	}
+	for _, r := range replicas {
+		r.join(g.sealer)
+		if err := g.seedReplica(r.Address(), r.ID(), &syncMessage{}); err != nil {
+			return nil, fmt.Errorf("seed replica %s: %w", r.ID(), err)
+		}
+		g.members[r.ID()] = r.Address()
+	}
+	return g, nil
+}
+
+// sendSealed performs one sealed request/response exchange with a single
+// replica and returns the opened reply bytes.
+func (g *Group) sendSealed(to transport.Address, id, kind string, payload []byte) ([]byte, error) {
+	sealed, err := g.sealer.Seal(payload, aadReq(kind, id))
+	if err != nil {
+		return nil, err
+	}
+	reply, err := g.msgr.Send(g.addr, to, kind, sealed)
+	if err != nil {
+		return nil, err
+	}
+	return g.sealer.Open(reply, aadRep(kind, id))
+}
+
+// seedReplica fetches the target's freshness challenge and sends it the
+// snapshot as a challenge-bound reseed. Both exchanges are nonce-echoed,
+// so neither the challenge reply nor the reseed ack can be satisfied
+// from recorded traffic.
+func (g *Group) seedReplica(to transport.Address, id string, snap *syncMessage) error {
+	nonce, err := newNonce()
+	if err != nil {
+		return err
+	}
+	raw, err := g.sendSealed(to, id, kindOp, (&opMessage{Op: opChallenge, Nonce: nonce}).encode())
+	if err != nil {
+		return err
+	}
+	ch, err := decodeSyncMessage(raw)
+	if err != nil {
+		return err
+	}
+	if ch.Nonce != nonce {
+		return fmt.Errorf("%w: stale challenge reply", ErrBadAuth)
+	}
+	snap.Challenge = ch.Challenge
+	if snap.Nonce, err = newNonce(); err != nil {
+		return err
+	}
+	raw, err = g.sendSealed(to, id, kindReseed, snap.encode())
+	if err != nil {
+		return err
+	}
+	rep, err := decodeOpReply(raw)
+	if err != nil {
+		return err
+	}
+	if rep.Nonce != snap.Nonce {
+		return fmt.Errorf("%w: stale reseed ack", ErrBadAuth)
+	}
+	if rep.Status != statusOK {
+		return fmt.Errorf("%w: reseed refused with status %d", ErrBadReplication, rep.Status)
+	}
+	return nil
+}
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// F returns the replication factor (the group tolerates f failures).
+func (g *Group) F() int { return g.f }
+
+// Quorum returns the majority size, f+1.
+func (g *Group) Quorum() int { return g.f + 1 }
+
+// Members returns the member replica IDs, sorted.
+func (g *Group) Members() []string {
+	g.memMu.RLock()
+	defer g.memMu.RUnlock()
+	ids := make([]string, 0, len(g.members))
+	for id := range g.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// vote is one replica's answer to a broadcast.
+type vote struct {
+	id    string
+	reply *opReply
+	snap  *syncMessage
+	err   error
+}
+
+// newNonce draws a per-request freshness value.
+func newNonce() (uint64, error) {
+	b, err := xcrypto.RandomBytes(8)
+	if err != nil {
+		return 0, fmt.Errorf("request nonce: %w", err)
+	}
+	var n uint64
+	for _, c := range b {
+		n = n<<8 | uint64(c)
+	}
+	return n, nil
+}
+
+// broadcastLocked seals one message under the group key — separately per
+// replica, the AAD binding each copy to its addressee — fans it out in
+// parallel, and collects the authenticated, decoded answers. A vote that
+// fails authentication or does not echo the request nonce is as dead as
+// an unreachable replica: it never counts toward a quorum, so recorded
+// votes from earlier requests (or another replica's vote for this one)
+// cannot fake an ack. Callers hold memMu (read for ops, write for
+// reconfiguration).
+func (g *Group) broadcastLocked(members map[string]transport.Address, kind string, payload []byte, nonce uint64, wantSnap bool) ([]vote, error) {
+	votes := make([]vote, 0, len(members))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for id, addr := range members {
+		sealed, err := g.sealer.Seal(payload, aadReq(kind, id))
+		if err != nil {
+			return nil, fmt.Errorf("seal %s broadcast for %s: %w", kind, id, err)
+		}
+		wg.Add(1)
+		go func(id string, addr transport.Address, sealed []byte) {
+			defer wg.Done()
+			v := vote{id: id}
+			raw, err := g.msgr.Send(g.addr, addr, kind, sealed)
+			if err == nil {
+				raw, err = g.sealer.Open(raw, aadRep(kind, id))
+			}
+			if err != nil {
+				v.err = err
+			} else if wantSnap {
+				v.snap, v.err = decodeSyncMessage(raw)
+				if v.err == nil && v.snap.Nonce != nonce {
+					v.snap, v.err = nil, fmt.Errorf("%w: stale snapshot reply", ErrBadAuth)
+				}
+			} else {
+				v.reply, v.err = decodeOpReply(raw)
+				if v.err == nil && v.reply.Nonce != nonce {
+					v.reply, v.err = nil, fmt.Errorf("%w: stale vote", ErrBadAuth)
+				}
+			}
+			mu.Lock()
+			votes = append(votes, v)
+			mu.Unlock()
+		}(id, addr, sealed)
+	}
+	wg.Wait()
+	return votes, nil
+}
+
+// tally reduces op votes to quorum semantics: success when a majority
+// acked (value = max over acks, covering stragglers that missed earlier
+// increments), the replicas' common refusal when a majority responded
+// without acking, ErrNoQuorum when too few responded at all.
+//
+// goneIsAck lets a destroy retry complete: a replica that already
+// dropped the counter in an earlier partial attempt votes statusGone,
+// which counts toward the quorum — but only alongside at least one
+// statusOK vote from a replica that performed the destroy now. With no
+// OK vote at all the counter is simply gone (destroyed earlier), and the
+// operation reports ErrCounterNotFound exactly like pse.Service would —
+// a second freeze of a forked enclave must fail, not succeed with a
+// zero capture.
+func (g *Group) tally(votes []vote, goneIsAck bool) (uint32, error) {
+	oks, gones, responses := 0, 0, 0
+	var maxV uint32
+	badCount := make(map[byte]int)
+	for _, v := range votes {
+		if v.err != nil || v.reply == nil {
+			continue
+		}
+		responses++
+		st := v.reply.Status
+		if st == statusOK {
+			oks++
+			if v.reply.Value > maxV {
+				maxV = v.reply.Value
+			}
+			continue
+		}
+		if goneIsAck && st == statusGone {
+			gones++
+			continue
+		}
+		badCount[st]++
+	}
+	if oks >= 1 && oks+gones >= g.Quorum() {
+		return maxV, nil
+	}
+	if responses >= g.Quorum() && oks == 0 {
+		// A majority answered and not one replica acked: the refusal is
+		// authoritative (e.g. every responder reports the counter
+		// destroyed). Report the dominant reason. All-Gone lands here
+		// too (gones were not counted as refusals in badCount, so fold
+		// them back in).
+		badCount[statusGone] += gones
+		worst, n := byte(0), 0
+		for st, c := range badCount {
+			if c > n || (c == n && st > worst) {
+				worst, n = st, c
+			}
+		}
+		return 0, statusErr(worst)
+	}
+	// Mixed votes (some acks, but not a quorum): never promote a
+	// minority's refusal to an authoritative answer — a straggler that
+	// missed a committed create votes not-found for a perfectly live
+	// counter. Fail safe as unavailable instead.
+	return 0, fmt.Errorf("%w: %d acks among %d responses from %d replicas, need %d",
+		ErrNoQuorum, oks+gones, responses, len(votes), g.Quorum())
+}
+
+// statusErr maps a replica refusal onto the pse error a single-machine
+// counter service would return.
+func statusErr(st byte) error {
+	switch st {
+	case statusNotFound, statusGone:
+		return pse.ErrCounterNotFound
+	case statusNotOwner:
+		return pse.ErrNotOwner
+	case statusOverflow:
+		return pse.ErrCounterOverflow
+	case statusLimit:
+		return pse.ErrCounterLimit
+	default:
+		return fmt.Errorf("%w: unrecognized replica refusal %d", ErrNoQuorum, st)
+	}
+}
+
+// quorumOp stamps one operation with a fresh nonce, broadcasts it, and
+// applies the quorum tally. A replayed request at a replica can at most
+// over-advance a counter (like a firmware retry after a lost ack) —
+// never regress one — so requests need no dedup state replica-side; the
+// nonce's job is making the votes unforgeable.
+func (g *Group) quorumOp(m *opMessage, goneIsAck bool) (uint32, error) {
+	nonce, err := newNonce()
+	if err != nil {
+		return 0, err
+	}
+	m.Nonce = nonce
+	g.memMu.RLock()
+	defer g.memMu.RUnlock()
+	votes, err := g.broadcastLocked(g.members, kindOp, m.encode(), nonce, false)
+	if err != nil {
+		return 0, err
+	}
+	return g.tally(votes, goneIsAck)
+}
+
+// Create allocates a fresh replicated monotonic counter for the calling
+// enclave with initial value 0, committing it on a majority of replicas.
+func (g *Group) Create(e *sgx.Enclave) (pse.UUID, uint32, error) {
+	if err := e.ECall(); err != nil {
+		return pse.UUID{}, 0, err
+	}
+	owner := e.MREnclave()
+	g.ownerMu.Lock()
+	// The group's capacity is one facility's worth of counters shared by
+	// the whole rack (every replica backs them under its single agent
+	// identity), so the total is bounded like the per-owner budget.
+	if g.total >= pse.MaxCounters || g.perOwner[owner] >= pse.MaxCounters {
+		g.ownerMu.Unlock()
+		return pse.UUID{}, 0, pse.ErrCounterLimit
+	}
+	g.total++
+	g.perOwner[owner]++
+	g.ownerMu.Unlock()
+	release := func() {
+		g.ownerMu.Lock()
+		g.total--
+		g.perOwner[owner]--
+		if g.perOwner[owner] == 0 {
+			delete(g.perOwner, owner)
+		}
+		g.ownerMu.Unlock()
+	}
+
+	id := g.nextID.Add(1)
+	if id > uint64(^uint32(0)) {
+		release()
+		return pse.UUID{}, 0, pse.ErrIDsExhausted
+	}
+	nonce, err := xcrypto.RandomBytes(16)
+	if err != nil {
+		release()
+		return pse.UUID{}, 0, fmt.Errorf("counter nonce: %w", err)
+	}
+	m := &opMessage{Op: opCreate, Owner: owner}
+	m.UUID.ID = uint32(id)
+	copy(m.UUID.Nonce[:], nonce)
+
+	if _, err := g.quorumOp(m, false); err != nil {
+		// Partial creates on a minority are rolled back best-effort, and
+		// the ID is recorded as aborted: snapshot merges treat it as a
+		// tombstone, so a ghost entry the rollback missed is destroyed by
+		// the holding replica's next reseed instead of propagating.
+		m.Op = opDestroyRead
+		_, _ = g.quorumOp(m, true)
+		g.recoverMu.Lock()
+		g.aborted[m.UUID.ID] = struct{}{}
+		g.recoverMu.Unlock()
+		release()
+		return pse.UUID{}, 0, fmt.Errorf("replicated create: %w", err)
+	}
+	return m.UUID, 0, nil
+}
+
+// Increment adds one to the counter, committing on a majority, and
+// returns the new value.
+func (g *Group) Increment(e *sgx.Enclave, uuid pse.UUID) (uint32, error) {
+	return g.IncrementN(e, uuid, 1)
+}
+
+// IncrementN adds n to the counter in one replicated transaction,
+// committing on a majority, and returns the new value. Increments on one
+// counter are coordinator-serialized (unique results, like the serial
+// firmware), and the returned value is confirmed durable: at least a
+// majority of replicas holds it before the call returns, so no single
+// (≤f) failure can make a returned value unobservable again.
+func (g *Group) IncrementN(e *sgx.Enclave, uuid pse.UUID, n int) (uint32, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("%w: %d", pse.ErrBadIncrement, n)
+	}
+	if uint64(n) > uint64(^uint32(0)) {
+		return 0, pse.ErrCounterOverflow
+	}
+	if err := e.ECall(); err != nil {
+		return 0, err
+	}
+	mu := &g.incrMu[uuid.ID%uint32(len(g.incrMu))]
+	mu.Lock()
+	defer mu.Unlock()
+	return g.commitOp(&opMessage{Op: opIncrement, UUID: uuid, Owner: e.MREnclave(), N: uint32(n)})
+}
+
+// Read returns the counter value: the maximum a majority of replicas
+// reports, which by quorum intersection includes every committed
+// increment. Before returning, stragglers among the ack set are
+// read-repaired up to the returned value, so a value once observed —
+// including one applied by a partial, quorum-failed increment — stays
+// observable by every later majority: reads are monotonic, not just
+// never below the committed value.
+func (g *Group) Read(e *sgx.Enclave, uuid pse.UUID) (uint32, error) {
+	if err := e.ECall(); err != nil {
+		return 0, err
+	}
+	return g.commitOp(&opMessage{Op: opRead, UUID: uuid, Owner: e.MREnclave()})
+}
+
+// Inspect is the operator/monitoring read: it returns the quorum value
+// of a counter given its full UUID (the nonce capability) and owner
+// identity, without requiring the owning enclave to be alive — how an
+// operator verifies that a counter survived its machine.
+func (g *Group) Inspect(owner sgx.Measurement, uuid pse.UUID) (uint32, error) {
+	return g.commitOp(&opMessage{Op: opRead, UUID: uuid, Owner: owner})
+}
+
+// commitOp is the shared commit sequence of reads and increments: stamp
+// a fresh nonce, broadcast, tally, and confirm the result durable on a
+// majority (repairing stragglers) before returning it.
+func (g *Group) commitOp(m *opMessage) (uint32, error) {
+	nonce, err := newNonce()
+	if err != nil {
+		return 0, err
+	}
+	m.Nonce = nonce
+	g.memMu.RLock()
+	votes, err := g.broadcastLocked(g.members, kindOp, m.encode(), nonce, false)
+	g.memMu.RUnlock()
+	if err != nil {
+		return 0, err
+	}
+	v, err := g.tally(votes, false)
+	if err != nil {
+		return 0, err
+	}
+	if err := g.confirmDurable(m, votes, v); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// confirmDurable makes the value an operation is about to return
+// majority-durable: ack-set members that reported below v are advanced
+// up to it (forward-only read-repair), and unless at least a quorum of
+// replicas then holds v, the operation reports ErrNoQuorum instead of
+// returning a value a single ≤f failure could make unobservable. The
+// common case — all ackers already agree on v — confirms without any
+// extra round trip.
+func (g *Group) confirmDurable(m *opMessage, votes []vote, v uint32) error {
+	confirmed := 0
+	var lagging []string
+	for _, vt := range votes {
+		if vt.err != nil || vt.reply == nil {
+			continue
+		}
+		switch {
+		case vt.reply.Status == statusOK && vt.reply.Value >= v:
+			confirmed++
+		case vt.reply.Status == statusOK:
+			lagging = append(lagging, vt.id)
+		case vt.reply.Status == statusNotFound:
+			// The replica missed the committed create entirely; the
+			// repair installs the slot (opAdvance carries the full
+			// capability), so the group heals back to full replication
+			// instead of silently running one replica short.
+			lagging = append(lagging, vt.id)
+		}
+	}
+	if confirmed >= g.Quorum() && len(lagging) == 0 {
+		return nil
+	}
+	adv := &opMessage{Op: opAdvance, UUID: m.UUID, Owner: m.Owner, N: v}
+	nonce, err := newNonce()
+	if err != nil {
+		return err
+	}
+	adv.Nonce = nonce
+	g.memMu.RLock()
+	subset := make(map[string]transport.Address, len(lagging))
+	for _, id := range lagging {
+		if addr, ok := g.members[id]; ok {
+			subset[id] = addr
+		}
+	}
+	repairs, err := g.broadcastLocked(subset, kindOp, adv.encode(), nonce, false)
+	g.memMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	for _, vt := range repairs {
+		if vt.err == nil && vt.reply != nil && vt.reply.Status == statusOK && vt.reply.Value >= v {
+			confirmed++
+		}
+	}
+	if confirmed < g.Quorum() {
+		return fmt.Errorf("%w: value %d confirmed on %d replicas, need %d",
+			ErrNoQuorum, v, confirmed, g.Quorum())
+	}
+	return nil
+}
+
+// (Latency note: quorum broadcasts currently wait for every replica's
+// answer; with the TCP send deadline a hung peer bounds, not blocks,
+// an operation. Returning as soon as the tally is decidable is the
+// ROADMAP follow-on.)
+
+// Destroy permanently removes a replicated counter.
+func (g *Group) Destroy(e *sgx.Enclave, uuid pse.UUID) error {
+	_, err := g.DestroyAndRead(e, uuid)
+	return err
+}
+
+// DestroyAndRead destroys the counter on a majority of replicas and
+// returns the maximum final value reported. Like the firmware
+// primitive, the destroy is sticky: once a majority has dropped the
+// counter, no operation on its UUID can ever succeed again, and a
+// minority replica that still holds it is cleaned up on its next reseed.
+//
+// A destroy that fails its quorum may still have dropped the counter on
+// the replicas that acked — and their finals may be the only copies of
+// the latest committed increments. Those finals are remembered and
+// folded into the retry's result, so the capture a migration freeze
+// records never regresses below an acknowledged increment (R4) even
+// when the retry's own acks come from stragglers.
+func (g *Group) DestroyAndRead(e *sgx.Enclave, uuid pse.UUID) (uint32, error) {
+	if err := e.ECall(); err != nil {
+		return 0, err
+	}
+	owner := e.MREnclave()
+	g.destroyMu.Lock()
+	defer g.destroyMu.Unlock()
+	nonce, err := newNonce()
+	if err != nil {
+		return 0, err
+	}
+	m := &opMessage{Op: opDestroyRead, UUID: uuid, Owner: owner, Nonce: nonce}
+	g.memMu.RLock()
+	votes, err := g.broadcastLocked(g.members, kindOp, m.encode(), nonce, false)
+	g.memMu.RUnlock()
+	if err != nil {
+		return 0, err
+	}
+	g.recoverMu.Lock()
+	for _, vt := range votes {
+		if vt.err == nil && vt.reply != nil && vt.reply.Status == statusOK {
+			if cur, ok := g.destroyFinals[uuid.ID]; !ok || vt.reply.Value > cur {
+				g.destroyFinals[uuid.ID] = vt.reply.Value
+			}
+		}
+	}
+	remembered, hadPartial := g.destroyFinals[uuid.ID]
+	g.recoverMu.Unlock()
+	v, err := g.tally(votes, true)
+	if err != nil {
+		return 0, err
+	}
+	if hadPartial && remembered > v {
+		v = remembered
+	}
+	g.recoverMu.Lock()
+	delete(g.destroyFinals, uuid.ID)
+	g.recoverMu.Unlock()
+	g.ownerMu.Lock()
+	if g.perOwner[owner] > 0 {
+		g.total--
+		g.perOwner[owner]--
+		if g.perOwner[owner] == 0 {
+			delete(g.perOwner, owner)
+		}
+	}
+	g.ownerMu.Unlock()
+	return v, nil
+}
+
+// TotalLive returns the number of live replicated counters in the group.
+func (g *Group) TotalLive() int {
+	g.ownerMu.Lock()
+	defer g.ownerMu.Unlock()
+	return g.total
+}
+
+// Count returns the number of live replicated counters owned by the
+// given identity.
+func (g *Group) Count(owner sgx.Measurement) int {
+	g.ownerMu.Lock()
+	defer g.ownerMu.Unlock()
+	return g.perOwner[owner]
+}
+
+// collectLocked gathers snapshots from the given members and merges them
+// into a per-counter maximum, requiring at least minResponses snapshots.
+// Callers hold memMu for writing.
+func (g *Group) collectLocked(members map[string]transport.Address, minResponses int) (*syncMessage, error) {
+	nonce, err := newNonce()
+	if err != nil {
+		return nil, err
+	}
+	req := (&opMessage{Op: opSnapshot, Nonce: nonce}).encode()
+	votes, err := g.broadcastLocked(members, kindOp, req, nonce, true)
+	if err != nil {
+		return nil, err
+	}
+	merged := &syncMessage{Next: g.nextID.Load()}
+	byID := make(map[uint32]*syncEntry)
+	dead := make(map[uint32]bool)
+	responses := 0
+	for _, v := range votes {
+		if v.err != nil || v.snap == nil {
+			continue
+		}
+		responses++
+		if v.snap.Next > merged.Next {
+			merged.Next = v.snap.Next
+		}
+		for i := range v.snap.Entries {
+			e := v.snap.Entries[i]
+			if cur, ok := byID[e.UUID.ID]; ok {
+				if e.Value > cur.Value {
+					cur.Value = e.Value
+				}
+			} else {
+				byID[e.UUID.ID] = &e
+			}
+		}
+		for _, id := range v.snap.Tombstones {
+			dead[id] = true
+		}
+	}
+	if responses < minResponses {
+		return nil, fmt.Errorf("%w: %d snapshot responses, need %d", ErrNoQuorum, responses, minResponses)
+	}
+	// Aborted creates count as tombstones too: a ghost entry their
+	// rollback missed must be destroyed by the reseed target, not
+	// re-propagated as live state.
+	g.recoverMu.Lock()
+	for id := range g.aborted {
+		dead[id] = true
+	}
+	g.recoverMu.Unlock()
+	for id, e := range byID {
+		// A tombstone from any replica outranks a live entry from a
+		// stale one: destruction is sticky.
+		if !dead[id] {
+			merged.Entries = append(merged.Entries, *e)
+		}
+	}
+	for id := range dead {
+		merged.Tombstones = append(merged.Tombstones, id)
+	}
+	sort.Slice(merged.Entries, func(i, j int) bool { return merged.Entries[i].UUID.ID < merged.Entries[j].UUID.ID })
+	sort.Slice(merged.Tombstones, func(i, j int) bool { return merged.Tombstones[i] < merged.Tombstones[j] })
+	return merged, nil
+}
+
+// Reseed re-seeds a member replica that rejoined after a machine restart
+// from the rest of the group, then lets it serve again. It needs
+// snapshots from at least f of the other members: together with the
+// rejoining replica's own durable state that covers f+1 replicas, and
+// every committed operation lives on at least f+1, so none can be
+// missed. Values only move forward on the target, so a reseed can never
+// regress a counter. Reconfiguration holds the membership lock, so no
+// commit is in flight while the snapshot is taken.
+func (g *Group) Reseed(id string) error {
+	g.memMu.Lock()
+	defer g.memMu.Unlock()
+	target, ok := g.members[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownReplica, id)
+	}
+	others := make(map[string]transport.Address, len(g.members)-1)
+	for mid, addr := range g.members {
+		if mid != id {
+			others[mid] = addr
+		}
+	}
+	snap, err := g.collectLocked(others, g.f)
+	if err != nil {
+		return fmt.Errorf("reseed %s: %w", id, err)
+	}
+	if err := g.seedReplica(target, id, snap); err != nil {
+		return fmt.Errorf("reseed %s: %w", id, err)
+	}
+	return nil
+}
+
+// Handoff transfers the replica role of member oldID to the fresh
+// replica newRep (drain path: the old machine leaves the rack). The new
+// replica starts empty, so the snapshot needs a full majority (f+1) of
+// the current members; it is seeded with the quorum's maxima and swapped
+// in atomically with respect to commits (the membership lock is held
+// throughout). The caller retires the old replica afterwards.
+func (g *Group) Handoff(oldID string, newRep *Replica) error {
+	g.memMu.Lock()
+	defer g.memMu.Unlock()
+	if _, ok := g.members[oldID]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownReplica, oldID)
+	}
+	if _, dup := g.members[newRep.ID()]; dup {
+		return fmt.Errorf("%w: %q already a member", ErrBadReplication, newRep.ID())
+	}
+	snap, err := g.collectLocked(g.members, g.Quorum())
+	if err != nil {
+		return fmt.Errorf("handoff %s->%s: %w", oldID, newRep.ID(), err)
+	}
+	newRep.join(g.sealer)
+	if err := g.seedReplica(newRep.Address(), newRep.ID(), snap); err != nil {
+		return fmt.Errorf("handoff %s->%s: %w", oldID, newRep.ID(), err)
+	}
+	delete(g.members, oldID)
+	g.members[newRep.ID()] = newRep.Address()
+	return nil
+}

@@ -1,0 +1,272 @@
+package pserepl
+
+import (
+	"fmt"
+
+	"repro/internal/pse"
+	"repro/internal/sgx"
+	"repro/internal/wirec"
+)
+
+// Replication wire format: tagged, versioned binary messages in the
+// internal/core/wire.go style, built on the shared wirec primitives.
+// Everything that crosses the messenger between a Group coordinator and
+// its Replicas is one of three values:
+//
+//   - opMessage:   one counter operation (create/increment/read/
+//     destroy-read) or a snapshot request, addressed by the replicated
+//     UUID and stamped with the owner identity.
+//   - opReply:     the replica's status + local counter value.
+//   - syncMessage: a full counter-table snapshot — the reply to a
+//     snapshot request, and (re-tagged only by the message kind it rides
+//     under) the payload of a reseed.
+//
+// The bytes cross the untrusted network; replicas validate every field
+// and the decoders never panic, whatever the input (see the fuzz
+// harnesses).
+
+// Wire type tags (0xC* block: counter replication).
+const (
+	tagOp      byte = 0xC1
+	tagOpReply byte = 0xC2
+	tagSync    byte = 0xC3
+)
+
+// wireVersion is the current replication format version, bumped on any
+// layout change so messages from a different build are rejected cleanly.
+const wireVersion byte = 1
+
+// Message kinds on the transport.Messenger.
+const (
+	kindOp     = "ctr-op"
+	kindReseed = "ctr-reseed"
+)
+
+// Replicated counter operations.
+const (
+	opCreate byte = iota + 1
+	opIncrement
+	opRead
+	opDestroyRead
+	opSnapshot
+	// opChallenge fetches the replica's current reseed challenge (the
+	// only operation an unsynced replica answers besides the reseed
+	// itself).
+	opChallenge
+	// opAdvance raises a counter to at least N (read-repair). It is
+	// forward-only and idempotent, so stragglers can be caught up — or
+	// the message replayed — without ever regressing a value.
+	opAdvance
+)
+
+// Reply statuses. Transport-level failures (dead machine, unreachable
+// endpoint) travel as Send errors and never count toward a quorum;
+// these statuses are the votes of replicas that did respond.
+const (
+	statusOK byte = iota + 1
+	statusNotFound
+	statusNotOwner
+	statusOverflow
+	statusLimit
+	statusGone // counter already destroyed on this replica (final value lost)
+)
+
+// opMessage is one replicated counter operation sent to a replica.
+type opMessage struct {
+	Op    byte
+	UUID  pse.UUID
+	Owner sgx.Measurement
+	// N is the increment count for opIncrement (>= 1); unused otherwise.
+	N uint32
+	// Nonce is the per-request freshness value; the replica echoes it in
+	// its (sealed) reply, so a recorded vote from an earlier request can
+	// never be replayed to fake an ack for this one.
+	Nonce uint64
+}
+
+// opMessageSize is the exact encoded size of an opMessage.
+const opMessageSize = 2 + 1 + 4 + 16 + 32 + 4 + 8
+
+func (m *opMessage) encode() []byte {
+	out := make([]byte, 0, opMessageSize)
+	out = wirec.AppendHeader(out, tagOp, wireVersion)
+	out = append(out, m.Op)
+	out = wirec.AppendU32(out, m.UUID.ID)
+	out = append(out, m.UUID.Nonce[:]...)
+	out = append(out, m.Owner[:]...)
+	out = wirec.AppendU32(out, m.N)
+	return wirec.AppendU64(out, m.Nonce)
+}
+
+func decodeOpMessage(raw []byte) (*opMessage, error) {
+	var m opMessage
+	rd := wirec.NewReader(raw)
+	if !rd.Header(tagOp, wireVersion) {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, rd.Err())
+	}
+	m.Op = rd.U8()
+	m.UUID.ID = rd.U32()
+	copy(m.UUID.Nonce[:], rd.Take(16))
+	copy(m.Owner[:], rd.Take(32))
+	m.N = rd.U32()
+	m.Nonce = rd.U64()
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, err)
+	}
+	if m.Op < opCreate || m.Op > opAdvance {
+		return nil, fmt.Errorf("%w: unknown op %d", ErrWireFormat, m.Op)
+	}
+	return &m, nil
+}
+
+// opReply is a replica's vote on one operation.
+type opReply struct {
+	Status byte
+	// Value is the replica's local hardware counter value after the
+	// operation (the final value, for destroy-read).
+	Value uint32
+	// Nonce echoes the request's freshness value.
+	Nonce uint64
+}
+
+// opReplySize is the exact encoded size of an opReply.
+const opReplySize = 2 + 1 + 4 + 8
+
+func (m *opReply) encode() []byte {
+	out := make([]byte, 0, opReplySize)
+	out = wirec.AppendHeader(out, tagOpReply, wireVersion)
+	out = append(out, m.Status)
+	out = wirec.AppendU32(out, m.Value)
+	return wirec.AppendU64(out, m.Nonce)
+}
+
+func decodeOpReply(raw []byte) (*opReply, error) {
+	var m opReply
+	rd := wirec.NewReader(raw)
+	if !rd.Header(tagOpReply, wireVersion) {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, rd.Err())
+	}
+	m.Status = rd.U8()
+	m.Value = rd.U32()
+	m.Nonce = rd.U64()
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, err)
+	}
+	if m.Status < statusOK || m.Status > statusGone {
+		return nil, fmt.Errorf("%w: unknown status %d", ErrWireFormat, m.Status)
+	}
+	return &m, nil
+}
+
+// syncEntry is one counter in a snapshot or reseed payload.
+type syncEntry struct {
+	UUID  pse.UUID
+	Owner sgx.Measurement
+	Value uint32
+}
+
+// syncMessage is a counter-table snapshot: the ID high-water mark, every
+// live counter, and the explicit tombstones of destroyed ones. As a
+// snapshot reply it reports one replica's state; as a reseed payload it
+// carries the quorum's per-counter maximum and the union of tombstones.
+// Destruction travels only as an explicit tombstone — absence from a
+// snapshot is never proof a counter was destroyed, because a minority of
+// replicas can miss a committed create.
+type syncMessage struct {
+	// Next is the group's ID-allocation high-water mark (every ID at or
+	// below it has been issued).
+	Next    uint64
+	Entries []syncEntry
+	// Tombstones lists destroyed counter IDs.
+	Tombstones []uint32
+	// Challenge binds a reseed payload to one freshness challenge drawn
+	// from the target replica (opChallenge), so a recorded reseed cannot
+	// be replayed at a replica later, when its content would be stale.
+	// Snapshot replies leave it zero; challenge replies carry only it.
+	Challenge [16]byte
+	// Nonce echoes the requesting message's freshness value (snapshot
+	// and challenge replies).
+	Nonce uint64
+}
+
+// syncEntrySize is the encoded size of one syncEntry.
+const syncEntrySize = 4 + 16 + 32 + 4
+
+// maxSyncEntries bounds a decoded snapshot's entry and tombstone lists.
+// A group holds at most pse.MaxCounters live counters, but the tombstone
+// list grows with the destroys over a group's lifetime; this generous
+// cap only defends the decoder against length-bomb allocations.
+const maxSyncEntries = 1 << 20
+
+func (m *syncMessage) encode() []byte {
+	out := make([]byte, 0, 2+8+4+len(m.Entries)*syncEntrySize+4+4*len(m.Tombstones)+16+8)
+	out = wirec.AppendHeader(out, tagSync, wireVersion)
+	out = wirec.AppendU64(out, m.Next)
+	out = wirec.AppendU32(out, uint32(len(m.Entries)))
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		out = wirec.AppendU32(out, e.UUID.ID)
+		out = append(out, e.UUID.Nonce[:]...)
+		out = append(out, e.Owner[:]...)
+		out = wirec.AppendU32(out, e.Value)
+	}
+	out = wirec.AppendU32(out, uint32(len(m.Tombstones)))
+	for _, id := range m.Tombstones {
+		out = wirec.AppendU32(out, id)
+	}
+	out = append(out, m.Challenge[:]...)
+	return wirec.AppendU64(out, m.Nonce)
+}
+
+func decodeSyncMessage(raw []byte) (*syncMessage, error) {
+	var m syncMessage
+	rd := wirec.NewReader(raw)
+	if !rd.Header(tagSync, wireVersion) {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, rd.Err())
+	}
+	m.Next = rd.U64()
+	n := rd.U32()
+	if n > maxSyncEntries {
+		return nil, fmt.Errorf("%w: snapshot claims %d entries", ErrWireFormat, n)
+	}
+	if rd.Err() == nil && n > 0 {
+		if !rd.CanHold(n, syncEntrySize) {
+			return nil, fmt.Errorf("%w: snapshot claims %d entries in %d bytes", ErrWireFormat, n, rd.Remaining())
+		}
+		m.Entries = make([]syncEntry, 0, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var e syncEntry
+		e.UUID.ID = rd.U32()
+		copy(e.UUID.Nonce[:], rd.Take(16))
+		copy(e.Owner[:], rd.Take(32))
+		e.Value = rd.U32()
+		if rd.Err() != nil {
+			break
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	nt := rd.U32()
+	if nt > maxSyncEntries {
+		return nil, fmt.Errorf("%w: snapshot claims %d tombstones", ErrWireFormat, nt)
+	}
+	if rd.Err() == nil && nt > 0 {
+		if !rd.CanHold(nt, 4) {
+			return nil, fmt.Errorf("%w: snapshot claims %d tombstones in %d bytes", ErrWireFormat, nt, rd.Remaining())
+		}
+		m.Tombstones = make([]uint32, 0, nt)
+	}
+	for i := uint32(0); i < nt; i++ {
+		id := rd.U32()
+		if rd.Err() != nil {
+			break
+		}
+		m.Tombstones = append(m.Tombstones, id)
+	}
+	copy(m.Challenge[:], rd.Take(16))
+	m.Nonce = rd.U64()
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, err)
+	}
+	return &m, nil
+}

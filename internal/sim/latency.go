@@ -34,6 +34,12 @@ const (
 	OpIASVerify
 	OpNetworkRTT
 	OpVMPageCopy // per 4 KiB page
+	// OpReplicaApply is the replica-side bookkeeping of one replicated
+	// counter message (validate the group UUID capability and owner,
+	// update the slot table inside the agent enclave) — charged per
+	// replication hop on top of the network RTT and the firmware
+	// transaction itself.
+	OpReplicaApply
 )
 
 // maxOp bounds the dense per-op accounting arrays. Ops outside [0, maxOp)
@@ -68,6 +74,8 @@ func (o Op) String() string {
 		return "network-rtt"
 	case OpVMPageCopy:
 		return "vm-page-copy"
+	case OpReplicaApply:
+		return "replica-apply"
 	default:
 		return "unknown-op"
 	}
@@ -90,6 +98,7 @@ func PaperCosts() map[Op]time.Duration {
 		OpIASVerify:        40 * time.Millisecond,
 		OpNetworkRTT:       500 * time.Microsecond,
 		OpVMPageCopy:       2 * time.Microsecond,
+		OpReplicaApply:     8 * time.Microsecond,
 	}
 }
 

@@ -38,6 +38,7 @@ type tcpEnvelope struct {
 // comes from the attested channels layered above.
 type TCPTransport struct {
 	dialTimeout time.Duration
+	sendTimeout time.Duration
 
 	mu        sync.Mutex
 	listeners map[Address]net.Listener
@@ -51,7 +52,21 @@ var _ Messenger = (*TCPTransport)(nil)
 func NewTCPTransport() *TCPTransport {
 	return &TCPTransport{
 		dialTimeout: 5 * time.Second,
+		sendTimeout: 2 * time.Minute,
 		listeners:   make(map[Address]net.Listener),
+	}
+}
+
+// SetSendTimeout overrides the per-exchange deadline. The default (2
+// minutes) accommodates handler-side simulated firmware latencies — a
+// full 256-counter reseed at paper-scale costs is over a minute — while
+// still bounding a hung peer; lower it for latency-sensitive setups at
+// scale 0.
+func (t *TCPTransport) SetSendTimeout(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if d > 0 {
+		t.sendTimeout = d
 	}
 }
 
@@ -73,6 +88,17 @@ func (t *TCPTransport) Register(addr Address, h Handler) error {
 	t.wg.Add(1)
 	go t.serve(ln, addr, h)
 	return nil
+}
+
+// Unregister stops the listener serving addr. In-flight connections
+// drain on their own; the address may be registered again afterwards.
+func (t *TCPTransport) Unregister(addr Address) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ln, ok := t.listeners[addr]; ok {
+		_ = ln.Close()
+		delete(t.listeners, addr)
+	}
 }
 
 // BoundAddr returns the actual listen address for addr (useful when
@@ -130,12 +156,20 @@ func (t *TCPTransport) handleConn(conn net.Conn, addr Address, h Handler) {
 }
 
 // Send dials the destination, performs one request/response, and closes.
+// The whole exchange runs under a deadline: a peer that accepts the
+// connection but never replies produces an error instead of wedging the
+// caller forever (quorum broadcasts hold locks across Send, so a hung
+// exchange would otherwise stall every operation behind them).
 func (t *TCPTransport) Send(from, to Address, kind string, payload []byte) ([]byte, error) {
 	conn, err := net.DialTimeout("tcp", string(to), t.dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnknownEndpoint, to, err)
 	}
 	defer conn.Close()
+	t.mu.Lock()
+	deadline := t.sendTimeout
+	t.mu.Unlock()
+	_ = conn.SetDeadline(time.Now().Add(deadline))
 	req := tcpEnvelope{From: string(from), Kind: kind, Payload: payload}
 	if err := writeFrame(conn, &req); err != nil {
 		return nil, fmt.Errorf("send: %w", err)

@@ -42,10 +42,14 @@ type Message struct {
 type Handler func(msg Message) ([]byte, error)
 
 // Messenger is the request/response abstraction the Migration Enclaves
-// use; implemented by Network (in-memory) and TCPTransport.
+// and counter-replication endpoints use; implemented by Network
+// (in-memory) and TCPTransport.
 type Messenger interface {
 	// Register binds a handler to an address.
 	Register(addr Address, h Handler) error
+	// Unregister removes an endpoint (machine decommissioned or
+	// restarting; the address may be re-registered afterwards).
+	Unregister(addr Address)
 	// Send delivers a request and returns the peer's reply.
 	Send(from, to Address, kind string, payload []byte) ([]byte, error)
 }

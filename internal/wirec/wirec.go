@@ -1,0 +1,181 @@
+// Package wirec provides the shared primitives of the repository's tagged
+// binary wire codec (the internal/core/wire.go format): every encoded
+// value starts with a one-byte type tag and a one-byte format version,
+// variable-length fields carry a u32 length prefix, and fixed-width words
+// are big-endian. Packages with their own wire structures (pserepl's
+// replication messages, fleet's journal snapshots) build their codecs on
+// these helpers so the framing conventions — and the defenses against
+// length-prefix bombs from untrusted bytes — stay uniform.
+package wirec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrFormat reports malformed wire bytes. Package codecs wrap it with
+// their own context.
+var ErrFormat = errors.New("wirec: malformed wire data")
+
+// MaxField bounds any single variable-length field, defending decoders
+// against length-prefix bombs from the untrusted OS or network.
+const MaxField = 16 << 20
+
+// AppendHeader starts an encoded value with its type tag and version.
+func AppendHeader(dst []byte, tag, version byte) []byte {
+	return append(dst, tag, version)
+}
+
+// AppendBytes appends a u32 length prefix and the raw bytes.
+func AppendBytes(dst, b []byte) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(b)))
+	dst = append(dst, n[:]...)
+	return append(dst, b...)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(s)))
+	dst = append(dst, n[:]...)
+	return append(dst, s...)
+}
+
+// AppendU32 appends one big-endian uint32.
+func AppendU32(dst []byte, v uint32) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], v)
+	return append(dst, n[:]...)
+}
+
+// AppendU64 appends one big-endian uint64.
+func AppendU64(dst []byte, v uint64) []byte {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], v)
+	return append(dst, n[:]...)
+}
+
+// Reader is a cursor over one encoded value. The first decoding error
+// sticks; callers check Done once at the end (and fail fast on header
+// mismatch). All byte-slice reads alias the input buffer.
+type Reader struct {
+	data []byte
+	err  error
+}
+
+// NewReader wraps raw wire bytes.
+func NewReader(raw []byte) *Reader { return &Reader{data: raw} }
+
+// MakeReader is the value form of NewReader, for embedding a Reader
+// without a separate allocation (hot decode paths).
+func MakeReader(raw []byte) Reader { return Reader{data: raw} }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrFormat
+	}
+}
+
+// Header consumes and checks the tag/version header.
+func (r *Reader) Header(tag, version byte) bool {
+	if r.err != nil || len(r.data) < 2 {
+		r.fail()
+		return false
+	}
+	if r.data[0] != tag {
+		r.err = fmt.Errorf("%w: wrong type tag 0x%02x", ErrFormat, r.data[0])
+		return false
+	}
+	if r.data[1] != version {
+		r.err = fmt.Errorf("%w: unsupported format version %d", ErrFormat, r.data[1])
+		return false
+	}
+	r.data = r.data[2:]
+	return true
+}
+
+// Take consumes n raw bytes.
+func (r *Reader) Take(n int) []byte {
+	if r.err != nil || n < 0 || len(r.data) < n {
+		r.fail()
+		return nil
+	}
+	out := r.data[:n]
+	r.data = r.data[n:]
+	return out
+}
+
+// Bytes consumes a length-prefixed byte field. Empty fields decode as nil.
+func (r *Reader) Bytes() []byte {
+	hdr := r.Take(4)
+	if r.err != nil {
+		return nil
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > MaxField {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	return r.Take(int(n))
+}
+
+// String consumes a length-prefixed string field.
+func (r *Reader) String() string {
+	return string(r.Bytes())
+}
+
+// U32 consumes one big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.Take(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 consumes one big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.Take(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// U8 consumes one byte.
+func (r *Reader) U8() byte {
+	b := r.Take(1)
+	if r.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Err returns the sticky decoding error, if any, without the
+// trailing-bytes check (for mid-value dispatch decisions).
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.data) }
+
+// CanHold reports whether n entries of at least minEntrySize bytes each
+// could still be present in the remaining input. Decoders call it before
+// sizing a count-driven preallocation: a tiny message claiming many
+// entries must be rejected before — not after — the allocation it tries
+// to provoke.
+func (r *Reader) CanHold(n uint32, minEntrySize int) bool {
+	return minEntrySize > 0 && int64(n)*int64(minEntrySize) <= int64(len(r.data))
+}
+
+// Done asserts the value was consumed exactly and returns the final error.
+func (r *Reader) Done() error {
+	if r.err == nil && len(r.data) != 0 {
+		r.err = fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(r.data))
+	}
+	return r.err
+}
