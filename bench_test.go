@@ -475,3 +475,66 @@ func BenchmarkReplicatedIncrement(b *testing.B) {
 		})
 	}
 }
+
+// --- Restart-anywhere recovery: kill→recovered on a rack peer ------------
+
+// BenchmarkRecoverMachine measures resurrecting one enclave from the
+// rack escrow after its machine is killed (f=1 rack); cmd/benchfig
+// -recover reports the sweep over f and escrow blob size with
+// confidence intervals. Each round permanently consumes rack counter
+// budget (the app counter and the binding counter outlive the
+// terminated enclave by design), so the data center is recycled
+// periodically like bench.RecoverySweep does.
+func BenchmarkRecoverMachine(b *testing.B) {
+	b.ReportAllocs()
+	const recycleEvery = 50
+	var (
+		dc   *cloud.DataCenter
+		host *cloud.Machine
+	)
+	rebuild := func() {
+		var err error
+		dc, err = cloud.NewDataCenter("bench-recover", sim.NewInstantLatency())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids := []string{"rack-0", "rack-1", "rack-2"}
+		for _, id := range ids {
+			if _, err := dc.AddMachine(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := dc.NewReplicaGroup("bench-rack", 1, ids...); err != nil {
+			b.Fatal(err)
+		}
+		host, _ = dc.Machine("rack-0")
+	}
+	rebuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if i > 0 && i%recycleEvery == 0 {
+			rebuild()
+		}
+		app := benchApp(b, host, "recover")
+		ctr, _, err := app.Library.CreateCounter()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := app.Library.IncrementCounter(ctr); err != nil {
+			b.Fatal(err)
+		}
+		host.Kill()
+		b.StartTimer()
+		recovered, err := dc.RecoverMachine("rack-0", "rack-1")
+		if err != nil || len(recovered) != 1 {
+			b.Fatalf("recover: %d apps err=%v", len(recovered), err)
+		}
+		b.StopTimer()
+		recovered[0].Terminate()
+		if err := host.Restart(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}

@@ -5,6 +5,7 @@
 //	benchfig -fig 4              Figure 4: init + sealing operations
 //	benchfig -migration          §VII-B: enclave migration overhead
 //	benchfig -repl               replicated counters: increment vs. f
+//	benchfig -recover            restart-anywhere recovery: kill→recovered vs. f + escrow blob size
 //	benchfig -table 1            Table I: migration data structure
 //	benchfig -table 2            Table II: library internal structure
 //	benchfig -tcb                §VII-A: software TCB size
@@ -37,6 +38,7 @@ type report struct {
 	Fig4        []bench.Row            `json:"fig4,omitempty"`
 	Migration   *bench.MigrationResult `json:"migration,omitempty"`
 	Replication []bench.Row            `json:"replication,omitempty"`
+	Recovery    []bench.Row            `json:"recovery,omitempty"`
 }
 
 func main() {
@@ -52,6 +54,7 @@ func run() error {
 		table     = flag.Int("table", 0, "report table 1 or 2 structure size")
 		migration = flag.Bool("migration", false, "measure enclave migration overhead")
 		repl      = flag.Bool("repl", false, "measure replicated-counter increment latency vs. replication factor")
+		recov     = flag.Bool("recover", false, "measure kill-to-recovered latency vs. replication factor and escrow blob size")
 		tcb       = flag.Bool("tcb", false, "report software TCB size")
 		all       = flag.Bool("all", false, "run every experiment")
 		n         = flag.Int("n", 200, "iterations per operation (paper: 1000)")
@@ -97,6 +100,14 @@ func run() error {
 			return err
 		}
 		rep.Replication = rows
+	}
+	if *all || *recov {
+		ran = true
+		rows, err := runRecovery(cfg)
+		if err != nil {
+			return err
+		}
+		rep.Recovery = rows
 	}
 	if *all || *table == 1 || *table == 2 {
 		ran = true
@@ -179,6 +190,21 @@ func runReplication(cfg bench.Config) ([]bench.Row, error) {
 	rows, err := bench.ReplicationSweep(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("replication: %w", err)
+	}
+	for _, r := range rows {
+		fmt.Println("  " + r.String())
+	}
+	fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+	return rows, nil
+}
+
+func runRecovery(cfg bench.Config) ([]bench.Row, error) {
+	fmt.Println("=== Restart-anywhere recovery: kill→recovered latency ===")
+	fmt.Println("(escrowed Table II blob resurrected on a rack peer; binding counter won at the sealed value)")
+	start := time.Now()
+	rows, err := bench.RecoverySweep(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
 	}
 	for _, r := range rows {
 		fmt.Println("  " + r.String())

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/pse"
+	"repro/internal/sim"
+)
+
+// RecoverySweep measures restart-anywhere recovery (ISSUE 4): the
+// kill-to-recovered latency of resurrecting an enclave on a rack peer
+// from the escrowed Table II blob, swept over the replication factor f,
+// plus the raw escrow put+get round trip swept over the blob size (the
+// state blob itself is fixed-size, so the size axis is driven through
+// the store directly).
+//
+// The recovery latency is dominated by the binding-counter handshake
+// (one quorum read, one quorum destroy, one create, one fast-forward)
+// plus the re-persist on the new CPU (escrow put + native seal) — about
+// six quorum round trips, each paid once regardless of f thanks to the
+// parallel broadcast with early-quorum return.
+func RecoverySweep(cfg Config) ([]Row, error) {
+	var rows []Row
+	for _, f := range []int{1, 2} {
+		samples, err := recoverySamples(cfg, f)
+		if err != nil {
+			return nil, fmt.Errorf("recover f=%d: %w", f, err)
+		}
+		row, err := compare(fmt.Sprintf("recover-f%d-%drep", f, 2*f+1), samples, nil, cfg.Confidence)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	for _, size := range []int{4 << 10, 64 << 10, 1 << 20} {
+		samples, err := escrowRoundTripSamples(cfg, 1, size)
+		if err != nil {
+			return nil, fmt.Errorf("escrow rt %dB: %w", size, err)
+		}
+		row, err := compare(fmt.Sprintf("escrow-rt-%dKiB", size>>10), samples, nil, cfg.Confidence)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// recoverySamples times kill→recovered for one enclave per iteration:
+// launch on rack-0, kill the machine, resurrect on rack-1, then restart
+// rack-0 (replica reseed included) for the next round. Each round
+// permanently consumes rack counter budget (the app counter and the
+// binding counter outlive the terminated enclave by design), so the
+// data center is recycled every recoverChunk rounds to stay under the
+// facility limit.
+const recoverChunk = 50
+
+func recoverySamples(cfg Config, f int) ([]float64, error) {
+	out := make([]float64, 0, cfg.N)
+	for len(out) < cfg.N {
+		rounds := cfg.N - len(out)
+		if rounds > recoverChunk {
+			rounds = recoverChunk
+		}
+		chunk, err := recoveryChunk(cfg, f, rounds, len(out) == 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// recoveryChunk runs rounds kill→recover cycles in a fresh data center.
+func recoveryChunk(cfg Config, f, rounds int, warmup bool) ([]float64, error) {
+	dc, ids, err := rackDC(fmt.Sprintf("recover-bench-f%d", f), f, true, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	host, _ := dc.Machine(ids[0])
+	target, _ := dc.Machine(ids[1])
+
+	out := make([]float64, 0, rounds)
+	start := 0
+	if warmup {
+		start = -1 // one unmeasured warm-up round in the first chunk
+	}
+	for i := start; i < rounds; i++ {
+		app, err := host.LaunchApp(appImage(fmt.Sprintf("recover-f%d", f)), core.NewMemoryStorage(), core.InitNew)
+		if err != nil {
+			return nil, err
+		}
+		ctr, _, err := app.Library.CreateCounter()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := app.Library.IncrementCounter(ctr); err != nil {
+			return nil, err
+		}
+		host.Kill()
+		t0 := time.Now()
+		recovered, err := dc.RecoverMachine(host.ID(), target.ID())
+		dt := time.Since(t0).Seconds()
+		if err != nil {
+			return nil, err
+		}
+		if len(recovered) != 1 {
+			return nil, fmt.Errorf("recovered %d apps, want 1", len(recovered))
+		}
+		if i >= 0 {
+			out = append(out, dt)
+		}
+		recovered[0].Terminate()
+		if err := host.Restart(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// rackDC builds the benchmarks' shared rack shape: 2f+1 machines named
+// rack-0..rack-2f, optionally joined into one replica group.
+func rackDC(name string, f int, grouped bool, scale float64) (*cloud.DataCenter, []string, error) {
+	dc, err := cloud.NewDataCenter(name, sim.NewLatency(scale))
+	if err != nil {
+		return nil, nil, err
+	}
+	n := 2*f + 1
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("rack-%d", i)
+		if _, err := dc.AddMachine(id); err != nil {
+			return nil, nil, err
+		}
+		ids = append(ids, id)
+	}
+	if grouped {
+		if _, err := dc.NewReplicaGroup("bench-rack", f, ids...); err != nil {
+			return nil, nil, err
+		}
+	}
+	return dc, ids, nil
+}
+
+// escrowRoundTripSamples times one escrow put + quorum get of a blob of
+// the given size through a 2f+1 group.
+func escrowRoundTripSamples(cfg Config, f, size int) ([]float64, error) {
+	dc, _, err := rackDC(fmt.Sprintf("escrow-bench-%d", size), f, true, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	group, _ := dc.ReplicaGroup("bench-rack")
+	blob := make([]byte, size)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	var owner = appImage("escrow-bench").Measure()
+	id := [16]byte{0xEC}
+	bind := pse.UUID{ID: 1}
+	version := uint32(0)
+	return sample(cfg.N, func() error {
+		version++
+		if err := group.EscrowPut(owner, id, version, bind, blob); err != nil {
+			return err
+		}
+		_, _, got, err := group.EscrowGet(owner, id)
+		if err != nil {
+			return err
+		}
+		if len(got) != size {
+			return fmt.Errorf("got %d bytes, want %d", len(got), size)
+		}
+		return nil
+	})
+}

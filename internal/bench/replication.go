@@ -3,9 +3,7 @@ package bench
 import (
 	"fmt"
 
-	"repro/internal/cloud"
 	"repro/internal/core"
-	"repro/internal/sim"
 )
 
 // ReplicationSweep measures the increment-latency cost of replicating
@@ -45,23 +43,9 @@ func ReplicationSweep(cfg Config) ([]Row, error) {
 // counter facility is either the plain local service (replicated=false)
 // or a 2f+1 replica group that includes the app's machine.
 func replIncrementSamples(cfg Config, f int, replicated bool) ([]float64, error) {
-	dc, err := cloud.NewDataCenter(fmt.Sprintf("repl-bench-f%d", f), sim.NewLatency(cfg.Scale))
+	dc, ids, err := rackDC(fmt.Sprintf("repl-bench-f%d", f), f, replicated, cfg.Scale)
 	if err != nil {
 		return nil, err
-	}
-	n := 2*f + 1
-	ids := make([]string, 0, n)
-	for i := 0; i < n; i++ {
-		id := fmt.Sprintf("rack-%d", i)
-		if _, err := dc.AddMachine(id); err != nil {
-			return nil, err
-		}
-		ids = append(ids, id)
-	}
-	if replicated {
-		if _, err := dc.NewReplicaGroup("bench-rack", f, ids...); err != nil {
-			return nil, err
-		}
 	}
 	host, _ := dc.Machine(ids[0])
 	app, err := host.LaunchApp(appImage(fmt.Sprintf("repl-f%d", f)), core.NewMemoryStorage(), core.InitNew)

@@ -32,6 +32,19 @@ var (
 	// ErrHasReplica reports an attempt to place a second counter replica
 	// on a machine.
 	ErrHasReplica = errors.New("cloud: machine already hosts a counter replica")
+	// ErrMachineUp reports a recovery of a machine that is still alive:
+	// resurrecting a live machine's enclaves would run two copies.
+	ErrMachineUp = errors.New("cloud: machine is alive; recovery is for dead machines")
+	// ErrNotRackPeer reports a recovery target outside the dead machine's
+	// rack group: only rack peers share the escrow and the counters.
+	ErrNotRackPeer = errors.New("cloud: recovery target is not a rack peer of the dead machine")
+	// ErrInstanceAlive reports a recovery of an enclave instance that is
+	// still running somewhere in the data center. Like fleet's
+	// redirect-only-to-replace-a-dead-destination rule, instance
+	// liveness is the management plane's §V-D judgment call: the binding
+	// counter would eventually freeze the older copy, but only after a
+	// window in which two copies run.
+	ErrInstanceAlive = errors.New("cloud: an enclave with this escrow instance is still running")
 )
 
 // DataCenter is one cloud provider's fleet: a certificate authority for
@@ -73,6 +86,23 @@ type Machine struct {
 	killed  bool
 	group   *pserepl.Group
 	replica *pserepl.Replica
+	// lost records the apps that died in the last Kill, with the escrow
+	// IDs captured while they were alive: the recovery manifest
+	// DataCenter.RecoverMachine (and fleet's recovery mode) resurrects
+	// from. Entries are removed as apps are recovered.
+	lost []LostApp
+}
+
+// LostApp is one enclave that died with its machine: what is needed to
+// resurrect it from the rack escrow on a peer.
+type LostApp struct {
+	Image *sgx.Image
+	// EscrowID identifies the instance in the rack escrow; Escrowed is
+	// false for apps that were not escrowed (CPU-bound, unrecoverable —
+	// they can only come back via Restart + InitRestore on the same
+	// machine).
+	EscrowID [16]byte
+	Escrowed bool
 }
 
 // MEAddress returns the machine's Migration Enclave network address.
@@ -324,6 +354,60 @@ func (dc *DataCenter) HandoffReplica(srcID, dstID string) error {
 	return nil
 }
 
+// RecoverMachine is the restart-anywhere recovery path: it re-instantiates
+// every escrowed enclave of the dead machine on the named rack peer, by
+// fetching each escrowed Table II blob from the quorum, verifying its
+// binding counter, and re-sealing it natively on the target's CPU
+// (Machine.RecoverApp per app). Counters are untouched — they live in the
+// rack's replicated group and survive the machine by construction (PR 3);
+// this closes the other half: the library state blobs now survive too.
+//
+// The dead machine must actually be down (a recovery of a live machine
+// would run two copies of every enclave — the binding counters would
+// freeze the originals, but the operator asked for something wrong) and
+// the target must belong to the same rack group (only peers share the
+// escrow and the counter facility). Un-escrowed apps cannot be recovered
+// and stay in the dead machine's LostApps manifest; a failed recovery
+// leaves the app there too, so the call can be retried.
+func (dc *DataCenter) RecoverMachine(deadID, targetID string) ([]*App, error) {
+	dead, ok := dc.Machine(deadID)
+	if !ok {
+		return nil, fmt.Errorf("cloud: unknown machine %q", deadID)
+	}
+	target, ok := dc.Machine(targetID)
+	if !ok {
+		return nil, fmt.Errorf("cloud: unknown machine %q", targetID)
+	}
+	if dead.Alive() {
+		return nil, fmt.Errorf("%w: %s", ErrMachineUp, deadID)
+	}
+	if !target.Alive() {
+		return nil, fmt.Errorf("%w: %s", ErrMachineDown, targetID)
+	}
+	g := dead.Group()
+	if g == nil || target.Group() != g {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrNotRackPeer, deadID, targetID)
+	}
+	var recovered []*App
+	var errs []error
+	for _, la := range dead.LostApps() {
+		if !la.Escrowed {
+			continue // CPU-bound app: only Restart + InitRestore can bring it back
+		}
+		app, err := target.RecoverApp(la.Image, la.EscrowID)
+		if err != nil {
+			// Keep going: one unrecoverable app (e.g. frozen mid-migration)
+			// must not block the recoverable ones behind it in the
+			// manifest. Failed apps stay in LostApps for a retry.
+			errs = append(errs, fmt.Errorf("recover %s on %s: %w", la.Image.Name, targetID, err))
+			continue
+		}
+		dead.DropLost(la.EscrowID)
+		recovered = append(recovered, app)
+	}
+	return recovered, errors.Join(errs...)
+}
+
 // Machine returns a previously added machine.
 func (dc *DataCenter) Machine(id string) (*Machine, bool) {
 	dc.mu.Lock()
@@ -384,12 +468,45 @@ func (m *Machine) Alive() bool {
 // agent — dies with its memory, and nothing can launch until Restart.
 // Counters on the machine-local Platform Services facility are stranded
 // while the machine is down; counters replicated through a group stay
-// available from the surviving quorum.
+// available from the surviving quorum, and escrowed library state can be
+// resurrected on any rack peer (DataCenter.RecoverMachine). The manifest
+// of lost apps is captured here, while their escrow IDs are still
+// readable.
 func (m *Machine) Kill() {
 	m.mu.Lock()
 	m.killed = true
+	m.lost = m.lost[:0]
+	for a := range m.apps {
+		if !a.Enclave.Alive() {
+			continue
+		}
+		la := LostApp{Image: a.image}
+		la.EscrowID, la.Escrowed = a.Library.EscrowID()
+		m.lost = append(m.lost, la)
+	}
 	m.mu.Unlock()
 	m.HW.Restart()
+}
+
+// LostApps returns the manifest of apps that died in the machine's last
+// Kill and have not been recovered yet.
+func (m *Machine) LostApps() []LostApp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]LostApp(nil), m.lost...)
+}
+
+// DropLost removes one recovered app from the lost manifest (the cloud
+// and fleet recovery paths call it after a successful resurrection).
+func (m *Machine) DropLost(escrowID [16]byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.lost {
+		if m.lost[i].Escrowed && m.lost[i].EscrowID == escrowID {
+			m.lost = append(m.lost[:i], m.lost[i+1:]...)
+			return
+		}
+	}
 }
 
 // Restart boots the machine (back) up: any remaining enclaves are torn
@@ -449,24 +566,85 @@ type App struct {
 // its Migration Library in the given state. Storage may be shared across
 // launches of the same app (it models the VM's disk, which travels with
 // the VM during migration).
+//
+// On a rack-associated machine the library is wired to the rack's state
+// escrow during the launch (the secure provisioning phase): its Table II
+// blob is then escrowed with the quorum on every update, making the app
+// recoverable on any rack peer after this machine dies.
 func (m *Machine) LaunchApp(img *sgx.Image, storage *core.MemoryStorage, state core.InitState) (*App, error) {
-	if !m.Alive() {
-		return nil, fmt.Errorf("%w: %s", ErrMachineDown, m.ID())
-	}
-	e, err := m.HW.Load(img)
+	lib, e, err := m.prepareLibrary(img, storage)
 	if err != nil {
-		return nil, fmt.Errorf("load app enclave: %w", err)
+		return nil, err
 	}
-	lib := core.NewLibrary(e, m.CounterFacility(), storage)
 	if err := lib.Init(state, m.ME); err != nil {
 		m.HW.Destroy(e)
 		return nil, fmt.Errorf("init migration library: %w", err)
 	}
+	return m.registerApp(e, lib, storage, img), nil
+}
+
+// RecoverApp resurrects a dead rack peer's enclave on this machine from
+// the rack escrow: the restart-anywhere path. escrowID names the lost
+// instance (from the dead machine's LostApps manifest); the library
+// fetches the escrowed blob from the quorum, verifies its binding
+// counter, re-seals natively on this CPU, and continues with all
+// counters — they live in the same replicated group — intact.
+func (m *Machine) RecoverApp(img *sgx.Image, escrowID [16]byte) (*App, error) {
+	if live := m.dc.findInstance(escrowID); live != nil {
+		return nil, fmt.Errorf("%w: %s on %s", ErrInstanceAlive, live.Image().Name, live.Machine().ID())
+	}
+	storage := core.NewMemoryStorage()
+	lib, e, err := m.prepareLibrary(img, storage)
+	if err != nil {
+		return nil, err
+	}
+	if err := lib.Recover(m.ME, escrowID); err != nil {
+		m.HW.Destroy(e)
+		return nil, fmt.Errorf("recover migration library: %w", err)
+	}
+	return m.registerApp(e, lib, storage, img), nil
+}
+
+// prepareLibrary loads the enclave and builds its library with the
+// machine's counter facility and — on rack-associated machines — the
+// rack's escrow service and escrow key.
+func (m *Machine) prepareLibrary(img *sgx.Image, storage *core.MemoryStorage) (*core.Library, *sgx.Enclave, error) {
+	if !m.Alive() {
+		return nil, nil, fmt.Errorf("%w: %s", ErrMachineDown, m.ID())
+	}
+	e, err := m.HW.Load(img)
+	if err != nil {
+		return nil, nil, fmt.Errorf("load app enclave: %w", err)
+	}
+	lib := core.NewLibrary(e, m.CounterFacility(), storage)
+	if g := m.Group(); g != nil {
+		lib.EnableEscrow(g, g.EscrowSealer())
+	}
+	return lib, e, nil
+}
+
+// findInstance returns a live app with the given escrow instance ID, or
+// nil. The check is management-plane bookkeeping (fork-freedom of the
+// counters never depends on it); it stops an operator from resurrecting
+// an instance that is still running.
+func (dc *DataCenter) findInstance(escrowID [16]byte) *App {
+	for _, m := range dc.Machines() {
+		for _, a := range m.Apps() {
+			if id, ok := a.Library.EscrowID(); ok && id == escrowID {
+				return a
+			}
+		}
+	}
+	return nil
+}
+
+// registerApp records a successfully initialized app on the machine.
+func (m *Machine) registerApp(e *sgx.Enclave, lib *core.Library, storage *core.MemoryStorage, img *sgx.Image) *App {
 	app := &App{Enclave: e, Library: lib, Storage: storage, machine: m, image: img}
 	m.mu.Lock()
 	m.apps[app] = struct{}{}
 	m.mu.Unlock()
-	return app, nil
+	return app
 }
 
 // Terminate destroys the app's enclave (application closed / crashed).

@@ -12,10 +12,12 @@ import (
 )
 
 // TestKillStrandsLocalCountersNotReplicated is the machine-failure
-// story: killing a machine kills its apps and strands every counter on
-// its machine-local Platform Services facility, while counters served by
-// a rack replica group stay available from the surviving quorum — and a
-// restarted machine rejoins the rack with nothing lost.
+// story, upgraded for restart-anywhere recovery: killing a machine kills
+// its apps and strands everything on its machine-local facilities (both
+// the un-replicated counters and the CPU-bound sealed state), while a
+// rack machine's apps survive IN FULL — counters from the surviving
+// quorum, library state from the rack escrow — and are resurrected on a
+// peer with app state intact, not just counter values.
 func TestKillStrandsLocalCountersNotReplicated(t *testing.T) {
 	dc, err := cloud.NewDataCenter("dc", sim.NewInstantLatency())
 	if err != nil {
@@ -50,6 +52,12 @@ func TestKillStrandsLocalCountersNotReplicated(t *testing.T) {
 		if _, err := rackApp.Library.IncrementCounter(rackCtr); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// Application state sealed under the MSK — the part of the app a
+	// counter-only replication scheme would lose with the machine.
+	rackAppBlob, err := rackApp.Library.SealMigratable([]byte("state"), []byte("orders=42"))
+	if err != nil {
+		t.Fatal(err)
 	}
 	soloStorage := core.NewMemoryStorage()
 	soloApp, err := solo.LaunchApp(image("solo-app"), soloStorage, core.InitNew)
@@ -102,32 +110,60 @@ func TestKillStrandsLocalCountersNotReplicated(t *testing.T) {
 		t.Fatalf("replicated counter after kill: got %d err=%v", got, err)
 	}
 
-	// Restart r1: the machine re-provisions its enclaves, its replica is
-	// re-seeded from the quorum, and the rack app restores from its
-	// sealed state with the replicated counter intact.
+	// Restart-anywhere: the rack app is resurrected on r2 from the rack
+	// escrow, with BOTH its counters and its application state intact.
+	// The solo machine has nothing recoverable: its lost app was never
+	// escrowed.
+	if lost := solo.LostApps(); len(lost) != 1 || lost[0].Escrowed {
+		t.Fatalf("solo lost manifest = %+v, want one un-escrowed app", lost)
+	}
+	recovered, err := dc.RecoverMachine("r1", "r2")
+	if err != nil || len(recovered) != 1 {
+		t.Fatalf("recover r1 on r2: %d apps err=%v", len(recovered), err)
+	}
+	revived := recovered[0]
+	if got, err := revived.Library.ReadCounter(rackCtr); err != nil || got != 5 {
+		t.Fatalf("recovered app counter: got %d err=%v", got, err)
+	}
+	if got, err := revived.Library.IncrementCounter(rackCtr); err != nil || got != 6 {
+		t.Fatalf("recovered app increment: got %d err=%v", got, err)
+	}
+	if pt, aad, err := revived.Library.UnsealMigratable(rackAppBlob); err != nil ||
+		string(pt) != "orders=42" || string(aad) != "state" {
+		t.Fatalf("recovered app state: pt=%q aad=%q err=%v", pt, aad, err)
+	}
+
+	// Restart r1: the machine re-provisions its enclaves and its replica
+	// is re-seeded from the quorum — but the rack app's old sealed blob
+	// is now notarized stale by its (destroyed) binding counter, so a
+	// zombie restore beside the recovered copy is refused.
 	if err := r1.Restart(); err != nil {
 		t.Fatal(err)
 	}
 	if !r1.Alive() {
 		t.Fatal("machine not alive after restart")
 	}
-	restoredRack, err := r1.LaunchApp(image("rack-app"), rackApp.Storage, core.InitRestore)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got, err := restoredRack.Library.ReadCounter(rackCtr); err != nil || got != 5 {
-		t.Fatalf("replicated app counter after restart: got %d err=%v", got, err)
-	}
-	if got, err := restoredRack.Library.IncrementCounter(rackCtr); err != nil || got != 6 {
-		t.Fatalf("replicated app increment after restart: got %d err=%v", got, err)
+	if _, err := r1.LaunchApp(image("rack-app"), rackApp.Storage, core.InitRestore); !errors.Is(err, core.ErrRecoveredAway) {
+		t.Fatalf("zombie restore after recovery: err = %v, want ErrRecoveredAway", err)
 	}
 
 	// With r1 back and re-seeded, the group again tolerates losing a
-	// different replica.
+	// different replica — and the recovered app survives ANOTHER machine
+	// failure the same way: recovery chains.
 	r2, _ := dc.Machine("r2")
 	r2.Kill()
 	if got, err := group.Inspect(probeOwner, probeUUID); err != nil || got != 7 {
 		t.Fatalf("replicated counter after second failure: got %d err=%v", got, err)
+	}
+	rerecovered, err := dc.RecoverMachine("r2", "r3")
+	if err != nil || len(rerecovered) != 1 {
+		t.Fatalf("recover r2 on r3: %d apps err=%v", len(rerecovered), err)
+	}
+	if got, err := rerecovered[0].Library.ReadCounter(rackCtr); err != nil || got != 6 {
+		t.Fatalf("twice-recovered counter: got %d err=%v", got, err)
+	}
+	if pt, _, err := rerecovered[0].Library.UnsealMigratable(rackAppBlob); err != nil || string(pt) != "orders=42" {
+		t.Fatalf("twice-recovered app state: pt=%q err=%v", pt, err)
 	}
 }
 

@@ -1,0 +1,404 @@
+package cloud_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/pse"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+)
+
+// rackDC builds a data center with one f=1 rack (r1, r2, r3).
+func rackDC(t *testing.T) *cloud.DataCenter {
+	t.Helper()
+	dc, err := cloud.NewDataCenter("dc", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"r1", "r2", "r3"} {
+		if _, err := dc.AddMachine(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := dc.NewReplicaGroup("rack-1", 1, "r1", "r2", "r3"); err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+// TestRecoverMachineEndToEnd is the acceptance scenario: kill a rack
+// machine and recover every enclave on a different machine with counters
+// AND application state (migratable-sealed data) intact.
+func TestRecoverMachineEndToEnd(t *testing.T) {
+	dc := rackDC(t)
+	r1, _ := dc.Machine("r1")
+	r2, _ := dc.Machine("r2")
+
+	app, err := r1.LaunchApp(image("payroll"), core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, _, err := app.Library.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := app.Library.IncrementCounter(ctr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Application state sealed under the MSK: the app holds the sealed
+	// bytes (its VM disk); the MSK travels only inside the escrowed
+	// Table II blob.
+	appBlob, err := app.Library.SealMigratable([]byte("ledger"), []byte("balance=1337"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondApp, err := r1.LaunchApp(image("audit"), core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auditCtr, _, err := secondApp.Library.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := secondApp.Library.IncrementCounter(auditCtr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery preconditions are enforced.
+	if _, err := dc.RecoverMachine("r1", "r2"); !errors.Is(err, cloud.ErrMachineUp) {
+		t.Fatalf("recover of live machine: err = %v", err)
+	}
+	r1.Kill()
+	if len(r1.LostApps()) != 2 {
+		t.Fatalf("lost manifest has %d apps, want 2", len(r1.LostApps()))
+	}
+
+	recovered, err := dc.RecoverMachine("r1", "r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d apps, want 2", len(recovered))
+	}
+	if len(r1.LostApps()) != 0 {
+		t.Fatalf("lost manifest not drained: %d left", len(r1.LostApps()))
+	}
+	var payroll *cloud.App
+	for _, a := range recovered {
+		if a.Image().Name == "payroll" {
+			payroll = a
+		}
+		if a.Machine() != r2 {
+			t.Fatalf("app recovered on %s, want r2", a.Machine().ID())
+		}
+	}
+	if payroll == nil {
+		t.Fatal("payroll app not recovered")
+	}
+	// Counters survived with their values (they live in the quorum)...
+	if got, err := payroll.Library.ReadCounter(ctr); err != nil || got != 5 {
+		t.Fatalf("recovered counter: got %d err=%v", got, err)
+	}
+	if got, err := payroll.Library.IncrementCounter(ctr); err != nil || got != 6 {
+		t.Fatalf("recovered increment: got %d err=%v", got, err)
+	}
+	// ...and so did the application state: the recovered MSK opens the
+	// app's migratable-sealed data.
+	pt, aad, err := payroll.Library.UnsealMigratable(appBlob)
+	if err != nil || string(pt) != "balance=1337" || string(aad) != "ledger" {
+		t.Fatalf("recovered app state: pt=%q aad=%q err=%v", pt, aad, err)
+	}
+	// New sealing and persistence work on the new CPU.
+	if _, _, err := payroll.Library.CreateCounter(); err != nil {
+		t.Fatalf("create on recovered library: %v", err)
+	}
+}
+
+// TestRecoverMachineValidation pins the operator-facing guard rails.
+func TestRecoverMachineValidation(t *testing.T) {
+	dc := rackDC(t)
+	if _, err := dc.AddMachine("solo"); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := dc.Machine("r1")
+	solo, _ := dc.Machine("solo")
+
+	// Recovery onto a machine outside the rack group is refused.
+	r1.Kill()
+	if _, err := dc.RecoverMachine("r1", "solo"); !errors.Is(err, cloud.ErrNotRackPeer) {
+		t.Fatalf("recover onto non-peer: err = %v", err)
+	}
+	// Recovery of a non-rack machine is refused.
+	solo.Kill()
+	if _, err := dc.RecoverMachine("solo", "r2"); !errors.Is(err, cloud.ErrNotRackPeer) {
+		t.Fatalf("recover of non-rack machine: err = %v", err)
+	}
+	// Recovery onto a dead machine is refused.
+	r3, _ := dc.Machine("r3")
+	r3.Kill()
+	if _, err := dc.RecoverMachine("r1", "r3"); !errors.Is(err, cloud.ErrMachineDown) {
+		t.Fatalf("recover onto dead machine: err = %v", err)
+	}
+}
+
+// TestRecoverySingleUse pins fork-freedom across the recovery paths:
+// resurrect-after-recover fails (the binding counter is consumed), and a
+// zombie original — the "dead" machine coming back — freezes instead of
+// operating alongside the recovered copy.
+func TestRecoverySingleUse(t *testing.T) {
+	dc := rackDC(t)
+	r1, _ := dc.Machine("r1")
+	r3, _ := dc.Machine("r3")
+
+	app, err := r1.LaunchApp(image("ledger"), core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, _, err := app.Library.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Library.IncrementCounter(ctr); err != nil {
+		t.Fatal(err)
+	}
+	escrowID, ok := app.Library.EscrowID()
+	if !ok {
+		t.Fatal("rack app not escrowed")
+	}
+	group, _ := dc.ReplicaGroup("rack-1")
+	owner := app.Enclave.MREnclave()
+	// Capture the pre-recovery record: after the recovery consumes its
+	// binding counter, this is the "destroyed" record an adversary would
+	// replay to resurrect the enclave a second time.
+	oldVer, oldBind, oldBlob, err := group.EscrowGet(owner, escrowID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originalStorage := app.Storage
+	r1.Kill()
+
+	if _, err := dc.RecoverMachine("r1", "r2"); err != nil {
+		t.Fatal(err)
+	}
+	// A second resurrection while the recovered copy runs is refused by
+	// the management plane (the fleet-style liveness judgment call).
+	if _, err := r3.RecoverApp(image("ledger"), escrowID); !errors.Is(err, cloud.ErrInstanceAlive) {
+		t.Fatalf("second resurrection: err = %v, want ErrInstanceAlive", err)
+	}
+	// And even bypassing it, resurrecting from the consumed (pre-
+	// recovery) record fails in the enclave: its binding counter was
+	// destroyed by the recovery's DestroyAndRead and can never be won
+	// again.
+	lib, enc := newRecoveryLibrary(t, r3, "ledger")
+	lib.EnableEscrow(staleEscrow{ver: oldVer, bind: oldBind, blob: oldBlob}, group.EscrowSealer())
+	if err := lib.Recover(r3.ME, escrowID); !errors.Is(err, core.ErrEscrowConsumed) {
+		t.Fatalf("resurrect-after-destroy: err = %v, want ErrEscrowConsumed", err)
+	}
+	r3.HW.Destroy(enc)
+	// The "dead" machine comes back (operator error: it was alive-ish all
+	// along). Its native sealed blob is now notarized stale: the restore
+	// must refuse, so no zombie copy runs beside the recovered one.
+	if err := r1.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.LaunchApp(image("ledger"), originalStorage, core.InitRestore); err == nil {
+		t.Fatal("zombie restore succeeded beside recovered copy: fork")
+	}
+}
+
+// raceCounters wraps a counter service, running trigger once right
+// before the first DestroyAndRead — the window between a recovery's
+// binding read and its winning destroy.
+type raceCounters struct {
+	core.CounterService
+	trigger func()
+	once    sync.Once
+}
+
+func (r *raceCounters) DestroyAndRead(e *sgx.Enclave, uuid pse.UUID) (uint32, error) {
+	r.once.Do(r.trigger)
+	return r.CounterService.DestroyAndRead(e, uuid)
+}
+
+// TestRecoveryRacesLiveOriginal pins the one-winner outcome when an
+// operator recovers an instance whose original is secretly still alive
+// (bypassing the management-plane guards): the original persists between
+// the recovery's binding read and its destroy. The recovery must follow
+// the binding to the newer record it just captured — recovering the
+// LATEST state — and the original must freeze, not run alongside.
+func TestRecoveryRacesLiveOriginal(t *testing.T) {
+	dc := rackDC(t)
+	r1, _ := dc.Machine("r1")
+	r2, _ := dc.Machine("r2")
+	group, _ := dc.ReplicaGroup("rack-1")
+
+	app, err := r1.LaunchApp(image("hot"), core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, _, err := app.Library.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Library.IncrementCounter(ctr); err != nil {
+		t.Fatal(err)
+	}
+	escrowID, _ := app.Library.EscrowID()
+
+	// The recovery's counter service injects an original-side persist
+	// (a counter create advances the binding and re-escrows) into the
+	// read-to-destroy window.
+	var raceErr error
+	rc := &raceCounters{CounterService: group, trigger: func() {
+		_, _, raceErr = app.Library.CreateCounter()
+	}}
+	e, err := r2.HW.Load(image("hot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := core.NewLibrary(e, rc, core.NewMemoryStorage())
+	lib.EnableEscrow(group, group.EscrowSealer())
+	if err := lib.Recover(r2.ME, escrowID); err != nil {
+		t.Fatalf("recovery racing live original: %v", err)
+	}
+	if raceErr != nil {
+		t.Fatalf("racing persist: %v", raceErr)
+	}
+	// The recovery proceeded from the NEWEST record: the counter the
+	// racing persist created is present, and values continued.
+	if got, err := lib.ReadCounter(ctr); err != nil || got != 1 {
+		t.Fatalf("recovered counter: got %d err=%v", got, err)
+	}
+	if lib.ActiveCounters() != 2 {
+		t.Fatalf("recovered %d active counters, want 2 (racing create included)", lib.ActiveCounters())
+	}
+	// The original is the loser: its next persist finds the binding gone
+	// and freezes.
+	if _, _, err := app.Library.CreateCounter(); !errors.Is(err, core.ErrRecoveredAway) {
+		t.Fatalf("original persist after lost race: err = %v, want ErrRecoveredAway", err)
+	}
+	if !app.Library.Frozen() {
+		t.Fatal("original not frozen after losing the recovery race")
+	}
+}
+
+// TestEscrowSecurity drives the attacker-facing rejection paths of
+// recovery: forged escrow records, replayed stale records (rollback to an
+// old state version), and mix-and-matched record fields must all fail
+// closed.
+func TestEscrowSecurity(t *testing.T) {
+	dc := rackDC(t)
+	r1, _ := dc.Machine("r1")
+	r2, _ := dc.Machine("r2")
+	group, _ := dc.ReplicaGroup("rack-1")
+
+	app, err := r1.LaunchApp(image("vault"), core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, _, err := app.Library.CreateCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	escrowID, _ := app.Library.EscrowID()
+	owner := app.Enclave.MREnclave()
+
+	// Capture the current (stale-to-be) record straight from the store,
+	// the way a compromised coordinator would.
+	staleVer, staleBind, staleBlob, err := group.EscrowGet(owner, escrowID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The state moves on: another counter, more state versions.
+	if _, _, err := app.Library.CreateCounter(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Library.IncrementCounter(ctr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replayed stale escrow: the store itself refuses the version
+	// rollback on a quorum...
+	if err := group.EscrowPut(owner, escrowID, staleVer, staleBind, staleBlob); err == nil {
+		t.Fatal("store accepted a replayed stale escrow record")
+	}
+	r1.Kill()
+	// ...and even a store that served the stale record cannot make a
+	// recovery resurrect it: the binding counter is ahead of the sealed
+	// version. Model the malicious store directly at the library layer.
+	lib, enc := newRecoveryLibrary(t, r2, "vault")
+	lib.EnableEscrow(staleEscrow{ver: staleVer, bind: staleBind, blob: staleBlob}, group.EscrowSealer())
+	err = lib.Recover(r2.ME, escrowID)
+	if !errors.Is(err, core.ErrEscrowStale) {
+		t.Fatalf("stale escrow recovery: err = %v, want ErrEscrowStale", err)
+	}
+	r2.HW.Destroy(enc)
+	// The stale rejection read the counter but did not destroy it: the
+	// genuine record still recovers afterwards (no denial of recovery).
+	recovered, err := dc.RecoverMachine("r1", "r2")
+	if err != nil || len(recovered) != 1 {
+		t.Fatalf("genuine recovery after stale attempt: %d apps, err=%v", len(recovered), err)
+	}
+	if got, err := recovered[0].Library.ReadCounter(ctr); err != nil || got != 1 {
+		t.Fatalf("recovered counter: got %d err=%v", got, err)
+	}
+
+	// Forged escrow record: flip one byte anywhere in the genuine record
+	// and the recovery rejects it before touching any counter.
+	ver2, bind2, blob2, err := group.EscrowGet(owner, escrowID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, _ := dc.Machine("r3")
+	for _, flip := range []int{2, len(blob2) / 2, len(blob2) - 1} {
+		forged := append([]byte(nil), blob2...)
+		forged[flip] ^= 0x40
+		lib, enc := newRecoveryLibrary(t, r3, "vault")
+		lib.EnableEscrow(staleEscrow{ver: ver2, bind: bind2, blob: forged}, group.EscrowSealer())
+		if err := lib.Recover(r3.ME, escrowID); err == nil {
+			t.Fatalf("forged escrow record (byte %d) accepted", flip)
+		}
+		r3.HW.Destroy(enc)
+	}
+	// Mix-and-match: the genuine blob presented under a lowered version
+	// fails the key box's AAD binding (ErrEscrowInvalid), not just the
+	// counter check.
+	lib2, enc2 := newRecoveryLibrary(t, r3, "vault")
+	lib2.EnableEscrow(staleEscrow{ver: ver2 - 1, bind: bind2, blob: blob2}, group.EscrowSealer())
+	if err := lib2.Recover(r3.ME, escrowID); !errors.Is(err, core.ErrEscrowInvalid) {
+		t.Fatalf("mix-and-match version: err = %v, want ErrEscrowInvalid", err)
+	}
+	r3.HW.Destroy(enc2)
+}
+
+// newRecoveryLibrary hand-builds a library on the machine (bypassing
+// LaunchApp) so tests can wire a malicious escrow store.
+func newRecoveryLibrary(t *testing.T, m *cloud.Machine, img string) (*core.Library, *sgx.Enclave) {
+	t.Helper()
+	e, err := m.HW.Load(image(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewLibrary(e, m.CounterFacility(), core.NewMemoryStorage()), e
+}
+
+// staleEscrow is a malicious escrow store serving one fixed record.
+type staleEscrow struct {
+	ver  uint32
+	bind pse.UUID
+	blob []byte
+}
+
+func (s staleEscrow) EscrowPut(_ sgx.Measurement, _ [16]byte, _ uint32, _ pse.UUID, _ []byte) error {
+	return nil
+}
+
+func (s staleEscrow) EscrowGet(_ sgx.Measurement, _ [16]byte) (uint32, pse.UUID, []byte, error) {
+	return s.ver, s.bind, s.blob, nil
+}

@@ -140,3 +140,19 @@ func FuzzDecodeProtocolMessages(f *testing.F) {
 		_, _ = decodeDoneMessage(raw)
 	})
 }
+
+func FuzzDecodeEscrowRecord(f *testing.F) {
+	fuzzSeeds(f)
+	f.Add(encodeEscrowRecord([]byte("wrapped-msk"), []byte("sealed-table-ii-state")))
+	f.Add(encodeEscrowRecord(nil, nil))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		keyBox, state, err := decodeEscrowRecord(raw)
+		if err != nil {
+			return
+		}
+		// An accepted record re-frames to the identical bytes.
+		if re := encodeEscrowRecord(keyBox, state); !bytes.Equal(raw, re) {
+			t.Fatal("canonical re-encoding differs from accepted input")
+		}
+	})
+}

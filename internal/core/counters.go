@@ -20,6 +20,11 @@ type CounterService interface {
 	Read(e *sgx.Enclave, uuid pse.UUID) (uint32, error)
 	// Increment adds one to the counter and returns the new value.
 	Increment(e *sgx.Enclave, uuid pse.UUID) (uint32, error)
+	// IncrementN adds n (>= 1) to the counter in one transaction and
+	// returns the new value (the batched form PR 2 added to the firmware
+	// model; the escrow recovery path uses it to fast-forward a fresh
+	// binding counter to the escrowed version in one round).
+	IncrementN(e *sgx.Enclave, uuid pse.UUID, n int) (uint32, error)
 	// Destroy permanently removes a counter; its UUID is never reused.
 	Destroy(e *sgx.Enclave, uuid pse.UUID) error
 	// DestroyAndRead destroys the counter and returns its final value in

@@ -122,13 +122,23 @@ type libraryState struct {
 	CounterOffsets [NumCounters]uint32
 	// MSK is the Migration Sealing Key used by migratable sealing.
 	MSK [MSKSize]byte
+	// EscrowID identifies this enclave instance in the rack escrow (zero
+	// when the library does not escrow its state).
+	EscrowID [16]byte
+	// BindUUID is the replicated binding counter every escrowed state
+	// version is rollback-bound to; BindVer is the counter value at the
+	// latest persist. Recovery must win the counter's DestroyAndRead at
+	// exactly BindVer.
+	BindUUID pse.UUID
+	BindVer  uint32
 }
 
 // uuidSize is the encoded size of one pse.UUID (ID word plus nonce).
 const uuidSize = 4 + 16
 
 // libraryStateSize is the exact encoded size of libraryState.
-const libraryStateSize = 2 + 1 + NumCounters/8 + NumCounters*uuidSize + 4*NumCounters + MSKSize
+const libraryStateSize = 2 + 1 + NumCounters/8 + NumCounters*uuidSize + 4*NumCounters + MSKSize +
+	16 + uuidSize + 4
 
 func (s *libraryState) encode() ([]byte, error) {
 	out := make([]byte, 0, libraryStateSize)
@@ -142,7 +152,11 @@ func (s *libraryState) encode() ([]byte, error) {
 	for _, v := range s.CounterOffsets {
 		out = appendU32(out, v)
 	}
-	return append(out, s.MSK[:]...), nil
+	out = append(out, s.MSK[:]...)
+	out = append(out, s.EscrowID[:]...)
+	out = appendU32(out, s.BindUUID.ID)
+	out = append(out, s.BindUUID.Nonce[:]...)
+	return appendU32(out, s.BindVer), nil
 }
 
 func decodeLibraryState(raw []byte) (*libraryState, error) {
@@ -161,6 +175,10 @@ func decodeLibraryState(raw []byte) (*libraryState, error) {
 		s.CounterOffsets[i] = rd.u32()
 	}
 	copy(s.MSK[:], rd.take(MSKSize))
+	copy(s.EscrowID[:], rd.take(16))
+	s.BindUUID.ID = rd.u32()
+	copy(s.BindUUID.Nonce[:], rd.take(16))
+	s.BindVer = rd.u32()
 	if err := rd.done(); err != nil {
 		return nil, err
 	}

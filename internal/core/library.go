@@ -90,11 +90,12 @@ type Library struct {
 	frozen      atomic.Bool
 	slots       [NumCounters]atomic.Pointer[slotState]
 
-	// mskSealer is the cached cipher for the MSK, built once at Init.
+	// mskSealer is the shared statesealer for the MSK, built once at Init.
 	// Its lifetime equals the library's hold on the MSK itself, so the
 	// key schedule never outlives its owner in a shared cache. Immutable
-	// after the initialized flag is observed.
-	mskSealer *xcrypto.Sealer
+	// after the initialized flag is observed. It serves both migratable
+	// sealing (Listing 2) and the escrowed copy of the Table II blob.
+	mskSealer *seal.StateSealer
 
 	mu        sync.Mutex // control plane + ME channel ordering
 	st        libraryState
@@ -102,6 +103,12 @@ type Library struct {
 	session   *attest.LocalSession
 	sessionID string
 	doneToken []byte
+
+	// escrow and rack are the rack escrow service and escrow sealing key,
+	// wired by EnableEscrow before Init on rack-associated machines; nil
+	// for CPU-bound (escrow-less) libraries.
+	escrow StateEscrow
+	rack   *seal.StateSealer
 }
 
 // NewLibrary binds the Migration Library to its host enclave, the
@@ -115,9 +122,36 @@ func NewLibrary(enclave *sgx.Enclave, counters CounterService, storage Storage) 
 // stateAAD labels the sealed library blob.
 var stateAAD = []byte("migration-library-state")
 
-// persistLocked seals the current state with the enclave's native sealing
-// key and hands it to untrusted storage (Table II blob). Callers hold mu.
+// persistLocked is the two-tier blob pipeline (the durability refactor):
+//
+//	tier 1 (native): the Table II state is sealed with the enclave's
+//	native sealing key and handed to untrusted local storage — fast
+//	restarts on the same CPU, exactly the paper's path;
+//	tier 2 (escrow): with escrow enabled, the dedicated binding counter
+//	is first advanced (the new version's rollback binding), then the
+//	same encoded state is migratable-sealed by the MSK statesealer and
+//	pushed to the rack's escrow quorum — durability that survives this
+//	CPU.
+//
+// An escrowed library whose binding counter turns out destroyed was
+// recovered on another machine while this copy was presumed dead: it
+// freezes itself and reports ErrRecoveredAway, the same one-winner
+// discipline a migration freeze enforces. Callers hold mu.
 func (l *Library) persistLocked() error {
+	escrowed := l.escrow != nil && l.st.BindUUID.ID != 0
+	if escrowed && l.st.Frozen == 0 {
+		v, err := l.counters.Increment(l.enclave, l.st.BindUUID)
+		if err != nil {
+			if errors.Is(err, pse.ErrCounterNotFound) {
+				l.st.Frozen = 1
+				l.frozen.Store(true)
+				l.publishAllSlotsLocked()
+				return ErrRecoveredAway
+			}
+			return fmt.Errorf("advance escrow binding: %w", err)
+		}
+		l.st.BindVer = v
+	}
 	raw, err := l.st.encode()
 	if err != nil {
 		return err
@@ -128,6 +162,22 @@ func (l *Library) persistLocked() error {
 	}
 	if err := l.storage.Save(blob); err != nil {
 		return fmt.Errorf("persist library state: %w", err)
+	}
+	if escrowed {
+		if err := l.escrowPushLocked(raw); err != nil {
+			if l.st.Frozen != 0 {
+				// The frozen (migrated-away) record is advisory: its
+				// binding counter is already destroyed, so recovery
+				// attempts fail closed with or without it. Do not fail
+				// the freeze over an unreachable rack.
+				return nil
+			}
+			// The local tier is persisted and the binding already moved,
+			// so until the next successful push the escrow lags one
+			// version behind — recovery then fails safe (ErrEscrowStale),
+			// never resurrects the older record.
+			return err
+		}
 	}
 	return nil
 }
@@ -183,8 +233,10 @@ func (l *Library) Init(initState InitState, me *MigrationEnclave) error {
 		}
 		l.st = libraryState{}
 		copy(l.st.MSK[:], mskBytes)
-		if err := l.persistLocked(); err != nil {
-			return err
+		if l.escrow != nil {
+			if err := l.initEscrowLocked(); err != nil {
+				return err
+			}
 		}
 	case InitRestore:
 		blob, err := l.storage.Load()
@@ -207,6 +259,25 @@ func (l *Library) Init(initState InitState, me *MigrationEnclave) error {
 			// operate again (paper §VI-B, Table II).
 			return ErrFrozen
 		}
+		if l.escrow != nil && st.BindUUID.ID != 0 {
+			// The binding counter notarizes the latest persisted version:
+			// a destroyed binding means the state was recovered on
+			// another machine (this copy must stay dead), a value ahead
+			// of the blob means the untrusted storage replayed stale
+			// state. Escrowed libraries therefore get freshness for the
+			// Table II blob itself, which native sealing alone never had.
+			cur, err := l.counters.Read(l.enclave, st.BindUUID)
+			if err != nil {
+				if errors.Is(err, pse.ErrCounterNotFound) {
+					return ErrRecoveredAway
+				}
+				return fmt.Errorf("verify escrow binding: %w", err)
+			}
+			if cur != st.BindVer {
+				return fmt.Errorf("%w: blob at version %d, binding counter at %d",
+					ErrStateStale, st.BindVer, cur)
+			}
+		}
 		l.st = *st
 	case InitMigrated:
 		if err := l.receiveMigrationLocked(); err != nil {
@@ -215,11 +286,29 @@ func (l *Library) Init(initState InitState, me *MigrationEnclave) error {
 	default:
 		return fmt.Errorf("core: invalid init state %d", initState)
 	}
-	sealer, err := seal.NewRawSealer(l.st.MSK[:])
-	if err != nil {
-		return fmt.Errorf("msk cipher: %w", err)
+	// InitMigrated built the sealer inside receiveMigrationLocked (it
+	// must exist before the post-restore persist and, more importantly,
+	// before the DONE that lets the source delete its copy); the other
+	// paths build it here.
+	if l.mskSealer == nil {
+		sealer, err := seal.NewStateSealer(l.st.MSK[:])
+		if err != nil {
+			return fmt.Errorf("msk cipher: %w", err)
+		}
+		l.mskSealer = sealer
 	}
-	l.mskSealer = sealer
+	if initState == InitNew {
+		// The first persist runs with the MSK sealer in place so the
+		// escrow tier can push the sealed state alongside the native
+		// tier. A failed first persist releases the just-created binding
+		// counter (best-effort): the enclave will be destroyed, and a
+		// leaked binding would bleed the rack's hard counter budget one
+		// slot per launch retry.
+		if err := l.persistLocked(); err != nil {
+			l.releaseEscrowBindingLocked()
+			return err
+		}
+	}
 	// Publish the data-plane snapshots only once the whole init
 	// succeeded, then flip the initialized flag: readers that observe
 	// initialized therefore also observe the slots, the MSK, and its
@@ -262,7 +351,23 @@ func (l *Library) receiveMigrationLocked() error {
 		l.st.CounterUUIDs[i] = uuid
 		l.st.CounterOffsets[i] = env.Data.CounterValues[i]
 	}
+	// A migrated-in enclave landing on a rack machine starts a fresh
+	// escrow instance (new binding counter, new escrow ID): its previous
+	// machine's escrow — if any — died with its binding at the freeze.
+	// The MSK sealer must exist before the persist so the escrow tier can
+	// push alongside the native tier.
+	if l.escrow != nil {
+		if err := l.initEscrowLocked(); err != nil {
+			return err
+		}
+	}
+	sealer, err := seal.NewStateSealer(l.st.MSK[:])
+	if err != nil {
+		return fmt.Errorf("msk cipher: %w", err)
+	}
+	l.mskSealer = sealer
 	if err := l.persistLocked(); err != nil {
+		l.releaseEscrowBindingLocked()
 		return err
 	}
 	// DONE: confirm the restore so the source can delete its copy.
@@ -331,7 +436,7 @@ func (l *Library) SealMigratable(additionalMACText, plaintext []byte) ([]byte, e
 	if err := l.ready(); err != nil {
 		return nil, err
 	}
-	return seal.SealRawWith(l.mskSealer, additionalMACText, plaintext)
+	return l.mskSealer.Seal(additionalMACText, plaintext)
 }
 
 // UnsealMigratable is sgx_unseal_migratable_data (Listing 2).
@@ -342,7 +447,7 @@ func (l *Library) UnsealMigratable(blob []byte) (plaintext, additionalMACText []
 	if err := l.ready(); err != nil {
 		return nil, nil, err
 	}
-	return seal.UnsealRawWith(l.mskSealer, blob)
+	return l.mskSealer.Unseal(blob)
 }
 
 // CreateCounter is sgx_create_migratable_counter (Listing 2): it wraps a
@@ -530,13 +635,37 @@ func (l *Library) StartMigration(dest transport.Address) error {
 		data.CountersActive[i] = true
 		data.CounterValues[i] = eff
 	}
+	// The escrow binding counter is destroyed with the app counters: from
+	// this moment no escrowed copy of this enclave's state can ever win a
+	// recovery (the blob is useless without capturing the counter at
+	// exactly the sealed value), so the migrated-away state cannot be
+	// resurrected on a rack peer while it lives on at the destination.
+	if l.escrow != nil && l.st.BindUUID.ID != 0 {
+		if _, err := l.counters.DestroyAndRead(l.enclave, l.st.BindUUID); err != nil {
+			if errors.Is(err, pse.ErrCounterNotFound) {
+				// Already destroyed: a recovery won the counter first —
+				// this copy was resurrected elsewhere and must not export
+				// state.
+				l.st.Frozen = 1
+				l.frozen.Store(true)
+				l.publishAllSlotsLocked()
+				return ErrRecoveredAway
+			}
+			return fmt.Errorf("destroy escrow binding before migration: %w", err)
+		}
+	}
 
 	// 3. Freeze, unpublish the data plane, and persist, so restarts of
 	// this enclave refuse to run and concurrent operations fail with
-	// ErrFrozen from here on.
+	// ErrFrozen from here on. The frozen blob is escrowed too (tier 2 of
+	// persistLocked): recovery attempts then report ErrFrozen instead of
+	// a bare binding failure.
 	l.st.Frozen = 1
 	l.frozen.Store(true)
 	l.publishAllSlotsLocked()
+	if l.escrow != nil && l.st.BindUUID.ID != 0 {
+		l.st.BindVer++ // supersedes the pre-freeze record in the store
+	}
 	if err := l.persistLocked(); err != nil {
 		return err
 	}

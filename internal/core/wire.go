@@ -31,6 +31,7 @@ const (
 	tagMigrationData byte = 0xA3
 	tagLibraryState  byte = 0xA4
 	tagEnvelope      byte = 0xA5
+	tagEscrowRecord  byte = 0xA6
 	tagOffer         byte = 0xB1
 	tagOfferReply    byte = 0xB2
 	tagDataMessage   byte = 0xB3

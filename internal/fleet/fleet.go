@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cloud"
@@ -69,6 +70,9 @@ const (
 	// handed to a target machine before the drain (Source/Dest name the
 	// machines; App is empty).
 	EventReplicaHandoff
+	// EventRecovered: a dead source's enclave was resurrected on Dest
+	// from the rack escrow (recovery mode).
+	EventRecovered
 )
 
 // Event is one progress notification, emitted synchronously from worker
@@ -100,6 +104,18 @@ type Config struct {
 	Meter *Meter
 	// OnEvent, when set, receives progress events.
 	OnEvent func(Event)
+	// SnapshotStore, when set, receives an encoded journal snapshot
+	// mid-plan and at plan end — durable progress an orchestrator that
+	// crashes mid-plan can be resumed from (DecodeJournal +
+	// ResumeParked), instead of only plan-end snapshots. Writes are
+	// best-effort: a failing store never fails the plan.
+	SnapshotStore core.Storage
+	// SnapshotEvery is the snapshot cadence: one write per that many
+	// recorded outcomes (default 1 — after every outcome). Each write
+	// encodes the whole journal-so-far under one lock, so plans with
+	// thousands of migrations should raise it to keep the bookkeeping
+	// off the throughput path; the final snapshot is always written.
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -363,6 +379,31 @@ func (o *Orchestrator) Run(ctx context.Context, plan Plan, assignments []Assignm
 	if o.cfg.Meter != nil {
 		meterBytes, meterMessages = o.cfg.Meter.Bytes(), o.cfg.Meter.Messages()
 	}
+	// snapshot persists the journal-so-far mid-plan (and once at the
+	// end). Serialized so concurrent workers cannot interleave a stale
+	// snapshot after a newer one; best-effort by design.
+	var snapMu sync.Mutex
+	snapshot := func() {
+		if o.cfg.SnapshotStore == nil {
+			return
+		}
+		snapMu.Lock()
+		defer snapMu.Unlock()
+		if raw, err := journal.Encode(); err == nil {
+			_ = o.cfg.SnapshotStore.Save(raw)
+		}
+	}
+	every := o.cfg.SnapshotEvery
+	if every <= 0 {
+		every = 1
+	}
+	var recorded atomic.Int64
+	record := func(e Entry) {
+		journal.Record(e)
+		if recorded.Add(1)%int64(every) == 0 {
+			snapshot()
+		}
+	}
 	start := time.Now()
 	work := make(chan Assignment)
 	var wg sync.WaitGroup
@@ -371,16 +412,26 @@ func (o *Orchestrator) Run(ctx context.Context, plan Plan, assignments []Assignm
 		go func() {
 			defer wg.Done()
 			for as := range work {
+				name := ""
+				if as.App != nil {
+					name = as.App.Image().Name
+				} else if as.Lost.Image != nil {
+					name = as.Lost.Image.Name
+				}
 				if ctx.Err() != nil {
-					journal.Record(Entry{
-						App: as.App.Image().Name, Source: as.Source.ID(),
-						PlannedDest: as.Dest.ID(),
-						Status:      StatusCanceled, Err: ctx.Err().Error(),
+					record(Entry{
+						App: name, Source: as.Source.ID(),
+						PlannedDest: as.Dest.ID(), Recovered: as.Recover,
+						Status: StatusCanceled, Err: ctx.Err().Error(),
 					})
-					o.emit(Event{Type: EventCanceled, App: as.App.Image().Name, Source: as.Source.ID(), Dest: as.Dest.ID(), Err: ctx.Err()})
+					o.emit(Event{Type: EventCanceled, App: name, Source: as.Source.ID(), Dest: as.Dest.ID(), Err: ctx.Err()})
 					continue
 				}
-				journal.Record(o.migrateOne(ctx, as, targets, policy))
+				if as.Recover {
+					record(o.recoverOne(ctx, as, targets, policy))
+				} else {
+					record(o.migrateOne(ctx, as, targets, policy))
+				}
 			}
 		}()
 	}
@@ -389,6 +440,7 @@ func (o *Orchestrator) Run(ctx context.Context, plan Plan, assignments []Assignm
 	}
 	close(work)
 	wg.Wait()
+	snapshot()
 
 	wall := time.Since(start)
 	report := &Report{
@@ -444,6 +496,15 @@ func (o *Orchestrator) handoffReplicas(plan Plan, targets []*cloud.Machine) (int
 	var moves []move
 	claimed := make(map[string]bool)
 	for _, src := range sources {
+		if !src.Alive() {
+			// A dead source's replica share cannot be handed anywhere (its
+			// durable counter state is on that machine); the group already
+			// runs degraded without it, within its f budget, and recovery
+			// mode resurrects the machine's enclaves from the quorum. The
+			// operator re-arms the group via Restart+Reseed or an explicit
+			// HandoffReplica onto a fresh machine.
+			continue
+		}
 		if !src.HostsReplica() {
 			continue
 		}
@@ -482,6 +543,121 @@ func (o *Orchestrator) handoffReplicas(plan Plan, targets []*cloud.Machine) (int
 		o.emit(Event{Type: EventReplicaHandoff, Source: mv.src, Dest: mv.dst})
 	}
 	return handoffs, nil
+}
+
+// recoverOne resurrects one dead source's enclave on the destination
+// from the rack escrow (Assignment.Recover), with retry and
+// redirect-to-another-rack-peer when the destination dies mid-plan.
+// Failures that cannot succeed on any peer — the escrow binding already
+// consumed, the state frozen by a migration, the instance still running —
+// are terminal immediately.
+func (o *Orchestrator) recoverOne(ctx context.Context, as Assignment, targets []*cloud.Machine, policy Policy) Entry {
+	dest := as.Dest
+	entry := Entry{
+		App:         as.Lost.Image.Name,
+		Source:      as.Source.ID(),
+		PlannedDest: dest.ID(),
+		Recovered:   true,
+	}
+	o.emit(Event{Type: EventStart, App: entry.App, Source: entry.Source, Dest: dest.ID()})
+	start := time.Now()
+	finish := func(st Status, ev EventType, err error) Entry {
+		entry.Status = st
+		entry.Dest = dest.ID()
+		entry.Latency = time.Since(start)
+		if err != nil {
+			entry.Err = err.Error()
+		}
+		o.emit(Event{Type: ev, App: entry.App, Source: entry.Source, Dest: dest.ID(), Attempt: entry.Attempts, Err: err})
+		return entry
+	}
+	srcGroup := as.Source.Group()
+	var lastErr error
+	for attempt := 1; attempt <= o.cfg.MaxAttempts; attempt++ {
+		entry.Attempts = attempt
+		if attempt > 1 {
+			if err := o.backoff(ctx, attempt); err != nil {
+				return finish(StatusCanceled, EventCanceled, err)
+			}
+			if !dest.ME.Enclave().Alive() {
+				for _, t := range targets {
+					if t.ID() != dest.ID() && t.ID() != as.Source.ID() &&
+						t.Group() == srcGroup && t.ME.Enclave().Alive() {
+						entry.Redirects++
+						o.emit(Event{Type: EventRedirect, App: entry.App, Source: entry.Source, Dest: t.ID(), Attempt: attempt})
+						dest = t
+						break
+					}
+				}
+			}
+		}
+		app, err := dest.RecoverApp(as.Lost.Image, as.Lost.EscrowID)
+		if err == nil {
+			as.Source.DropLost(as.Lost.EscrowID)
+			entry.StateBytes = stateBytes(app)
+			return finish(StatusCompleted, EventRecovered, nil)
+		}
+		lastErr = err
+		if errors.Is(err, core.ErrEscrowConsumed) || errors.Is(err, core.ErrFrozen) ||
+			errors.Is(err, cloud.ErrInstanceAlive) {
+			// No peer can ever win this record's binding again.
+			return finish(StatusFailed, EventFailed, err)
+		}
+		o.emit(Event{Type: EventRetry, App: entry.App, Source: entry.Source, Dest: dest.ID(), Attempt: attempt, Err: err})
+	}
+	return finish(StatusFailed, EventFailed,
+		fmt.Errorf("%w after %d attempts: %v", ErrAttemptsExhausted, entry.Attempts, lastErr))
+}
+
+// ResumeParked finds every parked migration in the data center — the
+// unfinished business of crashed or interrupted orchestrators — and runs
+// it to completion: for each machine, the source ME's OutstandingTokens
+// name the migrations without a DONE, and the frozen libraries holding a
+// matching token are re-driven through the normal resume path (which
+// prefers the previously targeted machine, restores delivered-but-
+// unconfirmed data in place, and redirects only away from dead
+// destinations). Call it on orchestrator start; together with mid-plan
+// SnapshotStore writes it makes plans survive their orchestrator.
+func (o *Orchestrator) ResumeParked(ctx context.Context) (*Report, error) {
+	policy := Policy(LeastLoaded{})
+	machines := o.dc.Machines()
+	targets := defaultTargets(o.dc, nil)
+	load := make(map[string]int, len(targets))
+	for _, t := range targets {
+		load[t.ID()] = t.AppCount()
+	}
+	var assignments []Assignment
+	for _, m := range machines {
+		if !m.Alive() {
+			continue
+		}
+		outstanding := make(map[string]bool)
+		for _, tok := range m.ME.OutstandingTokens() {
+			outstanding[string(tok)] = true
+		}
+		if len(outstanding) == 0 {
+			continue
+		}
+		for _, app := range m.Apps() {
+			tok := app.Library.MigrationToken()
+			if tok == nil || !outstanding[string(tok)] || !app.Library.Frozen() {
+				continue
+			}
+			var candidates []*cloud.Machine
+			for _, t := range targets {
+				if t.ID() != m.ID() && t.ME.Enclave().Alive() {
+					candidates = append(candidates, t)
+				}
+			}
+			dest, err := policy.Pick(app, candidates, load)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: resume %s from %s: %w", app.Image().Name, m.ID(), err)
+			}
+			load[dest.ID()]++
+			assignments = append(assignments, Assignment{App: app, Source: m, Dest: dest})
+		}
+	}
+	return o.Run(ctx, Plan{Intent: IntentDrain, Policy: policy}, assignments)
 }
 
 // migrateOne runs one migration end to end: freeze + transfer at the

@@ -68,7 +68,11 @@ type Entry struct {
 	// DoneConfirmed records whether the source ME received the DONE
 	// confirmation from the destination (Fig. 2's final arrow).
 	DoneConfirmed bool
-	Status        Status
+	// Recovered marks an escrow-based resurrection (recovery mode): the
+	// enclave was re-instantiated from the rack escrow because its source
+	// machine was gone, not migrated from a live source.
+	Recovered bool
+	Status    Status
 	// Err is the final error for failed or canceled migrations.
 	Err string
 }

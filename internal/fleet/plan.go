@@ -80,6 +80,13 @@ type Plan struct {
 	// max-to-min leveler (any other placement could unbalance the fleet);
 	// its Policy applies to redirects only.
 	Policy Policy
+	// Recover turns on recovery mode for Drain/Evacuate plans: sources
+	// that are DEAD no longer contribute zero assignments (their parked
+	// migrations used to park forever) — instead, every escrowed enclave
+	// they lost is scheduled for escrow-based resurrection on a rack
+	// peer among the targets. Live sources still migrate normally, so
+	// one plan empties a half-failed rack.
+	Recover bool
 }
 
 // Drain plans moving every enclave off the given machines.
@@ -97,17 +104,33 @@ func Evacuate(sources, targets []string) Plan {
 	return Plan{Intent: IntentEvacuate, Sources: sources, Targets: targets}
 }
 
-// Assignment is one planned migration: move App from Source to Dest.
+// RecoverLost plans the resurrection of dead machines' escrowed enclaves
+// on rack peers (an evacuation in recovery mode). Empty targets means
+// every live non-source machine; only rack peers of each dead source are
+// actually eligible.
+func RecoverLost(sources, targets []string) Plan {
+	return Plan{Intent: IntentEvacuate, Sources: sources, Targets: targets, Recover: true}
+}
+
+// Assignment is one planned migration: move App from Source to Dest —
+// or, in recovery mode (Recover true, App nil), resurrect the dead
+// source's Lost enclave on Dest from the rack escrow.
 type Assignment struct {
-	App    *cloud.App
-	Source *cloud.Machine
-	Dest   *cloud.Machine
+	App     *cloud.App
+	Source  *cloud.Machine
+	Dest    *cloud.Machine
+	Recover bool
+	Lost    cloud.LostApp
 }
 
 // Policy chooses a destination for one enclave. load maps machine ID to
 // its enclave count: during plan compilation, live apps plus
 // already-planned arrivals (the load as it will be); during
 // mid-operation redirects, the live count at that moment.
+//
+// app is nil when placing an escrow-based resurrection (recovery mode):
+// the enclave is dead, so there is no live *cloud.App to inspect —
+// policies must tolerate a nil app and fall back to load-only placement.
 type Policy interface {
 	Name() string
 	Pick(app *cloud.App, candidates []*cloud.Machine, load map[string]int) (*cloud.Machine, error)
@@ -251,6 +274,14 @@ func (p Plan) compileDrain(dc *cloud.DataCenter, policy Policy) ([]Assignment, e
 	}
 	var out []Assignment
 	for _, src := range sources {
+		if p.Recover && !src.Alive() {
+			recovered, err := compileRecovery(src, targets, policy, load)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, recovered...)
+			continue
+		}
 		for _, app := range sortedApps(src) {
 			dest, err := policy.Pick(app, targets, load)
 			if err != nil {
@@ -259,6 +290,42 @@ func (p Plan) compileDrain(dc *cloud.DataCenter, policy Policy) ([]Assignment, e
 			load[dest.ID()]++
 			out = append(out, Assignment{App: app, Source: src, Dest: dest})
 		}
+	}
+	return out, nil
+}
+
+// compileRecovery schedules escrow-based resurrection for a dead
+// source's lost enclaves: each escrowed lost app is placed on a live
+// rack peer of the source (only peers share the escrow and the
+// counters). Un-escrowed apps are skipped — nothing can bring them back
+// but a Restart of their own machine.
+func compileRecovery(src *cloud.Machine, targets []*cloud.Machine, policy Policy, load map[string]int) ([]Assignment, error) {
+	lost := src.LostApps()
+	sort.Slice(lost, func(i, j int) bool { return lost[i].Image.Name < lost[j].Image.Name })
+	srcGroup := src.Group()
+	var peers []*cloud.Machine
+	if srcGroup != nil {
+		for _, t := range targets {
+			if t.Group() == srcGroup && t.ME.Enclave().Alive() {
+				peers = append(peers, t)
+			}
+		}
+	}
+	var out []Assignment
+	for _, la := range lost {
+		if !la.Escrowed {
+			continue
+		}
+		if len(peers) == 0 {
+			return nil, fmt.Errorf("%w: no live rack peer to recover %s from %s",
+				ErrNoDestination, la.Image.Name, src.ID())
+		}
+		dest, err := policy.Pick(nil, peers, load)
+		if err != nil {
+			return nil, err
+		}
+		load[dest.ID()]++
+		out = append(out, Assignment{Source: src, Dest: dest, Recover: true, Lost: la})
 	}
 	return out, nil
 }

@@ -35,6 +35,7 @@ const maxJournalEntries = 1 << 20
 const (
 	flagSourceFrozen  byte = 1 << 0
 	flagDoneConfirmed byte = 1 << 1
+	flagRecovered     byte = 1 << 2
 )
 
 // Encode serializes the journal for untrusted storage.
@@ -59,6 +60,9 @@ func (j *Journal) Encode() ([]byte, error) {
 		}
 		if e.DoneConfirmed {
 			flags |= flagDoneConfirmed
+		}
+		if e.Recovered {
+			flags |= flagRecovered
 		}
 		out = append(out, flags, byte(e.Status))
 		out = wirec.AppendString(out, e.Err)
@@ -99,6 +103,7 @@ func DecodeJournal(raw []byte) (*Journal, error) {
 		flags := rd.U8()
 		e.SourceFrozen = flags&flagSourceFrozen != 0
 		e.DoneConfirmed = flags&flagDoneConfirmed != 0
+		e.Recovered = flags&flagRecovered != 0
 		e.Status = Status(rd.U8())
 		e.Err = rd.String()
 		if rd.Err() != nil {
@@ -107,7 +112,7 @@ func DecodeJournal(raw []byte) (*Journal, error) {
 		if e.Status < StatusCompleted || e.Status > StatusCanceled {
 			return nil, fmt.Errorf("%w: unknown status %d", ErrJournalFormat, e.Status)
 		}
-		if e.Latency < 0 || flags&^(flagSourceFrozen|flagDoneConfirmed) != 0 {
+		if e.Latency < 0 || flags&^(flagSourceFrozen|flagDoneConfirmed|flagRecovered) != 0 {
 			return nil, fmt.Errorf("%w: invalid entry encoding", ErrJournalFormat)
 		}
 		j.entries = append(j.entries, e)

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/pse"
+	"repro/internal/seal"
 	"repro/internal/sgx"
 	"repro/internal/transport"
 	"repro/internal/xcrypto"
@@ -80,10 +81,26 @@ type Group struct {
 	// votes, and no UUID nonce capabilities in the clear.
 	sealer *xcrypto.Sealer
 
-	// memMu guards membership and is held (read) across every quorum
-	// broadcast, so reconfiguration (Reseed, Handoff) serializes against
-	// in-flight commits: a snapshot taken under the write lock reflects
-	// every committed operation.
+	// escrowSealer is the rack escrow key: enclaves on rack-associated
+	// machines wrap their MSK under it when escrowing state, and a
+	// recovering enclave on any rack peer unwraps it. Like the group key
+	// it is installed during the secure provisioning phase (the cloud
+	// layer hands it to the Migration Library at launch).
+	escrowSealer *seal.StateSealer
+
+	// pending tracks broadcast sender goroutines and late-vote repairers
+	// that outlive an early-quorum return; Quiesce waits for them.
+	pending sync.WaitGroup
+
+	// memMu guards membership and is held (read) while a quorum
+	// broadcast collects its deciding votes, so reconfiguration (Reseed,
+	// Handoff) serializes against the commit point of in-flight
+	// operations: a snapshot taken under the write lock reflects every
+	// operation that has returned. Straggler votes and their background
+	// read-repairs can outlive the read lock (the early-quorum return);
+	// they are forward-only opAdvance traffic that cannot regress the
+	// snapshot, and Quiesce waits them out when a settled group is
+	// needed.
 	memMu   sync.RWMutex
 	members map[string]transport.Address
 
@@ -146,12 +163,21 @@ func NewGroup(name string, f int, msgr transport.Messenger, replicas ...*Replica
 	if err != nil {
 		return nil, fmt.Errorf("group sealer: %w", err)
 	}
+	escrowKeyBytes, err := xcrypto.RandomBytes(32)
+	if err != nil {
+		return nil, fmt.Errorf("escrow key: %w", err)
+	}
+	escrowSealer, err := seal.NewStateSealer(escrowKeyBytes)
+	if err != nil {
+		return nil, fmt.Errorf("escrow sealer: %w", err)
+	}
 	g := &Group{
 		name:          name,
 		f:             f,
 		msgr:          msgr,
 		addr:          transport.Address("ctr-group/" + name),
 		sealer:        sealer,
+		escrowSealer:  escrowSealer,
 		members:       make(map[string]transport.Address, len(replicas)),
 		perOwner:      make(map[sgx.Measurement]int),
 		destroyFinals: make(map[uint32]uint32),
@@ -255,8 +281,16 @@ type vote struct {
 	id    string
 	reply *opReply
 	snap  *syncMessage
+	esc   *escrowReply
 	err   error
 }
+
+// Reply kinds a broadcast decodes into votes.
+const (
+	replyOp = iota
+	replySnap
+	replyEscrow
+)
 
 // newNonce draws a per-request freshness value.
 func newNonce() (uint64, error) {
@@ -279,44 +313,97 @@ func newNonce() (uint64, error) {
 // votes from earlier requests (or another replica's vote for this one)
 // cannot fake an ack. Callers hold memMu (read for ops, write for
 // reconfiguration).
-func (g *Group) broadcastLocked(members map[string]transport.Address, kind string, payload []byte, nonce uint64, wantSnap bool) ([]vote, error) {
-	votes := make([]vote, 0, len(members))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+//
+// When early is non-nil, the collection returns as soon as early(votes)
+// reports the outcome decidable instead of waiting for every replica's
+// reply — so one hung peer adds nothing to the operation's latency
+// instead of its full transport deadline. The returned late channel
+// (non-nil only after an early return) carries the outstanding votes;
+// senders write into a fully buffered channel and can never block, so a
+// caller may simply drop it. Callers that fail (no early return) always
+// see the complete vote set.
+func (g *Group) broadcastLocked(members map[string]transport.Address, kind string, payload []byte, nonce uint64, replyKind int, early func([]vote) bool) (votes []vote, late <-chan vote) {
+	ch := make(chan vote, len(members))
 	for id, addr := range members {
-		sealed, err := g.sealer.Seal(payload, aadReq(kind, id))
-		if err != nil {
-			return nil, fmt.Errorf("seal %s broadcast for %s: %w", kind, id, err)
-		}
-		wg.Add(1)
-		go func(id string, addr transport.Address, sealed []byte) {
-			defer wg.Done()
+		g.pending.Add(1)
+		go func(id string, addr transport.Address) {
+			defer g.pending.Done()
 			v := vote{id: id}
-			raw, err := g.msgr.Send(g.addr, addr, kind, sealed)
+			sealed, err := g.sealer.Seal(payload, aadReq(kind, id))
 			if err == nil {
-				raw, err = g.sealer.Open(raw, aadRep(kind, id))
-			}
-			if err != nil {
-				v.err = err
-			} else if wantSnap {
-				v.snap, v.err = decodeSyncMessage(raw)
-				if v.err == nil && v.snap.Nonce != nonce {
-					v.snap, v.err = nil, fmt.Errorf("%w: stale snapshot reply", ErrBadAuth)
+				var raw []byte
+				raw, err = g.msgr.Send(g.addr, addr, kind, sealed)
+				if err == nil {
+					raw, err = g.sealer.Open(raw, aadRep(kind, id))
 				}
-			} else {
-				v.reply, v.err = decodeOpReply(raw)
-				if v.err == nil && v.reply.Nonce != nonce {
-					v.reply, v.err = nil, fmt.Errorf("%w: stale vote", ErrBadAuth)
+				if err == nil {
+					switch replyKind {
+					case replySnap:
+						v.snap, err = decodeSyncMessage(raw)
+						if err == nil && v.snap.Nonce != nonce {
+							v.snap, err = nil, fmt.Errorf("%w: stale snapshot reply", ErrBadAuth)
+						}
+					case replyEscrow:
+						v.esc, err = decodeEscrowReply(raw)
+						if err == nil && v.esc.Nonce != nonce {
+							v.esc, err = nil, fmt.Errorf("%w: stale escrow reply", ErrBadAuth)
+						}
+					default:
+						v.reply, err = decodeOpReply(raw)
+						if err == nil && v.reply.Nonce != nonce {
+							v.reply, err = nil, fmt.Errorf("%w: stale vote", ErrBadAuth)
+						}
+					}
 				}
 			}
-			mu.Lock()
-			votes = append(votes, v)
-			mu.Unlock()
-		}(id, addr, sealed)
+			v.err = err
+			ch <- v
+		}(id, addr)
 	}
-	wg.Wait()
+	votes = make([]vote, 0, len(members))
+	for i := 0; i < len(members); i++ {
+		votes = append(votes, <-ch)
+		if early != nil && early(votes) && i+1 < len(members) {
+			return votes, ch
+		}
+	}
 	return votes, nil
 }
+
+// successRule is the early-return predicate of a quorum op: the outcome
+// is decidably successful once a majority acked (with at least one OK
+// when gone counts as an ack). Failure is never decided early — refusals
+// and transport errors wait for the full vote set, because a late ack can
+// still flip a refusal into ErrNoQuorum (the minority-refusal rule) and,
+// on destroys, a late OK carries a final value that must reach
+// destroyFinals. Success is safe to decide early by quorum intersection:
+// any committed (or read-observed, hence read-repaired onto a majority)
+// value lives on f+1 replicas, so the maximum over ANY f+1 acks already
+// includes it.
+func (g *Group) successRule(goneIsAck bool) func([]vote) bool {
+	q := g.Quorum()
+	return func(votes []vote) bool {
+		oks, gones := 0, 0
+		for i := range votes {
+			v := &votes[i]
+			if v.err != nil || v.reply == nil {
+				continue
+			}
+			if v.reply.Status == statusOK {
+				oks++
+			} else if goneIsAck && v.reply.Status == statusGone {
+				gones++
+			}
+		}
+		return oks >= 1 && oks+gones >= q
+	}
+}
+
+// Quiesce waits for background broadcast work: straggler votes still in
+// flight after an early-quorum return and the read-repairs driven by
+// them. Operators and tests call it to observe a settled group; normal
+// operation never needs to.
+func (g *Group) Quiesce() { g.pending.Wait() }
 
 // tally reduces op votes to quorum semantics: success when a majority
 // acked (value = max over acks, covering stragglers that missed earlier
@@ -398,10 +485,11 @@ func statusErr(st byte) error {
 }
 
 // quorumOp stamps one operation with a fresh nonce, broadcasts it, and
-// applies the quorum tally. A replayed request at a replica can at most
-// over-advance a counter (like a firmware retry after a lost ack) —
-// never regress one — so requests need no dedup state replica-side; the
-// nonce's job is making the votes unforgeable.
+// applies the quorum tally, returning as soon as the success tally is
+// decidable. A replayed request at a replica can at most over-advance a
+// counter (like a firmware retry after a lost ack) — never regress one —
+// so requests need no dedup state replica-side; the nonce's job is making
+// the votes unforgeable.
 func (g *Group) quorumOp(m *opMessage, goneIsAck bool) (uint32, error) {
 	nonce, err := newNonce()
 	if err != nil {
@@ -410,10 +498,7 @@ func (g *Group) quorumOp(m *opMessage, goneIsAck bool) (uint32, error) {
 	m.Nonce = nonce
 	g.memMu.RLock()
 	defer g.memMu.RUnlock()
-	votes, err := g.broadcastLocked(g.members, kindOp, m.encode(), nonce, false)
-	if err != nil {
-		return 0, err
-	}
+	votes, _ := g.broadcastLocked(g.members, kindOp, m.encode(), nonce, replyOp, g.successRule(goneIsAck))
 	return g.tally(votes, goneIsAck)
 }
 
@@ -526,8 +611,13 @@ func (g *Group) Inspect(owner sgx.Measurement, uuid pse.UUID) (uint32, error) {
 }
 
 // commitOp is the shared commit sequence of reads and increments: stamp
-// a fresh nonce, broadcast, tally, and confirm the result durable on a
-// majority (repairing stragglers) before returning it.
+// a fresh nonce, broadcast, tally — returning as soon as a quorum of acks
+// makes the result decidable — and confirm the result durable on a
+// majority (repairing stragglers) before returning it. Votes that arrive
+// after an early return are drained in the background and read-repaired
+// the same way, so the healing the full-wait collection performed still
+// happens; it just no longer sits on the caller's latency path
+// (Quiesce observes its completion).
 func (g *Group) commitOp(m *opMessage) (uint32, error) {
 	nonce, err := newNonce()
 	if err != nil {
@@ -535,11 +625,9 @@ func (g *Group) commitOp(m *opMessage) (uint32, error) {
 	}
 	m.Nonce = nonce
 	g.memMu.RLock()
-	votes, err := g.broadcastLocked(g.members, kindOp, m.encode(), nonce, false)
+	total := len(g.members)
+	votes, late := g.broadcastLocked(g.members, kindOp, m.encode(), nonce, replyOp, g.successRule(false))
 	g.memMu.RUnlock()
-	if err != nil {
-		return 0, err
-	}
 	v, err := g.tally(votes, false)
 	if err != nil {
 		return 0, err
@@ -547,6 +635,7 @@ func (g *Group) commitOp(m *opMessage) (uint32, error) {
 	if err := g.confirmDurable(m, votes, v); err != nil {
 		return 0, err
 	}
+	g.repairLate(m, late, total-len(votes), v)
 	return v, nil
 }
 
@@ -580,25 +669,7 @@ func (g *Group) confirmDurable(m *opMessage, votes []vote, v uint32) error {
 	if confirmed >= g.Quorum() && len(lagging) == 0 {
 		return nil
 	}
-	adv := &opMessage{Op: opAdvance, UUID: m.UUID, Owner: m.Owner, N: v}
-	nonce, err := newNonce()
-	if err != nil {
-		return err
-	}
-	adv.Nonce = nonce
-	g.memMu.RLock()
-	subset := make(map[string]transport.Address, len(lagging))
-	for _, id := range lagging {
-		if addr, ok := g.members[id]; ok {
-			subset[id] = addr
-		}
-	}
-	repairs, err := g.broadcastLocked(subset, kindOp, adv.encode(), nonce, false)
-	g.memMu.RUnlock()
-	if err != nil {
-		return err
-	}
-	for _, vt := range repairs {
+	for _, vt := range g.advanceSubset(m, lagging, v) {
 		if vt.err == nil && vt.reply != nil && vt.reply.Status == statusOK && vt.reply.Value >= v {
 			confirmed++
 		}
@@ -610,10 +681,55 @@ func (g *Group) confirmDurable(m *opMessage, votes []vote, v uint32) error {
 	return nil
 }
 
-// (Latency note: quorum broadcasts currently wait for every replica's
-// answer; with the TCP send deadline a hung peer bounds, not blocks,
-// an operation. Returning as soon as the tally is decidable is the
-// ROADMAP follow-on.)
+// advanceSubset read-repairs the named members up to v for m's counter
+// (forward-only, idempotent) and returns their votes.
+func (g *Group) advanceSubset(m *opMessage, ids []string, v uint32) []vote {
+	if len(ids) == 0 {
+		return nil
+	}
+	adv := &opMessage{Op: opAdvance, UUID: m.UUID, Owner: m.Owner, N: v}
+	nonce, err := newNonce()
+	if err != nil {
+		return nil
+	}
+	adv.Nonce = nonce
+	g.memMu.RLock()
+	subset := make(map[string]transport.Address, len(ids))
+	for _, id := range ids {
+		if addr, ok := g.members[id]; ok {
+			subset[id] = addr
+		}
+	}
+	repairs, _ := g.broadcastLocked(subset, kindOp, adv.encode(), nonce, replyOp, nil)
+	g.memMu.RUnlock()
+	return repairs
+}
+
+// repairLate drains the votes outstanding after an early-quorum return
+// and read-repairs stragglers that answered below the returned value (or
+// missed the counter's create entirely) — the same healing the full-wait
+// collection performed, off the caller's latency path.
+func (g *Group) repairLate(m *opMessage, late <-chan vote, remaining int, v uint32) {
+	if late == nil || remaining <= 0 {
+		return
+	}
+	g.pending.Add(1)
+	go func() {
+		defer g.pending.Done()
+		var lagging []string
+		for i := 0; i < remaining; i++ {
+			vt := <-late
+			if vt.err != nil || vt.reply == nil {
+				continue
+			}
+			if vt.reply.Status == statusNotFound ||
+				(vt.reply.Status == statusOK && vt.reply.Value < v) {
+				lagging = append(lagging, vt.id)
+			}
+		}
+		g.advanceSubset(m, lagging, v)
+	}()
+}
 
 // Destroy permanently removes a replicated counter.
 func (g *Group) Destroy(e *sgx.Enclave, uuid pse.UUID) error {
@@ -644,13 +760,16 @@ func (g *Group) DestroyAndRead(e *sgx.Enclave, uuid pse.UUID) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Destroys never return early: destruction must be sticky the moment
+	// the call returns (an op racing a straggler's late destroy-apply
+	// would see a live counter), and the finals bookkeeping above needs
+	// every OK vote. One hung peer costing a rare, once-per-lifetime
+	// destroy its transport deadline is the right trade; the hot ops
+	// (create/increment/read/escrow) are the ones that return on quorum.
 	m := &opMessage{Op: opDestroyRead, UUID: uuid, Owner: owner, Nonce: nonce}
 	g.memMu.RLock()
-	votes, err := g.broadcastLocked(g.members, kindOp, m.encode(), nonce, false)
+	votes, _ := g.broadcastLocked(g.members, kindOp, m.encode(), nonce, replyOp, nil)
 	g.memMu.RUnlock()
-	if err != nil {
-		return 0, err
-	}
 	g.recoverMu.Lock()
 	for _, vt := range votes {
 		if vt.err == nil && vt.reply != nil && vt.reply.Status == statusOK {
@@ -707,13 +826,15 @@ func (g *Group) collectLocked(members map[string]transport.Address, minResponses
 		return nil, err
 	}
 	req := (&opMessage{Op: opSnapshot, Nonce: nonce}).encode()
-	votes, err := g.broadcastLocked(members, kindOp, req, nonce, true)
-	if err != nil {
-		return nil, err
-	}
+	// Reconfiguration snapshots always wait for every member: missing a
+	// slow replica's higher value here would seed the target low (still
+	// forward-only, but needlessly behind), and reseeds/handoffs are rare
+	// enough to pay the full deadline.
+	votes, _ := g.broadcastLocked(members, kindOp, req, nonce, replySnap, nil)
 	merged := &syncMessage{Next: g.nextID.Load()}
 	byID := make(map[uint32]*syncEntry)
 	dead := make(map[uint32]bool)
+	escBest := make(map[escrowKey]*escrowEntry)
 	responses := 0
 	for _, v := range votes {
 		if v.err != nil || v.snap == nil {
@@ -735,6 +856,13 @@ func (g *Group) collectLocked(members map[string]transport.Address, minResponses
 		}
 		for _, id := range v.snap.Tombstones {
 			dead[id] = true
+		}
+		for i := range v.snap.Escrows {
+			e := &v.snap.Escrows[i]
+			k := escrowKey{owner: e.Owner, id: e.ID}
+			if cur, ok := escBest[k]; !ok || e.Version > cur.Version {
+				escBest[k] = e
+			}
 		}
 	}
 	if responses < minResponses {
@@ -758,8 +886,18 @@ func (g *Group) collectLocked(members map[string]transport.Address, minResponses
 	for id := range dead {
 		merged.Tombstones = append(merged.Tombstones, id)
 	}
+	for _, e := range escBest {
+		merged.Escrows = append(merged.Escrows, *e)
+	}
 	sort.Slice(merged.Entries, func(i, j int) bool { return merged.Entries[i].UUID.ID < merged.Entries[j].UUID.ID })
 	sort.Slice(merged.Tombstones, func(i, j int) bool { return merged.Tombstones[i] < merged.Tombstones[j] })
+	sort.Slice(merged.Escrows, func(i, j int) bool {
+		a, b := &merged.Escrows[i], &merged.Escrows[j]
+		if a.Owner != b.Owner {
+			return string(a.Owner[:]) < string(b.Owner[:])
+		}
+		return string(a.ID[:]) < string(b.ID[:])
+	})
 	return merged, nil
 }
 
@@ -792,6 +930,112 @@ func (g *Group) Reseed(id string) error {
 		return fmt.Errorf("reseed %s: %w", id, err)
 	}
 	return nil
+}
+
+// ErrEscrowNotFound reports an escrow lookup for which no quorum member
+// holds a record.
+var ErrEscrowNotFound = errors.New("pserepl: no escrowed state for this enclave instance")
+
+// EscrowSealer returns the rack escrow key's statesealer, provisioned to
+// enclaves on rack-associated machines at launch (the cloud layer's
+// secure setup phase, like Migration Enclave credentials).
+func (g *Group) EscrowSealer() *seal.StateSealer { return g.escrowSealer }
+
+// EscrowPut stores one enclave instance's escrow record on the rack,
+// committing it on a quorum of replicas (core.StateEscrow). Replicas
+// supersede strictly by version, so the store itself is forward-only; a
+// put refused as stale everywhere means a newer record is already
+// escrowed (a lost race with a recovery's re-escrow).
+func (g *Group) EscrowPut(owner sgx.Measurement, id [16]byte, version uint32, bind pse.UUID, blob []byte) error {
+	nonce, err := newNonce()
+	if err != nil {
+		return err
+	}
+	m := &escrowMessage{
+		Op:    escrowPut,
+		Entry: escrowEntry{Owner: owner, ID: id, Version: version, Bind: bind, Blob: blob},
+		Nonce: nonce,
+	}
+	q := g.Quorum()
+	early := func(votes []vote) bool {
+		oks := 0
+		for i := range votes {
+			if votes[i].esc != nil && votes[i].esc.Status == statusOK {
+				oks++
+			}
+		}
+		return oks >= q
+	}
+	g.memMu.RLock()
+	votes, _ := g.broadcastLocked(g.members, kindEscrow, m.encode(), nonce, replyEscrow, early)
+	g.memMu.RUnlock()
+	oks, stales := 0, 0
+	for i := range votes {
+		if votes[i].esc == nil {
+			continue
+		}
+		switch votes[i].esc.Status {
+		case statusOK:
+			oks++
+		case statusStale:
+			stales++
+		}
+	}
+	if oks >= q {
+		return nil
+	}
+	if stales >= q {
+		return fmt.Errorf("pserepl: escrow version %d superseded on a quorum", version)
+	}
+	return fmt.Errorf("%w: escrow put acked by %d of %d replicas, need %d",
+		ErrNoQuorum, oks, len(votes), q)
+}
+
+// EscrowGet fetches the highest-version escrow record a quorum of
+// replicas holds for the instance (core.StateEscrow). By quorum
+// intersection the result includes the newest committed record; a newer
+// partially-stored record (its put failed mid-quorum) may be returned
+// too, which is exactly right — the binding counter already advanced to
+// its version, so only it can win a recovery.
+func (g *Group) EscrowGet(owner sgx.Measurement, id [16]byte) (uint32, pse.UUID, []byte, error) {
+	nonce, err := newNonce()
+	if err != nil {
+		return 0, pse.UUID{}, nil, err
+	}
+	m := &escrowMessage{Op: escrowGet, Entry: escrowEntry{Owner: owner, ID: id}, Nonce: nonce}
+	q := g.Quorum()
+	early := func(votes []vote) bool {
+		responses := 0
+		for i := range votes {
+			if votes[i].esc != nil {
+				responses++
+			}
+		}
+		return responses >= q
+	}
+	g.memMu.RLock()
+	votes, _ := g.broadcastLocked(g.members, kindEscrow, m.encode(), nonce, replyEscrow, early)
+	g.memMu.RUnlock()
+	responses := 0
+	var best *escrowEntry
+	for i := range votes {
+		e := votes[i].esc
+		if e == nil {
+			continue
+		}
+		responses++
+		if e.Status == statusOK && (best == nil || e.Entry.Version > best.Version) {
+			best = &votes[i].esc.Entry
+		}
+	}
+	if responses < q {
+		return 0, pse.UUID{}, nil, fmt.Errorf("%w: %d escrow responses, need %d",
+			ErrNoQuorum, responses, q)
+	}
+	if best == nil {
+		return 0, pse.UUID{}, nil, ErrEscrowNotFound
+	}
+	return best.Version, best.Bind, best.Blob, nil
 }
 
 // Handoff transfers the replica role of member oldID to the fresh

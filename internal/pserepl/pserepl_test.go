@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/pse"
 	"repro/internal/sgx"
@@ -342,10 +343,15 @@ func TestReplicationCharges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	g.Quiesce() // let the create's straggler vote land before the reset
 	r.lat.Reset()
 	if _, err := g.Increment(r.client, uuid); err != nil {
 		t.Fatal(err)
 	}
+	// The increment returns as soon as a majority acked; wait for the
+	// straggler's vote (and any late repair) so the full fan-out cost is
+	// visible before counting.
+	g.Quiesce()
 	counts := r.lat.Counts()
 	if got := counts[sim.OpCounterIncrement]; got != 3 {
 		t.Fatalf("firmware increments = %d, want 3", got)
@@ -476,6 +482,9 @@ func TestForgedAndReplayedTrafficRejected(t *testing.T) {
 	if got, err := g.Read(r.client, uuid); err != nil || got != 4 {
 		t.Fatalf("recorded read: got %d err=%v", got, err)
 	}
+	// The read returns on the first decidable majority; the straggler's
+	// vote is still being recorded. Settle before reading oldVotes.
+	g.Quiesce()
 	r.net.SetAdversary(nil)
 	if _, err := g.IncrementN(r.client, uuid, 3); err != nil {
 		t.Fatal(err)
@@ -712,6 +721,10 @@ func TestStragglerRefusalIsNotAuthoritative(t *testing.T) {
 	if got, err := g.Read(r.client, uuid); err != nil || got != 4 {
 		t.Fatalf("read after recovery: got %d err=%v", got, err)
 	}
+	// With the early-quorum return the healing opAdvance may run off the
+	// latency path (the straggler's not-found vote can arrive after the
+	// read returned); wait for it before relying on the heal.
+	g.Quiesce()
 	r.machines[0].Restart() // rep-0 (an original create acker) dies
 	if got, err := g.Read(r.client, uuid); err != nil || got != 4 {
 		t.Fatalf("read served by healed straggler: got %d err=%v", got, err)
@@ -790,9 +803,15 @@ func TestReadRepairKeepsObservedValueVisible(t *testing.T) {
 	}
 	r.net.SetAdversary(nil)
 	// A read observes the partial value 5 — and repairs the stragglers.
+	// With the early-quorum return the ack set is the first majority to
+	// answer; slowing rep-2 pins it to {rep-0, rep-1} so the read
+	// deterministically observes the tainted replica's 5.
+	r.net.SetAdversary(slowPeer{kind: kindOp, to: r.replicas[2].Address(), d: 10 * time.Millisecond})
 	if got, err := g.Read(r.client, uuid); err != nil || got != 5 {
 		t.Fatalf("read observing partial increment: got %d err=%v", got, err)
 	}
+	g.Quiesce() // the straggler's late vote is repaired off the latency path
+	r.net.SetAdversary(nil)
 	// The tainted replica dies (within the f budget); the observed value
 	// must not vanish from the fleet.
 	r.machines[0].Restart()
@@ -800,6 +819,22 @@ func TestReadRepairKeepsObservedValueVisible(t *testing.T) {
 		t.Fatalf("read after tainted replica died: got %d err=%v (regression)", got, err)
 	}
 }
+
+// slowPeer delays requests to one address — a hung (but not dead) peer.
+type slowPeer struct {
+	kind string
+	to   transport.Address
+	d    time.Duration
+}
+
+func (a slowPeer) OnRequest(msg *transport.Message) error {
+	if msg.Kind == a.kind && msg.To == a.to {
+		time.Sleep(a.d)
+	}
+	return nil
+}
+
+func (a slowPeer) OnResponse(transport.Message, *[]byte) error { return nil }
 
 // TestConcurrentIncrementsUnique pins the firmware-like unique-result
 // property: concurrent increments of one counter — e.g. a forked clone
@@ -865,11 +900,16 @@ func TestIncrementResultDurable(t *testing.T) {
 	}
 	r.net.SetAdversary(nil)
 	// The retry returns 6 — rep-0's divergent history — and must confirm
-	// it on a majority before returning.
+	// it on a majority before returning. Slowing rep-2 pins the early
+	// ack set to {rep-0, rep-1}, so the divergent holder is
+	// deterministically observed.
+	r.net.SetAdversary(slowPeer{kind: kindOp, to: r.replicas[2].Address(), d: 10 * time.Millisecond})
 	got, err := g.Increment(r.client, uuid)
 	if err != nil || got != 6 {
 		t.Fatalf("retry increment: got %d err=%v", got, err)
 	}
+	g.Quiesce()
+	r.net.SetAdversary(nil)
 	r.machines[0].Restart() // the only original holder of 6 dies
 	if v, err := g.Read(r.client, uuid); err != nil || v != 6 {
 		t.Fatalf("read after holder died: got %d err=%v (returned value regressed)", v, err)
@@ -901,5 +941,92 @@ func TestF0Group(t *testing.T) {
 	}
 	if got, err := g.Read(r.client, uuid); err != nil || got != 1 {
 		t.Fatalf("read after f=0 recovery: got %d err=%v", got, err)
+	}
+}
+
+// TestHungPeerDoesNotDelayOps pins the early-quorum return (the ROADMAP
+// follow-on PR 3 left open): a broadcast returns as soon as the vote
+// tally is decidable, so one hung — not dead — peer no longer adds its
+// transport deadline to every operation's latency.
+func TestHungPeerDoesNotDelayOps(t *testing.T) {
+	r := newRig(t, 1)
+	g := r.group
+	uuid, _, err := g.Create(r.client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Quiesce()
+	const hang = 400 * time.Millisecond
+	r.net.SetAdversary(slowPeer{kind: kindOp, to: r.replicas[2].Address(), d: hang})
+	start := time.Now()
+	if got, err := g.Increment(r.client, uuid); err != nil || got != 1 {
+		t.Fatalf("increment with hung peer: got %d err=%v", got, err)
+	}
+	if got, err := g.Read(r.client, uuid); err != nil || got != 1 {
+		t.Fatalf("read with hung peer: got %d err=%v", got, err)
+	}
+	elapsed := time.Since(start)
+	// Two ops ran; before the early return each would have paid the full
+	// hang, so anything under one hang proves neither waited for the
+	// hung peer.
+	if elapsed >= hang {
+		t.Fatalf("two quorum ops took %v with one peer hung %v: early-quorum return regressed", elapsed, hang)
+	}
+	g.Quiesce()
+	r.net.SetAdversary(nil)
+	// The hung peer's votes eventually landed; nothing diverged.
+	if got, err := g.Read(r.client, uuid); err != nil || got != 1 {
+		t.Fatalf("read after hang cleared: got %d err=%v", got, err)
+	}
+}
+
+// TestEscrowStore exercises the rack's state-escrow store end to end:
+// quorum-committed puts, highest-version quorum gets, version-forward
+// supersede (a replayed older record never displaces a newer one), and
+// records following the membership through restart + reseed.
+func TestEscrowStore(t *testing.T) {
+	r := newRig(t, 1)
+	g := r.group
+	owner := r.client.MREnclave()
+	id := [16]byte{1, 2, 3}
+	bind := pse.UUID{ID: 42, Nonce: [16]byte{9}}
+
+	if _, _, _, err := g.EscrowGet(owner, id); !errors.Is(err, ErrEscrowNotFound) {
+		t.Fatalf("get before put: err = %v", err)
+	}
+	if err := g.EscrowPut(owner, id, 1, bind, []byte("sealed-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.EscrowPut(owner, id, 3, bind, []byte("sealed-v3")); err != nil {
+		t.Fatal(err)
+	}
+	g.Quiesce()
+	// A replayed older record is refused by every replica.
+	if err := g.EscrowPut(owner, id, 2, bind, []byte("sealed-v2-replay")); err == nil {
+		t.Fatal("replayed older escrow version accepted")
+	}
+	ver, b, blob, err := g.EscrowGet(owner, id)
+	if err != nil || ver != 3 || b != bind || string(blob) != "sealed-v3" {
+		t.Fatalf("get: ver=%d bind=%v blob=%q err=%v", ver, b, blob, err)
+	}
+
+	// The record survives a replica's machine failure...
+	r.machines[0].Restart()
+	ver, _, blob, err = g.EscrowGet(owner, id)
+	if err != nil || ver != 3 || string(blob) != "sealed-v3" {
+		t.Fatalf("get after replica death: ver=%d blob=%q err=%v", ver, blob, err)
+	}
+	// ...and reseeds onto the rejoining replica, so the group tolerates
+	// losing a different one afterwards.
+	if err := r.replicas[0].Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Reseed("rep-0"); err != nil {
+		t.Fatal(err)
+	}
+	r.machines[1].Restart()
+	ver, _, blob, err = g.EscrowGet(owner, id)
+	if err != nil || ver != 3 || string(blob) != "sealed-v3" {
+		t.Fatalf("get served by reseeded replica: ver=%d blob=%q err=%v", ver, blob, err)
 	}
 }

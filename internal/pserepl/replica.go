@@ -120,7 +120,22 @@ type Replica struct {
 	// the destroyed counter. It grows by one small entry per destroy the
 	// replica ever sees, the price of keeping destruction sticky.
 	destroyed map[uint32]struct{}
-	closed    bool
+	// escrows is the replica's share of the rack's state-escrow store:
+	// the newest escrow record per enclave instance. Like the slot table
+	// it is conceptually sealed to disk and survives restarts; puts
+	// supersede strictly by version, so a replayed older record can never
+	// displace a newer one here. The records are opaque sealed bytes —
+	// freshness and single use are enforced by the binding counter at
+	// recovery, the store only provides machine-failure-surviving
+	// availability.
+	escrows map[escrowKey]*escrowEntry
+	closed  bool
+}
+
+// escrowKey identifies one enclave instance's escrow slot.
+type escrowKey struct {
+	owner sgx.Measurement
+	id    [16]byte
 }
 
 // NewReplica loads the agent enclave on the machine and registers the
@@ -141,6 +156,7 @@ func NewReplica(id string, hw *sgx.Machine, svc *pse.Service, msgr transport.Mes
 		agent:     agent,
 		table:     make(map[uint32]*replicaSlot),
 		destroyed: make(map[uint32]struct{}),
+		escrows:   make(map[escrowKey]*escrowEntry),
 	}
 	if err := r.rotateChallengeLocked(); err != nil {
 		hw.Destroy(agent)
@@ -262,6 +278,8 @@ func (r *Replica) handle(msg transport.Message) ([]byte, error) {
 		reply, err = r.handleOp(payload)
 	case kindReseed:
 		reply, err = r.handleReseed(payload)
+	case kindEscrow:
+		reply, err = r.handleEscrow(payload)
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %q", ErrWireFormat, msg.Kind)
 	}
@@ -422,6 +440,38 @@ func (r *Replica) applyLocked(m *opMessage) *opReply {
 	}
 }
 
+// handleEscrow applies one escrow-store operation. Puts supersede
+// strictly by version (a replayed older record gets statusStale and
+// changes nothing); gets return the stored record or statusNotFound.
+func (r *Replica) handleEscrow(payload []byte) ([]byte, error) {
+	m, err := decodeEscrowMessage(payload)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.checkServingLocked(); err != nil {
+		return nil, err
+	}
+	key := escrowKey{owner: m.Entry.Owner, id: m.Entry.ID}
+	switch m.Op {
+	case escrowPut:
+		if cur, ok := r.escrows[key]; ok && m.Entry.Version <= cur.Version {
+			return (&escrowReply{Status: statusStale, Nonce: m.Nonce}).encode(), nil
+		}
+		stored := m.Entry
+		stored.Blob = append([]byte(nil), m.Entry.Blob...) // decode aliases the wire buffer
+		r.escrows[key] = &stored
+		return (&escrowReply{Status: statusOK, Nonce: m.Nonce}).encode(), nil
+	default: // escrowGet (decode validated the op)
+		cur, ok := r.escrows[key]
+		if !ok {
+			return (&escrowReply{Status: statusNotFound, Nonce: m.Nonce}).encode(), nil
+		}
+		return (&escrowReply{Status: statusOK, Entry: *cur, Nonce: m.Nonce}).encode(), nil
+	}
+}
+
 // errReply maps a local pse.Service error onto a vote status.
 func errReply(err error) *opReply {
 	switch {
@@ -453,6 +503,9 @@ func (r *Replica) snapshotLocked() *syncMessage {
 	}
 	for id := range r.destroyed {
 		snap.Tombstones = append(snap.Tombstones, id)
+	}
+	for _, e := range r.escrows {
+		snap.Escrows = append(snap.Escrows, *e)
 	}
 	return snap
 }
@@ -528,6 +581,20 @@ func (r *Replica) handleReseed(payload []byte) ([]byte, error) {
 		if _, live := r.table[id]; !live {
 			r.destroyed[id] = struct{}{}
 		}
+	}
+	// Merge escrow records by version: a rejoining or fresh replica picks
+	// up the records committed while it was away. Version comparison is
+	// forward-only here too, so a stale peer snapshot cannot displace a
+	// newer record.
+	for i := range m.Escrows {
+		e := &m.Escrows[i]
+		key := escrowKey{owner: e.Owner, id: e.ID}
+		if cur, ok := r.escrows[key]; ok && e.Version <= cur.Version {
+			continue
+		}
+		stored := *e
+		stored.Blob = append([]byte(nil), e.Blob...)
+		r.escrows[key] = &stored
 	}
 	if m.Next > r.issued {
 		r.issued = m.Next

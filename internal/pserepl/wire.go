@@ -11,15 +11,19 @@ import (
 // Replication wire format: tagged, versioned binary messages in the
 // internal/core/wire.go style, built on the shared wirec primitives.
 // Everything that crosses the messenger between a Group coordinator and
-// its Replicas is one of three values:
+// its Replicas is one of five values:
 //
-//   - opMessage:   one counter operation (create/increment/read/
+//   - opMessage:     one counter operation (create/increment/read/
 //     destroy-read) or a snapshot request, addressed by the replicated
 //     UUID and stamped with the owner identity.
-//   - opReply:     the replica's status + local counter value.
-//   - syncMessage: a full counter-table snapshot — the reply to a
-//     snapshot request, and (re-tagged only by the message kind it rides
-//     under) the payload of a reseed.
+//   - opReply:       the replica's status + local counter value.
+//   - syncMessage:   a full counter-table (+ escrow-store) snapshot —
+//     the reply to a snapshot request, and (re-tagged only by the
+//     message kind it rides under) the payload of a reseed.
+//   - escrowMessage: one state-escrow store operation (put/get) for a
+//     sealed Table II blob, keyed by owner identity + escrow instance.
+//   - escrowReply:   the replica's answer, with the stored record on
+//     gets.
 //
 // The bytes cross the untrusted network; replicas validate every field
 // and the decoders never panic, whatever the input (see the fuzz
@@ -27,19 +31,24 @@ import (
 
 // Wire type tags (0xC* block: counter replication).
 const (
-	tagOp      byte = 0xC1
-	tagOpReply byte = 0xC2
-	tagSync    byte = 0xC3
+	tagOp          byte = 0xC1
+	tagOpReply     byte = 0xC2
+	tagSync        byte = 0xC3
+	tagEscrow      byte = 0xC4
+	tagEscrowReply byte = 0xC5
 )
 
 // wireVersion is the current replication format version, bumped on any
 // layout change so messages from a different build are rejected cleanly.
-const wireVersion byte = 1
+// Version 2 added the state-escrow messages and the escrow entries in
+// snapshots/reseeds.
+const wireVersion byte = 2
 
 // Message kinds on the transport.Messenger.
 const (
 	kindOp     = "ctr-op"
 	kindReseed = "ctr-reseed"
+	kindEscrow = "ctr-escrow"
 )
 
 // Replicated counter operations.
@@ -68,7 +77,8 @@ const (
 	statusNotOwner
 	statusOverflow
 	statusLimit
-	statusGone // counter already destroyed on this replica (final value lost)
+	statusGone  // counter already destroyed on this replica (final value lost)
+	statusStale // escrow put at or below the stored version (escrow replies only)
 )
 
 // opMessage is one replicated counter operation sent to a replica.
@@ -179,6 +189,10 @@ type syncMessage struct {
 	Entries []syncEntry
 	// Tombstones lists destroyed counter IDs.
 	Tombstones []uint32
+	// Escrows carries the replica's state-escrow records, merged by
+	// highest version during reseeds/handoffs so escrowed blobs follow
+	// the membership like counter values do.
+	Escrows []escrowEntry
 	// Challenge binds a reseed payload to one freshness challenge drawn
 	// from the target replica (opChallenge), so a recorded reseed cannot
 	// be replayed at a replica later, when its content would be stale.
@@ -199,7 +213,11 @@ const syncEntrySize = 4 + 16 + 32 + 4
 const maxSyncEntries = 1 << 20
 
 func (m *syncMessage) encode() []byte {
-	out := make([]byte, 0, 2+8+4+len(m.Entries)*syncEntrySize+4+4*len(m.Tombstones)+16+8)
+	escSize := 0
+	for i := range m.Escrows {
+		escSize += escrowEntryMinSize + len(m.Escrows[i].Blob)
+	}
+	out := make([]byte, 0, 2+8+4+len(m.Entries)*syncEntrySize+4+4*len(m.Tombstones)+4+escSize+16+8)
 	out = wirec.AppendHeader(out, tagSync, wireVersion)
 	out = wirec.AppendU64(out, m.Next)
 	out = wirec.AppendU32(out, uint32(len(m.Entries)))
@@ -213,6 +231,10 @@ func (m *syncMessage) encode() []byte {
 	out = wirec.AppendU32(out, uint32(len(m.Tombstones)))
 	for _, id := range m.Tombstones {
 		out = wirec.AppendU32(out, id)
+	}
+	out = wirec.AppendU32(out, uint32(len(m.Escrows)))
+	for i := range m.Escrows {
+		out = m.Escrows[i].append(out)
 	}
 	out = append(out, m.Challenge[:]...)
 	return wirec.AppendU64(out, m.Nonce)
@@ -263,10 +285,142 @@ func decodeSyncMessage(raw []byte) (*syncMessage, error) {
 		}
 		m.Tombstones = append(m.Tombstones, id)
 	}
+	ne := rd.U32()
+	if ne > maxSyncEntries {
+		return nil, fmt.Errorf("%w: snapshot claims %d escrows", ErrWireFormat, ne)
+	}
+	if rd.Err() == nil && ne > 0 {
+		if !rd.CanHold(ne, escrowEntryMinSize) {
+			return nil, fmt.Errorf("%w: snapshot claims %d escrows in %d bytes", ErrWireFormat, ne, rd.Remaining())
+		}
+		m.Escrows = make([]escrowEntry, 0, ne)
+	}
+	for i := uint32(0); i < ne; i++ {
+		var e escrowEntry
+		e.decodeInto(rd)
+		if rd.Err() != nil {
+			break
+		}
+		m.Escrows = append(m.Escrows, e)
+	}
 	copy(m.Challenge[:], rd.Take(16))
 	m.Nonce = rd.U64()
 	if err := rd.Done(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrWireFormat, err)
+	}
+	return &m, nil
+}
+
+// escrowEntry is one enclave instance's state-escrow record: the sealed
+// Table II blob (opaque to the replication layer) plus the clear fields
+// the store orders and looks it up by. Freshness and single use are
+// enforced by the binding counter at recovery time, not by the store —
+// the entry's Version exists so replicas keep the newest record and
+// supersede older ones.
+type escrowEntry struct {
+	Owner   sgx.Measurement
+	ID      [16]byte
+	Version uint32
+	Bind    pse.UUID
+	Blob    []byte
+}
+
+// escrowEntryMinSize is the encoded size of an escrowEntry with an empty
+// blob (the minimum bytes one entry occupies on the wire).
+const escrowEntryMinSize = 32 + 16 + 4 + 4 + 16 + 4
+
+func (e *escrowEntry) append(out []byte) []byte {
+	out = append(out, e.Owner[:]...)
+	out = append(out, e.ID[:]...)
+	out = wirec.AppendU32(out, e.Version)
+	out = wirec.AppendU32(out, e.Bind.ID)
+	out = append(out, e.Bind.Nonce[:]...)
+	return wirec.AppendBytes(out, e.Blob)
+}
+
+func (e *escrowEntry) decodeInto(rd *wirec.Reader) {
+	copy(e.Owner[:], rd.Take(32))
+	copy(e.ID[:], rd.Take(16))
+	e.Version = rd.U32()
+	e.Bind.ID = rd.U32()
+	copy(e.Bind.Nonce[:], rd.Take(16))
+	e.Blob = rd.Bytes()
+}
+
+// escrowMessage is one escrow-store operation sent to a replica.
+type escrowMessage struct {
+	// Op is escrowPut or escrowGet.
+	Op byte
+	// Entry carries the record to store (put) or the lookup key in
+	// Owner/ID (get, with the other fields zero).
+	Entry escrowEntry
+	// Nonce is the per-request freshness value, echoed in the sealed
+	// reply like every other replication exchange.
+	Nonce uint64
+}
+
+// Escrow-store operations.
+const (
+	escrowPut byte = iota + 1
+	escrowGet
+)
+
+func (m *escrowMessage) encode() []byte {
+	out := make([]byte, 0, 2+1+escrowEntryMinSize+len(m.Entry.Blob)+8)
+	out = wirec.AppendHeader(out, tagEscrow, wireVersion)
+	out = append(out, m.Op)
+	out = m.Entry.append(out)
+	return wirec.AppendU64(out, m.Nonce)
+}
+
+func decodeEscrowMessage(raw []byte) (*escrowMessage, error) {
+	var m escrowMessage
+	rd := wirec.NewReader(raw)
+	if !rd.Header(tagEscrow, wireVersion) {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, rd.Err())
+	}
+	m.Op = rd.U8()
+	m.Entry.decodeInto(rd)
+	m.Nonce = rd.U64()
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, err)
+	}
+	if m.Op != escrowPut && m.Op != escrowGet {
+		return nil, fmt.Errorf("%w: unknown escrow op %d", ErrWireFormat, m.Op)
+	}
+	return &m, nil
+}
+
+// escrowReply is a replica's answer to an escrow-store operation: its
+// status plus, for gets, the stored record.
+type escrowReply struct {
+	Status byte
+	Entry  escrowEntry
+	Nonce  uint64
+}
+
+func (m *escrowReply) encode() []byte {
+	out := make([]byte, 0, 2+1+escrowEntryMinSize+len(m.Entry.Blob)+8)
+	out = wirec.AppendHeader(out, tagEscrowReply, wireVersion)
+	out = append(out, m.Status)
+	out = m.Entry.append(out)
+	return wirec.AppendU64(out, m.Nonce)
+}
+
+func decodeEscrowReply(raw []byte) (*escrowReply, error) {
+	var m escrowReply
+	rd := wirec.NewReader(raw)
+	if !rd.Header(tagEscrowReply, wireVersion) {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, rd.Err())
+	}
+	m.Status = rd.U8()
+	m.Entry.decodeInto(rd)
+	m.Nonce = rd.U64()
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, err)
+	}
+	if m.Status < statusOK || m.Status > statusStale {
+		return nil, fmt.Errorf("%w: unknown escrow status %d", ErrWireFormat, m.Status)
 	}
 	return &m, nil
 }

@@ -70,6 +70,7 @@ func FuzzDecodeSyncMessage(f *testing.F) {
 			{UUID: pse.UUID{ID: 4}, Value: 2},
 		},
 		Tombstones: []uint32{2, 3},
+		Escrows:    []escrowEntry{sampleEscrowEntry()},
 	}
 	f.Add(valid.encode())
 	f.Add((&syncMessage{}).encode())
@@ -88,6 +89,47 @@ func FuzzDecodeSyncMessage(f *testing.F) {
 		}
 		if len(m2.Entries) != len(m.Entries) || len(m2.Tombstones) != len(m.Tombstones) || m2.Next != m.Next {
 			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+func sampleEscrowEntry() escrowEntry {
+	return escrowEntry{
+		Owner:   sgx.Measurement{3, 1, 4},
+		ID:      [16]byte{1, 5, 9},
+		Version: 7,
+		Bind:    pse.UUID{ID: 12, Nonce: [16]byte{2, 6}},
+		Blob:    []byte("sealed escrow record bytes"),
+	}
+}
+
+func FuzzDecodeEscrowMessage(f *testing.F) {
+	fuzzSeeds(f)
+	f.Add((&escrowMessage{Op: escrowPut, Entry: sampleEscrowEntry(), Nonce: 99}).encode())
+	f.Add((&escrowMessage{Op: escrowGet, Entry: escrowEntry{Owner: sgx.Measurement{1}, ID: [16]byte{2}}, Nonce: 1}).encode())
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := decodeEscrowMessage(raw)
+		if err != nil {
+			return
+		}
+		re := m.encode()
+		if !bytes.Equal(raw, re) {
+			t.Fatal("canonical re-encoding differs from accepted input")
+		}
+	})
+}
+
+func FuzzDecodeEscrowReply(f *testing.F) {
+	fuzzSeeds(f)
+	f.Add((&escrowReply{Status: statusOK, Entry: sampleEscrowEntry(), Nonce: 4}).encode())
+	f.Add((&escrowReply{Status: statusStale, Nonce: 2}).encode())
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := decodeEscrowReply(raw)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(raw, m.encode()) {
+			t.Fatal("canonical re-encoding differs from accepted input")
 		}
 	})
 }

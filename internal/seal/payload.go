@@ -78,23 +78,28 @@ func decryptPayload(s *xcrypto.Sealer, b *Blob) ([]byte, error) {
 	return s.Open(b.Payload, payloadAAD(b.Policy, b.KeyID, b.AAD))
 }
 
-// NewRawSealer builds the cached cipher for a caller-held raw sealing key
-// (the MSK path). The caller owns the Sealer's lifetime — the Migration
-// Library keeps it for exactly as long as it holds the MSK itself — so
-// nothing about the key outlives its owner in any shared table.
-func NewRawSealer(key []byte) (*xcrypto.Sealer, error) {
-	return xcrypto.NewSealer(key)
-}
-
-// SealRawWith is SealRaw with a caller-held Sealer (see NewRawSealer):
-// the hot path for migratable sealing, paying neither key schedule nor
-// cache lookup.
-func SealRawWith(s *xcrypto.Sealer, aad, plaintext []byte) ([]byte, error) {
+// SealRaw seals plaintext directly under a caller-provided 16- or 32-byte
+// key, with the same blob format and authentication as enclave sealing.
+// This is the primitive the Migration Library uses for its migratable
+// sealing: the key is the Migration Sealing Key (MSK) instead of an
+// EGETKEY result, so no hardware key derivation is charged — which is why
+// migratable sealing is slightly FASTER than native sealing in the
+// paper's Figure 4. Hot callers that reuse one key hold a StateSealer
+// instead, paying neither key schedule nor cache lookup.
+func SealRaw(key, aad, plaintext []byte) ([]byte, error) {
+	s, err := sealerFor(key)
+	if err != nil {
+		return nil, err
+	}
 	return encodeSealed(s, 0 /* no hardware policy: key supplied by caller */, nil, aad, plaintext)
 }
 
-// UnsealRawWith reverses SealRawWith under a caller-held Sealer.
-func UnsealRawWith(s *xcrypto.Sealer, data []byte) (plaintext, aad []byte, err error) {
+// UnsealRaw reverses SealRaw under the caller-provided key.
+func UnsealRaw(key, data []byte) (plaintext, aad []byte, err error) {
+	s, err := sealerFor(key)
+	if err != nil {
+		return nil, nil, err
+	}
 	blob, err := DecodeBlob(data)
 	if err != nil {
 		return nil, nil, err
@@ -104,28 +109,4 @@ func UnsealRawWith(s *xcrypto.Sealer, data []byte) (plaintext, aad []byte, err e
 		return nil, nil, ErrUnseal
 	}
 	return plaintext, blob.AAD, nil
-}
-
-// SealRaw seals plaintext directly under a caller-provided 16- or 32-byte
-// key, with the same blob format and authentication as enclave sealing.
-// This is the primitive the Migration Library uses for its migratable
-// sealing: the key is the Migration Sealing Key (MSK) instead of an
-// EGETKEY result, so no hardware key derivation is charged — which is why
-// migratable sealing is slightly FASTER than native sealing in the
-// paper's Figure 4.
-func SealRaw(key, aad, plaintext []byte) ([]byte, error) {
-	s, err := sealerFor(key)
-	if err != nil {
-		return nil, err
-	}
-	return SealRawWith(s, aad, plaintext)
-}
-
-// UnsealRaw reverses SealRaw under the caller-provided key.
-func UnsealRaw(key, data []byte) (plaintext, aad []byte, err error) {
-	s, err := sealerFor(key)
-	if err != nil {
-		return nil, nil, err
-	}
-	return UnsealRawWith(s, data)
 }

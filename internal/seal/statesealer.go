@@ -1,0 +1,66 @@
+package seal
+
+import (
+	"repro/internal/xcrypto"
+)
+
+// StateSealer is the migratable state-sealing machinery shared by every
+// path that seals enclave state under a caller-held raw key instead of an
+// EGETKEY result: the Migration Library's sgx_seal_migratable_data
+// implementation (key = the MSK), and the rack-escrow pipeline (key = the
+// rack escrow key wrapping the MSK, and the MSK itself sealing the
+// escrowed Table II blob). It was factored out of the Migration Library /
+// ME-to-ME migration path so that escrow and migration provably use one
+// sealing construction: the seal.Blob format with header-binding AAD,
+// a cipher built exactly once per key, and the owner — not a shared
+// cache — controlling the key schedule's lifetime.
+//
+// A StateSealer is safe for concurrent use.
+type StateSealer struct {
+	s *xcrypto.Sealer
+}
+
+// NewStateSealer builds the cached cipher for a caller-held 16- or
+// 32-byte raw sealing key. The caller owns the sealer's lifetime — the
+// Migration Library keeps one for exactly as long as it holds the MSK —
+// so nothing about the key outlives its owner in any shared table.
+func NewStateSealer(key []byte) (*StateSealer, error) {
+	s, err := xcrypto.NewSealer(key)
+	if err != nil {
+		return nil, err
+	}
+	return &StateSealer{s: s}, nil
+}
+
+// Seal seals plaintext under the held key, authenticating aad alongside,
+// producing the standard seal.Blob wire format (the migratable-sealing
+// hot path: no key schedule, no cache lookup, no EGETKEY).
+func (ss *StateSealer) Seal(aad, plaintext []byte) ([]byte, error) {
+	return encodeSealed(ss.s, 0 /* no hardware policy: raw key */, nil, aad, plaintext)
+}
+
+// Unseal reverses Seal, returning the plaintext and the authenticated
+// additional MAC text.
+func (ss *StateSealer) Unseal(data []byte) (plaintext, aad []byte, err error) {
+	blob, err := DecodeBlob(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	plaintext, err = decryptPayload(ss.s, blob)
+	if err != nil {
+		return nil, nil, ErrUnseal
+	}
+	return plaintext, blob.AAD, nil
+}
+
+// Wrap AEAD-seals a small secret (a key box: e.g. the MSK wrapped under
+// the rack escrow key) binding aad, without the blob framing — the raw
+// nonce||ciphertext||tag form for embedding inside another codec.
+func (ss *StateSealer) Wrap(secret, aad []byte) ([]byte, error) {
+	return ss.s.Seal(secret, aad)
+}
+
+// Unwrap reverses Wrap.
+func (ss *StateSealer) Unwrap(box, aad []byte) ([]byte, error) {
+	return ss.s.Open(box, aad)
+}
