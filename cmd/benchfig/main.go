@@ -6,6 +6,7 @@
 //	benchfig -migration          §VII-B: enclave migration overhead
 //	benchfig -repl               replicated counters: increment vs. f
 //	benchfig -recover            restart-anywhere recovery: kill→recovered vs. f + escrow blob size
+//	benchfig -wan                cross-DC federation: drain throughput + recovery latency vs. WAN RTT
 //	benchfig -table 1            Table I: migration data structure
 //	benchfig -table 2            Table II: library internal structure
 //	benchfig -tcb                §VII-A: software TCB size
@@ -39,6 +40,7 @@ type report struct {
 	Migration   *bench.MigrationResult `json:"migration,omitempty"`
 	Replication []bench.Row            `json:"replication,omitempty"`
 	Recovery    []bench.Row            `json:"recovery,omitempty"`
+	WAN         []bench.Row            `json:"wan,omitempty"`
 }
 
 func main() {
@@ -55,6 +57,7 @@ func run() error {
 		migration = flag.Bool("migration", false, "measure enclave migration overhead")
 		repl      = flag.Bool("repl", false, "measure replicated-counter increment latency vs. replication factor")
 		recov     = flag.Bool("recover", false, "measure kill-to-recovered latency vs. replication factor and escrow blob size")
+		wan       = flag.Bool("wan", false, "measure cross-DC drain throughput and recovery latency vs. WAN RTT")
 		tcb       = flag.Bool("tcb", false, "report software TCB size")
 		all       = flag.Bool("all", false, "run every experiment")
 		n         = flag.Int("n", 200, "iterations per operation (paper: 1000)")
@@ -108,6 +111,14 @@ func run() error {
 			return err
 		}
 		rep.Recovery = rows
+	}
+	if *all || *wan {
+		ran = true
+		rows, err := runWAN(cfg)
+		if err != nil {
+			return err
+		}
+		rep.WAN = rows
 	}
 	if *all || *table == 1 || *table == 2 {
 		ran = true
@@ -205,6 +216,21 @@ func runRecovery(cfg bench.Config) ([]bench.Row, error) {
 	rows, err := bench.RecoverySweep(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	for _, r := range rows {
+		fmt.Println("  " + r.String())
+	}
+	fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+	return rows, nil
+}
+
+func runWAN(cfg bench.Config) ([]bench.Row, error) {
+	fmt.Println("=== Cross-DC federation: drain throughput and recovery latency vs. WAN RTT ===")
+	fmt.Println("(two federated DCs; drain rows are migrations/s, recover rows seconds per kill→recovered)")
+	start := time.Now()
+	rows, err := bench.WANSweep(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("wan: %w", err)
 	}
 	for _, r := range rows {
 		fmt.Println("  " + r.String())

@@ -35,6 +35,26 @@ func main() {
 	}
 }
 
+// printJournalFailures writes the journal's non-completed entries to
+// stderr (the error-path summary).
+func printJournalFailures(report *fleet.Report) {
+	for _, e := range report.Journal.Entries() {
+		if e.Status == fleet.StatusCompleted {
+			continue
+		}
+		dest := e.Dest
+		if dest == "" {
+			dest = e.PlannedDest
+		}
+		via := ""
+		if e.Link != "" {
+			via = " via " + e.Link
+		}
+		fmt.Fprintf(os.Stderr, "  %-9s %-12s %s -> %s%s (attempts %d): %s\n",
+			e.Status, e.App, e.Source, dest, via, e.Attempts, e.Err)
+	}
+}
+
 func run() error {
 	var (
 		machines = flag.Int("machines", 3, "number of SGX machines in the data center")
@@ -149,9 +169,20 @@ func run() error {
 	orch := fleet.New(dc, cfg)
 	report, err := orch.Execute(context.Background(), plan)
 	if err != nil {
+		if report != nil {
+			printJournalFailures(report)
+		}
 		return err
 	}
 	fmt.Println(report)
+	// A plan with failed or canceled migrations is a failed operation:
+	// surface every non-completed journal entry and exit non-zero, so
+	// scripts and CI catch it instead of parsing logs.
+	if report.Failed > 0 || report.Canceled > 0 {
+		printJournalFailures(report)
+		return fmt.Errorf("plan finished with %d failed and %d canceled migrations",
+			report.Failed, report.Canceled)
+	}
 
 	// Verify the fleet invariants the paper's design promises: every
 	// counter continued exactly where it left off, on exactly one machine.

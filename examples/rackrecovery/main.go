@@ -79,7 +79,17 @@ func run() error {
 
 	recovered, err := dc.RecoverMachine("r1", "r2")
 	if err != nil {
+		// Partial recoveries used to be visible only in logs: print the
+		// per-app outcome summary on the error path and exit non-zero
+		// (main wraps this error into exit code 1).
+		fmt.Fprintf(os.Stderr, "rackrecovery: recovered %d app(s); unrecovered remain in r1's lost manifest:\n", len(recovered))
+		for _, la := range r1.LostApps() {
+			fmt.Fprintf(os.Stderr, "  lost: %s (escrowed=%v)\n", la.Image.Name, la.Escrowed)
+		}
 		return err
+	}
+	if len(recovered) == 0 {
+		return errors.New("no apps recovered")
 	}
 	lib := recovered[0].Library
 	v, err := lib.ReadCounter(ctr)

@@ -2,8 +2,10 @@ package attest
 
 import (
 	"bytes"
+	"crypto/ed25519"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/sgx"
@@ -111,14 +113,46 @@ func (qe *QuotingEnclave) Quote(prover *sgx.Enclave, data sgx.ReportData) (*Quot
 // IAS models the Intel Attestation Service: it holds the EPID group
 // issuer's public key and verifies quote signatures and platform
 // membership, including revocation of compromised platforms.
+//
+// The real IAS is one global Intel service that knows every provisioned
+// EPID group; the simulation builds one IAS per data center, so
+// federation registers the peer site's group issuer here (TrustIssuer) —
+// modeling both groups being provisioned with the same global service,
+// the "share a provider/IAS" half of the ROADMAP's cross-DC item.
 type IAS struct {
+	issuer   string
 	verifier *xcrypto.Verifier
 	lat      *sim.Latency
+
+	mu    sync.Mutex
+	extra map[string]*xcrypto.Verifier
 }
 
 // NewIAS builds the verification service for a group issuer.
 func NewIAS(groupIssuer *xcrypto.Authority, lat *sim.Latency) *IAS {
-	return &IAS{verifier: xcrypto.NewVerifier(groupIssuer), lat: lat}
+	return &IAS{
+		issuer:   groupIssuer.Name(),
+		verifier: xcrypto.NewVerifier(groupIssuer),
+		lat:      lat,
+		extra:    make(map[string]*xcrypto.Verifier),
+	}
+}
+
+// TrustIssuer registers an additional EPID group issuer (a federated
+// site's group) whose platform credentials this IAS instance accepts.
+// revoked, when non-nil, is the issuer's online revocation feed, so the
+// peer site's platform revocations are honored here too.
+func (ias *IAS) TrustIssuer(name string, pub ed25519.PublicKey, revoked func(subject string) bool) {
+	ias.mu.Lock()
+	defer ias.mu.Unlock()
+	ias.extra[name] = xcrypto.NewVerifierFromKeyFunc(name, pub, revoked)
+}
+
+// DistrustIssuer withdraws a previously trusted federated group issuer.
+func (ias *IAS) DistrustIssuer(name string) {
+	ias.mu.Lock()
+	defer ias.mu.Unlock()
+	delete(ias.extra, name)
 }
 
 // Verify checks a quote end to end: platform credential chain, role, and
@@ -128,7 +162,16 @@ func (ias *IAS) Verify(q *Quote) error {
 	if q == nil || q.PlatformCert == nil {
 		return ErrQuoteFormat
 	}
-	if err := ias.verifier.Verify(q.PlatformCert); err != nil {
+	verifier := ias.verifier
+	if q.PlatformCert.Issuer != ias.issuer {
+		ias.mu.Lock()
+		verifier = ias.extra[q.PlatformCert.Issuer]
+		ias.mu.Unlock()
+		if verifier == nil {
+			return fmt.Errorf("%w: unknown group issuer %q", ErrQuotePlatform, q.PlatformCert.Issuer)
+		}
+	}
+	if err := verifier.Verify(q.PlatformCert); err != nil {
 		return fmt.Errorf("%w: %v", ErrQuotePlatform, err)
 	}
 	if q.PlatformCert.Role != epidGroupRole {

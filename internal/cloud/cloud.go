@@ -51,6 +51,7 @@ var (
 // Migration Enclave credentials, an EPID group issuer + IAS for remote
 // attestation, a shared latency model, and the untrusted network.
 type DataCenter struct {
+	name     string
 	Provider *attest.Provider
 	Issuer   *xcrypto.Authority
 	IAS      *attest.IAS
@@ -158,6 +159,7 @@ func NewDataCenterWithNetwork(name string, lat *sim.Latency, m transport.Messeng
 		return nil, fmt.Errorf("group issuer: %w", err)
 	}
 	return &DataCenter{
+		name:      name,
 		Provider:  provider,
 		Issuer:    issuer,
 		IAS:       attest.NewIAS(issuer, lat),
@@ -167,6 +169,9 @@ func NewDataCenterWithNetwork(name string, lat *sim.Latency, m transport.Messeng
 		groups:    make(map[string]*pserepl.Group),
 	}, nil
 }
+
+// Name returns the data center's name (its provider identity).
+func (dc *DataCenter) Name() string { return dc.name }
 
 // AddMachine provisions one SGX machine: fresh CPU secret, counter
 // service, QE membership in the data center's EPID group, and a Migration
@@ -288,6 +293,40 @@ func (dc *DataCenter) ReplicaGroup(name string) (*pserepl.Group, bool) {
 	defer dc.mu.Unlock()
 	g, ok := dc.groups[name]
 	return g, ok
+}
+
+// ReplicaGroups returns every replica group in the data center, sorted
+// by name (the federation layer enumerates them when partnering racks).
+func (dc *DataCenter) ReplicaGroups() []*pserepl.Group {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	gs := make([]*pserepl.Group, 0, len(dc.groups))
+	for _, g := range dc.groups {
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Name() < gs[j].Name() })
+	return gs
+}
+
+// DecommissionApp is the escrow garbage collector's operator entry
+// point: it destroys a terminated app instance's replicated counters —
+// the escrow binding counter and every app counter — and tombstones its
+// escrow record on the named rack group, reclaiming the hard counter
+// budget and store space the instance would otherwise leak forever.
+// The tombstone is permanent and carried through snapshots and reseeds.
+//
+// Refused while an enclave with this escrow instance still runs
+// anywhere in the data center (ErrInstanceAlive): decommissioning a
+// live instance would destroy the counters out from under it.
+func (dc *DataCenter) DecommissionApp(groupName string, img *sgx.Image, escrowID [16]byte) error {
+	g, ok := dc.ReplicaGroup(groupName)
+	if !ok {
+		return fmt.Errorf("cloud: unknown replica group %q", groupName)
+	}
+	if live := dc.findInstance(escrowID); live != nil {
+		return fmt.Errorf("%w: %s on %s", ErrInstanceAlive, live.Image().Name, live.Machine().ID())
+	}
+	return core.DecommissionEscrow(g, g.EscrowSealer(), img.Measure(), escrowID)
 }
 
 // HandoffReplica moves the counter-replica role hosted on machine srcID

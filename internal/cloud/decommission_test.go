@@ -1,0 +1,101 @@
+package cloud
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pserepl"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+	"repro/internal/xcrypto"
+)
+
+func decomImage(name string) *sgx.Image {
+	key := xcrypto.DeriveKey([]byte("decommission-test"), "signer")
+	return &sgx.Image{
+		Name:            name,
+		Version:         1,
+		Code:            []byte("decom:" + name),
+		SignerPublicKey: ed25519.PublicKey(key[:]),
+	}
+}
+
+// TestDecommissionApp: terminating an app used to leak its replicated
+// counters and escrow record forever; Decommission reclaims both, the
+// tombstone survives reseeds, and the instance can never be
+// resurrected.
+func TestDecommissionApp(t *testing.T) {
+	dc, err := NewDataCenter("decom-dc", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"r1", "r2", "r3"} {
+		if _, err := dc.AddMachine(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	group, err := dc.NewReplicaGroup("rack", 1, "r1", "r2", "r3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := dc.Machine("r1")
+	img := decomImage("tenant")
+	app, err := r1.LaunchApp(img, core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := app.Library.CreateCounter(); err != nil {
+		t.Fatal(err)
+	}
+	escrowID, ok := app.Library.EscrowID()
+	if !ok {
+		t.Fatal("no escrow ID")
+	}
+
+	// Refused while the instance is alive.
+	if err := dc.DecommissionApp("rack", img, escrowID); !errors.Is(err, ErrInstanceAlive) {
+		t.Fatalf("decommission of live instance: got %v, want ErrInstanceAlive", err)
+	}
+
+	app.Terminate()
+	// The terminated app still holds two replicated counters (app
+	// counter + escrow binding) and its escrow record — the leak.
+	if n := group.TotalLive(); n != 2 {
+		t.Fatalf("counters before decommission = %d, want 2", n)
+	}
+	if err := dc.DecommissionApp("rack", img, escrowID); err != nil {
+		t.Fatalf("decommission: %v", err)
+	}
+	if n := group.TotalLive(); n != 0 {
+		t.Fatalf("counters after decommission = %d, want 0", n)
+	}
+	if _, _, _, err := group.EscrowGet(img.Measure(), escrowID); !errors.Is(err, pserepl.ErrEscrowDecommissioned) {
+		t.Fatalf("escrow record after decommission: got %v, want ErrEscrowDecommissioned", err)
+	}
+
+	// No resurrection, ever.
+	r2, _ := dc.Machine("r2")
+	if _, err := r2.RecoverApp(img, escrowID); err == nil {
+		t.Fatal("decommissioned instance resurrected")
+	}
+
+	// The tombstone survives a machine restart + reseed: a stale
+	// replica cannot re-propagate the record.
+	if err := r1.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := group.EscrowGet(img.Measure(), escrowID); !errors.Is(err, pserepl.ErrEscrowDecommissioned) {
+		t.Fatalf("escrow record after reseed: got %v, want ErrEscrowDecommissioned", err)
+	}
+
+	// The budget is actually reusable: a fresh app can claim counters.
+	app2, err := r1.LaunchApp(decomImage("tenant-2"), core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := app2.Library.CreateCounter(); err != nil {
+		t.Fatalf("create counter after decommission: %v", err)
+	}
+}

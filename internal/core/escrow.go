@@ -353,11 +353,29 @@ func (l *Library) Recover(me *MigrationEnclave, escrowID [16]byte) error {
 // the store's clear fields (the sealed state is the authority). A frozen
 // record reports ErrFrozen: the enclave migrated away after escrowing.
 func (l *Library) openEscrowRecord(owner sgx.Measurement, escrowID [16]byte, ver uint32, bind pse.UUID, blob []byte) (*libraryState, *seal.StateSealer, error) {
+	st, mskSealer, err := openEscrowRecordRaw(l.rack, owner, escrowID, ver, bind, blob)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Frozen != 0 {
+		return nil, nil, ErrFrozen
+	}
+	return st, mskSealer, nil
+}
+
+// openEscrowRecordRaw is the shared record authentication behind library
+// recovery, escrow decommissioning, and federation mirroring. It does
+// NOT reject frozen records — callers decide what a frozen (migrated-
+// away) record means for them. Every caller runs inside a trusted
+// component that legitimately holds the rack escrow key: the recovering
+// library, or the operator's decommission/mirror agent enclave the key
+// was provisioned to.
+func openEscrowRecordRaw(rack *seal.StateSealer, owner sgx.Measurement, escrowID [16]byte, ver uint32, bind pse.UUID, blob []byte) (*libraryState, *seal.StateSealer, error) {
 	keyBox, sealedState, err := decodeEscrowRecord(blob)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrEscrowInvalid, err)
 	}
-	msk, err := l.rack.Unwrap(keyBox, escrowKeyAAD(owner, escrowID, ver, bind))
+	msk, err := rack.Unwrap(keyBox, escrowKeyAAD(owner, escrowID, ver, bind))
 	if err != nil || len(msk) != MSKSize {
 		return nil, nil, fmt.Errorf("%w: key box rejected", ErrEscrowInvalid)
 	}
@@ -375,9 +393,6 @@ func (l *Library) openEscrowRecord(owner sgx.Measurement, escrowID [16]byte, ver
 	st, err := decodeLibraryState(raw)
 	if err != nil {
 		return nil, nil, err
-	}
-	if st.Frozen != 0 {
-		return nil, nil, ErrFrozen
 	}
 	if st.EscrowID != escrowID || st.BindUUID != bind || st.BindVer != ver ||
 		string(st.MSK[:]) != string(msk) {

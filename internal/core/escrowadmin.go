@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pse"
+	"repro/internal/seal"
+	"repro/internal/sgx"
+)
+
+// This file is the operator/agent side of the escrow: garbage collection
+// of terminated instances (DecommissionEscrow) and the record transform
+// behind cross-datacenter escrow mirroring. Both run in trusted
+// management components that legitimately hold rack escrow keys — the
+// operator's decommission agent, or the federation's mirror agent
+// enclave provisioned with both partner racks' keys during federation
+// setup (the same in-process provisioning step that installs group keys
+// and Migration Enclave credentials everywhere else in the simulation).
+
+// EscrowAdmin is the operator-facing slice of the rack quorum the
+// escrow-management paths need: the escrow store itself plus the
+// operator-grade counter destroy and the permanent record tombstone
+// (implemented by *pserepl.Group).
+type EscrowAdmin interface {
+	StateEscrow
+	// EscrowTombstone permanently decommissions the record on the quorum
+	// (carried through snapshots and reseeds; no later put revives it).
+	EscrowTombstone(owner sgx.Measurement, id [16]byte) error
+	// AdminDestroy destroys a replicated counter on behalf of the named
+	// owner without the owning enclave being present.
+	AdminDestroy(owner sgx.Measurement, uuid pse.UUID) (uint32, error)
+}
+
+// DecommissionEscrow is the escrow garbage collector: when an
+// application instance is terminated for good, its escrow record and
+// every replicated counter it still owns — the binding counter and the
+// app counters — would otherwise be retained forever, bleeding the
+// rack's hard counter budget and the escrow store. The operator's
+// decommission destroys them and tombstones the record, so the instance
+// can never be resurrected (and a stale replica can never re-propagate
+// the record: the tombstone is carried through snapshots and reseeds).
+//
+// The caller is responsible for the §V-D judgment that the instance is
+// really gone (the cloud layer refuses to decommission a live one); the
+// destroys themselves are safe against concurrency the same way every
+// counter destroy is — a racing persist or recovery that loses the
+// binding counter fails closed.
+func DecommissionEscrow(admin EscrowAdmin, rack *seal.StateSealer, owner sgx.Measurement, id [16]byte) error {
+	ver, bind, blob, err := admin.EscrowGet(owner, id)
+	if err != nil {
+		return fmt.Errorf("fetch escrow record: %w", err)
+	}
+	st, _, err := openEscrowRecordRaw(rack, owner, id, ver, bind, blob)
+	if err != nil {
+		return err
+	}
+	// A frozen record's counters were already destroyed by the migration
+	// freeze; only live-instance records still hold counters.
+	if st.Frozen == 0 {
+		if _, err := admin.AdminDestroy(owner, bind); err != nil && !errors.Is(err, pse.ErrCounterNotFound) {
+			return fmt.Errorf("destroy binding counter: %w", err)
+		}
+		for i := 0; i < NumCounters; i++ {
+			if !st.CountersActive[i] {
+				continue
+			}
+			if _, err := admin.AdminDestroy(owner, st.CounterUUIDs[i]); err != nil && !errors.Is(err, pse.ErrCounterNotFound) {
+				return fmt.Errorf("destroy counter slot %d: %w", i, err)
+			}
+		}
+	}
+	if err := admin.EscrowTombstone(owner, id); err != nil {
+		return fmt.Errorf("tombstone escrow record: %w", err)
+	}
+	return nil
+}
+
+// MirrorView is the mirror-relevant shape of one escrow record: which
+// counters the instance holds at the origin rack, and the binding the
+// record is rollback-bound to. The mirror reads it to know which shadow
+// counters the partner rack must provision and advance.
+type MirrorView struct {
+	Version uint32
+	Bind    pse.UUID
+	Frozen  bool
+	// Slots lists the active counter slots; UUIDs the origin rack's
+	// counter UUID for each (parallel slices).
+	Slots []int
+	UUIDs []pse.UUID
+}
+
+// InspectEscrowRecord authenticates a record against the origin rack's
+// escrow key and reports its mirror view.
+func InspectEscrowRecord(rack *seal.StateSealer, owner sgx.Measurement, id [16]byte, ver uint32, bind pse.UUID, blob []byte) (*MirrorView, error) {
+	st, _, err := openEscrowRecordRaw(rack, owner, id, ver, bind, blob)
+	if err != nil {
+		return nil, err
+	}
+	v := &MirrorView{Version: ver, Bind: bind, Frozen: st.Frozen != 0}
+	for i := 0; i < NumCounters; i++ {
+		if st.CountersActive[i] {
+			v.Slots = append(v.Slots, i)
+			v.UUIDs = append(v.UUIDs, st.CounterUUIDs[i])
+		}
+	}
+	return v, nil
+}
+
+// TransformEscrowForMirror re-targets an escrow record from its origin
+// rack to a partner rack in a peer data center: the sealed Table II
+// state is rewritten to reference the partner's shadow binding counter
+// and shadow app counters (shadow maps slot -> partner UUID), re-sealed
+// under the same MSK, and the MSK key box re-wrapped under the partner
+// rack's escrow key with the AAD re-bound to the shadow binding. The
+// version is unchanged — the shadow binding is advanced to exactly this
+// version by the mirror, so the partner-side recovery runs the standard
+// win-the-binding-at-the-sealed-version protocol without knowing it is
+// operating on a mirrored record.
+//
+// Frozen (migrated-away) records are transformed too, as advisories: a
+// recovery attempt at the partner then fails with ErrFrozen instead of
+// a bare lookup miss.
+func TransformEscrowForMirror(fromRack, toRack *seal.StateSealer, owner sgx.Measurement, id [16]byte, ver uint32, bind pse.UUID, blob []byte, shadowBind pse.UUID, shadow map[int]pse.UUID) ([]byte, error) {
+	st, mskSealer, err := openEscrowRecordRaw(fromRack, owner, id, ver, bind, blob)
+	if err != nil {
+		return nil, err
+	}
+	st.BindUUID = shadowBind
+	if st.Frozen == 0 {
+		for i := 0; i < NumCounters; i++ {
+			if !st.CountersActive[i] {
+				continue
+			}
+			su, ok := shadow[i]
+			if !ok {
+				return nil, fmt.Errorf("core: no shadow counter for active slot %d", i)
+			}
+			st.CounterUUIDs[i] = su
+		}
+	}
+	raw, err := st.encode()
+	if err != nil {
+		return nil, err
+	}
+	sealedState, err := mskSealer.Seal(escrowStateAAD, raw)
+	if err != nil {
+		return nil, fmt.Errorf("re-seal mirrored state: %w", err)
+	}
+	keyBox, err := toRack.Wrap(st.MSK[:], escrowKeyAAD(owner, id, ver, shadowBind))
+	if err != nil {
+		return nil, fmt.Errorf("re-wrap MSK for partner rack: %w", err)
+	}
+	return encodeEscrowRecord(keyBox, sealedState), nil
+}

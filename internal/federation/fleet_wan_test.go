@@ -1,0 +1,211 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// twoPlainSites builds two federated DCs without replica groups (plain
+// per-machine counters), for fleet tests where rack semantics are not
+// the point.
+func twoPlainSites(t *testing.T, cfg transport.WANConfig) (*Federation, *cloud.DataCenter, *cloud.DataCenter, *transport.WANLink) {
+	t.Helper()
+	f := New("fed")
+	dcs := make([]*cloud.DataCenter, 0, 2)
+	for _, name := range []string{"dc-a", "dc-b"} {
+		dc, err := cloud.NewDataCenter(name, sim.NewInstantLatency())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := name[len(name)-1:]
+		for i := 1; i <= 3; i++ {
+			if _, err := dc.AddMachine(fmt.Sprintf("%s%d", prefix, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Admit(dc); err != nil {
+			t.Fatal(err)
+		}
+		dcs = append(dcs, dc)
+	}
+	link, err := f.Connect("dc-a", "dc-b", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f, dcs[0], dcs[1], link
+}
+
+// remoteTargets wraps dc-b's machines as fleet remote targets.
+func remoteTargets(t *testing.T, dcB *cloud.DataCenter, link string, ids ...string) []fleet.RemoteTarget {
+	t.Helper()
+	var out []fleet.RemoteTarget
+	for _, id := range ids {
+		m, ok := dcB.Machine(id)
+		if !ok {
+			t.Fatalf("unknown machine %s", id)
+		}
+		out = append(out, fleet.RemoteTarget{Machine: m, Link: link})
+	}
+	return out
+}
+
+// TestCrossDCEvacuation drains a dc-a machine entirely onto dc-b
+// machines over the WAN link, with a per-link concurrency cap, and
+// verifies counters survive and the journal records the link.
+func TestCrossDCEvacuation(t *testing.T) {
+	_, dcA, dcB, link := twoPlainSites(t, transport.WANConfig{RTT: time.Millisecond})
+	a1, _ := dcA.Machine("a1")
+
+	const apps = 12
+	ctrs := make(map[string]int, apps)
+	for i := 0; i < apps; i++ {
+		name := fmt.Sprintf("tenant-%02d", i)
+		app, err := a1.LaunchApp(appImage(name), core.NewMemoryStorage(), core.InitNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctr, _, err := app.Library.CreateCounter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j <= i%3; j++ {
+			if _, err := app.Library.IncrementCounter(ctr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ctrs[name] = ctr
+	}
+
+	plan := fleet.Plan{
+		Intent:        fleet.IntentEvacuate,
+		Sources:       []string{"a1"},
+		RemoteTargets: remoteTargets(t, dcB, link.Name(), "b1", "b2", "b3"),
+	}
+	orch := fleet.New(dcA, fleet.Config{
+		Workers: 8,
+		LinkCap: map[string]int{link.Name(): 2},
+	})
+	report, err := orch.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != apps || report.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want %d/0\n%s", report.Completed, report.Failed, apps, report)
+	}
+	for _, e := range report.Journal.Entries() {
+		if e.Link != link.Name() {
+			t.Fatalf("entry %s has link %q, want %q", e.App, e.Link, link.Name())
+		}
+		if e.Counters != 1 {
+			t.Fatalf("entry %s journals %d counters, want 1", e.App, e.Counters)
+		}
+	}
+	if a1.AppCount() != 0 {
+		t.Fatalf("source not drained: %d apps remain", a1.AppCount())
+	}
+	landed := 0
+	for _, m := range dcB.Machines() {
+		for _, app := range m.Apps() {
+			landed++
+			want := uint32(1)
+			for i := 0; i < apps; i++ {
+				if app.Image().Name == fmt.Sprintf("tenant-%02d", i) {
+					want = uint32(i%3 + 1)
+				}
+			}
+			if v, err := app.Library.ReadCounter(ctrs[app.Image().Name]); err != nil || v != want {
+				t.Fatalf("%s counter = %d, %v; want %d", app.Image().Name, v, err, want)
+			}
+		}
+	}
+	if landed != apps {
+		t.Fatalf("%d apps landed in dc-b, want %d", landed, apps)
+	}
+	if msgs, _ := link.Stats(); msgs == 0 {
+		t.Fatal("no traffic crossed the link")
+	}
+}
+
+// TestWANPartitionDrainParksAndResumes: a cross-DC drain against a
+// partitioned link parks every migration safely (sources frozen, data
+// held at the source MEs), and after the link heals, ResumeParked
+// finishes them at the originally planned remote destinations.
+func TestWANPartitionDrainParksAndResumes(t *testing.T) {
+	_, dcA, dcB, link := twoPlainSites(t, transport.WANConfig{})
+	a1, _ := dcA.Machine("a1")
+
+	const apps = 4
+	ctrs := make(map[string]int, apps)
+	for i := 0; i < apps; i++ {
+		name := fmt.Sprintf("parked-%d", i)
+		app, err := a1.LaunchApp(appImage(name), core.NewMemoryStorage(), core.InitNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctr, _, err := app.Library.CreateCounter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := app.Library.IncrementCounter(ctr); err != nil {
+			t.Fatal(err)
+		}
+		ctrs[name] = ctr
+	}
+
+	link.SetDown(true)
+	plan := fleet.Plan{
+		Intent:        fleet.IntentEvacuate,
+		Sources:       []string{"a1"},
+		RemoteTargets: remoteTargets(t, dcB, link.Name(), "b1"),
+	}
+	orch := fleet.New(dcA, fleet.Config{
+		Workers:      4,
+		MaxAttempts:  2,
+		RetryBackoff: time.Millisecond,
+	})
+	report, err := orch.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != apps || report.Completed != 0 {
+		t.Fatalf("partitioned drain: completed=%d failed=%d, want 0/%d", report.Completed, report.Failed, apps)
+	}
+	// Parked, not lost: every source library is frozen with its data at
+	// the source ME.
+	for _, app := range a1.Apps() {
+		if !app.Library.Frozen() {
+			t.Fatalf("%s not frozen after parked migration", app.Image().Name)
+		}
+		if app.Library.MigrationToken() == nil {
+			t.Fatalf("%s has no migration token", app.Image().Name)
+		}
+	}
+
+	// The link heals; ResumeParked finishes the drain across it.
+	link.SetDown(false)
+	resumed, err := orch.ResumeParked(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Completed != apps || resumed.Failed != 0 {
+		t.Fatalf("resume: completed=%d failed=%d, want %d/0\n%s", resumed.Completed, resumed.Failed, apps, resumed)
+	}
+	b1, _ := dcB.Machine("b1")
+	if b1.AppCount() != apps {
+		t.Fatalf("b1 hosts %d apps after resume, want %d", b1.AppCount(), apps)
+	}
+	for _, app := range b1.Apps() {
+		if v, err := app.Library.ReadCounter(ctrs[app.Image().Name]); err != nil || v != 1 {
+			t.Fatalf("%s counter = %d, %v; want 1", app.Image().Name, v, err)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Package federation joins mutually-distrusting data centers into one
+// migration domain: provider cross-certification (scoped, revocable
+// trust grants), WAN links bridging the sites' networks with RTT/
+// bandwidth/loss economics, escrow mirroring so a rack's recoverable
+// state survives the loss of the whole rack — or the whole site — and
+// the cross-datacenter variant of machine recovery, with the binding-
+// counter win still arbitrating exactly-one resurrection.
+//
+// Trust model: the federation layer is management plane, like cloud and
+// fleet — it adds no trust to the migration protocol itself (MEs still
+// mutually attest and authenticate through the scoped grants). The one
+// trusted component it introduces is the mirror agent: the entity that
+// re-wraps escrow records from the origin rack's escrow key to the
+// partner rack's. It is modeled as an agent enclave provisioned with
+// both racks' escrow keys during federation setup, exactly like replica
+// agents hold group keys; everything it sends crosses the WAN sealed
+// under a per-partnership link key.
+package federation
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pse"
+	"repro/internal/sgx"
+	"repro/internal/wirec"
+	"repro/internal/xcrypto"
+)
+
+// ErrWireFormat reports malformed federation wire bytes.
+var ErrWireFormat = errors.New("federation: malformed federation message")
+
+// Wire type tags (0xF* block: federation).
+const (
+	tagGrant       byte = 0xF1
+	tagEnsure      byte = 0xF2
+	tagEnsureReply byte = 0xF3
+	tagPush        byte = 0xF4
+	tagPushReply   byte = 0xF5
+)
+
+// wireVersion is the federation wire format version, bumped on layout
+// changes so messages from a different build are rejected cleanly.
+const wireVersion byte = 1
+
+// Message kinds on the transport.Messenger.
+const (
+	kindEnsure = "fed-ensure"
+	kindPush   = "fed-push"
+)
+
+// Mirror reply statuses.
+const (
+	statusOK byte = iota + 1
+	statusRefused
+	// statusObsolete: the instance's shadow binding was consumed at the
+	// partner (a cross-DC recovery resurrected it there); the partner's
+	// copy is now the live instance and this mirror direction is done
+	// with it.
+	statusObsolete
+)
+
+// maxGrantBytes bounds an encoded trust-grant certificate (a small JSON
+// structure; the bound only defends the decoder).
+const maxGrantBytes = 1 << 16
+
+// EncodeGrant frames a federation trust grant (the certificate provider
+// A's authority issued over provider B's authority key) for transfer
+// between the two operators' control planes.
+func EncodeGrant(grant *xcrypto.Certificate) ([]byte, error) {
+	if grant == nil {
+		return nil, fmt.Errorf("%w: nil grant", ErrWireFormat)
+	}
+	raw, err := grant.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("encode grant: %w", err)
+	}
+	if len(raw) > maxGrantBytes {
+		return nil, fmt.Errorf("%w: grant too large", ErrWireFormat)
+	}
+	out := make([]byte, 0, 2+4+len(raw))
+	out = wirec.AppendHeader(out, tagGrant, wireVersion)
+	return wirec.AppendBytes(out, raw), nil
+}
+
+// DecodeGrant parses a framed trust grant. The certificate's signature,
+// scope, and revocation status are NOT checked here — that is
+// attest.Provider.AcceptGrant's job (and re-done per handshake).
+func DecodeGrant(raw []byte) (*xcrypto.Certificate, error) {
+	rd := wirec.NewReader(raw)
+	if !rd.Header(tagGrant, wireVersion) {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, rd.Err())
+	}
+	body := rd.Bytes()
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, err)
+	}
+	if len(body) > maxGrantBytes {
+		return nil, fmt.Errorf("%w: grant too large", ErrWireFormat)
+	}
+	cert, err := xcrypto.DecodeCertificate(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, err)
+	}
+	return cert, nil
+}
+
+// ensureMessage asks the partner site to provision (or report) the
+// shadow binding counter and shadow app counters for one mirrored
+// enclave instance.
+type ensureMessage struct {
+	Owner sgx.Measurement
+	ID    [16]byte
+	// Slots lists the active counter slots at the origin that need a
+	// shadow at the partner.
+	Slots []uint8
+	Nonce uint64
+}
+
+func (m *ensureMessage) encode() []byte {
+	out := make([]byte, 0, 2+32+16+4+len(m.Slots)+8)
+	out = wirec.AppendHeader(out, tagEnsure, wireVersion)
+	out = append(out, m.Owner[:]...)
+	out = append(out, m.ID[:]...)
+	out = wirec.AppendU32(out, uint32(len(m.Slots)))
+	out = append(out, m.Slots...)
+	return wirec.AppendU64(out, m.Nonce)
+}
+
+func decodeEnsureMessage(raw []byte) (*ensureMessage, error) {
+	var m ensureMessage
+	rd := wirec.NewReader(raw)
+	if !rd.Header(tagEnsure, wireVersion) {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, rd.Err())
+	}
+	copy(m.Owner[:], rd.Take(32))
+	copy(m.ID[:], rd.Take(16))
+	n := rd.U32()
+	if n > core.NumCounters {
+		return nil, fmt.Errorf("%w: %d slots", ErrWireFormat, n)
+	}
+	if b := rd.Take(int(n)); b != nil {
+		m.Slots = append([]uint8(nil), b...)
+	}
+	m.Nonce = rd.U64()
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, err)
+	}
+	for _, s := range m.Slots {
+		if int(s) >= core.NumCounters {
+			return nil, fmt.Errorf("%w: slot %d out of range", ErrWireFormat, s)
+		}
+	}
+	return &m, nil
+}
+
+// shadowPair maps one origin counter slot to its partner-side shadow.
+type shadowPair struct {
+	Slot uint8
+	UUID pse.UUID
+}
+
+// shadowPairSize is the encoded size of one shadowPair.
+const shadowPairSize = 1 + 4 + 16
+
+// ensureReply reports the partner's shadow binding and counter UUIDs.
+type ensureReply struct {
+	Status byte
+	Bind   pse.UUID
+	Pairs  []shadowPair
+	Nonce  uint64
+}
+
+func (m *ensureReply) encode() []byte {
+	out := make([]byte, 0, 2+1+4+16+4+len(m.Pairs)*shadowPairSize+8)
+	out = wirec.AppendHeader(out, tagEnsureReply, wireVersion)
+	out = append(out, m.Status)
+	out = wirec.AppendU32(out, m.Bind.ID)
+	out = append(out, m.Bind.Nonce[:]...)
+	out = wirec.AppendU32(out, uint32(len(m.Pairs)))
+	for i := range m.Pairs {
+		out = append(out, m.Pairs[i].Slot)
+		out = wirec.AppendU32(out, m.Pairs[i].UUID.ID)
+		out = append(out, m.Pairs[i].UUID.Nonce[:]...)
+	}
+	return wirec.AppendU64(out, m.Nonce)
+}
+
+func decodeEnsureReply(raw []byte) (*ensureReply, error) {
+	var m ensureReply
+	rd := wirec.NewReader(raw)
+	if !rd.Header(tagEnsureReply, wireVersion) {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, rd.Err())
+	}
+	m.Status = rd.U8()
+	m.Bind.ID = rd.U32()
+	copy(m.Bind.Nonce[:], rd.Take(16))
+	n := rd.U32()
+	if n > core.NumCounters {
+		return nil, fmt.Errorf("%w: %d shadow pairs", ErrWireFormat, n)
+	}
+	if rd.Err() == nil && n > 0 {
+		if !rd.CanHold(n, shadowPairSize) {
+			return nil, fmt.Errorf("%w: %d pairs in %d bytes", ErrWireFormat, n, rd.Remaining())
+		}
+		m.Pairs = make([]shadowPair, 0, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var p shadowPair
+		p.Slot = rd.U8()
+		p.UUID.ID = rd.U32()
+		copy(p.UUID.Nonce[:], rd.Take(16))
+		if rd.Err() != nil {
+			break
+		}
+		m.Pairs = append(m.Pairs, p)
+	}
+	m.Nonce = rd.U64()
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, err)
+	}
+	if m.Status < statusOK || m.Status > statusObsolete {
+		return nil, fmt.Errorf("%w: unknown status %d", ErrWireFormat, m.Status)
+	}
+	return &m, nil
+}
+
+// counterAdvance raises one shadow counter to at least Value.
+type counterAdvance struct {
+	UUID  pse.UUID
+	Value uint32
+}
+
+// counterAdvanceSize is the encoded size of one counterAdvance.
+const counterAdvanceSize = 4 + 16 + 4
+
+// pushMessage delivers one re-wrapped escrow record (plus the shadow
+// counter advances that make its values current) to the partner site.
+// A Record of nil with Version == pserepl.EscrowTombstoneVersion
+// propagates a decommission: the partner destroys its shadows and
+// tombstones its copy.
+type pushMessage struct {
+	Owner   sgx.Measurement
+	ID      [16]byte
+	Version uint32
+	Bind    pse.UUID // the SHADOW binding the record was re-bound to
+	Record  []byte
+	Adv     []counterAdvance
+	Nonce   uint64
+}
+
+func (m *pushMessage) encode() []byte {
+	out := make([]byte, 0, 2+32+16+4+4+16+4+len(m.Record)+4+len(m.Adv)*counterAdvanceSize+8)
+	out = wirec.AppendHeader(out, tagPush, wireVersion)
+	out = append(out, m.Owner[:]...)
+	out = append(out, m.ID[:]...)
+	out = wirec.AppendU32(out, m.Version)
+	out = wirec.AppendU32(out, m.Bind.ID)
+	out = append(out, m.Bind.Nonce[:]...)
+	out = wirec.AppendBytes(out, m.Record)
+	out = wirec.AppendU32(out, uint32(len(m.Adv)))
+	for i := range m.Adv {
+		out = wirec.AppendU32(out, m.Adv[i].UUID.ID)
+		out = append(out, m.Adv[i].UUID.Nonce[:]...)
+		out = wirec.AppendU32(out, m.Adv[i].Value)
+	}
+	return wirec.AppendU64(out, m.Nonce)
+}
+
+func decodePushMessage(raw []byte) (*pushMessage, error) {
+	var m pushMessage
+	rd := wirec.NewReader(raw)
+	if !rd.Header(tagPush, wireVersion) {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, rd.Err())
+	}
+	copy(m.Owner[:], rd.Take(32))
+	copy(m.ID[:], rd.Take(16))
+	m.Version = rd.U32()
+	m.Bind.ID = rd.U32()
+	copy(m.Bind.Nonce[:], rd.Take(16))
+	m.Record = rd.Bytes()
+	n := rd.U32()
+	if n > core.NumCounters+1 {
+		return nil, fmt.Errorf("%w: %d advances", ErrWireFormat, n)
+	}
+	if rd.Err() == nil && n > 0 {
+		if !rd.CanHold(n, counterAdvanceSize) {
+			return nil, fmt.Errorf("%w: %d advances in %d bytes", ErrWireFormat, n, rd.Remaining())
+		}
+		m.Adv = make([]counterAdvance, 0, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var a counterAdvance
+		a.UUID.ID = rd.U32()
+		copy(a.UUID.Nonce[:], rd.Take(16))
+		a.Value = rd.U32()
+		if rd.Err() != nil {
+			break
+		}
+		m.Adv = append(m.Adv, a)
+	}
+	m.Nonce = rd.U64()
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, err)
+	}
+	return &m, nil
+}
+
+// pushReply acknowledges a mirror push.
+type pushReply struct {
+	Status byte
+	Nonce  uint64
+}
+
+func (m *pushReply) encode() []byte {
+	out := make([]byte, 0, 2+1+8)
+	out = wirec.AppendHeader(out, tagPushReply, wireVersion)
+	out = append(out, m.Status)
+	return wirec.AppendU64(out, m.Nonce)
+}
+
+func decodePushReply(raw []byte) (*pushReply, error) {
+	var m pushReply
+	rd := wirec.NewReader(raw)
+	if !rd.Header(tagPushReply, wireVersion) {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, rd.Err())
+	}
+	m.Status = rd.U8()
+	m.Nonce = rd.U64()
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWireFormat, err)
+	}
+	if m.Status < statusOK || m.Status > statusObsolete {
+		return nil, fmt.Errorf("%w: unknown status %d", ErrWireFormat, m.Status)
+	}
+	return &m, nil
+}
+
+// aadReq and aadRep bind a sealed mirror payload to its direction and
+// kind, so recorded traffic cannot be replayed as a reply or under a
+// different kind (the pserepl convention).
+func aadReq(kind, partnership string) []byte { return []byte("fed-req/" + kind + "/" + partnership) }
+func aadRep(kind, partnership string) []byte { return []byte("fed-rep/" + kind + "/" + partnership) }

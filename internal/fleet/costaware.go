@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"sync"
+
+	"repro/internal/cloud"
+)
+
+// counterCostBytes is the byte-equivalent weight of one migratable
+// counter in the cost model. Destroy-and-recreate of a counter is a
+// firmware transaction pair (hundreds of milliseconds at paper-scale
+// latencies), which dwarfs shipping a few kilobytes of state — so a
+// counter-heavy enclave must look expensive even when its Table I
+// payload is small.
+const counterCostBytes = 64 << 10
+
+// appCost aggregates a journal's observations of one app.
+type appCost struct {
+	bytes    int64
+	counters int64
+	n        int64
+}
+
+// estimate is the expected migration cost in byte-equivalents.
+func (c appCost) estimate() int64 {
+	if c.n == 0 {
+		return 0
+	}
+	return c.bytes/c.n + (c.counters/c.n)*counterCostBytes
+}
+
+// CostAware places each enclave on the destination with the lowest
+// projected migration cost rather than the lowest enclave count: the
+// per-app state size (Table I bytes) and counter count observed in
+// earlier plans' journals feed an expected cost per app, destinations
+// accumulate the cost of what this policy has already assigned them,
+// and every pick takes the cheapest. Enclave counts still matter for
+// apps the history has never seen (they are charged the historical
+// average), so an empty history degrades to least-loaded behavior.
+//
+// Feed it the previous plan's journal (or a merged history) and reuse
+// one instance per plan: the assigned-cost tally accumulates across
+// picks of one planning session. Safe for concurrent use (the
+// orchestrator also consults policies from worker goroutines when
+// re-targeting).
+type CostAware struct {
+	mu       sync.Mutex
+	hist     map[string]appCost
+	total    appCost
+	assigned map[string]int64
+}
+
+// NewCostAware builds the policy from journaled history. A nil journal
+// yields an empty history (pure least-loaded-by-average behavior).
+func NewCostAware(history *Journal) *CostAware {
+	c := &CostAware{
+		hist:     make(map[string]appCost),
+		assigned: make(map[string]int64),
+	}
+	if history != nil {
+		for _, e := range history.Entries() {
+			if e.Status != StatusCompleted {
+				continue
+			}
+			h := c.hist[e.App]
+			h.bytes += int64(e.StateBytes)
+			h.counters += int64(e.Counters)
+			h.n++
+			c.hist[e.App] = h
+			c.total.bytes += int64(e.StateBytes)
+			c.total.counters += int64(e.Counters)
+			c.total.n++
+		}
+	}
+	return c
+}
+
+// Name identifies the policy.
+func (*CostAware) Name() string { return "cost-aware" }
+
+// Observe folds one more journal into the history (e.g. after each
+// plan, so the next plan packs with fresher costs).
+func (c *CostAware) Observe(j *Journal) {
+	if j == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range j.Entries() {
+		if e.Status != StatusCompleted {
+			continue
+		}
+		h := c.hist[e.App]
+		h.bytes += int64(e.StateBytes)
+		h.counters += int64(e.Counters)
+		h.n++
+		c.hist[e.App] = h
+		c.total.bytes += int64(e.StateBytes)
+		c.total.counters += int64(e.Counters)
+		c.total.n++
+	}
+}
+
+// cost estimates one app's migration cost: its own history, else the
+// fleet-wide average, else a nominal unit so picks stay balanced.
+func (c *CostAware) cost(name string) int64 {
+	if h, ok := c.hist[name]; ok && h.n > 0 {
+		return h.estimate()
+	}
+	if avg := c.total.estimate(); avg > 0 {
+		return avg
+	}
+	return counterCostBytes
+}
+
+// Pick implements Policy. app is nil for escrow-based resurrections;
+// they are charged the historical average.
+func (c *CostAware) Pick(app *cloud.App, candidates []*cloud.Machine, load map[string]int) (*cloud.Machine, error) {
+	if len(candidates) == 0 {
+		return nil, ErrNoDestination
+	}
+	name := ""
+	if app != nil {
+		name = app.Image().Name
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cost := c.cost(name)
+	avg := c.total.estimate()
+	if avg <= 0 {
+		avg = counterCostBytes
+	}
+	var best *cloud.Machine
+	var bestScore int64
+	for _, cand := range candidates {
+		// Projected cost = the load map's enclaves (standing + planned
+		// arrivals, which the planner counts at one each) priced at the
+		// historical average, plus this session's accumulated deviation
+		// from that average. Pricing only the deviation here avoids
+		// double-counting the planner's own load increments — and makes
+		// an empty history collapse exactly to least-loaded.
+		score := c.assigned[cand.ID()] + int64(load[cand.ID()])*avg
+		if best == nil || score < bestScore ||
+			(score == bestScore && cand.ID() < best.ID()) {
+			best, bestScore = cand, score
+		}
+	}
+	c.assigned[best.ID()] += cost - avg
+	return best, nil
+}

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"context"
+	"crypto/ed25519"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+	"repro/internal/xcrypto"
+)
+
+func costImage(name string) *sgx.Image {
+	key := xcrypto.DeriveKey([]byte("costaware-test"), "signer")
+	return &sgx.Image{
+		Name:            name,
+		Version:         1,
+		Code:            []byte("cost:" + name),
+		SignerPublicKey: ed25519.PublicKey(key[:]),
+	}
+}
+
+// TestCostAwarePacksByMigrationCost: with history showing one app is
+// vastly more expensive to move (big state, many counters), a drain
+// isolates it while the cheap apps share the other destination —
+// where least-loaded would split purely by count.
+func TestCostAwarePacksByMigrationCost(t *testing.T) {
+	dc, err := cloud.NewDataCenter("cost-dc", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"m0", "m1", "m2"} {
+		if _, err := dc.AddMachine(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m0, _ := dc.Machine("m0")
+	for _, name := range []string{"big", "small-a", "small-b", "small-c"} {
+		app, err := m0.LaunchApp(costImage(name), core.NewMemoryStorage(), core.InitNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := app.Library.CreateCounter(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// History from earlier plans: "big" moves 200 kB and 50 counters,
+	// the smalls are trivial.
+	hist := NewJournal()
+	hist.Record(Entry{App: "big", Status: StatusCompleted, StateBytes: 200_000, Counters: 50})
+	for _, name := range []string{"small-a", "small-b", "small-c"} {
+		hist.Record(Entry{App: name, Status: StatusCompleted, StateBytes: 100, Counters: 1})
+	}
+
+	policy := NewCostAware(hist)
+	plan := Drain("m0")
+	plan.Policy = policy
+	orch := New(dc, Config{Workers: 1})
+	report, err := orch.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 4 || report.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want 4/0", report.Completed, report.Failed)
+	}
+
+	m1, _ := dc.Machine("m1")
+	m2, _ := dc.Machine("m2")
+	var bigHost, smallHost *cloud.Machine
+	for _, m := range []*cloud.Machine{m1, m2} {
+		for _, app := range m.Apps() {
+			if app.Image().Name == "big" {
+				bigHost = m
+			} else {
+				smallHost = m
+			}
+		}
+	}
+	if bigHost == nil || smallHost == nil {
+		t.Fatal("apps not placed")
+	}
+	if bigHost == smallHost {
+		t.Fatalf("big app shares %s with small apps; cost-aware should isolate it", bigHost.ID())
+	}
+	if bigHost.AppCount() != 1 || smallHost.AppCount() != 3 {
+		t.Fatalf("placement %s=%d %s=%d, want 1 and 3",
+			bigHost.ID(), bigHost.AppCount(), smallHost.ID(), smallHost.AppCount())
+	}
+}
+
+// TestCostAwareEmptyHistoryBalances: without history the policy
+// degrades to least-loaded behavior (no machine ends up more than one
+// enclave above another).
+func TestCostAwareEmptyHistoryBalances(t *testing.T) {
+	dc, err := cloud.NewDataCenter("cost-dc2", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"m0", "m1", "m2"} {
+		if _, err := dc.AddMachine(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m0, _ := dc.Machine("m0")
+	for i := 0; i < 6; i++ {
+		if _, err := m0.LaunchApp(costImage("app-"+string(rune('a'+i))), core.NewMemoryStorage(), core.InitNew); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan := Drain("m0")
+	plan.Policy = NewCostAware(nil)
+	report, err := New(dc, Config{Workers: 2}).Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 6 {
+		t.Fatalf("completed=%d, want 6", report.Completed)
+	}
+	m1, _ := dc.Machine("m1")
+	m2, _ := dc.Machine("m2")
+	if d := m1.AppCount() - m2.AppCount(); d < -1 || d > 1 {
+		t.Fatalf("unbalanced placement: m1=%d m2=%d", m1.AppCount(), m2.AppCount())
+	}
+}

@@ -83,7 +83,10 @@ type Event struct {
 	Source  string
 	Dest    string
 	Attempt int
-	Err     error
+	// Link names the federation WAN link the destination is reached
+	// through (empty for intra-DC destinations).
+	Link string
+	Err  error
 }
 
 // Config tunes the orchestrator.
@@ -116,6 +119,15 @@ type Config struct {
 	// thousands of migrations should raise it to keep the bookkeeping
 	// off the throughput path; the final snapshot is always written.
 	SnapshotEvery int
+	// LinkCap bounds concurrent deliveries per federation WAN link (by
+	// link name): a cross-DC drain must not stampede a constrained link
+	// with the whole worker pool. Zero/absent means no per-link cap.
+	LinkCap map[string]int
+	// WANRetryBackoff is the base backoff for retrying deliveries that
+	// traverse a WAN link (WAN failures — loss, congestion, partitions —
+	// clear on much longer scales than intra-DC blips). Default
+	// 4×RetryBackoff.
+	WANRetryBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +148,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Confidence <= 0 || c.Confidence >= 1 {
 		c.Confidence = 0.99
+	}
+	if c.WANRetryBackoff <= 0 {
+		c.WANRetryBackoff = 4 * c.RetryBackoff
 	}
 	return c
 }
@@ -190,11 +205,69 @@ type Orchestrator struct {
 	dc    *cloud.DataCenter
 	cfg   Config
 	locks *lockTable
+
+	// remoteMu guards the cross-DC bookkeeping below.
+	remoteMu sync.Mutex
+	// remotes remembers every remote destination any plan has named, by
+	// ME address, so resumed migrations (ResumeParked) can resolve a
+	// parked transfer's previous destination even when it lives in a
+	// peer data center.
+	remotes map[transport.Address]RemoteTarget
+	// linkSlots are the per-link concurrency semaphores (LinkCap).
+	linkSlots map[string]chan struct{}
 }
 
 // New creates an orchestrator for the data center.
 func New(dc *cloud.DataCenter, cfg Config) *Orchestrator {
-	return &Orchestrator{dc: dc, cfg: cfg.withDefaults(), locks: newLockTable()}
+	return &Orchestrator{
+		dc:        dc,
+		cfg:       cfg.withDefaults(),
+		locks:     newLockTable(),
+		remotes:   make(map[transport.Address]RemoteTarget),
+		linkSlots: make(map[string]chan struct{}),
+	}
+}
+
+// rememberRemotes records a plan's remote targets for later resolution
+// (redirects, resumes) and returns the link label per target machine.
+func (o *Orchestrator) rememberRemotes(rts []RemoteTarget) map[*cloud.Machine]string {
+	links := make(map[*cloud.Machine]string)
+	o.remoteMu.Lock()
+	defer o.remoteMu.Unlock()
+	for _, rt := range rts {
+		if rt.Machine == nil {
+			continue
+		}
+		o.remotes[rt.Machine.MEAddress()] = rt
+		links[rt.Machine] = rt.Link
+	}
+	// Previously remembered remotes keep their labels (a resumed plan
+	// has no RemoteTargets of its own).
+	for _, rt := range o.remotes {
+		if _, ok := links[rt.Machine]; !ok {
+			links[rt.Machine] = rt.Link
+		}
+	}
+	return links
+}
+
+// linkSlot returns the semaphore for a capped link (nil when uncapped).
+func (o *Orchestrator) linkSlot(link string) chan struct{} {
+	if link == "" {
+		return nil
+	}
+	cap, ok := o.cfg.LinkCap[link]
+	if !ok || cap <= 0 {
+		return nil
+	}
+	o.remoteMu.Lock()
+	defer o.remoteMu.Unlock()
+	sem, ok := o.linkSlots[link]
+	if !ok {
+		sem = make(chan struct{}, cap)
+		o.linkSlots[link] = sem
+	}
+	return sem
 }
 
 func (o *Orchestrator) emit(e Event) {
@@ -231,12 +304,18 @@ func (t *lockTable) lock(destID string, mre sgx.Measurement) func() {
 	return mu.Unlock
 }
 
-// machineByAddress finds the machine whose ME listens on addr.
+// machineByAddress finds the machine whose ME listens on addr — in this
+// data center, or among the remote destinations plans have named.
 func (o *Orchestrator) machineByAddress(addr transport.Address) *cloud.Machine {
 	for _, m := range o.dc.Machines() {
 		if m.MEAddress() == addr {
 			return m
 		}
+	}
+	o.remoteMu.Lock()
+	defer o.remoteMu.Unlock()
+	if rt, ok := o.remotes[addr]; ok {
+		return rt.Machine
 	}
 	return nil
 }
@@ -284,9 +363,15 @@ func isMigrationDone(err error) bool { return matchesSentinel(err, core.ErrMigra
 // tombstone refusal; completion is then decided by the source's record.
 func isEnvelopeConsumed(err error) bool { return matchesSentinel(err, core.ErrEnvelopeConsumed) }
 
-// backoff waits before retry attempt (attempt >= 2), honoring ctx.
-func (o *Orchestrator) backoff(ctx context.Context, attempt int) error {
+// backoff waits before retry attempt (attempt >= 2), honoring ctx. WAN
+// deliveries back off from a larger base (WANRetryBackoff): loss and
+// partitions on an inter-DC link clear on longer scales than intra-DC
+// blips, and hammering a lossy link just loses more.
+func (o *Orchestrator) backoff(ctx context.Context, attempt int, wan bool) error {
 	d := o.cfg.RetryBackoff
+	if wan {
+		d = o.cfg.WANRetryBackoff
+	}
 	for i := 2; i < attempt; i++ {
 		d = time.Duration(float64(d) * o.cfg.BackoffFactor)
 		if d >= o.cfg.MaxBackoff {
@@ -301,6 +386,22 @@ func (o *Orchestrator) backoff(ctx context.Context, attempt int) error {
 		return ctx.Err()
 	case <-t.C:
 		return nil
+	}
+}
+
+// acquireLink takes one concurrency slot on a capped WAN link (no-op
+// for uncapped links and intra-DC destinations), honoring ctx while
+// waiting. The returned release must be called exactly once.
+func (o *Orchestrator) acquireLink(ctx context.Context, link string) (func(), error) {
+	sem := o.linkSlot(link)
+	if sem == nil {
+		return func() {}, nil
+	}
+	select {
+	case sem <- struct{}{}:
+		return func() { <-sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }
 
@@ -364,12 +465,22 @@ func (o *Orchestrator) Run(ctx context.Context, plan Plan, assignments []Assignm
 		targets = defaultTargets(o.dc, isSource)
 	}
 
+	// Remote destinations: remember them for redirects/resumes and label
+	// each target machine with the WAN link it is reached through.
+	links := o.rememberRemotes(plan.RemoteTargets)
+	for _, rt := range plan.RemoteTargets {
+		if rt.Machine != nil {
+			targets = append(targets, rt.Machine)
+		}
+	}
+
 	// A machine being drained must not take its rack's counter-replica
 	// share down with it: hand the role to a surviving target first, so
 	// the quorum stays at full strength while (and after) the enclaves
 	// move (the paper's evacuation story plus rollback protection that
-	// outlives the machine).
-	handoffs, err := o.handoffReplicas(plan, targets)
+	// outlives the machine). Remote targets are never handoff takers —
+	// a replica role cannot leave its rack.
+	handoffs, err := o.handoffReplicas(plan, targets, links)
 	if err != nil {
 		return nil, err
 	}
@@ -430,7 +541,7 @@ func (o *Orchestrator) Run(ctx context.Context, plan Plan, assignments []Assignm
 				if as.Recover {
 					record(o.recoverOne(ctx, as, targets, policy))
 				} else {
-					record(o.migrateOne(ctx, as, targets, policy))
+					record(o.migrateOne(ctx, as, targets, policy, links))
 				}
 			}
 		}()
@@ -476,7 +587,7 @@ func (o *Orchestrator) Run(ctx context.Context, plan Plan, assignments []Assignm
 // (alive, not itself a source, not already hosting a replica). Plans
 // whose sources host replicas but have no eligible takers are refused
 // with ErrNoReplicaTarget before any enclave moves.
-func (o *Orchestrator) handoffReplicas(plan Plan, targets []*cloud.Machine) (int, error) {
+func (o *Orchestrator) handoffReplicas(plan Plan, targets []*cloud.Machine, links map[*cloud.Machine]string) (int, error) {
 	if plan.Intent != IntentDrain && plan.Intent != IntentEvacuate {
 		return 0, nil
 	}
@@ -512,6 +623,11 @@ func (o *Orchestrator) handoffReplicas(plan Plan, targets []*cloud.Machine) (int
 		var best *cloud.Machine
 		for _, t := range targets {
 			if isSource[t.ID()] || claimed[t.ID()] || t.HostsReplica() || !t.ME.Enclave().Alive() {
+				continue
+			}
+			// A remote machine cannot take the role: replica groups are
+			// rack-scoped, and the rack does not span the WAN.
+			if links[t] != "" {
 				continue
 			}
 			// A machine already rack-associated with a different group
@@ -576,7 +692,7 @@ func (o *Orchestrator) recoverOne(ctx context.Context, as Assignment, targets []
 	for attempt := 1; attempt <= o.cfg.MaxAttempts; attempt++ {
 		entry.Attempts = attempt
 		if attempt > 1 {
-			if err := o.backoff(ctx, attempt); err != nil {
+			if err := o.backoff(ctx, attempt, false); err != nil {
 				return finish(StatusCanceled, EventCanceled, err)
 			}
 			if !dest.ME.Enclave().Alive() {
@@ -595,6 +711,7 @@ func (o *Orchestrator) recoverOne(ctx context.Context, as Assignment, targets []
 		if err == nil {
 			as.Source.DropLost(as.Lost.EscrowID)
 			entry.StateBytes = stateBytes(app)
+			entry.Counters = app.Library.ActiveCounters()
 			return finish(StatusCompleted, EventRecovered, nil)
 		}
 		lastErr = err
@@ -669,7 +786,7 @@ func (o *Orchestrator) ResumeParked(ctx context.Context) (*Report, error) {
 // redirects only when the previous destination ME is dead (its stored
 // copy, if any, died with its enclave memory), and a restore failure on a
 // live destination fails the migration instead of re-sending the state.
-func (o *Orchestrator) migrateOne(ctx context.Context, as Assignment, targets []*cloud.Machine, policy Policy) Entry {
+func (o *Orchestrator) migrateOne(ctx context.Context, as Assignment, targets []*cloud.Machine, policy Policy, links map[*cloud.Machine]string) Entry {
 	locks := o.locks
 	app, src, dest := as.App, as.Source, as.Dest
 	lib := app.Library
@@ -679,13 +796,16 @@ func (o *Orchestrator) migrateOne(ctx context.Context, as Assignment, targets []
 		Source:      src.ID(),
 		PlannedDest: dest.ID(),
 		StateBytes:  stateBytes(app),
+		Counters:    app.Library.ActiveCounters(),
+		Link:        links[dest],
 	}
-	o.emit(Event{Type: EventStart, App: entry.App, Source: entry.Source, Dest: dest.ID()})
+	o.emit(Event{Type: EventStart, App: entry.App, Source: entry.Source, Dest: dest.ID(), Link: links[dest]})
 
 	start := time.Now()
 	finish := func(st Status, err error) Entry {
 		entry.Status = st
 		entry.Dest = dest.ID()
+		entry.Link = links[dest]
 		entry.Latency = time.Since(start)
 		entry.SourceFrozen = lib.Frozen()
 		if err != nil {
@@ -698,7 +818,7 @@ func (o *Orchestrator) migrateOne(ctx context.Context, as Assignment, targets []
 		case StatusCanceled:
 			evType = EventCanceled
 		}
-		o.emit(Event{Type: evType, App: entry.App, Source: entry.Source, Dest: dest.ID(), Attempt: entry.Attempts, Err: err})
+		o.emit(Event{Type: evType, App: entry.App, Source: entry.Source, Dest: dest.ID(), Attempt: entry.Attempts, Link: links[dest], Err: err})
 		return entry
 	}
 
@@ -753,7 +873,12 @@ func (o *Orchestrator) migrateOne(ctx context.Context, as Assignment, targets []
 				// stays 0 and the entry is excluded from the latency
 				// summary, which measures full freeze-through-restore).
 				dest = prev
+				release, cerr := o.acquireLink(ctx, links[dest])
+				if cerr != nil {
+					return finish(StatusCanceled, cerr)
+				}
 				unlock := locks.lock(dest.ID(), mre)
+				defer release()
 				// Re-check under the lock: a concurrent same-identity
 				// worker may just have consumed our envelope (its
 				// delivery was refused, so it restored ours instead).
@@ -786,7 +911,7 @@ func (o *Orchestrator) migrateOne(ctx context.Context, as Assignment, targets []
 	for attempt := 1; attempt <= o.cfg.MaxAttempts; attempt++ {
 		entry.Attempts = attempt
 		if attempt > 1 {
-			if err := o.backoff(ctx, attempt); err != nil {
+			if err := o.backoff(ctx, attempt, links[dest] != ""); err != nil {
 				return finish(StatusCanceled, err)
 			}
 			// The planned destination may have died; re-target if a
@@ -795,18 +920,25 @@ func (o *Orchestrator) migrateOne(ctx context.Context, as Assignment, targets []
 			if !dest.ME.Enclave().Alive() {
 				if alt := o.pickAlternate(app, dest, src, targets, policy); alt != nil {
 					entry.Redirects++
-					o.emit(Event{Type: EventRedirect, App: entry.App, Source: entry.Source, Dest: alt.ID(), Attempt: attempt})
+					o.emit(Event{Type: EventRedirect, App: entry.App, Source: entry.Source, Dest: alt.ID(), Attempt: attempt, Link: links[alt]})
 					dest = alt
 				}
 			}
 		}
 
 		// Deliver, then restore, holding this enclave identity's delivery
-		// slot at the destination throughout. Every retry re-delivers:
-		// the only failure mode that reaches the next attempt with data
-		// at a destination is a dead destination ME, whose copy died with
-		// its enclave memory.
+		// slot at the destination throughout — and, for WAN destinations,
+		// one of the link's concurrency slots (LinkCap). Every retry
+		// re-delivers: the only failure mode that reaches the next
+		// attempt with data at a destination is a dead destination ME,
+		// whose copy died with its enclave memory.
+		release, cerr := o.acquireLink(ctx, links[dest])
+		if cerr != nil {
+			return finish(StatusCanceled, cerr)
+		}
 		unlock := locks.lock(dest.ID(), mre)
+		unlockAll := unlock
+		unlock = func() { unlockAll(); release() }
 		var err error
 		if token == nil {
 			// First delivery attempt: freeze, destroy source counters,

@@ -58,6 +58,13 @@ type Entry struct {
 	// near-upper bound on the wire payload (whose exact size varies with
 	// the digits of the secret values).
 	StateBytes int
+	// Counters is the enclave's active counter count at migration (or
+	// recovery) time — with StateBytes, the per-app history cost-aware
+	// placement packs destinations by.
+	Counters int
+	// Link names the federation WAN link the migration traversed to
+	// reach its destination (empty for intra-DC migrations).
+	Link string
 	// Latency is the end-to-end migration time, freeze through restore,
 	// as performed by this plan (a resumed entry with Attempts == 0
 	// records only its bookkeeping time).

@@ -87,6 +87,21 @@ type Plan struct {
 	// peer among the targets. Live sources still migrate normally, so
 	// one plan empties a half-failed rack.
 	Recover bool
+	// RemoteTargets adds destinations in OTHER data centers (Drain,
+	// Evacuate): machines reachable over a federation WAN link whose
+	// Migration Enclave addresses have been exported into this data
+	// center's network. Each carries the link name it is reached
+	// through; the orchestrator caps concurrency per link
+	// (Config.LinkCap), applies WAN-scaled backoff to deliveries that
+	// traverse a link, and journals the link per migration.
+	RemoteTargets []RemoteTarget
+}
+
+// RemoteTarget names one cross-datacenter destination machine and the
+// WAN link it is reached through.
+type RemoteTarget struct {
+	Machine *cloud.Machine
+	Link    string
 }
 
 // Drain plans moving every enclave off the given machines.
@@ -260,10 +275,18 @@ func (p Plan) compileDrain(dc *cloud.DataCenter, policy Policy) ([]Assignment, e
 				return nil, fmt.Errorf("fleet: machine %q is both source and target", t.ID())
 			}
 		}
-	} else {
+	} else if len(p.RemoteTargets) == 0 {
 		// Explicitly named Targets are taken as given (the operator may
 		// know a machine is coming back); the default set skips dead ones.
+		// A purely remote plan (RemoteTargets only) drains across the WAN
+		// without spilling onto local machines.
 		targets = defaultTargets(dc, isSource)
+	}
+	for _, rt := range p.RemoteTargets {
+		if rt.Machine == nil {
+			return nil, fmt.Errorf("%w: nil remote target", ErrUnknownMachine)
+		}
+		targets = append(targets, rt.Machine)
 	}
 	if len(targets) == 0 {
 		return nil, ErrNoDestination
@@ -335,7 +358,7 @@ func compileRecovery(src *cloud.Machine, targets []*cloud.Machine, policy Policy
 // inherent to the leveling algorithm, so the plan's Policy is not
 // consulted here (it still governs mid-operation redirects).
 func (p Plan) compileRebalance(dc *cloud.DataCenter, _ Policy) ([]Assignment, error) {
-	if len(p.Sources) > 0 || len(p.Targets) > 0 {
+	if len(p.Sources) > 0 || len(p.Targets) > 0 || len(p.RemoteTargets) > 0 {
 		return nil, fmt.Errorf("fleet: rebalance considers every machine; Sources/Targets are not supported")
 	}
 	var machines []*cloud.Machine

@@ -24,8 +24,9 @@ var ErrJournalFormat = errors.New("fleet: malformed journal snapshot")
 const tagJournal byte = 0xD1
 
 // journalWireVersion is bumped on any snapshot layout change so stale
-// snapshots are rejected cleanly instead of misparsed.
-const journalWireVersion byte = 1
+// snapshots are rejected cleanly instead of misparsed. Version 2 added
+// the per-entry counter count and traversed WAN link.
+const journalWireVersion byte = 2
 
 // maxJournalEntries bounds a decoded snapshot against length-prefix
 // bombs; a million entries is far beyond any single plan.
@@ -50,9 +51,11 @@ func (j *Journal) Encode() ([]byte, error) {
 		out = wirec.AppendString(out, e.Source)
 		out = wirec.AppendString(out, e.PlannedDest)
 		out = wirec.AppendString(out, e.Dest)
+		out = wirec.AppendString(out, e.Link)
 		out = wirec.AppendU32(out, uint32(e.Attempts))
 		out = wirec.AppendU32(out, uint32(e.Redirects))
 		out = wirec.AppendU32(out, uint32(e.StateBytes))
+		out = wirec.AppendU32(out, uint32(e.Counters))
 		out = wirec.AppendU64(out, uint64(e.Latency))
 		var flags byte
 		if e.SourceFrozen {
@@ -82,9 +85,9 @@ func DecodeJournal(raw []byte) (*Journal, error) {
 	}
 	j := NewJournal()
 	if rd.Err() == nil && n > 0 {
-		// An entry is at least five length prefixes, three u32s, one u64,
+		// An entry is at least six length prefixes, four u32s, one u64,
 		// and two flag bytes; the bytes come from untrusted storage.
-		const minEntrySize = 5*4 + 3*4 + 8 + 2
+		const minEntrySize = 6*4 + 4*4 + 8 + 2
 		if !rd.CanHold(n, minEntrySize) {
 			return nil, fmt.Errorf("%w: snapshot claims %d entries in %d bytes", ErrJournalFormat, n, rd.Remaining())
 		}
@@ -96,9 +99,11 @@ func DecodeJournal(raw []byte) (*Journal, error) {
 		e.Source = rd.String()
 		e.PlannedDest = rd.String()
 		e.Dest = rd.String()
+		e.Link = rd.String()
 		e.Attempts = int(rd.U32())
 		e.Redirects = int(rd.U32())
 		e.StateBytes = int(rd.U32())
+		e.Counters = int(rd.U32())
 		e.Latency = time.Duration(rd.U64())
 		flags := rd.U8()
 		e.SourceFrozen = flags&flagSourceFrozen != 0

@@ -35,6 +35,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/pse"
 	"repro/internal/seal"
@@ -144,6 +145,20 @@ type Group struct {
 	// through snapshots. Treating aborted IDs as tombstones in every
 	// snapshot merge cleans the ghosts up at the next reseed instead.
 	aborted map[uint32]struct{}
+
+	// inflightMu guards inflight: per counter, the replicas whose
+	// RELATIVE increment applies are still in flight after an
+	// early-quorum return. A replica lagging for that reason must NOT be
+	// read-repaired: the absolute advance would land first and the
+	// relative apply on top of it, double-counting the increment. Such
+	// lag is transient and self-healing (the apply is already on its
+	// way); repair skips these replicas, and entries clear as the
+	// straggler votes drain.
+	inflightMu sync.Mutex
+	inflight   map[uint32]map[string]int
+	// escrowObs, when set, observes committed escrow puts (guarded by
+	// recoverMu; see SetEscrowObserver).
+	escrowObs func(owner sgx.Measurement, id [16]byte, version uint32)
 }
 
 // NewGroup assembles a replicated counter group from exactly 2f+1
@@ -182,6 +197,7 @@ func NewGroup(name string, f int, msgr transport.Messenger, replicas ...*Replica
 		perOwner:      make(map[sgx.Measurement]int),
 		destroyFinals: make(map[uint32]uint32),
 		aborted:       make(map[uint32]struct{}),
+		inflight:      make(map[uint32]map[string]int),
 	}
 	seen := make(map[string]bool, len(replicas))
 	for _, r := range replicas {
@@ -503,61 +519,14 @@ func (g *Group) quorumOp(m *opMessage, goneIsAck bool) (uint32, error) {
 }
 
 // Create allocates a fresh replicated monotonic counter for the calling
-// enclave with initial value 0, committing it on a majority of replicas.
+// enclave with initial value 0, committing it on a majority of replicas
+// (the enclave path over AdminCreate).
 func (g *Group) Create(e *sgx.Enclave) (pse.UUID, uint32, error) {
 	if err := e.ECall(); err != nil {
 		return pse.UUID{}, 0, err
 	}
-	owner := e.MREnclave()
-	g.ownerMu.Lock()
-	// The group's capacity is one facility's worth of counters shared by
-	// the whole rack (every replica backs them under its single agent
-	// identity), so the total is bounded like the per-owner budget.
-	if g.total >= pse.MaxCounters || g.perOwner[owner] >= pse.MaxCounters {
-		g.ownerMu.Unlock()
-		return pse.UUID{}, 0, pse.ErrCounterLimit
-	}
-	g.total++
-	g.perOwner[owner]++
-	g.ownerMu.Unlock()
-	release := func() {
-		g.ownerMu.Lock()
-		g.total--
-		g.perOwner[owner]--
-		if g.perOwner[owner] == 0 {
-			delete(g.perOwner, owner)
-		}
-		g.ownerMu.Unlock()
-	}
-
-	id := g.nextID.Add(1)
-	if id > uint64(^uint32(0)) {
-		release()
-		return pse.UUID{}, 0, pse.ErrIDsExhausted
-	}
-	nonce, err := xcrypto.RandomBytes(16)
-	if err != nil {
-		release()
-		return pse.UUID{}, 0, fmt.Errorf("counter nonce: %w", err)
-	}
-	m := &opMessage{Op: opCreate, Owner: owner}
-	m.UUID.ID = uint32(id)
-	copy(m.UUID.Nonce[:], nonce)
-
-	if _, err := g.quorumOp(m, false); err != nil {
-		// Partial creates on a minority are rolled back best-effort, and
-		// the ID is recorded as aborted: snapshot merges treat it as a
-		// tombstone, so a ghost entry the rollback missed is destroyed by
-		// the holding replica's next reseed instead of propagating.
-		m.Op = opDestroyRead
-		_, _ = g.quorumOp(m, true)
-		g.recoverMu.Lock()
-		g.aborted[m.UUID.ID] = struct{}{}
-		g.recoverMu.Unlock()
-		release()
-		return pse.UUID{}, 0, fmt.Errorf("replicated create: %w", err)
-	}
-	return m.UUID, 0, nil
+	uuid, err := g.AdminCreate(e.MREnclave())
+	return uuid, 0, err
 }
 
 // Increment adds one to the counter, committing on a majority, and
@@ -610,6 +579,126 @@ func (g *Group) Inspect(owner sgx.Measurement, uuid pse.UUID) (uint32, error) {
 	return g.commitOp(&opMessage{Op: opRead, UUID: uuid, Owner: owner})
 }
 
+// AdminCreate allocates a replicated counter on behalf of the named
+// owner identity without the owning enclave being present — the create
+// protocol shared by the enclave path (Create) and the provisioning
+// primitive of escrow mirroring, where a partner rack creates shadow
+// counters for enclaves that live (or lived) in the peer data center.
+// The counter is indistinguishable from one the owner created itself:
+// the owner identity and the UUID nonce capability are enforced
+// replica-side exactly the same way.
+func (g *Group) AdminCreate(owner sgx.Measurement) (pse.UUID, error) {
+	g.ownerMu.Lock()
+	// The group's capacity is one facility's worth of counters shared by
+	// the whole rack (every replica backs them under its single agent
+	// identity), so the total is bounded like the per-owner budget.
+	if g.total >= pse.MaxCounters || g.perOwner[owner] >= pse.MaxCounters {
+		g.ownerMu.Unlock()
+		return pse.UUID{}, pse.ErrCounterLimit
+	}
+	g.total++
+	g.perOwner[owner]++
+	g.ownerMu.Unlock()
+	release := func() {
+		g.ownerMu.Lock()
+		g.total--
+		g.perOwner[owner]--
+		if g.perOwner[owner] == 0 {
+			delete(g.perOwner, owner)
+		}
+		g.ownerMu.Unlock()
+	}
+	id := g.nextID.Add(1)
+	if id > uint64(^uint32(0)) {
+		release()
+		return pse.UUID{}, pse.ErrIDsExhausted
+	}
+	nonce, err := xcrypto.RandomBytes(16)
+	if err != nil {
+		release()
+		return pse.UUID{}, fmt.Errorf("counter nonce: %w", err)
+	}
+	m := &opMessage{Op: opCreate, Owner: owner}
+	m.UUID.ID = uint32(id)
+	copy(m.UUID.Nonce[:], nonce)
+	if _, err := g.quorumOp(m, false); err != nil {
+		// Partial creates on a minority are rolled back best-effort, and
+		// the ID is recorded as aborted: snapshot merges treat it as a
+		// tombstone, so a ghost entry the rollback missed is destroyed by
+		// the holding replica's next reseed instead of propagating.
+		m.Op = opDestroyRead
+		_, _ = g.quorumOp(m, true)
+		g.recoverMu.Lock()
+		g.aborted[m.UUID.ID] = struct{}{}
+		g.recoverMu.Unlock()
+		release()
+		return pse.UUID{}, fmt.Errorf("replicated create: %w", err)
+	}
+	return m.UUID, nil
+}
+
+// AdminAdvance raises the counter to at least v on a quorum (forward-
+// only, idempotent — the mirror's value-synchronization primitive, the
+// same opAdvance read-repair uses). It can never lower a counter, and a
+// replica that missed the counter's create installs it from the carried
+// capability, so replaying or repeating an advance is harmless. Returns
+// the quorum value after the advance.
+func (g *Group) AdminAdvance(owner sgx.Measurement, uuid pse.UUID, v uint32) (uint32, error) {
+	return g.commitOp(&opMessage{Op: opAdvance, UUID: uuid, Owner: owner, N: v})
+}
+
+// AdminDestroy destroys a counter on behalf of the named owner without
+// the owning enclave: the operator-grade destroy behind escrow
+// decommissioning and federation revocation (a cross-DC recovery
+// consumes the origin site's binding counter through it). Semantics are
+// exactly DestroyAndRead's: coordinator-serialized, sticky, and the
+// returned final value folds in finals remembered from partial attempts.
+func (g *Group) AdminDestroy(owner sgx.Measurement, uuid pse.UUID) (uint32, error) {
+	return g.destroyQuorum(owner, uuid)
+}
+
+// addInflight marks replicas with a relative apply still in flight.
+func (g *Group) addInflight(id uint32, replicas []string) {
+	if len(replicas) == 0 {
+		return
+	}
+	g.inflightMu.Lock()
+	per := g.inflight[id]
+	if per == nil {
+		per = make(map[string]int)
+		g.inflight[id] = per
+	}
+	for _, r := range replicas {
+		per[r]++
+	}
+	g.inflightMu.Unlock()
+}
+
+// clearInflight retires one in-flight apply (its straggler vote drained).
+func (g *Group) clearInflight(id uint32, replica string) {
+	g.inflightMu.Lock()
+	if per := g.inflight[id]; per != nil {
+		if per[replica] > 1 {
+			per[replica]--
+		} else {
+			delete(per, replica)
+			if len(per) == 0 {
+				delete(g.inflight, id)
+			}
+		}
+	}
+	g.inflightMu.Unlock()
+}
+
+// hasInflight reports whether a replica has relative applies in flight
+// for the counter (read-repair must leave it alone).
+func (g *Group) hasInflight(id uint32, replica string) bool {
+	g.inflightMu.Lock()
+	defer g.inflightMu.Unlock()
+	per := g.inflight[id]
+	return per != nil && per[replica] > 0
+}
+
 // commitOp is the shared commit sequence of reads and increments: stamp
 // a fresh nonce, broadcast, tally — returning as soon as a quorum of acks
 // makes the result decidable — and confirm the result durable on a
@@ -625,18 +714,87 @@ func (g *Group) commitOp(m *opMessage) (uint32, error) {
 	}
 	m.Nonce = nonce
 	g.memMu.RLock()
-	total := len(g.members)
-	votes, late := g.broadcastLocked(g.members, kindOp, m.encode(), nonce, replyOp, g.successRule(false))
+	members := make(map[string]transport.Address, len(g.members))
+	for id, addr := range g.members {
+		members[id] = addr
+	}
+	if m.Op == opIncrement {
+		// Register every replica's +n apply as in flight BEFORE the
+		// broadcast, so no concurrent read-repair can land an absolute
+		// advance under a relative apply (which would double-count this
+		// increment). Responders are cleared as their votes arrive;
+		// stragglers clear when repairLate/drainLate drains them.
+		all := make([]string, 0, len(members))
+		for id := range members {
+			all = append(all, id)
+		}
+		g.addInflight(m.UUID.ID, all)
+	}
+	votes, late := g.broadcastLocked(members, kindOp, m.encode(), nonce, replyOp, g.successRule(false))
 	g.memMu.RUnlock()
+	if m.Op == opIncrement {
+		for i := range votes {
+			g.clearInflight(m.UUID.ID, votes[i].id)
+		}
+	}
 	v, err := g.tally(votes, false)
 	if err != nil {
+		g.drainLate(m, late, len(members)-len(votes))
 		return 0, err
 	}
 	if err := g.confirmDurable(m, votes, v); err != nil {
-		return 0, err
+		// The late channel is handed to exactly one drainer: from here on
+		// drainLate owns it (repairLate must not also consume it — each
+		// straggler vote is sent once).
+		g.drainLate(m, late, len(members)-len(votes))
+		if !g.counterInflight(m.UUID.ID) {
+			return 0, err
+		}
+		// The shortfall involves replicas whose relative applies are
+		// still in flight: they could not be counted (unrepairable
+		// without double-counting) but WILL converge on their own. Wait
+		// for the applies to land, then re-confirm v durable.
+		if err := g.awaitConverged(m, v); err != nil {
+			return 0, err
+		}
+		return v, nil
 	}
-	g.repairLate(m, late, total-len(votes), v)
+	g.repairLate(m, late, len(members)-len(votes), v)
 	return v, nil
+}
+
+// counterInflight reports whether any replica has relative applies in
+// flight for the counter.
+func (g *Group) counterInflight(id uint32) bool {
+	g.inflightMu.Lock()
+	defer g.inflightMu.Unlock()
+	return len(g.inflight[id]) > 0
+}
+
+// awaitConverged waits for a counter's in-flight relative applies to
+// land (they clear as straggler votes drain), then re-reads the quorum
+// and confirms v durable on a majority. Used when a commit's durability
+// check fell short only because repairs had to skip converging
+// replicas; v stays the operation's result, so increment results remain
+// unique.
+func (g *Group) awaitConverged(m *opMessage, v uint32) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for g.counterInflight(m.UUID.ID) && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	rd := &opMessage{Op: opRead, UUID: m.UUID, Owner: m.Owner}
+	nonce, err := newNonce()
+	if err != nil {
+		return err
+	}
+	rd.Nonce = nonce
+	g.memMu.RLock()
+	votes, _ := g.broadcastLocked(g.members, kindOp, rd.encode(), nonce, replyOp, nil)
+	g.memMu.RUnlock()
+	if _, err := g.tally(votes, false); err != nil {
+		return err
+	}
+	return g.confirmDurable(rd, votes, v)
 }
 
 // confirmDurable makes the value an operation is about to return
@@ -657,7 +815,13 @@ func (g *Group) confirmDurable(m *opMessage, votes []vote, v uint32) error {
 		case vt.reply.Status == statusOK && vt.reply.Value >= v:
 			confirmed++
 		case vt.reply.Status == statusOK:
-			lagging = append(lagging, vt.id)
+			// A replica lagging only because its relative applies are
+			// still in flight must not be advanced (the apply would land
+			// on top and double-count); its own applies will carry it to
+			// v. It counts as neither confirmed nor repairable.
+			if !g.hasInflight(m.UUID.ID, vt.id) {
+				lagging = append(lagging, vt.id)
+			}
 		case vt.reply.Status == statusNotFound:
 			// The replica missed the committed create entirely; the
 			// repair installs the slot (opAdvance carries the full
@@ -708,7 +872,9 @@ func (g *Group) advanceSubset(m *opMessage, ids []string, v uint32) []vote {
 // repairLate drains the votes outstanding after an early-quorum return
 // and read-repairs stragglers that answered below the returned value (or
 // missed the counter's create entirely) — the same healing the full-wait
-// collection performed, off the caller's latency path.
+// collection performed, off the caller's latency path. Draining also
+// retires the inflight registrations of an early-returned increment: a
+// straggler's vote arriving means its apply has landed.
 func (g *Group) repairLate(m *opMessage, late <-chan vote, remaining int, v uint32) {
 	if late == nil || remaining <= 0 {
 		return
@@ -719,15 +885,37 @@ func (g *Group) repairLate(m *opMessage, late <-chan vote, remaining int, v uint
 		var lagging []string
 		for i := 0; i < remaining; i++ {
 			vt := <-late
+			if m.Op == opIncrement {
+				g.clearInflight(m.UUID.ID, vt.id)
+			}
 			if vt.err != nil || vt.reply == nil {
 				continue
 			}
 			if vt.reply.Status == statusNotFound ||
-				(vt.reply.Status == statusOK && vt.reply.Value < v) {
+				(vt.reply.Status == statusOK && vt.reply.Value < v &&
+					!g.hasInflight(m.UUID.ID, vt.id)) {
 				lagging = append(lagging, vt.id)
 			}
 		}
 		g.advanceSubset(m, lagging, v)
+	}()
+}
+
+// drainLate consumes outstanding votes on an error path, clearing
+// inflight registrations without attempting repairs.
+func (g *Group) drainLate(m *opMessage, late <-chan vote, remaining int) {
+	if late == nil || remaining <= 0 {
+		return
+	}
+	g.pending.Add(1)
+	go func() {
+		defer g.pending.Done()
+		for i := 0; i < remaining; i++ {
+			vt := <-late
+			if m.Op == opIncrement {
+				g.clearInflight(m.UUID.ID, vt.id)
+			}
+		}
 	}()
 }
 
@@ -753,7 +941,12 @@ func (g *Group) DestroyAndRead(e *sgx.Enclave, uuid pse.UUID) (uint32, error) {
 	if err := e.ECall(); err != nil {
 		return 0, err
 	}
-	owner := e.MREnclave()
+	return g.destroyQuorum(e.MREnclave(), uuid)
+}
+
+// destroyQuorum is the quorum destroy shared by DestroyAndRead (enclave
+// path) and AdminDestroy (operator path).
+func (g *Group) destroyQuorum(owner sgx.Measurement, uuid pse.UUID) (uint32, error) {
 	g.destroyMu.Lock()
 	defer g.destroyMu.Unlock()
 	nonce, err := newNonce()
@@ -936,10 +1129,58 @@ func (g *Group) Reseed(id string) error {
 // holds a record.
 var ErrEscrowNotFound = errors.New("pserepl: no escrowed state for this enclave instance")
 
+// ErrEscrowDecommissioned reports a lookup of an escrow record the
+// operator has tombstoned (Decommission): the instance is terminated
+// for good and can never be resurrected.
+var ErrEscrowDecommissioned = errors.New("pserepl: escrow record decommissioned")
+
+// ErrEscrowSuperseded reports a put refused by a quorum because a newer
+// record is already stored (a lost race with a recovery's re-escrow or
+// a decommission tombstone).
+var ErrEscrowSuperseded = errors.New("pserepl: escrow record superseded on a quorum")
+
+// EscrowTombstoneVersion is the version a decommission tombstone is
+// stored at: it dominates every real version (libraries advance their
+// binding from 0 one persist at a time and can never reach it), so the
+// store's ordinary forward-only supersede rule makes the tombstone
+// permanent — it rides snapshots, reseeds, and handoffs like any other
+// record, and no later put can displace it.
+const EscrowTombstoneVersion = ^uint32(0)
+
 // EscrowSealer returns the rack escrow key's statesealer, provisioned to
 // enclaves on rack-associated machines at launch (the cloud layer's
 // secure setup phase, like Migration Enclave credentials).
 func (g *Group) EscrowSealer() *seal.StateSealer { return g.escrowSealer }
+
+// SetEscrowObserver installs a hook called after every successfully
+// committed escrow put (including tombstones), with the record's owner,
+// instance ID, and version. The federation mirror uses it to learn which
+// records changed and re-push them to the partner site asynchronously;
+// the hook runs on the putter's goroutine and must only enqueue.
+func (g *Group) SetEscrowObserver(fn func(owner sgx.Measurement, id [16]byte, version uint32)) {
+	g.recoverMu.Lock()
+	g.escrowObs = fn
+	g.recoverMu.Unlock()
+}
+
+// notifyEscrow invokes the escrow observer, if any.
+func (g *Group) notifyEscrow(owner sgx.Measurement, id [16]byte, version uint32) {
+	g.recoverMu.Lock()
+	fn := g.escrowObs
+	g.recoverMu.Unlock()
+	if fn != nil {
+		fn(owner, id, version)
+	}
+}
+
+// EscrowTombstone permanently decommissions an escrow record on the
+// quorum: a nil-blob entry at EscrowTombstoneVersion supersedes every
+// real version and is carried through snapshots and reseeds like any
+// record, so the instance can never be resurrected from this store
+// again. Lookups of a tombstoned instance report ErrEscrowDecommissioned.
+func (g *Group) EscrowTombstone(owner sgx.Measurement, id [16]byte) error {
+	return g.escrowCommit(&escrowEntry{Owner: owner, ID: id, Version: EscrowTombstoneVersion})
+}
 
 // EscrowPut stores one enclave instance's escrow record on the rack,
 // committing it on a quorum of replicas (core.StateEscrow). Replicas
@@ -947,13 +1188,22 @@ func (g *Group) EscrowSealer() *seal.StateSealer { return g.escrowSealer }
 // put refused as stale everywhere means a newer record is already
 // escrowed (a lost race with a recovery's re-escrow).
 func (g *Group) EscrowPut(owner sgx.Measurement, id [16]byte, version uint32, bind pse.UUID, blob []byte) error {
+	if version == EscrowTombstoneVersion {
+		return fmt.Errorf("pserepl: version %d is reserved for decommission tombstones", version)
+	}
+	return g.escrowCommit(&escrowEntry{Owner: owner, ID: id, Version: version, Bind: bind, Blob: blob})
+}
+
+// escrowCommit commits one escrow entry (record or tombstone) on a
+// quorum and notifies the escrow observer on success.
+func (g *Group) escrowCommit(entry *escrowEntry) error {
 	nonce, err := newNonce()
 	if err != nil {
 		return err
 	}
 	m := &escrowMessage{
 		Op:    escrowPut,
-		Entry: escrowEntry{Owner: owner, ID: id, Version: version, Bind: bind, Blob: blob},
+		Entry: *entry,
 		Nonce: nonce,
 	}
 	q := g.Quorum()
@@ -982,10 +1232,11 @@ func (g *Group) EscrowPut(owner sgx.Measurement, id [16]byte, version uint32, bi
 		}
 	}
 	if oks >= q {
+		g.notifyEscrow(entry.Owner, entry.ID, entry.Version)
 		return nil
 	}
 	if stales >= q {
-		return fmt.Errorf("pserepl: escrow version %d superseded on a quorum", version)
+		return fmt.Errorf("%w: version %d", ErrEscrowSuperseded, entry.Version)
 	}
 	return fmt.Errorf("%w: escrow put acked by %d of %d replicas, need %d",
 		ErrNoQuorum, oks, len(votes), q)
@@ -1034,6 +1285,11 @@ func (g *Group) EscrowGet(owner sgx.Measurement, id [16]byte) (uint32, pse.UUID,
 	}
 	if best == nil {
 		return 0, pse.UUID{}, nil, ErrEscrowNotFound
+	}
+	if best.Blob == nil {
+		// A decommission tombstone: the record is gone for good, not
+		// merely absent.
+		return 0, pse.UUID{}, nil, ErrEscrowDecommissioned
 	}
 	return best.Version, best.Bind, best.Blob, nil
 }

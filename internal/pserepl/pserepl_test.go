@@ -701,6 +701,10 @@ func TestStragglerRefusalIsNotAuthoritative(t *testing.T) {
 	if _, err := g.IncrementN(r.client, uuid, 4); err != nil {
 		t.Fatal(err)
 	}
+	// Early-quorum returns can leave straggler requests still in flight;
+	// settle them before lifting the drop, or one could slip through
+	// afterwards and heal rep-2 ahead of the scenario.
+	g.Quiesce()
 	r.net.SetAdversary(nil)
 	// rep-1 dies: the responders are rep-0 (OK, value 4) and rep-2
 	// (not-found). The refusal of the straggling minority must not win.

@@ -319,13 +319,27 @@ func (r *Replica) handleOp(payload []byte) ([]byte, error) {
 		}
 		return (&syncMessage{Challenge: r.challenge, Nonce: m.Nonce}).encode(), nil
 	}
-	if err := r.checkServingLocked(); err != nil {
-		return nil, err
-	}
 	if m.Op == opSnapshot {
+		// Snapshots are served even before a reseed: they report the
+		// replica's DURABLE state, which is exactly what reseed merges
+		// consume — the target's own durable table participates the same
+		// way, and the merge is forward-only per counter with explicit
+		// tombstones, so an out-of-date snapshot can contribute stale
+		// entries but never displace newer ones. This is what makes a
+		// full-rack cold restart (every replica down at once, e.g. a site
+		// loss that heals) recoverable: after all agents reload, the
+		// replicas re-seed each other from the union of their durable
+		// states, which covers every committed operation (each lives on
+		// f+1 durable tables).
+		if r.closed || r.agent == nil || !r.agent.Alive() {
+			return nil, ErrReplicaDown
+		}
 		snap := r.snapshotLocked()
 		snap.Nonce = m.Nonce
 		return snap.encode(), nil
+	}
+	if err := r.checkServingLocked(); err != nil {
+		return nil, err
 	}
 	reply := r.applyLocked(m)
 	reply.Nonce = m.Nonce

@@ -40,6 +40,18 @@ const (
 	// replication hop on top of the network RTT and the firmware
 	// transaction itself.
 	OpReplicaApply
+	// OpWANHop is one traversal of an inter-datacenter WAN link: the
+	// round-trip propagation delay between two federated sites. Each
+	// transport.WANLink owns its own Latency model and sets this op's
+	// cost to the link's configured RTT, so per-link accounting (hop
+	// counts, virtual time) stays separable from the intra-DC model.
+	OpWANHop
+	// OpWANByte is one payload byte serialized onto the WAN link (the
+	// bandwidth model): cost = 1/bandwidth, charged per request and
+	// reply byte via ChargeN, so large escrow blobs and migration
+	// envelopes pay their transmission time while small control
+	// messages stay RTT-bound.
+	OpWANByte
 )
 
 // maxOp bounds the dense per-op accounting arrays. Ops outside [0, maxOp)
@@ -76,6 +88,10 @@ func (o Op) String() string {
 		return "vm-page-copy"
 	case OpReplicaApply:
 		return "replica-apply"
+	case OpWANHop:
+		return "wan-hop"
+	case OpWANByte:
+		return "wan-byte"
 	default:
 		return "unknown-op"
 	}
@@ -99,6 +115,10 @@ func PaperCosts() map[Op]time.Duration {
 		OpNetworkRTT:       500 * time.Microsecond,
 		OpVMPageCopy:       2 * time.Microsecond,
 		OpReplicaApply:     8 * time.Microsecond,
+		// Defaults for a mid-continental link (50 ms RTT, 1 Gbps);
+		// transport.WANLink overrides both per link from its config.
+		OpWANHop:  50 * time.Millisecond,
+		OpWANByte: 8 * time.Nanosecond,
 	}
 }
 

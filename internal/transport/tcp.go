@@ -101,6 +101,18 @@ func (t *TCPTransport) Unregister(addr Address) {
 	}
 }
 
+// rebind re-keys a listener registered under `from` to the address `to`
+// (the resolved port-0 bind address), so Unregister and BoundAddr work
+// against the address peers actually dial.
+func (t *TCPTransport) rebind(from, to Address) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ln, ok := t.listeners[from]; ok {
+		delete(t.listeners, from)
+		t.listeners[to] = ln
+	}
+}
+
 // BoundAddr returns the actual listen address for addr (useful when
 // registering with port 0).
 func (t *TCPTransport) BoundAddr(addr Address) (Address, bool) {

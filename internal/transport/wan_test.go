@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestWANLinkBridgesAndCharges: an address exported from side B is
+// reachable from side A's messenger, the exchange pays one OpWANHop and
+// per-byte bandwidth costs, and stats count traffic.
+func TestWANLinkBridgesAndCharges(t *testing.T) {
+	a := NewNetwork(sim.NewInstantLatency())
+	b := NewNetwork(sim.NewInstantLatency())
+	link := NewWANLink("a~b", a, b, WANConfig{RTT: 50 * time.Millisecond, Bandwidth: 1 << 20})
+
+	if err := b.Register("svc", func(msg Message) ([]byte, error) {
+		return append([]byte("echo:"), msg.Payload...), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Export(SideB, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := a.Send("client", "svc", "ping", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "echo:hello" {
+		t.Fatalf("reply = %q", reply)
+	}
+	counts := link.Latency().Counts()
+	if counts[sim.OpWANHop] != 1 {
+		t.Fatalf("hops = %d, want 1", counts[sim.OpWANHop])
+	}
+	wantBytes := len("hello") + len("echo:hello")
+	if counts[sim.OpWANByte] != wantBytes {
+		t.Fatalf("bytes charged = %d, want %d", counts[sim.OpWANByte], wantBytes)
+	}
+	if msgs, bytes := link.Stats(); msgs != 1 || bytes != int64(wantBytes) {
+		t.Fatalf("stats = %d msgs %d bytes", msgs, bytes)
+	}
+
+	// The far side does NOT see side-A-only addresses: exports are
+	// directional and explicit.
+	if _, err := b.Send("x", "a-only", "k", nil); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("unexported address reachable: %v", err)
+	}
+}
+
+// TestWANLinkDownAndLoss: a partitioned link refuses with ErrLinkDown;
+// a lossy link drops deterministically with ErrDropped.
+func TestWANLinkDownAndLoss(t *testing.T) {
+	a := NewNetwork(sim.NewInstantLatency())
+	b := NewNetwork(sim.NewInstantLatency())
+	link := NewWANLink("a~b", a, b, WANConfig{Loss: 0.5, Seed: 7})
+	if err := b.Register("svc", func(Message) ([]byte, error) { return []byte("ok"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Export(SideB, "svc"); err != nil {
+		t.Fatal(err)
+	}
+
+	link.SetDown(true)
+	if _, err := a.Send("c", "svc", "k", nil); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("down link: %v", err)
+	}
+	link.SetDown(false)
+
+	drops, oks := 0, 0
+	for i := 0; i < 200; i++ {
+		_, err := a.Send("c", "svc", "k", nil)
+		switch {
+		case err == nil:
+			oks++
+		case errors.Is(err, ErrDropped):
+			drops++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if drops == 0 || oks == 0 {
+		t.Fatalf("loss model inert: %d drops, %d oks", drops, oks)
+	}
+}
+
+// TestWANLinkOverTCPCarrier routes the bridge hop itself over a real
+// TCPTransport between the two in-memory sites.
+func TestWANLinkOverTCPCarrier(t *testing.T) {
+	a := NewNetwork(sim.NewInstantLatency())
+	b := NewNetwork(sim.NewInstantLatency())
+	carrier := NewTCPTransport()
+	defer carrier.Close()
+
+	link := NewWANLink("a~b", a, b, WANConfig{})
+	if err := link.UseCarrier(carrier, "127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register("svc", func(msg Message) ([]byte, error) {
+		return append([]byte("tcp:"), msg.Payload...), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Export(SideB, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := a.Send("client", "svc", "ping", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "tcp:x" {
+		t.Fatalf("reply = %q", reply)
+	}
+}

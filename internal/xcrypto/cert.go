@@ -65,11 +65,15 @@ func DecodeCertificate(data []byte) (*Certificate, error) {
 
 // Authority is a certificate issuer, e.g. the data-center operator that
 // provisions Migration Enclaves during the secure setup phase, or the
-// group issuer of the simulated EPID scheme.
+// group issuer of the simulated EPID scheme. Revocation state is
+// mutex-guarded: operators revoke from management goroutines while
+// handshakes verify concurrently.
 type Authority struct {
-	name    string
-	priv    ed25519.PrivateKey
-	pub     ed25519.PublicKey
+	name string
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+
+	mu      sync.Mutex
 	revoked map[string]bool
 }
 
@@ -106,7 +110,21 @@ func (a *Authority) Issue(subject, role string, publicKey []byte, ttl time.Durat
 
 // Revoke marks a subject's certificates as revoked (EPID supports
 // revocation of compromised members; we model it per subject name).
-func (a *Authority) Revoke(subject string) { a.revoked[subject] = true }
+func (a *Authority) Revoke(subject string) {
+	a.mu.Lock()
+	a.revoked[subject] = true
+	a.mu.Unlock()
+}
+
+// IsRevoked reports whether a subject's certificates are revoked. It is
+// the authority's online revocation feed: federated verifiers consult
+// it so a peer provider's per-machine revocations take effect across
+// sites too.
+func (a *Authority) IsRevoked(subject string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.revoked[subject]
+}
 
 // Verifier checks certificates against a trusted authority public key.
 // It memoizes successful signature checks (the Ed25519 math dominates a
@@ -134,18 +152,30 @@ func NewVerifier(a *Authority) *Verifier {
 		issuer:  a.name,
 		pub:     a.pub,
 		now:     time.Now,
-		revoked: func(s string) bool { return a.revoked[s] },
+		revoked: a.IsRevoked,
 	}
 }
 
 // NewVerifierFromKey builds a verifier from a bare issuer name and key,
-// for parties that only hold the authority's public material.
+// for parties that only hold the authority's public material (no
+// revocation feed: nothing is ever considered revoked).
 func NewVerifierFromKey(issuer string, pub ed25519.PublicKey) *Verifier {
+	return NewVerifierFromKeyFunc(issuer, pub, nil)
+}
+
+// NewVerifierFromKeyFunc builds a verifier from the authority's public
+// material plus an online revocation feed (nil means none) — how a
+// federated site honors a peer authority's per-subject revocations
+// without holding the peer's private state.
+func NewVerifierFromKeyFunc(issuer string, pub ed25519.PublicKey, revoked func(subject string) bool) *Verifier {
+	if revoked == nil {
+		revoked = func(string) bool { return false }
+	}
 	return &Verifier{
 		issuer:  issuer,
 		pub:     pub,
 		now:     time.Now,
-		revoked: func(string) bool { return false },
+		revoked: revoked,
 	}
 }
 
