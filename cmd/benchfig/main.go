@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 // report is the -json output: every experiment that ran, with config.
@@ -41,6 +42,9 @@ type report struct {
 	Replication []bench.Row            `json:"replication,omitempty"`
 	Recovery    []bench.Row            `json:"recovery,omitempty"`
 	WAN         []bench.Row            `json:"wan,omitempty"`
+	// Metrics is the run's telemetry snapshot: per-operation latency
+	// histograms (p50/p99/p999) and the simulated-cost op tallies.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -67,7 +71,8 @@ func run() error {
 	)
 	flag.Parse()
 
-	cfg := bench.Config{N: *n, Scale: *scale, Confidence: *conf}
+	metrics := obs.NewMetrics()
+	cfg := bench.Config{N: *n, Scale: *scale, Confidence: *conf, Metrics: metrics}
 	fmt.Printf("config: N=%d scale=%v confidence=%v\n\n", cfg.N, cfg.Scale, cfg.Confidence)
 
 	rep := report{Config: cfg}
@@ -137,6 +142,8 @@ func run() error {
 		return nil
 	}
 	if *jsonPath != "" {
+		snap := metrics.Snapshot()
+		rep.Metrics = &snap
 		out, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {
 			return fmt.Errorf("marshal report: %w", err)

@@ -14,14 +14,20 @@ package main
 import (
 	"context"
 	"crypto/ed25519"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/sgx"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -55,18 +61,58 @@ func printJournalFailures(report *fleet.Report) {
 	}
 }
 
+// printTelemetry summarizes the plan's traces, latency histograms, and
+// wire traffic: how many spans each migration generated, the tail of the
+// migration-latency distribution, and which message kinds moved the
+// bytes — the at-a-glance health readout next to the journal numbers.
+func printTelemetry(o *obs.Observer, report *fleet.Report) {
+	fmt.Println("telemetry:")
+	if report.Completed > 0 {
+		fmt.Printf("  traces: %d spans across %d traces (%.1f spans/migration)\n",
+			o.Tracer.Len(), len(o.Tracer.ByTrace()), float64(o.Tracer.Len())/float64(report.Completed))
+	} else {
+		fmt.Printf("  traces: %d spans across %d traces\n", o.Tracer.Len(), len(o.Tracer.ByTrace()))
+	}
+	snap := o.Metrics.Snapshot()
+	if h, ok := snap.Histograms["fleet.migration.latency"]; ok && h.Count > 0 {
+		fmt.Printf("  migration latency: n=%d p50=%s p99=%s p999=%s\n",
+			h.Count, h.P50.Round(time.Microsecond), h.P99.Round(time.Microsecond), h.P999.Round(time.Microsecond))
+	}
+	if h, ok := snap.Histograms["fleet.recovery.latency"]; ok && h.Count > 0 {
+		fmt.Printf("  recovery latency:  n=%d p50=%s p99=%s p999=%s\n",
+			h.Count, h.P50.Round(time.Microsecond), h.P99.Round(time.Microsecond), h.P999.Round(time.Microsecond))
+	}
+	type kindRow struct {
+		kind  string
+		bytes int64
+	}
+	var kinds []kindRow
+	for name, v := range snap.Counters {
+		if k, ok := strings.CutPrefix(name, "wire.bytes."); ok {
+			kinds = append(kinds, kindRow{k, v})
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].bytes > kinds[j].bytes })
+	fmt.Printf("  wire: %d msgs, %d bytes by kind:\n", snap.Counters["wire.msgs"], snap.Counters["wire.bytes"])
+	for _, k := range kinds {
+		fmt.Printf("    %-16s %9d B (%d msgs)\n", k.kind, k.bytes, snap.Counters["wire.msgs."+k.kind])
+	}
+	fmt.Printf("  audit events: %d\n", o.Events.Len())
+}
+
 func run() error {
 	var (
-		machines = flag.Int("machines", 3, "number of SGX machines in the data center")
-		apps     = flag.Int("apps", 100, "number of migratable enclaves to launch")
-		workers  = flag.Int("workers", 8, "concurrent migration workers")
-		planName = flag.String("plan", "drain", "plan: drain | rebalance | evacuate")
-		source   = flag.String("source", "machine-0", "comma-separated machines to drain/evacuate")
-		targets  = flag.String("targets", "", "comma-separated destination machines (evacuate)")
-		policy   = flag.String("policy", "least-loaded", "placement policy: least-loaded | round-robin")
-		counters = flag.Int("counters", 2, "monotonic counters per enclave")
-		scale    = flag.Float64("scale", 0, "latency scale (1 = paper-magnitude latencies)")
-		verbose  = flag.Bool("v", false, "log each migration outcome")
+		machines    = flag.Int("machines", 3, "number of SGX machines in the data center")
+		apps        = flag.Int("apps", 100, "number of migratable enclaves to launch")
+		workers     = flag.Int("workers", 8, "concurrent migration workers")
+		planName    = flag.String("plan", "drain", "plan: drain | rebalance | evacuate")
+		source      = flag.String("source", "machine-0", "comma-separated machines to drain/evacuate")
+		targets     = flag.String("targets", "", "comma-separated destination machines (evacuate)")
+		policy      = flag.String("policy", "least-loaded", "placement policy: least-loaded | round-robin")
+		counters    = flag.Int("counters", 2, "monotonic counters per enclave")
+		scale       = flag.Float64("scale", 0, "latency scale (1 = paper-magnitude latencies)")
+		verbose     = flag.Bool("v", false, "log each migration outcome")
+		metricsAddr = flag.String("metrics-addr", "", "serve the metrics snapshot as JSON on this address (e.g. 127.0.0.1:9090) while the plan runs")
 	)
 	flag.Parse()
 	if *machines < 2 {
@@ -106,11 +152,27 @@ func run() error {
 	plan.Policy = pol
 
 	lat := sim.NewLatency(*scale)
-	net := transport.NewNetwork(lat)
-	meter := fleet.NewMeter(net)
+	network := transport.NewNetwork(lat)
+	observer := obs.NewObserver()
+	meter := fleet.NewMeterWithMetrics(network, observer.Metrics)
 	dc, err := cloud.NewDataCenterWithNetwork("fleetd-dc", lat, meter)
 	if err != nil {
 		return err
+	}
+	dc.SetObserver(observer)
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(observer.Metrics.Snapshot())
+		})
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Printf("serving metrics snapshot at http://%s/metrics\n", ln.Addr())
 	}
 	for i := 0; i < *machines; i++ {
 		if _, err := dc.AddMachine(fmt.Sprintf("machine-%d", i)); err != nil {
@@ -151,7 +213,7 @@ func run() error {
 		expected[name] = incs
 	}
 
-	cfg := fleet.Config{Workers: *workers, Meter: meter}
+	cfg := fleet.Config{Workers: *workers, Meter: meter, Obs: observer}
 	if *verbose {
 		cfg.OnEvent = func(e fleet.Event) {
 			switch e.Type {
@@ -175,6 +237,7 @@ func run() error {
 		return err
 	}
 	fmt.Println(report)
+	printTelemetry(observer, report)
 	// A plan with failed or canceled migrations is a failed operation:
 	// surface every non-completed journal entry and exit non-zero, so
 	// scripts and CI catch it instead of parsing logs.

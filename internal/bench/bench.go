@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pse"
 	"repro/internal/sgx"
 	"repro/internal/sim"
@@ -34,6 +35,39 @@ type Config struct {
 	Scale float64
 	// Confidence is the CI level (paper: 0.99).
 	Confidence float64
+	// Metrics, when set, additionally receives each experiment's raw
+	// sample durations as latency histograms ("fig3.increment.library",
+	// "fig3.increment.baseline", ...) and the run's simulated-cost op
+	// tallies as gauges ("sim.op.<name>"). Recording happens after the
+	// timed loops, off the measured path; nil (the default) records
+	// nothing.
+	Metrics *obs.Metrics `json:"-"`
+}
+
+// record folds one experiment's per-op sample sets into the configured
+// metrics registry under "<prefix>.<op>.<variant>".
+func (c Config) record(prefix, variant string, samples map[string][]float64) {
+	if c.Metrics == nil {
+		return
+	}
+	for op, vals := range samples {
+		h := c.Metrics.Histogram(prefix + "." + op + "." + variant)
+		for _, s := range vals {
+			h.Observe(time.Duration(s * float64(time.Second)))
+		}
+	}
+}
+
+// recordSimCounts mirrors the latency model's charged-op tallies into
+// gauges, so a metrics snapshot carries the cost-model evidence next to
+// the wall-clock histograms.
+func (c Config) recordSimCounts(lat *sim.Latency) {
+	if c.Metrics == nil {
+		return
+	}
+	for op, n := range lat.Counts() {
+		c.Metrics.SetGauge("sim.op."+op.String(), int64(n))
+	}
 }
 
 // DefaultConfig returns the paper's methodology at a wall-clock-friendly
@@ -230,6 +264,9 @@ func Fig3(cfg Config) ([]Row, error) {
 		}
 		rows = append(rows, row)
 	}
+	cfg.record("fig3", "library", libSamples)
+	cfg.record("fig3", "baseline", baseSamples)
+	cfg.recordSimCounts(w.dc.Latency)
 	return rows, nil
 }
 

@@ -24,6 +24,8 @@ func Fig4(cfg Config) ([]Row, error) {
 	}
 
 	var rows []Row
+	libSamples := make(map[string][]float64)
+	baseSamples := make(map[string][]float64)
 
 	// --- Initialization: no baseline exists (the paper notes the same).
 	initNew, err := sample(cfg.N, func() error {
@@ -41,6 +43,7 @@ func Fig4(cfg Config) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	libSamples["init-new"] = initNew
 	row, err := compare("init-new", initNew, nil, cfg.Confidence)
 	if err != nil {
 		return nil, err
@@ -75,6 +78,7 @@ func Fig4(cfg Config) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	libSamples["init-restore"] = initRestore
 	row, err = compare("init-restore", initRestore, nil, cfg.Confidence)
 	if err != nil {
 		return nil, err
@@ -114,6 +118,7 @@ func Fig4(cfg Config) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		libSamples["seal-"+size.label], baseSamples["seal-"+size.label] = libSeal, baseSeal
 		row, err := compare("seal-"+size.label, libSeal, baseSeal, cfg.Confidence)
 		if err != nil {
 			return nil, err
@@ -142,12 +147,16 @@ func Fig4(cfg Config) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		libSamples["unseal-"+size.label], baseSamples["unseal-"+size.label] = libUnseal, baseUnseal
 		row, err = compare("unseal-"+size.label, libUnseal, baseUnseal, cfg.Confidence)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, row)
 	}
+	cfg.record("fig4", "library", libSamples)
+	cfg.record("fig4", "baseline", baseSamples)
+	cfg.recordSimCounts(w.dc.Latency)
 	return rows, nil
 }
 

@@ -73,6 +73,8 @@ func MigrationOverhead(cfg Config) (*MigrationResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.record("migration", "overhead", map[string][]float64{"end-to-end": samples})
+	cfg.recordSimCounts(w.dc.Latency)
 
 	// Reference VM migration: a 1 GiB guest.
 	const vmBytes = 1 << 30

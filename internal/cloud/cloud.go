@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/attest"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pse"
 	"repro/internal/pserepl"
 	"repro/internal/sgx"
@@ -65,7 +67,35 @@ type DataCenter struct {
 	mu       sync.Mutex
 	machines map[string]*Machine
 	groups   map[string]*pserepl.Group
+	obs      atomic.Pointer[obs.Observer]
 }
+
+// SetObserver installs a telemetry observer on the data center: every
+// existing and future Migration Enclave, replica group, and library
+// launched here reports traces, metrics, and audit events into it. A
+// nil observer (the default) keeps all instrumentation as no-ops.
+func (dc *DataCenter) SetObserver(o *obs.Observer) {
+	dc.obs.Store(o)
+	dc.mu.Lock()
+	machines := make([]*Machine, 0, len(dc.machines))
+	for _, m := range dc.machines {
+		machines = append(machines, m)
+	}
+	groups := make([]*pserepl.Group, 0, len(dc.groups))
+	for _, g := range dc.groups {
+		groups = append(groups, g)
+	}
+	dc.mu.Unlock()
+	for _, m := range machines {
+		m.ME.SetObserver(o)
+	}
+	for _, g := range groups {
+		g.SetObserver(o)
+	}
+}
+
+// Observer returns the installed telemetry observer (nil when none).
+func (dc *DataCenter) Observer() *obs.Observer { return dc.obs.Load() }
 
 // Machine is one physical SGX machine inside a data center, fully
 // provisioned: hardware, counter service, QE, and Migration Enclave.
@@ -208,6 +238,7 @@ func (dc *DataCenter) AddMachineAt(id string, addr transport.Address) (*Machine,
 	if err != nil {
 		return nil, fmt.Errorf("migration enclave %s: %w", id, err)
 	}
+	me.SetObserver(dc.obs.Load())
 	m := &Machine{
 		HW:       hw,
 		Counters: pse.NewService(dc.Latency),
@@ -278,6 +309,7 @@ func (dc *DataCenter) NewReplicaGroup(name string, f int, machineIDs ...string) 
 	if err != nil {
 		return fail(err)
 	}
+	g.SetObserver(dc.obs.Load())
 	for i, m := range members {
 		m.mu.Lock()
 		m.group, m.replica = g, replicas[i]
@@ -571,6 +603,7 @@ func (m *Machine) Restart() error {
 	if err != nil {
 		return fmt.Errorf("restart %s: migration enclave: %w", m.ID(), err)
 	}
+	me.SetObserver(m.dc.obs.Load())
 	m.mu.Lock()
 	m.QE, m.ME = qe, me
 	m.killed = false
@@ -629,6 +662,13 @@ func (m *Machine) LaunchApp(img *sgx.Image, storage *core.MemoryStorage, state c
 // counter, re-seals natively on this CPU, and continues with all
 // counters — they live in the same replicated group — intact.
 func (m *Machine) RecoverApp(img *sgx.Image, escrowID [16]byte) (*App, error) {
+	return m.RecoverAppCtx(obs.TraceContext{}, img, escrowID)
+}
+
+// RecoverAppCtx is RecoverApp under a caller-supplied trace context, so
+// the recovery's spans (lib.recover, escrow.get, binding.win) join the
+// caller's trace instead of starting a fresh one.
+func (m *Machine) RecoverAppCtx(tc obs.TraceContext, img *sgx.Image, escrowID [16]byte) (*App, error) {
 	if live := m.dc.findInstance(escrowID); live != nil {
 		return nil, fmt.Errorf("%w: %s on %s", ErrInstanceAlive, live.Image().Name, live.Machine().ID())
 	}
@@ -637,7 +677,7 @@ func (m *Machine) RecoverApp(img *sgx.Image, escrowID [16]byte) (*App, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := lib.Recover(m.ME, escrowID); err != nil {
+	if err := lib.RecoverCtx(tc, m.ME, escrowID); err != nil {
 		m.HW.Destroy(e)
 		return nil, fmt.Errorf("recover migration library: %w", err)
 	}
@@ -656,6 +696,7 @@ func (m *Machine) prepareLibrary(img *sgx.Image, storage *core.MemoryStorage) (*
 		return nil, nil, fmt.Errorf("load app enclave: %w", err)
 	}
 	lib := core.NewLibrary(e, m.CounterFacility(), storage)
+	lib.SetObserver(m.dc.obs.Load())
 	if g := m.Group(); g != nil {
 		lib.EnableEscrow(g, g.EscrowSealer())
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/attest"
+	"repro/internal/obs"
 	"repro/internal/sgx"
 	"repro/internal/transport"
 	"repro/internal/xcrypto"
@@ -71,6 +72,16 @@ type outgoingRecord struct {
 	sent     bool // reached destination ME (stored there)
 	done     bool // destination library confirmed restore
 	inFlight bool // a transfer of this record is currently running
+	// trace is the migration's trace context (zero when tracing is off);
+	// transfers and retries open their protocol spans under it.
+	trace obs.TraceContext
+}
+
+// incomingRecord is a stored incoming migration plus the trace context it
+// traveled with, so the restoring library joins the originating trace.
+type incomingRecord struct {
+	env   *migrationEnvelope
+	trace obs.TraceContext
 }
 
 // handshakeState is the destination ME's remote-attestation session
@@ -84,6 +95,7 @@ type handshakeState struct {
 // but not yet acknowledged; the ack triggers the DONE to the source.
 type pendingAck struct {
 	envelope *migrationEnvelope
+	trace    obs.TraceContext
 }
 
 // MigrationEnclave is the per-machine migration manager (paper §V-B,
@@ -98,10 +110,14 @@ type MigrationEnclave struct {
 	net     transport.Messenger
 	addr    transport.Address
 
+	// obs records protocol spans; nil disables recording but trace
+	// contexts still propagate through unchanged.
+	obs *obs.Observer
+
 	mu       sync.Mutex
 	locals   map[string]*localConn
 	outgoing map[string]*outgoingRecord // key: hex done-token
-	incoming map[sgx.Measurement]*migrationEnvelope
+	incoming map[sgx.Measurement]*incomingRecord
 	// restored holds the done-tokens of envelopes fetched by restoring
 	// libraries on this machine. Entries are deliberately retained for
 	// the ME's lifetime (like outgoing's done records): pruning one would
@@ -136,7 +152,7 @@ func NewMigrationEnclave(
 		addr:       addr,
 		locals:     make(map[string]*localConn),
 		outgoing:   make(map[string]*outgoingRecord),
-		incoming:   make(map[sgx.Measurement]*migrationEnvelope),
+		incoming:   make(map[sgx.Measurement]*incomingRecord),
 		restored:   make(map[string]bool),
 		handshakes: make(map[string]*handshakeState),
 		acks:       make(map[string]*pendingAck),
@@ -149,6 +165,21 @@ func NewMigrationEnclave(
 
 // Address returns the ME's network address.
 func (me *MigrationEnclave) Address() transport.Address { return me.addr }
+
+// SetObserver installs the ME's observability sink. Call before traffic
+// starts (the cloud layer wires it at machine provisioning).
+func (me *MigrationEnclave) SetObserver(o *obs.Observer) {
+	me.mu.Lock()
+	me.obs = o
+	me.mu.Unlock()
+}
+
+// observer returns the current sink (nil-safe to use directly).
+func (me *MigrationEnclave) observer() *obs.Observer {
+	me.mu.Lock()
+	defer me.mu.Unlock()
+	return me.obs
+}
 
 // Enclave exposes the ME's own enclave (tests and the management VM).
 func (me *MigrationEnclave) Enclave() *sgx.Enclave { return me.enclave }
@@ -214,7 +245,7 @@ func (me *MigrationEnclave) dispatchLocal(sessionID string, conn *localConn, req
 	case opFetchIncoming:
 		return me.handleFetchIncoming(sessionID, conn)
 	case opAckRestored:
-		return me.handleAckRestored(sessionID)
+		return me.handleAckRestored(sessionID, req)
 	case opCheckDone:
 		return me.handleCheckDone(req)
 	default:
@@ -241,7 +272,12 @@ func (me *MigrationEnclave) handleMigrateOut(conn *localConn, req *localRequest)
 		SourceME:  string(me.addr),
 		DoneToken: token,
 	}
-	rec := &outgoingRecord{envelope: env, dest: transport.Address(req.Dest), inFlight: true}
+	sp, tc := me.observer().StartSpan("me.migrate-out", obs.UnmarshalTrace(req.Trace))
+	if sp != nil {
+		sp.Site = string(me.addr)
+		defer sp.End()
+	}
+	rec := &outgoingRecord{envelope: env, dest: transport.Address(req.Dest), inFlight: true, trace: tc}
 	key := hex.EncodeToString(token)
 	me.mu.Lock()
 	me.outgoing[key] = rec
@@ -267,26 +303,29 @@ func (me *MigrationEnclave) handleMigrateOut(conn *localConn, req *localRequest)
 func (me *MigrationEnclave) handleFetchIncoming(sessionID string, conn *localConn) *localResponse {
 	me.mu.Lock()
 	defer me.mu.Unlock()
-	env, ok := me.incoming[conn.session.PeerMREnclave]
+	inc, ok := me.incoming[conn.session.PeerMREnclave]
 	if !ok {
 		return &localResponse{Status: statusNone}
 	}
+	env := inc.env
 	delete(me.incoming, conn.session.PeerMREnclave)
 	// Tombstone the token atomically with the delete: from this moment
 	// the envelope is being restored, and a re-delivery of the same
 	// migration (a retry racing the restore) must never be stored again —
 	// it would fork the restored enclave.
 	me.restored[hex.EncodeToString(env.DoneToken)] = true
-	me.acks[sessionID] = &pendingAck{envelope: env}
+	me.acks[sessionID] = &pendingAck{envelope: env, trace: inc.trace}
 	raw, err := env.encode()
 	if err != nil {
 		return &localResponse{Status: "error", Detail: err.Error()}
 	}
-	return &localResponse{Status: statusData, Body: raw}
+	// Hand the migration's trace context to the restoring library so its
+	// resume spans join the originating trace.
+	return &localResponse{Status: statusData, Body: raw, Trace: inc.trace.Marshal()}
 }
 
 // handleAckRestored sends the DONE confirmation back to the source ME.
-func (me *MigrationEnclave) handleAckRestored(sessionID string) *localResponse {
+func (me *MigrationEnclave) handleAckRestored(sessionID string, req *localRequest) *localResponse {
 	me.mu.Lock()
 	ack, ok := me.acks[sessionID]
 	if ok {
@@ -296,11 +335,22 @@ func (me *MigrationEnclave) handleAckRestored(sessionID string) *localResponse {
 	if !ok {
 		return &localResponse{Status: "error", Detail: "no delivery awaiting acknowledgement"}
 	}
+	// Prefer the restoring library's span context (it deepened the trace
+	// during restore); fall back to the delivery's own context.
+	tc := obs.UnmarshalTrace(req.Trace)
+	if !tc.Valid() {
+		tc = ack.trace
+	}
+	sp, tc := me.observer().StartSpan("me.done", tc)
+	if sp != nil {
+		sp.Site = string(me.addr)
+		defer sp.End()
+	}
 	payload, err := encodeDoneMessage(&doneMessage{Token: ack.envelope.DoneToken})
 	if err != nil {
 		return &localResponse{Status: "error", Detail: err.Error()}
 	}
-	if _, err := me.net.Send(me.addr, transport.Address(ack.envelope.SourceME), kindDone, payload); err != nil {
+	if _, err := me.net.Send(me.addr, transport.Address(ack.envelope.SourceME), kindDone, obs.Inject(tc, payload)); err != nil {
 		// The restore itself succeeded; only the confirmation was lost.
 		// The source will keep its copy — a safe failure mode.
 		return &localResponse{Status: statusOK, Detail: "restore complete; DONE not delivered: " + err.Error()}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pse"
 	"repro/internal/seal"
 	"repro/internal/sgx"
@@ -213,6 +214,12 @@ func (l *Library) escrowPushLocked(rawState []byte) error {
 // continues monotonically), re-seals natively on the new CPU, and
 // re-escrows.
 func (l *Library) Recover(me *MigrationEnclave, escrowID [16]byte) error {
+	return l.RecoverCtx(obs.TraceContext{}, me, escrowID)
+}
+
+// RecoverCtx is Recover under an existing trace context: the recovery
+// spans (escrow fetch, binding win, resume) join the caller's trace.
+func (l *Library) RecoverCtx(tc obs.TraceContext, me *MigrationEnclave, escrowID [16]byte) error {
 	if err := l.enclave.ECall(); err != nil {
 		return err
 	}
@@ -227,6 +234,11 @@ func (l *Library) Recover(me *MigrationEnclave, escrowID [16]byte) error {
 	if me == nil {
 		return errors.New("core: migration enclave required")
 	}
+	sp, tc := l.obs.StartSpan("lib.recover", tc)
+	if sp != nil {
+		sp.Site = l.actor()
+		defer sp.End()
+	}
 	session, sessionID, err := me.ConnectLocal(l.enclave)
 	if err != nil {
 		return fmt.Errorf("attest migration enclave: %w", err)
@@ -234,7 +246,9 @@ func (l *Library) Recover(me *MigrationEnclave, escrowID [16]byte) error {
 	l.me, l.session, l.sessionID = me, session, sessionID
 
 	owner := l.enclave.MREnclave()
+	getSp, _ := l.obs.StartSpan("escrow.get", tc)
 	ver, bind, blob, err := l.escrow.EscrowGet(owner, escrowID)
+	getSp.End()
 	if err != nil {
 		return fmt.Errorf("fetch escrowed state: %w", err)
 	}
@@ -273,11 +287,15 @@ func (l *Library) Recover(me *MigrationEnclave, escrowID [16]byte) error {
 	}
 
 	// The win: capture the old binding at exactly the sealed version.
+	winSp, _ := l.obs.StartSpan("binding.win", tc)
 	final, err := l.counters.DestroyAndRead(l.enclave, bind)
+	winSp.End()
 	if err != nil {
 		dropNewBind()
 		return fmt.Errorf("%w: %v", ErrEscrowConsumed, err)
 	}
+	l.obs.Event(obs.EventBindingWin, l.actor(),
+		fmt.Sprintf("won escrow binding %08x at version %d", bind.ID, final), tc)
 	if final != ver {
 		// An increment raced between read and destroy: the original
 		// library was alive and persisted concurrently — and this destroy
@@ -344,6 +362,8 @@ func (l *Library) Recover(me *MigrationEnclave, escrowID [16]byte) error {
 	_ = l.persistLocked()
 	l.publishAllSlotsLocked()
 	l.initialized.Store(true)
+	l.obs.Event(obs.EventResurrection, l.actor(),
+		fmt.Sprintf("restored from escrow %x at version %d", escrowID[:4], ver), tc)
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/attest"
+	"repro/internal/obs"
 	"repro/internal/pse"
 	"repro/internal/seal"
 	"repro/internal/sgx"
@@ -109,6 +110,11 @@ type Library struct {
 	// for CPU-bound (escrow-less) libraries.
 	escrow StateEscrow
 	rack   *seal.StateSealer
+
+	// obs records control-plane spans and audit events; nil disables
+	// recording. The counter data plane is deliberately uninstrumented —
+	// the Fig. 3 hot path stays one atomic load plus the counter call.
+	obs *obs.Observer
 }
 
 // NewLibrary binds the Migration Library to its host enclave, the
@@ -117,6 +123,20 @@ type Library struct {
 // untrusted storage for the sealed library blob.
 func NewLibrary(enclave *sgx.Enclave, counters CounterService, storage Storage) *Library {
 	return &Library{enclave: enclave, counters: counters, storage: storage}
+}
+
+// SetObserver installs the library's observability sink. Like
+// EnableEscrow it must be wired before Init (the cloud layer does this at
+// app launch).
+func (l *Library) SetObserver(o *obs.Observer) {
+	l.mu.Lock()
+	l.obs = o
+	l.mu.Unlock()
+}
+
+// actor labels this library in audit events by its enclave identity.
+func (l *Library) actor() string {
+	return fmt.Sprintf("lib:%v", l.enclave.MREnclave())
 }
 
 // stateAAD labels the sealed library blob.
@@ -146,6 +166,7 @@ func (l *Library) persistLocked() error {
 				l.st.Frozen = 1
 				l.frozen.Store(true)
 				l.publishAllSlotsLocked()
+				l.obs.Event(obs.EventZombieRefused, l.actor(), "escrow binding destroyed: state recovered elsewhere", obs.TraceContext{})
 				return ErrRecoveredAway
 			}
 			return fmt.Errorf("advance escrow binding: %w", err)
@@ -269,6 +290,7 @@ func (l *Library) Init(initState InitState, me *MigrationEnclave) error {
 			cur, err := l.counters.Read(l.enclave, st.BindUUID)
 			if err != nil {
 				if errors.Is(err, pse.ErrCounterNotFound) {
+					l.obs.Event(obs.EventZombieRefused, l.actor(), "restart refused: escrow binding destroyed", obs.TraceContext{})
 					return ErrRecoveredAway
 				}
 				return fmt.Errorf("verify escrow binding: %w", err)
@@ -333,6 +355,13 @@ func (l *Library) receiveMigrationLocked() error {
 	if err != nil {
 		return err
 	}
+	// The migration's trace context rode along with the envelope; the
+	// restore span joins it, so one trace covers freeze through resume.
+	sp, tc := l.obs.StartSpan("lib.resume", obs.UnmarshalTrace(reply.Trace))
+	if sp != nil {
+		sp.Site = l.actor()
+		defer sp.End()
+	}
 	l.st = libraryState{}
 	l.st.MSK = env.Data.MSK
 	for i := 0; i < NumCounters; i++ {
@@ -371,7 +400,7 @@ func (l *Library) receiveMigrationLocked() error {
 		return err
 	}
 	// DONE: confirm the restore so the source can delete its copy.
-	if _, err := l.localCallLocked(&localRequest{Op: opAckRestored}); err != nil {
+	if _, err := l.localCallLocked(&localRequest{Op: opAckRestored, Trace: tc.Marshal()}); err != nil {
 		return fmt.Errorf("acknowledge migration: %w", err)
 	}
 	return nil
@@ -584,6 +613,14 @@ func effective(offset, hw uint32) (uint32, error) {
 // error is resolved or the migration is redirected (§V-D); the library
 // remains frozen either way.
 func (l *Library) StartMigration(dest transport.Address) error {
+	return l.StartMigrationCtx(obs.TraceContext{}, dest)
+}
+
+// StartMigrationCtx is StartMigration under an existing trace context:
+// the freeze span and the whole downstream protocol (offer, data, WAN
+// hops, destination restore, DONE) join the caller's trace. A zero
+// context starts a fresh trace when an observer is installed.
+func (l *Library) StartMigrationCtx(tc obs.TraceContext, dest transport.Address) error {
 	if err := l.enclave.ECall(); err != nil {
 		return err
 	}
@@ -591,6 +628,11 @@ func (l *Library) StartMigration(dest transport.Address) error {
 	defer l.mu.Unlock()
 	if err := l.ready(); err != nil {
 		return err
+	}
+	sp, tc := l.obs.StartSpan("lib.freeze", tc)
+	if sp != nil {
+		sp.Site = l.actor()
+		defer sp.End()
 	}
 
 	// 1. Pre-flight: read every effective counter value before destroying
@@ -649,6 +691,7 @@ func (l *Library) StartMigration(dest transport.Address) error {
 				l.st.Frozen = 1
 				l.frozen.Store(true)
 				l.publishAllSlotsLocked()
+				l.obs.Event(obs.EventZombieRefused, l.actor(), "migration refused: escrow binding already destroyed by recovery", tc)
 				return ErrRecoveredAway
 			}
 			return fmt.Errorf("destroy escrow binding before migration: %w", err)
@@ -669,6 +712,7 @@ func (l *Library) StartMigration(dest transport.Address) error {
 	if err := l.persistLocked(); err != nil {
 		return err
 	}
+	l.obs.Event(obs.EventFreeze, l.actor(), "frozen for migration to "+string(dest), tc)
 
 	// 4. Ship the migration data to the Migration Enclave.
 	raw, err := data.Encode()
@@ -676,9 +720,10 @@ func (l *Library) StartMigration(dest transport.Address) error {
 		return err
 	}
 	reply, err := l.localCallLocked(&localRequest{
-		Op:   opMigrateOut,
-		Dest: string(dest),
-		Body: raw,
+		Op:    opMigrateOut,
+		Dest:  string(dest),
+		Body:  raw,
+		Trace: tc.Marshal(),
 	})
 	if err != nil {
 		return fmt.Errorf("send migration data: %w", err)

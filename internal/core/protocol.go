@@ -27,29 +27,36 @@ const (
 	statusWaiting = "in-flight" // migration not yet confirmed
 )
 
-// localRequest is a Library -> Migration Enclave message.
+// localRequest is a Library -> Migration Enclave message. Trace carries
+// the caller's 16-byte obs.TraceContext (empty when tracing is off) so
+// the ME's protocol spans join the library's trace.
 type localRequest struct {
 	Op    string
 	Dest  string
 	Body  []byte
 	Token []byte
+	Trace []byte
 }
 
-// localResponse is a Migration Enclave -> Library message.
+// localResponse is a Migration Enclave -> Library message. Trace returns
+// the context an incoming migration or DONE confirmation traveled with,
+// so the restoring library continues the originating trace.
 type localResponse struct {
 	Status string
 	Detail string
 	Body   []byte
 	Token  []byte
+	Trace  []byte
 }
 
 func encodeLocalRequest(r *localRequest) ([]byte, error) {
-	out := make([]byte, 0, 2+16+len(r.Op)+len(r.Dest)+len(r.Body)+len(r.Token))
+	out := make([]byte, 0, 2+36+len(r.Op)+len(r.Dest)+len(r.Body)+len(r.Token))
 	out = appendHeader(out, tagLocalRequest)
 	out = appendString(out, r.Op)
 	out = appendString(out, r.Dest)
 	out = appendBytes(out, r.Body)
 	out = appendBytes(out, r.Token)
+	out = appendBytes(out, r.Trace)
 	return out, nil
 }
 
@@ -63,6 +70,7 @@ func decodeLocalRequest(raw []byte) (*localRequest, error) {
 		Dest:  rd.string(),
 		Body:  rd.bytes(),
 		Token: rd.bytes(),
+		Trace: rd.bytes(),
 	}
 	if err := rd.done(); err != nil {
 		return nil, err
@@ -71,12 +79,13 @@ func decodeLocalRequest(raw []byte) (*localRequest, error) {
 }
 
 func encodeLocalResponse(r *localResponse) ([]byte, error) {
-	out := make([]byte, 0, 2+16+len(r.Status)+len(r.Detail)+len(r.Body)+len(r.Token))
+	out := make([]byte, 0, 2+36+len(r.Status)+len(r.Detail)+len(r.Body)+len(r.Token))
 	out = appendHeader(out, tagLocalResponse)
 	out = appendString(out, r.Status)
 	out = appendString(out, r.Detail)
 	out = appendBytes(out, r.Body)
 	out = appendBytes(out, r.Token)
+	out = appendBytes(out, r.Trace)
 	return out, nil
 }
 
@@ -90,6 +99,7 @@ func decodeLocalResponse(raw []byte) (*localResponse, error) {
 		Detail: rd.string(),
 		Body:   rd.bytes(),
 		Token:  rd.bytes(),
+		Trace:  rd.bytes(),
 	}
 	if err := rd.done(); err != nil {
 		return nil, err

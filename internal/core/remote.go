@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/attest"
+	"repro/internal/obs"
 	"repro/internal/sgx"
 	"repro/internal/transport"
 	"repro/internal/xcrypto"
@@ -51,7 +52,14 @@ func quoteFromWire(w *wireQuote) (*attest.Quote, error) {
 func (me *MigrationEnclave) transfer(rec *outgoingRecord) error {
 	me.mu.Lock()
 	dest := rec.dest
+	trace := rec.trace
 	me.mu.Unlock()
+
+	sp, tc := me.observer().StartSpan("me.transfer", trace)
+	if sp != nil {
+		sp.Site = string(me.addr)
+		defer sp.End()
+	}
 
 	// --- Attestation round ---------------------------------------------
 	dh, err := xcrypto.NewKeyExchange()
@@ -70,7 +78,9 @@ func (me *MigrationEnclave) transfer(rec *outgoingRecord) error {
 	if err != nil {
 		return err
 	}
-	replyRaw, err := me.net.Send(me.addr, dest, kindOffer, offerRaw)
+	offerSp, offerTC := me.observer().StartSpan("me.offer", tc)
+	replyRaw, err := me.net.Send(me.addr, dest, kindOffer, obs.Inject(offerTC, offerRaw))
+	offerSp.End()
 	if err != nil {
 		return fmt.Errorf("send offer: %w", err)
 	}
@@ -143,7 +153,9 @@ func (me *MigrationEnclave) transfer(rec *outgoingRecord) error {
 	if err != nil {
 		return err
 	}
-	ackRaw, err := me.net.Send(me.addr, dest, kindData, dataRaw)
+	dataSp, dataTC := me.observer().StartSpan("me.data", tc)
+	ackRaw, err := me.net.Send(me.addr, dest, kindData, obs.Inject(dataTC, dataRaw))
+	dataSp.End()
 	if err != nil {
 		return fmt.Errorf("send migration data: %w", err)
 	}
@@ -162,11 +174,16 @@ func (me *MigrationEnclave) handleNetwork(msg transport.Message) ([]byte, error)
 	if err := me.enclave.ECall(); err != nil {
 		return nil, err
 	}
+	sp, tc := me.observer().StartSpan("me.handle-"+msg.Kind, msg.Trace)
+	if sp != nil {
+		sp.Site = string(me.addr)
+		defer sp.End()
+	}
 	switch msg.Kind {
 	case kindOffer:
 		return me.handleOffer(msg.Payload)
 	case kindData:
-		return me.handleData(msg.Payload)
+		return me.handleData(msg.Payload, tc)
 	case kindDone:
 		return me.handleDone(msg.Payload)
 	default:
@@ -237,7 +254,7 @@ func (me *MigrationEnclave) handleOffer(payload []byte) ([]byte, error) {
 // handleData is the destination side of the data round: it authenticates
 // the source machine, decrypts the envelope, and stores it for the
 // matching local enclave.
-func (me *MigrationEnclave) handleData(payload []byte) ([]byte, error) {
+func (me *MigrationEnclave) handleData(payload []byte, tc obs.TraceContext) ([]byte, error) {
 	msg, err := decodeDataMessage(payload)
 	if err != nil {
 		return nil, err
@@ -281,7 +298,7 @@ func (me *MigrationEnclave) handleData(payload []byte) ([]byte, error) {
 	// the previous delivery's ack was lost) is accepted idempotently: the
 	// stored copy is kept and acknowledged again, so retries of a
 	// delivered-but-unacknowledged transfer converge instead of wedging.
-	duplicate := exists && string(existing.DoneToken) == string(env.DoneToken)
+	duplicate := exists && string(existing.env.DoneToken) == string(env.DoneToken)
 	if exists && !duplicate {
 		// One pending migration per enclave identity: accepting a second,
 		// different envelope would silently destroy the first one's only
@@ -291,7 +308,7 @@ func (me *MigrationEnclave) handleData(payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w (%v)", ErrAlreadyPending, env.MREnclave)
 	}
 	if !duplicate {
-		me.incoming[env.MREnclave] = env
+		me.incoming[env.MREnclave] = &incomingRecord{env: env, trace: tc}
 	}
 	me.mu.Unlock()
 

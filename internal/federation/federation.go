@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cloud"
+	"repro/internal/obs"
 	"repro/internal/pse"
 	"repro/internal/pserepl"
 	"repro/internal/sgx"
@@ -79,7 +81,37 @@ type Federation struct {
 	links   map[string]*transport.WANLink // by pairKey
 	mirrors map[string]*Mirror            // by partnershipName
 	revokes []revocation
+	obs     atomic.Pointer[obs.Observer]
 }
+
+// SetObserver installs a telemetry observer on the federation's own
+// control plane: WAN links get per-hop spans, mirrors get push spans and
+// in-band trace propagation, and federation-level security transitions
+// (grant revocation, forced site-loss failover) land in the audit
+// stream. Admitted data centers keep their own observers — call
+// cloud.DataCenter.SetObserver per site (usually with the same observer).
+func (f *Federation) SetObserver(o *obs.Observer) {
+	f.obs.Store(o)
+	f.mu.Lock()
+	links := make([]*transport.WANLink, 0, len(f.links))
+	for _, l := range f.links {
+		links = append(links, l)
+	}
+	mirrors := make([]*Mirror, 0, len(f.mirrors))
+	for _, m := range f.mirrors {
+		mirrors = append(mirrors, m)
+	}
+	f.mu.Unlock()
+	for _, l := range links {
+		l.SetObserver(o)
+	}
+	for _, m := range mirrors {
+		m.SetObserver(o)
+	}
+}
+
+// actor names the federation in audit events.
+func (f *Federation) actor() string { return "federation:" + f.name }
 
 // New creates an empty federation.
 func New(name string) *Federation {
@@ -179,6 +211,7 @@ func (f *Federation) Connect(aName, bName string, cfg transport.WANConfig) (*tra
 			return nil, err
 		}
 	}
+	link.SetObserver(f.obs.Load())
 	f.links[key] = link
 	return link, nil
 }
@@ -264,6 +297,9 @@ func (f *Federation) Disconnect(aName, bName string) error {
 	a.IAS.DistrustIssuer(b.Issuer.Name())
 	b.IAS.DistrustIssuer(a.Issuer.Name())
 	link.SetDown(true)
+	f.obs.Load().Event(obs.EventGrantRevoked, f.actor(),
+		fmt.Sprintf("federation severed: %s and %s revoked trust grants; link down", aName, bName),
+		obs.TraceContext{})
 	return nil
 }
 
@@ -315,7 +351,8 @@ func (f *Federation) PartnerGroups(originDC, originGroup, destDC, destGroup stri
 		return nil, fmt.Errorf("partnership sealer: %w", err)
 	}
 	epAddr := transport.Address("fed-mirror/" + name)
-	if _, err := newMirrorEndpoint(name, gB, sealer, b.Messenger, epAddr); err != nil {
+	ep, err := newMirrorEndpoint(name, gB, sealer, b.Messenger, epAddr)
+	if err != nil {
 		return nil, err
 	}
 	// The endpoint lives at the destination; the origin-side pusher must
@@ -324,6 +361,8 @@ func (f *Federation) PartnerGroups(originDC, originGroup, destDC, destGroup stri
 		return nil, err
 	}
 	m := newMirror(name, gA, gB.EscrowSealer(), a.Messenger, epAddr, sealer)
+	m.ep = ep
+	m.SetObserver(f.obs.Load())
 	f.mirrors[name] = m
 	return m, nil
 }
@@ -418,6 +457,11 @@ func (f *Federation) RecoverMachine(deadDC, deadID, destDC, targetID string, for
 func (f *Federation) recoverOne(mirror *Mirror, gA, gB *pserepl.Group, target *cloud.Machine, la cloud.LostApp, force bool, originDCName string, link *transport.WANLink) (*cloud.App, error) {
 	owner := la.Image.Measure()
 	k := instanceKey{owner: owner, id: la.EscrowID}
+	sp, tc := f.obs.Load().StartSpan("fed.recover", obs.TraceContext{})
+	if sp != nil {
+		sp.Site = f.name
+		defer sp.End()
+	}
 	// Each origin-side arbitration exchange is a control-plane round
 	// trip across the WAN from the recovering site's operator; charge it
 	// on the link so kill-to-recovered latency scales with RTT honestly.
@@ -448,6 +492,10 @@ func (f *Federation) recoverOne(mirror *Mirror, gA, gB *pserepl.Group, target *c
 			f.revokes = append(f.revokes, revocation{dc: originDCName, group: gA.Name(), owner: owner, uuid: info.bind})
 			f.mu.Unlock()
 		}
+		f.obs.Load().Event(obs.EventSiteLossFailover, f.actor(),
+			fmt.Sprintf("forced failover of %s (escrow %x) from lost site %s to %s",
+				la.Image.Name, la.EscrowID[:4], originDCName, target.ID()),
+			tc)
 	default:
 		if !known {
 			return nil, fmt.Errorf("%w: no origin binding registered", ErrNotMirrored)
@@ -483,7 +531,7 @@ func (f *Federation) recoverOne(mirror *Mirror, gA, gB *pserepl.Group, target *c
 		}
 	}
 
-	return target.RecoverApp(la.Image, la.EscrowID)
+	return target.RecoverAppCtx(tc, la.Image, la.EscrowID)
 }
 
 // cloudErrEscrowConsumed aliases core's sentinel without importing core

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pse"
 	"repro/internal/pserepl"
 	"repro/internal/seal"
@@ -73,6 +75,20 @@ type Mirror struct {
 	errs    []error
 	known   map[instanceKey]*originInfo
 	closed  bool
+
+	obs atomic.Pointer[obs.Observer]
+	ep  *mirrorEndpoint // partner-side half (same process; for observer fan-out)
+}
+
+// SetObserver installs a telemetry observer on both halves of the
+// mirror: the origin-side pusher opens a "mirror.push" span per sync
+// whose trace context rides the exchange in-band, and the partner-side
+// endpoint continues that trace in its handler spans.
+func (m *Mirror) SetObserver(o *obs.Observer) {
+	m.obs.Store(o)
+	if m.ep != nil {
+		m.ep.obs.Store(o)
+	}
 }
 
 // newMirror wires a mirror to its origin group and partner endpoint and
@@ -206,12 +222,14 @@ func (m *Mirror) markConsumed(k instanceKey) {
 }
 
 // exchange runs one sealed request/response with the partner endpoint.
-func (m *Mirror) exchange(kind string, payload []byte) ([]byte, error) {
+// The trace context travels outside the sealed payload (the transport
+// envelope), so the endpoint authenticates exactly what it always did.
+func (m *Mirror) exchange(tc obs.TraceContext, kind string, payload []byte) ([]byte, error) {
 	sealed, err := m.sealer.Seal(payload, aadReq(kind, m.name))
 	if err != nil {
 		return nil, err
 	}
-	reply, err := m.msgr.Send(transport.Address("fed-mirror-src/"+m.name), m.dest, kind, sealed)
+	reply, err := m.msgr.Send(transport.Address("fed-mirror-src/"+m.name), m.dest, kind, obs.Inject(tc, sealed))
 	if err != nil {
 		return nil, err
 	}
@@ -221,9 +239,14 @@ func (m *Mirror) exchange(kind string, payload []byte) ([]byte, error) {
 // syncOne brings the partner current for one instance: tombstones
 // propagate as tombstones, live records as ensure + transform + push.
 func (m *Mirror) syncOne(k instanceKey) error {
+	sp, tc := m.obs.Load().StartSpan("mirror.push", obs.TraceContext{})
+	if sp != nil {
+		sp.Site = m.name
+		defer sp.End()
+	}
 	ver, bind, blob, err := m.origin.EscrowGet(k.owner, k.id)
 	if errors.Is(err, pserepl.ErrEscrowDecommissioned) {
-		return m.pushTombstone(k)
+		return m.pushTombstone(tc, k)
 	}
 	if err != nil {
 		return fmt.Errorf("origin escrow get: %w", err)
@@ -244,7 +267,7 @@ func (m *Mirror) syncOne(k instanceKey) error {
 		return err
 	}
 	ens := &ensureMessage{Owner: k.owner, ID: k.id, Slots: slots, Nonce: nonce}
-	raw, err := m.exchange(kindEnsure, ens.encode())
+	raw, err := m.exchange(tc, kindEnsure, ens.encode())
 	if err != nil {
 		return fmt.Errorf("ensure shadows: %w", err)
 	}
@@ -294,7 +317,7 @@ func (m *Mirror) syncOne(k instanceKey) error {
 		return err
 	}
 	push := &pushMessage{Owner: k.owner, ID: k.id, Version: ver, Bind: rep.Bind, Record: rec, Adv: adv, Nonce: nonce}
-	raw, err = m.exchange(kindPush, push.encode())
+	raw, err = m.exchange(tc, kindPush, push.encode())
 	if err != nil {
 		return fmt.Errorf("push record: %w", err)
 	}
@@ -328,13 +351,13 @@ func (m *Mirror) syncOne(k instanceKey) error {
 }
 
 // pushTombstone propagates a decommission to the partner.
-func (m *Mirror) pushTombstone(k instanceKey) error {
+func (m *Mirror) pushTombstone(tc obs.TraceContext, k instanceKey) error {
 	nonce, err := newNonce()
 	if err != nil {
 		return err
 	}
 	push := &pushMessage{Owner: k.owner, ID: k.id, Version: pserepl.EscrowTombstoneVersion, Nonce: nonce}
-	raw, err := m.exchange(kindPush, push.encode())
+	raw, err := m.exchange(tc, kindPush, push.encode())
 	if err != nil {
 		return fmt.Errorf("push tombstone: %w", err)
 	}
@@ -377,6 +400,7 @@ type mirrorEndpoint struct {
 	name  string
 	group *pserepl.Group
 	seal  *xcrypto.Sealer
+	obs   atomic.Pointer[obs.Observer]
 
 	mu      sync.Mutex
 	shadows map[instanceKey]*shadowSet
@@ -399,6 +423,11 @@ func newMirrorEndpoint(name string, group *pserepl.Group, sealer *xcrypto.Sealer
 
 // handle authenticates and dispatches one mirror exchange.
 func (ep *mirrorEndpoint) handle(msg transport.Message) ([]byte, error) {
+	sp, _ := ep.obs.Load().StartSpan("mirror.handle-"+msg.Kind, msg.Trace)
+	if sp != nil {
+		sp.Site = ep.name
+		defer sp.End()
+	}
 	payload, err := ep.seal.Open(msg.Payload, aadReq(msg.Kind, ep.name))
 	if err != nil {
 		return nil, fmt.Errorf("federation: mirror message failed authentication: %w", err)

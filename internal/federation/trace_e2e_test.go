@@ -1,0 +1,100 @@
+package federation
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// spanNames collects the names present in a trace's span slice.
+func spanNames(spans []obs.Span) map[string]int {
+	names := make(map[string]int, len(spans))
+	for _, s := range spans {
+		names[s.Name]++
+	}
+	return names
+}
+
+// TestCrossDCMigrationSingleTrace is the tracing acceptance test: one
+// trace ID follows a migration from the source library's freeze, through
+// the WAN hop between provider domains, to the destination library's
+// resume — every protocol leg is a span in the same trace.
+func TestCrossDCMigrationSingleTrace(t *testing.T) {
+	fed, dcA, dcB, _ := twoSites(t, transport.WANConfig{RTT: time.Millisecond})
+	observer := obs.NewObserver()
+	fed.SetObserver(observer)
+	dcA.SetObserver(observer)
+	dcB.SetObserver(observer)
+
+	a1, _ := dcA.Machine("a1")
+	b1, _ := dcB.Machine("b1")
+	app, ctr, _ := launchLedger(t, a1, "traced")
+
+	if err := app.Library.StartMigration(b1.MEAddress()); err != nil {
+		t.Fatalf("cross-DC StartMigration: %v", err)
+	}
+	moved, err := b1.LaunchApp(appImage("traced"), core.NewMemoryStorage(), core.InitMigrated)
+	if err != nil {
+		t.Fatalf("cross-DC restore: %v", err)
+	}
+	if v, err := moved.Library.ReadCounter(ctr); err != nil || v != 7 {
+		t.Fatalf("migrated counter = %d, %v; want 7", v, err)
+	}
+
+	// Find the trace rooted at the source freeze and walk it.
+	var migration []obs.Span
+	for _, spans := range observer.Tracer.ByTrace() {
+		for _, s := range spans {
+			if s.Name == "lib.freeze" {
+				migration = spans
+			}
+		}
+	}
+	if migration == nil {
+		t.Fatal("no trace contains a lib.freeze span")
+	}
+	names := spanNames(migration)
+	for _, want := range []string{
+		"lib.freeze",              // source: counters frozen, state sealed
+		"me.migrate-out",          // source ME accepts the outbound record
+		"me.transfer",             // source ME drives the Fig. 2 exchange
+		"wan.hop",                 // the data crossed the inter-DC link
+		"me.handle-migrate-offer", // destination ME: offer leg
+		"me.handle-migrate-data",  // destination ME: data leg
+		"lib.resume",              // destination: library restored
+	} {
+		if names[want] == 0 {
+			t.Errorf("migration trace missing span %q (have %v)", want, names)
+		}
+	}
+	// Cross-DC means at least two WAN hops (offer + data), each a span
+	// in the SAME trace — the envelope survived the link.
+	if names["wan.hop"] < 2 {
+		t.Errorf("only %d wan.hop spans in the migration trace, want >= 2", names["wan.hop"])
+	}
+	// Every span belongs to one trace and all parents resolve within it.
+	ids := map[uint64]bool{0: true}
+	for _, s := range migration {
+		ids[s.SpanID] = true
+	}
+	for _, s := range migration {
+		if !ids[s.ParentID] {
+			t.Errorf("span %s has dangling parent %d", s.Name, s.ParentID)
+		}
+	}
+
+	// The freeze audit event is stamped with the same trace.
+	traceID := migration[0].TraceID
+	var frozen bool
+	for _, e := range observer.Events.Events() {
+		if e.Type == obs.EventFreeze && e.Trace.TraceID == traceID {
+			frozen = true
+		}
+	}
+	if !frozen {
+		t.Errorf("no %s audit event carries trace %x", obs.EventFreeze, traceID)
+	}
+}

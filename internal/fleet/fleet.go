@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sgx"
 	"repro/internal/stats"
 	"repro/internal/transport"
@@ -128,6 +129,13 @@ type Config struct {
 	// clear on much longer scales than intra-DC blips). Default
 	// 4×RetryBackoff.
 	WANRetryBackoff time.Duration
+	// Obs, when set, receives fleet telemetry: one root span per
+	// migration ("fleet.migrate") and recovery ("fleet.recover") whose
+	// trace context is threaded through freeze, transfer, WAN hops, and
+	// restore, plus completion latency histograms
+	// ("fleet.migration.latency", "fleet.recovery.latency") and outcome
+	// counters. Nil keeps all instrumentation as no-ops.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -677,6 +685,10 @@ func (o *Orchestrator) recoverOne(ctx context.Context, as Assignment, targets []
 	}
 	o.emit(Event{Type: EventStart, App: entry.App, Source: entry.Source, Dest: dest.ID()})
 	start := time.Now()
+	sp, tc := o.cfg.Obs.StartSpan("fleet.recover", obs.TraceContext{})
+	if sp != nil {
+		sp.Site = entry.App
+	}
 	finish := func(st Status, ev EventType, err error) Entry {
 		entry.Status = st
 		entry.Dest = dest.ID()
@@ -684,6 +696,11 @@ func (o *Orchestrator) recoverOne(ctx context.Context, as Assignment, targets []
 		if err != nil {
 			entry.Err = err.Error()
 		}
+		sp.End()
+		if st == StatusCompleted {
+			o.cfg.Obs.M().Histogram("fleet.recovery.latency").Observe(entry.Latency)
+		}
+		o.cfg.Obs.M().Add("fleet.recovery."+st.String(), 1)
 		o.emit(Event{Type: ev, App: entry.App, Source: entry.Source, Dest: dest.ID(), Attempt: entry.Attempts, Err: err})
 		return entry
 	}
@@ -707,7 +724,7 @@ func (o *Orchestrator) recoverOne(ctx context.Context, as Assignment, targets []
 				}
 			}
 		}
-		app, err := dest.RecoverApp(as.Lost.Image, as.Lost.EscrowID)
+		app, err := dest.RecoverAppCtx(tc, as.Lost.Image, as.Lost.EscrowID)
 		if err == nil {
 			as.Source.DropLost(as.Lost.EscrowID)
 			entry.StateBytes = stateBytes(app)
@@ -802,6 +819,10 @@ func (o *Orchestrator) migrateOne(ctx context.Context, as Assignment, targets []
 	o.emit(Event{Type: EventStart, App: entry.App, Source: entry.Source, Dest: dest.ID(), Link: links[dest]})
 
 	start := time.Now()
+	sp, tc := o.cfg.Obs.StartSpan("fleet.migrate", obs.TraceContext{})
+	if sp != nil {
+		sp.Site = entry.App
+	}
 	finish := func(st Status, err error) Entry {
 		entry.Status = st
 		entry.Dest = dest.ID()
@@ -811,6 +832,11 @@ func (o *Orchestrator) migrateOne(ctx context.Context, as Assignment, targets []
 		if err != nil {
 			entry.Err = err.Error()
 		}
+		sp.End()
+		if st == StatusCompleted && entry.Attempts > 0 {
+			o.cfg.Obs.M().Histogram("fleet.migration.latency").Observe(entry.Latency)
+		}
+		o.cfg.Obs.M().Add("fleet.migration."+st.String(), 1)
 		evType := EventFailed
 		switch st {
 		case StatusCompleted:
@@ -943,7 +969,7 @@ func (o *Orchestrator) migrateOne(ctx context.Context, as Assignment, targets []
 		if token == nil {
 			// First delivery attempt: freeze, destroy source counters,
 			// hand the data to the source ME, try the transfer.
-			err = lib.StartMigration(dest.MEAddress())
+			err = lib.StartMigrationCtx(tc, dest.MEAddress())
 			token = lib.MigrationToken()
 			if err != nil && !errors.Is(err, core.ErrMigrationPending) {
 				unlock()

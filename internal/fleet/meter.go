@@ -1,8 +1,7 @@
 package fleet
 
 import (
-	"sync/atomic"
-
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -14,16 +13,45 @@ import (
 //	net := transport.NewNetwork(lat)
 //	meter := fleet.NewMeter(net)
 //	dc, _ := cloud.NewDataCenterWithNetwork("dc", lat, meter)
+//
+// The tallies live in an obs.Metrics registry — totals under "wire.msgs"
+// and "wire.bytes", plus a per-message-kind breakdown under
+// "wire.msgs.<kind>" and "wire.bytes.<kind>" — so a metrics snapshot
+// shows which protocol (migration, replication, escrow, WAN forwards)
+// moved the bytes. Bytes()/Messages() read the totals.
 type Meter struct {
-	inner    transport.Messenger
-	bytes    atomic.Int64
-	messages atomic.Int64
+	inner   transport.Messenger
+	metrics *obs.Metrics
+
+	// Cached total handles: one atomic add per event, no map lookup.
+	msgs  *obs.Counter
+	bytes *obs.Counter
 }
 
 var _ transport.Messenger = (*Meter)(nil)
 
-// NewMeter wraps a Messenger.
-func NewMeter(inner transport.Messenger) *Meter { return &Meter{inner: inner} }
+// NewMeter wraps a Messenger with a private metrics registry.
+func NewMeter(inner transport.Messenger) *Meter {
+	return NewMeterWithMetrics(inner, obs.NewMetrics())
+}
+
+// NewMeterWithMetrics wraps a Messenger, recording into the given
+// registry (sharing one registry across meters, or with an Observer,
+// folds wire accounting into the same snapshot).
+func NewMeterWithMetrics(inner transport.Messenger, m *obs.Metrics) *Meter {
+	if m == nil {
+		m = obs.NewMetrics()
+	}
+	return &Meter{
+		inner:   inner,
+		metrics: m,
+		msgs:    m.Counter("wire.msgs"),
+		bytes:   m.Counter("wire.bytes"),
+	}
+}
+
+// Metrics exposes the meter's registry (for snapshots and reports).
+func (m *Meter) Metrics() *obs.Metrics { return m.metrics }
 
 // Register delegates to the wrapped Messenger.
 func (m *Meter) Register(addr transport.Address, h transport.Handler) error {
@@ -35,19 +63,25 @@ func (m *Meter) Unregister(addr transport.Address) {
 	m.inner.Unregister(addr)
 }
 
-// Send delegates to the wrapped Messenger, counting payload and reply.
+// Send delegates to the wrapped Messenger, counting payload and reply
+// bytes against the totals and the per-kind breakdown.
 func (m *Meter) Send(from, to transport.Address, kind string, payload []byte) ([]byte, error) {
-	m.messages.Add(1)
+	m.msgs.Add(1)
 	m.bytes.Add(int64(len(payload)))
+	kindMsgs := m.metrics.Counter("wire.msgs." + kind)
+	kindBytes := m.metrics.Counter("wire.bytes." + kind)
+	kindMsgs.Add(1)
+	kindBytes.Add(int64(len(payload)))
 	reply, err := m.inner.Send(from, to, kind, payload)
 	if err == nil {
 		m.bytes.Add(int64(len(reply)))
+		kindBytes.Add(int64(len(reply)))
 	}
 	return reply, err
 }
 
 // Bytes returns the total request+reply bytes observed.
-func (m *Meter) Bytes() int64 { return m.bytes.Load() }
+func (m *Meter) Bytes() int64 { return m.bytes.Value() }
 
 // Messages returns the number of requests observed.
-func (m *Meter) Messages() int64 { return m.messages.Load() }
+func (m *Meter) Messages() int64 { return m.msgs.Value() }

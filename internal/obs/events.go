@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Audit event types: the security-relevant state transitions the paper's
+// arguments hinge on. The chaos invariant checker replays this stream,
+// so the names are part of the stable codec contract.
+const (
+	// EventFreeze: a library sealed its final pre-migration state and
+	// destroyed its counters; the source instance can never run again.
+	EventFreeze = "freeze"
+	// EventBindingWin: a recovering library won the exactly-one-winner
+	// DestroyAndRead race on an escrow binding counter.
+	EventBindingWin = "binding-win"
+	// EventResurrection: a library instance was fully restored from
+	// escrowed state on a new machine.
+	EventResurrection = "resurrection"
+	// EventZombieRefused: an instance observed ErrRecoveredAway — its
+	// state was resurrected elsewhere — and refused to continue.
+	EventZombieRefused = "zombie-refused"
+	// EventGrantRevoked: a federation trust grant was revoked
+	// (Disconnect distrusted the partner's issuer).
+	EventGrantRevoked = "grant-revoked"
+	// EventSiteLossFailover: a forced cross-site recovery proceeded
+	// without origin arbitration (site presumed lost); the deferred
+	// origin-binding revocation was queued.
+	EventSiteLossFailover = "site-loss-failover"
+	// EventEscrowSupersede: a newer escrow version replaced (superseded)
+	// an older record for the same instance.
+	EventEscrowSupersede = "escrow-supersede"
+	// EventEscrowTombstone: an escrow record was tombstoned after its
+	// single-use resurrection was consumed.
+	EventEscrowTombstone = "escrow-tombstone"
+)
+
+// AuditEvent is one entry in the append-only audit stream.
+type AuditEvent struct {
+	// Seq is the append index within the log (assigned by EventLog).
+	Seq uint64 `json:"seq"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Actor names the component recording the event (a machine, library
+	// measurement, group, or federation link).
+	Actor string `json:"actor,omitempty"`
+	// Detail is free-form context (counter UUIDs, escrow IDs, versions).
+	Detail string `json:"detail,omitempty"`
+	// Trace ties the event into a distributed trace when one was active.
+	Trace TraceContext `json:"trace,omitempty"`
+}
+
+// EventLog is the append-only audit stream. It is safe for concurrent
+// use; a nil *EventLog discards appends.
+type EventLog struct {
+	mu     sync.Mutex
+	events []AuditEvent
+}
+
+// NewEventLog creates an empty audit log.
+func NewEventLog() *EventLog { return &EventLog{} }
+
+// Append records one event, assigning its sequence number.
+func (l *EventLog) Append(typ, actor, detail string, tc TraceContext) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.events = append(l.events, AuditEvent{
+		Seq:    uint64(len(l.events)),
+		Type:   typ,
+		Actor:  actor,
+		Detail: detail,
+		Trace:  tc,
+	})
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the stream in append order.
+func (l *EventLog) Events() []AuditEvent {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]AuditEvent(nil), l.events...)
+}
+
+// Len returns the number of recorded events.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Audit event codec: tag 0xB1 version 1, following the repo's tagged
+// binary wire conventions (u32 length prefixes, big-endian words). The
+// layout is frozen — the chaos checker replays persisted streams.
+const (
+	tagAuditEvent     byte = 0xB1
+	auditEventVersion byte = 1
+	maxAuditField          = 16 << 20
+)
+
+// ErrEventFormat reports malformed audit-event bytes.
+var ErrEventFormat = errors.New("obs: malformed audit event")
+
+func appendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = appendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// Encode serializes one event.
+func (e AuditEvent) Encode() []byte {
+	out := make([]byte, 0, 2+8+3*(4+8)+len(e.Type)+len(e.Actor)+len(e.Detail))
+	out = append(out, tagAuditEvent, auditEventVersion)
+	out = appendU64(out, e.Seq)
+	out = appendStr(out, e.Type)
+	out = appendStr(out, e.Actor)
+	out = appendStr(out, e.Detail)
+	out = appendU64(out, e.Trace.TraceID)
+	out = appendU64(out, e.Trace.SpanID)
+	return out
+}
+
+// eventReader is a minimal sticky-error cursor (obs stays free of repo
+// dependencies, so it does not use internal/wirec).
+type eventReader struct {
+	data []byte
+	err  error
+}
+
+func (r *eventReader) take(n int) []byte {
+	if r.err != nil || n < 0 || len(r.data) < n {
+		if r.err == nil {
+			r.err = ErrEventFormat
+		}
+		return nil
+	}
+	out := r.data[:n]
+	r.data = r.data[n:]
+	return out
+}
+
+func (r *eventReader) u32() uint32 {
+	b := r.take(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *eventReader) u64() uint64 {
+	b := r.take(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *eventReader) str() string {
+	n := r.u32()
+	if r.err != nil || n > maxAuditField {
+		if r.err == nil {
+			r.err = ErrEventFormat
+		}
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+// decodeEvent parses one event from the front of raw, returning the
+// remaining bytes.
+func decodeEvent(raw []byte) (AuditEvent, []byte, error) {
+	if len(raw) < 2 {
+		return AuditEvent{}, nil, ErrEventFormat
+	}
+	if raw[0] != tagAuditEvent || raw[1] != auditEventVersion {
+		return AuditEvent{}, nil, fmt.Errorf("%w: tag 0x%02x version %d", ErrEventFormat, raw[0], raw[1])
+	}
+	rd := &eventReader{data: raw[2:]}
+	var e AuditEvent
+	e.Seq = rd.u64()
+	e.Type = rd.str()
+	e.Actor = rd.str()
+	e.Detail = rd.str()
+	e.Trace.TraceID = rd.u64()
+	e.Trace.SpanID = rd.u64()
+	if rd.err != nil {
+		return AuditEvent{}, nil, rd.err
+	}
+	return e, rd.data, nil
+}
+
+// Encode serializes the whole stream as a concatenation of event
+// records (streaming-friendly: a reader can decode a prefix).
+func (l *EventLog) Encode() []byte {
+	var out []byte
+	for _, e := range l.Events() {
+		out = append(out, e.Encode()...)
+	}
+	return out
+}
+
+// DecodeEvents parses a concatenated event stream.
+func DecodeEvents(raw []byte) ([]AuditEvent, error) {
+	var out []AuditEvent
+	for len(raw) > 0 {
+		e, rest, err := decodeEvent(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		raw = rest
+	}
+	return out, nil
+}
+
+// Observer bundles the three pillars into the single handle the rest of
+// the repo plumbs around. Any field — or the whole observer — may be
+// nil; every helper below is nil-safe.
+type Observer struct {
+	Tracer  *Tracer
+	Metrics *Metrics
+	Events  *EventLog
+}
+
+// NewObserver creates an observer with all three sinks enabled.
+func NewObserver() *Observer {
+	return &Observer{Tracer: NewTracer(), Metrics: NewMetrics(), Events: NewEventLog()}
+}
+
+// StartSpan opens a span on the observer's tracer. With a nil observer
+// or tracer the span is nil and the parent context propagates unchanged.
+func (o *Observer) StartSpan(name string, parent TraceContext) (*Span, TraceContext) {
+	if o == nil {
+		return nil, parent
+	}
+	return o.Tracer.StartSpan(name, parent)
+}
+
+// Event appends to the observer's audit log (no-op when disabled).
+func (o *Observer) Event(typ, actor, detail string, tc TraceContext) {
+	if o == nil {
+		return
+	}
+	o.Events.Append(typ, actor, detail, tc)
+}
+
+// M returns the observer's metrics registry (nil when disabled; the nil
+// registry hands out nil handles that ignore updates).
+func (o *Observer) M() *Metrics {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; a nil *Counter ignores updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-current-value metric. A nil *Gauge ignores updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed exponential bucket layout shared by every
+// histogram: bucket i covers values < histBound(i), doubling from 256 ns
+// to ~9.4 hours, with a final overflow bucket. Fixed buckets keep
+// Observe to one atomic add with no allocation or locking.
+const (
+	histBuckets   = 48
+	histFirstBand = 256 // ns; bucket 0 covers [0, 256)
+)
+
+// histBound returns the exclusive upper bound of bucket i in nanoseconds.
+func histBound(i int) int64 {
+	return histFirstBand << uint(i)
+}
+
+// bucketFor locates the bucket for a nanosecond observation.
+func bucketFor(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	b := 0
+	for bound := int64(histFirstBand); b < histBuckets-1 && ns >= bound; b++ {
+		bound <<= 1
+	}
+	return b
+}
+
+// Histogram is a fixed-bucket latency histogram recording durations in
+// nanoseconds. Observe is lock-free (one atomic add per bucket plus the
+// count/sum tallies). A nil *Histogram ignores observations.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	h.buckets[bucketFor(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the containing bucket. With no observations it returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := int64(q*float64(total-1)) + 1
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if seen+n >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = histBound(i - 1)
+			}
+			hi := histBound(i)
+			if i == histBuckets-1 {
+				hi = lo * 2 // unbounded overflow bucket: extrapolate one band
+			}
+			// Interpolate the rank's position within the bucket.
+			frac := float64(rank-seen) / float64(n)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		seen += n
+	}
+	return time.Duration(histBound(histBuckets - 1))
+}
+
+// HistogramSnapshot is the exported view of one histogram.
+type HistogramSnapshot struct {
+	Count int64         `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+	Max   time.Duration `json:"max_bound_ns"` // upper bound of highest occupied bucket
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sum.Load()),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+	if s.Count > 0 {
+		s.Mean = s.Sum / time.Duration(s.Count)
+	}
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.buckets[i].Load() > 0 {
+			s.Max = time.Duration(histBound(i))
+			break
+		}
+	}
+	return s
+}
+
+// Metrics is the registry: named counters, gauges, and histograms.
+// Lookup takes one sync.Map load; callers on hot paths should cache the
+// returned handle instead of re-resolving the name per operation. A nil
+// *Metrics hands out nil handles, which ignore updates — disabled
+// instrumentation costs only the nil checks.
+type Metrics struct {
+	counters sync.Map // string -> *Counter
+	gauges   sync.Map // string -> *Gauge
+	hists    sync.Map // string -> *Histogram
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Counter returns (creating if needed) the named counter.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	if v, ok := m.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := m.counters.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	if v, ok := m.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := m.gauges.LoadOrStore(name, &Gauge{})
+	return v.(*Gauge)
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	if v, ok := m.hists.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := m.hists.LoadOrStore(name, &Histogram{})
+	return v.(*Histogram)
+}
+
+// Add is shorthand for Counter(name).Add(n).
+func (m *Metrics) Add(name string, n int64) { m.Counter(name).Add(n) }
+
+// SetGauge is shorthand for Gauge(name).Set(n).
+func (m *Metrics) SetGauge(name string, n int64) { m.Gauge(name).Set(n) }
+
+// ObserveSince records the elapsed time since start into the named
+// histogram.
+func (m *Metrics) ObserveSince(name string, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.Histogram(name).Observe(time.Since(start))
+}
+
+// Snapshot is a point-in-time JSON-serializable export of the registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot exports every metric currently registered.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if m == nil {
+		return s
+	}
+	m.counters.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	m.gauges.Range(func(k, v any) bool {
+		s.Gauges[k.(string)] = v.(*Gauge).Value()
+		return true
+	})
+	m.hists.Range(func(k, v any) bool {
+		s.Histograms[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	return s
+}
+
+// CounterNames returns the sorted names of all registered counters
+// (stable iteration for reports).
+func (m *Metrics) CounterNames() []string {
+	if m == nil {
+		return nil
+	}
+	var names []string
+	m.counters.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestInjectExtractRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: 0xDEADBEEFCAFE, SpanID: 42}
+	payload := []byte("sealed migration data")
+	wire := Inject(tc, payload)
+	if len(wire) != traceEnvelopeLen+len(payload) {
+		t.Fatalf("envelope length = %d, want %d", len(wire), traceEnvelopeLen+len(payload))
+	}
+	got, inner := Extract(wire)
+	if got != tc {
+		t.Fatalf("extracted %+v, want %+v", got, tc)
+	}
+	if !bytes.Equal(inner, payload) {
+		t.Fatalf("inner payload corrupted: %q", inner)
+	}
+}
+
+func TestInjectZeroContextIsIdentity(t *testing.T) {
+	payload := []byte("plain")
+	wire := Inject(TraceContext{}, payload)
+	if &wire[0] != &payload[0] {
+		t.Fatal("zero-context Inject must return the payload unchanged, no copy")
+	}
+}
+
+func TestExtractPassesThroughUnwrappedPayloads(t *testing.T) {
+	for _, payload := range [][]byte{
+		nil,
+		{},
+		[]byte("short"),
+		bytes.Repeat([]byte{0xD7}, traceEnvelopeLen+4), // first magic byte, wrong rest
+		make([]byte, traceEnvelopeLen),                 // right length, zero bytes
+	} {
+		tc, inner := Extract(payload)
+		if tc.Valid() {
+			t.Fatalf("payload %x misdetected as envelope", payload)
+		}
+		if !bytes.Equal(inner, payload) {
+			t.Fatalf("payload %x altered by Extract", payload)
+		}
+	}
+}
+
+func TestTraceMarshalRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: 7, SpanID: 9}
+	if got := UnmarshalTrace(tc.Marshal()); got != tc {
+		t.Fatalf("round trip = %+v, want %+v", got, tc)
+	}
+	if raw := (TraceContext{}).Marshal(); raw != nil {
+		t.Fatalf("zero context Marshal = %x, want nil", raw)
+	}
+	if got := UnmarshalTrace([]byte("not sixteen")); got.Valid() {
+		t.Fatalf("malformed input decoded to %+v", got)
+	}
+}
+
+func TestTracerSpanTree(t *testing.T) {
+	tr := NewTracer()
+	root, rootTC := tr.StartSpan("migrate", TraceContext{})
+	if !rootTC.Valid() {
+		t.Fatal("root span did not allocate a trace ID")
+	}
+	child, childTC := tr.StartSpan("freeze", rootTC)
+	if childTC.TraceID != rootTC.TraceID {
+		t.Fatal("child span left the trace")
+	}
+	child.End()
+	child.End() // idempotent
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("exported %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "freeze" || spans[0].ParentID != root.SpanID {
+		t.Fatalf("child span wrong: %+v", spans[0])
+	}
+	if spans[1].ParentID != 0 {
+		t.Fatalf("root span has parent %d", spans[1].ParentID)
+	}
+	byTrace := tr.ByTrace()
+	if len(byTrace) != 1 || len(byTrace[rootTC.TraceID]) != 2 {
+		t.Fatalf("ByTrace grouping wrong: %v", byTrace)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp, tc := tr.StartSpan("x", TraceContext{TraceID: 3, SpanID: 1})
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	if tc != (TraceContext{TraceID: 3, SpanID: 1}) {
+		t.Fatal("nil tracer did not propagate the parent context")
+	}
+	sp.End()
+	tr.Reset()
+	_ = tr.Spans()
+	_ = tr.Len()
+
+	var m *Metrics
+	m.Counter("c").Add(1)
+	m.Gauge("g").Set(2)
+	m.Histogram("h").Observe(3)
+	m.Add("c", 1)
+	m.SetGauge("g", 1)
+	_ = m.Snapshot()
+	_ = m.CounterNames()
+
+	var l *EventLog
+	l.Append(EventFreeze, "a", "d", TraceContext{})
+	_ = l.Events()
+	_ = l.Encode()
+
+	var o *Observer
+	sp, _ = o.StartSpan("x", TraceContext{})
+	sp.End()
+	o.Event(EventFreeze, "a", "d", TraceContext{})
+	o.M().Add("c", 1)
+}
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	log := NewEventLog()
+	log.Append(EventFreeze, "lib:abc", "frozen for migration", TraceContext{TraceID: 11, SpanID: 4})
+	log.Append(EventBindingWin, "lib:def", "", TraceContext{})
+	log.Append(EventResurrection, "", "restored", TraceContext{TraceID: 99})
+
+	decoded, err := DecodeEvents(log.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	events := log.Events()
+	if len(decoded) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(decoded), len(events))
+	}
+	for i := range events {
+		if decoded[i] != events[i] {
+			t.Fatalf("event %d: decoded %+v, want %+v", i, decoded[i], events[i])
+		}
+	}
+	if events[2].Seq != 2 {
+		t.Fatalf("sequence numbering broken: %+v", events[2])
+	}
+}
+
+func TestEventCodecRejectsCorruption(t *testing.T) {
+	log := NewEventLog()
+	log.Append(EventFreeze, "actor", "detail", TraceContext{})
+	raw := log.Encode()
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated":   func(b []byte) []byte { return b[:len(b)-3] },
+		"bad tag":     func(b []byte) []byte { b[0] = 0xEE; return b },
+		"bad version": func(b []byte) []byte { b[1] = 0x7F; return b },
+		"huge length": func(b []byte) []byte {
+			// Overwrite the type-string length with an absurd value.
+			copy(b[10:14], []byte{0xFF, 0xFF, 0xFF, 0xFF})
+			return b
+		},
+	} {
+		mutated := mutate(append([]byte(nil), raw...))
+		if _, err := DecodeEvents(mutated); err == nil {
+			t.Fatalf("%s: decode accepted corrupted stream", name)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package obs is the repository's zero-dependency observability layer:
+// in-band trace propagation, a lock-cheap metrics registry, and an
+// append-only audit event stream with a stable codec.
+//
+// All three pillars are nil-safe: every method on *Tracer, *Metrics,
+// *EventLog, and *Observer works on a nil receiver and reduces to a few
+// predictable branches, so instrumented hot paths (the Fig. 3 counter
+// increment) pay nothing measurable when observability is disabled.
+//
+// Tracing model. A TraceContext is a (trace ID, span ID) pair. The trace
+// ID names one logical operation end to end — a migration, a recovery, a
+// quorum commit — and stays constant as the operation crosses goroutines,
+// processes, and data centers. The span ID names the immediate parent
+// span, so the exported span set reconstructs the tree. Contexts cross
+// transport.Messenger boundaries as a small envelope prefix on the Send
+// payload (Inject/Extract); transports strip the prefix before invoking
+// handlers and surface the context on Message.Trace, so handlers that
+// decrypt or decode their payloads never see it.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"sync"
+)
+
+// TraceContext identifies a position in one distributed trace. The zero
+// value means "no trace": instrumentation treats it as absent and
+// propagation becomes a no-op.
+type TraceContext struct {
+	TraceID uint64 `json:"trace_id"`
+	SpanID  uint64 `json:"span_id"`
+}
+
+// Valid reports whether the context carries a live trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// traceEnvelopeLen is the size of the in-band envelope: an 8-byte magic
+// followed by the trace and span IDs.
+const traceEnvelopeLen = 8 + 8 + 8
+
+// traceMagic marks a payload carrying a trace envelope. Eight bytes keep
+// the false-positive rate on random (sealed) payloads at 2^-64; the first
+// byte deliberately collides with no codec tag used by the repo's wire
+// formats (0xA*/0xE* blocks).
+var traceMagic = [8]byte{0xD7, 'o', 'b', 's', 't', 'r', 'c', 0x01}
+
+// Inject prefixes payload with the trace envelope. A zero context returns
+// the payload unchanged, so uninstrumented callers cost nothing.
+func Inject(tc TraceContext, payload []byte) []byte {
+	if !tc.Valid() {
+		return payload
+	}
+	out := make([]byte, traceEnvelopeLen+len(payload))
+	copy(out, traceMagic[:])
+	binary.BigEndian.PutUint64(out[8:], tc.TraceID)
+	binary.BigEndian.PutUint64(out[16:], tc.SpanID)
+	copy(out[traceEnvelopeLen:], payload)
+	return out
+}
+
+// Extract detects and strips a trace envelope, returning the carried
+// context and the inner payload. Payloads without the envelope pass
+// through untouched with a zero context (backwards compatibility).
+func Extract(payload []byte) (TraceContext, []byte) {
+	if len(payload) < traceEnvelopeLen || [8]byte(payload[:8]) != traceMagic {
+		return TraceContext{}, payload
+	}
+	tc := TraceContext{
+		TraceID: binary.BigEndian.Uint64(payload[8:]),
+		SpanID:  binary.BigEndian.Uint64(payload[16:]),
+	}
+	return tc, payload[traceEnvelopeLen:]
+}
+
+// Marshal encodes the context as 16 fixed bytes (for codecs that carry a
+// context inside their own framing, e.g. the core local-call protocol).
+func (tc TraceContext) Marshal() []byte {
+	if !tc.Valid() {
+		return nil
+	}
+	out := make([]byte, 16)
+	binary.BigEndian.PutUint64(out, tc.TraceID)
+	binary.BigEndian.PutUint64(out[8:], tc.SpanID)
+	return out
+}
+
+// UnmarshalTrace decodes a context produced by Marshal. Empty or
+// malformed input yields the zero context — absent, never an error.
+func UnmarshalTrace(raw []byte) TraceContext {
+	if len(raw) != 16 {
+		return TraceContext{}
+	}
+	return TraceContext{
+		TraceID: binary.BigEndian.Uint64(raw),
+		SpanID:  binary.BigEndian.Uint64(raw[8:]),
+	}
+}
+
+// Span is one finished or in-flight operation within a trace. Spans form
+// a tree via ParentID; the root span of a trace has ParentID 0.
+type Span struct {
+	Name     string `json:"name"`
+	TraceID  uint64 `json:"trace_id"`
+	SpanID   uint64 `json:"span_id"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	// Site labels where the span was recorded (a machine, DC, or
+	// component name); optional.
+	Site string `json:"site,omitempty"`
+
+	tracer *Tracer
+	ended  bool
+}
+
+// Context returns the propagation context for work done under this span:
+// children parented here share the span's trace.
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.TraceID, SpanID: s.SpanID}
+}
+
+// End exports the span to its tracer. Safe on nil spans and safe to call
+// more than once; only the first call records.
+func (s *Span) End() {
+	if s == nil || s.ended || s.tracer == nil {
+		return
+	}
+	s.ended = true
+	s.tracer.export(s)
+}
+
+// Tracer collects finished spans. It is safe for concurrent use. A nil
+// *Tracer is a valid disabled tracer: StartSpan returns a nil span and
+// propagates the parent context unchanged.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []Span
+	seq   uint64 // span ID allocator; IDs are unique per tracer
+}
+
+// NewTracer creates an in-memory span collector.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// StartSpan opens a span under parent (zero parent starts a new trace
+// with a random trace ID) and returns it with the context to propagate
+// into child work. On a nil tracer the span is nil and the parent context
+// flows through unchanged, so propagation still works without recording.
+func (t *Tracer) StartSpan(name string, parent TraceContext) (*Span, TraceContext) {
+	if t == nil {
+		return nil, parent
+	}
+	t.mu.Lock()
+	t.seq++
+	id := t.seq
+	t.mu.Unlock()
+	sp := &Span{
+		Name:     name,
+		TraceID:  parent.TraceID,
+		SpanID:   id,
+		ParentID: parent.SpanID,
+		tracer:   t,
+	}
+	if sp.TraceID == 0 {
+		sp.TraceID = randomID()
+	}
+	return sp, TraceContext{TraceID: sp.TraceID, SpanID: sp.SpanID}
+}
+
+func (t *Tracer) export(s *Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, *s)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of all finished spans in end order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Len returns the number of finished spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Reset discards collected spans (the ID allocator keeps advancing, so
+// span IDs stay unique across resets).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = nil
+	t.mu.Unlock()
+}
+
+// ByTrace groups finished spans by trace ID.
+func (t *Tracer) ByTrace() map[uint64][]Span {
+	out := make(map[uint64][]Span)
+	for _, s := range t.Spans() {
+		out[s.TraceID] = append(out[s.TraceID], s)
+	}
+	return out
+}
+
+// randomID draws a nonzero 64-bit ID from crypto/rand. Trace IDs must be
+// unforgeable enough not to collide across independent processes; spans
+// within one tracer use the cheap sequential allocator instead.
+func randomID() uint64 {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand does not fail on supported platforms; if it
+			// ever does, a constant non-zero ID keeps tracing functional.
+			return 1
+		}
+		if id := binary.BigEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+}

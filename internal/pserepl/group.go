@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pse"
 	"repro/internal/seal"
 	"repro/internal/sgx"
@@ -159,6 +160,10 @@ type Group struct {
 	// escrowObs, when set, observes committed escrow puts (guarded by
 	// recoverMu; see SetEscrowObserver).
 	escrowObs func(owner sgx.Measurement, id [16]byte, version uint32)
+
+	// obs records quorum-operation spans, per-op counters, and escrow
+	// audit events; nil disables recording.
+	obs atomic.Pointer[obs.Observer]
 }
 
 // NewGroup assembles a replicated counter group from exactly 2f+1
@@ -214,6 +219,28 @@ func NewGroup(name string, f int, msgr transport.Messenger, replicas ...*Replica
 		g.members[r.ID()] = r.Address()
 	}
 	return g, nil
+}
+
+// SetObserver installs the group's observability sink (nil disables).
+// Quorum operations then record "quorum.*" spans and counters, and
+// escrow supersede/tombstone transitions append audit events.
+func (g *Group) SetObserver(o *obs.Observer) {
+	g.obs.Store(o)
+}
+
+// opSpan opens a root span and bumps the per-op counter for one quorum
+// operation; the returned span is nil (and free) when no observer is set.
+func (g *Group) opSpan(name string) *obs.Span {
+	o := g.obs.Load()
+	if o == nil {
+		return nil
+	}
+	sp, _ := o.StartSpan(name, obs.TraceContext{})
+	if sp != nil {
+		sp.Site = "group:" + g.name
+	}
+	o.M().Add(name, 1)
+	return sp
 }
 
 // sendSealed performs one sealed request/response exchange with a single
@@ -551,6 +578,7 @@ func (g *Group) IncrementN(e *sgx.Enclave, uuid pse.UUID, n int) (uint32, error)
 	if err := e.ECall(); err != nil {
 		return 0, err
 	}
+	defer g.opSpan("quorum.increment").End()
 	mu := &g.incrMu[uuid.ID%uint32(len(g.incrMu))]
 	mu.Lock()
 	defer mu.Unlock()
@@ -588,6 +616,7 @@ func (g *Group) Inspect(owner sgx.Measurement, uuid pse.UUID) (uint32, error) {
 // the owner identity and the UUID nonce capability are enforced
 // replica-side exactly the same way.
 func (g *Group) AdminCreate(owner sgx.Measurement) (pse.UUID, error) {
+	defer g.opSpan("quorum.create").End()
 	g.ownerMu.Lock()
 	// The group's capacity is one facility's worth of counters shared by
 	// the whole rack (every replica backs them under its single agent
@@ -947,6 +976,7 @@ func (g *Group) DestroyAndRead(e *sgx.Enclave, uuid pse.UUID) (uint32, error) {
 // destroyQuorum is the quorum destroy shared by DestroyAndRead (enclave
 // path) and AdminDestroy (operator path).
 func (g *Group) destroyQuorum(owner sgx.Measurement, uuid pse.UUID) (uint32, error) {
+	defer g.opSpan("quorum.destroy-read").End()
 	g.destroyMu.Lock()
 	defer g.destroyMu.Unlock()
 	nonce, err := newNonce()
@@ -1197,6 +1227,7 @@ func (g *Group) EscrowPut(owner sgx.Measurement, id [16]byte, version uint32, bi
 // escrowCommit commits one escrow entry (record or tombstone) on a
 // quorum and notifies the escrow observer on success.
 func (g *Group) escrowCommit(entry *escrowEntry) error {
+	defer g.opSpan("quorum.escrow-put").End()
 	nonce, err := newNonce()
 	if err != nil {
 		return err
@@ -1232,10 +1263,17 @@ func (g *Group) escrowCommit(entry *escrowEntry) error {
 		}
 	}
 	if oks >= q {
+		if entry.Version == EscrowTombstoneVersion {
+			g.obs.Load().Event(obs.EventEscrowTombstone, "group:"+g.name,
+				fmt.Sprintf("escrow %x decommissioned", entry.ID[:4]), obs.TraceContext{})
+		}
 		g.notifyEscrow(entry.Owner, entry.ID, entry.Version)
 		return nil
 	}
 	if stales >= q {
+		g.obs.Load().Event(obs.EventEscrowSupersede, "group:"+g.name,
+			fmt.Sprintf("escrow %x put at version %d refused: superseded by a newer record", entry.ID[:4], entry.Version),
+			obs.TraceContext{})
 		return fmt.Errorf("%w: version %d", ErrEscrowSuperseded, entry.Version)
 	}
 	return fmt.Errorf("%w: escrow put acked by %d of %d replicas, need %d",
@@ -1249,6 +1287,7 @@ func (g *Group) escrowCommit(entry *escrowEntry) error {
 // too, which is exactly right — the binding counter already advanced to
 // its version, so only it can win a recovery.
 func (g *Group) EscrowGet(owner sgx.Measurement, id [16]byte) (uint32, pse.UUID, []byte, error) {
+	defer g.opSpan("quorum.escrow-get").End()
 	nonce, err := newNonce()
 	if err != nil {
 		return 0, pse.UUID{}, nil, err

@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TCP framing errors.
@@ -149,11 +151,15 @@ func (t *TCPTransport) handleConn(conn net.Conn, addr Address, h Handler) {
 		if err := readFrame(conn, &req); err != nil {
 			return
 		}
+		// The trace envelope rides inside the framed payload bytes; strip
+		// it here so handlers see only the protocol payload.
+		tc, inner := obs.Extract(req.Payload)
 		msg := Message{
 			From:    Address(req.From),
 			To:      addr,
 			Kind:    req.Kind,
-			Payload: req.Payload,
+			Payload: inner,
+			Trace:   tc,
 		}
 		reply, err := h(msg)
 		resp := tcpEnvelope{Payload: reply}

@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestNetworkStripsTraceEnvelope: a Send whose payload carries an
+// injected trace envelope delivers the INNER payload to the handler with
+// the context surfaced on Message.Trace; un-enveloped payloads arrive
+// with a zero context.
+func TestNetworkStripsTraceEnvelope(t *testing.T) {
+	net := NewNetwork(sim.NewInstantLatency())
+	var got Message
+	if err := net.Register("svc", func(msg Message) ([]byte, error) {
+		got = msg
+		return []byte("ok"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	tc := obs.TraceContext{TraceID: 0xABCD, SpanID: 7}
+	if _, err := net.Send("client", "svc", "ping", obs.Inject(tc, []byte("inner"))); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != tc {
+		t.Fatalf("handler saw trace %+v, want %+v", got.Trace, tc)
+	}
+	if !bytes.Equal(got.Payload, []byte("inner")) {
+		t.Fatalf("handler saw payload %q, want the stripped inner payload", got.Payload)
+	}
+
+	if _, err := net.Send("client", "svc", "ping", []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace.Valid() {
+		t.Fatalf("plain payload produced trace %+v", got.Trace)
+	}
+	if !bytes.Equal(got.Payload, []byte("plain")) {
+		t.Fatalf("plain payload altered: %q", got.Payload)
+	}
+}
+
+// TestTCPTransportStripsTraceEnvelope: the envelope survives the real
+// socket hop and is stripped before the handler runs.
+func TestTCPTransportStripsTraceEnvelope(t *testing.T) {
+	tt := NewTCPTransport()
+	defer tt.Close()
+	var got Message
+	if err := tt.Register("127.0.0.1:0", func(msg Message) ([]byte, error) {
+		got = msg
+		return []byte("ok"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := tt.BoundAddr("127.0.0.1:0")
+	if !ok {
+		t.Fatal("bound address missing")
+	}
+
+	tc := obs.TraceContext{TraceID: 99, SpanID: 3}
+	if _, err := tt.Send("client", addr, "ping", obs.Inject(tc, []byte("tcp inner"))); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != tc {
+		t.Fatalf("handler saw trace %+v, want %+v", got.Trace, tc)
+	}
+	if !bytes.Equal(got.Payload, []byte("tcp inner")) {
+		t.Fatalf("handler saw payload %q", got.Payload)
+	}
+}
+
+// TestWANLinkPropagatesTrace: a trace crosses the WAN bridge intact, the
+// forwarder's wan.hop span joins the sender's trace, and the handler on
+// the far side sees the stripped payload.
+func TestWANLinkPropagatesTrace(t *testing.T) {
+	a := NewNetwork(sim.NewInstantLatency())
+	b := NewNetwork(sim.NewInstantLatency())
+	link := NewWANLink("a~b", a, b, WANConfig{})
+	observer := obs.NewObserver()
+	link.SetObserver(observer)
+
+	var got Message
+	if err := b.Register("svc", func(msg Message) ([]byte, error) {
+		got = msg
+		return []byte("ok"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Export(SideB, "svc"); err != nil {
+		t.Fatal(err)
+	}
+
+	tc := obs.TraceContext{TraceID: 0x1234, SpanID: 1}
+	if _, err := a.Send("client", "svc", "ping", obs.Inject(tc, []byte("wan inner"))); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace.TraceID != tc.TraceID {
+		t.Fatalf("handler trace ID %x, want %x", got.Trace.TraceID, tc.TraceID)
+	}
+	if !bytes.Equal(got.Payload, []byte("wan inner")) {
+		t.Fatalf("handler saw payload %q", got.Payload)
+	}
+
+	spans := observer.Tracer.Spans()
+	if len(spans) != 1 || spans[0].Name != "wan.hop" {
+		t.Fatalf("spans = %+v, want one wan.hop", spans)
+	}
+	if spans[0].TraceID != tc.TraceID || spans[0].ParentID != tc.SpanID {
+		t.Fatalf("wan.hop span did not join the trace: %+v", spans[0])
+	}
+	// The handler's parent must be the hop span, not the original sender:
+	// the hop deepened the context.
+	if got.Trace.SpanID != spans[0].SpanID {
+		t.Fatalf("handler parent span %d, want hop span %d", got.Trace.SpanID, spans[0].SpanID)
+	}
+}
+
+// TestWANLinkPropagatesTraceOverTCPCarrier: same contract with the
+// bridge hop routed through a real TCP transport — the envelope rides
+// the carrier frame and re-emerges on the home side.
+func TestWANLinkPropagatesTraceOverTCPCarrier(t *testing.T) {
+	a := NewNetwork(sim.NewInstantLatency())
+	b := NewNetwork(sim.NewInstantLatency())
+	carrier := NewTCPTransport()
+	defer carrier.Close()
+
+	link := NewWANLink("a~b", a, b, WANConfig{})
+	if err := link.UseCarrier(carrier, "127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	observer := obs.NewObserver()
+	link.SetObserver(observer)
+
+	var got Message
+	if err := b.Register("svc", func(msg Message) ([]byte, error) {
+		got = msg
+		return []byte("ok"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Export(SideB, "svc"); err != nil {
+		t.Fatal(err)
+	}
+
+	tc := obs.TraceContext{TraceID: 0x777, SpanID: 2}
+	if _, err := a.Send("client", "svc", "ping", obs.Inject(tc, []byte("carried"))); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace.TraceID != tc.TraceID {
+		t.Fatalf("trace lost across the carrier: %+v", got.Trace)
+	}
+	if !bytes.Equal(got.Payload, []byte("carried")) {
+		t.Fatalf("payload across carrier = %q", got.Payload)
+	}
+	spans := observer.Tracer.Spans()
+	if len(spans) != 1 || spans[0].Name != "wan.hop" || spans[0].TraceID != tc.TraceID {
+		t.Fatalf("spans = %+v, want one wan.hop in the sender's trace", spans)
+	}
+}

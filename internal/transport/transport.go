@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -31,11 +32,18 @@ var (
 type Address string
 
 // Message is one request crossing the network.
+//
+// Trace carries the distributed-trace context extracted from the in-band
+// envelope (obs.Inject on the sender side). Transports strip the envelope
+// before invoking handlers, so Payload is always the inner protocol bytes
+// — handlers that decrypt or decode their payloads never see the prefix.
+// Messages sent without a trace arrive with the zero context.
 type Message struct {
-	From    Address `json:"from"`
-	To      Address `json:"to"`
-	Kind    string  `json:"kind"`
-	Payload []byte  `json:"payload"`
+	From    Address          `json:"from"`
+	To      Address          `json:"to"`
+	Kind    string           `json:"kind"`
+	Payload []byte           `json:"payload"`
+	Trace   obs.TraceContext `json:"trace,omitzero"`
 }
 
 // Handler processes a request and produces a reply payload.
@@ -109,7 +117,8 @@ func (n *Network) Unregister(addr Address) {
 // returns the (also adversary-mediated) reply.
 func (n *Network) Send(from, to Address, kind string, payload []byte) ([]byte, error) {
 	n.lat.Charge(sim.OpNetworkRTT)
-	msg := Message{From: from, To: to, Kind: kind, Payload: append([]byte(nil), payload...)}
+	tc, inner := obs.Extract(payload)
+	msg := Message{From: from, To: to, Kind: kind, Payload: append([]byte(nil), inner...), Trace: tc}
 
 	n.mu.Lock()
 	adv := n.adversary

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/wirec"
 )
@@ -87,6 +88,10 @@ type WANLink struct {
 	msgs  atomic.Int64
 	bytes atomic.Int64
 
+	// obs, when set, records one "wan.hop" span per bridged exchange;
+	// the trace context always propagates across the link regardless.
+	obs atomic.Pointer[obs.Observer]
+
 	a, b Messenger
 }
 
@@ -146,7 +151,9 @@ func (l *WANLink) UseCarrier(carrier Messenger, listenA, listenB Address) error 
 			if err != nil {
 				return nil, err
 			}
-			return dst.Send(msg.From, to, kind, payload)
+			// Re-inject the trace context that crossed the carrier hop so
+			// it survives into the destination messenger.
+			return dst.Send(msg.From, to, kind, obs.Inject(msg.Trace, payload))
 		}
 		if err := carrier.Register(listen, h); err != nil {
 			return fmt.Errorf("wan carrier %s: %w", l.name, err)
@@ -188,6 +195,13 @@ func (l *WANLink) Latency() *sim.Latency { return l.lat }
 // Stats returns the total exchanges and payload bytes carried.
 func (l *WANLink) Stats() (msgs, bytes int64) {
 	return l.msgs.Load(), l.bytes.Load()
+}
+
+// SetObserver installs (or clears, with nil) the link's observer. With
+// one set, every bridged exchange records a "wan.hop" span joined into
+// the sender's trace.
+func (l *WANLink) SetObserver(o *obs.Observer) {
+	l.obs.Store(o)
 }
 
 // SetDown partitions (true) or heals (false) the link. While down, every
@@ -289,13 +303,23 @@ func (l *WANLink) forwarder(homeSide int, addr Address) Handler {
 		l.msgs.Add(1)
 		l.bytes.Add(int64(len(msg.Payload)))
 
+		// The local messenger stripped the sender's trace envelope into
+		// msg.Trace; record the hop and re-inject the (possibly deepened)
+		// context so it crosses to the far side.
+		tc := msg.Trace
+		sp, tc := l.obs.Load().StartSpan("wan.hop", tc)
+		if sp != nil {
+			sp.Site = l.name
+			defer sp.End()
+		}
+
 		var reply []byte
 		var err error
 		if l.carrier != nil {
 			fwd := encodeWANForward(addr, msg.Kind, msg.Payload)
-			reply, err = l.carrier.Send(msg.From, l.carrierAddr[homeSide], "wan-fwd", fwd)
+			reply, err = l.carrier.Send(msg.From, l.carrierAddr[homeSide], "wan-fwd", obs.Inject(tc, fwd))
 		} else {
-			reply, err = l.sideMessenger(homeSide).Send(msg.From, addr, msg.Kind, msg.Payload)
+			reply, err = l.sideMessenger(homeSide).Send(msg.From, addr, msg.Kind, obs.Inject(tc, msg.Payload))
 		}
 		if err != nil {
 			return nil, err
