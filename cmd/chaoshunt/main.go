@@ -1,0 +1,175 @@
+// Command chaoshunt runs the chaos fleet's adversarial search over the
+// paper's R1–R4 guarantees: seeded fault schedules (kills, restarts,
+// rack cold-restarts, WAN partitions, mirror lag, forced failovers,
+// fleet plans) against a two-datacenter federation, with every run's
+// history replayed through the invariant checker. A failing schedule is
+// automatically shrunk to a minimal repro (seed + step list) and
+// printed; the process exits 2 so CI can collect the artifact.
+//
+//	chaoshunt                          24 seeded schedules, smoke scale
+//	chaoshunt -seed 42 -seeds 1 -v     one schedule, verbose verdict
+//	chaoshunt -budget 10m -loss 0.2    nightly soak: hunt until the budget
+//	chaoshunt -replay repro.json       re-run a shrunken repro file
+//	chaoshunt -json                    machine-readable verdicts
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chaoshunt:", err)
+		os.Exit(1)
+	}
+}
+
+// verdict is the per-seed JSON record.
+type verdict struct {
+	Seed       int64             `json:"seed"`
+	Ops        int               `json:"ops"`
+	Events     int               `json:"events"`
+	Violations []chaos.Violation `json:"violations,omitempty"`
+	Repro      *chaos.Repro      `json:"repro,omitempty"`
+}
+
+func run() error {
+	var (
+		seed     = flag.Int64("seed", 0, "first schedule seed")
+		seeds    = flag.Int("seeds", 24, "number of consecutive seeds to run (ignored with -budget)")
+		steps    = flag.Int("steps", 30, "schedule length per seed")
+		machines = flag.Int("machines", 3, "machines per datacenter")
+		apps     = flag.Int("apps", 4, "enclave identities")
+		counters = flag.Int("counters", 2, "counters per identity")
+		loss     = flag.Float64("loss", 0.1, "WAN loss probability [0,1)")
+		budget   = flag.Duration("budget", 0, "time budget: run consecutive seeds until it expires (soak mode)")
+		shrinkN  = flag.Int("shrink", 200, "max re-runs when shrinking a failing schedule")
+		replay   = flag.String("replay", "", "JSON repro file to re-run instead of hunting")
+		asJSON   = flag.Bool("json", false, "emit JSON verdicts")
+		verbose  = flag.Bool("v", false, "per-seed progress")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		return replayFile(*replay, *asJSON)
+	}
+
+	base := chaos.Config{
+		Steps:    *steps,
+		Machines: *machines,
+		Apps:     *apps,
+		Counters: *counters,
+		WANLoss:  *loss,
+	}
+
+	deadline := time.Time{}
+	if *budget > 0 {
+		deadline = time.Now().Add(*budget)
+	}
+	ran := 0
+	start := time.Now()
+	for s := *seed; ; s++ {
+		if deadline.IsZero() {
+			if ran >= *seeds {
+				break
+			}
+		} else if time.Now().After(deadline) {
+			break
+		}
+		cfg := base
+		cfg.Seed = s
+		res, err := chaos.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", s, err)
+		}
+		ran++
+		if *verbose && !*asJSON {
+			fmt.Printf("seed %-6d %4d ops %4d events  %s\n", s, res.Ops, res.Events, passFail(res))
+		}
+		if !res.Failed() {
+			continue
+		}
+
+		// Found one: shrink to the minimal repro and report.
+		repro, err := chaos.Shrink(cfg, res.Steps, *shrinkN)
+		if err != nil {
+			return fmt.Errorf("seed %d: shrink: %w", s, err)
+		}
+		v := verdict{Seed: s, Ops: res.Ops, Events: res.Events, Violations: res.Violations, Repro: repro}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(v); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("seed %d VIOLATED %d invariant(s); minimal repro:\n%s", s, len(res.Violations), repro)
+			fmt.Printf("re-run: chaoshunt -replay <file> after saving the JSON below\n")
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(repro)
+		}
+		os.Exit(2)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{
+			"seeds_run":  ran,
+			"first_seed": *seed,
+			"violations": 0,
+			"elapsed":    time.Since(start).String(),
+		})
+	}
+	fmt.Printf("%d schedules, 0 invariant violations (%s)\n", ran, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func passFail(res *chaos.Result) string {
+	if res.Failed() {
+		return "FAIL"
+	}
+	return "ok"
+}
+
+// replayFile re-runs a shrunken repro (the JSON chaoshunt printed when
+// it found a violation) and reports whether it still fails.
+func replayFile(path string, asJSON bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var repro chaos.Repro
+	if err := json.Unmarshal(data, &repro); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	cfg := repro.Config
+	cfg.Replay = repro.Steps
+	res, err := chaos.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(verdict{Seed: res.Seed, Ops: res.Ops, Events: res.Events, Violations: res.Violations}); err != nil {
+			return err
+		}
+	} else {
+		for _, v := range res.Violations {
+			fmt.Println(v)
+		}
+		fmt.Printf("replayed %d steps: %d violation(s)\n", len(repro.Steps), len(res.Violations))
+	}
+	if res.Failed() {
+		os.Exit(2)
+	}
+	return nil
+}

@@ -9,6 +9,10 @@
 //	fleetd -plan evacuate -targets machine-2 evacuate onto one machine
 //	fleetd -workers 32 -apps 500             scale the worker pool and fleet
 //	fleetd -policy round-robin -v            alternate policy, per-migration log
+//	fleetd -chaos -chaos-seeds 8             chaos self-test: seeded fault schedules
+//	                                         against a two-DC federation; exits
+//	                                         non-zero with a minimal repro on any
+//	                                         R1–R4 invariant violation
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/fleet"
@@ -100,6 +105,40 @@ func printTelemetry(o *obs.Observer, report *fleet.Report) {
 	fmt.Printf("  audit events: %d\n", o.Events.Len())
 }
 
+// runChaos is fleetd's self-test mode: seeded chaos schedules drive
+// the full fault palette (kills, rack restarts, WAN partitions, forced
+// failovers, concurrent plans) against a two-DC federation while the
+// invariant checker watches the R1–R4 guarantees. Any violation is
+// shrunk to a minimal repro, printed, and the process exits non-zero —
+// wire it into a deploy gate to refuse rollouts that fork enclaves.
+func runChaos(seed int64, seeds, steps, apps, counters int, verbose bool) error {
+	if apps > 16 {
+		apps = 16 // chaos worlds are small; the default -apps 100 is for plans
+	}
+	for s := seed; s < seed+int64(seeds); s++ {
+		cfg := chaos.Config{Seed: s, Steps: steps, Apps: apps, Counters: counters, WANLoss: 0.1}
+		res, err := chaos.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("chaos seed %d: %w", s, err)
+		}
+		if verbose {
+			fmt.Printf("chaos seed %-6d %4d ops, %d violations\n", s, res.Ops, len(res.Violations))
+		}
+		if !res.Failed() {
+			continue
+		}
+		repro, err := chaos.Shrink(cfg, res.Steps, 200)
+		if err != nil {
+			return fmt.Errorf("chaos seed %d: shrink: %w", s, err)
+		}
+		fmt.Fprintf(os.Stderr, "chaos seed %d violated %d invariant(s); minimal repro:\n%s",
+			s, len(res.Violations), repro)
+		os.Exit(2)
+	}
+	fmt.Printf("chaos: %d schedules, 0 invariant violations\n", seeds)
+	return nil
+}
+
 func run() error {
 	var (
 		machines    = flag.Int("machines", 3, "number of SGX machines in the data center")
@@ -113,8 +152,15 @@ func run() error {
 		scale       = flag.Float64("scale", 0, "latency scale (1 = paper-magnitude latencies)")
 		verbose     = flag.Bool("v", false, "log each migration outcome")
 		metricsAddr = flag.String("metrics-addr", "", "serve the metrics snapshot as JSON on this address (e.g. 127.0.0.1:9090) while the plan runs")
+		chaosMode   = flag.Bool("chaos", false, "run seeded chaos schedules against a two-DC federation instead of a single plan; exits non-zero with a minimal repro on any invariant violation")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "first chaos schedule seed")
+		chaosSeeds  = flag.Int("chaos-seeds", 8, "number of chaos schedules to run")
+		chaosSteps  = flag.Int("chaos-steps", 30, "steps per chaos schedule")
 	)
 	flag.Parse()
+	if *chaosMode {
+		return runChaos(*chaosSeed, *chaosSeeds, *chaosSteps, *apps, *counters, *verbose)
+	}
 	if *machines < 2 {
 		return fmt.Errorf("need at least 2 machines, got %d", *machines)
 	}

@@ -1,0 +1,134 @@
+//go:build !chaosmut
+
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChaosSeeds runs the adversarial search across a spread of seeds
+// and asserts every schedule upholds R1–R4: no invariant violations,
+// ever. Each seed is an independent 30-step fault schedule against a
+// fresh two-DC federation.
+func TestChaosSeeds(t *testing.T) {
+	const seeds = 24
+	for s := 0; s < seeds; s++ {
+		s := s
+		t.Run(fmt.Sprintf("seed=%d", s), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Defaults(int64(s)))
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Failed() {
+				for _, v := range res.Violations {
+					t.Errorf("violation: %s", v)
+				}
+				t.Logf("history:\n%s", res.History.Fingerprint())
+			}
+			if res.Ops == 0 {
+				t.Fatal("empty history")
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism asserts the load-bearing property: the same
+// seed produces the same history, op for op — schedule draws, WAN
+// loss, fleet journals, escrow commits and all.
+func TestChaosDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 7, 19} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			a, err := Run(Defaults(seed))
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			b, err := Run(Defaults(seed))
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			fa, fb := a.History.Fingerprint(), b.History.Fingerprint()
+			if fa != fb {
+				t.Fatalf("same seed, different histories:\n--- first\n%s\n--- second\n%s", fa, fb)
+			}
+		})
+	}
+}
+
+// TestReplayMatchesGenerated asserts replay fidelity: executing the
+// concrete step list a generated run recorded reproduces the identical
+// history — the property the shrinker and the CLI's repro mode rely on.
+func TestReplayMatchesGenerated(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			gen, err := Run(Defaults(seed))
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			cfg := Defaults(seed)
+			cfg.Replay = gen.Steps
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if g, r := gen.History.Fingerprint(), rep.History.Fingerprint(); g != r {
+				t.Fatalf("replay diverged from generated run:\n--- generated\n%s\n--- replay\n%s", g, r)
+			}
+		})
+	}
+}
+
+// TestReplayRecoverRefused is the healthy-build counterpart of the
+// chaosmut mutation self-test: replaying recovery from an origin
+// escrow record whose binding was consumed by a cross-DC resurrection
+// must lose the arbitration (escrow-consumed) and violate nothing —
+// R3's exactly-one-resurrection holding under direct attack.
+func TestReplayRecoverRefused(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Machines: 3, Apps: 1, Counters: 1, Replay: []Step{
+		{Op: "flush"},
+		{Op: "kill", Target: "dc-a/a1"},
+		{Op: "recover-wan", Target: "dc-a/a1", Dest: "dc-b/b1"},
+		{Op: "replay-recover", Target: "app-00", Dest: "dc-a/a2"},
+		{Op: "burst"},
+	}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Failed() {
+		t.Fatalf("violations on healthy build: %v", res.Violations)
+	}
+	refused := false
+	for _, op := range res.History.Ops() {
+		if op.Kind == "replay-recover" {
+			if op.Err == "" {
+				t.Fatal("replay-recover succeeded on a healthy build")
+			}
+			if op.Err == "escrow-consumed" {
+				refused = true
+			}
+		}
+	}
+	if !refused {
+		t.Fatalf("no escrow-consumed refusal in history:\n%s", res.History.Fingerprint())
+	}
+}
+
+// TestShrinkRejectsPassingSchedule pins the shrinker's contract: a
+// schedule with no violations is not shrinkable.
+func TestShrinkRejectsPassingSchedule(t *testing.T) {
+	gen, err := Run(Defaults(5))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if gen.Failed() {
+		t.Fatalf("seed 5 unexpectedly failing: %v", gen.Violations)
+	}
+	if _, err := Shrink(Defaults(5), gen.Steps, 20); err == nil {
+		t.Fatal("Shrink accepted a passing schedule")
+	}
+}

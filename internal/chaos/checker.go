@@ -1,0 +1,245 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Violation is one invariant breach the checker found in a history.
+type Violation struct {
+	// Invariant names the broken guarantee (monotone, upper-bound,
+	// no-fork, exactly-one-resurrection, no-zombie, escrow-order,
+	// audit).
+	Invariant string `json:"invariant"`
+	// OpIndex is the history index of the violating op (-1 for
+	// whole-run audit inconsistencies).
+	OpIndex int `json:"op"`
+	// Detail explains the breach.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] op %d: %s", v.Invariant, v.OpIndex, v.Detail)
+}
+
+// ctrKey identifies one app counter slot.
+type ctrKey struct {
+	app  string
+	slot int
+}
+
+// escrowKey identifies one escrow instance's record sequence in one
+// rack (ord is the per-identity instance ordinal: migration mints a
+// fresh instance whose versions restart at 1).
+type escrowKey struct {
+	rack string
+	app  string
+	ord  int
+}
+
+// Check replays a history against the paper's R1–R4 guarantees plus
+// the audit-stream consistency rules, returning every violation found.
+// owners maps audit actor strings ("lib:<mrenclave>") to identity
+// names; events is the run's full obs.EventLog.
+//
+// Invariants, in terms of the paper:
+//   - monotone (R2, no rollback): a successful increment returns a
+//     value strictly greater than every previously observed value of
+//     that counter; a successful read returns at least the maximum.
+//     Cross-DC recoveries (forced or not) resurrect from the partner's
+//     shadow counters, whose values trail the origin by the mirror lag
+//     — the documented value RPO — so a WAN recovery lowers the floor
+//     to the value at the last fully successful mirror flush, never
+//     further. Intra-DC recoveries read the rack's live counters and
+//     get no allowance at all.
+//   - upper-bound (R2): no counter value exceeds the number of
+//     increment attempts ever issued against the slot, +1 slack for
+//     the creation draw. A value above the bound means an increment
+//     was double-applied or state was forged.
+//   - no-fork (R1): every post-step scan sees at most one unfrozen
+//     live instance per enclave identity across both sites.
+//   - exactly-one-resurrection (R3): a recovery success requires the
+//     identity to be lost — a second success for a live identity is a
+//     double resurrection. A replay-recover success is by construction
+//     a second resurrection from a consumed record and always counts.
+//   - no-zombie (R4): no operation issued against a retired
+//     incarnation (zombie probe) ever succeeds.
+//   - escrow-order: committed escrow versions per (rack, identity)
+//     strictly increase (a tombstone is terminal by construction —
+//     nothing exceeds it).
+//   - audit: the event stream agrees with the history — resurrection
+//     events per identity never exceed binding wins (every winner won
+//     the DestroyAndRead race); recovery successes in the history
+//     equal resurrection events; recovered-away errors imply a
+//     zombie-refused event; forced-failover events appear iff a forced
+//     recovery ran.
+func Check(h *History, events []obs.AuditEvent, owners map[string]string) []Violation {
+	var out []Violation
+	add := func(inv string, op int, format string, args ...any) {
+		out = append(out, Violation{Invariant: inv, OpIndex: op, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	maxSeen := map[ctrKey]uint32{}
+	flushFloor := map[ctrKey]uint32{}
+	attempts := map[ctrKey]int{}
+	live := map[string]bool{}
+	recoverOK := map[string]int{}
+	lastEscrow := map[escrowKey]uint32{}
+	sawRecoveredAway := false
+	forcedCalls, forcedSuccesses := 0, 0
+
+	for _, op := range h.Ops() {
+		if strings.Contains(op.Err, "recovered-away") {
+			sawRecoveredAway = true
+		}
+		switch op.Kind {
+		case "launch":
+			live[op.App] = true
+		case "lost":
+			live[op.App] = false
+		case "migrate":
+			live[op.App] = true
+		case "recover":
+			if live[op.App] {
+				add("exactly-one-resurrection", op.I,
+					"%s recovered (%s) while an incarnation was still live", op.App, op.Note)
+			}
+			live[op.App] = true
+			recoverOK[op.App]++
+			if strings.HasPrefix(op.Note, "wan forced") {
+				forcedSuccesses++
+			}
+			if strings.HasPrefix(op.Note, "wan") {
+				// Cross-DC resurrection restores shadow-counter values,
+				// which trail the origin by the mirror lag: the monotone
+				// floor falls back to the last fully flushed value — the
+				// documented RPO bound — and no further.
+				for k := range maxSeen {
+					if k.app == op.App {
+						maxSeen[k] = flushFloor[k]
+					}
+				}
+			}
+		case "relaunch":
+			// Call-level record; success is followed by a "recover" op.
+		case "replay-recover":
+			if op.Err == "" {
+				add("exactly-one-resurrection", op.I,
+					"%s: replay of a consumed escrow record succeeded — double resurrection", op.App)
+			}
+		case "recover-wan":
+			if strings.Contains(op.Note, "forced") {
+				forcedCalls++
+			}
+		case "inc":
+			k := ctrKey{op.App, op.Slot}
+			attempts[k]++
+			if op.Err == "" {
+				if op.Val <= maxSeen[k] {
+					add("monotone", op.I, "%s slot %d: increment returned %d, floor was %d",
+						op.App, op.Slot, op.Val, maxSeen[k])
+				}
+				maxSeen[k] = op.Val
+				if op.Val > uint32(attempts[k])+1 {
+					add("upper-bound", op.I, "%s slot %d: value %d exceeds %d increment attempts",
+						op.App, op.Slot, op.Val, attempts[k])
+				}
+			}
+		case "read":
+			k := ctrKey{op.App, op.Slot}
+			if op.Err == "" {
+				if op.Val < maxSeen[k] {
+					add("monotone", op.I, "%s slot %d: read %d rolled back below floor %d",
+						op.App, op.Slot, op.Val, maxSeen[k])
+				}
+				if op.Val > maxSeen[k] {
+					maxSeen[k] = op.Val
+				}
+				if op.Val > uint32(attempts[k])+1 {
+					add("upper-bound", op.I, "%s slot %d: read %d exceeds %d increment attempts",
+						op.App, op.Slot, op.Val, attempts[k])
+				}
+			}
+		case "flush":
+			if op.Err == "" {
+				// Every mirrored instance is now current: the RPO floor
+				// advances to each counter's present value. Partial or
+				// failed flushes advance nothing (conservative).
+				for k, v := range maxSeen {
+					if v > flushFloor[k] {
+						flushFloor[k] = v
+					}
+				}
+			}
+		case "probe":
+			if op.Err == "" {
+				add("no-zombie", op.I, "%s incarnation %d (retired) made persistent progress",
+					op.App, op.Inst)
+			}
+		case "scan":
+			if op.Val > 1 {
+				add("no-fork", op.I, "%s: %d unfrozen live instances", op.App, op.Val)
+			}
+		case "escrow":
+			// Strictly increasing also makes tombstones terminal: no
+			// version exceeds EscrowTombstoneVersion (^uint32(0)), so any
+			// commit after one trips the same check.
+			k := escrowKey{op.Note, op.App, op.Inst}
+			if prev, ok := lastEscrow[k]; ok && op.Val <= prev {
+				add("escrow-order", op.I, "%s instance %d at %s: version %d after %d",
+					op.App, op.Inst, op.Note, op.Val, prev)
+			}
+			lastEscrow[k] = op.Val
+		}
+	}
+
+	// Audit-stream cross-checks.
+	resurrections := map[string]int{}
+	bindingWins := map[string]int{}
+	zombieRefused, siteLoss := 0, 0
+	for _, ev := range events {
+		name := owners[ev.Actor]
+		switch ev.Type {
+		case obs.EventResurrection:
+			if name != "" {
+				resurrections[name]++
+			}
+		case obs.EventBindingWin:
+			if name != "" {
+				bindingWins[name]++
+			}
+		case obs.EventZombieRefused:
+			zombieRefused++
+		case obs.EventSiteLossFailover:
+			siteLoss++
+		}
+	}
+	for app, n := range resurrections {
+		if n > bindingWins[app] {
+			add("audit", -1, "%s: %d resurrection events but only %d binding wins — a recovery skipped arbitration",
+				app, n, bindingWins[app])
+		}
+		if n != recoverOK[app] {
+			add("audit", -1, "%s: %d resurrection events vs %d recovery successes in history",
+				app, n, recoverOK[app])
+		}
+	}
+	for app, n := range recoverOK {
+		if resurrections[app] < n {
+			add("audit", -1, "%s: history has %d recovery successes but only %d resurrection events",
+				app, n, resurrections[app])
+		}
+	}
+	if sawRecoveredAway && zombieRefused == 0 {
+		add("audit", -1, "history observed recovered-away but no zombie-refused event was emitted")
+	}
+	if forcedSuccesses > 0 && siteLoss == 0 {
+		add("audit", -1, "forced recovery succeeded but no site-loss-failover event was emitted")
+	}
+	if siteLoss > 0 && forcedCalls == 0 {
+		add("audit", -1, "site-loss-failover events present but no forced recovery in history")
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Repro is a minimal reproduction of a failing schedule: re-running
+// Run with Config{Seed: Seed, Replay: Steps, ...} reproduces the
+// violations deterministically.
+type Repro struct {
+	Seed       int64       `json:"seed"`
+	Config     Config      `json:"config"`
+	Steps      []Step      `json:"steps"`
+	Violations []Violation `json:"violations"`
+}
+
+// String renders the repro as seed + numbered step list, the form the
+// CLI prints and EXPERIMENTS.md documents.
+func (r *Repro) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d, %d steps:\n", r.Seed, len(r.Steps))
+	for i, s := range r.Steps {
+		fmt.Fprintf(&b, "  %2d. %s\n", i, s)
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  => %s\n", v)
+	}
+	return b.String()
+}
+
+// Shrink delta-debugs a failing schedule down to a locally minimal
+// still-failing step list: it repeatedly re-runs the schedule with
+// chunks removed (halving chunk size down to single steps), keeping
+// any smaller variant that still violates an invariant. Replay mode
+// re-evaluates step guards, so dropping a prerequisite step simply
+// skips its dependents rather than crashing the run.
+//
+// The budget caps total re-runs (each is a full deterministic run);
+// <= 0 means a default of 200.
+func Shrink(cfg Config, steps []Step, budget int) (*Repro, error) {
+	if budget <= 0 {
+		budget = 200
+	}
+	fails := func(candidate []Step) ([]Violation, error) {
+		c := cfg
+		c.Replay = candidate
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		return res.Violations, nil
+	}
+
+	cur := append([]Step(nil), steps...)
+	viol, err := fails(cur)
+	if err != nil {
+		return nil, err
+	}
+	budget--
+	if len(viol) == 0 {
+		return nil, fmt.Errorf("chaos: schedule does not fail under replay; nothing to shrink")
+	}
+
+	for chunk := len(cur) / 2; chunk >= 1 && budget > 0; {
+		removed := false
+		for start := 0; start+chunk <= len(cur) && budget > 0; {
+			cand := make([]Step, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			v, err := fails(cand)
+			budget--
+			if err != nil {
+				return nil, err
+			}
+			if len(v) > 0 {
+				cur, viol = cand, v
+				removed = true
+				// Do not advance start: the next chunk shifted into place.
+				continue
+			}
+			start += chunk
+		}
+		if !removed || chunk > len(cur) {
+			chunk /= 2
+		}
+	}
+
+	final := cfg
+	final.Replay = cur
+	return &Repro{Seed: cfg.Seed, Config: final, Steps: cur, Violations: viol}, nil
+}

@@ -555,6 +555,10 @@ func (m *Machine) Kill() {
 		la.EscrowID, la.Escrowed = a.Library.EscrowID()
 		m.lost = append(m.lost, la)
 	}
+	// The manifest is rebuilt from a map; order it so every recovery
+	// path (local, fleet, cross-DC) resurrects in a reproducible order —
+	// chaos schedules replay bit-identically only if recoveries do.
+	sort.Slice(m.lost, func(i, j int) bool { return m.lost[i].Image.Name < m.lost[j].Image.Name })
 	m.mu.Unlock()
 	m.HW.Restart()
 }

@@ -1,0 +1,9 @@
+//go:build !chaosmut
+
+package core
+
+// faultSkipBindingWin gates the chaos mutation self-test's injected
+// fault (see chaosfault_mut.go). In normal builds it is a false
+// constant, so the compiler removes every gated branch — the production
+// recovery path is byte-for-byte unaffected.
+const faultSkipBindingWin = false

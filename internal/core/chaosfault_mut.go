@@ -1,0 +1,13 @@
+//go:build chaosmut
+
+package core
+
+// faultSkipBindingWin, under the chaosmut build tag, removes the
+// binding-counter arbitration from Recover: the stale-record check and
+// the DestroyAndRead win are both skipped, so a recovery installs
+// whatever record the escrow returns without consuming the old binding.
+// That is exactly the paper's no-fork mechanism deleted — two recoveries
+// of the same instance can then both "succeed" — and the chaos
+// checker's mutation self-test asserts the harness catches the
+// resulting double resurrection. Never enabled in normal builds.
+const faultSkipBindingWin = true

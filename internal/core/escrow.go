@@ -260,12 +260,16 @@ func (l *Library) RecoverCtx(tc obs.TraceContext, me *MigrationEnclave, escrowID
 	// Binding check, read-before-destroy: a stale record is rejected
 	// WITHOUT destroying the live binding counter, so feeding an old
 	// record to a recovery cannot make the fresh one unrecoverable.
-	cur, err := l.counters.Read(l.enclave, bind)
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrEscrowConsumed, err)
-	}
-	if cur != ver {
-		return fmt.Errorf("%w: record version %d, counter at %d", ErrEscrowStale, ver, cur)
+	// (faultSkipBindingWin deletes the check and the win below under the
+	// chaosmut build tag — the chaos mutation self-test.)
+	if !faultSkipBindingWin {
+		cur, err := l.counters.Read(l.enclave, bind)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrEscrowConsumed, err)
+		}
+		if cur != ver {
+			return fmt.Errorf("%w: record version %d, counter at %d", ErrEscrowStale, ver, cur)
+		}
 	}
 
 	// Re-bind BEFORE the win: the fresh binding counter is created and
@@ -287,15 +291,18 @@ func (l *Library) RecoverCtx(tc obs.TraceContext, me *MigrationEnclave, escrowID
 	}
 
 	// The win: capture the old binding at exactly the sealed version.
-	winSp, _ := l.obs.StartSpan("binding.win", tc)
-	final, err := l.counters.DestroyAndRead(l.enclave, bind)
-	winSp.End()
-	if err != nil {
-		dropNewBind()
-		return fmt.Errorf("%w: %v", ErrEscrowConsumed, err)
+	final := ver
+	if !faultSkipBindingWin {
+		winSp, _ := l.obs.StartSpan("binding.win", tc)
+		final, err = l.counters.DestroyAndRead(l.enclave, bind)
+		winSp.End()
+		if err != nil {
+			dropNewBind()
+			return fmt.Errorf("%w: %v", ErrEscrowConsumed, err)
+		}
+		l.obs.Event(obs.EventBindingWin, l.actor(),
+			fmt.Sprintf("won escrow binding %08x at version %d", bind.ID, final), tc)
 	}
-	l.obs.Event(obs.EventBindingWin, l.actor(),
-		fmt.Sprintf("won escrow binding %08x at version %d", bind.ID, final), tc)
 	if final != ver {
 		// An increment raced between read and destroy: the original
 		// library was alive and persisted concurrently — and this destroy

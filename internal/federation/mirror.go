@@ -1,8 +1,10 @@
 package federation
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -75,6 +77,7 @@ type Mirror struct {
 	errs    []error
 	known   map[instanceKey]*originInfo
 	closed  bool
+	manual  bool
 
 	obs atomic.Pointer[obs.Observer]
 	ep  *mirrorEndpoint // partner-side half (same process; for observer fan-out)
@@ -125,11 +128,25 @@ func (m *Mirror) enqueue(k instanceKey) {
 	m.mu.Unlock()
 }
 
+// SetManual switches the mirror between its normal background worker
+// (false, the default) and manual mode (true): while manual, committed
+// escrow puts still mark instances dirty but nothing syncs until Flush
+// or Sync runs — on the caller's goroutine, in a deterministic (owner,
+// id) order. Chaos harnesses use manual mode so a schedule's WAN
+// exchanges (and therefore the link's seeded loss draws) happen at
+// reproducible points instead of racing a background goroutine.
+func (m *Mirror) SetManual(manual bool) {
+	m.mu.Lock()
+	m.manual = manual
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
 // worker drains the dirty set, one instance at a time.
 func (m *Mirror) worker() {
 	m.mu.Lock()
 	for {
-		for len(m.pending) == 0 && !m.closed {
+		for (len(m.pending) == 0 || m.manual) && !m.closed {
 			m.cond.Wait()
 		}
 		if m.closed {
@@ -174,6 +191,31 @@ func (m *Mirror) Flush() error {
 			m.pending[k] = struct{}{}
 		}
 		m.cond.Broadcast()
+	}
+	if m.manual && !m.closed {
+		// Manual mode: drain on the caller's goroutine, sorted by
+		// (owner, id) so a seeded chaos run syncs — and draws WAN loss —
+		// in a reproducible order.
+		keys := make([]instanceKey, 0, len(m.pending))
+		for k := range m.pending {
+			keys = append(keys, k)
+		}
+		clear(m.pending)
+		errs := m.errs
+		m.errs = nil
+		m.mu.Unlock()
+		sort.Slice(keys, func(i, j int) bool {
+			if c := bytes.Compare(keys[i].owner[:], keys[j].owner[:]); c != 0 {
+				return c < 0
+			}
+			return bytes.Compare(keys[i].id[:], keys[j].id[:]) < 0
+		})
+		for _, k := range keys {
+			if err := m.syncOne(k); err != nil {
+				errs = append(errs, fmt.Errorf("mirror %s: %x/%x: %w", m.name, k.owner[:4], k.id[:4], err))
+			}
+		}
+		return errors.Join(errs...)
 	}
 	for (len(m.pending) > 0 || m.inWork > 0) && !m.closed {
 		m.cond.Wait()

@@ -1,0 +1,78 @@
+package federation
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// TestWANFlapMidFlush partitions the WAN link between two mirror
+// flushes: the flush during the outage must fail (and report it), the
+// flush after healing must converge the partner, and an unforced
+// cross-DC recovery must then restore counter values current as of the
+// last successful flush — the mirror's documented value-RPO bound.
+func TestWANFlapMidFlush(t *testing.T) {
+	fed, dcA, _, mirror := twoSites(t, transport.WANConfig{})
+	link, ok := fed.Link("dc-a", "dc-b")
+	if !ok {
+		t.Fatal("no WAN link")
+	}
+	a1, _ := dcA.Machine("a1")
+	app, ctr, _ := launchLedger(t, a1, "flapper") // 7 increments
+
+	if err := mirror.Flush(); err != nil {
+		t.Fatalf("baseline flush: %v", err)
+	}
+
+	// The link drops mid-stream: increments continue at the origin, but
+	// the flush cannot move them — it must fail loudly, not silently
+	// strand the partner stale.
+	link.SetDown(true)
+	for i := 0; i < 3; i++ {
+		if _, err := app.Library.IncrementCounter(ctr); err != nil {
+			t.Fatalf("increment during partition: %v", err)
+		}
+	}
+	if err := mirror.Flush(); err == nil {
+		t.Fatal("flush over a severed link reported success")
+	} else if !errors.Is(err, transport.ErrLinkDown) {
+		t.Fatalf("flush error = %v, want ErrLinkDown", err)
+	}
+
+	// Heal and converge: the re-sync reads live origin values, so the
+	// partner catches up to 10 — including the increments that happened
+	// while the link was down.
+	link.SetDown(false)
+	if err := mirror.Flush(); err != nil {
+		t.Fatalf("flush after heal: %v", err)
+	}
+
+	a1.Kill()
+	recovered, err := fed.RecoverMachine("dc-a", "a1", "dc-b", "b1", false)
+	if err != nil {
+		t.Fatalf("cross-DC recovery after flap: %v", err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d apps, want 1", len(recovered))
+	}
+	lib := recovered[0].Library
+	if v, err := lib.ReadCounter(ctr); err != nil || v != 10 {
+		t.Fatalf("recovered counter = %d, %v; want 10 (RPO bound: current as of last flush)", v, err)
+	}
+	if v, err := lib.IncrementCounter(ctr); err != nil || v != 11 {
+		t.Fatalf("increment after recovery = %d, %v; want 11", v, err)
+	}
+	// The zombie window stays closed: the original, were its machine to
+	// return, was fenced by the arbitration — its escrow record's
+	// binding is consumed.
+	if err := a1.Restart(); err != nil {
+		t.Fatalf("restart origin machine: %v", err)
+	}
+	if _, err := a1.RecoverApp(app.Image(), mustEscrowID(t, app.Library)); err == nil {
+		t.Fatal("origin re-recovery succeeded after cross-DC resurrection")
+	} else if !errors.Is(err, core.ErrEscrowConsumed) {
+		t.Fatalf("origin re-recovery error = %v, want ErrEscrowConsumed", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -101,6 +102,17 @@ type Config struct {
 	RetryBackoff  time.Duration
 	BackoffFactor float64
 	MaxBackoff    time.Duration
+	// BackoffJitter randomizes each retry delay: a computed delay d
+	// becomes d·(1 + u·BackoffJitter) with u uniform in [0, 1), which
+	// decorrelates a worker pool hammering the same recovering machine
+	// or WAN link. Zero (the default) disables jitter, keeping retry
+	// timing fully deterministic.
+	BackoffJitter float64
+	// Rand is the randomness source behind BackoffJitter. Chaos and
+	// replay harnesses inject a seeded source so jittered schedules
+	// replay identically; nil falls back to a fixed-seed source. The
+	// orchestrator serializes access to it.
+	Rand *rand.Rand
 	// Confidence is the CI level of the report's latency summary. Default 0.99
 	// (the paper's level).
 	Confidence float64
@@ -223,17 +235,28 @@ type Orchestrator struct {
 	remotes map[transport.Address]RemoteTarget
 	// linkSlots are the per-link concurrency semaphores (LinkCap).
 	linkSlots map[string]chan struct{}
+
+	// jitterMu serializes draws from the backoff-jitter source.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
 }
 
 // New creates an orchestrator for the data center.
 func New(dc *cloud.DataCenter, cfg Config) *Orchestrator {
-	return &Orchestrator{
+	o := &Orchestrator{
 		dc:        dc,
 		cfg:       cfg.withDefaults(),
 		locks:     newLockTable(),
 		remotes:   make(map[transport.Address]RemoteTarget),
 		linkSlots: make(map[string]chan struct{}),
 	}
+	if o.cfg.BackoffJitter > 0 {
+		o.jitter = o.cfg.Rand
+		if o.jitter == nil {
+			o.jitter = rand.New(rand.NewSource(1))
+		}
+	}
+	return o
 }
 
 // rememberRemotes records a plan's remote targets for later resolution
@@ -386,6 +409,12 @@ func (o *Orchestrator) backoff(ctx context.Context, attempt int, wan bool) error
 			d = o.cfg.MaxBackoff
 			break
 		}
+	}
+	if o.jitter != nil {
+		o.jitterMu.Lock()
+		u := o.jitter.Float64()
+		o.jitterMu.Unlock()
+		d = time.Duration(float64(d) * (1 + u*o.cfg.BackoffJitter))
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()

@@ -157,9 +157,10 @@ type Group struct {
 	// straggler votes drain.
 	inflightMu sync.Mutex
 	inflight   map[uint32]map[string]int
-	// escrowObs, when set, observes committed escrow puts (guarded by
-	// recoverMu; see SetEscrowObserver).
+	// escrowObs and escrowAud, when set, observe committed escrow puts
+	// (guarded by recoverMu; see SetEscrowObserver / SetEscrowAuditor).
 	escrowObs func(owner sgx.Measurement, id [16]byte, version uint32)
+	escrowAud func(owner sgx.Measurement, id [16]byte, version uint32)
 
 	// obs records quorum-operation spans, per-op counters, and escrow
 	// audit events; nil disables recording.
@@ -1193,13 +1194,28 @@ func (g *Group) SetEscrowObserver(fn func(owner sgx.Measurement, id [16]byte, ve
 	g.recoverMu.Unlock()
 }
 
-// notifyEscrow invokes the escrow observer, if any.
+// SetEscrowAuditor installs a second, independent hook on committed
+// escrow puts, alongside the observer: the chaos invariant checker uses
+// it to record every committed (owner, id, version) without displacing
+// the federation mirror, which holds the observer slot on mirrored
+// groups. Same contract as the observer: runs on the putter's goroutine,
+// must only record.
+func (g *Group) SetEscrowAuditor(fn func(owner sgx.Measurement, id [16]byte, version uint32)) {
+	g.recoverMu.Lock()
+	g.escrowAud = fn
+	g.recoverMu.Unlock()
+}
+
+// notifyEscrow invokes the escrow observer and auditor, if any.
 func (g *Group) notifyEscrow(owner sgx.Measurement, id [16]byte, version uint32) {
 	g.recoverMu.Lock()
-	fn := g.escrowObs
+	fn, aud := g.escrowObs, g.escrowAud
 	g.recoverMu.Unlock()
 	if fn != nil {
 		fn(owner, id, version)
+	}
+	if aud != nil {
+		aud(owner, id, version)
 	}
 }
 

@@ -40,6 +40,12 @@ type WANConfig struct {
 	// Seed makes the loss process deterministic for tests; 0 seeds from
 	// the link name.
 	Seed int64
+	// Rand, when set, replaces the link's own loss RNG entirely (Seed is
+	// then ignored). Chaos harnesses inject a source derived from the
+	// schedule seed so a whole run — including every loss draw — replays
+	// bit-identically. The link serializes access; the source need not be
+	// safe for concurrent use by other parties.
+	Rand *rand.Rand
 	// Scale is the latency-model scale factor for the link's own
 	// sim.Latency (same convention as sim.NewLatency: 0 accounts without
 	// sleeping, 1 reproduces the configured delays in wall time).
@@ -114,17 +120,21 @@ func NewWANLink(name string, a, b Messenger, cfg WANConfig) *WANLink {
 	} else {
 		lat.SetCost(sim.OpWANByte, 0)
 	}
-	seed := cfg.Seed
-	if seed == 0 {
-		for _, c := range name {
-			seed = seed*131 + int64(c)
+	rng := cfg.Rand
+	if rng == nil {
+		seed := cfg.Seed
+		if seed == 0 {
+			for _, c := range name {
+				seed = seed*131 + int64(c)
+			}
 		}
+		rng = rand.New(rand.NewSource(seed))
 	}
 	l := &WANLink{
 		name: name,
 		cfg:  cfg,
 		lat:  lat,
-		rng:  rand.New(rand.NewSource(seed)),
+		rng:  rng,
 		a:    a,
 		b:    b,
 	}
