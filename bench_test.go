@@ -23,6 +23,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/seal"
 	"repro/internal/sgx"
 	"repro/internal/sim"
@@ -102,6 +103,36 @@ func BenchmarkFig3CounterIncrementLibrary(b *testing.B) {
 	b.ReportAllocs()
 	src, _ := benchWorld(b)
 	app := benchApp(b, src, "fig3")
+	id, _, err := app.Library.CreateCounter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.Library.IncrementCounter(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3CounterIncrementObsWired is the hot-path guard's probe:
+// the same single-threaded increment loop as the Library benchmark, but
+// with a live observer wired into the data center, so every increment
+// pays whatever the telemetry plane costs on the fast path. CI compares
+// it against BenchmarkFig3CounterIncrementLibrary and fails if the wired
+// number regresses more than 15% past the plain one.
+func BenchmarkFig3CounterIncrementObsWired(b *testing.B) {
+	b.ReportAllocs()
+	dc, err := cloud.NewDataCenter("bench-obs", sim.NewInstantLatency())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dc.SetObserver(obs.NewObserver())
+	src, err := dc.AddMachine("src")
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := benchApp(b, src, "fig3-obs")
 	id, _, err := app.Library.CreateCounter()
 	if err != nil {
 		b.Fatal(err)

@@ -16,11 +16,14 @@
 // Platform Services latency scale (0 = instant, 1 = paper magnitude;
 // see EXPERIMENTS.md for the calibration discussion). -json FILE records
 // every result that ran as a machine-readable baseline (the BENCH_PR*.json
-// files at the repository root track the perf trajectory across PRs).
+// files at the repository root track the perf trajectory across PRs);
+// -openmetrics FILE writes the same metric snapshot as OpenMetrics text
+// for diffing against a live fleetd -metrics-addr scrape.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +34,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 )
 
 // report is the -json output: every experiment that ran, with config.
@@ -68,6 +72,7 @@ func run() error {
 		scale     = flag.Float64("scale", 0.01, "latency scale (1 = paper-magnitude ME latencies)")
 		conf      = flag.Float64("conf", 0.99, "confidence level")
 		jsonPath  = flag.String("json", "", "write results that ran to this file as JSON")
+		omPath    = flag.String("openmetrics", "", "write the run's metric snapshot to this file as OpenMetrics text")
 	)
 	flag.Parse()
 
@@ -152,6 +157,16 @@ func run() error {
 			return fmt.Errorf("write report: %w", err)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *omPath != "" {
+		var buf bytes.Buffer
+		if err := analyze.WriteOpenMetrics(&buf, metrics.Snapshot()); err != nil {
+			return fmt.Errorf("render openmetrics: %w", err)
+		}
+		if err := os.WriteFile(*omPath, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("write openmetrics: %w", err)
+		}
+		fmt.Printf("wrote %s\n", *omPath)
 	}
 	return nil
 }

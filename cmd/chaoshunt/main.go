@@ -36,6 +36,7 @@ type verdict struct {
 	Ops        int               `json:"ops"`
 	Events     int               `json:"events"`
 	Violations []chaos.Violation `json:"violations,omitempty"`
+	Coverage   chaos.Coverage    `json:"coverage"`
 	Repro      *chaos.Repro      `json:"repro,omitempty"`
 }
 
@@ -51,6 +52,7 @@ func run() error {
 		budget   = flag.Duration("budget", 0, "time budget: run consecutive seeds until it expires (soak mode)")
 		shrinkN  = flag.Int("shrink", 200, "max re-runs when shrinking a failing schedule")
 		replay   = flag.String("replay", "", "JSON repro file to re-run instead of hunting")
+		bias     = flag.Bool("bias", true, "bias schedule generation toward under-covered transitions")
 		asJSON   = flag.Bool("json", false, "emit JSON verdicts")
 		verbose  = flag.Bool("v", false, "per-seed progress")
 	)
@@ -67,6 +69,15 @@ func run() error {
 		Counters: *counters,
 		WANLoss:  *loss,
 	}
+	// One shared accumulator across the hunt: each run's transition
+	// coverage is absorbed, and later seeds' generation leans toward
+	// whatever the search has visited least. Repros stay replayable —
+	// a failing schedule is reported as a concrete step list, which
+	// replay executes without consulting the bias.
+	if *bias {
+		base.Bias = chaos.NewBias()
+	}
+	total := chaos.NewCoverage()
 
 	deadline := time.Time{}
 	if *budget > 0 {
@@ -89,6 +100,7 @@ func run() error {
 			return fmt.Errorf("seed %d: %w", s, err)
 		}
 		ran++
+		total.Merge(res.Coverage)
 		if *verbose && !*asJSON {
 			fmt.Printf("seed %-6d %4d ops %4d events  %s\n", s, res.Ops, res.Events, passFail(res))
 		}
@@ -101,7 +113,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("seed %d: shrink: %w", s, err)
 		}
-		v := verdict{Seed: s, Ops: res.Ops, Events: res.Events, Violations: res.Violations, Repro: repro}
+		v := verdict{Seed: s, Ops: res.Ops, Events: res.Events, Violations: res.Violations, Coverage: res.Coverage, Repro: repro}
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
@@ -125,10 +137,21 @@ func run() error {
 			"seeds_run":  ran,
 			"first_seed": *seed,
 			"violations": 0,
+			"coverage":   total,
 			"elapsed":    time.Since(start).String(),
 		})
 	}
 	fmt.Printf("%d schedules, 0 invariant violations (%s)\n", ran, time.Since(start).Round(time.Millisecond))
+	fmt.Println("invariant coverage (evaluations across all seeds):")
+	for _, inv := range chaos.InvariantNames() {
+		fmt.Printf("  %-26s %d\n", inv, total.Invariants[inv])
+	}
+	if *verbose {
+		fmt.Println("transition coverage (executed steps):")
+		for _, k := range chaos.SortedKeys(total.Transitions) {
+			fmt.Printf("  %-26s %d\n", k, total.Transitions[k])
+		}
+	}
 	return nil
 }
 
@@ -159,7 +182,7 @@ func replayFile(path string, asJSON bool) error {
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(verdict{Seed: res.Seed, Ops: res.Ops, Events: res.Events, Violations: res.Violations}); err != nil {
+		if err := enc.Encode(verdict{Seed: res.Seed, Ops: res.Ops, Events: res.Events, Violations: res.Violations, Coverage: res.Coverage}); err != nil {
 			return err
 		}
 	} else {

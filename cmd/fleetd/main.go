@@ -18,7 +18,6 @@ package main
 import (
 	"context"
 	"crypto/ed25519"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -33,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/sgx"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -105,6 +105,43 @@ func printTelemetry(o *obs.Observer, report *fleet.Report) {
 	fmt.Printf("  audit events: %d\n", o.Events.Len())
 }
 
+// printAnalysis runs the trace analytics over the finished plan: the
+// per-phase critical-path breakdown of every migration/recovery trace
+// (where did the microseconds go), derived unavailability windows, SLO
+// verdicts, and how much telemetry the bounded rings shed. The phase
+// durations are a partition of each trace's root window, so the summary
+// mean tracks the measured fleet.migration.latency mean.
+func printAnalysis(plane *analyze.Plane, o *obs.Observer) {
+	verdicts := plane.Refresh()
+	spans := o.Tracer.Spans()
+	for _, root := range []string{"fleet.migrate", "fleet.recover"} {
+		sum := analyze.Summarize(spans, root)
+		if sum.Count == 0 {
+			continue
+		}
+		fmt.Printf("critical path (%s, %d traces, mean %s):\n",
+			root, sum.Count, sum.Mean.Round(time.Microsecond))
+		for _, p := range sum.Phases {
+			mean := p.Total / time.Duration(sum.Count)
+			fmt.Printf("    %-12s %10s/trace  %5.1f%%\n",
+				p.Phase, mean.Round(time.Nanosecond), 100*p.Fraction)
+		}
+	}
+	snap := o.Metrics.Snapshot()
+	for _, kind := range []string{"freeze", "recovery"} {
+		if h, ok := snap.Histograms["unavail."+kind+".window"]; ok && h.Count > 0 {
+			fmt.Printf("unavailability (%s): n=%d p50=%s p99=%s max<=%s\n",
+				kind, h.Count, h.P50.Round(time.Microsecond), h.P99.Round(time.Microsecond), h.Max)
+		}
+	}
+	for _, v := range verdicts {
+		fmt.Println(" ", v)
+	}
+	if d := o.Tracer.Dropped() + o.Events.Dropped(); d > 0 {
+		fmt.Printf("  rings dropped %d spans, %d events\n", o.Tracer.Dropped(), o.Events.Dropped())
+	}
+}
+
 // runChaos is fleetd's self-test mode: seeded chaos schedules drive
 // the full fault palette (kills, rack restarts, WAN partitions, forced
 // failovers, concurrent plans) against a two-DC federation while the
@@ -151,7 +188,8 @@ func run() error {
 		counters    = flag.Int("counters", 2, "monotonic counters per enclave")
 		scale       = flag.Float64("scale", 0, "latency scale (1 = paper-magnitude latencies)")
 		verbose     = flag.Bool("v", false, "log each migration outcome")
-		metricsAddr = flag.String("metrics-addr", "", "serve the metrics snapshot as JSON on this address (e.g. 127.0.0.1:9090) while the plan runs")
+		metricsAddr = flag.String("metrics-addr", "", "serve the observability plane on this address (e.g. 127.0.0.1:9090): OpenMetrics at /metrics, JSON at /metrics.json, /traces, /events, /slo")
+		linger      = flag.Duration("linger", 0, "keep serving -metrics-addr for this long after the plan finishes (for scrapers)")
 		chaosMode   = flag.Bool("chaos", false, "run seeded chaos schedules against a two-DC federation instead of a single plan; exits non-zero with a minimal repro on any invariant violation")
 		chaosSeed   = flag.Int64("chaos-seed", 0, "first chaos schedule seed")
 		chaosSeeds  = flag.Int("chaos-seeds", 8, "number of chaos schedules to run")
@@ -206,19 +244,15 @@ func run() error {
 		return err
 	}
 	dc.SetObserver(observer)
+	plane := analyze.NewPlane(observer)
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer ln.Close()
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(observer.Metrics.Snapshot())
-		})
-		go func() { _ = http.Serve(ln, mux) }()
-		fmt.Printf("serving metrics snapshot at http://%s/metrics\n", ln.Addr())
+		go func() { _ = http.Serve(ln, plane.Handler()) }()
+		fmt.Printf("serving observability plane at http://%s/metrics (.json, /traces, /events, /slo)\n", ln.Addr())
 	}
 	for i := 0; i < *machines; i++ {
 		if _, err := dc.AddMachine(fmt.Sprintf("machine-%d", i)); err != nil {
@@ -284,6 +318,7 @@ func run() error {
 	}
 	fmt.Println(report)
 	printTelemetry(observer, report)
+	printAnalysis(plane, observer)
 	// A plan with failed or canceled migrations is a failed operation:
 	// surface every non-completed journal entry and exit non-zero, so
 	// scripts and CI catch it instead of parsing logs.
@@ -324,5 +359,9 @@ func run() error {
 		}
 	}
 	fmt.Printf("\nverified %d enclaves: all counters intact, no rollback, no forks\n", verified)
+	if *metricsAddr != "" && *linger > 0 {
+		fmt.Printf("lingering %s for scrapers on %s\n", linger, *metricsAddr)
+		time.Sleep(*linger)
+	}
 	return nil
 }

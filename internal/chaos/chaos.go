@@ -40,6 +40,12 @@ type Config struct {
 	// generating one (the repro / shrink path). Steps whose guards no
 	// longer hold are recorded as skipped and ignored.
 	Replay []Step `json:"replay,omitempty"`
+	// Bias, when non-nil, multiplies candidate weights during generation
+	// toward transitions the accumulator has seen least, and absorbs
+	// this run's transition coverage afterward. Nil (the default) leaves
+	// generation exactly seed-deterministic; replay never consults it.
+	// Not serialized: a repro must not depend on search-time state.
+	Bias *Bias `json:"-"`
 }
 
 // Defaults returns the standard smoke-test configuration for a seed:
@@ -76,6 +82,9 @@ type Result struct {
 	Violations []Violation `json:"violations,omitempty"`
 	Ops        int         `json:"ops"`
 	Events     int         `json:"events"`
+	// Coverage records which invariants the checker evaluated and which
+	// transitions the schedule executed — the search-quality signal.
+	Coverage Coverage `json:"coverage"`
 
 	// History is the full operation record (not serialized by default;
 	// repros carry the seed + steps instead).
@@ -140,9 +149,10 @@ type world struct {
 	// at 1); the ordinal goes into the history instead of the random ID.
 	escrowSeq   map[[16]byte]int
 	escrowCount map[string]int
-	h      *History
-	rng    *rand.Rand
-	probes []probe
+	h           *History
+	rng         *rand.Rand
+	probes      []probe
+	cov         Coverage
 
 	step         int  // current schedule step index
 	partitioned  bool // WAN link currently down
@@ -172,13 +182,16 @@ func Run(cfg Config) (*Result, error) {
 	w.quiesce()
 
 	events := w.obs.Events.Events()
-	violations := Check(w.h, events, w.ownerIndex())
+	violations, cov := CheckCoverage(w.h, events, w.ownerIndex())
+	cov.Merge(w.cov) // add the executed-transition counts
+	cfg.Bias.Absorb(cov)
 	return &Result{
 		Seed:       cfg.Seed,
 		Steps:      steps,
 		Violations: violations,
 		Ops:        w.h.Len(),
 		Events:     len(events),
+		Coverage:   cov,
 		History:    w.h,
 	}, nil
 }
@@ -199,6 +212,7 @@ func buildWorld(cfg Config) (*world, error) {
 		escrowCount: make(map[string]int),
 		h:           &History{},
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		cov:         NewCoverage(),
 		step:        -1,
 	}
 	w.obs = obs.NewObserver()

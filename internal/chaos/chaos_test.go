@@ -4,15 +4,30 @@ package chaos
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
 // TestChaosSeeds runs the adversarial search across a spread of seeds
 // and asserts every schedule upholds R1–R4: no invariant violations,
 // ever. Each seed is an independent 30-step fault schedule against a
-// fresh two-DC federation.
+// fresh two-DC federation. Across the whole search, every invariant
+// must have been exercised at least once — a green run that never
+// evaluated R3 would prove nothing.
 func TestChaosSeeds(t *testing.T) {
 	const seeds = 24
+	var mu sync.Mutex
+	total := NewCoverage()
+	t.Cleanup(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, inv := range InvariantNames() {
+			if total.Invariants[inv] == 0 {
+				t.Errorf("invariant %q never exercised across %d seeds (coverage: %v)",
+					inv, seeds, total.Invariants)
+			}
+		}
+	})
 	for s := 0; s < seeds; s++ {
 		s := s
 		t.Run(fmt.Sprintf("seed=%d", s), func(t *testing.T) {
@@ -30,7 +45,73 @@ func TestChaosSeeds(t *testing.T) {
 			if res.Ops == 0 {
 				t.Fatal("empty history")
 			}
+			mu.Lock()
+			total.Merge(res.Coverage)
+			mu.Unlock()
 		})
+	}
+}
+
+// TestBiasFactors pins the bias curve: unseen and under-covered
+// transitions get boosted, well-covered ones do not, and a nil bias is
+// always neutral.
+func TestBiasFactors(t *testing.T) {
+	var nilBias *Bias
+	if got := nilBias.factor("kill"); got != 1 {
+		t.Fatalf("nil bias factor = %d, want 1", got)
+	}
+	b := NewBias()
+	if got := b.factor("kill"); got != 1 {
+		t.Fatalf("empty bias factor = %d, want 1", got)
+	}
+	cov := NewCoverage()
+	cov.Transitions["burst"] = 90
+	cov.Transitions["kill"] = 30
+	cov.Transitions["flush"] = 45
+	b.Absorb(cov)
+	if got := b.factor("burst"); got != 1 {
+		t.Fatalf("most-covered factor = %d, want 1", got)
+	}
+	if got := b.factor("kill"); got != 3 {
+		t.Fatalf("under-covered factor = %d, want 3", got)
+	}
+	if got := b.factor("flush"); got != 2 {
+		t.Fatalf("mid-covered factor = %d, want 2", got)
+	}
+	if got := b.factor("recover-wan-forced"); got != 3 {
+		t.Fatalf("never-seen factor = %d, want 3", got)
+	}
+}
+
+// TestBiasedRunStillSound is the opt-in path's smoke test: a biased
+// generation run executes, stays violation-free, and reports coverage.
+func TestBiasedRunStillSound(t *testing.T) {
+	bias := NewBias()
+	seen := NewCoverage()
+	seen.Transitions["burst"] = 1000 // push generation away from bursts
+	bias.Absorb(seen)
+	cfg := Defaults(2)
+	cfg.Bias = bias
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Failed() {
+		t.Fatalf("biased run violated invariants: %v", res.Violations)
+	}
+	if len(res.Coverage.Transitions) == 0 {
+		t.Fatal("biased run reported no transition coverage")
+	}
+	// The run's own transitions were absorbed back into the accumulator.
+	counts := bias.Counts()
+	sum := 0
+	for k, n := range counts {
+		if k != "burst" {
+			sum += n
+		}
+	}
+	if sum == 0 {
+		t.Fatalf("bias absorbed nothing beyond the seed counts: %v", counts)
 	}
 }
 

@@ -76,10 +76,21 @@ type escrowKey struct {
 //     zombie-refused event; forced-failover events appear iff a forced
 //     recovery ran.
 func Check(h *History, events []obs.AuditEvent, owners map[string]string) []Violation {
+	violations, _ := CheckCoverage(h, events, owners)
+	return violations
+}
+
+// CheckCoverage is Check plus an exercise record: alongside the
+// violations it counts, per invariant, how many times the history
+// actually evaluated that invariant's predicate — the search-quality
+// signal cmd/chaoshunt aggregates and reports.
+func CheckCoverage(h *History, events []obs.AuditEvent, owners map[string]string) ([]Violation, Coverage) {
 	var out []Violation
+	cov := NewCoverage()
 	add := func(inv string, op int, format string, args ...any) {
 		out = append(out, Violation{Invariant: inv, OpIndex: op, Detail: fmt.Sprintf(format, args...)})
 	}
+	exercised := func(inv string) { cov.Invariants[inv]++ }
 
 	maxSeen := map[ctrKey]uint32{}
 	flushFloor := map[ctrKey]uint32{}
@@ -102,6 +113,7 @@ func Check(h *History, events []obs.AuditEvent, owners map[string]string) []Viol
 		case "migrate":
 			live[op.App] = true
 		case "recover":
+			exercised("exactly-one-resurrection")
 			if live[op.App] {
 				add("exactly-one-resurrection", op.I,
 					"%s recovered (%s) while an incarnation was still live", op.App, op.Note)
@@ -125,6 +137,7 @@ func Check(h *History, events []obs.AuditEvent, owners map[string]string) []Viol
 		case "relaunch":
 			// Call-level record; success is followed by a "recover" op.
 		case "replay-recover":
+			exercised("exactly-one-resurrection")
 			if op.Err == "" {
 				add("exactly-one-resurrection", op.I,
 					"%s: replay of a consumed escrow record succeeded — double resurrection", op.App)
@@ -137,6 +150,8 @@ func Check(h *History, events []obs.AuditEvent, owners map[string]string) []Viol
 			k := ctrKey{op.App, op.Slot}
 			attempts[k]++
 			if op.Err == "" {
+				exercised("monotone")
+				exercised("upper-bound")
 				if op.Val <= maxSeen[k] {
 					add("monotone", op.I, "%s slot %d: increment returned %d, floor was %d",
 						op.App, op.Slot, op.Val, maxSeen[k])
@@ -150,6 +165,8 @@ func Check(h *History, events []obs.AuditEvent, owners map[string]string) []Viol
 		case "read":
 			k := ctrKey{op.App, op.Slot}
 			if op.Err == "" {
+				exercised("monotone")
+				exercised("upper-bound")
 				if op.Val < maxSeen[k] {
 					add("monotone", op.I, "%s slot %d: read %d rolled back below floor %d",
 						op.App, op.Slot, op.Val, maxSeen[k])
@@ -174,11 +191,13 @@ func Check(h *History, events []obs.AuditEvent, owners map[string]string) []Viol
 				}
 			}
 		case "probe":
+			exercised("no-zombie")
 			if op.Err == "" {
 				add("no-zombie", op.I, "%s incarnation %d (retired) made persistent progress",
 					op.App, op.Inst)
 			}
 		case "scan":
+			exercised("no-fork")
 			if op.Val > 1 {
 				add("no-fork", op.I, "%s: %d unfrozen live instances", op.App, op.Val)
 			}
@@ -187,6 +206,9 @@ func Check(h *History, events []obs.AuditEvent, owners map[string]string) []Viol
 			// version exceeds EscrowTombstoneVersion (^uint32(0)), so any
 			// commit after one trips the same check.
 			k := escrowKey{op.Note, op.App, op.Inst}
+			if _, ok := lastEscrow[k]; ok {
+				exercised("escrow-order")
+			}
 			if prev, ok := lastEscrow[k]; ok && op.Val <= prev {
 				add("escrow-order", op.I, "%s instance %d at %s: version %d after %d",
 					op.App, op.Inst, op.Note, op.Val, prev)
@@ -216,7 +238,12 @@ func Check(h *History, events []obs.AuditEvent, owners map[string]string) []Viol
 			siteLoss++
 		}
 	}
+	// The whole-run audit reconciliation always executes, so it counts as
+	// one evaluation even on quiet histories; every per-identity
+	// comparison adds another.
+	exercised("audit")
 	for app, n := range resurrections {
+		exercised("audit")
 		if n > bindingWins[app] {
 			add("audit", -1, "%s: %d resurrection events but only %d binding wins — a recovery skipped arbitration",
 				app, n, bindingWins[app])
@@ -227,6 +254,7 @@ func Check(h *History, events []obs.AuditEvent, owners map[string]string) []Viol
 		}
 	}
 	for app, n := range recoverOK {
+		exercised("audit")
 		if resurrections[app] < n {
 			add("audit", -1, "%s: history has %d recovery successes but only %d resurrection events",
 				app, n, resurrections[app])
@@ -241,5 +269,5 @@ func Check(h *History, events []obs.AuditEvent, owners map[string]string) []Viol
 	if siteLoss > 0 && forcedCalls == 0 {
 		add("audit", -1, "site-loss-failover events present but no forced recovery in history")
 	}
-	return out
+	return out, cov
 }

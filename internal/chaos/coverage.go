@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"sort"
+	"sync"
+)
+
+// Coverage records what one run (or an aggregated search) actually
+// exercised: how many times each invariant's check was evaluated against
+// the history, and how many times each schedule transition executed. A
+// seed that never recovers anything proves nothing about R3 — coverage
+// makes that visible instead of assumed, and feeds generation bias
+// toward the transitions a search has under-visited.
+type Coverage struct {
+	// Invariants counts evaluations (not violations) per invariant name
+	// — monotone, upper-bound, no-fork, exactly-one-resurrection,
+	// no-zombie, escrow-order, audit.
+	Invariants map[string]int `json:"invariants"`
+	// Transitions counts executed schedule steps by op name; the forced
+	// site-loss recovery is tracked separately as "recover-wan-forced".
+	Transitions map[string]int `json:"transitions"`
+}
+
+// NewCoverage returns an empty, ready-to-merge coverage record.
+func NewCoverage() Coverage {
+	return Coverage{Invariants: map[string]int{}, Transitions: map[string]int{}}
+}
+
+// Merge adds another record's counts into this one.
+func (c *Coverage) Merge(other Coverage) {
+	for k, n := range other.Invariants {
+		c.Invariants[k] += n
+	}
+	for k, n := range other.Transitions {
+		c.Transitions[k] += n
+	}
+}
+
+// InvariantNames lists every invariant the checker evaluates, so
+// reports can show zeros for the ones a search never reached.
+func InvariantNames() []string {
+	return []string{
+		"monotone", "upper-bound", "no-fork", "exactly-one-resurrection",
+		"no-zombie", "escrow-order", "audit",
+	}
+}
+
+// transitionKey names a step for coverage and bias purposes.
+func transitionKey(s Step) string {
+	if s.Op == "recover-wan" && s.Arg == "force" {
+		return "recover-wan-forced"
+	}
+	return s.Op
+}
+
+// Bias steers schedule generation toward under-covered transitions: it
+// accumulates transition counts across runs (Absorb) and hands the
+// generator a weight multiplier per candidate (factor). Ops a search
+// has visited least get up to 3× their base weight, so long hunts
+// spend their steps where the model has been tested least. A nil *Bias
+// multiplies everything by 1 — generation is exactly the unbiased
+// distribution, which keeps seeded runs reproducible unless a hunt
+// opts in. Replay never consults bias (repros are step lists).
+type Bias struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+// NewBias returns an empty bias accumulator.
+func NewBias() *Bias { return &Bias{counts: map[string]int{}} }
+
+// Absorb folds a run's transition coverage into the accumulator.
+func (b *Bias) Absorb(c Coverage) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	for k, n := range c.Transitions {
+		b.counts[k] += n
+	}
+	b.mu.Unlock()
+}
+
+// factor returns the weight multiplier for a transition: 3× when it has
+// at most a third of the most-visited transition's count, 2× when at
+// most two thirds, 1× otherwise (and always 1× before any absorption).
+func (b *Bias) factor(key string) int {
+	if b == nil {
+		return 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	max := 0
+	for _, n := range b.counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	c := b.counts[key]
+	switch {
+	case c*3 <= max:
+		return 3
+	case c*3 <= 2*max:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Counts returns a copy of the accumulated transition counts, sorted
+// keys first for stable reporting.
+func (b *Bias) Counts() map[string]int {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int, len(b.counts))
+	for k, n := range b.counts {
+		out[k] = n
+	}
+	return out
+}
+
+// SortedKeys returns a coverage map's keys in sorted order.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

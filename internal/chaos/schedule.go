@@ -198,6 +198,14 @@ func (w *world) candidates(i, n int) []candidate {
 	if w.fed.PendingRevocations() > 0 {
 		cands = append(cands, candidate{Step{Op: "reconcile"}, 6})
 	}
+	// Coverage bias (opt-in): boost transitions the hunt has visited
+	// least. With no bias configured every factor is 1 and the draw is
+	// the unbiased seed-deterministic distribution.
+	if w.cfg.Bias != nil {
+		for j := range cands {
+			cands[j].weight *= w.cfg.Bias.factor(transitionKey(cands[j].step))
+		}
+	}
 	return cands
 }
 
@@ -274,6 +282,7 @@ func (w *world) applicable(s Step) bool {
 
 // exec runs one step, recording everything it did into the history.
 func (w *world) exec(s Step) {
+	w.cov.Transitions[transitionKey(s)]++
 	dcName, mid := splitRef(s.Target)
 	switch s.Op {
 	case "burst":

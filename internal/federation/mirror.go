@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -123,6 +124,7 @@ func (m *Mirror) enqueue(k instanceKey) {
 	m.mu.Lock()
 	if !m.closed {
 		m.pending[k] = struct{}{}
+		m.obs.Load().M().SetGauge("mirror.dirty", int64(len(m.pending)))
 		m.cond.Broadcast()
 	}
 	m.mu.Unlock()
@@ -182,6 +184,27 @@ func (m *Mirror) worker() {
 // deployments would drive the same re-sync from a timer to bound the
 // value RPO.
 func (m *Mirror) Flush() error {
+	return m.noteFlush(m.flush())
+}
+
+// noteFlush records flush telemetry: the attempt counter always moves,
+// and a clean flush stamps mirror.flush.last_unix_ns — the gauge the
+// mirror-rpo-age SLO (internal/obs/analyze) measures freshness from.
+func (m *Mirror) noteFlush(err error) error {
+	met := m.obs.Load().M()
+	met.Add("mirror.flush.total", 1)
+	if err == nil {
+		met.SetGauge("mirror.flush.last_unix_ns", time.Now().UnixNano())
+	} else {
+		met.Add("mirror.flush.errors", 1)
+	}
+	m.mu.Lock()
+	met.SetGauge("mirror.dirty", int64(len(m.pending)))
+	m.mu.Unlock()
+	return err
+}
+
+func (m *Mirror) flush() error {
 	m.mu.Lock()
 	if !m.closed {
 		for k, info := range m.known {
@@ -280,12 +303,21 @@ func (m *Mirror) exchange(tc obs.TraceContext, kind string, payload []byte) ([]b
 
 // syncOne brings the partner current for one instance: tombstones
 // propagate as tombstones, live records as ensure + transform + push.
-func (m *Mirror) syncOne(k instanceKey) error {
-	sp, tc := m.obs.Load().StartSpan("mirror.push", obs.TraceContext{})
+func (m *Mirror) syncOne(k instanceKey) (err error) {
+	o := m.obs.Load()
+	sp, tc := o.StartSpan("mirror.push", obs.TraceContext{})
 	if sp != nil {
 		sp.Site = m.name
 		defer sp.End()
 	}
+	start := time.Now()
+	defer func() {
+		o.M().Add("mirror.push.total", 1)
+		o.M().Histogram("mirror.push.latency").Observe(time.Since(start))
+		if err != nil {
+			o.M().Add("mirror.push.errors", 1)
+		}
+	}()
 	ver, bind, blob, err := m.origin.EscrowGet(k.owner, k.id)
 	if errors.Is(err, pserepl.ErrEscrowDecommissioned) {
 		return m.pushTombstone(tc, k)

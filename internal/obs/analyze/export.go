@@ -1,0 +1,154 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metricName sanitizes a dotted internal metric name into the
+// [a-zA-Z_:][a-zA-Z0-9_:]* charset Prometheus requires.
+func metricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// seconds renders a nanosecond duration as the float seconds
+// OpenMetrics expects.
+func seconds(d time.Duration) string {
+	return fmt.Sprintf("%g", float64(d)/float64(time.Second))
+}
+
+// WriteOpenMetrics renders the snapshot as OpenMetrics text exposition:
+// counters as <name>_total, gauges verbatim, histograms as summaries
+// (quantile series in seconds plus _sum/_count), terminated by # EOF.
+// Output is deterministic — families are sorted by name.
+func WriteOpenMetrics(w io.Writer, snap obs.Snapshot) error {
+	var names []string
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		mn := metricName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s_total %d\n", mn, mn, snap.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		mn := metricName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", mn, mn, snap.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		mn := metricName(n)
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %s\n%s{quantile=\"0.99\"} %s\n%s{quantile=\"0.999\"} %s\n%s_sum %s\n%s_count %d\n",
+			mn,
+			mn, seconds(h.P50),
+			mn, seconds(h.P99),
+			mn, seconds(h.P999),
+			mn, seconds(h.Sum),
+			mn, h.Count); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// Plane is the live export surface served from -metrics-addr. Every
+// scrape refreshes the derived metrics (unavailability ledger, dropped
+// counters, SLO verdicts) before rendering, so the exposition is always
+// current without a background refresher goroutine.
+type Plane struct {
+	Obs        *obs.Observer
+	Ledger     *Ledger
+	Objectives []Objective
+}
+
+// NewPlane wires a plane over the observer with the default objectives.
+func NewPlane(o *obs.Observer) *Plane {
+	return &Plane{Obs: o, Ledger: NewLedger(), Objectives: DefaultObjectives()}
+}
+
+// Refresh re-derives everything the plane exports: updates the
+// unavailability ledger, publishes ring-drop gauges, evaluates the SLO
+// set against a fresh snapshot, and records violations. It returns the
+// verdicts for callers that print them.
+func (p *Plane) Refresh() []Verdict {
+	if p == nil || p.Obs == nil {
+		return nil
+	}
+	p.Ledger.Update(p.Obs)
+	p.Obs.PublishDropped()
+	verdicts := Evaluate(p.Obs.M().Snapshot(), p.Objectives, time.Now())
+	PublishVerdicts(p.Obs, verdicts)
+	return verdicts
+}
+
+// Handler serves the export plane:
+//
+//	/metrics       OpenMetrics text exposition
+//	/metrics.json  JSON metrics snapshot
+//	/traces        JSON span dump grouped by trace ID
+//	/events        JSON audit event stream
+//	/slo           JSON SLO verdicts
+func (p *Plane) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		p.Refresh()
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = WriteOpenMetrics(w, p.Obs.M().Snapshot())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		p.Refresh()
+		writeJSON(w, p.Obs.M().Snapshot())
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.Obs.Tracer.ByTrace())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.Obs.Events.Events())
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.Refresh())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

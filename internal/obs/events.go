@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Audit event types: the security-relevant state transitions the paper's
@@ -36,6 +37,9 @@ const (
 	// EventEscrowTombstone: an escrow record was tombstoned after its
 	// single-use resurrection was consumed.
 	EventEscrowTombstone = "escrow-tombstone"
+	// EventSLOViolation: a declared service-level objective
+	// (internal/obs/analyze) was evaluated and found breached.
+	EventSLOViolation = "slo-violation"
 )
 
 // AuditEvent is one entry in the append-only audit stream.
@@ -53,50 +57,111 @@ type AuditEvent struct {
 	Trace TraceContext `json:"trace,omitempty"`
 }
 
-// EventLog is the append-only audit stream. It is safe for concurrent
-// use; a nil *EventLog discards appends.
+// DefaultEventCapacity bounds a NewEventLog ring: the oldest events
+// evict (counted in Dropped) instead of growing without limit.
+const DefaultEventCapacity = 1 << 16
+
+// EventLog is the append-order audit stream, retained in a bounded ring
+// (oldest evicted first; Seq stays monotone across eviction, so a reader
+// can detect the gap). It is safe for concurrent use; a nil *EventLog
+// discards appends.
 type EventLog struct {
-	mu     sync.Mutex
-	events []AuditEvent
+	mu       sync.Mutex
+	buf      []AuditEvent // ring storage; buf[head] is the oldest retained
+	head     int
+	capacity int    // 0 = unbounded
+	seq      uint64 // next sequence number; never reset
+
+	dropped atomic.Int64
 }
 
-// NewEventLog creates an empty audit log.
-func NewEventLog() *EventLog { return &EventLog{} }
+// NewEventLog creates an audit log bounded at DefaultEventCapacity
+// retained events.
+func NewEventLog() *EventLog { return &EventLog{capacity: DefaultEventCapacity} }
 
-// Append records one event, assigning its sequence number.
+// NewEventLogWithCapacity creates a log retaining at most n events
+// (n <= 0 means unbounded).
+func NewEventLogWithCapacity(n int) *EventLog { return &EventLog{capacity: n} }
+
+// SetCapacity re-bounds the ring to n retained events (n <= 0 removes
+// the bound). When shrinking, the oldest events beyond the new bound
+// are evicted and counted as dropped.
+func (l *EventLog) SetCapacity(n int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	events := l.orderedLocked()
+	if n > 0 && len(events) > n {
+		l.dropped.Add(int64(len(events) - n))
+		events = events[len(events)-n:]
+	}
+	l.capacity = n
+	l.buf = events
+	l.head = 0
+}
+
+// Dropped returns how many events the ring has evicted over the log's
+// lifetime (exported as the obs.dropped.events gauge).
+func (l *EventLog) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped.Load()
+}
+
+// Append records one event, assigning its sequence number. Sequence
+// numbers are monotone for the log's lifetime — eviction never reuses
+// one — so consumers can detect how much of the stream they missed.
 func (l *EventLog) Append(typ, actor, detail string, tc TraceContext) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
-	l.events = append(l.events, AuditEvent{
-		Seq:    uint64(len(l.events)),
+	e := AuditEvent{
+		Seq:    l.seq,
 		Type:   typ,
 		Actor:  actor,
 		Detail: detail,
 		Trace:  tc,
-	})
+	}
+	l.seq++
+	if l.capacity > 0 && len(l.buf) >= l.capacity {
+		l.buf[l.head] = e
+		l.head = (l.head + 1) % len(l.buf)
+		l.dropped.Add(1)
+	} else {
+		l.buf = append(l.buf, e)
+	}
 	l.mu.Unlock()
 }
 
-// Events returns a copy of the stream in append order.
+// orderedLocked returns the retained events oldest-first (l.mu held).
+func (l *EventLog) orderedLocked() []AuditEvent {
+	out := make([]AuditEvent, 0, len(l.buf))
+	out = append(out, l.buf[l.head:]...)
+	return append(out, l.buf[:l.head]...)
+}
+
+// Events returns a copy of the retained stream in append order.
 func (l *EventLog) Events() []AuditEvent {
 	if l == nil {
 		return nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]AuditEvent(nil), l.events...)
+	return l.orderedLocked()
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of retained events.
 func (l *EventLog) Len() int {
 	if l == nil {
 		return 0
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.events)
+	return len(l.buf)
 }
 
 // Audit event codec: tag 0xB1 version 1, following the repo's tagged
@@ -272,4 +337,15 @@ func (o *Observer) M() *Metrics {
 		return nil
 	}
 	return o.Metrics
+}
+
+// PublishDropped copies the tracer's and event log's ring-eviction
+// tallies into the obs.dropped.{spans,events} gauges, so exporters see
+// at scrape time how much telemetry the rings have shed.
+func (o *Observer) PublishDropped() {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Gauge("obs.dropped.spans").Set(o.Tracer.Dropped())
+	o.Metrics.Gauge("obs.dropped.events").Set(o.Events.Dropped())
 }

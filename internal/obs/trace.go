@@ -22,6 +22,8 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // TraceContext identifies a position in one distributed trace. The zero
@@ -107,10 +109,19 @@ type Span struct {
 	// Site labels where the span was recorded (a machine, DC, or
 	// component name); optional.
 	Site string `json:"site,omitempty"`
+	// Start is the wall-clock instant StartSpan ran; Dur is the elapsed
+	// time at the first End call. Together they make the exported span
+	// set analyzable: critical-path extraction and the unavailability
+	// ledger (internal/obs/analyze) both work from these two fields.
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur_ns"`
 
 	tracer *Tracer
 	ended  bool
 }
+
+// EndTime returns the span's wall-clock end (Start + Dur).
+func (s Span) EndTime() time.Time { return s.Start.Add(s.Dur) }
 
 // Context returns the propagation context for work done under this span:
 // children parented here share the span's trace.
@@ -128,20 +139,65 @@ func (s *Span) End() {
 		return
 	}
 	s.ended = true
+	s.Dur = time.Since(s.Start)
 	s.tracer.export(s)
 }
 
-// Tracer collects finished spans. It is safe for concurrent use. A nil
-// *Tracer is a valid disabled tracer: StartSpan returns a nil span and
-// propagates the parent context unchanged.
+// DefaultSpanCapacity bounds a NewTracer ring: old spans evict (counted
+// in Dropped) instead of growing without limit, so a long soak with an
+// observer wired holds memory flat.
+const DefaultSpanCapacity = 1 << 16
+
+// Tracer collects finished spans in a bounded ring (oldest evicted
+// first). It is safe for concurrent use. A nil *Tracer is a valid
+// disabled tracer: StartSpan returns a nil span and propagates the
+// parent context unchanged.
 type Tracer struct {
-	mu    sync.Mutex
-	spans []Span
-	seq   uint64 // span ID allocator; IDs are unique per tracer
+	mu       sync.Mutex
+	buf      []Span // ring storage; buf[head] is the oldest retained span
+	head     int
+	capacity int    // 0 = unbounded
+	seq      uint64 // span ID allocator; IDs are unique per tracer
+
+	dropped atomic.Int64
 }
 
-// NewTracer creates an in-memory span collector.
-func NewTracer() *Tracer { return &Tracer{} }
+// NewTracer creates an in-memory span collector bounded at
+// DefaultSpanCapacity retained spans.
+func NewTracer() *Tracer { return &Tracer{capacity: DefaultSpanCapacity} }
+
+// NewTracerWithCapacity creates a collector retaining at most n spans
+// (n <= 0 means unbounded — the pre-ring behavior, for tests and
+// short-lived tools that must never lose a span).
+func NewTracerWithCapacity(n int) *Tracer { return &Tracer{capacity: n} }
+
+// SetCapacity re-bounds the ring to n retained spans (n <= 0 removes
+// the bound). When shrinking, the oldest spans beyond the new bound are
+// evicted and counted as dropped.
+func (t *Tracer) SetCapacity(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans := t.orderedLocked()
+	if n > 0 && len(spans) > n {
+		t.dropped.Add(int64(len(spans) - n))
+		spans = spans[len(spans)-n:]
+	}
+	t.capacity = n
+	t.buf = spans
+	t.head = 0
+}
+
+// Dropped returns how many spans the ring has evicted over the tracer's
+// lifetime (exported as the obs.dropped.spans gauge).
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
 
 // StartSpan opens a span under parent (zero parent starts a new trace
 // with a random trace ID) and returns it with the context to propagate
@@ -160,6 +216,7 @@ func (t *Tracer) StartSpan(name string, parent TraceContext) (*Span, TraceContex
 		TraceID:  parent.TraceID,
 		SpanID:   id,
 		ParentID: parent.SpanID,
+		Start:    time.Now(),
 		tracer:   t,
 	}
 	if sp.TraceID == 0 {
@@ -170,38 +227,54 @@ func (t *Tracer) StartSpan(name string, parent TraceContext) (*Span, TraceContex
 
 func (t *Tracer) export(s *Span) {
 	t.mu.Lock()
-	t.spans = append(t.spans, *s)
+	if t.capacity > 0 && len(t.buf) >= t.capacity {
+		// Full ring: overwrite the oldest span in place.
+		t.buf[t.head] = *s
+		t.head = (t.head + 1) % len(t.buf)
+		t.dropped.Add(1)
+	} else {
+		t.buf = append(t.buf, *s)
+	}
 	t.mu.Unlock()
 }
 
-// Spans returns a copy of all finished spans in end order.
+// orderedLocked returns the retained spans oldest-first (t.mu held).
+func (t *Tracer) orderedLocked() []Span {
+	out := make([]Span, 0, len(t.buf))
+	out = append(out, t.buf[t.head:]...)
+	return append(out, t.buf[:t.head]...)
+}
+
+// Spans returns a copy of the retained finished spans in end order.
 func (t *Tracer) Spans() []Span {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]Span(nil), t.spans...)
+	return t.orderedLocked()
 }
 
-// Len returns the number of finished spans.
+// Len returns the number of retained finished spans.
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.spans)
+	return len(t.buf)
 }
 
 // Reset discards collected spans (the ID allocator keeps advancing, so
-// span IDs stay unique across resets).
+// span IDs stay unique across resets; the dropped tally is lifetime and
+// also survives).
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	t.spans = nil
+	t.buf = nil
+	t.head = 0
 	t.mu.Unlock()
 }
 
