@@ -7,6 +7,7 @@
 //	benchfig -repl               replicated counters: increment vs. f
 //	benchfig -recover            restart-anywhere recovery: kill→recovered vs. f + escrow blob size
 //	benchfig -wan                cross-DC federation: drain throughput + recovery latency vs. WAN RTT
+//	benchfig -drain100k          100k-enclave drain: batched evacuation over a 200ms WAN link
 //	benchfig -table 1            Table I: migration data structure
 //	benchfig -table 2            Table II: library internal structure
 //	benchfig -tcb                §VII-A: software TCB size
@@ -46,6 +47,7 @@ type report struct {
 	Replication []bench.Row            `json:"replication,omitempty"`
 	Recovery    []bench.Row            `json:"recovery,omitempty"`
 	WAN         []bench.Row            `json:"wan,omitempty"`
+	Drain100k   *bench.Drain100kResult `json:"drain100k,omitempty"`
 	// Metrics is the run's telemetry snapshot: per-operation latency
 	// histograms (p50/p99/p999) and the simulated-cost op tallies.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
@@ -66,6 +68,10 @@ func run() error {
 		repl      = flag.Bool("repl", false, "measure replicated-counter increment latency vs. replication factor")
 		recov     = flag.Bool("recover", false, "measure kill-to-recovered latency vs. replication factor and escrow blob size")
 		wan       = flag.Bool("wan", false, "measure cross-DC drain throughput and recovery latency vs. WAN RTT")
+		wanBatch  = flag.Int("wan-batch", 0, "orchestrator batch size for WAN drain scenarios (0 = batched default 64, 1 = classic path)")
+		drain100k = flag.Bool("drain100k", false, "drain a 100k-enclave machine across a 200ms WAN link with the batched pipeline")
+		drainN    = flag.Int("drain-n", 100_000, "enclave count for -drain100k (reduce for CI smoke)")
+		drainSc   = flag.Float64("drain-scale", 1, "latency scale for -drain100k (1 = wall time is simulated time)")
 		tcb       = flag.Bool("tcb", false, "report software TCB size")
 		all       = flag.Bool("all", false, "run every experiment")
 		n         = flag.Int("n", 200, "iterations per operation (paper: 1000)")
@@ -77,7 +83,7 @@ func run() error {
 	flag.Parse()
 
 	metrics := obs.NewMetrics()
-	cfg := bench.Config{N: *n, Scale: *scale, Confidence: *conf, Metrics: metrics}
+	cfg := bench.Config{N: *n, Scale: *scale, Confidence: *conf, BatchSize: *wanBatch, Metrics: metrics}
 	fmt.Printf("config: N=%d scale=%v confidence=%v\n\n", cfg.N, cfg.Scale, cfg.Confidence)
 
 	rep := report{Config: cfg}
@@ -129,6 +135,16 @@ func run() error {
 			return err
 		}
 		rep.WAN = rows
+	}
+	if *drain100k {
+		ran = true
+		dcfg := cfg
+		dcfg.Scale = *drainSc
+		res, err := runDrain100k(dcfg, *drainN)
+		if err != nil {
+			return err
+		}
+		rep.Drain100k = res
 	}
 	if *all || *table == 1 || *table == 2 {
 		ran = true
@@ -259,6 +275,19 @@ func runWAN(cfg bench.Config) ([]bench.Row, error) {
 	}
 	fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
 	return rows, nil
+}
+
+func runDrain100k(cfg bench.Config, apps int) (*bench.Drain100kResult, error) {
+	fmt.Println("=== 100k-enclave drain: batched machine evacuation over a 200ms WAN link ===")
+	fmt.Println("(at -drain-scale 1 the wall clock IS the simulated time; the claim is minutes, not hours)")
+	start := time.Now()
+	res, err := bench.Drain100k(cfg, apps)
+	if err != nil {
+		return nil, fmt.Errorf("drain100k: %w", err)
+	}
+	fmt.Println("  " + res.String())
+	fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+	return res, nil
 }
 
 func runTables() error {

@@ -100,10 +100,29 @@ func wanWorld(name string, rttMS int, scale float64, racks bool) (fed *federatio
 	return fed, dcs[0], dcs[1], mirror, nil
 }
 
+// wanBatch resolves the orchestrator batch width the drain rows run at:
+// Config.BatchSize, defaulting to 64 (the streamed pipeline). 1 forces
+// the classic one-migration-per-session path, preserved for the CI smoke
+// that asserts batching actually pays for itself.
+func wanBatch(cfg Config) int {
+	if cfg.BatchSize <= 0 {
+		return 64
+	}
+	return cfg.BatchSize
+}
+
 // wanDrainSamples runs R cross-DC evacuations of K enclaves each and
 // reports per-run throughput (migrations per second of wall time).
+// Batched runs drain a larger fleet: the pipeline's whole point is
+// amortizing the session handshake and the per-exchange RTTs across
+// many members, so it needs enough members per (source, dest) stream
+// for the amortization to show.
 func wanDrainSamples(cfg Config, rttMS int) ([]float64, error) {
-	const apps = 12
+	batch := wanBatch(cfg)
+	apps, workers := 12, 8
+	if batch > 1 {
+		apps, workers = 96, 32
+	}
 	runs := cfg.N / 25
 	if runs < 2 {
 		runs = 2
@@ -136,8 +155,10 @@ func wanDrainSamples(cfg Config, rttMS int) ([]float64, error) {
 		plan := fleet.Plan{Intent: fleet.IntentEvacuate, Sources: []string{"a1"}, RemoteTargets: remotes}
 		// Four concurrent deliveries per link: the per-link cap a real
 		// constrained WAN would demand, and the knob that makes the
-		// throughput-vs-RTT tradeoff visible.
-		orch := fleet.New(dcA, fleet.Config{Workers: 8, LinkCap: map[string]int{link.Name(): 4}})
+		// throughput-vs-RTT tradeoff visible. A batched session counts as
+		// one delivery against the cap — amortization inside the slot is
+		// exactly the win being measured.
+		orch := fleet.New(dcA, fleet.Config{Workers: workers, BatchSize: batch, LinkCap: map[string]int{link.Name(): 4}})
 		report, err := orch.Execute(context.Background(), plan)
 		if err != nil {
 			return nil, err

@@ -59,7 +59,9 @@ func (c Config) withDefaults() Config {
 		c.Steps = 30
 	}
 	if c.Machines < 3 {
-		c.Machines = 3
+		// Three replica-group members plus one spare, so drain plans have
+		// a replica-handoff taker and migration paths actually execute.
+		c.Machines = 4
 	}
 	if c.Apps <= 0 {
 		c.Apps = 4
@@ -232,7 +234,13 @@ func buildWorld(cfg Config) (*world, error) {
 			}
 			ids = append(ids, id)
 		}
-		if _, err := dc.NewReplicaGroup("rack-"+prefix, 1, ids...); err != nil {
+		// The f=1 replica group takes exactly the first three machines;
+		// any further machines are spare capacity. A spare is what lets a
+		// drain of a replica host actually run: the role hands off to the
+		// spare instead of the plan being refused (every taker already
+		// hosting a replica), so migration paths — including the batched
+		// stream — get exercised rather than refused at compile.
+		if _, err := dc.NewReplicaGroup("rack-"+prefix, 1, ids[:3]...); err != nil {
 			return nil, err
 		}
 		if err := w.fed.Admit(dc); err != nil {
@@ -386,6 +394,14 @@ func (w *world) dc(name string) *cloud.DataCenter {
 		return w.dcB
 	}
 	return w.dcA
+}
+
+// other returns the peer site across the WAN link.
+func (w *world) other(name string) *cloud.DataCenter {
+	if name == "dc-b" {
+		return w.dcA
+	}
+	return w.dcB
 }
 
 // aliveMachines lists a DC's alive machines sorted by ID.

@@ -4,6 +4,7 @@ package chaos
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -196,6 +197,131 @@ func TestReplayRecoverRefused(t *testing.T) {
 	}
 	if !refused {
 		t.Fatalf("no escrow-consumed refusal in history:\n%s", res.History.Fingerprint())
+	}
+}
+
+// TestReplayBatchDrainWANFlap drives the streamed batch pipeline
+// through a WAN flap: a local batched drain, a healthy batched WAN
+// evacuation, then an evacuation attempted INTO a downed link (must
+// fail closed — every enclave either completes later or stays safely
+// at the source, frozen with its resume token), and a post-heal rerun
+// that must land every remaining enclave. R1–R4 are checked over the
+// whole history; additionally the post-heal wan-drain must report only
+// completed entries — a flap is an availability event, never a
+// correctness one.
+func TestReplayBatchDrainWANFlap(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Machines: 4, Apps: 9, Counters: 1, Replay: []Step{
+		{Op: "burst"},
+		{Op: "batch-drain", Target: "dc-a/a1"},
+		{Op: "burst"},
+		{Op: "wan-drain", Target: "dc-a/a2"},
+		{Op: "burst"},
+		{Op: "partition", Target: "down"},
+		{Op: "wan-drain", Target: "dc-a/a3"},
+		{Op: "burst"},
+		{Op: "partition", Target: "up"},
+		{Op: "wan-drain", Target: "dc-a/a3"},
+		{Op: "burst"},
+		{Op: "flush"},
+		{Op: "burst"},
+	}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Failed() {
+		t.Fatalf("violations under WAN flap: %v\nhistory:\n%s", res.Violations, res.History.Fingerprint())
+	}
+	var batchPlans, wanPlans, lastWanDrain, completed, failed int
+	ops := res.History.Ops()
+	for i, op := range ops {
+		if op.Kind == "plan-entry" {
+			if strings.Contains(op.Note, "status=completed") {
+				completed++
+			}
+			if strings.Contains(op.Note, "status=failed") {
+				failed++
+			}
+			continue
+		}
+		if op.Kind != "plan" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(op.Note, "batch-drain "):
+			batchPlans++
+			if op.Err != "" {
+				t.Fatalf("local batched drain failed: %s", op.Err)
+			}
+		case strings.HasPrefix(op.Note, "wan-drain "):
+			wanPlans++
+			lastWanDrain = i
+		}
+	}
+	if batchPlans != 1 || wanPlans != 3 {
+		t.Fatalf("plans: batch-drain=%d wan-drain=%d, want 1 and 3", batchPlans, wanPlans)
+	}
+	// a1's three apps drain locally, a2's two cross the WAN, a3's two
+	// fail into the downed link and land on the post-heal rerun. A
+	// regression back to every-plan-refused (e.g. no replica-handoff
+	// taker) would zero these.
+	if completed < 7 {
+		t.Fatalf("only %d completed migration entries, want >= 7", completed)
+	}
+	if failed == 0 {
+		t.Fatal("the drain into the downed link failed no entries")
+	}
+	// Every entry of the post-heal rerun completed.
+	for _, op := range ops[lastWanDrain+1:] {
+		if op.Kind != "plan-entry" {
+			break
+		}
+		if !strings.Contains(op.Note, "status=completed") {
+			t.Fatalf("post-heal entry did not complete: %s %s (%s)", op.App, op.Note, op.Err)
+		}
+	}
+}
+
+// TestReplayBatchWANFlapLossy repeats batched WAN drains over a link
+// that drops a quarter of all exchanges — chunks, acks and DONE
+// flushes alike — so batches strand members mid-stream
+// nondeterministically. Whatever parks must resume on a later plan
+// without double-applying (upper-bound), forking (no-fork), or letting
+// a zombie serve (no-zombie); the checker decides, the schedule only
+// provokes.
+func TestReplayBatchWANFlapLossy(t *testing.T) {
+	res, err := Run(Config{Seed: 7, Machines: 4, Apps: 9, Counters: 1, WANLoss: 0.25, Replay: []Step{
+		{Op: "burst"},
+		{Op: "wan-drain", Target: "dc-a/a1"},
+		{Op: "burst"},
+		{Op: "wan-drain", Target: "dc-a/a1"},
+		{Op: "burst"},
+		{Op: "wan-drain", Target: "dc-a/a2"},
+		{Op: "burst"},
+		{Op: "wan-drain", Target: "dc-a/a2"},
+		{Op: "burst"},
+		{Op: "flush"},
+		{Op: "burst"},
+	}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Failed() {
+		t.Fatalf("violations under lossy batched WAN drain: %v\nhistory:\n%s", res.Violations, res.History.Fingerprint())
+	}
+	plans, completed := 0, 0
+	for _, op := range res.History.Ops() {
+		if op.Kind == "plan" && strings.HasPrefix(op.Note, "wan-drain ") {
+			plans++
+		}
+		if op.Kind == "plan-entry" && strings.Contains(op.Note, "status=completed") {
+			completed++
+		}
+	}
+	if plans != 4 {
+		t.Fatalf("wan-drain plans = %d, want 4", plans)
+	}
+	if completed == 0 {
+		t.Fatal("no migration completed across four lossy batched drains")
 	}
 }
 

@@ -115,9 +115,24 @@ func (w *world) candidates(i, n int) []candidate {
 		alive := aliveMachines(dc)
 		dead := deadMachines(dc)
 
-		// Kill keeps the rack's f=1 quorum: at least two members stay up.
+		// Kill keeps the rack's f=1 quorum: at least two replica-group
+		// members stay up (spare machines don't count toward quorum), and
+		// at least two machines overall survive so plans keep a target.
+		aliveReplicas := 0
+		for _, m := range alive {
+			if m.HostsReplica() {
+				aliveReplicas++
+			}
+		}
 		if len(alive) > 2 {
 			for _, m := range alive {
+				quorumAfter := aliveReplicas
+				if m.HostsReplica() {
+					quorumAfter--
+				}
+				if quorumAfter < 2 {
+					continue
+				}
 				cands = append(cands, candidate{Step{Op: "kill", Target: machineRef(dcName, m.ID())}, 4})
 			}
 		}
@@ -130,6 +145,7 @@ func (w *world) candidates(i, n int) []candidate {
 			if src := mostLoadedAlive(dc); src != nil && src.AppCount() > 0 {
 				cands = append(cands,
 					candidate{Step{Op: "drain", Target: machineRef(dcName, src.ID())}, 2},
+					candidate{Step{Op: "batch-drain", Target: machineRef(dcName, src.ID())}, 2},
 					candidate{Step{Op: "evacuate", Target: machineRef(dcName, src.ID())}, 1})
 			}
 			cands = append(cands, candidate{Step{Op: "rebalance", Target: dcName}, 2})
@@ -237,9 +253,15 @@ func (w *world) applicable(s Step) bool {
 	case "restart":
 		m, ok := w.dc(dcName).Machine(mid)
 		return ok && !m.Alive()
-	case "drain", "evacuate":
+	case "drain", "batch-drain", "evacuate":
 		m, ok := w.dc(dcName).Machine(mid)
 		return ok && m.Alive() && len(aliveMachines(w.dc(dcName))) >= 2
+	case "wan-drain":
+		// Deliberately allowed while partitioned: a batched WAN drain
+		// into a down link must park its members safely, never corrupt
+		// them — that is exactly what a replay schedule probes.
+		m, ok := w.dc(dcName).Machine(mid)
+		return ok && m.Alive() && !w.disconnected && len(aliveMachines(w.other(dcName))) >= 1
 	case "recover-fleet", "recover-local", "recover-wan":
 		m, ok := w.dc(dcName).Machine(mid)
 		if !ok || m.Alive() || len(m.LostApps()) == 0 {
@@ -313,6 +335,25 @@ func (w *world) exec(s Step) {
 		w.h.add(Op{Step: w.step, Kind: "flush", Err: canonErr(err)})
 	case "drain":
 		w.runPlan(dcName, "drain "+mid, fleet.Drain(mid))
+	case "batch-drain":
+		// The streamed pipeline under chaos: same drain intent, but the
+		// orchestrator groups same-(source,dest) enclaves into batches of
+		// four over one resumed session. R1–R4 must hold exactly as for
+		// the one-at-a-time path.
+		w.runPlanBatched(dcName, "batch-drain "+mid, fleet.Drain(mid), chaosBatchSize)
+	case "wan-drain":
+		// Batched evacuation across the lossy WAN link. Directed-replay
+		// only (not generated): concurrent chunk/ack traffic draws the
+		// link's loss RNG in goroutine order, which would break schedule
+		// determinism. Loss or a standing partition strands members
+		// mid-batch; they must park frozen with their tokens and resume
+		// on a later plan, never fork.
+		var remotes []fleet.RemoteTarget
+		for _, m := range aliveMachines(w.other(dcName)) {
+			remotes = append(remotes, fleet.RemoteTarget{Machine: m, Link: w.link.Name()})
+		}
+		plan := fleet.Plan{Intent: fleet.IntentEvacuate, Sources: []string{mid}, RemoteTargets: remotes}
+		w.runPlanBatched(dcName, "wan-drain "+mid, plan, chaosBatchSize)
 	case "rebalance":
 		w.runPlan(dcName, "rebalance", fleet.Rebalance())
 	case "evacuate":
@@ -471,12 +512,28 @@ func (w *world) pruneProbes() {
 	w.probes = kept
 }
 
+// chaosBatchSize is the batch width the batched plan ops use: wide
+// enough that grouping, chunk pipelining, and cumulative acks are all
+// exercised, small enough that a few-app machine still forms a batch.
+const chaosBatchSize = 4
+
 // runPlan executes a fleet plan with one worker and deterministic
 // (jitter-free) backoff, records the sorted journal, and re-resolves
 // every identity's live pointer.
 func (w *world) runPlan(dcName, intent string, plan fleet.Plan) {
+	w.runPlanBatched(dcName, intent, plan, 1)
+}
+
+// runPlanBatched is runPlan with an orchestrator batch size: size 1 is
+// the classic one-at-a-time path, larger sizes route same-destination
+// groups through the streamed batch pipeline. Journal entries are
+// recorded in sorted order, so a healthy batched plan replays
+// deterministically even though members freeze and restore on pool
+// goroutines.
+func (w *world) runPlanBatched(dcName, intent string, plan fleet.Plan, batchSize int) {
 	o := fleet.New(w.dc(dcName), fleet.Config{
 		Workers:      1,
+		BatchSize:    batchSize,
 		MaxAttempts:  3,
 		RetryBackoff: time.Millisecond,
 		MaxBackoff:   2 * time.Millisecond,

@@ -1,0 +1,882 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/sgx"
+	"repro/internal/transport"
+	"repro/internal/wirec"
+	"repro/internal/xcrypto"
+)
+
+// Batched migration pipeline (layers 1+2 of the streamed drain path).
+//
+// One BeginBatch amortizes the whole Fig. 2 control plane over many
+// enclaves: a single offer exchange (full mutual attestation, or a
+// resume of a cached session — see session.go), then a pipelined stream
+// of AEAD-sealed chunks carrying many length-prefixed migration
+// records, with cumulative per-member status acks. Each enclave is
+// frozen by the caller only immediately before BatchSender.Add streams
+// its envelope, and its status arrives with the chunk ack that covered
+// it — so batch size never lengthens any single enclave's freeze
+// window, it only overlaps more of them with the same wire time.
+
+// Batch pipeline errors.
+var (
+	// ErrBatchClosed reports an Add after Finish was called.
+	ErrBatchClosed = errors.New("core: batch sender already finished")
+	// ErrUnknownBatch reports a chunk for an unknown or completed batch.
+	ErrUnknownBatch = errors.New("core: unknown or completed batch stream")
+)
+
+// Default pipeline shape.
+const (
+	defaultBatchWindow = 8       // sealed chunks in flight per batch
+	defaultChunkBytes  = 8 << 10 // target chunk payload size
+)
+
+// BatchOpts shapes one batch stream.
+type BatchOpts struct {
+	// Window is the maximum number of unacknowledged chunks in flight
+	// (default 8): chunk N+1 leaves before the ack for N returns.
+	Window int
+	// ChunkBytes is the target sealed-chunk payload size (default 8 KiB).
+	ChunkBytes int
+	// Compress applies WAN compression to each envelope beneath the AEAD
+	// boundary: the record is compressed, then sealed, so the link only
+	// carries ciphertext of the smaller frame.
+	Compress bool
+	// Trace is the batch's parent trace context.
+	Trace obs.TraceContext
+}
+
+// BatchMemberStatus is one member's final outcome as seen by the sender.
+type BatchMemberStatus struct {
+	OK     bool
+	Detail string
+}
+
+// BatchSender streams one batch of held outgoing migrations to a single
+// destination ME. Typical use: BeginBatch, then for each member freeze
+// the enclave (opMigrateOutHold via the library) and Add its token;
+// consume Delivered for per-member completion; Finish to drain.
+type BatchSender struct {
+	me       *MigrationEnclave
+	dest     transport.Address
+	batchID  []byte
+	stream   *xcrypto.StreamSealer // data direction (seal)
+	acks     *xcrypto.StreamSealer // ack direction (open)
+	fresh    bool                  // batch began with a full handshake
+	cert     []byte                // seq-0 provider auth (fresh only)
+	sig      []byte
+	compress bool
+	chunkLen int
+	window   int
+
+	sp *obs.Span
+	tc obs.TraceContext
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	buf       []byte // length-prefixed records awaiting chunking
+	nextSeq   uint64
+	inFlight  int
+	finished  bool
+	sendErr   error
+	seen      map[uint32]bool // indices whose status was merged
+	statuses  map[uint32]BatchMemberStatus
+	tokens    map[uint32][]byte
+	savings   int64
+	delivered chan uint32
+}
+
+// BeginBatch opens a batch stream of count members toward dest. It
+// first tries to resume a cached attested session with the destination;
+// a refusal (e.g. the destination restarted into a new epoch) silently
+// falls back to a full mutual remote attestation, which also refreshes
+// the cached session.
+func (me *MigrationEnclave) BeginBatch(dest transport.Address, count int, opts BatchOpts) (*BatchSender, error) {
+	if err := me.enclave.ECall(); err != nil {
+		return nil, err
+	}
+	if count <= 0 || count > maxBatchCount {
+		return nil, fmt.Errorf("core: batch size %d out of range [1, %d]", count, maxBatchCount)
+	}
+	if opts.Window <= 0 {
+		opts.Window = defaultBatchWindow
+	}
+	if opts.ChunkBytes <= 0 {
+		opts.ChunkBytes = defaultChunkBytes
+	}
+	sp, tc := me.observer().StartSpan("me.batch", opts.Trace)
+	if sp != nil {
+		sp.Site = string(me.addr)
+	}
+	bs, err := me.beginResumed(dest, count, opts, tc)
+	if err != nil {
+		if sp != nil {
+			sp.End()
+		}
+		return nil, err
+	}
+	if bs == nil {
+		// No cached session, or resumption refused: full handshake.
+		bs, err = me.beginFresh(dest, count, opts, tc)
+		if err != nil {
+			if sp != nil {
+				sp.End()
+			}
+			return nil, err
+		}
+	}
+	bs.sp = sp
+	bs.tc = tc
+	return bs, nil
+}
+
+// beginResumed attempts session resumption. It returns (nil, nil) when
+// there is no cached session or the destination refused the ticket —
+// the caller falls back to a fresh handshake.
+func (me *MigrationEnclave) beginResumed(dest transport.Address, count int, opts BatchOpts, tc obs.TraceContext) (*BatchSender, error) {
+	me.mu.Lock()
+	sess := me.sessions[string(dest)]
+	var ctr uint64
+	if sess != nil {
+		ctr = sess.counter
+		sess.counter++
+	}
+	me.mu.Unlock()
+	if sess == nil {
+		return nil, nil
+	}
+	ticket := &resumeTicket{
+		SessionID: sess.id,
+		Epoch:     sess.epoch,
+		Counter:   ctr,
+		Count:     uint32(count),
+		MAC:       resumeMAC(sess.secret, sess.id, sess.epoch, ctr, uint32(count)),
+	}
+	offerRaw, err := encodeBatchOffer(&batchOffer{Count: uint32(count), Resume: ticket})
+	if err != nil {
+		return nil, err
+	}
+	offerSp, offerTC := me.observer().StartSpan("me.batch-offer", tc)
+	replyRaw, err := me.net.Send(me.addr, dest, kindBatchOffer, obs.Inject(offerTC, offerRaw))
+	offerSp.End()
+	if err != nil {
+		return nil, fmt.Errorf("send batch offer: %w", err)
+	}
+	reply, err := decodeBatchOfferReply(replyRaw)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Refused {
+		// The destination no longer honors this session (restart into a
+		// new epoch, replayed counter, pruned table). Drop the cache so
+		// future batches handshake fresh immediately.
+		me.mu.Lock()
+		if me.sessions[string(dest)] == sess {
+			delete(me.sessions, string(dest))
+		}
+		me.mu.Unlock()
+		me.observer().M().Add("me.session.resume.refused", 1)
+		return nil, nil
+	}
+	// An accepting destination must prove it holds the session secret and
+	// reserved exactly our counter; anything else is an active attack or
+	// corruption, not a fallback case.
+	if !reply.Resumed || !macEqual(reply.ConfirmMAC, resumeConfirmMAC(sess.secret, sess.id, ctr)) {
+		return nil, fmt.Errorf("core: batch resume confirmation failed authentication")
+	}
+	if len(reply.BatchID) == 0 {
+		return nil, fmt.Errorf("%w: resume reply missing batch id", ErrDataFormat)
+	}
+	me.observer().M().Add("me.session.resumed", 1)
+	dataKey, ackKey := batchKeys(sess.secret, ctr)
+	return me.newBatchSender(dest, count, opts, reply.BatchID, dataKey, ackKey, false, nil, nil)
+}
+
+// beginFresh runs the full mutual remote attestation (the Fig. 2
+// offer round, batch-framed) and caches the resulting session.
+func (me *MigrationEnclave) beginFresh(dest transport.Address, count int, opts BatchOpts, tc obs.TraceContext) (*BatchSender, error) {
+	dh, err := xcrypto.NewKeyExchange()
+	if err != nil {
+		return nil, fmt.Errorf("batch dh: %w", err)
+	}
+	myQuote, err := me.qe.Quote(me.enclave, sgx.MakeReportData(dh.PublicBytes()))
+	if err != nil {
+		return nil, fmt.Errorf("source quote: %w", err)
+	}
+	wq, err := quoteToWire(myQuote)
+	if err != nil {
+		return nil, err
+	}
+	offerRaw, err := encodeBatchOffer(&batchOffer{Count: uint32(count), Quote: wq, DHPub: dh.PublicBytes()})
+	if err != nil {
+		return nil, err
+	}
+	offerSp, offerTC := me.observer().StartSpan("me.batch-offer", tc)
+	replyRaw, err := me.net.Send(me.addr, dest, kindBatchOffer, obs.Inject(offerTC, offerRaw))
+	offerSp.End()
+	if err != nil {
+		return nil, fmt.Errorf("send batch offer: %w", err)
+	}
+	reply, err := decodeBatchOfferReply(replyRaw)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Refused || reply.Resumed || reply.Quote == nil {
+		return nil, fmt.Errorf("%w: expected handshake reply", ErrDataFormat)
+	}
+	peerQuote, err := quoteFromWire(reply.Quote)
+	if err != nil {
+		return nil, err
+	}
+	// Same peer checks as the single-migration path: genuine enclave
+	// (IAS), identical ME code (MRENCLAVE equality), quote binds both
+	// handshake keys, and provider authentication over the transcript.
+	if err := me.ias.Verify(peerQuote); err != nil {
+		return nil, fmt.Errorf("verify destination quote: %w", err)
+	}
+	if peerQuote.MREnclave != me.enclave.MREnclave() {
+		return nil, fmt.Errorf("%w: destination %v, expected %v",
+			ErrPeerIdentity, peerQuote.MREnclave, me.enclave.MREnclave())
+	}
+	if peerQuote.Data != sgx.MakeReportData(dh.PublicBytes(), reply.DHPub) {
+		return nil, ErrQuoteBinding
+	}
+	transcript := xcrypto.Transcript(transcriptContext, dh.PublicBytes(), reply.DHPub)
+	peerCert, err := certFromWire(reply.Cert)
+	if err != nil {
+		return nil, err
+	}
+	if err := me.cred.VerifyPeer(peerCert, transcript, reply.Sig); err != nil {
+		return nil, fmt.Errorf("authenticate destination: %w", err)
+	}
+	shared, err := dh.Shared(reply.DHPub)
+	if err != nil {
+		return nil, fmt.Errorf("shared secret: %w", err)
+	}
+	if len(reply.BatchID) == 0 || len(reply.SessionID) == 0 {
+		return nil, fmt.Errorf("%w: handshake reply missing ids", ErrDataFormat)
+	}
+	secret := deriveSessionSecret(shared, transcript)
+	me.mu.Lock()
+	me.sessions[string(dest)] = &resumableSession{
+		id:      reply.SessionID,
+		secret:  secret,
+		epoch:   append([]byte(nil), reply.Epoch...),
+		counter: 1, // counter 0 keys this batch
+	}
+	me.mu.Unlock()
+	myCert, err := certToWire(me.cred.Certificate())
+	if err != nil {
+		return nil, err
+	}
+	dataKey, ackKey := batchKeys(secret, 0)
+	return me.newBatchSender(dest, count, opts, reply.BatchID, dataKey, ackKey, true, myCert, me.cred.Sign(transcript))
+}
+
+func (me *MigrationEnclave) newBatchSender(dest transport.Address, count int, opts BatchOpts, batchID []byte, dataKey, ackKey [32]byte, fresh bool, cert, sig []byte) (*BatchSender, error) {
+	stream, err := xcrypto.NewStreamSealer(dataKey)
+	if err != nil {
+		return nil, err
+	}
+	acks, err := xcrypto.NewStreamSealer(ackKey)
+	if err != nil {
+		return nil, err
+	}
+	bs := &BatchSender{
+		me:        me,
+		dest:      dest,
+		batchID:   batchID,
+		stream:    stream,
+		acks:      acks,
+		fresh:     fresh,
+		cert:      cert,
+		sig:       sig,
+		compress:  opts.Compress,
+		chunkLen:  opts.ChunkBytes,
+		window:    opts.Window,
+		seen:      make(map[uint32]bool),
+		statuses:  make(map[uint32]BatchMemberStatus),
+		tokens:    make(map[uint32][]byte),
+		delivered: make(chan uint32, count),
+	}
+	bs.cond = sync.NewCond(&bs.mu)
+	return bs, nil
+}
+
+// Add streams one held outgoing migration (identified by its done-token
+// from opMigrateOutHold) as batch member index. The record is appended
+// to the stream and sent as soon as a window slot frees; the enclave's
+// freeze clock has already started, so Add is called immediately after
+// the freeze.
+func (bs *BatchSender) Add(index uint32, token []byte) error {
+	me := bs.me
+	key := hex.EncodeToString(token)
+	me.mu.Lock()
+	rec, ok := me.outgoing[key]
+	switch {
+	case !ok:
+		me.mu.Unlock()
+		return ErrUnknownToken
+	case rec.done || rec.envelope == nil:
+		me.mu.Unlock()
+		return ErrMigrationDone
+	case rec.inFlight:
+		me.mu.Unlock()
+		return ErrTransferInFlight
+	}
+	rec.inFlight = true
+	rec.dest = bs.dest
+	rec.sent = false
+	envRaw, err := rec.envelope.encode()
+	trace := rec.trace
+	me.mu.Unlock()
+	abort := func(err error) error {
+		me.mu.Lock()
+		rec.inFlight = false
+		me.mu.Unlock()
+		return err
+	}
+	if err != nil {
+		return abort(err)
+	}
+	compressed := false
+	var saved int64
+	if bs.compress {
+		frame, err := transport.CompressFrame(envRaw)
+		if err != nil {
+			return abort(err)
+		}
+		if d := len(envRaw) - len(frame); d > 0 {
+			saved = int64(d)
+		}
+		envRaw = frame
+		compressed = true
+	}
+	recRaw, err := encodeBatchRecord(&batchRecord{
+		Index:      index,
+		Compressed: compressed,
+		Trace:      trace.Marshal(),
+		Envelope:   envRaw,
+	})
+	if err != nil {
+		return abort(err)
+	}
+	bs.mu.Lock()
+	if bs.finished {
+		bs.mu.Unlock()
+		return abort(ErrBatchClosed)
+	}
+	if bs.sendErr != nil {
+		err := bs.sendErr
+		bs.mu.Unlock()
+		return abort(err)
+	}
+	bs.tokens[index] = append([]byte(nil), token...)
+	bs.buf = appendU32(bs.buf, uint32(len(recRaw)))
+	bs.buf = append(bs.buf, recRaw...)
+	bs.savings += saved
+	bs.maybeFlushLocked()
+	bs.mu.Unlock()
+	return nil
+}
+
+// maybeFlushLocked cuts and launches chunks while buffered bytes and
+// window slots are both available. Cutting greedily keeps the pipeline
+// full in both regimes: an idle link drains small chunks immediately
+// (short per-enclave latency), a saturated window accumulates records
+// into larger, better-amortized chunks.
+func (bs *BatchSender) maybeFlushLocked() {
+	for len(bs.buf) > 0 && bs.inFlight < bs.window && bs.sendErr == nil {
+		n := len(bs.buf)
+		if n > bs.chunkLen {
+			n = bs.chunkLen
+		}
+		chunk := append([]byte(nil), bs.buf[:n]...)
+		bs.buf = bs.buf[n:]
+		seq := bs.nextSeq
+		bs.nextSeq++
+		bs.inFlight++
+		go bs.sendChunk(seq, chunk)
+	}
+}
+
+// sendChunk seals and sends one chunk, then merges the cumulative
+// status ack. Chunk-level failures are not retried here: retry is a
+// batch-attempt decision made by the caller (internal/fleet), which
+// knows which members were never covered by any ack.
+func (bs *BatchSender) sendChunk(seq uint64, chunk []byte) {
+	me := bs.me
+	sealed := bs.stream.SealAt(seq, chunk, bs.batchID)
+	msg := &batchChunk{BatchID: bs.batchID, Seq: seq, Sealed: sealed}
+	if bs.fresh && seq == 0 {
+		msg.Cert = bs.cert
+		msg.Sig = bs.sig
+	}
+	raw, err := encodeBatchChunk(msg)
+	var replyRaw []byte
+	if err == nil {
+		sp, tc := me.observer().StartSpan("me.batch-chunk", bs.tc)
+		replyRaw, err = me.net.Send(me.addr, bs.dest, kindBatchChunk, obs.Inject(tc, raw))
+		sp.End()
+	}
+	var list *batchStatusList
+	if err == nil {
+		var pt []byte
+		if pt, err = bs.acks.OpenAt(seq, replyRaw, bs.batchID); err == nil {
+			list, err = decodeBatchStatusList(pt)
+		}
+	}
+	var newlyStored []uint32
+	bs.mu.Lock()
+	if err != nil {
+		if bs.sendErr == nil {
+			bs.sendErr = err
+		}
+	} else {
+		// Acks are cumulative and idempotent: merge only unseen indices.
+		for _, s := range list.Statuses {
+			if bs.seen[s.Index] {
+				continue
+			}
+			bs.seen[s.Index] = true
+			st := BatchMemberStatus{OK: s.Status == batchStatusStored, Detail: s.Detail}
+			bs.statuses[s.Index] = st
+			if st.OK {
+				newlyStored = append(newlyStored, s.Index)
+			}
+		}
+	}
+	bs.mu.Unlock()
+	// Mark stored members sent and publish delivery BEFORE releasing the
+	// window slot: Finish only closes delivered once inFlight reaches
+	// zero, so these sends can never hit a closed channel. The channel
+	// is buffered to the batch size and each index fires once, so the
+	// sends never block either.
+	for _, idx := range newlyStored {
+		bs.markSent(idx)
+		bs.delivered <- idx
+	}
+	bs.mu.Lock()
+	bs.inFlight--
+	bs.maybeFlushLocked()
+	bs.cond.Broadcast()
+	bs.mu.Unlock()
+}
+
+// markSent records that the member's envelope is stored at the
+// destination (the single-path equivalent of transfer returning nil).
+func (bs *BatchSender) markSent(index uint32) {
+	bs.mu.Lock()
+	token := bs.tokens[index]
+	bs.mu.Unlock()
+	if token == nil {
+		return
+	}
+	me := bs.me
+	me.mu.Lock()
+	if rec, ok := me.outgoing[hex.EncodeToString(token)]; ok {
+		rec.sent = true
+		rec.inFlight = false
+	}
+	me.mu.Unlock()
+}
+
+// Delivered streams the indices of members confirmed stored at the
+// destination, in delivery order. The channel closes when Finish
+// drains; consuming it lets the caller resume each enclave at the
+// destination the moment its own data lands, not when the batch ends.
+func (bs *BatchSender) Delivered() <-chan uint32 { return bs.delivered }
+
+// Finish closes the batch, waits for in-flight chunks, and returns the
+// per-member outcomes. Members absent from the map were never covered
+// by an ack (e.g. the link failed mid-stream): their records stay
+// frozen-and-held at the source, retryable by token. The returned
+// error is the first stream failure, if any.
+func (bs *BatchSender) Finish() (map[uint32]BatchMemberStatus, error) {
+	bs.mu.Lock()
+	bs.finished = true
+	bs.maybeFlushLocked()
+	for bs.inFlight > 0 || (len(bs.buf) > 0 && bs.sendErr == nil) {
+		bs.cond.Wait()
+	}
+	err := bs.sendErr
+	out := make(map[uint32]BatchMemberStatus, len(bs.statuses))
+	for k, v := range bs.statuses {
+		out[k] = v
+	}
+	savings := bs.savings
+	tokens := make([][]byte, 0, len(bs.tokens))
+	for _, t := range bs.tokens {
+		tokens = append(tokens, t)
+	}
+	bs.mu.Unlock()
+	close(bs.delivered)
+	// Release every member's in-flight latch: unacked records go back to
+	// held-and-retryable (parked), exactly like a failed single transfer.
+	me := bs.me
+	me.mu.Lock()
+	for _, t := range tokens {
+		if rec, ok := me.outgoing[hex.EncodeToString(t)]; ok {
+			rec.inFlight = false
+		}
+	}
+	me.mu.Unlock()
+	if savings > 0 {
+		me.observer().M().Add("wire.bytes.saved", savings)
+	}
+	if bs.sp != nil {
+		bs.sp.End()
+	}
+	return out, err
+}
+
+// ---------------------------------------------------------------------
+// Destination side
+// ---------------------------------------------------------------------
+
+// batchRecvState is the destination ME's per-batch reassembly state.
+type batchRecvState struct {
+	mu         sync.Mutex
+	stream     *xcrypto.StreamSealer // data direction (open)
+	acks       *xcrypto.StreamSealer // ack direction (seal)
+	transcript []byte
+	fresh      bool
+	authed     bool // source provider authenticated (seq 0 of fresh)
+	count      uint32
+	nextSeq    uint64
+	seen       map[uint64]bool
+	pending    map[uint64][]byte
+	buf        []byte
+	statuses   map[uint32]memberStatus
+}
+
+// storeIncoming applies the destination's fork-prevention rules to one
+// decoded envelope and stores it for the matching local enclave. It is
+// the shared core of handleData and the batch chunk drain.
+func (me *MigrationEnclave) storeIncoming(env *migrationEnvelope, tc obs.TraceContext, batch bool) error {
+	me.mu.Lock()
+	defer me.mu.Unlock()
+	if me.restored[hex.EncodeToString(env.DoneToken)] {
+		// This exact envelope was already fetched by a restoring library
+		// here (a retry raced the restore); storing it again could fork
+		// the restored enclave.
+		return ErrEnvelopeConsumed
+	}
+	existing, exists := me.incoming[env.MREnclave]
+	// A re-send of the very same migration (identical done-token — e.g.
+	// the previous delivery's ack was lost) is accepted idempotently: the
+	// stored copy is kept and acknowledged again, so retries of a
+	// delivered-but-unacknowledged transfer converge instead of wedging.
+	duplicate := exists && string(existing.env.DoneToken) == string(env.DoneToken)
+	if exists && !duplicate {
+		// One pending migration per enclave identity: accepting a second,
+		// different envelope would silently destroy the first one's only
+		// deliverable copy. Refuse; the source ME keeps its copy and can
+		// retry once the parked migration has been restored (§V-D).
+		return fmt.Errorf("%w (%v)", ErrAlreadyPending, env.MREnclave)
+	}
+	if !duplicate {
+		me.incoming[env.MREnclave] = &incomingRecord{env: env, trace: tc, batch: batch}
+	}
+	return nil
+}
+
+// handleBatchOffer is the destination side of the batch offer round.
+func (me *MigrationEnclave) handleBatchOffer(payload []byte) ([]byte, error) {
+	offer, err := decodeBatchOffer(payload)
+	if err != nil {
+		return nil, err
+	}
+	if offer.Resume != nil {
+		return me.handleBatchResume(offer)
+	}
+	// Fresh handshake: identical peer verification to handleOffer.
+	srcQuote, err := quoteFromWire(offer.Quote)
+	if err != nil {
+		return nil, err
+	}
+	if err := me.ias.Verify(srcQuote); err != nil {
+		return nil, fmt.Errorf("verify source quote: %w", err)
+	}
+	if srcQuote.MREnclave != me.enclave.MREnclave() {
+		return nil, fmt.Errorf("%w: source %v", ErrPeerIdentity, srcQuote.MREnclave)
+	}
+	if srcQuote.Data != sgx.MakeReportData(offer.DHPub) {
+		return nil, ErrQuoteBinding
+	}
+	dh, err := xcrypto.NewKeyExchange()
+	if err != nil {
+		return nil, fmt.Errorf("destination dh: %w", err)
+	}
+	shared, err := dh.Shared(offer.DHPub)
+	if err != nil {
+		return nil, fmt.Errorf("shared secret: %w", err)
+	}
+	transcript := xcrypto.Transcript(transcriptContext, offer.DHPub, dh.PublicBytes())
+	secret := deriveSessionSecret(shared, transcript)
+	myQuote, err := me.qe.Quote(me.enclave, sgx.MakeReportData(offer.DHPub, dh.PublicBytes()))
+	if err != nil {
+		return nil, fmt.Errorf("destination quote: %w", err)
+	}
+	wq, err := quoteToWire(myQuote)
+	if err != nil {
+		return nil, err
+	}
+	myCert, err := certToWire(me.cred.Certificate())
+	if err != nil {
+		return nil, err
+	}
+	sid, err := xcrypto.RandomBytes(16)
+	if err != nil {
+		return nil, err
+	}
+	batchID, err := xcrypto.RandomBytes(16)
+	if err != nil {
+		return nil, err
+	}
+	dataKey, ackKey := batchKeys(secret, 0)
+	st, err := newBatchRecvState(dataKey, ackKey, transcript, true, offer.Count)
+	if err != nil {
+		return nil, err
+	}
+	me.mu.Lock()
+	me.accepted[hex.EncodeToString(sid)] = &resumableSession{
+		id:      sid,
+		secret:  secret,
+		epoch:   append([]byte(nil), me.epoch...),
+		counter: 0, // counter 0 keys this batch; resumes must exceed it
+	}
+	me.rxBatches[hex.EncodeToString(batchID)] = st
+	epoch := append([]byte(nil), me.epoch...)
+	me.mu.Unlock()
+	return encodeBatchOfferReply(&batchOfferReply{
+		BatchID:   batchID,
+		SessionID: sid,
+		Epoch:     epoch,
+		Quote:     wq,
+		DHPub:     dh.PublicBytes(),
+		Cert:      myCert,
+		Sig:       me.cred.Sign(transcript),
+	})
+}
+
+// handleBatchResume decides one resume ticket. Refusals are replies,
+// not errors: the source is expected to fall back to a full handshake.
+// The epoch check is the fence — a restarted ME minted a new epoch (and
+// forgot its accepted table anyway), so no pre-restart ticket verifies.
+func (me *MigrationEnclave) handleBatchResume(offer *batchOffer) ([]byte, error) {
+	refuse := func() ([]byte, error) {
+		me.observer().M().Add("me.session.resume.refused", 1)
+		return encodeBatchOfferReply(&batchOfferReply{Refused: true})
+	}
+	t := offer.Resume
+	if t == nil || t.Count != offer.Count {
+		return refuse()
+	}
+	me.mu.Lock()
+	sess := me.accepted[hex.EncodeToString(t.SessionID)]
+	epoch := me.epoch
+	me.mu.Unlock()
+	if sess == nil || !macEqual(t.Epoch, epoch) {
+		return refuse()
+	}
+	if !macEqual(t.MAC, resumeMAC(sess.secret, t.SessionID, t.Epoch, t.Counter, t.Count)) {
+		return refuse()
+	}
+	me.mu.Lock()
+	if t.Counter <= sess.counter {
+		// Counter replay: this use (or a later one) was already accepted.
+		me.mu.Unlock()
+		return refuse()
+	}
+	sess.counter = t.Counter
+	me.mu.Unlock()
+	dataKey, ackKey := batchKeys(sess.secret, t.Counter)
+	st, err := newBatchRecvState(dataKey, ackKey, nil, false, offer.Count)
+	if err != nil {
+		return nil, err
+	}
+	st.authed = true // authenticated at the original handshake
+	batchID, err := xcrypto.RandomBytes(16)
+	if err != nil {
+		return nil, err
+	}
+	me.mu.Lock()
+	me.rxBatches[hex.EncodeToString(batchID)] = st
+	me.mu.Unlock()
+	me.observer().M().Add("me.session.resumed", 1)
+	return encodeBatchOfferReply(&batchOfferReply{
+		Resumed:    true,
+		BatchID:    batchID,
+		ConfirmMAC: resumeConfirmMAC(sess.secret, t.SessionID, t.Counter),
+	})
+}
+
+func newBatchRecvState(dataKey, ackKey [32]byte, transcript []byte, fresh bool, count uint32) (*batchRecvState, error) {
+	stream, err := xcrypto.NewStreamSealer(dataKey)
+	if err != nil {
+		return nil, err
+	}
+	acks, err := xcrypto.NewStreamSealer(ackKey)
+	if err != nil {
+		return nil, err
+	}
+	return &batchRecvState{
+		stream:     stream,
+		acks:       acks,
+		transcript: transcript,
+		fresh:      fresh,
+		count:      count,
+		seen:       make(map[uint64]bool),
+		pending:    make(map[uint64][]byte),
+		statuses:   make(map[uint32]memberStatus),
+	}, nil
+}
+
+// handleBatchChunk decrypts one stream frame, reassembles in order,
+// stores every complete record, and replies with the sealed cumulative
+// status list. Frames may arrive out of order (the sender pipelines);
+// record consumption is strictly in-order, which also guarantees no
+// record is delivered before the seq-0 source authentication of a
+// fresh-handshake batch has passed.
+func (me *MigrationEnclave) handleBatchChunk(payload []byte) ([]byte, error) {
+	msg, err := decodeBatchChunk(payload)
+	if err != nil {
+		return nil, err
+	}
+	me.mu.Lock()
+	st := me.rxBatches[hex.EncodeToString(msg.BatchID)]
+	me.mu.Unlock()
+	if st == nil {
+		return nil, ErrUnknownBatch
+	}
+	pt, err := st.stream.OpenAt(msg.Seq, msg.Sealed, msg.BatchID)
+	if err != nil {
+		return nil, fmt.Errorf("open batch chunk: %w", err)
+	}
+	st.mu.Lock()
+	if st.fresh && !st.authed && msg.Seq == 0 {
+		// Mutual provider authentication (R2), batch-framed: the source
+		// proves membership by signing the handshake transcript; the
+		// signature rides the first frame because the transcript did not
+		// exist until the offer reply.
+		srcCert, err := certFromWire(msg.Cert)
+		if err != nil {
+			st.mu.Unlock()
+			return nil, err
+		}
+		if err := me.cred.VerifyPeer(srcCert, st.transcript, msg.Sig); err != nil {
+			st.mu.Unlock()
+			return nil, fmt.Errorf("authenticate source: %w", err)
+		}
+		st.authed = true
+	}
+	if !st.seen[msg.Seq] {
+		st.seen[msg.Seq] = true
+		st.pending[msg.Seq] = pt
+	}
+	if st.authed {
+		for {
+			next, ok := st.pending[st.nextSeq]
+			if !ok {
+				break
+			}
+			delete(st.pending, st.nextSeq)
+			st.nextSeq++
+			st.buf = append(st.buf, next...)
+		}
+		if err := me.drainRecordsLocked(st); err != nil {
+			st.mu.Unlock()
+			return nil, err
+		}
+	}
+	list := make([]memberStatus, 0, len(st.statuses))
+	for _, s := range st.statuses {
+		list = append(list, s)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Index < list[j].Index })
+	complete := uint32(len(st.statuses)) >= st.count
+	st.mu.Unlock()
+	raw, err := encodeBatchStatusList(&batchStatusList{Statuses: list})
+	if err != nil {
+		return nil, err
+	}
+	sealed := st.acks.SealAt(msg.Seq, raw, msg.BatchID)
+	if complete {
+		me.mu.Lock()
+		delete(me.rxBatches, hex.EncodeToString(msg.BatchID))
+		me.mu.Unlock()
+	}
+	return sealed, nil
+}
+
+// drainRecordsLocked parses every complete length-prefixed record out
+// of the reassembly buffer and stores its envelope. Per-record refusals
+// (fork prevention, decode errors) become member statuses; a corrupted
+// record FRAME poisons the whole stream and fails the handler, leaving
+// uncovered members parked at the source.
+func (me *MigrationEnclave) drainRecordsLocked(st *batchRecvState) error {
+	for {
+		if len(st.buf) < 4 {
+			return nil
+		}
+		n := int(binary.BigEndian.Uint32(st.buf))
+		if n == 0 || n > wirec.MaxField {
+			return fmt.Errorf("%w: batch record length %d", ErrDataFormat, n)
+		}
+		if len(st.buf) < 4+n {
+			return nil
+		}
+		rec, err := decodeBatchRecord(st.buf[4 : 4+n])
+		if err != nil {
+			return err
+		}
+		st.buf = st.buf[4+n:]
+		status := memberStatus{Index: rec.Index, Status: batchStatusStored}
+		envRaw := rec.Envelope
+		if rec.Compressed {
+			envRaw, err = transport.DecompressFrame(envRaw, 0)
+		}
+		var env *migrationEnvelope
+		if err == nil {
+			env, err = decodeEnvelope(envRaw)
+		}
+		if err == nil {
+			err = me.storeIncoming(env, obs.UnmarshalTrace(rec.Trace), true)
+		}
+		if err != nil {
+			status.Status = batchStatusError
+			status.Detail = err.Error()
+		}
+		st.statuses[rec.Index] = status
+	}
+}
+
+// handleBatchDone applies one aggregated DONE flush. Unknown tokens are
+// tolerated: a re-flush after a lost reply must converge, exactly like
+// duplicate single DONEs.
+func (me *MigrationEnclave) handleBatchDone(payload []byte) ([]byte, error) {
+	msg, err := decodeBatchDoneMessage(payload)
+	if err != nil {
+		return nil, err
+	}
+	me.mu.Lock()
+	defer me.mu.Unlock()
+	for _, token := range msg.Tokens {
+		if rec, ok := me.outgoing[hex.EncodeToString(token)]; ok {
+			rec.done = true
+			rec.envelope = nil
+		}
+	}
+	return []byte(statusOK), nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz harnesses for the batch pipeline's decoders — every byte shape
+// here arrives from the untrusted network (batch offers with resume
+// tickets, offer replies, sealed chunk frames, cumulative status acks,
+// aggregated DONE flushes) or from inside the decrypted stream
+// (batchRecord). Invariant as in codec_fuzz_test.go: error or a value
+// that re-encodes and re-decodes consistently, never a panic.
+
+func batchFuzzSeeds(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xB5})
+	f.Add([]byte{0xB5, 0x01})
+	f.Add([]byte{0xB6, 0xFF, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	// Count fields claiming far more entries than the payload holds.
+	f.Add([]byte{0xB8, 0x01, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0xB9, 0x01, 0xFF, 0xFF, 0xFF, 0xFF})
+}
+
+func fuzzTestQuote() *wireQuote {
+	return &wireQuote{Data: make([]byte, 64), Cert: []byte("cert"), Signature: []byte("sig")}
+}
+
+func FuzzDecodeBatchOffer(f *testing.F) {
+	batchFuzzSeeds(f)
+	resume, _ := encodeBatchOffer(&batchOffer{
+		Count: 3,
+		Resume: &resumeTicket{
+			SessionID: []byte("sess-id!"),
+			Epoch:     bytes.Repeat([]byte{7}, 16),
+			Counter:   9,
+			Count:     3,
+			MAC:       bytes.Repeat([]byte{1}, 32),
+		},
+	})
+	f.Add(resume)
+	fresh, _ := encodeBatchOffer(&batchOffer{Count: 1, Quote: fuzzTestQuote(), DHPub: []byte("dh")})
+	f.Add(fresh)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := decodeBatchOffer(raw)
+		if err != nil {
+			return
+		}
+		if (m.Quote == nil) == (m.Resume == nil) {
+			t.Fatal("decoded offer has neither or both of quote and resume ticket")
+		}
+		re, err := encodeBatchOffer(m)
+		if err != nil {
+			t.Fatalf("decoded value does not re-encode: %v", err)
+		}
+		m2, err := decodeBatchOffer(re)
+		if err != nil {
+			t.Fatalf("re-encoded value does not decode: %v", err)
+		}
+		if m.Count != m2.Count {
+			t.Fatal("count mismatch after round trip")
+		}
+		if m.Resume != nil && (m2.Resume == nil || m.Resume.Counter != m2.Resume.Counter ||
+			!bytes.Equal(m.Resume.SessionID, m2.Resume.SessionID) ||
+			!bytes.Equal(m.Resume.Epoch, m2.Resume.Epoch) ||
+			!bytes.Equal(m.Resume.MAC, m2.Resume.MAC)) {
+			t.Fatal("resume ticket mismatch after round trip")
+		}
+	})
+}
+
+func FuzzDecodeBatchOfferReply(f *testing.F) {
+	batchFuzzSeeds(f)
+	resumed, _ := encodeBatchOfferReply(&batchOfferReply{
+		Resumed: true, BatchID: []byte("batch-id"), ConfirmMAC: bytes.Repeat([]byte{2}, 32),
+	})
+	f.Add(resumed)
+	quoted, _ := encodeBatchOfferReply(&batchOfferReply{
+		BatchID: []byte("batch-id"), SessionID: []byte("sess"), Epoch: []byte("epoch"),
+		Quote: fuzzTestQuote(), DHPub: []byte("dh"), Cert: []byte("cert"), Sig: []byte("sig"),
+	})
+	f.Add(quoted)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := decodeBatchOfferReply(raw)
+		if err != nil {
+			return
+		}
+		re, err := encodeBatchOfferReply(m)
+		if err != nil {
+			t.Fatalf("decoded value does not re-encode: %v", err)
+		}
+		m2, err := decodeBatchOfferReply(re)
+		if err != nil {
+			t.Fatalf("re-encoded value does not decode: %v", err)
+		}
+		if m.Refused != m2.Refused || m.Resumed != m2.Resumed ||
+			!bytes.Equal(m.BatchID, m2.BatchID) || !bytes.Equal(m.Epoch, m2.Epoch) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+func FuzzDecodeBatchChunk(f *testing.F) {
+	batchFuzzSeeds(f)
+	valid, _ := encodeBatchChunk(&batchChunk{
+		BatchID: []byte("batch-id"), Seq: 5, Cert: []byte("c"), Sig: []byte("s"),
+		Sealed: bytes.Repeat([]byte{3}, 48),
+	})
+	f.Add(valid)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := decodeBatchChunk(raw)
+		if err != nil {
+			return
+		}
+		re, err := encodeBatchChunk(m)
+		if err != nil {
+			t.Fatalf("decoded value does not re-encode: %v", err)
+		}
+		m2, err := decodeBatchChunk(re)
+		if err != nil {
+			t.Fatalf("re-encoded value does not decode: %v", err)
+		}
+		if m.Seq != m2.Seq || !bytes.Equal(m.BatchID, m2.BatchID) || !bytes.Equal(m.Sealed, m2.Sealed) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+func FuzzDecodeBatchStatusList(f *testing.F) {
+	batchFuzzSeeds(f)
+	valid, _ := encodeBatchStatusList(&batchStatusList{Statuses: []memberStatus{
+		{Index: 0, Status: batchStatusStored},
+		{Index: 7, Status: batchStatusError, Detail: "identity busy"},
+	}})
+	f.Add(valid)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := decodeBatchStatusList(raw)
+		if err != nil {
+			return
+		}
+		re, err := encodeBatchStatusList(m)
+		if err != nil {
+			t.Fatalf("decoded value does not re-encode: %v", err)
+		}
+		m2, err := decodeBatchStatusList(re)
+		if err != nil {
+			t.Fatalf("re-encoded value does not decode: %v", err)
+		}
+		if len(m.Statuses) != len(m2.Statuses) {
+			t.Fatal("status count mismatch after round trip")
+		}
+		for i := range m.Statuses {
+			if m.Statuses[i] != m2.Statuses[i] {
+				t.Fatal("status mismatch after round trip")
+			}
+		}
+	})
+}
+
+func FuzzDecodeBatchDone(f *testing.F) {
+	batchFuzzSeeds(f)
+	valid, _ := encodeBatchDoneMessage(&batchDoneMessage{Tokens: [][]byte{
+		bytes.Repeat([]byte{4}, 16), bytes.Repeat([]byte{5}, 16),
+	}})
+	f.Add(valid)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := decodeBatchDoneMessage(raw)
+		if err != nil {
+			return
+		}
+		re, err := encodeBatchDoneMessage(m)
+		if err != nil {
+			t.Fatalf("decoded value does not re-encode: %v", err)
+		}
+		m2, err := decodeBatchDoneMessage(re)
+		if err != nil {
+			t.Fatalf("re-encoded value does not decode: %v", err)
+		}
+		if len(m.Tokens) != len(m2.Tokens) {
+			t.Fatal("token count mismatch after round trip")
+		}
+		for i := range m.Tokens {
+			if !bytes.Equal(m.Tokens[i], m2.Tokens[i]) {
+				t.Fatal("token mismatch after round trip")
+			}
+		}
+	})
+}
+
+func FuzzDecodeBatchRecord(f *testing.F) {
+	batchFuzzSeeds(f)
+	valid, _ := encodeBatchRecord(&batchRecord{
+		Index: 2, Compressed: true, Trace: []byte("trace"), Envelope: bytes.Repeat([]byte{6}, 32),
+	})
+	f.Add(valid)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := decodeBatchRecord(raw)
+		if err != nil {
+			return
+		}
+		re, err := encodeBatchRecord(m)
+		if err != nil {
+			t.Fatalf("decoded value does not re-encode: %v", err)
+		}
+		m2, err := decodeBatchRecord(re)
+		if err != nil {
+			t.Fatalf("re-encoded value does not decode: %v", err)
+		}
+		if m.Index != m2.Index || m.Compressed != m2.Compressed ||
+			!bytes.Equal(m.Trace, m2.Trace) || !bytes.Equal(m.Envelope, m2.Envelope) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Wire messages of the batched migration pipeline (Fig. 2 amortized):
+// one batchOffer per (source, dest) batch — carrying either a full
+// attestation quote or a resume ticket — then a pipelined stream of
+// AEAD-sealed batchChunk frames, and one aggregated batchDone flushing
+// many DONE confirmations at once. All messages use the shared wirec
+// framing with core's tag/version header and the same length-bomb
+// clamps as the single-migration codecs.
+
+// maxBatchCount clamps the member count a batch offer may declare.
+const maxBatchCount = 1 << 16
+
+// resumeTicket asks the destination to resume a cached attested session
+// instead of re-running the handshake. The MAC binds the session id,
+// the destination epoch the source saw at handshake time, the reserved
+// counter, and the batch size under the session secret.
+type resumeTicket struct {
+	SessionID []byte
+	Epoch     []byte
+	Counter   uint64
+	Count     uint32
+	MAC       []byte
+}
+
+// batchOffer opens a batch: either Resume is present (session resume)
+// or Quote+DHPub are (full handshake, same binding as offerMessage).
+type batchOffer struct {
+	Count  uint32
+	Quote  *wireQuote
+	DHPub  []byte
+	Resume *resumeTicket
+}
+
+// batchOfferReply either refuses resumption (Refused — not an error:
+// the source falls back to a full handshake), confirms it (Resumed +
+// ConfirmMAC), or completes a fresh handshake (Quote/DHPub/Cert/Sig as
+// in offerReply, plus the new session's id and the destination epoch).
+type batchOfferReply struct {
+	Refused    bool
+	Resumed    bool
+	BatchID    []byte
+	SessionID  []byte
+	Epoch      []byte
+	Quote      *wireQuote
+	DHPub      []byte
+	Cert       []byte
+	Sig        []byte
+	ConfirmMAC []byte
+}
+
+// batchChunk is one sealed frame of the batch stream. Seq is the frame's
+// stream position (frames may arrive out of order; the receiver
+// reassembles). Cert/Sig are present only on seq 0 of a fresh-handshake
+// batch: the source's provider authentication needs the full transcript
+// (both DH keys), which does not exist until the offer reply — and the
+// receiver consumes frames in order, so no record is delivered before
+// the seq-0 authentication passes.
+type batchChunk struct {
+	BatchID []byte
+	Seq     uint64
+	Cert    []byte
+	Sig     []byte
+	Sealed  []byte
+}
+
+// Member statuses carried in chunk acks.
+const (
+	batchStatusStored byte = 1 // envelope stored at the destination ME
+	batchStatusError  byte = 2 // refused; Detail carries the reason
+)
+
+// memberStatus is one batch member's outcome at the destination.
+type memberStatus struct {
+	Index  uint32
+	Status byte
+	Detail string
+}
+
+// batchStatusList is the (sealed) payload of a chunk ack: the
+// cumulative set of member outcomes so far, so acks are idempotent and
+// any single ack suffices to learn everything decided up to it.
+type batchStatusList struct {
+	Statuses []memberStatus
+}
+
+// batchDoneMessage flushes many DONE confirmations to a source ME in
+// one exchange.
+type batchDoneMessage struct {
+	Tokens [][]byte
+}
+
+// batchRecord is one enclave's migration inside the stream plaintext:
+// the encoded envelope (optionally a compressed frame) plus its trace
+// context. Records are length-prefixed and concatenated; chunks cut the
+// concatenation at arbitrary byte boundaries.
+type batchRecord struct {
+	Index      uint32
+	Compressed bool
+	Trace      []byte
+	Envelope   []byte
+}
+
+func encodeResumeTicketInline(dst []byte, t *resumeTicket) []byte {
+	dst = appendBytes(dst, t.SessionID)
+	dst = appendBytes(dst, t.Epoch)
+	dst = appendU64(dst, t.Counter)
+	dst = appendU32(dst, t.Count)
+	return appendBytes(dst, t.MAC)
+}
+
+func (r *wireReader) resumeTicket() *resumeTicket {
+	t := &resumeTicket{
+		SessionID: r.bytes(),
+		Epoch:     r.bytes(),
+		Counter:   r.u64(),
+		Count:     r.u32(),
+		MAC:       r.bytes(),
+	}
+	if r.errState() != nil {
+		return nil
+	}
+	return t
+}
+
+func encodeBatchOffer(m *batchOffer) ([]byte, error) {
+	if (m.Quote == nil) == (m.Resume == nil) {
+		return nil, fmt.Errorf("%w: batch offer needs exactly one of quote or resume ticket", ErrDataFormat)
+	}
+	out := appendHeader(make([]byte, 0, 256), tagBatchOffer)
+	out = appendU32(out, m.Count)
+	if m.Resume != nil {
+		out = append(out, 1)
+		return encodeResumeTicketInline(out, m.Resume), nil
+	}
+	out = append(out, 0)
+	out = appendQuote(out, m.Quote)
+	return appendBytes(out, m.DHPub), nil
+}
+
+func decodeBatchOffer(raw []byte) (*batchOffer, error) {
+	rd := newWireReader(raw)
+	if !rd.header(tagBatchOffer) {
+		return nil, rd.errState()
+	}
+	m := &batchOffer{Count: rd.u32()}
+	if m.Count == 0 || m.Count > maxBatchCount {
+		return nil, fmt.Errorf("%w: batch count %d out of range", ErrDataFormat, m.Count)
+	}
+	switch rd.u8() {
+	case 1:
+		m.Resume = rd.resumeTicket()
+	case 0:
+		m.Quote = rd.quote()
+		m.DHPub = rd.bytes()
+	default:
+		return nil, fmt.Errorf("%w: bad batch offer mode", ErrDataFormat)
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	if rd.errState() != nil {
+		return nil, rd.errState()
+	}
+	return m, nil
+}
+
+// Flag bits of the batch offer reply.
+const (
+	batchReplyRefused byte = 1 << 0
+	batchReplyResumed byte = 1 << 1
+	batchReplyQuoted  byte = 1 << 2 // fresh-handshake fields present
+)
+
+func encodeBatchOfferReply(m *batchOfferReply) ([]byte, error) {
+	var flags byte
+	if m.Refused {
+		flags |= batchReplyRefused
+	}
+	if m.Resumed {
+		flags |= batchReplyResumed
+	}
+	if m.Quote != nil {
+		flags |= batchReplyQuoted
+	}
+	out := appendHeader(make([]byte, 0, 512), tagBatchReply)
+	out = append(out, flags)
+	out = appendBytes(out, m.BatchID)
+	out = appendBytes(out, m.SessionID)
+	out = appendBytes(out, m.Epoch)
+	out = appendBytes(out, m.ConfirmMAC)
+	if m.Quote != nil {
+		out = appendQuote(out, m.Quote)
+		out = appendBytes(out, m.DHPub)
+		out = appendBytes(out, m.Cert)
+		out = appendBytes(out, m.Sig)
+	}
+	return out, nil
+}
+
+func decodeBatchOfferReply(raw []byte) (*batchOfferReply, error) {
+	rd := newWireReader(raw)
+	if !rd.header(tagBatchReply) {
+		return nil, rd.errState()
+	}
+	flags := rd.u8()
+	m := &batchOfferReply{
+		Refused:    flags&batchReplyRefused != 0,
+		Resumed:    flags&batchReplyResumed != 0,
+		BatchID:    rd.bytes(),
+		SessionID:  rd.bytes(),
+		Epoch:      rd.bytes(),
+		ConfirmMAC: rd.bytes(),
+	}
+	if flags&batchReplyQuoted != 0 {
+		m.Quote = rd.quote()
+		m.DHPub = rd.bytes()
+		m.Cert = rd.bytes()
+		m.Sig = rd.bytes()
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encodeBatchChunk(m *batchChunk) ([]byte, error) {
+	out := appendHeader(make([]byte, 0, 64+len(m.Cert)+len(m.Sig)+len(m.Sealed)), tagBatchChunk)
+	out = appendBytes(out, m.BatchID)
+	out = appendU64(out, m.Seq)
+	out = appendBytes(out, m.Cert)
+	out = appendBytes(out, m.Sig)
+	return appendBytes(out, m.Sealed), nil
+}
+
+func decodeBatchChunk(raw []byte) (*batchChunk, error) {
+	rd := newWireReader(raw)
+	if !rd.header(tagBatchChunk) {
+		return nil, rd.errState()
+	}
+	m := &batchChunk{
+		BatchID: rd.bytes(),
+		Seq:     rd.u64(),
+		Cert:    rd.bytes(),
+		Sig:     rd.bytes(),
+		Sealed:  rd.bytes(),
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encodeBatchStatusList(m *batchStatusList) ([]byte, error) {
+	out := appendHeader(make([]byte, 0, 8+16*len(m.Statuses)), tagBatchStatus)
+	out = appendU32(out, uint32(len(m.Statuses)))
+	for _, s := range m.Statuses {
+		out = appendU32(out, s.Index)
+		out = append(out, s.Status)
+		out = appendString(out, s.Detail)
+	}
+	return out, nil
+}
+
+func decodeBatchStatusList(raw []byte) (*batchStatusList, error) {
+	rd := newWireReader(raw)
+	if !rd.header(tagBatchStatus) {
+		return nil, rd.errState()
+	}
+	n := rd.u32()
+	// Each status needs at least index(4) + status(1) + detail length(4).
+	if !rd.canHold(n, 9) {
+		return nil, fmt.Errorf("%w: status count %d exceeds payload", ErrDataFormat, n)
+	}
+	m := &batchStatusList{Statuses: make([]memberStatus, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		m.Statuses = append(m.Statuses, memberStatus{
+			Index:  rd.u32(),
+			Status: rd.u8(),
+			Detail: rd.string(),
+		})
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encodeBatchDoneMessage(m *batchDoneMessage) ([]byte, error) {
+	out := appendHeader(make([]byte, 0, 8+20*len(m.Tokens)), tagBatchDone)
+	out = appendU32(out, uint32(len(m.Tokens)))
+	for _, t := range m.Tokens {
+		out = appendBytes(out, t)
+	}
+	return out, nil
+}
+
+func decodeBatchDoneMessage(raw []byte) (*batchDoneMessage, error) {
+	rd := newWireReader(raw)
+	if !rd.header(tagBatchDone) {
+		return nil, rd.errState()
+	}
+	n := rd.u32()
+	if !rd.canHold(n, 4) {
+		return nil, fmt.Errorf("%w: token count %d exceeds payload", ErrDataFormat, n)
+	}
+	m := &batchDoneMessage{Tokens: make([][]byte, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		m.Tokens = append(m.Tokens, rd.bytes())
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encodeBatchRecord(m *batchRecord) ([]byte, error) {
+	out := appendHeader(make([]byte, 0, 16+len(m.Trace)+len(m.Envelope)), tagBatchRecord)
+	out = appendU32(out, m.Index)
+	var c byte
+	if m.Compressed {
+		c = 1
+	}
+	out = append(out, c)
+	out = appendBytes(out, m.Trace)
+	return appendBytes(out, m.Envelope), nil
+}
+
+func decodeBatchRecord(raw []byte) (*batchRecord, error) {
+	rd := newWireReader(raw)
+	if !rd.header(tagBatchRecord) {
+		return nil, rd.errState()
+	}
+	m := &batchRecord{Index: rd.u32()}
+	switch rd.u8() {
+	case 0:
+	case 1:
+		m.Compressed = true
+	default:
+		return nil, fmt.Errorf("%w: bad record compression flag", ErrDataFormat)
+	}
+	m.Trace = rd.bytes()
+	m.Envelope = rd.bytes()
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -79,9 +79,13 @@ type outgoingRecord struct {
 
 // incomingRecord is a stored incoming migration plus the trace context it
 // traveled with, so the restoring library joins the originating trace.
+// batch marks deliveries that arrived via the batch stream: their DONE
+// confirmations are queued and flushed in aggregated batchDone messages
+// instead of one network exchange each.
 type incomingRecord struct {
 	env   *migrationEnvelope
 	trace obs.TraceContext
+	batch bool
 }
 
 // handshakeState is the destination ME's remote-attestation session
@@ -92,10 +96,12 @@ type handshakeState struct {
 }
 
 // pendingAck tracks an incoming migration delivered to a local library
-// but not yet acknowledged; the ack triggers the DONE to the source.
+// but not yet acknowledged; the ack triggers the DONE to the source
+// (queued for an aggregated flush when the delivery was batched).
 type pendingAck struct {
 	envelope *migrationEnvelope
 	trace    obs.TraceContext
+	batch    bool
 }
 
 // MigrationEnclave is the per-machine migration manager (paper §V-B,
@@ -126,6 +132,21 @@ type MigrationEnclave struct {
 	restored   map[string]bool // key: hex done-token
 	handshakes map[string]*handshakeState
 	acks       map[string]*pendingAck // key: local session ID
+
+	// epoch is this ME instance's trust epoch, minted at construction.
+	// Session-resume tickets are MAC-bound to the destination's epoch; a
+	// restarted ME (a new instance) mints a new epoch, so every
+	// pre-restart ticket is refused and the source falls back to a full
+	// handshake (see session.go).
+	epoch []byte
+	// sessions caches resumable attested sessions by destination address
+	// (source role); accepted caches them by hex session id (dest role).
+	sessions  map[string]*resumableSession
+	accepted  map[string]*resumableSession
+	rxBatches map[string]*batchRecvState // key: hex batch id
+	// doneQueue accumulates DONE tokens per source-ME address for
+	// aggregated batchDone flushes.
+	doneQueue map[string][][]byte
 }
 
 // NewMigrationEnclave loads the ME on the machine, registers it on the
@@ -143,6 +164,10 @@ func NewMigrationEnclave(
 	if err != nil {
 		return nil, fmt.Errorf("load migration enclave: %w", err)
 	}
+	epoch, err := xcrypto.RandomBytes(16)
+	if err != nil {
+		return nil, fmt.Errorf("mint me epoch: %w", err)
+	}
 	me := &MigrationEnclave{
 		enclave:    e,
 		cred:       cred,
@@ -156,6 +181,11 @@ func NewMigrationEnclave(
 		restored:   make(map[string]bool),
 		handshakes: make(map[string]*handshakeState),
 		acks:       make(map[string]*pendingAck),
+		epoch:      epoch,
+		sessions:   make(map[string]*resumableSession),
+		accepted:   make(map[string]*resumableSession),
+		rxBatches:  make(map[string]*batchRecvState),
+		doneQueue:  make(map[string][][]byte),
 	}
 	if err := net.Register(addr, me.handleNetwork); err != nil {
 		return nil, fmt.Errorf("register migration enclave: %w", err)
@@ -242,6 +272,8 @@ func (me *MigrationEnclave) dispatchLocal(sessionID string, conn *localConn, req
 	switch req.Op {
 	case opMigrateOut:
 		return me.handleMigrateOut(conn, req)
+	case opMigrateOutHold:
+		return me.handleMigrateOutHold(conn, req)
 	case opFetchIncoming:
 		return me.handleFetchIncoming(sessionID, conn)
 	case opAckRestored:
@@ -297,6 +329,37 @@ func (me *MigrationEnclave) handleMigrateOut(conn *localConn, req *localRequest)
 	return &localResponse{Status: statusSent, Token: token}
 }
 
+// handleMigrateOutHold stores the outgoing migration WITHOUT attempting
+// a transfer: the batch pipeline will stream the held envelope itself
+// (BatchSender.Add), so the enclave's freeze window starts only just
+// before its own chunks go out, independent of batch size.
+func (me *MigrationEnclave) handleMigrateOutHold(conn *localConn, req *localRequest) *localResponse {
+	data, err := DecodeMigrationData(req.Body)
+	if err != nil {
+		return &localResponse{Status: "error", Detail: err.Error()}
+	}
+	token, err := xcrypto.RandomBytes(16)
+	if err != nil {
+		return &localResponse{Status: "error", Detail: err.Error()}
+	}
+	env := &migrationEnvelope{
+		Data:      data,
+		MREnclave: conn.session.PeerMREnclave,
+		SourceME:  string(me.addr),
+		DoneToken: token,
+	}
+	sp, tc := me.observer().StartSpan("me.migrate-out", obs.UnmarshalTrace(req.Trace))
+	if sp != nil {
+		sp.Site = string(me.addr)
+		defer sp.End()
+	}
+	rec := &outgoingRecord{envelope: env, dest: transport.Address(req.Dest), trace: tc}
+	me.mu.Lock()
+	me.outgoing[hex.EncodeToString(token)] = rec
+	me.mu.Unlock()
+	return &localResponse{Status: statusHeld, Token: token}
+}
+
 // handleFetchIncoming hands stored migration data to a local library
 // whose attested identity matches, deleting the stored copy so it can be
 // delivered exactly once (fork prevention, R3).
@@ -314,7 +377,7 @@ func (me *MigrationEnclave) handleFetchIncoming(sessionID string, conn *localCon
 	// migration (a retry racing the restore) must never be stored again —
 	// it would fork the restored enclave.
 	me.restored[hex.EncodeToString(env.DoneToken)] = true
-	me.acks[sessionID] = &pendingAck{envelope: env, trace: inc.trace}
+	me.acks[sessionID] = &pendingAck{envelope: env, trace: inc.trace, batch: inc.batch}
 	raw, err := env.encode()
 	if err != nil {
 		return &localResponse{Status: "error", Detail: err.Error()}
@@ -346,6 +409,23 @@ func (me *MigrationEnclave) handleAckRestored(sessionID string, req *localReques
 		sp.Site = string(me.addr)
 		defer sp.End()
 	}
+	if ack.batch {
+		// Batched delivery: queue the DONE for an aggregated flush instead
+		// of one network exchange per restore. The source keeps its copy
+		// until the flush lands — the same safe failure mode as a lost
+		// single DONE.
+		source := ack.envelope.SourceME
+		me.mu.Lock()
+		me.doneQueue[source] = append(me.doneQueue[source], ack.envelope.DoneToken)
+		flush := len(me.doneQueue[source]) >= doneFlushThreshold
+		me.mu.Unlock()
+		if flush {
+			if err := me.FlushDones(transport.Address(source)); err != nil {
+				return &localResponse{Status: statusOK, Detail: "restore complete; DONE flush failed: " + err.Error()}
+			}
+		}
+		return &localResponse{Status: statusOK, Detail: "restore complete; confirmation queued"}
+	}
 	payload, err := encodeDoneMessage(&doneMessage{Token: ack.envelope.DoneToken})
 	if err != nil {
 		return &localResponse{Status: "error", Detail: err.Error()}
@@ -373,6 +453,42 @@ func (me *MigrationEnclave) handleCheckDone(req *localRequest) *localResponse {
 		return &localResponse{Status: statusDone}
 	}
 	return &localResponse{Status: statusWaiting}
+}
+
+// doneFlushThreshold triggers an automatic FlushDones once this many
+// confirmations are queued for one source ME.
+const doneFlushThreshold = 64
+
+// FlushDones sends every queued DONE confirmation for the given source
+// ME in one aggregated batchDone exchange. On failure the tokens are
+// re-queued (the source keeps its copies; retries converge).
+func (me *MigrationEnclave) FlushDones(source transport.Address) error {
+	me.mu.Lock()
+	tokens := me.doneQueue[string(source)]
+	delete(me.doneQueue, string(source))
+	me.mu.Unlock()
+	if len(tokens) == 0 {
+		return nil
+	}
+	payload, err := encodeBatchDoneMessage(&batchDoneMessage{Tokens: tokens})
+	if err == nil {
+		_, err = me.net.Send(me.addr, source, kindBatchDone, payload)
+	}
+	if err != nil {
+		me.mu.Lock()
+		me.doneQueue[string(source)] = append(tokens, me.doneQueue[string(source)]...)
+		me.mu.Unlock()
+		return fmt.Errorf("flush batched DONEs: %w", err)
+	}
+	return nil
+}
+
+// QueuedDones reports how many DONE confirmations await flushing to the
+// given source ME (tests and operators).
+func (me *MigrationEnclave) QueuedDones(source transport.Address) int {
+	me.mu.Lock()
+	defer me.mu.Unlock()
+	return len(me.doneQueue[string(source)])
 }
 
 // PendingOutgoing returns the number of outgoing migrations not yet

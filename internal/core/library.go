@@ -621,6 +621,25 @@ func (l *Library) StartMigration(dest transport.Address) error {
 // hops, destination restore, DONE) join the caller's trace. A zero
 // context starts a fresh trace when an observer is installed.
 func (l *Library) StartMigrationCtx(tc obs.TraceContext, dest transport.Address) error {
+	return l.startMigration(tc, dest, false)
+}
+
+// StartMigrationHeld freezes and exports exactly like StartMigration but
+// leaves the migration data HELD at the source Migration Enclave instead
+// of transferring it: the batch pipeline streams the held envelope via
+// BatchSender.Add, so many enclaves share one attested stream while each
+// freeze window stays its own. The fork-prevention sequence (counter
+// destruction before any data leaves, R3/R4) is identical.
+func (l *Library) StartMigrationHeld(dest transport.Address) error {
+	return l.startMigration(obs.TraceContext{}, dest, true)
+}
+
+// StartMigrationHeldCtx is StartMigrationHeld under an existing trace.
+func (l *Library) StartMigrationHeldCtx(tc obs.TraceContext, dest transport.Address) error {
+	return l.startMigration(tc, dest, true)
+}
+
+func (l *Library) startMigration(tc obs.TraceContext, dest transport.Address, hold bool) error {
 	if err := l.enclave.ECall(); err != nil {
 		return err
 	}
@@ -714,13 +733,18 @@ func (l *Library) StartMigrationCtx(tc obs.TraceContext, dest transport.Address)
 	}
 	l.obs.Event(obs.EventFreeze, l.actor(), "frozen for migration to "+string(dest), tc)
 
-	// 4. Ship the migration data to the Migration Enclave.
+	// 4. Ship the migration data to the Migration Enclave (held batches
+	// stop at the ME; the batch stream moves the envelope itself).
 	raw, err := data.Encode()
 	if err != nil {
 		return err
 	}
+	op := opMigrateOut
+	if hold {
+		op = opMigrateOutHold
+	}
 	reply, err := l.localCallLocked(&localRequest{
-		Op:    opMigrateOut,
+		Op:    op,
 		Dest:  string(dest),
 		Body:  raw,
 		Trace: tc.Marshal(),

@@ -10,16 +10,22 @@ import (
 // Local (Library <-> Migration Enclave) operations, carried over the
 // attested channel established at migration_init.
 const (
-	opMigrateOut    = "migrate-out"
-	opFetchIncoming = "fetch-incoming"
-	opAckRestored   = "ack-restored"
-	opCheckDone     = "check-done"
+	opMigrateOut = "migrate-out"
+	// opMigrateOutHold stores the outgoing migration at the source ME
+	// WITHOUT attempting a transfer: the batch pipeline freezes each
+	// enclave just before its chunks are sent and streams the held
+	// envelope itself, so the freeze-to-send gap stays per-enclave.
+	opMigrateOutHold = "migrate-out-hold"
+	opFetchIncoming  = "fetch-incoming"
+	opAckRestored    = "ack-restored"
+	opCheckDone      = "check-done"
 )
 
 // Local reply statuses.
 const (
 	statusSent    = "sent"      // data transferred to destination ME
 	statusPending = "pending"   // transfer failed; held at source ME
+	statusHeld    = "held"      // data held at source ME for a batch stream
 	statusNone    = "none"      // no incoming migration waiting
 	statusData    = "data"      // incoming migration data attached
 	statusOK      = "ok"        // generic success
@@ -113,6 +119,11 @@ const (
 	kindOffer = "migrate-offer"
 	kindData  = "migrate-data"
 	kindDone  = "migrate-done"
+	// Batched pipeline kinds: one offer (full handshake or session
+	// resume), a pipelined chunk stream, and one aggregated DONE.
+	kindBatchOffer = "migrate-batch-offer"
+	kindBatchChunk = "migrate-batch-chunk"
+	kindBatchDone  = "migrate-batch-done"
 )
 
 // transcriptContext labels the remote-attestation transcript binding.

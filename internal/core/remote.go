@@ -186,6 +186,12 @@ func (me *MigrationEnclave) handleNetwork(msg transport.Message) ([]byte, error)
 		return me.handleData(msg.Payload, tc)
 	case kindDone:
 		return me.handleDone(msg.Payload)
+	case kindBatchOffer:
+		return me.handleBatchOffer(msg.Payload)
+	case kindBatchChunk:
+		return me.handleBatchChunk(msg.Payload)
+	case kindBatchDone:
+		return me.handleBatchDone(msg.Payload)
 	default:
 		return nil, fmt.Errorf("core: unknown message kind %q", msg.Kind)
 	}
@@ -285,32 +291,9 @@ func (me *MigrationEnclave) handleData(payload []byte, tc obs.TraceContext) ([]b
 	if err != nil {
 		return nil, err
 	}
-	me.mu.Lock()
-	if me.restored[hex.EncodeToString(env.DoneToken)] {
-		// This exact envelope was already fetched by a restoring library
-		// here (a retry raced the restore); storing it again could fork
-		// the restored enclave.
-		me.mu.Unlock()
-		return nil, ErrEnvelopeConsumed
+	if err := me.storeIncoming(env, tc, false); err != nil {
+		return nil, err
 	}
-	existing, exists := me.incoming[env.MREnclave]
-	// A re-send of the very same migration (identical done-token — e.g.
-	// the previous delivery's ack was lost) is accepted idempotently: the
-	// stored copy is kept and acknowledged again, so retries of a
-	// delivered-but-unacknowledged transfer converge instead of wedging.
-	duplicate := exists && string(existing.env.DoneToken) == string(env.DoneToken)
-	if exists && !duplicate {
-		// One pending migration per enclave identity: accepting a second,
-		// different envelope would silently destroy the first one's only
-		// deliverable copy. Refuse; the source ME keeps its copy and can
-		// retry once the parked migration has been restored (§V-D).
-		me.mu.Unlock()
-		return nil, fmt.Errorf("%w (%v)", ErrAlreadyPending, env.MREnclave)
-	}
-	if !duplicate {
-		me.incoming[env.MREnclave] = &incomingRecord{env: env, trace: tc}
-	}
-	me.mu.Unlock()
 
 	ack, err := hs.channel.Seal([]byte(statusOK))
 	if err != nil {

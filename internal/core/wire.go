@@ -36,6 +36,12 @@ const (
 	tagOfferReply    byte = 0xB2
 	tagDataMessage   byte = 0xB3
 	tagDoneMessage   byte = 0xB4
+	tagBatchOffer    byte = 0xB5
+	tagBatchReply    byte = 0xB6
+	tagBatchChunk    byte = 0xB7
+	tagBatchStatus   byte = 0xB8
+	tagBatchDone     byte = 0xB9
+	tagBatchRecord   byte = 0xBA
 )
 
 // wireVersion is the current format version, bumped on any layout change
@@ -60,6 +66,11 @@ func appendString(dst []byte, s string) []byte {
 // appendU32 appends one big-endian uint32.
 func appendU32(dst []byte, v uint32) []byte {
 	return wirec.AppendU32(dst, v)
+}
+
+// appendU64 appends one big-endian uint64.
+func appendU64(dst []byte, v uint64) []byte {
+	return wirec.AppendU64(dst, v)
 }
 
 // appendBitmap packs a bool array into bytes, LSB-first within each byte.
@@ -118,6 +129,17 @@ func (r *wireReader) string() string {
 // u32 consumes one big-endian uint32.
 func (r *wireReader) u32() uint32 {
 	return r.r.U32()
+}
+
+// u64 consumes one big-endian uint64.
+func (r *wireReader) u64() uint64 {
+	return r.r.U64()
+}
+
+// canHold reports whether n entries of at least minEntrySize bytes could
+// still be present (pre-allocation length-bomb defense).
+func (r *wireReader) canHold(n uint32, minEntrySize int) bool {
+	return r.r.CanHold(n, minEntrySize)
 }
 
 // u8 consumes one byte.

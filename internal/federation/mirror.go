@@ -74,6 +74,14 @@ type Mirror struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending map[instanceKey]struct{}
+	// seq stamps each instance at its first-ever enqueue; flushes sync
+	// in (owner, seq) order. The seq — not the instance id — is the
+	// within-owner tiebreak because escrow instance ids are minted
+	// randomly: sorting by id would sync one owner's old and migrated
+	// instances in a different order each run, while the first commit of
+	// the pre-migration instance always precedes the migrated one.
+	seq     map[instanceKey]uint64
+	nextSeq uint64
 	inWork  int
 	errs    []error
 	known   map[instanceKey]*originInfo
@@ -106,6 +114,7 @@ func newMirror(name string, origin *pserepl.Group, partner *seal.StateSealer, ms
 		dest:    dest,
 		sealer:  sealer,
 		pending: make(map[instanceKey]struct{}),
+		seq:     make(map[instanceKey]uint64),
 		known:   make(map[instanceKey]*originInfo),
 	}
 	m.cond = sync.NewCond(&m.mu)
@@ -124,6 +133,10 @@ func (m *Mirror) enqueue(k instanceKey) {
 	m.mu.Lock()
 	if !m.closed {
 		m.pending[k] = struct{}{}
+		if _, ok := m.seq[k]; !ok {
+			m.nextSeq++
+			m.seq[k] = m.nextSeq
+		}
 		m.obs.Load().M().SetGauge("mirror.dirty", int64(len(m.pending)))
 		m.cond.Broadcast()
 	}
@@ -217,11 +230,18 @@ func (m *Mirror) flush() error {
 	}
 	if m.manual && !m.closed {
 		// Manual mode: drain on the caller's goroutine, sorted by
-		// (owner, id) so a seeded chaos run syncs — and draws WAN loss —
-		// in a reproducible order.
+		// (owner, first-enqueue seq) so a seeded chaos run syncs — and
+		// draws WAN loss — in a reproducible order. The seq tiebreak
+		// matters once migrations put two instances of one owner in the
+		// same flush: their randomly minted ids would order differently
+		// each run, while first-commit order is stable.
 		keys := make([]instanceKey, 0, len(m.pending))
 		for k := range m.pending {
 			keys = append(keys, k)
+		}
+		seqOf := make(map[instanceKey]uint64, len(keys))
+		for _, k := range keys {
+			seqOf[k] = m.seq[k]
 		}
 		clear(m.pending)
 		errs := m.errs
@@ -231,7 +251,7 @@ func (m *Mirror) flush() error {
 			if c := bytes.Compare(keys[i].owner[:], keys[j].owner[:]); c != 0 {
 				return c < 0
 			}
-			return bytes.Compare(keys[i].id[:], keys[j].id[:]) < 0
+			return seqOf[keys[i]] < seqOf[keys[j]]
 		})
 		for _, k := range keys {
 			if err := m.syncOne(k); err != nil {

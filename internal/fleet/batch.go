@@ -1,0 +1,392 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Batched execution (Config.BatchSize > 1): migrations sharing a
+// (source, destination) pair ride one core batch stream. Each member is
+// frozen by a pool worker immediately before its envelope enters the
+// stream and restored by another pool worker the moment its delivery
+// ack lands — so batching amortizes the handshake and the exchange
+// count without ever serializing the members' freeze windows.
+
+// groupAssignments splits the compiled assignments into worker groups.
+// Recoveries, image-less entries, and token-resumed migrations always
+// run the classic single path; the rest group by (source, destination)
+// into batches of up to batchSize with at most one member per enclave
+// identity per batch (the destination ME stores one pending envelope
+// per MRENCLAVE, so same-identity members must not share a stream).
+func groupAssignments(assignments []Assignment, batchSize int) [][]Assignment {
+	out := make([][]Assignment, 0, len(assignments))
+	if batchSize <= 1 {
+		for _, as := range assignments {
+			out = append(out, []Assignment{as})
+		}
+		return out
+	}
+	type gkey struct{ src, dst string }
+	open := make(map[gkey][]int) // open group indices into out
+	for _, as := range assignments {
+		if as.Recover || as.App == nil || as.App.Library.MigrationToken() != nil {
+			out = append(out, []Assignment{as})
+			continue
+		}
+		k := gkey{as.Source.ID(), as.Dest.ID()}
+		mre := as.App.Image().Measure()
+		placed := false
+		for _, gi := range open[k] {
+			g := out[gi]
+			if len(g) >= batchSize {
+				continue
+			}
+			dup := false
+			for _, other := range g {
+				if other.App.Image().Measure() == mre {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			out[gi] = append(g, as)
+			placed = true
+			break
+		}
+		if !placed {
+			open[k] = append(open[k], len(out))
+			out = append(out, []Assignment{as})
+		}
+	}
+	return out
+}
+
+// batchMember is one migration's progress through a batched attempt.
+type batchMember struct {
+	as    Assignment
+	entry Entry
+	sp    *obs.Span
+	tc    obs.TraceContext
+	start time.Time
+
+	token    []byte // done-token once frozen+held
+	restored bool   // LaunchApp(InitMigrated) succeeded this attempt
+	terminal bool   // entry finalized
+	retryErr error  // last retryable failure this attempt
+}
+
+// migrateBatch runs one group end to end with retry, backoff, and
+// redirect-on-dead-destination, mirroring migrateOne's fork-freedom
+// rules member by member: freeze before any data leaves, redirect only
+// off a dead destination ME, never re-send after a restore failed on a
+// live destination. A mid-stream failure parks exactly the members no
+// ack covered — frozen, held at the source ME, resumable by token.
+func (o *Orchestrator) migrateBatch(ctx context.Context, group []Assignment, targets []*cloud.Machine, policy Policy, links map[*cloud.Machine]string) []Entry {
+	src, dest := group[0].Source, group[0].Dest
+	members := make([]*batchMember, len(group))
+	for i, as := range group {
+		m := &batchMember{as: as, start: time.Now()}
+		m.entry = Entry{
+			App:         as.App.Image().Name,
+			Source:      src.ID(),
+			PlannedDest: dest.ID(),
+			StateBytes:  stateBytes(as.App),
+			Counters:    as.App.Library.ActiveCounters(),
+			Link:        links[dest],
+		}
+		sp, tc := o.cfg.Obs.StartSpan("fleet.migrate", obs.TraceContext{})
+		if sp != nil {
+			sp.Site = m.entry.App
+		}
+		m.sp, m.tc = sp, tc
+		o.emit(Event{Type: EventStart, App: m.entry.App, Source: src.ID(), Dest: dest.ID(), Link: links[dest]})
+		members[i] = m
+	}
+
+	finish := func(m *batchMember, st Status, err error) {
+		if m.terminal {
+			return
+		}
+		m.terminal = true
+		m.entry.Status = st
+		m.entry.Dest = dest.ID()
+		m.entry.Link = links[dest]
+		m.entry.Latency = time.Since(m.start)
+		m.entry.SourceFrozen = m.as.App.Library.Frozen()
+		if err != nil {
+			m.entry.Err = err.Error()
+		}
+		m.sp.End()
+		if st == StatusCompleted && m.entry.Attempts > 0 {
+			o.cfg.Obs.M().Histogram("fleet.migration.latency").Observe(m.entry.Latency)
+		}
+		o.cfg.Obs.M().Add("fleet.migration."+st.String(), 1)
+		evType := EventFailed
+		switch st {
+		case StatusCompleted:
+			evType = EventCompleted
+		case StatusCanceled:
+			evType = EventCanceled
+		}
+		o.emit(Event{Type: evType, App: m.entry.App, Source: src.ID(), Dest: dest.ID(), Attempt: m.entry.Attempts, Link: links[dest], Err: err})
+	}
+	complete := func(m *batchMember) {
+		lib := m.as.App.Library
+		if !lib.Frozen() {
+			finish(m, StatusFailed, ErrSourceNotFrozen)
+			return
+		}
+		done, derr := lib.MigrationComplete()
+		m.entry.DoneConfirmed = derr == nil && done
+		m.as.App.Terminate()
+		finish(m, StatusCompleted, nil)
+	}
+	completedElsewhere := func(m *batchMember) {
+		m.entry.DoneConfirmed = true
+		m.as.App.Terminate()
+		finish(m, StatusCompleted, nil)
+	}
+	entries := func() []Entry {
+		out := make([]Entry, len(members))
+		for i, m := range members {
+			out[i] = m.entry
+		}
+		return out
+	}
+
+	var lastErr error
+	for attempt := 1; attempt <= o.cfg.MaxAttempts; attempt++ {
+		var rem []*batchMember
+		for _, m := range members {
+			if !m.terminal {
+				rem = append(rem, m)
+			}
+		}
+		if len(rem) == 0 {
+			return entries()
+		}
+		for _, m := range rem {
+			m.entry.Attempts = attempt
+			m.restored = false
+			m.retryErr = nil
+		}
+		if attempt > 1 {
+			if err := o.backoff(ctx, attempt, links[dest] != ""); err != nil {
+				for _, m := range rem {
+					finish(m, StatusCanceled, err)
+				}
+				return entries()
+			}
+			// Redirect the whole remainder only off a dead destination ME
+			// (same fork-safety rule as migrateOne: a live destination may
+			// hold deliverable copies).
+			if !dest.ME.Enclave().Alive() {
+				if alt := o.pickAlternate(rem[0].as.App, dest, src, targets, policy); alt != nil {
+					for _, m := range rem {
+						m.entry.Redirects++
+						o.emit(Event{Type: EventRedirect, App: m.entry.App, Source: src.ID(), Dest: alt.ID(), Attempt: attempt, Link: links[alt]})
+					}
+					dest = alt
+				}
+			}
+		}
+
+		release, cerr := o.acquireLink(ctx, links[dest])
+		if cerr != nil {
+			for _, m := range rem {
+				finish(m, StatusCanceled, cerr)
+			}
+			return entries()
+		}
+		// Hold every member's (destination, identity) delivery slot for
+		// the whole attempt, acquired in MRENCLAVE order so concurrent
+		// batches to one destination cannot deadlock (singletons hold at
+		// most one slot and cannot close a cycle).
+		sort.Slice(rem, func(i, j int) bool {
+			a, b := rem[i].as.App.Image().Measure(), rem[j].as.App.Image().Measure()
+			return bytes.Compare(a[:], b[:]) < 0
+		})
+		unlocks := make([]func(), 0, len(rem))
+		for _, m := range rem {
+			unlocks = append(unlocks, o.locks.lock(dest.ID(), m.as.App.Image().Measure()))
+		}
+		unlockAll := func() {
+			for i := len(unlocks) - 1; i >= 0; i-- {
+				unlocks[i]()
+			}
+			release()
+		}
+
+		bs, err := src.ME.BeginBatch(dest.MEAddress(), len(rem), core.BatchOpts{
+			Window:     o.cfg.BatchWindow,
+			ChunkBytes: o.cfg.BatchChunkBytes,
+			Compress:   links[dest] != "",
+		})
+		if err != nil {
+			unlockAll()
+			lastErr = err
+			for _, m := range rem {
+				o.emit(Event{Type: EventRetry, App: m.entry.App, Source: src.ID(), Dest: dest.ID(), Attempt: attempt, Err: err})
+			}
+			continue
+		}
+
+		workers := min(o.cfg.Workers, len(rem))
+		// Restore pool: resume each member at the destination the moment
+		// its own delivery ack lands — not when the batch ends.
+		var restoreWg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			restoreWg.Add(1)
+			go func() {
+				defer restoreWg.Done()
+				for idx := range bs.Delivered() {
+					if int(idx) >= len(rem) {
+						continue
+					}
+					m := rem[idx]
+					o.emit(Event{Type: EventDelivered, App: m.entry.App, Source: src.ID(), Dest: dest.ID(), Attempt: attempt})
+					_, lerr := dest.LaunchApp(m.as.App.Image(), core.NewMemoryStorage(), core.InitMigrated)
+					if lerr == nil {
+						m.restored = true
+						continue
+					}
+					if dest.ME.Enclave().Alive() {
+						if done, derr := m.as.App.Library.MigrationComplete(); derr == nil && done {
+							completedElsewhere(m)
+							continue
+						}
+						finish(m, StatusFailed, fmt.Errorf("%w: %v", ErrRestoreOnLiveDestination, lerr))
+						continue
+					}
+					// The destination died after storing the data: its copy
+					// died with the ME's memory, so a re-send cannot fork.
+					m.retryErr = lerr
+				}
+			}()
+		}
+		// Freeze pool: each member freezes (or re-enters by token) right
+		// before its envelope joins the stream, keeping freeze windows
+		// per-enclave regardless of batch size.
+		var freezeWg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			freezeWg.Add(1)
+			go func() {
+				defer freezeWg.Done()
+				for i := range jobs {
+					m := rem[i]
+					lib := m.as.App.Library
+					if m.token == nil {
+						if ferr := lib.StartMigrationHeldCtx(m.tc, dest.MEAddress()); ferr != nil {
+							// Freeze/export failure before any data left the
+							// machine: terminal, like StartMigration failing.
+							finish(m, StatusFailed, ferr)
+							continue
+						}
+						m.token = lib.MigrationToken()
+					}
+					if aerr := bs.Add(uint32(i), m.token); aerr != nil {
+						if errors.Is(aerr, core.ErrMigrationDone) {
+							completedElsewhere(m)
+							continue
+						}
+						// Stream already failed (or closed): the member stays
+						// frozen and held; the next attempt re-streams it.
+						m.retryErr = aerr
+					}
+				}
+			}()
+		}
+		for i := range rem {
+			jobs <- i
+		}
+		close(jobs)
+		freezeWg.Wait()
+		statuses, serr := bs.Finish()
+		restoreWg.Wait()
+
+		// Flush the destination's queued DONE confirmations back to the
+		// source so MigrationComplete verifies below. Best-effort: a lost
+		// flush leaves DoneConfirmed=false, never an unsafe state.
+		anyRestored := false
+		for _, m := range rem {
+			if m.restored {
+				anyRestored = true
+				break
+			}
+		}
+		if anyRestored {
+			_ = dest.ME.FlushDones(src.ME.Address())
+		}
+		unlockAll()
+		if serr != nil {
+			lastErr = serr
+		}
+
+		for i, m := range rem {
+			if m.terminal {
+				continue
+			}
+			if m.restored {
+				complete(m)
+				continue
+			}
+			st, acked := statuses[uint32(i)]
+			switch {
+			case acked && !st.OK:
+				derr := errors.New(st.Detail)
+				switch {
+				case isAlreadyPending(derr):
+					// A same-identity envelope (from outside this batch)
+					// occupies the destination slot. Park: the data stays
+					// frozen and held at the source, resumable by token.
+					finish(m, StatusFailed, ErrIdentityBusy)
+				case isEnvelopeConsumed(derr):
+					if done, cerr := m.as.App.Library.MigrationComplete(); cerr == nil && done {
+						completedElsewhere(m)
+					} else {
+						finish(m, StatusFailed, fmt.Errorf("fleet: envelope consumed at %s without restore confirmation; not re-sending: %v", dest.ID(), derr))
+					}
+				default:
+					m.retryErr = derr
+				}
+			case acked && st.OK && m.retryErr == nil:
+				// Stored but the delivery signal was lost before a restore
+				// ran (e.g. the stream failed right after the ack). The
+				// envelope sits deliverable at the destination; re-sending
+				// the same token is idempotent there, so retry.
+				m.retryErr = fmt.Errorf("fleet: member delivered but not restored")
+			}
+			if !m.terminal {
+				err := m.retryErr
+				if err == nil {
+					// Never covered by an ack: parked at the source.
+					err = serr
+					if err == nil {
+						err = fmt.Errorf("fleet: batch member not acknowledged")
+					}
+				}
+				lastErr = err
+				o.emit(Event{Type: EventRetry, App: m.entry.App, Source: src.ID(), Dest: dest.ID(), Attempt: attempt, Err: err})
+			}
+		}
+	}
+	exhausted := fmt.Errorf("%w after %d attempts: %v", ErrAttemptsExhausted, o.cfg.MaxAttempts, lastErr)
+	for _, m := range members {
+		if !m.terminal {
+			finish(m, StatusFailed, exhausted)
+		}
+	}
+	return entries()
+}

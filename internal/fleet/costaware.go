@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/cloud"
 )
@@ -48,6 +49,7 @@ type CostAware struct {
 	hist     map[string]appCost
 	total    appCost
 	assigned map[string]int64
+	linkRTT  map[string]time.Duration
 }
 
 // NewCostAware builds the policy from journaled history. A nil journal
@@ -56,6 +58,7 @@ func NewCostAware(history *Journal) *CostAware {
 	c := &CostAware{
 		hist:     make(map[string]appCost),
 		assigned: make(map[string]int64),
+		linkRTT:  make(map[string]time.Duration),
 	}
 	if history != nil {
 		for _, e := range history.Entries() {
@@ -101,6 +104,31 @@ func (c *CostAware) Observe(j *Journal) {
 	}
 }
 
+// SetLink records the round-trip time of the network path to one
+// destination machine (e.g. the WAN link's configured RTT, or a
+// measured median). Picks then price a candidate's projected byte cost
+// by that RTT — moving a megabyte across a 200ms intercontinental link
+// really is ~200× the transfer time of the same megabyte at 1ms — so a
+// WAN-reachable destination wins only when it is byte-cheaper by more
+// than the link is slower. Machines with no recorded link keep factor 1
+// (LAN), which makes an RTT-free history behave exactly as before.
+func (c *CostAware) SetLink(machineID string, rtt time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.linkRTT[machineID] = rtt
+}
+
+// rttFactor is the per-candidate cost multiplier: RTT in whole
+// milliseconds, floored at 1 so LAN-class and unrecorded links are
+// priced identically.
+func (c *CostAware) rttFactor(machineID string) int64 {
+	f := int64(c.linkRTT[machineID] / time.Millisecond)
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
 // cost estimates one app's migration cost: its own history, else the
 // fleet-wide average, else a nominal unit so picks stay balanced.
 func (c *CostAware) cost(name string) int64 {
@@ -139,7 +167,9 @@ func (c *CostAware) Pick(app *cloud.App, candidates []*cloud.Machine, load map[s
 		// from that average. Pricing only the deviation here avoids
 		// double-counting the planner's own load increments — and makes
 		// an empty history collapse exactly to least-loaded.
-		score := c.assigned[cand.ID()] + int64(load[cand.ID()])*avg
+		// The RTT factor scales the whole projected byte cost: bytes × RTT
+		// is transfer time, the quantity a drain deadline actually spends.
+		score := (c.assigned[cand.ID()] + int64(load[cand.ID()])*avg) * c.rttFactor(cand.ID())
 		if best == nil || score < bestScore ||
 			(score == bestScore && cand.ID() < best.ID()) {
 			best, bestScore = cand, score

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/ed25519"
 	"testing"
+	"time"
 
 	"repro/internal/cloud"
 	"repro/internal/core"
@@ -123,5 +124,52 @@ func TestCostAwareEmptyHistoryBalances(t *testing.T) {
 	m2, _ := dc.Machine("m2")
 	if d := m1.AppCount() - m2.AppCount(); d < -1 || d > 1 {
 		t.Fatalf("unbalanced placement: m1=%d m2=%d", m1.AppCount(), m2.AppCount())
+	}
+}
+
+// TestCostAwareLinkRTTWeighting: two destinations with identical load
+// but links at very different RTTs — the policy must route nearly all
+// picks to the fast link (bytes × RTT pricing), while with no recorded
+// RTTs the same sequence splits evenly (exact pre-RTT behavior).
+func TestCostAwareLinkRTTWeighting(t *testing.T) {
+	dc, err := cloud.NewDataCenter("cost-dc3", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, _ := dc.AddMachine("near")
+	far, _ := dc.AddMachine("far")
+	candidates := []*cloud.Machine{near, far}
+
+	// Simulate the planner's pick loop: each pick adds one planned
+	// arrival to the chosen machine's load.
+	run := func(policy *CostAware) (nearN, farN int) {
+		load := map[string]int{}
+		for i := 0; i < 20; i++ {
+			m, err := policy.Pick(nil, candidates, load)
+			if err != nil {
+				t.Fatal(err)
+			}
+			load[m.ID()]++
+			if m == near {
+				nearN++
+			} else {
+				farN++
+			}
+		}
+		return nearN, farN
+	}
+
+	weighted := NewCostAware(nil)
+	weighted.SetLink("near", 1*time.Millisecond)  // metro link
+	weighted.SetLink("far", 100*time.Millisecond) // intercontinental
+	nearN, farN := run(weighted)
+	if nearN < 18 {
+		t.Fatalf("fast link got %d of 20 picks (slow got %d); RTT not priced in", nearN, farN)
+	}
+
+	// Unset RTTs: factor 1 everywhere, even split as before.
+	nearN, farN = run(NewCostAware(nil))
+	if d := nearN - farN; d < -1 || d > 1 {
+		t.Fatalf("RTT-free split %d/%d, want even", nearN, farN)
 	}
 }

@@ -95,6 +95,19 @@ type Event struct {
 type Config struct {
 	// Workers bounds concurrent migrations. Default 8.
 	Workers int
+	// BatchSize groups migrations that share a (source, destination)
+	// pair into batched stream deliveries of up to this many enclaves
+	// (core.MigrationEnclave.BeginBatch): one attested session — resumed
+	// when cached — and one pipelined chunk stream amortize the per-
+	// migration protocol cost. Default 1 preserves the classic one-
+	// migration-per-exchange path. Recoveries and token-resumed
+	// migrations always run the classic path.
+	BatchSize int
+	// BatchWindow and BatchChunkBytes tune the batch stream's pipelining
+	// (max chunks in flight, bytes per chunk). Zero means the core
+	// defaults; mainly a bench/test knob.
+	BatchWindow     int
+	BatchChunkBytes int
 	// MaxAttempts bounds delivery attempts per migration. Default 4.
 	MaxAttempts int
 	// RetryBackoff is the delay before the second attempt; it grows by
@@ -153,6 +166,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
 	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 4
@@ -553,28 +569,42 @@ func (o *Orchestrator) Run(ctx context.Context, plan Plan, assignments []Assignm
 		}
 	}
 	start := time.Now()
-	work := make(chan Assignment)
+	// Workers consume whole groups: singletons run the classic
+	// one-migration path, larger groups run the batched stream pipeline.
+	work := make(chan []Assignment)
+	cancelGroup := func(group []Assignment) {
+		for _, as := range group {
+			name := ""
+			if as.App != nil {
+				name = as.App.Image().Name
+			} else if as.Lost.Image != nil {
+				name = as.Lost.Image.Name
+			}
+			record(Entry{
+				App: name, Source: as.Source.ID(),
+				PlannedDest: as.Dest.ID(), Recovered: as.Recover,
+				Status: StatusCanceled, Err: ctx.Err().Error(),
+			})
+			o.emit(Event{Type: EventCanceled, App: name, Source: as.Source.ID(), Dest: as.Dest.ID(), Err: ctx.Err()})
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < o.cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for as := range work {
-				name := ""
-				if as.App != nil {
-					name = as.App.Image().Name
-				} else if as.Lost.Image != nil {
-					name = as.Lost.Image.Name
-				}
+			for group := range work {
 				if ctx.Err() != nil {
-					record(Entry{
-						App: name, Source: as.Source.ID(),
-						PlannedDest: as.Dest.ID(), Recovered: as.Recover,
-						Status: StatusCanceled, Err: ctx.Err().Error(),
-					})
-					o.emit(Event{Type: EventCanceled, App: name, Source: as.Source.ID(), Dest: as.Dest.ID(), Err: ctx.Err()})
+					cancelGroup(group)
 					continue
 				}
+				if len(group) > 1 {
+					for _, e := range o.migrateBatch(ctx, group, targets, policy, links) {
+						record(e)
+					}
+					continue
+				}
+				as := group[0]
 				if as.Recover {
 					record(o.recoverOne(ctx, as, targets, policy))
 				} else {
@@ -583,8 +613,8 @@ func (o *Orchestrator) Run(ctx context.Context, plan Plan, assignments []Assignm
 			}
 		}()
 	}
-	for _, as := range assignments {
-		work <- as
+	for _, g := range groupAssignments(assignments, o.cfg.BatchSize) {
+		work <- g
 	}
 	close(work)
 	wg.Wait()

@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+	"repro/internal/xcrypto"
+)
+
+func groupTestImage(name string) *sgx.Image {
+	key := xcrypto.DeriveKey([]byte("group-test"), "signer")
+	return &sgx.Image{Name: name, Version: 1, Code: []byte(name), SignerPublicKey: ed25519.PublicKey(key[:])}
+}
+
+// TestGroupAssignments checks the batching grouper directly: grouping by
+// (source, destination), the batch-size cap, singleton fallbacks for
+// recoveries and token-resumed members, and the one-identity-per-batch
+// rule.
+func TestGroupAssignments(t *testing.T) {
+	dc, err := cloud.NewDataCenter("dc", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := dc.AddMachine("A")
+	b, _ := dc.AddMachine("B")
+	c, _ := dc.AddMachine("C")
+
+	launch := func(m *cloud.Machine, name string) *cloud.App {
+		app, err := m.LaunchApp(groupTestImage(name), core.NewMemoryStorage(), core.InitNew)
+		if err != nil {
+			t.Fatalf("launch %s: %v", name, err)
+		}
+		return app
+	}
+
+	var as []Assignment
+	// Five distinct apps A→B: should pack into groups of ≤3.
+	for i := 0; i < 5; i++ {
+		as = append(as, Assignment{App: launch(a, fmt.Sprintf("ab-%d", i)), Source: a, Dest: b})
+	}
+	// Two apps A→C: separate group key.
+	for i := 0; i < 2; i++ {
+		as = append(as, Assignment{App: launch(a, fmt.Sprintf("ac-%d", i)), Source: a, Dest: c})
+	}
+	// A recovery must stay a singleton.
+	as = append(as, Assignment{App: launch(a, "rec"), Source: a, Dest: b, Recover: true})
+	// Two same-identity apps A→B must land in different batches.
+	twin1 := launch(a, "twin")
+	twin2 := launch(a, "twin")
+	as = append(as, Assignment{App: twin1, Source: a, Dest: b}, Assignment{App: twin2, Source: a, Dest: b})
+
+	groups := groupAssignments(as, 3)
+
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+		if len(g) > 3 {
+			t.Fatalf("group of %d exceeds batch size 3", len(g))
+		}
+		seen := make(map[[32]byte]bool)
+		for _, m := range g {
+			if m.Recover && len(g) != 1 {
+				t.Fatal("recovery grouped with migrations")
+			}
+			mre := m.App.Image().Measure()
+			if seen[mre] {
+				t.Fatal("two same-identity members share a batch")
+			}
+			seen[mre] = true
+			if m.Source != g[0].Source || m.Dest != g[0].Dest {
+				t.Fatal("group mixes (source, dest) pairs")
+			}
+		}
+	}
+	if total != len(as) {
+		t.Fatalf("grouper lost members: %d in, %d out", len(as), total)
+	}
+
+	// BatchSize 1 degenerates to all singletons.
+	for _, g := range groupAssignments(as, 1) {
+		if len(g) != 1 {
+			t.Fatalf("batchSize 1 produced group of %d", len(g))
+		}
+	}
+}

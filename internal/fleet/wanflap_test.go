@@ -1,0 +1,125 @@
+package fleet_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/federation"
+	"repro/internal/fleet"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// TestBatchDrainWANFlapParksAndResumes kills the WAN link in the middle
+// of a batched cross-DC drain: members whose delivery was never
+// acknowledged must park (frozen at the source, data held by the source
+// ME, resumable by token), a later ResumeParked must land every one of
+// them exactly once, and no enclave may ever run twice.
+func TestBatchDrainWANFlapParksAndResumes(t *testing.T) {
+	fed := federation.New("flap")
+	dcA, err := cloud.NewDataCenter("flap-a", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcB, err := cloud.NewDataCenter("flap-b", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := dcA.AddMachine("a1")
+	dcA.AddMachine("a2") // ResumeParked needs a local candidate to plan with
+	b1, _ := dcB.AddMachine("b1")
+	if err := fed.Admit(dcA); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Admit(dcB); err != nil {
+		t.Fatal(err)
+	}
+	link, err := fed.Connect("flap-a", "flap-b", transport.WANConfig{
+		RTT:       10 * time.Millisecond,
+		Bandwidth: 1 << 30,
+		Scale:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+
+	const n = 16
+	states := launchApps(t, a1, n)
+
+	// One batch, one chunk in flight at a time, roughly one record per
+	// chunk: acks arrive one by one, so downing the link on the first
+	// delivery deterministically strands later members un-acknowledged.
+	var flap sync.Once
+	cfg := fleet.Config{
+		Workers:         2,
+		BatchSize:       n,
+		BatchWindow:     1,
+		BatchChunkBytes: 600,
+		MaxAttempts:     1,
+		OnEvent: func(e fleet.Event) {
+			if e.Type == fleet.EventDelivered {
+				flap.Do(func() { link.SetDown(true) })
+			}
+		},
+	}
+	orch := fleet.New(dcA, cfg)
+	plan := fleet.Plan{
+		Intent:        fleet.IntentEvacuate,
+		Sources:       []string{"a1"},
+		RemoteTargets: []fleet.RemoteTarget{{Machine: b1, Link: link.Name()}},
+	}
+	report, err := orch.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed+report.Failed != n {
+		t.Fatalf("report does not account for every member: %+v", report)
+	}
+	if report.Failed == 0 {
+		t.Fatal("WAN flap stranded no members; flap landed too late to test parking")
+	}
+	// Every stranded member must be parked, not lost: frozen at the
+	// source with a resume token the source ME still honors.
+	parked := 0
+	for _, app := range a1.Apps() {
+		if app.Library.Frozen() && app.Library.MigrationToken() != nil {
+			parked++
+		}
+	}
+	if parked != report.Failed {
+		t.Fatalf("parked %d apps, want %d (every failed member)", parked, report.Failed)
+	}
+
+	// Link restored: the same orchestrator resumes every parked member.
+	// The held data re-streams to the originally targeted machine.
+	link.SetDown(false)
+	resume, err := orch.ResumeParked(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resume.Completed != report.Failed || resume.Failed != 0 {
+		t.Fatalf("resume: %+v, want %d completed", resume, report.Failed)
+	}
+
+	// No double-resume: a second pass finds nothing parked.
+	again, err := orch.ResumeParked(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Completed+again.Failed != 0 {
+		t.Fatalf("second ResumeParked found work: %+v", again)
+	}
+
+	// Exactly one live copy of every enclave, all on the WAN target.
+	if got := a1.AppCount(); got != 0 {
+		t.Fatalf("a1 still hosts %d apps", got)
+	}
+	if got := b1.AppCount(); got != n {
+		t.Fatalf("b1 hosts %d apps, want %d", got, n)
+	}
+	verifySurvival(t, states, []*cloud.Machine{b1})
+}

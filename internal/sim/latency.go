@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -130,7 +131,7 @@ func PaperCosts() map[Op]time.Duration {
 // per-op atomic counters instead of a shared mutex: concurrent enclaves
 // charging disjoint — or even identical — operations never serialize.
 type Latency struct {
-	scale float64
+	scale atomic.Uint64 // float64 bits; atomic so SetScale races with no charge
 	sleep func(time.Duration)
 
 	costs   [maxOp]atomic.Int64 // nanoseconds per op
@@ -159,9 +160,9 @@ type Latency struct {
 // ratios while shortening wall-clock time.
 func NewLatency(scale float64) *Latency {
 	l := &Latency{
-		scale: scale,
 		sleep: time.Sleep,
 	}
+	l.scale.Store(math.Float64bits(scale))
 	for op, d := range PaperCosts() {
 		l.SetCost(op, d)
 	}
@@ -210,7 +211,13 @@ func (l *Latency) Cost(op Op) time.Duration {
 }
 
 // Scale returns the configured scale factor.
-func (l *Latency) Scale() float64 { return l.scale }
+func (l *Latency) Scale() float64 { return math.Float64frombits(l.scale.Load()) }
+
+// SetScale changes the scale factor for subsequent charges. Benchmarks
+// use it to provision large worlds instantly (scale 0) and then pay
+// paper-magnitude latencies only for the measured phase; virtual-time
+// accounting is unaffected, since it is recorded unscaled.
+func (l *Latency) SetScale(scale float64) { l.scale.Store(math.Float64bits(scale)) }
 
 // Charge pays for one operation: it records the virtual cost and sleeps
 // for cost*scale of real time.
@@ -228,11 +235,12 @@ func (l *Latency) ChargeN(op Op, n int) {
 	}
 	if dense(op) {
 		l.charged[op].Add(int64(n))
-		if l.scale == 0 {
+		scale := l.Scale()
+		if scale == 0 {
 			return
 		}
 		if virtual := time.Duration(n) * time.Duration(l.costs[op].Load()); virtual > 0 {
-			l.sleep(time.Duration(float64(virtual) * l.scale))
+			l.sleep(time.Duration(float64(virtual) * scale))
 		}
 		return
 	}
@@ -244,8 +252,10 @@ func (l *Latency) ChargeN(op Op, n int) {
 	l.extraCharged[op] += n
 	l.bankedNanos.Add(int64(n) * int64(cost))
 	l.mu.Unlock()
-	if virtual := time.Duration(n) * cost; l.scale > 0 && virtual > 0 {
-		l.sleep(time.Duration(float64(virtual) * l.scale))
+	if virtual := time.Duration(n) * cost; virtual > 0 {
+		if scale := l.Scale(); scale > 0 {
+			l.sleep(time.Duration(float64(virtual) * scale))
+		}
 	}
 }
 

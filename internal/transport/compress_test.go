@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"testing"
+
+	"repro/internal/wirec"
+)
+
+// TestCompressFrameRoundTrip: compressible, incompressible, and empty
+// payloads all survive the frame round trip; compressible ones shrink.
+func TestCompressFrameRoundTrip(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"tiny":         []byte("x"),
+		"compressible": bytes.Repeat([]byte("migration envelope "), 512),
+		"binary": func() []byte {
+			b := make([]byte, 1024)
+			for i := range b {
+				b[i] = byte(i * 7)
+			}
+			return b
+		}(),
+	}
+	for name, raw := range cases {
+		frame, err := CompressFrame(raw)
+		if err != nil {
+			t.Fatalf("%s: compress: %v", name, err)
+		}
+		got, err := DecompressFrame(frame, 0)
+		if err != nil {
+			t.Fatalf("%s: decompress: %v", name, err)
+		}
+		if !bytes.Equal(got, raw) {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+		// Framing never inflates beyond the fixed header.
+		if len(frame) > len(raw)+7 {
+			t.Fatalf("%s: frame %d bytes for %d-byte payload", name, len(frame), len(raw))
+		}
+	}
+	big := bytes.Repeat([]byte("migration envelope "), 512)
+	frame, _ := CompressFrame(big)
+	if len(frame) >= len(big) {
+		t.Fatalf("compressible payload did not shrink: %d >= %d", len(frame), len(big))
+	}
+}
+
+// TestDecompressFrameClamps: a frame may neither declare more than the
+// caller's limit nor decode to a different length than it declared.
+func TestDecompressFrameClamps(t *testing.T) {
+	raw := bytes.Repeat([]byte("a"), 4096)
+	frame, err := CompressFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Caller limit below the declared length: rejected before allocation.
+	if _, err := DecompressFrame(frame, 1024); !errors.Is(err, ErrFrameFormat) {
+		t.Fatalf("undersized limit not enforced: %v", err)
+	}
+	if _, err := DecompressFrame(frame, len(raw)); err != nil {
+		t.Fatalf("exact limit rejected: %v", err)
+	}
+
+	// A deflate bomb lying about its length: declares 16 bytes, decodes
+	// to 64 KiB. Must be rejected, not truncated.
+	var bomb bytes.Buffer
+	w, _ := flate.NewWriter(&bomb, flate.BestSpeed)
+	w.Write(make([]byte, 64<<10))
+	w.Close()
+	lying := wirec.AppendHeader(nil, 0xE2, 1)
+	lying = append(lying, 1) // frameDeflate
+	lying = wirec.AppendU32(lying, 16)
+	lying = append(lying, bomb.Bytes()...)
+	if _, err := DecompressFrame(lying, 0); !errors.Is(err, ErrFrameFormat) {
+		t.Fatalf("over-length deflate stream accepted: %v", err)
+	}
+
+	// A stored frame whose body is shorter than declared.
+	short := wirec.AppendHeader(nil, 0xE2, 1)
+	short = append(short, 0) // frameStored
+	short = wirec.AppendU32(short, 100)
+	short = append(short, []byte("only-a-few")...)
+	if _, err := DecompressFrame(short, 0); !errors.Is(err, ErrFrameFormat) {
+		t.Fatalf("short stored body accepted: %v", err)
+	}
+
+	// Unknown method byte.
+	bad := wirec.AppendHeader(nil, 0xE2, 1)
+	bad = append(bad, 9)
+	bad = wirec.AppendU32(bad, 0)
+	if _, err := DecompressFrame(bad, 0); !errors.Is(err, ErrFrameFormat) {
+		t.Fatalf("unknown method accepted: %v", err)
+	}
+
+	// Oversized input refuses to frame at all.
+	if _, err := CompressFrame(make([]byte, MaxFrameDecoded+1)); !errors.Is(err, ErrFrameFormat) {
+		t.Fatalf("oversized payload framed: %v", err)
+	}
+}
+
+// FuzzDecompressFrame: the frame header decoder consumes bytes produced
+// by the remote peer (inside the AEAD, but a compromised-yet-attested
+// peer still counts as hostile input for memory safety). It must never
+// panic and never return more than the clamp.
+func FuzzDecompressFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xE2})
+	f.Add([]byte{0xE2, 0x01})
+	f.Add([]byte{0xE2, 0x01, 0x01, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0xE2, 0x01, 0x00, 0x00, 0x00, 0x00, 0x10})
+	valid, _ := CompressFrame(bytes.Repeat([]byte("seed "), 64))
+	f.Add(valid)
+	stored, _ := CompressFrame([]byte{0x00, 0x01, 0x02})
+	f.Add(stored)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		out, err := DecompressFrame(raw, 1<<16)
+		if err != nil {
+			return
+		}
+		if len(out) > 1<<16 {
+			t.Fatalf("decoded %d bytes past the clamp", len(out))
+		}
+		// A successfully decoded frame re-frames and round-trips.
+		re, err := CompressFrame(out)
+		if err != nil {
+			t.Fatalf("decoded payload does not re-frame: %v", err)
+		}
+		back, err := DecompressFrame(re, 0)
+		if err != nil || !bytes.Equal(back, out) {
+			t.Fatalf("re-framed payload does not round trip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package xcrypto
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+)
+
+// StreamSealer seals and opens the frames of one direction of a chunked,
+// pipelined stream. Unlike Channel — whose Open enforces strict in-order
+// delivery — a StreamSealer carries the sequence number explicitly per
+// frame: the sender may have many frames in flight and the receiver may
+// decrypt them in any order, deduplicating and reassembling above this
+// layer. Safety rests on the caller never sealing two different frames at
+// the same sequence under one key; derive a fresh directional key per
+// stream (e.g. from a session secret plus a use counter) and start at 0.
+//
+// The nonce is the sequence number itself and the sequence is additionally
+// bound as AAD (prefixed to the caller's own AAD), so a frame can neither
+// be replayed at another position nor migrated between streams that bind
+// distinct AAD. A StreamSealer is safe for concurrent use.
+type StreamSealer struct {
+	aead cipher.AEAD
+}
+
+// NewStreamSealer builds a sealer for one stream direction.
+func NewStreamSealer(key [32]byte) (*StreamSealer, error) {
+	aead, err := NewAESGCM(key[:])
+	if err != nil {
+		return nil, err
+	}
+	return &StreamSealer{aead: aead}, nil
+}
+
+// Overhead returns the bytes SealAt adds beyond the plaintext length.
+func (s *StreamSealer) Overhead() int { return s.aead.Overhead() }
+
+// streamAAD prefixes the sequence number to the caller's AAD.
+func streamAAD(seq uint64, aad []byte) []byte {
+	full := make([]byte, 8, 8+len(aad))
+	binary.BigEndian.PutUint64(full, seq)
+	return append(full, aad...)
+}
+
+// SealAt encrypts one frame at stream position seq, binding seq and aad.
+func (s *StreamSealer) SealAt(seq uint64, plaintext, aad []byte) []byte {
+	nonce := channelNonce(seq)
+	return s.aead.Seal(nil, nonce[:], plaintext, streamAAD(seq, aad))
+}
+
+// OpenAt decrypts the frame sealed at position seq. A frame presented at
+// any other position, or from a stream with different AAD, fails
+// authentication.
+func (s *StreamSealer) OpenAt(seq uint64, wire, aad []byte) ([]byte, error) {
+	nonce := channelNonce(seq)
+	plaintext, err := s.aead.Open(nil, nonce[:], wire, streamAAD(seq, aad))
+	if err != nil {
+		return nil, ErrReplayOrDecrypt(err)
+	}
+	return plaintext, nil
+}
