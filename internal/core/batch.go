@@ -41,6 +41,30 @@ const (
 	defaultChunkBytes  = 8 << 10 // target chunk payload size
 )
 
+// Destination-side resource bounds. Both tables are populated by
+// untrusted network input (any peer that completes a handshake), so they
+// are capped with least-recently-admitted eviction as a backstop against
+// peers that open state and vanish; the primary cleanup paths are batch
+// completion and the sender's explicit abort.
+const (
+	// maxAcceptedSessions bounds the destination's resumable-session
+	// table. Sessions are one per live (source ME, dest ME) pair, so the
+	// cap is far above any real fleet's concurrency.
+	maxAcceptedSessions = 256
+	// maxRxBatches bounds concurrent per-batch reassembly states. A
+	// source runs one batch per destination at a time, so this caps the
+	// number of simultaneously-sending peers.
+	maxRxBatches = 128
+)
+
+// batchAbortSeq is the reserved stream position that authenticates a
+// batchAbort: data chunks use sequences counting up from 0 and can never
+// reach it, so the abort frame is the only frame ever sealed there.
+const batchAbortSeq = ^uint64(0)
+
+// batchAbortLabel is the abort frame's fixed plaintext.
+const batchAbortLabel = "batch-abort"
+
 // BatchOpts shapes one batch stream.
 type BatchOpts struct {
 	// Window is the maximum number of unacknowledged chunks in flight
@@ -75,6 +99,7 @@ type BatchSender struct {
 	fresh    bool                  // batch began with a full handshake
 	cert     []byte                // seq-0 provider auth (fresh only)
 	sig      []byte
+	count    int // declared member count (the destination's completion bar)
 	compress bool
 	chunkLen int
 	window   int
@@ -177,14 +202,23 @@ func (me *MigrationEnclave) beginResumed(dest transport.Address, count int, opts
 		return nil, err
 	}
 	if reply.Refused {
-		// The destination no longer honors this session (restart into a
-		// new epoch, replayed counter, pruned table). Drop the cache so
-		// future batches handshake fresh immediately.
-		me.mu.Lock()
-		if me.sessions[string(dest)] == sess {
-			delete(me.sessions, string(dest))
+		if macEqual(reply.RefuseMAC, resumeRefuseMAC(sess.secret, sess.id, ctr)) {
+			// Authenticated refusal: the destination provably still holds
+			// the session secret yet will not honor it (epoch rolled,
+			// counter replayed). Drop the cache so future batches
+			// handshake fresh immediately.
+			me.mu.Lock()
+			if me.sessions[string(dest)] == sess {
+				delete(me.sessions, string(dest))
+			}
+			me.mu.Unlock()
 		}
-		me.mu.Unlock()
+		// An unauthenticated refusal proves nothing: it is either a
+		// restarted destination that lost the session (and so cannot MAC
+		// anything) or an on-path forgery. Keep the cache — the fallback
+		// below is a fully authenticated handshake that replaces the
+		// session on success, so a forged refusal costs one handshake,
+		// never a durable downgrade to per-batch attestation.
 		me.observer().M().Add("me.session.resume.refused", 1)
 		return nil, nil
 	}
@@ -301,6 +335,7 @@ func (me *MigrationEnclave) newBatchSender(dest transport.Address, count int, op
 		fresh:     fresh,
 		cert:      cert,
 		sig:       sig,
+		count:     count,
 		compress:  opts.Compress,
 		chunkLen:  opts.ChunkBytes,
 		window:    opts.Window,
@@ -534,6 +569,20 @@ func (bs *BatchSender) Finish() (map[uint32]BatchMemberStatus, error) {
 	if savings > 0 {
 		me.observer().M().Add("wire.bytes.saved", savings)
 	}
+	if len(out) < bs.count {
+		// The destination drops its reassembly state only when all
+		// declared members are acked; this batch ended short (members
+		// parked, stream failure, or fewer Adds than declared), so tell
+		// it the stream is over. The abort is authenticated by sealing
+		// the reserved batchAbortSeq frame of the data stream — only the
+		// data-key holder can produce it, and the position can never
+		// collide with a chunk. Best-effort: if the link is down too, the
+		// destination's cap-based eviction reclaims the state instead.
+		sealed := bs.stream.SealAt(batchAbortSeq, []byte(batchAbortLabel), bs.batchID)
+		if raw, aerr := encodeBatchAbort(&batchAbort{BatchID: bs.batchID, Sealed: sealed}); aerr == nil {
+			_, _ = me.net.Send(me.addr, bs.dest, kindBatchAbort, obs.Inject(bs.tc, raw))
+		}
+	}
 	if bs.sp != nil {
 		bs.sp.End()
 	}
@@ -546,6 +595,10 @@ func (bs *BatchSender) Finish() (map[uint32]BatchMemberStatus, error) {
 
 // batchRecvState is the destination ME's per-batch reassembly state.
 type batchRecvState struct {
+	// admitted is the state's admission order for cap eviction; written
+	// at insertion and read at eviction, both under the ME's mu.
+	admitted uint64
+
 	mu         sync.Mutex
 	stream     *xcrypto.StreamSealer // data direction (open)
 	acks       *xcrypto.StreamSealer // ack direction (seal)
@@ -558,6 +611,76 @@ type batchRecvState struct {
 	pending    map[uint64][]byte
 	buf        []byte
 	statuses   map[uint32]memberStatus
+	// ackSent caches the exact sealed ack returned for each chunk seq. A
+	// replayed chunk MUST get the identical ciphertext back: the status
+	// list is cumulative, so re-sealing at the same seq after more
+	// records drained would put two different plaintexts under one
+	// (key, nonce) pair — the StreamSealer invariant violation that leaks
+	// the GCM auth key.
+	ackSent map[uint64][]byte
+}
+
+// storeAcceptedLocked admits one destination-side resumable session,
+// evicting least-recently-used entries beyond maxAcceptedSessions. It
+// returns the eviction count; callers emit metrics after unlocking
+// (observer() itself takes me.mu). Requires me.mu held.
+func (me *MigrationEnclave) storeAcceptedLocked(sess *resumableSession) int {
+	me.admitSeq++
+	sess.order = me.admitSeq
+	me.accepted[hex.EncodeToString(sess.id)] = sess
+	evicted := 0
+	for len(me.accepted) > maxAcceptedSessions {
+		oldestKey := ""
+		var oldest uint64
+		for k, s := range me.accepted {
+			if oldestKey == "" || s.order < oldest {
+				oldestKey, oldest = k, s.order
+			}
+		}
+		delete(me.accepted, oldestKey)
+		evicted++
+	}
+	return evicted
+}
+
+// storeRxBatchLocked admits one per-batch reassembly state, evicting the
+// least-recently-admitted beyond maxRxBatches (stale states whose sender
+// vanished without an abort). Returns the eviction count; requires me.mu
+// held.
+func (me *MigrationEnclave) storeRxBatchLocked(batchID []byte, st *batchRecvState) int {
+	me.admitSeq++
+	st.admitted = me.admitSeq
+	me.rxBatches[hex.EncodeToString(batchID)] = st
+	evicted := 0
+	for len(me.rxBatches) > maxRxBatches {
+		oldestKey := ""
+		var oldest uint64
+		for k, s := range me.rxBatches {
+			if oldestKey == "" || s.admitted < oldest {
+				oldestKey, oldest = k, s.admitted
+			}
+		}
+		delete(me.rxBatches, oldestKey)
+		evicted++
+	}
+	return evicted
+}
+
+// ActiveRxBatches reports the number of batch reassembly states currently
+// held (tests and operators: a nonzero steady-state value means senders
+// are vanishing mid-batch without aborts).
+func (me *MigrationEnclave) ActiveRxBatches() int {
+	me.mu.Lock()
+	defer me.mu.Unlock()
+	return len(me.rxBatches)
+}
+
+// AcceptedSessions reports the size of the destination-side resumable
+// session table (tests and operators).
+func (me *MigrationEnclave) AcceptedSessions() int {
+	me.mu.Lock()
+	defer me.mu.Unlock()
+	return len(me.accepted)
 }
 
 // storeIncoming applies the destination's fork-prevention rules to one
@@ -650,15 +773,21 @@ func (me *MigrationEnclave) handleBatchOffer(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	me.mu.Lock()
-	me.accepted[hex.EncodeToString(sid)] = &resumableSession{
+	evictedSess := me.storeAcceptedLocked(&resumableSession{
 		id:      sid,
 		secret:  secret,
 		epoch:   append([]byte(nil), me.epoch...),
 		counter: 0, // counter 0 keys this batch; resumes must exceed it
-	}
-	me.rxBatches[hex.EncodeToString(batchID)] = st
+	})
+	evictedRx := me.storeRxBatchLocked(batchID, st)
 	epoch := append([]byte(nil), me.epoch...)
 	me.mu.Unlock()
+	if evictedSess > 0 {
+		me.observer().M().Add("me.session.evicted", int64(evictedSess))
+	}
+	if evictedRx > 0 {
+		me.observer().M().Add("me.batch.rx.evicted", int64(evictedRx))
+	}
 	return encodeBatchOfferReply(&batchOfferReply{
 		BatchID:   batchID,
 		SessionID: sid,
@@ -674,32 +803,48 @@ func (me *MigrationEnclave) handleBatchOffer(payload []byte) ([]byte, error) {
 // not errors: the source is expected to fall back to a full handshake.
 // The epoch check is the fence — a restarted ME minted a new epoch (and
 // forgot its accepted table anyway), so no pre-restart ticket verifies.
+// Refusals of tickets that DO prove possession of the session secret
+// carry a RefuseMAC, so only the true destination can make the source
+// evict its cached session; a secretless refusal (restarted ME, or an
+// on-path forgery) is unauthenticated and triggers only the fallback.
 func (me *MigrationEnclave) handleBatchResume(offer *batchOffer) ([]byte, error) {
-	refuse := func() ([]byte, error) {
+	refuse := func(mac []byte) ([]byte, error) {
 		me.observer().M().Add("me.session.resume.refused", 1)
-		return encodeBatchOfferReply(&batchOfferReply{Refused: true})
+		return encodeBatchOfferReply(&batchOfferReply{Refused: true, RefuseMAC: mac})
 	}
 	t := offer.Resume
 	if t == nil || t.Count != offer.Count {
-		return refuse()
+		return refuse(nil)
 	}
 	me.mu.Lock()
 	sess := me.accepted[hex.EncodeToString(t.SessionID)]
 	epoch := me.epoch
 	me.mu.Unlock()
-	if sess == nil || !macEqual(t.Epoch, epoch) {
-		return refuse()
+	if sess == nil {
+		return refuse(nil)
 	}
 	if !macEqual(t.MAC, resumeMAC(sess.secret, t.SessionID, t.Epoch, t.Counter, t.Count)) {
-		return refuse()
+		// The ticket does not prove possession of the session secret;
+		// refuse without a MAC (no authenticated-refusal oracle for
+		// attacker-chosen tickets).
+		return refuse(nil)
+	}
+	// From here the peer provably holds the secret, so a refusal is MACed:
+	// the source may safely evict its cache on seeing it.
+	refuseProof := resumeRefuseMAC(sess.secret, t.SessionID, t.Counter)
+	if !macEqual(t.Epoch, epoch) {
+		return refuse(refuseProof)
 	}
 	me.mu.Lock()
 	if t.Counter <= sess.counter {
 		// Counter replay: this use (or a later one) was already accepted.
 		me.mu.Unlock()
-		return refuse()
+		return refuse(refuseProof)
 	}
 	sess.counter = t.Counter
+	// LRU touch: sessions that keep resuming resist cap eviction.
+	me.admitSeq++
+	sess.order = me.admitSeq
 	me.mu.Unlock()
 	dataKey, ackKey := batchKeys(sess.secret, t.Counter)
 	st, err := newBatchRecvState(dataKey, ackKey, nil, false, offer.Count)
@@ -712,8 +857,11 @@ func (me *MigrationEnclave) handleBatchResume(offer *batchOffer) ([]byte, error)
 		return nil, err
 	}
 	me.mu.Lock()
-	me.rxBatches[hex.EncodeToString(batchID)] = st
+	evictedRx := me.storeRxBatchLocked(batchID, st)
 	me.mu.Unlock()
+	if evictedRx > 0 {
+		me.observer().M().Add("me.batch.rx.evicted", int64(evictedRx))
+	}
 	me.observer().M().Add("me.session.resumed", 1)
 	return encodeBatchOfferReply(&batchOfferReply{
 		Resumed:    true,
@@ -740,6 +888,7 @@ func newBatchRecvState(dataKey, ackKey [32]byte, transcript []byte, fresh bool, 
 		seen:       make(map[uint64]bool),
 		pending:    make(map[uint64][]byte),
 		statuses:   make(map[uint32]memberStatus),
+		ackSent:    make(map[uint64][]byte),
 	}, nil
 }
 
@@ -765,6 +914,14 @@ func (me *MigrationEnclave) handleBatchChunk(payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("open batch chunk: %w", err)
 	}
 	st.mu.Lock()
+	if sealed, ok := st.ackSent[msg.Seq]; ok {
+		// Replay of an already-acknowledged frame (duplicate delivery or
+		// an attacker re-presenting it): return the identical ciphertext.
+		// Sealing a fresh cumulative status list here would reuse the ack
+		// stream's (key, seq) nonce with different plaintext.
+		st.mu.Unlock()
+		return sealed, nil
+	}
 	if st.fresh && !st.authed && msg.Seq == 0 {
 		// Mutual provider authentication (R2), batch-framed: the source
 		// proves membership by signing the handshake transcript; the
@@ -806,18 +963,51 @@ func (me *MigrationEnclave) handleBatchChunk(payload []byte) ([]byte, error) {
 	}
 	sort.Slice(list, func(i, j int) bool { return list[i].Index < list[j].Index })
 	complete := uint32(len(st.statuses)) >= st.count
-	st.mu.Unlock()
 	raw, err := encodeBatchStatusList(&batchStatusList{Statuses: list})
 	if err != nil {
+		st.mu.Unlock()
 		return nil, err
 	}
+	// Seal and cache under the lock so a concurrent presentation of the
+	// same seq cannot race past the ackSent check and seal a second,
+	// different frame at this position.
 	sealed := st.acks.SealAt(msg.Seq, raw, msg.BatchID)
+	st.ackSent[msg.Seq] = sealed
+	st.mu.Unlock()
 	if complete {
 		me.mu.Lock()
 		delete(me.rxBatches, hex.EncodeToString(msg.BatchID))
 		me.mu.Unlock()
 	}
 	return sealed, nil
+}
+
+// handleBatchAbort frees the reassembly state of a batch whose sender
+// finished short of completion. The abort is authenticated by opening
+// the reserved batchAbortSeq frame under the batch's data key; anything
+// else is rejected, so an off-path attacker cannot shoot down a live
+// batch. Unknown batch ids converge silently (already completed, already
+// aborted, or evicted).
+func (me *MigrationEnclave) handleBatchAbort(payload []byte) ([]byte, error) {
+	msg, err := decodeBatchAbort(payload)
+	if err != nil {
+		return nil, err
+	}
+	key := hex.EncodeToString(msg.BatchID)
+	me.mu.Lock()
+	st := me.rxBatches[key]
+	me.mu.Unlock()
+	if st == nil {
+		return []byte(statusOK), nil
+	}
+	if _, err := st.stream.OpenAt(batchAbortSeq, msg.Sealed, msg.BatchID); err != nil {
+		return nil, fmt.Errorf("authenticate batch abort: %w", err)
+	}
+	me.mu.Lock()
+	delete(me.rxBatches, key)
+	me.mu.Unlock()
+	me.observer().M().Add("me.batch.rx.aborted", 1)
+	return []byte(statusOK), nil
 }
 
 // drainRecordsLocked parses every complete length-prefixed record out

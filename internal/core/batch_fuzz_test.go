@@ -76,6 +76,10 @@ func FuzzDecodeBatchOfferReply(f *testing.F) {
 		Resumed: true, BatchID: []byte("batch-id"), ConfirmMAC: bytes.Repeat([]byte{2}, 32),
 	})
 	f.Add(resumed)
+	refused, _ := encodeBatchOfferReply(&batchOfferReply{
+		Refused: true, RefuseMAC: bytes.Repeat([]byte{9}, 32),
+	})
+	f.Add(refused)
 	quoted, _ := encodeBatchOfferReply(&batchOfferReply{
 		BatchID: []byte("batch-id"), SessionID: []byte("sess"), Epoch: []byte("epoch"),
 		Quote: fuzzTestQuote(), DHPub: []byte("dh"), Cert: []byte("cert"), Sig: []byte("sig"),
@@ -95,7 +99,8 @@ func FuzzDecodeBatchOfferReply(f *testing.F) {
 			t.Fatalf("re-encoded value does not decode: %v", err)
 		}
 		if m.Refused != m2.Refused || m.Resumed != m2.Resumed ||
-			!bytes.Equal(m.BatchID, m2.BatchID) || !bytes.Equal(m.Epoch, m2.Epoch) {
+			!bytes.Equal(m.BatchID, m2.BatchID) || !bytes.Equal(m.Epoch, m2.Epoch) ||
+			!bytes.Equal(m.RefuseMAC, m2.RefuseMAC) {
 			t.Fatal("round trip mismatch")
 		}
 	})
@@ -184,6 +189,31 @@ func FuzzDecodeBatchDone(f *testing.F) {
 			if !bytes.Equal(m.Tokens[i], m2.Tokens[i]) {
 				t.Fatal("token mismatch after round trip")
 			}
+		}
+	})
+}
+
+func FuzzDecodeBatchAbort(f *testing.F) {
+	batchFuzzSeeds(f)
+	valid, _ := encodeBatchAbort(&batchAbort{
+		BatchID: []byte("batch-id"), Sealed: bytes.Repeat([]byte{8}, 27),
+	})
+	f.Add(valid)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := decodeBatchAbort(raw)
+		if err != nil {
+			return
+		}
+		re, err := encodeBatchAbort(m)
+		if err != nil {
+			t.Fatalf("decoded value does not re-encode: %v", err)
+		}
+		m2, err := decodeBatchAbort(re)
+		if err != nil {
+			t.Fatalf("re-encoded value does not decode: %v", err)
+		}
+		if !bytes.Equal(m.BatchID, m2.BatchID) || !bytes.Equal(m.Sealed, m2.Sealed) {
+			t.Fatal("round trip mismatch")
 		}
 	})
 }

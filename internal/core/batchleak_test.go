@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestBatchFinishFreesDestinationState: a batch that ends short of its
+// declared member count (here: one member frozen, one never added, e.g.
+// its freeze failed) must not leave reassembly state behind at the
+// destination ME — the sender's Finish aborts the stream explicitly.
+func TestBatchFinishFreesDestinationState(t *testing.T) {
+	e := newEnv(t)
+	img := testAppImage(t, "app")
+	app, err := e.src.LaunchApp(img, core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := app.Library.CreateCounter(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Library.StartMigrationHeld(e.dst.MEAddress()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Declare two members, deliver only one.
+	bs, err := e.src.ME.BeginBatch(e.dst.MEAddress(), 2, core.BatchOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Add(0, app.Library.MigrationToken()); err != nil {
+		t.Fatal(err)
+	}
+	statuses, err := bs.Finish()
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if st, ok := statuses[0]; !ok || !st.OK {
+		t.Fatalf("member 0 not delivered: %+v", statuses)
+	}
+	if n := e.dst.ME.ActiveRxBatches(); n != 0 {
+		t.Fatalf("destination still holds %d batch reassembly states after short Finish", n)
+	}
+	// The delivered member is unaffected by the abort: it restores.
+	if _, err := e.dst.LaunchApp(img, core.NewMemoryStorage(), core.InitMigrated); err != nil {
+		t.Fatalf("restore of delivered member after abort: %v", err)
+	}
+}
+
+// TestBatchCompletionFreesDestinationState: the completion path (all
+// declared members acked) drops the reassembly state without an abort.
+func TestBatchCompletionFreesDestinationState(t *testing.T) {
+	e := newEnv(t)
+	img := testAppImage(t, "app")
+	app, err := e.src.LaunchApp(img, core.NewMemoryStorage(), core.InitNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Library.StartMigrationHeld(e.dst.MEAddress()); err != nil {
+		t.Fatal(err)
+	}
+	bs, err := e.src.ME.BeginBatch(e.dst.MEAddress(), 1, core.BatchOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Add(0, app.Library.MigrationToken()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bs.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.dst.ME.ActiveRxBatches(); n != 0 {
+		t.Fatalf("destination holds %d reassembly states after a complete batch", n)
+	}
+}

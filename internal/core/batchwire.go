@@ -40,6 +40,10 @@ type batchOffer struct {
 // the source falls back to a full handshake), confirms it (Resumed +
 // ConfirmMAC), or completes a fresh handshake (Quote/DHPub/Cert/Sig as
 // in offerReply, plus the new session's id and the destination epoch).
+// RefuseMAC accompanies a refusal from a destination that still holds
+// the session secret (proof the refusal is genuine, see resumeRefuseMAC);
+// it is absent when the destination lost the session, and the source
+// only evicts its cache when the MAC verifies.
 type batchOfferReply struct {
 	Refused    bool
 	Resumed    bool
@@ -51,6 +55,7 @@ type batchOfferReply struct {
 	Cert       []byte
 	Sig        []byte
 	ConfirmMAC []byte
+	RefuseMAC  []byte
 }
 
 // batchChunk is one sealed frame of the batch stream. Seq is the frame's
@@ -92,6 +97,17 @@ type batchStatusList struct {
 // one exchange.
 type batchDoneMessage struct {
 	Tokens [][]byte
+}
+
+// batchAbort tells the destination a batch stream ended without ever
+// completing (the sender's Finish saw fewer acks than the declared
+// member count), so the per-batch reassembly state can be freed instead
+// of lingering until cap-eviction. Sealed authenticates the abort: it is
+// the data stream's frame at the reserved batchAbortSeq position, which
+// only the holder of the batch's data key can produce.
+type batchAbort struct {
+	BatchID []byte
+	Sealed  []byte
 }
 
 // batchRecord is one enclave's migration inside the stream plaintext:
@@ -193,6 +209,7 @@ func encodeBatchOfferReply(m *batchOfferReply) ([]byte, error) {
 	out = appendBytes(out, m.SessionID)
 	out = appendBytes(out, m.Epoch)
 	out = appendBytes(out, m.ConfirmMAC)
+	out = appendBytes(out, m.RefuseMAC)
 	if m.Quote != nil {
 		out = appendQuote(out, m.Quote)
 		out = appendBytes(out, m.DHPub)
@@ -215,6 +232,7 @@ func decodeBatchOfferReply(raw []byte) (*batchOfferReply, error) {
 		SessionID:  rd.bytes(),
 		Epoch:      rd.bytes(),
 		ConfirmMAC: rd.bytes(),
+		RefuseMAC:  rd.bytes(),
 	}
 	if flags&batchReplyQuoted != 0 {
 		m.Quote = rd.quote()
@@ -311,6 +329,27 @@ func decodeBatchDoneMessage(raw []byte) (*batchDoneMessage, error) {
 	m := &batchDoneMessage{Tokens: make([][]byte, 0, n)}
 	for i := uint32(0); i < n; i++ {
 		m.Tokens = append(m.Tokens, rd.bytes())
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func encodeBatchAbort(m *batchAbort) ([]byte, error) {
+	out := appendHeader(make([]byte, 0, 16+len(m.BatchID)+len(m.Sealed)), tagBatchAbort)
+	out = appendBytes(out, m.BatchID)
+	return appendBytes(out, m.Sealed), nil
+}
+
+func decodeBatchAbort(raw []byte) (*batchAbort, error) {
+	rd := newWireReader(raw)
+	if !rd.header(tagBatchAbort) {
+		return nil, rd.errState()
+	}
+	m := &batchAbort{
+		BatchID: rd.bytes(),
+		Sealed:  rd.bytes(),
 	}
 	if err := rd.done(); err != nil {
 		return nil, err

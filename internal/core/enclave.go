@@ -141,9 +141,13 @@ type MigrationEnclave struct {
 	epoch []byte
 	// sessions caches resumable attested sessions by destination address
 	// (source role); accepted caches them by hex session id (dest role).
+	// accepted and rxBatches are populated by untrusted peers, so both
+	// are capped (see storeAcceptedLocked / storeRxBatchLocked);
+	// admitSeq stamps their entries for least-recently-used eviction.
 	sessions  map[string]*resumableSession
 	accepted  map[string]*resumableSession
 	rxBatches map[string]*batchRecvState // key: hex batch id
+	admitSeq  uint64
 	// doneQueue accumulates DONE tokens per source-ME address for
 	// aggregated batchDone flushes.
 	doneQueue map[string][][]byte

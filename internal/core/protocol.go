@@ -124,6 +124,7 @@ const (
 	kindBatchOffer = "migrate-batch-offer"
 	kindBatchChunk = "migrate-batch-chunk"
 	kindBatchDone  = "migrate-batch-done"
+	kindBatchAbort = "migrate-batch-abort"
 )
 
 // transcriptContext labels the remote-attestation transcript binding.

@@ -190,6 +190,8 @@ func (me *MigrationEnclave) handleNetwork(msg transport.Message) ([]byte, error)
 		return me.handleBatchOffer(msg.Payload)
 	case kindBatchChunk:
 		return me.handleBatchChunk(msg.Payload)
+	case kindBatchAbort:
+		return me.handleBatchAbort(msg.Payload)
 	case kindBatchDone:
 		return me.handleBatchDone(msg.Payload)
 	default:

@@ -32,6 +32,7 @@ const (
 	labelSessionSecret = "me-session-secret"
 	labelResumeMAC     = "me-resume-mac"
 	labelResumeOK      = "me-resume-ok"
+	labelResumeRefuse  = "me-resume-refuse"
 	labelBatchData     = "me-batch-data"
 	labelBatchAck      = "me-batch-ack"
 )
@@ -45,6 +46,9 @@ type resumableSession struct {
 	secret  []byte // 32-byte secret bound to the original transcript
 	epoch   []byte // destination ME's epoch at handshake time
 	counter uint64
+	// order is the destination-side LRU stamp for cap eviction (bumped on
+	// admission and on every successful resume); guarded by the ME's mu.
+	order uint64
 }
 
 // deriveSessionSecret derives the cached session secret from the DH
@@ -79,6 +83,18 @@ func resumeMAC(secret, sid, epoch []byte, counter uint64, count uint32) []byte {
 // it holds the same secret and accepted exactly this counter.
 func resumeConfirmMAC(secret, sid []byte, counter uint64) []byte {
 	k := xcrypto.DeriveKey(secret, labelResumeOK, sid, u64be(counter))
+	return k[:]
+}
+
+// resumeRefuseMAC authenticates a resume REFUSAL: a destination that
+// still holds the session secret but will not honor this ticket (epoch
+// rolled, counter replayed) proves it is the true peer, so only it can
+// make the source evict its cached session. A destination that lost the
+// secret (restart) cannot produce it — nor can an on-path attacker — and
+// such unauthenticated refusals merely trigger the (authenticated)
+// fresh-handshake fallback without evicting the cache.
+func resumeRefuseMAC(secret, sid []byte, counter uint64) []byte {
+	k := xcrypto.DeriveKey(secret, labelResumeRefuse, sid, u64be(counter))
 	return k[:]
 }
 

@@ -42,6 +42,7 @@ const (
 	tagBatchStatus   byte = 0xB8
 	tagBatchDone     byte = 0xB9
 	tagBatchRecord   byte = 0xBA
+	tagBatchAbort    byte = 0xBB
 )
 
 // wireVersion is the current format version, bumped on any layout change
