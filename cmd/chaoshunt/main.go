@@ -10,6 +10,7 @@
 //	chaoshunt -seed 42 -seeds 1 -v     one schedule, verbose verdict
 //	chaoshunt -budget 10m -loss 0.2    nightly soak: hunt until the budget
 //	chaoshunt -replay repro.json       re-run a shrunken repro file
+//	chaoshunt -flight flight-seed7.bin decode a flight-recorder bundle
 //	chaoshunt -json                    machine-readable verdicts
 package main
 
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/obs/flight"
 )
 
 func main() {
@@ -38,6 +40,34 @@ type verdict struct {
 	Violations []chaos.Violation `json:"violations,omitempty"`
 	Coverage   chaos.Coverage    `json:"coverage"`
 	Repro      *chaos.Repro      `json:"repro,omitempty"`
+	// FlightFile names the black-box bundle written beside the repro
+	// (flight.DecodeBundle or `fleetd`'s /flight.json shape reads it).
+	FlightFile string `json:"flight_file,omitempty"`
+}
+
+// writeFlight persists a failing run's flight-recorder bundle next to
+// the repro. It prefers a bundle captured from the shrunken schedule —
+// the minimal history an investigator will actually replay — and falls
+// back to the original run's bundle when the re-run cannot reproduce
+// one. Returns the file name, or "" when nothing could be written.
+func writeFlight(seed int64, repro *chaos.Repro, res *chaos.Result) string {
+	raw := res.Flight
+	if repro != nil {
+		cfg := repro.Config
+		cfg.Replay = repro.Steps
+		if rr, err := chaos.Run(cfg); err == nil && len(rr.Flight) > 0 {
+			raw = rr.Flight
+		}
+	}
+	if len(raw) == 0 {
+		return ""
+	}
+	name := fmt.Sprintf("flight-seed%d.bin", seed)
+	if err := os.WriteFile(name, raw, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "chaoshunt: write %s: %v\n", name, err)
+		return ""
+	}
+	return name
 }
 
 func run() error {
@@ -52,12 +82,16 @@ func run() error {
 		budget   = flag.Duration("budget", 0, "time budget: run consecutive seeds until it expires (soak mode)")
 		shrinkN  = flag.Int("shrink", 200, "max re-runs when shrinking a failing schedule")
 		replay   = flag.String("replay", "", "JSON repro file to re-run instead of hunting")
+		flightIn = flag.String("flight", "", "flight-recorder .bin bundle to decode and print instead of hunting")
 		bias     = flag.Bool("bias", true, "bias schedule generation toward under-covered transitions")
 		asJSON   = flag.Bool("json", false, "emit JSON verdicts")
 		verbose  = flag.Bool("v", false, "per-seed progress")
 	)
 	flag.Parse()
 
+	if *flightIn != "" {
+		return dumpFlight(*flightIn, *asJSON)
+	}
 	if *replay != "" {
 		return replayFile(*replay, *asJSON)
 	}
@@ -113,7 +147,8 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("seed %d: shrink: %w", s, err)
 		}
-		v := verdict{Seed: s, Ops: res.Ops, Events: res.Events, Violations: res.Violations, Coverage: res.Coverage, Repro: repro}
+		flightFile := writeFlight(s, repro, res)
+		v := verdict{Seed: s, Ops: res.Ops, Events: res.Events, Violations: res.Violations, Coverage: res.Coverage, Repro: repro, FlightFile: flightFile}
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
@@ -122,6 +157,9 @@ func run() error {
 			}
 		} else {
 			fmt.Printf("seed %d VIOLATED %d invariant(s); minimal repro:\n%s", s, len(res.Violations), repro)
+			if flightFile != "" {
+				fmt.Printf("flight-recorder bundle written to %s\n", flightFile)
+			}
 			fmt.Printf("re-run: chaoshunt -replay <file> after saving the JSON below\n")
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
@@ -160,6 +198,45 @@ func passFail(res *chaos.Result) string {
 		return "FAIL"
 	}
 	return "ok"
+}
+
+// dumpFlight decodes a flight-recorder bundle from disk: a summary of
+// what the black box holds by default, the full bundle as JSON with
+// -json (the same shape fleetd serves at /flight.json).
+func dumpFlight(path string, asJSON bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	b, err := flight.DecodeBundle(raw)
+	if err != nil {
+		return fmt.Errorf("decode %s: %w", path, err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(b)
+	}
+	fmt.Printf("trigger:  %s (actor %q) %s\n", b.Trigger.Kind, b.Trigger.Actor, b.Trigger.Detail)
+	fmt.Printf("captured: %s\n", time.Unix(0, b.CreatedUnixNs).UTC().Format(time.RFC3339Nano))
+	fmt.Printf("contents: %d spans, %d open spans, %d events, %d counters, %d gauges, %d histograms, %d journal bytes\n",
+		len(b.Spans), len(b.Open), len(b.Events), len(b.Metrics.Counters), len(b.Metrics.Gauges), len(b.Metrics.Histograms), len(b.Journal))
+	if b.Note != "" {
+		fmt.Printf("note:     %s\n", b.Note)
+	}
+	for _, h := range b.Health {
+		fmt.Printf("health:   %s/%s %s  %s\n", h.Kind, h.Name, h.State, h.Reason)
+	}
+	for _, v := range b.SLO {
+		if v.Violated {
+			fmt.Printf("slo:      %s VIOLATED (%s: %d > %d ns)\n", v.Name, v.Metric, v.ActualNs, v.MaxNs)
+		}
+	}
+	for _, sp := range b.Open {
+		fmt.Printf("open:     %s since %s (trace %x)\n", sp.Name, sp.Start.UTC().Format(time.RFC3339), sp.TraceID)
+	}
+	fmt.Println("use -flight FILE -json for the full bundle")
+	return nil
 }
 
 // replayFile re-runs a shrunken repro (the JSON chaoshunt printed when

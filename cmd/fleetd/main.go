@@ -33,6 +33,8 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/health"
 	"repro/internal/sgx"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -137,8 +139,25 @@ func printAnalysis(plane *analyze.Plane, o *obs.Observer) {
 	for _, v := range verdicts {
 		fmt.Println(" ", v)
 	}
-	if d := o.Tracer.Dropped() + o.Events.Dropped(); d > 0 {
-		fmt.Printf("  rings dropped %d spans, %d events\n", o.Tracer.Dropped(), o.Events.Dropped())
+	// Always printed, even at zero: a reader checking whether the rings
+	// clipped this plan's telemetry should not have to infer it from an
+	// absent line.
+	fmt.Printf("  rings dropped: %d spans, %d events\n", o.Tracer.Dropped(), o.Events.Dropped())
+	fmt.Printf("health: %s", plane.Health.Overall())
+	unhealthy := 0
+	for _, e := range plane.Health.States() {
+		if e.State == health.Healthy {
+			continue
+		}
+		unhealthy++
+		fmt.Printf("\n  %-8s %s/%s: %s", e.State, e.Kind, e.Name, e.Reason)
+	}
+	if unhealthy == 0 {
+		fmt.Printf(" (%d entities)", len(plane.Health.States()))
+	}
+	fmt.Println()
+	if n := plane.Flight.Trips(); n > 0 {
+		fmt.Printf("flight recorder: %d bundle(s) captured (latest served at /flight)\n", n)
 	}
 }
 
@@ -188,7 +207,8 @@ func run() error {
 		counters    = flag.Int("counters", 2, "monotonic counters per enclave")
 		scale       = flag.Float64("scale", 0, "latency scale (1 = paper-magnitude latencies)")
 		verbose     = flag.Bool("v", false, "log each migration outcome")
-		metricsAddr = flag.String("metrics-addr", "", "serve the observability plane on this address (e.g. 127.0.0.1:9090): OpenMetrics at /metrics, JSON at /metrics.json, /traces, /events, /slo")
+		metricsAddr = flag.String("metrics-addr", "", "serve the observability plane on this address (e.g. 127.0.0.1:9090): OpenMetrics at /metrics, JSON at /metrics.json, /traces, /events, /slo, /health, /flight")
+		flightDir   = flag.String("flight-dir", "", "persist flight-recorder bundles into this directory (latest 16 kept)")
 		linger      = flag.Duration("linger", 0, "keep serving -metrics-addr for this long after the plan finishes (for scrapers)")
 		chaosMode   = flag.Bool("chaos", false, "run seeded chaos schedules against a two-DC federation instead of a single plan; exits non-zero with a minimal repro on any invariant violation")
 		chaosSeed   = flag.Int64("chaos-seed", 0, "first chaos schedule seed")
@@ -245,6 +265,12 @@ func run() error {
 	}
 	dc.SetObserver(observer)
 	plane := analyze.NewPlane(observer)
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			return fmt.Errorf("flight dir: %w", err)
+		}
+		plane.Flight.SetDir(*flightDir, 16)
+	}
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -310,10 +336,24 @@ func run() error {
 	fmt.Printf("executing %s plan (%s policy, %d workers)\n\n", plan.Intent, pol.Name(), *workers)
 	orch := fleet.New(dc, cfg)
 	report, err := orch.Execute(context.Background(), plan)
+	if report != nil && report.Journal != nil {
+		// The black box ships the journal tail of the latest plan.
+		j := report.Journal
+		plane.Flight.SetJournalProvider(func() []byte {
+			raw, err := j.Encode()
+			if err != nil {
+				return nil
+			}
+			return raw
+		})
+	}
 	if err != nil {
 		if report != nil {
 			printJournalFailures(report)
 		}
+		_, _ = plane.Flight.Trip(flight.Trigger{
+			Kind: flight.TriggerPlanFailure, Actor: "fleetd", Detail: err.Error(),
+		})
 		return err
 	}
 	fmt.Println(report)
@@ -324,8 +364,12 @@ func run() error {
 	// scripts and CI catch it instead of parsing logs.
 	if report.Failed > 0 || report.Canceled > 0 {
 		printJournalFailures(report)
-		return fmt.Errorf("plan finished with %d failed and %d canceled migrations",
+		ferr := fmt.Errorf("plan finished with %d failed and %d canceled migrations",
 			report.Failed, report.Canceled)
+		_, _ = plane.Flight.Trip(flight.Trigger{
+			Kind: flight.TriggerPlanFailure, Actor: "fleetd", Detail: ferr.Error(),
+		})
+		return ferr
 	}
 
 	// Verify the fleet invariants the paper's design promises: every

@@ -12,6 +12,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/federation"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/health"
 	"repro/internal/sgx"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -87,10 +89,20 @@ type Result struct {
 	// Coverage records which invariants the checker evaluated and which
 	// transitions the schedule executed — the search-quality signal.
 	Coverage Coverage `json:"coverage"`
+	// Health is the per-entity health state at the end of the run: the
+	// active watchdogs' independent verdict on the same history the
+	// checker read. A mutation test convicts an injected fault only when
+	// both planes saw it.
+	Health []health.EntityHealth `json:"health,omitempty"`
 
 	// History is the full operation record (not serialized by default;
 	// repros carry the seed + steps instead).
 	History *History `json:"-"`
+	// Flight is an encoded black-box bundle (flight.DecodeBundle reads
+	// it), captured at verdict time when the run found violations; nil on
+	// clean runs. Like History it stays out of the JSON repro — chaoshunt
+	// writes it beside the repro file instead.
+	Flight []byte `json:"-"`
 }
 
 // Failed reports whether the run found any invariant violation.
@@ -139,6 +151,7 @@ type world struct {
 	link   *transport.WANLink
 	mirror *federation.Mirror
 	obs    *obs.Observer
+	mon    *health.Monitor
 
 	ids    []*identity
 	byName map[string]*identity
@@ -182,20 +195,33 @@ func Run(cfg Config) (*Result, error) {
 		steps = w.generate(cfg.Steps)
 	}
 	w.quiesce()
+	states := w.mon.Evaluate(time.Now())
 
 	events := w.obs.Events.Events()
 	violations, cov := CheckCoverage(w.h, events, w.ownerIndex())
 	cov.Merge(w.cov) // add the executed-transition counts
 	cfg.Bias.Absorb(cov)
-	return &Result{
+	res := &Result{
 		Seed:       cfg.Seed,
 		Steps:      steps,
 		Violations: violations,
 		Ops:        w.h.Len(),
 		Events:     len(events),
 		Coverage:   cov,
+		Health:     states,
 		History:    w.h,
-	}, nil
+	}
+	if len(violations) > 0 {
+		// Black-box the failing run: everything the watchdogs and checker
+		// saw, frozen at verdict time, so a repro ships with its context.
+		b := flight.Capture(w.obs, flight.Trigger{
+			Kind:   flight.TriggerChaosViolation,
+			Actor:  "chaos",
+			Detail: violations[0].String(),
+		}, time.Now(), flight.CaptureOpts{Health: states})
+		res.Flight = b.Encode()
+	}
+	return res, nil
 }
 
 // buildWorld provisions the standard chaos fixture: two data centers
@@ -218,6 +244,11 @@ func buildWorld(cfg Config) (*world, error) {
 		step:        -1,
 	}
 	w.obs = obs.NewObserver()
+	// The health plane watches the run live, one evaluation per step.
+	// TripAfter 1 (vs the serving default 2) because a chaos step is a
+	// coarse instant, not a scrape tick: the injected fault classes must
+	// reach degraded/critical within the schedule that provoked them.
+	w.mon = health.New(w.obs, health.Config{TripAfter: 1, ClearAfter: 2}, health.DefaultDetectors()...)
 
 	for _, name := range []string{"dc-a", "dc-b"} {
 		dc, err := cloud.NewDataCenter(name, sim.NewInstantLatency())

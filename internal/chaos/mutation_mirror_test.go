@@ -1,0 +1,123 @@
+//go:build chaosmut
+
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/health"
+)
+
+// mirrorSchedule is the deterministic stale-mirror scenario for the
+// second injected fault (faultSkipMirrorResync in internal/federation):
+// the first flush syncs every instance once, two bursts advance the
+// counters, and the second flush — which on a healthy build would
+// re-push the now-stale shadows — is silently skipped while still
+// reporting success. A forced cross-site failover then resurrects the
+// values of the FIRST flush, older than the second flush promised, and
+// the next burst's increment lands at or below the flush floor.
+var mirrorSchedule = []Step{
+	{Op: "flush"},
+	{Op: "burst"},
+	{Op: "burst"},
+	{Op: "flush"},
+	{Op: "kill", Target: "dc-a/a1"},
+	{Op: "recover-wan", Target: "dc-a/a1", Dest: "dc-b/b1", Arg: "force"},
+	{Op: "burst"},
+}
+
+func mirrorMutationConfig() Config {
+	return Config{Seed: 1, Machines: 3, Apps: 1, Counters: 1, Replay: mirrorSchedule}
+}
+
+// TestMirrorMutationCaught requires the stale-mirror fault to be
+// convicted by BOTH independent planes: the offline invariant checker
+// (a monotone rollback below the flush floor) and the live health
+// watchdog (a successful flush that pushed no records while mirrored
+// instances exist). One plane catching it is a detector working; both
+// catching it is the observability story the fault was injected to
+// prove.
+func TestMirrorMutationCaught(t *testing.T) {
+	res, err := Run(mirrorMutationConfig())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Failed() {
+		t.Fatalf("checker missed the stale-mirror resurrection; history:\n%s",
+			res.History.Fingerprint())
+	}
+	var monotone bool
+	for _, v := range res.Violations {
+		t.Logf("caught: %s", v)
+		if v.Invariant == "monotone" {
+			monotone = true
+		}
+	}
+	if !monotone {
+		t.Error("no monotone violation for the stale resurrected counter")
+	}
+
+	var mirrorState *health.EntityHealth
+	for i, h := range res.Health {
+		if h.Kind == "mirror" && h.Name == "escrow" {
+			mirrorState = &res.Health[i]
+		}
+	}
+	if mirrorState == nil {
+		t.Fatal("health plane never tracked the mirror entity")
+	}
+	if mirrorState.State < health.Degraded {
+		t.Errorf("mirror entity is %s; the skipped re-sync should have degraded it", mirrorState.State)
+	}
+	if !strings.Contains(mirrorState.Reason, "pushed no records") {
+		t.Errorf("mirror degradation reason %q does not name the flush-without-push rule", mirrorState.Reason)
+	}
+}
+
+// TestMirrorMutationFlightBundle asserts the failing run ships its black
+// box: Result.Flight decodes back into a bundle whose trigger is the
+// chaos violation and whose event tail carries the mirror's
+// health-changed transition — the evidence an operator reads first.
+func TestMirrorMutationFlightBundle(t *testing.T) {
+	res, err := Run(mirrorMutationConfig())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Failed() {
+		t.Fatal("expected a failing run")
+	}
+	if len(res.Flight) == 0 {
+		t.Fatal("failing run produced no flight bundle")
+	}
+	b, err := flight.DecodeBundle(res.Flight)
+	if err != nil {
+		t.Fatalf("decode flight bundle: %v", err)
+	}
+	if b.Trigger.Kind != flight.TriggerChaosViolation {
+		t.Errorf("trigger kind = %q, want %q", b.Trigger.Kind, flight.TriggerChaosViolation)
+	}
+	if !strings.Contains(b.Trigger.Detail, "monotone") {
+		t.Errorf("trigger detail %q does not carry the violation", b.Trigger.Detail)
+	}
+	var sawMirrorChange bool
+	for _, ev := range b.Events {
+		if ev.Type == obs.EventHealthChanged && strings.Contains(ev.Actor, "mirror/escrow") {
+			sawMirrorChange = true
+		}
+	}
+	if !sawMirrorChange {
+		t.Error("bundle events carry no health-changed transition for the mirror")
+	}
+	var sawMirrorHealth bool
+	for _, h := range b.Health {
+		if h.Kind == "mirror" && h.State >= health.Degraded {
+			sawMirrorHealth = true
+		}
+	}
+	if !sawMirrorHealth {
+		t.Error("bundle health snapshot does not show the degraded mirror")
+	}
+}

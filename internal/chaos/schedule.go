@@ -81,6 +81,7 @@ func (w *world) generate(n int) []Step {
 		w.exec(s)
 		w.quiesce()
 		w.scan()
+		w.mon.Evaluate(time.Now())
 	}
 	return steps
 }
@@ -98,6 +99,7 @@ func (w *world) replay(steps []Step) []Step {
 		w.exec(s)
 		w.quiesce()
 		w.scan()
+		w.mon.Evaluate(time.Now())
 	}
 	return steps
 }

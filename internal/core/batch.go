@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sgx"
@@ -76,6 +77,10 @@ type BatchOpts struct {
 	// boundary: the record is compressed, then sealed, so the link only
 	// carries ciphertext of the smaller frame.
 	Compress bool
+	// Link names the WAN link this batch crosses. When set, compression
+	// effectiveness is also recorded per link (wan.compress.ratio.<link>),
+	// so the fleet can compare how well each path's traffic compresses.
+	Link string
 	// Trace is the batch's parent trace context.
 	Trace obs.TraceContext
 }
@@ -101,6 +106,7 @@ type BatchSender struct {
 	sig      []byte
 	count    int // declared member count (the destination's completion bar)
 	compress bool
+	link     string
 	chunkLen int
 	window   int
 
@@ -118,6 +124,8 @@ type BatchSender struct {
 	statuses  map[uint32]BatchMemberStatus
 	tokens    map[uint32][]byte
 	savings   int64
+	compIn    int64 // bytes fed to the compressor
+	compOut   int64 // bytes the compressor produced
 	delivered chan uint32
 }
 
@@ -178,6 +186,7 @@ func (me *MigrationEnclave) beginResumed(dest transport.Address, count int, opts
 	}
 	me.mu.Unlock()
 	if sess == nil {
+		me.observer().M().Add("me.session.resume.miss", 1)
 		return nil, nil
 	}
 	ticket := &resumeTicket{
@@ -232,6 +241,7 @@ func (me *MigrationEnclave) beginResumed(dest transport.Address, count int, opts
 		return nil, fmt.Errorf("%w: resume reply missing batch id", ErrDataFormat)
 	}
 	me.observer().M().Add("me.session.resumed", 1)
+	me.observer().M().Add("me.session.resume.hit", 1)
 	dataKey, ackKey := batchKeys(sess.secret, ctr)
 	return me.newBatchSender(dest, count, opts, reply.BatchID, dataKey, ackKey, false, nil, nil)
 }
@@ -337,6 +347,7 @@ func (me *MigrationEnclave) newBatchSender(dest transport.Address, count int, op
 		sig:       sig,
 		count:     count,
 		compress:  opts.Compress,
+		link:      opts.Link,
 		chunkLen:  opts.ChunkBytes,
 		window:    opts.Window,
 		seen:      make(map[uint32]bool),
@@ -385,8 +396,9 @@ func (bs *BatchSender) Add(index uint32, token []byte) error {
 		return abort(err)
 	}
 	compressed := false
-	var saved int64
+	var saved, inBytes, outBytes int64
 	if bs.compress {
+		inBytes = int64(len(envRaw))
 		frame, err := transport.CompressFrame(envRaw)
 		if err != nil {
 			return abort(err)
@@ -395,6 +407,7 @@ func (bs *BatchSender) Add(index uint32, token []byte) error {
 			saved = int64(d)
 		}
 		envRaw = frame
+		outBytes = int64(len(envRaw))
 		compressed = true
 	}
 	recRaw, err := encodeBatchRecord(&batchRecord{
@@ -420,6 +433,8 @@ func (bs *BatchSender) Add(index uint32, token []byte) error {
 	bs.buf = appendU32(bs.buf, uint32(len(recRaw)))
 	bs.buf = append(bs.buf, recRaw...)
 	bs.savings += saved
+	bs.compIn += inBytes
+	bs.compOut += outBytes
 	bs.maybeFlushLocked()
 	bs.mu.Unlock()
 	return nil
@@ -550,6 +565,7 @@ func (bs *BatchSender) Finish() (map[uint32]BatchMemberStatus, error) {
 		out[k] = v
 	}
 	savings := bs.savings
+	compIn, compOut := bs.compIn, bs.compOut
 	tokens := make([][]byte, 0, len(bs.tokens))
 	for _, t := range bs.tokens {
 		tokens = append(tokens, t)
@@ -568,6 +584,19 @@ func (bs *BatchSender) Finish() (map[uint32]BatchMemberStatus, error) {
 	me.mu.Unlock()
 	if savings > 0 {
 		me.observer().M().Add("wire.bytes.saved", savings)
+	}
+	if compIn > 0 {
+		// Compression effectiveness for the whole batch, as permille of
+		// the input that survived (compressed*1000/input). Histograms
+		// store time.Duration samples, so the ratio rides as a raw int64:
+		// 1000 means incompressible, 250 means 4:1. Recorded globally and,
+		// when the caller named the link, per link — the fleet health
+		// detectors and cost model read the per-link family.
+		ratio := time.Duration(compOut * 1000 / compIn)
+		me.observer().M().Histogram("wan.compress.ratio").Observe(ratio)
+		if bs.link != "" {
+			me.observer().M().Histogram("wan.compress.ratio." + bs.link).Observe(ratio)
+		}
 	}
 	if len(out) < bs.count {
 		// The destination drops its reassembly state only when all

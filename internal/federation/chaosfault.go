@@ -1,0 +1,9 @@
+//go:build !chaosmut
+
+package federation
+
+// faultSkipMirrorResync gates the chaos mutation self-test's injected
+// mirror fault (see chaosfault_mut.go). In normal builds it is a false
+// constant, so the compiler removes the gated branch — the production
+// sync path is byte-for-byte unaffected.
+const faultSkipMirrorResync = false

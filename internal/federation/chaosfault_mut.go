@@ -1,0 +1,16 @@
+//go:build chaosmut
+
+package federation
+
+// faultSkipMirrorResync, under the chaosmut build tag, makes syncOne
+// silently skip any instance the partner already shadows: the first sync
+// of an instance proceeds (the partner gets a record at all), but every
+// re-sync after it — the mechanism that keeps shadow values current and
+// bounds the paper's value RPO — is dropped while Flush still reports
+// success. A forced cross-site failover then resurrects values from the
+// first sync, older than the last "successful" flush promises, and two
+// independent watchdogs must convict: the chaos checker (monotone
+// rollback below the flush floor) and the mirror health detector (a
+// successful flush that pushed no records while live instances exist).
+// Never enabled in normal builds.
+const faultSkipMirrorResync = true

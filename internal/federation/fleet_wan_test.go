@@ -9,6 +9,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
@@ -132,6 +133,61 @@ func TestCrossDCEvacuation(t *testing.T) {
 	}
 	if msgs, _ := link.Stats(); msgs == 0 {
 		t.Fatal("no traffic crossed the link")
+	}
+}
+
+// TestCrossDCBatchCompressRatio: a batched cross-DC drain records the
+// achieved compression ratio (permille of input) both globally and in a
+// per-link histogram family, keyed by the BatchOpts.Link the fleet
+// threads through from the plan's RemoteTargets.
+func TestCrossDCBatchCompressRatio(t *testing.T) {
+	_, dcA, dcB, link := twoPlainSites(t, transport.WANConfig{RTT: time.Millisecond})
+	observer := obs.NewObserver()
+	dcA.SetObserver(observer)
+	a1, _ := dcA.Machine("a1")
+
+	const apps = 6
+	for i := 0; i < apps; i++ {
+		app, err := a1.LaunchApp(appImage(fmt.Sprintf("zip-%d", i)), core.NewMemoryStorage(), core.InitNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := app.Library.CreateCounter(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	plan := fleet.Plan{
+		Intent:        fleet.IntentEvacuate,
+		Sources:       []string{"a1"},
+		RemoteTargets: remoteTargets(t, dcB, link.Name(), "b1"),
+	}
+	orch := fleet.New(dcA, fleet.Config{Workers: 2, BatchSize: 3, Obs: observer})
+	report, err := orch.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != apps || report.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want %d/0\n%s", report.Completed, report.Failed, apps, report)
+	}
+
+	snap := observer.M().Snapshot()
+	global, ok := snap.Histograms["wan.compress.ratio"]
+	if !ok || global.Count == 0 {
+		t.Fatalf("wan.compress.ratio not recorded: %+v", snap.Histograms)
+	}
+	perLink, ok := snap.Histograms["wan.compress.ratio."+link.Name()]
+	if !ok {
+		t.Fatalf("per-link family wan.compress.ratio.%s missing: %+v", link.Name(), snap.Histograms)
+	}
+	if perLink.Count != global.Count {
+		t.Errorf("per-link count %d != global count %d (all batches crossed one link)", perLink.Count, global.Count)
+	}
+	// Ratios are permille of input bytes: >0 always, and even a stored
+	// (incompressible) frame only adds a small header, so the highest
+	// occupied bucket stays in a sane range.
+	if global.Mean <= 0 || global.Max > 2048 {
+		t.Errorf("implausible compress ratio: mean=%d max=%d permille", global.Mean, global.Max)
 	}
 }
 

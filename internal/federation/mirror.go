@@ -137,7 +137,9 @@ func (m *Mirror) enqueue(k instanceKey) {
 			m.nextSeq++
 			m.seq[k] = m.nextSeq
 		}
-		m.obs.Load().M().SetGauge("mirror.dirty", int64(len(m.pending)))
+		met := m.obs.Load().M()
+		met.Add("mirror.enqueue.total", 1)
+		met.SetGauge("mirror.dirty", int64(len(m.pending)))
 		m.cond.Broadcast()
 	}
 	m.mu.Unlock()
@@ -213,8 +215,23 @@ func (m *Mirror) noteFlush(err error) error {
 	}
 	m.mu.Lock()
 	met.SetGauge("mirror.dirty", int64(len(m.pending)))
+	m.publishKnownLocked(met)
 	m.mu.Unlock()
 	return err
+}
+
+// publishKnownLocked refreshes the mirror.known gauge: how many live
+// (non-consumed) instances the partner currently shadows. The mirror
+// health detector reads it to tell an idle mirror from a lying one — a
+// successful flush with known instances must push records. m.mu held.
+func (m *Mirror) publishKnownLocked(met *obs.Metrics) {
+	n := int64(0)
+	for _, info := range m.known {
+		if !info.consumed {
+			n++
+		}
+	}
+	met.SetGauge("mirror.known", n)
 }
 
 func (m *Mirror) flush() error {
@@ -324,6 +341,16 @@ func (m *Mirror) exchange(tc obs.TraceContext, kind string, payload []byte) ([]b
 // syncOne brings the partner current for one instance: tombstones
 // propagate as tombstones, live records as ensure + transform + push.
 func (m *Mirror) syncOne(k instanceKey) (err error) {
+	if faultSkipMirrorResync && m.alreadyMirrored(k) {
+		// Mutation self-test only (build tag chaosmut): silently claim
+		// success without re-pushing an instance the partner already
+		// shadows, so flushes "succeed" while shadow values go stale. The
+		// chaos checker must convict the resulting post-failover rollback,
+		// and the mirror health detector must flag the flush-without-push
+		// signature — nothing is recorded here on purpose, a liar leaves
+		// no tracks.
+		return nil
+	}
 	o := m.obs.Load()
 	sp, tc := o.StartSpan("mirror.push", obs.TraceContext{})
 	if sp != nil {
@@ -440,8 +467,20 @@ func (m *Mirror) syncOne(k instanceKey) (err error) {
 	} else {
 		m.known[k] = &originInfo{bind: bind, version: ver}
 	}
+	met := o.M()
+	met.SetGauge("mirror.push.last_unix_ns", time.Now().UnixNano())
+	m.publishKnownLocked(met)
 	m.mu.Unlock()
 	return nil
+}
+
+// alreadyMirrored reports whether the partner already shadows a live
+// copy of k (the chaosmut skip-resync gate's predicate).
+func (m *Mirror) alreadyMirrored(k instanceKey) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info, ok := m.known[k]
+	return ok && !info.consumed
 }
 
 // pushTombstone propagates a decommission to the partner.

@@ -232,6 +232,7 @@ func (o *Orchestrator) migrateBatch(ctx context.Context, group []Assignment, tar
 			Window:     o.cfg.BatchWindow,
 			ChunkBytes: o.cfg.BatchChunkBytes,
 			Compress:   links[dest] != "",
+			Link:       links[dest],
 		})
 		if err != nil {
 			unlockAll()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cloud"
+	"repro/internal/obs/health"
 )
 
 // counterCostBytes is the byte-equivalent weight of one migratable
@@ -14,6 +15,14 @@ import (
 // counter-heavy enclave must look expensive even when its Table I
 // payload is small.
 const counterCostBytes = 64 << 10
+
+// degradedLinkPenalty multiplies the projected cost of a candidate whose
+// WAN link the health plane reports degraded: the destination stays
+// reachable (unlike critical, which is excluded outright), but only wins
+// a pick when it is 8× cheaper than the healthiest alternative — roughly
+// the cost gap at which eating a lossy link's retries still beats
+// queueing behind a clean one.
+const degradedLinkPenalty = 8
 
 // appCost aggregates a journal's observations of one app.
 type appCost struct {
@@ -50,6 +59,7 @@ type CostAware struct {
 	total    appCost
 	assigned map[string]int64
 	linkRTT  map[string]time.Duration
+	linkHlth map[string]health.State
 }
 
 // NewCostAware builds the policy from journaled history. A nil journal
@@ -59,6 +69,7 @@ func NewCostAware(history *Journal) *CostAware {
 		hist:     make(map[string]appCost),
 		assigned: make(map[string]int64),
 		linkRTT:  make(map[string]time.Duration),
+		linkHlth: make(map[string]health.State),
 	}
 	if history != nil {
 		for _, e := range history.Entries() {
@@ -118,6 +129,48 @@ func (c *CostAware) SetLink(machineID string, rtt time.Duration) {
 	c.linkRTT[machineID] = rtt
 }
 
+// NoteLinkState records the health plane's verdict on the path to one
+// destination machine. Degraded paths are penalized (see
+// degradedLinkPenalty); critical paths are excluded from picks entirely
+// unless every candidate is critical (a drain must still go somewhere).
+func (c *CostAware) NoteLinkState(machineID string, st health.State) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st == health.Healthy {
+		delete(c.linkHlth, machineID)
+		return
+	}
+	c.linkHlth[machineID] = st
+}
+
+// WatchLinks subscribes the policy to a health monitor. linkOf maps each
+// destination machine ID to the name of the WAN link it sits behind (the
+// same names the fleet passes as BatchOpts.Link). Current link states are
+// applied immediately; later transitions arrive via the monitor's change
+// hook, so a link going critical mid-plan redirects the remaining picks.
+func (c *CostAware) WatchLinks(mon *health.Monitor, linkOf map[string]string) {
+	if mon == nil || len(linkOf) == 0 {
+		return
+	}
+	for machine, link := range linkOf {
+		c.NoteLinkState(machine, mon.StateOf("link", link))
+	}
+	frozen := make(map[string]string, len(linkOf))
+	for m, l := range linkOf {
+		frozen[m] = l
+	}
+	mon.OnChange(func(ch health.Change) {
+		if ch.Entity.Kind != "link" {
+			return
+		}
+		for machine, link := range frozen {
+			if link == ch.Entity.Name {
+				c.NoteLinkState(machine, ch.To)
+			}
+		}
+	})
+}
+
 // rttFactor is the per-candidate cost multiplier: RTT in whole
 // milliseconds, floored at 1 so LAN-class and unrecorded links are
 // priced identically.
@@ -158,9 +211,22 @@ func (c *CostAware) Pick(app *cloud.App, candidates []*cloud.Machine, load map[s
 	if avg <= 0 {
 		avg = counterCostBytes
 	}
+	// A candidate behind a critical link is excluded — unless every
+	// candidate is, in which case health cannot discriminate and the
+	// plan proceeds on cost alone rather than failing the drain.
+	allCritical := true
+	for _, cand := range candidates {
+		if c.linkHlth[cand.ID()] != health.Critical {
+			allCritical = false
+			break
+		}
+	}
 	var best *cloud.Machine
 	var bestScore int64
 	for _, cand := range candidates {
+		if !allCritical && c.linkHlth[cand.ID()] == health.Critical {
+			continue
+		}
 		// Projected cost = the load map's enclaves (standing + planned
 		// arrivals, which the planner counts at one each) priced at the
 		// historical average, plus this session's accumulated deviation
@@ -170,6 +236,9 @@ func (c *CostAware) Pick(app *cloud.App, candidates []*cloud.Machine, load map[s
 		// The RTT factor scales the whole projected byte cost: bytes × RTT
 		// is transfer time, the quantity a drain deadline actually spends.
 		score := (c.assigned[cand.ID()] + int64(load[cand.ID()])*avg) * c.rttFactor(cand.ID())
+		if c.linkHlth[cand.ID()] == health.Degraded {
+			score *= degradedLinkPenalty
+		}
 		if best == nil || score < bestScore ||
 			(score == bestScore && cand.ID() < best.ID()) {
 			best, bestScore = cand, score

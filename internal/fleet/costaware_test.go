@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/health"
 	"repro/internal/sgx"
 	"repro/internal/sim"
 	"repro/internal/xcrypto"
@@ -124,6 +126,130 @@ func TestCostAwareEmptyHistoryBalances(t *testing.T) {
 	m2, _ := dc.Machine("m2")
 	if d := m1.AppCount() - m2.AppCount(); d < -1 || d > 1 {
 		t.Fatalf("unbalanced placement: m1=%d m2=%d", m1.AppCount(), m2.AppCount())
+	}
+}
+
+// TestCostAwareHealthRouting: the health plane's link verdicts steer
+// picks — critical links are excluded (unless every candidate is
+// critical), degraded links pay an 8× penalty, and healing restores the
+// even split.
+func TestCostAwareHealthRouting(t *testing.T) {
+	dc, err := cloud.NewDataCenter("cost-dc4", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := dc.AddMachine("ok")
+	bad, _ := dc.AddMachine("bad")
+	candidates := []*cloud.Machine{ok, bad}
+
+	run := func(policy *CostAware, picks int) (okN, badN int) {
+		load := map[string]int{}
+		for i := 0; i < picks; i++ {
+			m, err := policy.Pick(nil, candidates, load)
+			if err != nil {
+				t.Fatal(err)
+			}
+			load[m.ID()]++
+			if m == ok {
+				okN++
+			} else {
+				badN++
+			}
+		}
+		return okN, badN
+	}
+
+	// Critical excludes the candidate outright.
+	policy := NewCostAware(nil)
+	policy.NoteLinkState("bad", health.Critical)
+	okN, badN := run(policy, 10)
+	if badN != 0 {
+		t.Fatalf("critical-link candidate got %d of %d picks, want 0", badN, okN+badN)
+	}
+
+	// All candidates critical: health cannot discriminate, the drain
+	// still proceeds (even split, never ErrNoDestination).
+	policy = NewCostAware(nil)
+	policy.NoteLinkState("ok", health.Critical)
+	policy.NoteLinkState("bad", health.Critical)
+	okN, badN = run(policy, 10)
+	if okN+badN != 10 || okN == 0 || badN == 0 {
+		t.Fatalf("all-critical picks %d/%d, want an even split of 10", okN, badN)
+	}
+
+	// Degraded pays the 8× penalty: the healthy candidate absorbs most
+	// picks, but the degraded one still wins once it is 8× cheaper.
+	policy = NewCostAware(nil)
+	policy.NoteLinkState("bad", health.Degraded)
+	okN, badN = run(policy, 18)
+	if okN < 14 || badN == 0 {
+		t.Fatalf("degraded split %d/%d, want heavy skew to the healthy link with some spillover", okN, badN)
+	}
+
+	// Healing back to healthy clears the penalty entirely.
+	policy = NewCostAware(nil)
+	policy.NoteLinkState("bad", health.Degraded)
+	policy.NoteLinkState("bad", health.Healthy)
+	okN, badN = run(policy, 10)
+	if d := okN - badN; d < -1 || d > 1 {
+		t.Fatalf("post-heal split %d/%d, want even", okN, badN)
+	}
+}
+
+// TestCostAwareWatchLinks: WatchLinks seeds link states from the monitor
+// and tracks later transitions via the change hook — a link going down
+// mid-plan redirects the remaining picks without any fleet-side polling.
+func TestCostAwareWatchLinks(t *testing.T) {
+	dc, err := cloud.NewDataCenter("cost-dc5", sim.NewInstantLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := dc.AddMachine("ok")
+	bad, _ := dc.AddMachine("bad")
+	candidates := []*cloud.Machine{ok, bad}
+
+	o := obs.NewObserver()
+	mon := health.New(o, health.Config{TripAfter: 1, ClearAfter: 1}, health.NewLinkDetector())
+
+	// The bad machine sits behind wan-x, already down at subscribe time.
+	o.M().SetGauge("wan.link.down.wan-x", 1)
+	o.M().Add("wan.link.msgs.wan-x", 1)
+	mon.Evaluate(time.Now())
+
+	policy := NewCostAware(nil)
+	policy.WatchLinks(mon, map[string]string{"bad": "wan-x"})
+
+	load := map[string]int{}
+	for i := 0; i < 6; i++ {
+		m, err := policy.Pick(nil, candidates, load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		load[m.ID()]++
+		if m == bad {
+			t.Fatalf("pick %d chose the machine behind the down link", i)
+		}
+	}
+
+	// The link heals; the change hook must clear the exclusion.
+	o.M().SetGauge("wan.link.down.wan-x", 0)
+	mon.Evaluate(time.Now())
+	load = map[string]int{}
+	okN, badN := 0, 0
+	for i := 0; i < 10; i++ {
+		m, err := policy.Pick(nil, candidates, load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		load[m.ID()]++
+		if m == bad {
+			badN++
+		} else {
+			okN++
+		}
+	}
+	if badN == 0 {
+		t.Fatalf("healed link never picked again: %d/%d", okN, badN)
 	}
 }
 

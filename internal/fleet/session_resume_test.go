@@ -31,6 +31,12 @@ func TestSessionResumeEpochFence(t *testing.T) {
 	refused := func() int64 {
 		return observer.M().Counter("me.session.resume.refused").Value()
 	}
+	hit := func() int64 {
+		return observer.M().Counter("me.session.resume.hit").Value()
+	}
+	miss := func() int64 {
+		return observer.M().Counter("me.session.resume.miss").Value()
+	}
 
 	// First drain: batch #1 performs the full handshake and caches the
 	// session; with a single worker, batch #2 must resume it.
@@ -48,6 +54,16 @@ func TestSessionResumeEpochFence(t *testing.T) {
 	}
 	if refused() != 0 {
 		t.Fatalf("unexpected resume refusals before restart: %d", refused())
+	}
+	// Cache outcome counters: batch #1 had no cached session (miss), every
+	// later batch hit the cache. hit is source-side only while resumed
+	// increments on both endpoints (which share this observer), so each
+	// actual resume moves resumed by 2 and hit by 1.
+	if miss() != 1 {
+		t.Errorf("me.session.resume.miss = %d after first drain, want 1", miss())
+	}
+	if hit() == 0 || 2*hit() != resumed() {
+		t.Errorf("me.session.resume.hit = %d, resumed = %d, want hit = resumed/2 > 0", hit(), resumed())
 	}
 
 	// Restart the destination: new ME instance, new epoch, accepted-session

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/health"
 )
 
 // metricName sanitizes a dotted internal metric name into the
@@ -88,23 +90,55 @@ func WriteOpenMetrics(w io.Writer, snap obs.Snapshot) error {
 
 // Plane is the live export surface served from -metrics-addr. Every
 // scrape refreshes the derived metrics (unavailability ledger, dropped
-// counters, SLO verdicts) before rendering, so the exposition is always
-// current without a background refresher goroutine.
+// counters, SLO verdicts, health states) before rendering, so the
+// exposition is always current without a background refresher goroutine.
 type Plane struct {
 	Obs        *obs.Observer
 	Ledger     *Ledger
 	Objectives []Objective
+	// Health, when attached, is evaluated on every Refresh and served as
+	// JSON at /health.
+	Health *health.Monitor
+	// Flight, when attached, receives the fresh SLO verdicts and scans
+	// the audit stream for capture triggers on every Refresh; the latest
+	// bundle is served at /flight (binary) and /flight.json.
+	Flight *flight.Recorder
 }
 
-// NewPlane wires a plane over the observer with the default objectives.
+// NewPlane wires a plane over the observer with the default objectives,
+// the default health detector set, and an in-memory flight recorder.
 func NewPlane(o *obs.Observer) *Plane {
-	return &Plane{Obs: o, Ledger: NewLedger(), Objectives: DefaultObjectives()}
+	return &Plane{
+		Obs:        o,
+		Ledger:     NewLedger(),
+		Objectives: DefaultObjectives(),
+		Health:     health.NewDefault(o),
+		Flight:     flight.NewRecorder(o),
+	}
+}
+
+// FlightSLO flattens analyze verdicts into the form flight bundles embed
+// (flight cannot import analyze).
+func FlightSLO(verdicts []Verdict) []flight.SLOVerdict {
+	out := make([]flight.SLOVerdict, 0, len(verdicts))
+	for _, v := range verdicts {
+		out = append(out, flight.SLOVerdict{
+			Name:     v.Objective.Name,
+			Metric:   v.Objective.Metric,
+			ActualNs: int64(v.Actual),
+			MaxNs:    int64(v.Objective.Max),
+			Violated: v.Violated,
+			Missing:  v.Missing,
+		})
+	}
+	return out
 }
 
 // Refresh re-derives everything the plane exports: updates the
 // unavailability ledger, publishes ring-drop gauges, evaluates the SLO
-// set against a fresh snapshot, and records violations. It returns the
-// verdicts for callers that print them.
+// set against a fresh snapshot, records violations, runs the health
+// detectors, and lets the flight recorder scan for capture triggers. It
+// returns the verdicts for callers that print them.
 func (p *Plane) Refresh() []Verdict {
 	if p == nil || p.Obs == nil {
 		return nil
@@ -113,7 +147,23 @@ func (p *Plane) Refresh() []Verdict {
 	p.Obs.PublishDropped()
 	verdicts := Evaluate(p.Obs.M().Snapshot(), p.Objectives, time.Now())
 	PublishVerdicts(p.Obs, verdicts)
+	if p.Health != nil {
+		p.Health.Evaluate(time.Now())
+	}
+	if p.Flight != nil {
+		p.Flight.NoteSLO(FlightSLO(verdicts))
+		if p.Health != nil {
+			p.Flight.SetHealthProvider(p.Health.States)
+		}
+		p.Flight.Scan()
+	}
 	return verdicts
+}
+
+// HealthReport is the /health JSON document.
+type HealthReport struct {
+	Overall  health.State          `json:"overall"`
+	Entities []health.EntityHealth `json:"entities"`
 }
 
 // Handler serves the export plane:
@@ -123,6 +173,9 @@ func (p *Plane) Refresh() []Verdict {
 //	/traces        JSON span dump grouped by trace ID
 //	/events        JSON audit event stream
 //	/slo           JSON SLO verdicts
+//	/health        JSON health states (overall + per entity)
+//	/flight        latest flight bundle, binary (404 before first trip)
+//	/flight.json   latest flight bundle, decoded JSON
 func (p *Plane) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -142,6 +195,39 @@ func (p *Plane) Handler() http.Handler {
 	})
 	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, p.Refresh())
+	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		p.Refresh()
+		if p.Health == nil {
+			http.Error(w, "no health monitor attached", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, HealthReport{Overall: p.Health.Overall(), Entities: p.Health.States()})
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		p.Refresh()
+		var raw []byte
+		if p.Flight != nil {
+			_, raw = p.Flight.Latest()
+		}
+		if len(raw) == 0 {
+			http.Error(w, "no flight bundle captured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(raw)
+	})
+	mux.HandleFunc("/flight.json", func(w http.ResponseWriter, r *http.Request) {
+		p.Refresh()
+		var b *flight.Bundle
+		if p.Flight != nil {
+			b, _ = p.Flight.Latest()
+		}
+		if b == nil {
+			http.Error(w, "no flight bundle captured", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, b)
 	})
 	return mux
 }

@@ -40,6 +40,12 @@ const (
 	// EventSLOViolation: a declared service-level objective
 	// (internal/obs/analyze) was evaluated and found breached.
 	EventSLOViolation = "slo-violation"
+	// EventHealthChanged: the health plane (internal/obs/health) moved an
+	// entity between healthy/degraded/critical states.
+	EventHealthChanged = "health-changed"
+	// EventFlightRecorded: the flight recorder (internal/obs/flight)
+	// captured a black-box bundle in response to a trigger.
+	EventFlightRecorded = "flight-recorded"
 )
 
 // AuditEvent is one entry in the append-only audit stream.

@@ -1,0 +1,403 @@
+// Package flight is the fleet's black-box flight recorder. The passive
+// telemetry rings (internal/obs) evict old spans and events, so by the
+// time a human investigates an incident the evidence is usually gone;
+// this package captures a self-contained, tagged+versioned binary bundle
+// — recent spans and audit events, the open-span set, a full metrics
+// snapshot, SLO verdicts, health states, and the fleet journal tail — at
+// the exact moment a trigger fires: an SLO violation, a security audit
+// event, a chaos invariant breach, a fleet plan failure, or an entity
+// reaching critical health.
+//
+// Bundles decode with the same hostile-input discipline as the rest of
+// the repo's wire formats (wirec length clamps, fuzzed decoder): a black
+// box pulled off a crashed deployment must never be able to crash the
+// tool reading it.
+package flight
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/health"
+	"repro/internal/wirec"
+)
+
+// Trigger kinds.
+const (
+	TriggerSLOViolation   = "slo-violation"
+	TriggerSecurityEvent  = "security-event"
+	TriggerChaosViolation = "chaos-violation"
+	TriggerPlanFailure    = "plan-failure"
+	TriggerHealthCritical = "health-critical"
+	TriggerManual         = "manual"
+)
+
+// Trigger records why a bundle was captured.
+type Trigger struct {
+	// Kind is one of the Trigger* constants.
+	Kind string `json:"kind"`
+	// Actor is the component that tripped the recorder.
+	Actor string `json:"actor,omitempty"`
+	// Detail is free-form context (the violated objective, the audit
+	// event detail, the failed plan).
+	Detail string `json:"detail,omitempty"`
+	// UnixNs is the trigger instant.
+	UnixNs int64 `json:"unix_ns"`
+}
+
+// SLOVerdict is one objective's evaluation at capture time (a flattened
+// copy of analyze.Verdict — flight cannot import analyze, which imports
+// flight).
+type SLOVerdict struct {
+	Name     string `json:"name"`
+	Metric   string `json:"metric"`
+	ActualNs int64  `json:"actual_ns"`
+	MaxNs    int64  `json:"max_ns"`
+	Violated bool   `json:"violated"`
+	Missing  bool   `json:"missing,omitempty"`
+}
+
+// Bundle is one black-box capture.
+type Bundle struct {
+	// CreatedUnixNs is the capture instant.
+	CreatedUnixNs int64 `json:"created_unix_ns"`
+	// Trigger is why the capture happened.
+	Trigger Trigger `json:"trigger"`
+	// Note is optional operator context.
+	Note string `json:"note,omitempty"`
+	// Health is the per-entity state set at capture time.
+	Health []health.EntityHealth `json:"health,omitempty"`
+	// Spans is the tail of the finished-span ring (most recent last).
+	Spans []obs.Span `json:"spans,omitempty"`
+	// Open is the in-flight span set — what was still running when the
+	// trigger fired.
+	Open []obs.OpenSpan `json:"open,omitempty"`
+	// Events is the tail of the audit event ring.
+	Events []obs.AuditEvent `json:"events,omitempty"`
+	// Metrics is the full registry snapshot.
+	Metrics obs.Snapshot `json:"metrics"`
+	// SLO is the most recent objective evaluation.
+	SLO []SLOVerdict `json:"slo,omitempty"`
+	// Journal is an opaque encoded fleet journal tail
+	// (fleet.DecodeJournal reads it); empty when no planner is attached.
+	Journal []byte `json:"journal,omitempty"`
+}
+
+// CaptureOpts bounds and enriches a capture.
+type CaptureOpts struct {
+	// MaxSpans / MaxEvents bound how much ring tail the bundle carries
+	// (defaults 512 each; <0 means none).
+	MaxSpans  int
+	MaxEvents int
+	// Health, SLO, Journal, Note are attached verbatim.
+	Health  []health.EntityHealth
+	SLO     []SLOVerdict
+	Journal []byte
+	Note    string
+}
+
+// Capture snapshots o into a bundle. now is the capture instant; a zero
+// trig.UnixNs is stamped with it.
+func Capture(o *obs.Observer, trig Trigger, now time.Time, opts CaptureOpts) *Bundle {
+	if trig.UnixNs == 0 {
+		trig.UnixNs = now.UnixNano()
+	}
+	if opts.MaxSpans == 0 {
+		opts.MaxSpans = 512
+	}
+	if opts.MaxEvents == 0 {
+		opts.MaxEvents = 512
+	}
+	b := &Bundle{
+		CreatedUnixNs: now.UnixNano(),
+		Trigger:       trig,
+		Note:          opts.Note,
+		Health:        opts.Health,
+		SLO:           opts.SLO,
+		Journal:       opts.Journal,
+	}
+	if o != nil {
+		spans := o.Tracer.Spans()
+		if opts.MaxSpans > 0 && len(spans) > opts.MaxSpans {
+			spans = spans[len(spans)-opts.MaxSpans:]
+		} else if opts.MaxSpans < 0 {
+			spans = nil
+		}
+		b.Spans = spans
+		b.Open = o.Tracer.OpenSpans()
+		events := o.Events.Events()
+		if opts.MaxEvents > 0 && len(events) > opts.MaxEvents {
+			events = events[len(events)-opts.MaxEvents:]
+		} else if opts.MaxEvents < 0 {
+			events = nil
+		}
+		b.Events = events
+		b.Metrics = o.M().Snapshot()
+	}
+	return b
+}
+
+// Flight bundle codec: tag 0xBF version 1 (0xB* block: obs). Versioned
+// so a future layout change stays readable next to archived bundles.
+const (
+	tagFlightBundle     byte = 0xBF
+	flightBundleVersion byte = 1
+)
+
+// ErrBundleFormat reports malformed or truncated bundle bytes.
+var ErrBundleFormat = errors.New("flight: malformed bundle")
+
+const (
+	sloFlagViolated byte = 1 << 0
+	sloFlagMissing  byte = 1 << 1
+)
+
+// sortedKeys returns map keys in sorted order so encoding is
+// deterministic (byte-identical bundles for identical state).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Encode serializes the bundle.
+func (b *Bundle) Encode() []byte {
+	out := make([]byte, 0, 4096)
+	out = wirec.AppendHeader(out, tagFlightBundle, flightBundleVersion)
+	out = wirec.AppendU64(out, uint64(b.CreatedUnixNs))
+	out = wirec.AppendString(out, b.Trigger.Kind)
+	out = wirec.AppendString(out, b.Trigger.Actor)
+	out = wirec.AppendString(out, b.Trigger.Detail)
+	out = wirec.AppendU64(out, uint64(b.Trigger.UnixNs))
+	out = wirec.AppendString(out, b.Note)
+
+	out = wirec.AppendU32(out, uint32(len(b.Health)))
+	for _, h := range b.Health {
+		out = wirec.AppendString(out, h.Kind)
+		out = wirec.AppendString(out, h.Name)
+		out = append(out, byte(h.State))
+		out = wirec.AppendString(out, h.Reason)
+		out = wirec.AppendU64(out, uint64(h.Since.UnixNano()))
+	}
+
+	out = wirec.AppendU32(out, uint32(len(b.Spans)))
+	for _, sp := range b.Spans {
+		out = wirec.AppendString(out, sp.Name)
+		out = wirec.AppendString(out, sp.Site)
+		out = wirec.AppendU64(out, sp.TraceID)
+		out = wirec.AppendU64(out, sp.SpanID)
+		out = wirec.AppendU64(out, sp.ParentID)
+		out = wirec.AppendU64(out, uint64(sp.Start.UnixNano()))
+		out = wirec.AppendU64(out, uint64(sp.Dur))
+	}
+
+	out = wirec.AppendU32(out, uint32(len(b.Open)))
+	for _, sp := range b.Open {
+		out = wirec.AppendString(out, sp.Name)
+		out = wirec.AppendU64(out, sp.TraceID)
+		out = wirec.AppendU64(out, sp.SpanID)
+		out = wirec.AppendU64(out, sp.ParentID)
+		out = wirec.AppendU64(out, uint64(sp.Start.UnixNano()))
+	}
+
+	var events []byte
+	for _, e := range b.Events {
+		events = append(events, e.Encode()...)
+	}
+	out = wirec.AppendBytes(out, events)
+
+	out = wirec.AppendU32(out, uint32(len(b.Metrics.Counters)))
+	for _, k := range sortedKeys(b.Metrics.Counters) {
+		out = wirec.AppendString(out, k)
+		out = wirec.AppendU64(out, uint64(b.Metrics.Counters[k]))
+	}
+	out = wirec.AppendU32(out, uint32(len(b.Metrics.Gauges)))
+	for _, k := range sortedKeys(b.Metrics.Gauges) {
+		out = wirec.AppendString(out, k)
+		out = wirec.AppendU64(out, uint64(b.Metrics.Gauges[k]))
+	}
+	out = wirec.AppendU32(out, uint32(len(b.Metrics.Histograms)))
+	for _, k := range sortedKeys(b.Metrics.Histograms) {
+		h := b.Metrics.Histograms[k]
+		out = wirec.AppendString(out, k)
+		out = wirec.AppendU64(out, uint64(h.Count))
+		out = wirec.AppendU64(out, uint64(h.Sum))
+		out = wirec.AppendU64(out, uint64(h.Mean))
+		out = wirec.AppendU64(out, uint64(h.P50))
+		out = wirec.AppendU64(out, uint64(h.P99))
+		out = wirec.AppendU64(out, uint64(h.P999))
+		out = wirec.AppendU64(out, uint64(h.Max))
+	}
+
+	out = wirec.AppendU32(out, uint32(len(b.SLO)))
+	for _, v := range b.SLO {
+		out = wirec.AppendString(out, v.Name)
+		out = wirec.AppendString(out, v.Metric)
+		out = wirec.AppendU64(out, uint64(v.ActualNs))
+		out = wirec.AppendU64(out, uint64(v.MaxNs))
+		var flags byte
+		if v.Violated {
+			flags |= sloFlagViolated
+		}
+		if v.Missing {
+			flags |= sloFlagMissing
+		}
+		out = append(out, flags)
+	}
+
+	out = wirec.AppendBytes(out, b.Journal)
+	return out
+}
+
+// DecodeBundle parses an encoded bundle. Every declared count is clamped
+// against the remaining input before allocation, so hostile bytes can
+// neither bomb the decoder nor make it allocate past the input size.
+func DecodeBundle(raw []byte) (*Bundle, error) {
+	rd := wirec.NewReader(raw)
+	if !rd.Header(tagFlightBundle, flightBundleVersion) {
+		return nil, fmt.Errorf("%w: %v", ErrBundleFormat, rd.Err())
+	}
+	var b Bundle
+	b.CreatedUnixNs = int64(rd.U64())
+	b.Trigger.Kind = rd.String()
+	b.Trigger.Actor = rd.String()
+	b.Trigger.Detail = rd.String()
+	b.Trigger.UnixNs = int64(rd.U64())
+	b.Note = rd.String()
+
+	n := rd.U32()
+	if !rd.CanHold(n, 4+4+1+4+8) {
+		return nil, fmt.Errorf("%w: health count %d exceeds input", ErrBundleFormat, n)
+	}
+	if n > 0 {
+		b.Health = make([]health.EntityHealth, 0, n)
+		for i := uint32(0); i < n && rd.Err() == nil; i++ {
+			var h health.EntityHealth
+			h.Kind = rd.String()
+			h.Name = rd.String()
+			h.State = health.State(rd.U8())
+			h.Reason = rd.String()
+			h.Since = time.Unix(0, int64(rd.U64()))
+			b.Health = append(b.Health, h)
+		}
+	}
+
+	n = rd.U32()
+	if !rd.CanHold(n, 4+4+5*8) {
+		return nil, fmt.Errorf("%w: span count %d exceeds input", ErrBundleFormat, n)
+	}
+	if n > 0 {
+		b.Spans = make([]obs.Span, 0, n)
+		for i := uint32(0); i < n && rd.Err() == nil; i++ {
+			var sp obs.Span
+			sp.Name = rd.String()
+			sp.Site = rd.String()
+			sp.TraceID = rd.U64()
+			sp.SpanID = rd.U64()
+			sp.ParentID = rd.U64()
+			sp.Start = time.Unix(0, int64(rd.U64()))
+			sp.Dur = time.Duration(rd.U64())
+			b.Spans = append(b.Spans, sp)
+		}
+	}
+
+	n = rd.U32()
+	if !rd.CanHold(n, 4+4*8) {
+		return nil, fmt.Errorf("%w: open-span count %d exceeds input", ErrBundleFormat, n)
+	}
+	if n > 0 {
+		b.Open = make([]obs.OpenSpan, 0, n)
+		for i := uint32(0); i < n && rd.Err() == nil; i++ {
+			var sp obs.OpenSpan
+			sp.Name = rd.String()
+			sp.TraceID = rd.U64()
+			sp.SpanID = rd.U64()
+			sp.ParentID = rd.U64()
+			sp.Start = time.Unix(0, int64(rd.U64()))
+			b.Open = append(b.Open, sp)
+		}
+	}
+
+	if events := rd.Bytes(); rd.Err() == nil && len(events) > 0 {
+		evs, err := obs.DecodeEvents(events)
+		if err != nil {
+			return nil, fmt.Errorf("%w: events: %v", ErrBundleFormat, err)
+		}
+		b.Events = evs
+	}
+
+	n = rd.U32()
+	if !rd.CanHold(n, 4+8) {
+		return nil, fmt.Errorf("%w: counter count %d exceeds input", ErrBundleFormat, n)
+	}
+	{
+		b.Metrics.Counters = make(map[string]int64, n)
+		for i := uint32(0); i < n && rd.Err() == nil; i++ {
+			k := rd.String()
+			b.Metrics.Counters[k] = int64(rd.U64())
+		}
+	}
+	n = rd.U32()
+	if !rd.CanHold(n, 4+8) {
+		return nil, fmt.Errorf("%w: gauge count %d exceeds input", ErrBundleFormat, n)
+	}
+	{
+		b.Metrics.Gauges = make(map[string]int64, n)
+		for i := uint32(0); i < n && rd.Err() == nil; i++ {
+			k := rd.String()
+			b.Metrics.Gauges[k] = int64(rd.U64())
+		}
+	}
+	n = rd.U32()
+	if !rd.CanHold(n, 4+7*8) {
+		return nil, fmt.Errorf("%w: histogram count %d exceeds input", ErrBundleFormat, n)
+	}
+	{
+		b.Metrics.Histograms = make(map[string]obs.HistogramSnapshot, n)
+		for i := uint32(0); i < n && rd.Err() == nil; i++ {
+			k := rd.String()
+			var h obs.HistogramSnapshot
+			h.Count = int64(rd.U64())
+			h.Sum = time.Duration(rd.U64())
+			h.Mean = time.Duration(rd.U64())
+			h.P50 = time.Duration(rd.U64())
+			h.P99 = time.Duration(rd.U64())
+			h.P999 = time.Duration(rd.U64())
+			h.Max = time.Duration(rd.U64())
+			b.Metrics.Histograms[k] = h
+		}
+	}
+
+	n = rd.U32()
+	if !rd.CanHold(n, 4+4+2*8+1) {
+		return nil, fmt.Errorf("%w: slo count %d exceeds input", ErrBundleFormat, n)
+	}
+	if n > 0 {
+		b.SLO = make([]SLOVerdict, 0, n)
+		for i := uint32(0); i < n && rd.Err() == nil; i++ {
+			var v SLOVerdict
+			v.Name = rd.String()
+			v.Metric = rd.String()
+			v.ActualNs = int64(rd.U64())
+			v.MaxNs = int64(rd.U64())
+			flags := rd.U8()
+			v.Violated = flags&sloFlagViolated != 0
+			v.Missing = flags&sloFlagMissing != 0
+			b.SLO = append(b.SLO, v)
+		}
+	}
+
+	if j := rd.Bytes(); len(j) > 0 {
+		b.Journal = append([]byte(nil), j...)
+	}
+	if err := rd.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBundleFormat, err)
+	}
+	return &b, nil
+}

@@ -1,0 +1,272 @@
+package flight
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/health"
+)
+
+// Recorder owns the trigger policy: it watches the audit stream for
+// trip-worthy events, rate-limits captures, keeps the latest bundle in
+// memory (served at /flight), and optionally persists bundles to disk.
+type Recorder struct {
+	mu sync.Mutex
+
+	obs  *obs.Observer
+	dir  string
+	keep int
+	// minInterval throttles Scan-driven captures; explicit Trip calls
+	// always capture.
+	minInterval time.Duration
+
+	// Providers enrich captures with state the observer cannot see.
+	healthFn  func() []health.EntityHealth
+	journalFn func() []byte
+	lastSLO   []SLOVerdict
+
+	// cursor is the next audit Seq to scan; it starts at 0 so violations
+	// recorded before the recorder attached still trip it.
+	cursor   uint64
+	lastScan time.Time
+	latestRaw  []byte
+	latest     *Bundle
+	trips      int64
+}
+
+// NewRecorder creates a recorder over o that keeps bundles in memory
+// only. Attach a directory with SetDir to persist them.
+func NewRecorder(o *obs.Observer) *Recorder {
+	return &Recorder{obs: o, keep: 16, minInterval: 10 * time.Second}
+}
+
+// SetDir makes the recorder persist each bundle as
+// <dir>/flight-<unixns>-<kind>.bin, pruning to the newest keep files
+// (keep <= 0 keeps the default 16).
+func (r *Recorder) SetDir(dir string, keep int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.dir = dir
+	if keep > 0 {
+		r.keep = keep
+	}
+	r.mu.Unlock()
+}
+
+// SetMinInterval tunes the Scan-driven capture throttle (0 disables it;
+// tests use that to trip repeatedly).
+func (r *Recorder) SetMinInterval(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.minInterval = d
+	r.mu.Unlock()
+}
+
+// SetHealthProvider attaches the health plane so captures embed the
+// entity states at trigger time.
+func (r *Recorder) SetHealthProvider(fn func() []health.EntityHealth) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.healthFn = fn
+	r.mu.Unlock()
+}
+
+// SetJournalProvider attaches the fleet journal tail source.
+func (r *Recorder) SetJournalProvider(fn func() []byte) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.journalFn = fn
+	r.mu.Unlock()
+}
+
+// NoteSLO stores the most recent objective evaluation for embedding in
+// future captures (the analyze Plane calls this every Refresh).
+func (r *Recorder) NoteSLO(v []SLOVerdict) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.lastSLO = v
+	r.mu.Unlock()
+}
+
+// Trips returns how many bundles the recorder has captured.
+func (r *Recorder) Trips() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trips
+}
+
+// Latest returns the most recent bundle and its encoding (nil before the
+// first trip).
+func (r *Recorder) Latest() (*Bundle, []byte) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.latest, r.latestRaw
+}
+
+// Trip captures a bundle for trig immediately (no throttle) and returns
+// it. The capture itself is announced on the audit stream as a
+// flight-recorded event — which Scan deliberately does not treat as a
+// trigger.
+func (r *Recorder) Trip(trig Trigger) (*Bundle, error) {
+	if r == nil {
+		return nil, nil
+	}
+	return r.capture(trig, time.Now())
+}
+
+func (r *Recorder) capture(trig Trigger, now time.Time) (*Bundle, error) {
+	r.mu.Lock()
+	opts := CaptureOpts{SLO: r.lastSLO}
+	if r.healthFn != nil {
+		opts.Health = r.healthFn()
+	}
+	if r.journalFn != nil {
+		opts.Journal = r.journalFn()
+	}
+	dir, keep := r.dir, r.keep
+	r.mu.Unlock()
+
+	b := Capture(r.obs, trig, now, opts)
+	raw := b.Encode()
+
+	var path string
+	var err error
+	if dir != "" {
+		path = filepath.Join(dir, fmt.Sprintf("flight-%d-%s.bin", b.CreatedUnixNs, sanitizeKind(trig.Kind)))
+		err = os.WriteFile(path, raw, 0o644)
+		if err == nil {
+			pruneBundles(dir, keep)
+		}
+	}
+
+	r.mu.Lock()
+	r.latest, r.latestRaw = b, raw
+	r.trips++
+	r.lastScan = now
+	r.mu.Unlock()
+
+	if r.obs != nil {
+		detail := trig.Kind
+		if trig.Detail != "" {
+			detail += ": " + trig.Detail
+		}
+		if path != "" {
+			detail += " -> " + path
+		}
+		r.obs.Event(obs.EventFlightRecorded, "flight", detail, obs.TraceContext{})
+		// Named without a .total suffix: the OpenMetrics exporter appends
+		// _total to counters, so this surfaces as flight_bundles_total.
+		r.obs.M().Add("flight.bundles", 1)
+		r.obs.M().SetGauge("flight.last_unix_ns", b.CreatedUnixNs)
+		r.obs.M().SetGauge("flight.bytes", int64(len(raw)))
+	}
+	return b, err
+}
+
+func sanitizeKind(kind string) string {
+	if kind == "" {
+		return "manual"
+	}
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-':
+			return c
+		default:
+			return '-'
+		}
+	}, strings.ToLower(kind))
+}
+
+// pruneBundles deletes all but the newest keep flight-*.bin files in dir
+// (names sort chronologically because they embed the capture unix-nanos).
+func pruneBundles(dir string, keep int) {
+	names, err := filepath.Glob(filepath.Join(dir, "flight-*.bin"))
+	if err != nil || len(names) <= keep {
+		return
+	}
+	sort.Strings(names)
+	for _, n := range names[:len(names)-keep] {
+		os.Remove(n)
+	}
+}
+
+// scanTriggers maps audit event types to the trigger kind they imply.
+func scanTrigger(ev obs.AuditEvent) (string, bool) {
+	switch ev.Type {
+	case obs.EventZombieRefused, obs.EventSiteLossFailover, obs.EventGrantRevoked:
+		return TriggerSecurityEvent, true
+	case obs.EventSLOViolation:
+		return TriggerSLOViolation, true
+	case obs.EventHealthChanged:
+		if strings.Contains(ev.Detail, "->critical") {
+			return TriggerHealthCritical, true
+		}
+	}
+	return "", false
+}
+
+// Scan walks the audit stream appended since the previous call and trips
+// on the first capture-worthy event: a security event (zombie-refused,
+// site-loss failover, grant revocation), an SLO violation, or an entity
+// reaching critical health. Scan-driven captures are throttled to one
+// per minInterval so a persistent violation cannot churn bundles. The
+// analyze Plane calls this from Refresh, i.e. on every scrape.
+func (r *Recorder) Scan() *Bundle {
+	if r == nil || r.obs == nil {
+		return nil
+	}
+	r.mu.Lock()
+	events := r.obs.Events.Events()
+	cursor := r.cursor
+	throttled := r.minInterval > 0 && !r.lastScan.IsZero() && time.Since(r.lastScan) < r.minInterval
+	r.mu.Unlock()
+
+	var hit *obs.AuditEvent
+	var kind string
+	for i := range events {
+		ev := events[i]
+		if ev.Seq < cursor {
+			continue
+		}
+		if k, ok := scanTrigger(ev); ok && hit == nil {
+			hit, kind = &events[i], k
+		}
+	}
+	r.mu.Lock()
+	if len(events) > 0 {
+		r.cursor = events[len(events)-1].Seq + 1
+	}
+	r.mu.Unlock()
+	if hit == nil || throttled {
+		return nil
+	}
+	b, _ := r.capture(Trigger{
+		Kind:   kind,
+		Actor:  hit.Actor,
+		Detail: hit.Type + ": " + hit.Detail,
+		UnixNs: 0,
+	}, time.Now())
+	return b
+}

@@ -1,0 +1,381 @@
+// Package health is the fleet's active observability layer: a per-entity
+// health state machine fed by declarative detectors that are evaluated
+// against the live obs.Metrics / obs.Tracer / obs.EventLog streams.
+//
+// The passive plane (internal/obs, internal/obs/analyze) records what
+// happened; this package decides, while the fleet runs, whether anyone
+// should be paged about it. Each detector inspects one subsystem's
+// telemetry — quorum vote latency, mirror RPO, WAN loss, open spans,
+// session-resume refusals — and proposes a state per entity. The Monitor
+// merges proposals, applies hysteresis so a noisy metric cannot flap an
+// entity between states, and on a real transition emits a
+// "health-changed" audit event plus a health.state gauge. Consumers:
+// the analyze Plane serves the states as JSON at /health, fleet.CostAware
+// steers batches away from degraded links, and the flight recorder trips
+// a black-box capture when anything reaches critical.
+package health
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// State is an entity's health level. Order matters: higher is worse.
+type State int
+
+const (
+	Healthy State = iota
+	Degraded
+	Critical
+)
+
+// String returns the lowercase state name.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the state as its name, so /health reads naturally.
+func (s State) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the names Marshal emits.
+func (s *State) UnmarshalJSON(raw []byte) error {
+	switch string(raw) {
+	case `"healthy"`:
+		*s = Healthy
+	case `"degraded"`:
+		*s = Degraded
+	case `"critical"`:
+		*s = Critical
+	default:
+		return fmt.Errorf("health: unknown state %s", raw)
+	}
+	return nil
+}
+
+// Entity identifies one watched component. Kind is a small vocabulary
+// ("group", "mirror", "link", "me", "fleet"); Name is the instance.
+type Entity struct {
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+}
+
+func (e Entity) String() string { return e.Kind + "/" + e.Name }
+
+// Finding is one detector's proposal for one entity this evaluation.
+// Detectors report every entity they can currently observe — including
+// healthy ones — so /health lists the whole watched surface, not only
+// the broken parts.
+type Finding struct {
+	Entity Entity
+	Level  State
+	Reason string
+}
+
+// Sample is the telemetry snapshot one evaluation runs against. Now is
+// passed in (rather than read inside detectors) so tests can drive
+// deadline-based rules without sleeping.
+type Sample struct {
+	Snap obs.Snapshot
+	Open []obs.OpenSpan
+	Now  time.Time
+}
+
+// Detector inspects a sample and proposes per-entity states. Detectors
+// may keep internal state across calls (counter deltas); the Monitor
+// serializes all calls under its own lock.
+type Detector interface {
+	Name() string
+	Detect(s *Sample) []Finding
+}
+
+// EntityHealth is the exported per-entity record (served at /health and
+// embedded in flight bundles).
+type EntityHealth struct {
+	Kind   string    `json:"kind"`
+	Name   string    `json:"name"`
+	State  State     `json:"state"`
+	Reason string    `json:"reason,omitempty"`
+	Since  time.Time `json:"since"`
+}
+
+// Change describes one committed state transition.
+type Change struct {
+	Entity Entity
+	From   State
+	To     State
+	Reason string
+}
+
+// Config tunes the Monitor's hysteresis.
+type Config struct {
+	// TripAfter is how many consecutive evaluations must propose a worse
+	// state before the entity escalates (default 2). 1 escalates
+	// immediately.
+	TripAfter int
+	// ClearAfter is how many consecutive evaluations must propose a
+	// better state before the entity de-escalates (default 3). Clearing
+	// slower than tripping keeps a flapping signal pinned at the worse
+	// state instead of oscillating.
+	ClearAfter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TripAfter <= 0 {
+		c.TripAfter = 2
+	}
+	if c.ClearAfter <= 0 {
+		c.ClearAfter = 3
+	}
+	return c
+}
+
+// entityState is the per-entity hysteresis machine.
+type entityState struct {
+	state  State
+	reason string
+	since  time.Time
+
+	// cand is the state the detectors have been proposing; streak counts
+	// how many consecutive evaluations proposed it.
+	cand       State
+	candReason string
+	streak     int
+}
+
+// Monitor runs detectors over an observer's telemetry and maintains the
+// per-entity state machines. All methods are safe for concurrent use.
+type Monitor struct {
+	mu        sync.Mutex
+	obs       *obs.Observer
+	cfg       Config
+	detectors []Detector
+	entities  map[Entity]*entityState
+	onChange  []func(Change)
+}
+
+// New creates a monitor over o with the given detectors. A nil observer
+// yields a monitor whose evaluations see empty samples (harmless).
+func New(o *obs.Observer, cfg Config, detectors ...Detector) *Monitor {
+	return &Monitor{
+		obs:       o,
+		cfg:       cfg.withDefaults(),
+		detectors: detectors,
+		entities:  make(map[Entity]*entityState),
+	}
+}
+
+// NewDefault creates a monitor with the standard detector set.
+func NewDefault(o *obs.Observer) *Monitor {
+	return New(o, Config{}, DefaultDetectors()...)
+}
+
+// OnChange registers a hook invoked (outside the monitor lock) for every
+// committed state transition.
+func (m *Monitor) OnChange(fn func(Change)) {
+	if m == nil || fn == nil {
+		return
+	}
+	m.mu.Lock()
+	m.onChange = append(m.onChange, fn)
+	m.mu.Unlock()
+}
+
+// sample builds the evaluation input from the live observer.
+func (m *Monitor) sample(now time.Time) *Sample {
+	s := &Sample{Now: now}
+	if m.obs != nil {
+		s.Snap = m.obs.M().Snapshot()
+		if m.obs.Tracer != nil {
+			s.Open = m.obs.Tracer.OpenSpans()
+		}
+	}
+	return s
+}
+
+// Evaluate runs every detector against a fresh telemetry sample, applies
+// hysteresis, commits transitions (audit event + gauge + hooks), and
+// returns the resulting states. now is the evaluation instant (pass
+// time.Now() in production; tests can march a fake clock).
+func (m *Monitor) Evaluate(now time.Time) []EntityHealth {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	s := m.sample(now)
+
+	// Merge findings: worst level per entity wins; reasons of the winning
+	// level are joined.
+	proposed := make(map[Entity]Finding)
+	for _, d := range m.detectors {
+		for _, f := range d.Detect(s) {
+			cur, ok := proposed[f.Entity]
+			switch {
+			case !ok || f.Level > cur.Level:
+				proposed[f.Entity] = f
+			case f.Level == cur.Level && f.Level > Healthy && f.Reason != "":
+				if cur.Reason != "" {
+					cur.Reason += "; " + f.Reason
+				} else {
+					cur.Reason = f.Reason
+				}
+				proposed[f.Entity] = cur
+			}
+		}
+	}
+	// Entities the detectors have stopped mentioning drift back toward
+	// healthy through the same hysteresis.
+	for e := range m.entities {
+		if _, ok := proposed[e]; !ok {
+			proposed[e] = Finding{Entity: e, Level: Healthy}
+		}
+	}
+
+	var changes []Change
+	for e, f := range proposed {
+		st, ok := m.entities[e]
+		if !ok {
+			st = &entityState{state: Healthy, since: now, cand: Healthy}
+			m.entities[e] = st
+		}
+		if f.Level == st.state {
+			st.cand, st.streak = st.state, 0
+			if f.Level > Healthy && f.Reason != "" {
+				st.reason = f.Reason // keep the freshest explanation
+			}
+			continue
+		}
+		if f.Level != st.cand {
+			st.cand, st.candReason, st.streak = f.Level, f.Reason, 1
+		} else {
+			st.streak++
+			if f.Reason != "" {
+				st.candReason = f.Reason
+			}
+		}
+		need := m.cfg.TripAfter
+		if f.Level < st.state {
+			need = m.cfg.ClearAfter
+		}
+		if st.streak >= need {
+			from := st.state
+			st.state, st.reason, st.since = st.cand, st.candReason, now
+			st.cand, st.streak = st.state, 0
+			changes = append(changes, Change{Entity: e, From: from, To: st.state, Reason: st.reason})
+		}
+	}
+
+	// Publish gauges for every known entity plus the fleet-wide rollup.
+	worst, degraded, critical := Healthy, 0, 0
+	for e, st := range m.entities {
+		if m.obs != nil {
+			m.obs.M().SetGauge("health.state."+e.Kind+"."+e.Name, int64(st.state))
+		}
+		if st.state > worst {
+			worst = st.state
+		}
+		switch st.state {
+		case Degraded:
+			degraded++
+		case Critical:
+			critical++
+		}
+	}
+	if m.obs != nil {
+		m.obs.M().SetGauge("health.state", int64(worst))
+		m.obs.M().SetGauge("health.entities.degraded", int64(degraded))
+		m.obs.M().SetGauge("health.entities.critical", int64(critical))
+	}
+	out := m.statesLocked()
+	hooks := append([]func(Change){}, m.onChange...)
+	m.mu.Unlock()
+
+	for _, c := range changes {
+		if m.obs != nil {
+			detail := fmt.Sprintf("%s->%s", c.From, c.To)
+			if c.Reason != "" {
+				detail += ": " + c.Reason
+			}
+			m.obs.Event(obs.EventHealthChanged, "health:"+c.Entity.String(), detail, obs.TraceContext{})
+		}
+		for _, fn := range hooks {
+			fn(c)
+		}
+	}
+	return out
+}
+
+func (m *Monitor) statesLocked() []EntityHealth {
+	out := make([]EntityHealth, 0, len(m.entities))
+	for e, st := range m.entities {
+		out = append(out, EntityHealth{
+			Kind:   e.Kind,
+			Name:   e.Name,
+			State:  st.state,
+			Reason: st.reason,
+			Since:  st.since,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// States returns the current per-entity states (sorted by kind, name)
+// without running an evaluation.
+func (m *Monitor) States() []EntityHealth {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.statesLocked()
+}
+
+// StateOf returns one entity's current state (Healthy when unknown).
+func (m *Monitor) StateOf(kind, name string) State {
+	if m == nil {
+		return Healthy
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.entities[Entity{Kind: kind, Name: name}]; ok {
+		return st.state
+	}
+	return Healthy
+}
+
+// Overall returns the worst state across all entities (Healthy when no
+// entity is tracked).
+func (m *Monitor) Overall() State {
+	if m == nil {
+		return Healthy
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	worst := Healthy
+	for _, st := range m.entities {
+		if st.state > worst {
+			worst = st.state
+		}
+	}
+	return worst
+}

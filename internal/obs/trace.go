@@ -21,6 +21,7 @@ package obs
 import (
 	"crypto/rand"
 	"encoding/binary"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -148,6 +149,24 @@ func (s *Span) End() {
 // observer wired holds memory flat.
 const DefaultSpanCapacity = 1 << 16
 
+// openTrackCapacity bounds the open-span registry: a workload that opens
+// spans and never ends them cannot grow the tracer without limit.
+// Registrations past the bound are simply not tracked (the span itself
+// still records normally when it ends).
+const openTrackCapacity = 8192
+
+// OpenSpan is the immutable registration record of a span that has been
+// started but not yet ended. It is captured at StartSpan time, before the
+// caller may mutate the *Span (e.g. assigning Site), so snapshots of the
+// open set are race-free by construction.
+type OpenSpan struct {
+	Name     string    `json:"name"`
+	TraceID  uint64    `json:"trace_id"`
+	SpanID   uint64    `json:"span_id"`
+	ParentID uint64    `json:"parent_id,omitempty"`
+	Start    time.Time `json:"start"`
+}
+
 // Tracer collects finished spans in a bounded ring (oldest evicted
 // first). It is safe for concurrent use. A nil *Tracer is a valid
 // disabled tracer: StartSpan returns a nil span and propagates the
@@ -158,6 +177,7 @@ type Tracer struct {
 	head     int
 	capacity int    // 0 = unbounded
 	seq      uint64 // span ID allocator; IDs are unique per tracer
+	open     map[uint64]OpenSpan
 
 	dropped atomic.Int64
 }
@@ -207,26 +227,41 @@ func (t *Tracer) StartSpan(name string, parent TraceContext) (*Span, TraceContex
 	if t == nil {
 		return nil, parent
 	}
+	start := time.Now()
+	traceID := parent.TraceID
+	if traceID == 0 {
+		traceID = randomID()
+	}
 	t.mu.Lock()
 	t.seq++
 	id := t.seq
+	if t.open == nil {
+		t.open = make(map[uint64]OpenSpan)
+	}
+	if len(t.open) < openTrackCapacity {
+		t.open[id] = OpenSpan{
+			Name:     name,
+			TraceID:  traceID,
+			SpanID:   id,
+			ParentID: parent.SpanID,
+			Start:    start,
+		}
+	}
 	t.mu.Unlock()
 	sp := &Span{
 		Name:     name,
-		TraceID:  parent.TraceID,
+		TraceID:  traceID,
 		SpanID:   id,
 		ParentID: parent.SpanID,
-		Start:    time.Now(),
+		Start:    start,
 		tracer:   t,
-	}
-	if sp.TraceID == 0 {
-		sp.TraceID = randomID()
 	}
 	return sp, TraceContext{TraceID: sp.TraceID, SpanID: sp.SpanID}
 }
 
 func (t *Tracer) export(s *Span) {
 	t.mu.Lock()
+	delete(t.open, s.SpanID)
 	if t.capacity > 0 && len(t.buf) >= t.capacity {
 		// Full ring: overwrite the oldest span in place.
 		t.buf[t.head] = *s
@@ -243,6 +278,40 @@ func (t *Tracer) orderedLocked() []Span {
 	out := make([]Span, 0, len(t.buf))
 	out = append(out, t.buf[t.head:]...)
 	return append(out, t.buf[:t.head]...)
+}
+
+// OpenSpans returns the registration records of spans started but not
+// yet ended, oldest first. The records are immutable snapshots taken at
+// StartSpan time, so this is safe to call while the spans' owners are
+// still mutating them. The stuck-span watchdog (internal/obs/health)
+// reads this to find operations open past their deadline.
+func (t *Tracer) OpenSpans() []OpenSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]OpenSpan, 0, len(t.open))
+	for _, rec := range t.open {
+		out = append(out, rec)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].SpanID < out[j].SpanID
+	})
+	return out
+}
+
+// OpenLen returns the number of tracked open spans.
+func (t *Tracer) OpenLen() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.open)
 }
 
 // Spans returns a copy of the retained finished spans in end order.

@@ -368,10 +368,20 @@ func newNonce() (uint64, error) {
 // see the complete vote set.
 func (g *Group) broadcastLocked(members map[string]transport.Address, kind string, payload []byte, nonce uint64, replyKind int, early func([]vote) bool) (votes []vote, late <-chan vote) {
 	ch := make(chan vote, len(members))
+	o := g.obs.Load()
 	for id, addr := range members {
 		g.pending.Add(1)
 		go func(id string, addr transport.Address) {
 			defer g.pending.Done()
+			if o != nil {
+				// Per-replica vote telemetry feeds the quorum health
+				// detector: latency skew singles out a browning-out
+				// replica, error counts surface lagging/unsynced ones.
+				start := time.Now()
+				defer func() {
+					o.M().ObserveSince("quorum.vote.latency."+g.name+"."+id, start)
+				}()
+			}
 			v := vote{id: id}
 			sealed, err := g.sealer.Seal(payload, aadReq(kind, id))
 			if err == nil {
@@ -401,6 +411,9 @@ func (g *Group) broadcastLocked(members map[string]transport.Address, kind strin
 				}
 			}
 			v.err = err
+			if err != nil && o != nil {
+				o.M().Add("quorum.vote.errors."+g.name+"."+id, 1)
+			}
 			ch <- v
 		}(id, addr)
 	}

@@ -98,6 +98,12 @@ type WANLink struct {
 	// the trace context always propagates across the link regardless.
 	obs atomic.Pointer[obs.Observer]
 
+	// Per-link metric names, precomputed so the forwarding path does one
+	// registry lookup per exchange and no string concatenation. The
+	// wan.link.* families feed the link health detector
+	// (internal/obs/health).
+	mMsgs, mLost, mRefused, mErrors, gDown string
+
 	a, b Messenger
 }
 
@@ -131,12 +137,17 @@ func NewWANLink(name string, a, b Messenger, cfg WANConfig) *WANLink {
 		rng = rand.New(rand.NewSource(seed))
 	}
 	l := &WANLink{
-		name: name,
-		cfg:  cfg,
-		lat:  lat,
-		rng:  rng,
-		a:    a,
-		b:    b,
+		name:     name,
+		cfg:      cfg,
+		lat:      lat,
+		rng:      rng,
+		a:        a,
+		b:        b,
+		mMsgs:    "wan.link.msgs." + name,
+		mLost:    "wan.link.lost." + name,
+		mRefused: "wan.link.refused." + name,
+		mErrors:  "wan.link.errors." + name,
+		gDown:    "wan.link.down." + name,
 	}
 	l.exports[SideA] = make(map[Address]bool)
 	l.exports[SideB] = make(map[Address]bool)
@@ -209,9 +220,22 @@ func (l *WANLink) Stats() (msgs, bytes int64) {
 
 // SetObserver installs (or clears, with nil) the link's observer. With
 // one set, every bridged exchange records a "wan.hop" span joined into
-// the sender's trace.
+// the sender's trace plus the per-link wan.link.* counters the health
+// plane watches.
 func (l *WANLink) SetObserver(o *obs.Observer) {
 	l.obs.Store(o)
+	if o != nil {
+		// Materialize the down gauge immediately so the link is visible
+		// to the health plane before its first exchange.
+		o.M().SetGauge(l.gDown, boolGauge(l.Down()))
+	}
+}
+
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // SetDown partitions (true) or heals (false) the link. While down, every
@@ -220,6 +244,7 @@ func (l *WANLink) SetDown(down bool) {
 	l.mu.Lock()
 	l.down = down
 	l.mu.Unlock()
+	l.obs.Load().M().SetGauge(l.gDown, boolGauge(down))
 }
 
 // Down reports whether the link is partitioned.
@@ -302,12 +327,16 @@ func (l *WANLink) forwarder(homeSide int, addr Address) Handler {
 		down := l.down
 		lost := l.cfg.Loss > 0 && l.rng.Float64() < l.cfg.Loss
 		l.mu.Unlock()
+		met := l.obs.Load().M()
 		if down {
+			met.Add(l.mRefused, 1)
 			return nil, fmt.Errorf("%w: %s", ErrLinkDown, l.name)
 		}
 		if lost {
+			met.Add(l.mLost, 1)
 			return nil, fmt.Errorf("%w: lost on wan link %s", ErrDropped, l.name)
 		}
+		met.Add(l.mMsgs, 1)
 		l.lat.Charge(sim.OpWANHop)
 		l.lat.ChargeN(sim.OpWANByte, len(msg.Payload))
 		l.msgs.Add(1)
@@ -332,6 +361,7 @@ func (l *WANLink) forwarder(homeSide int, addr Address) Handler {
 			reply, err = l.sideMessenger(homeSide).Send(msg.From, addr, msg.Kind, obs.Inject(tc, msg.Payload))
 		}
 		if err != nil {
+			met.Add(l.mErrors, 1)
 			return nil, err
 		}
 		l.lat.ChargeN(sim.OpWANByte, len(reply))
